@@ -1,0 +1,49 @@
+//! Figure 11: write latency vs cluster size with fixed per-node load on
+//! EC2-like hardware (§D.2). Expectation: roughly flat.
+
+use spinnaker_bench as b;
+use spinnaker_core::client::Workload;
+use spinnaker_eventual::cluster::EWorkload;
+use spinnaker_eventual::node::WriteLevel;
+use spinnaker_sim::{DiskProfile, Series};
+
+fn main() {
+    let sizes: Vec<usize> = if b::quick() { vec![20, 40] } else { vec![20, 40, 80] };
+    let keys = 100_000u64;
+
+    let mut spin_series = Series::new("Spinnaker Writes");
+    let mut ev_series = Series::new("Cassandra Quorum Writes");
+    for &nodes in &sizes {
+        let clients = nodes * 2; // fixed per-node load
+        let mut spin = b::spin_base();
+        spin.nodes = nodes;
+        spin.disk = DiskProfile::Ec2Cached;
+        let swept = b::spinnaker_sweep(
+            &format!("spin@{nodes}"),
+            &spin,
+            || Workload::Writes { keys, value_size: 4096 },
+            &[clients],
+        );
+        let mut p = swept.points.into_iter().next().unwrap();
+        p.clients = nodes; // x-axis is node count
+        spin_series.points.push(p);
+
+        let mut ev = b::ev_base();
+        ev.nodes = nodes;
+        ev.disk = DiskProfile::Ec2Cached;
+        let swept = b::eventual_sweep(
+            &format!("cass@{nodes}"),
+            &ev,
+            || EWorkload::Writes { keys, value_size: 4096, level: WriteLevel::Quorum },
+            &[clients],
+        );
+        let mut p = swept.points.into_iter().next().unwrap();
+        p.clients = nodes;
+        ev_series.points.push(p);
+    }
+    b::print_figure(
+        "Figure 11 — Write latency vs cluster size, fixed per-node load (x = nodes)",
+        &[spin_series.clone(), ev_series.clone()],
+    );
+    b::write_csv("fig11", &[spin_series, ev_series]);
+}

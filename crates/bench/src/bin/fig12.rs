@@ -1,0 +1,65 @@
+//! Figure 12: average latency on a mixed read/write workload as the write
+//! percentage grows (load fixed at 2 client threads, §D.3).
+
+use spinnaker_bench as b;
+use spinnaker_common::Consistency;
+use spinnaker_core::client::Workload;
+use spinnaker_eventual::cluster::EWorkload;
+use spinnaker_eventual::node::{ReadLevel, WriteLevel};
+use spinnaker_sim::Series;
+
+fn main() {
+    let write_pcts: Vec<u8> =
+        if b::quick() { vec![10, 50] } else { vec![0, 10, 20, 30, 40, 50, 60] };
+    let keys = 100_000u64;
+    let clients = 2usize;
+
+    let spin = |name: &str, consistency: Consistency| -> Series {
+        let mut s = Series::new(name);
+        for &pct in &write_pcts {
+            let swept = b::spinnaker_sweep(
+                &format!("{name}@{pct}%"),
+                &b::spin_base(),
+                || Workload::Mixed { keys, value_size: 4096, write_pct: pct, consistency },
+                &[clients],
+            );
+            let mut p = swept.points.into_iter().next().unwrap();
+            p.clients = pct as usize; // x-axis is write percentage
+            s.points.push(p);
+        }
+        s
+    };
+    let ev = |name: &str, read_level: ReadLevel| -> Series {
+        let mut s = Series::new(name);
+        for &pct in &write_pcts {
+            let swept = b::eventual_sweep(
+                &format!("{name}@{pct}%"),
+                &b::ev_base(),
+                || EWorkload::Mixed {
+                    keys,
+                    value_size: 4096,
+                    write_pct: pct,
+                    read_level,
+                    write_level: WriteLevel::Quorum,
+                },
+                &[clients],
+            );
+            let mut p = swept.points.into_iter().next().unwrap();
+            p.clients = pct as usize;
+            s.points.push(p);
+        }
+        s
+    };
+
+    let series = vec![
+        spin("Spinnaker Consistent Reads", Consistency::Strong),
+        spin("Spinnaker Timeline Reads", Consistency::Timeline),
+        ev("Cassandra Quorum Reads", ReadLevel::Quorum),
+        ev("Cassandra Weak Reads", ReadLevel::Weak),
+    ];
+    b::print_figure(
+        "Figure 12 — Mixed workload latency vs write percentage (x = write %)",
+        &series,
+    );
+    b::write_csv("fig12", &series);
+}

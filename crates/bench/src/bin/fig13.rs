@@ -1,0 +1,32 @@
+//! Figure 13: average write latency with an SSD logging device (§D.4).
+
+use spinnaker_bench as b;
+use spinnaker_core::client::Workload;
+use spinnaker_eventual::cluster::EWorkload;
+use spinnaker_eventual::node::WriteLevel;
+use spinnaker_sim::DiskProfile;
+
+fn main() {
+    let counts = b::write_counts();
+    let keys = 100_000u64;
+    let mut spin = b::spin_base();
+    spin.disk = DiskProfile::Ssd;
+    let mut ev = b::ev_base();
+    ev.disk = DiskProfile::Ssd;
+    let series = vec![
+        b::spinnaker_sweep(
+            "Spinnaker Writes (SSD Log)",
+            &spin,
+            || Workload::Writes { keys, value_size: 4096 },
+            &counts,
+        ),
+        b::eventual_sweep(
+            "Cassandra Quorum Writes (SSD Log)",
+            &ev,
+            || EWorkload::Writes { keys, value_size: 4096, level: WriteLevel::Quorum },
+            &counts,
+        ),
+    ];
+    b::print_figure("Figure 13 — Average write latency with an SSD log", &series);
+    b::write_csv("fig13", &series);
+}

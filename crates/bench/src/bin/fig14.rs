@@ -1,0 +1,24 @@
+//! Figure 14: conditional put vs regular put in Spinnaker (§D.5).
+
+use spinnaker_bench as b;
+use spinnaker_core::client::Workload;
+
+fn main() {
+    let counts = b::write_counts();
+    let series = vec![
+        b::spinnaker_sweep(
+            "Spinnaker Conditional Put",
+            &b::spin_base(),
+            || Workload::ConditionalPuts { keys: 4096, value_size: 4096 },
+            &counts,
+        ),
+        b::spinnaker_sweep(
+            "Spinnaker Regular Put",
+            &b::spin_base(),
+            || Workload::Writes { keys: 4096, value_size: 4096 },
+            &counts,
+        ),
+    ];
+    b::print_figure("Figure 14 — Conditional put vs regular put", &series);
+    b::write_csv("fig14", &series);
+}

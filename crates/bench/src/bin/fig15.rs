@@ -1,0 +1,26 @@
+//! Figure 15: weak vs quorum writes in Cassandra (§D.6.1).
+
+use spinnaker_bench as b;
+use spinnaker_eventual::cluster::EWorkload;
+use spinnaker_eventual::node::WriteLevel;
+
+fn main() {
+    let counts = b::write_counts();
+    let keys = 100_000u64;
+    let series = vec![
+        b::eventual_sweep(
+            "Cassandra Weak Writes",
+            &b::ev_base(),
+            || EWorkload::Writes { keys, value_size: 4096, level: WriteLevel::Weak },
+            &counts,
+        ),
+        b::eventual_sweep(
+            "Cassandra Quorum Writes",
+            &b::ev_base(),
+            || EWorkload::Writes { keys, value_size: 4096, level: WriteLevel::Quorum },
+            &counts,
+        ),
+    ];
+    b::print_figure("Figure 15 — Weak vs quorum writes in Cassandra", &series);
+    b::write_csv("fig15", &series);
+}

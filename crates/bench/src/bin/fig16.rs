@@ -1,0 +1,20 @@
+//! Figure 16: Spinnaker write latency committing to 2/3 main-memory logs
+//! (§D.6.2) — strong consistency with weak durability.
+
+use spinnaker_bench as b;
+use spinnaker_core::client::Workload;
+use spinnaker_sim::DiskProfile;
+
+fn main() {
+    let counts = b::write_counts();
+    let mut cfg = b::spin_base();
+    cfg.disk = DiskProfile::Memory;
+    let series = vec![b::spinnaker_sweep(
+        "Spinnaker Writes (Main-Memory Log)",
+        &cfg,
+        || Workload::Writes { keys: 100_000, value_size: 4096 },
+        &counts,
+    )];
+    b::print_figure("Figure 16 — Average write latency with a main-memory log", &series);
+    b::write_csv("fig16", &series);
+}

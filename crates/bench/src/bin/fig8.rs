@@ -1,0 +1,41 @@
+//! Figure 8: average read latency vs load — Spinnaker consistent &
+//! timeline reads vs Cassandra quorum & weak reads (4 KB values).
+
+use spinnaker_bench as b;
+use spinnaker_common::Consistency;
+use spinnaker_core::client::Workload;
+use spinnaker_eventual::cluster::EWorkload;
+use spinnaker_eventual::node::ReadLevel;
+
+fn main() {
+    let counts = b::read_counts();
+    let keys = 100_000u64;
+    let series = vec![
+        b::spinnaker_sweep(
+            "Spinnaker Consistent Reads",
+            &b::spin_base(),
+            || Workload::Reads { keys, consistency: Consistency::Strong },
+            &counts,
+        ),
+        b::spinnaker_sweep(
+            "Spinnaker Timeline Reads",
+            &b::spin_base(),
+            || Workload::Reads { keys, consistency: Consistency::Timeline },
+            &counts,
+        ),
+        b::eventual_sweep(
+            "Cassandra Quorum Reads",
+            &b::ev_base(),
+            || EWorkload::Reads { keys, level: ReadLevel::Quorum },
+            &counts,
+        ),
+        b::eventual_sweep(
+            "Cassandra Weak Reads",
+            &b::ev_base(),
+            || EWorkload::Reads { keys, level: ReadLevel::Weak },
+            &counts,
+        ),
+    ];
+    b::print_figure("Figure 8 — Average read latency vs load", &series);
+    b::write_csv("fig8", &series);
+}

@@ -1,0 +1,28 @@
+//! Figure 9: average write latency vs load — Spinnaker writes vs
+//! Cassandra quorum writes, 4 KB values, magnetic-disk log.
+
+use spinnaker_bench as b;
+use spinnaker_core::client::Workload;
+use spinnaker_eventual::cluster::EWorkload;
+use spinnaker_eventual::node::WriteLevel;
+
+fn main() {
+    let counts = b::write_counts();
+    let keys = 100_000u64;
+    let series = vec![
+        b::spinnaker_sweep(
+            "Spinnaker Writes",
+            &b::spin_base(),
+            || Workload::Writes { keys, value_size: 4096 },
+            &counts,
+        ),
+        b::eventual_sweep(
+            "Cassandra Quorum Writes",
+            &b::ev_base(),
+            || EWorkload::Writes { keys, value_size: 4096, level: WriteLevel::Quorum },
+            &counts,
+        ),
+    ];
+    b::print_figure("Figure 9 — Average write latency vs load (HDD log)", &series);
+    b::write_csv("fig9", &series);
+}

@@ -1,0 +1,316 @@
+//! Hand-written binary encoding used by the WAL and SSTable formats.
+//!
+//! Conventions (little-endian throughout):
+//! * fixed-width `u32`/`u64` for offsets and checksums,
+//! * LEB128 varints for lengths and counts,
+//! * byte strings as `varint(len) || bytes`.
+//!
+//! The [`Encode`]/[`Decode`] traits are implemented for the common types so
+//! record structs can be composed field by field.
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+use crate::lsn::Lsn;
+use crate::types::{ColumnValue, Key, Row};
+
+/// Types that can serialize themselves onto a byte buffer.
+pub trait Encode {
+    /// Append the encoded form to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can deserialize themselves from a byte slice, consuming what
+/// they read (the slice is advanced in place).
+pub trait Decode: Sized {
+    /// Decode from the front of `buf`, advancing it past the consumed bytes.
+    fn decode(buf: &mut &[u8]) -> Result<Self>;
+}
+
+fn eof(what: &str) -> Error {
+    Error::Codec(format!("unexpected end of input reading {what}"))
+}
+
+// ---------------------------------------------------------------- varints
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint from the front of `buf`.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf.split_first().ok_or_else(|| eof("varint"))?;
+        *buf = rest;
+        if shift == 63 && byte > 1 {
+            return Err(Error::Codec("varint overflows u64".into()));
+        }
+        result |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Codec("varint too long".into()));
+        }
+    }
+}
+
+/// Encoded size of a varint without encoding it.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize + 6) / 7
+    }
+}
+
+// ------------------------------------------------------------ fixed width
+
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `u32`.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.len() < 4 {
+        return Err(eof("u32"));
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `u64`.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.len() < 8 {
+        return Err(eof("u64"));
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+/// Append a single byte.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Read a single byte.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    let (&byte, rest) = buf.split_first().ok_or_else(|| eof("u8"))?;
+    *buf = rest;
+    Ok(byte)
+}
+
+// ------------------------------------------------------------ byte strings
+
+/// Append `varint(len) || bytes`.
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Read a length-prefixed byte string as an owned `Bytes`.
+pub fn get_bytes(buf: &mut &[u8]) -> Result<Bytes> {
+    let len = get_varint(buf)? as usize;
+    if buf.len() < len {
+        return Err(eof("byte string body"));
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(Bytes::copy_from_slice(head))
+}
+
+// --------------------------------------------------- impls for core types
+
+impl Encode for Lsn {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.as_u64());
+    }
+}
+
+impl Decode for Lsn {
+    fn decode(buf: &mut &[u8]) -> Result<Lsn> {
+        Ok(Lsn::from_u64(get_u64(buf)?))
+    }
+}
+
+impl Encode for Key {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self.as_bytes());
+    }
+}
+
+impl Decode for Key {
+    fn decode(buf: &mut &[u8]) -> Result<Key> {
+        Ok(Key(get_bytes(buf)?))
+    }
+}
+
+impl Encode for ColumnValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(buf, self.tombstone as u8);
+        put_u64(buf, self.version);
+        put_u64(buf, self.timestamp);
+        put_bytes(buf, &self.value);
+    }
+}
+
+impl Decode for ColumnValue {
+    fn decode(buf: &mut &[u8]) -> Result<ColumnValue> {
+        let tombstone = match get_u8(buf)? {
+            0 => false,
+            1 => true,
+            other => return Err(Error::Codec(format!("bad tombstone flag {other}"))),
+        };
+        let version = get_u64(buf)?;
+        let timestamp = get_u64(buf)?;
+        let value = get_bytes(buf)?;
+        Ok(ColumnValue { value, version, timestamp, tombstone })
+    }
+}
+
+impl Encode for Row {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.columns.len() as u64);
+        for (name, cv) in &self.columns {
+            put_bytes(buf, name);
+            cv.encode(buf);
+        }
+    }
+}
+
+impl Decode for Row {
+    fn decode(buf: &mut &[u8]) -> Result<Row> {
+        let n = get_varint(buf)? as usize;
+        let mut row = Row::new();
+        for _ in 0..n {
+            let name = get_bytes(buf)?;
+            let cv = ColumnValue::decode(buf)?;
+            row.set(name, cv);
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length of {v}");
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 10 bytes of continuation encoding 2^64 exactly overflows.
+        let buf = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        assert!(get_varint(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(get_bytes(&mut slice).is_err(), "cut at {cut}");
+        }
+        assert!(get_u32(&mut [0u8, 1, 2].as_slice()).is_err());
+        assert!(get_u64(&mut [0u8; 7].as_slice()).is_err());
+        assert!(get_u8(&mut [].as_slice()).is_err());
+    }
+
+    #[test]
+    fn row_roundtrip_with_tombstone() {
+        let mut row = Row::new();
+        row.set(
+            Bytes::from_static(b"a"),
+            ColumnValue::live(Bytes::from_static(b"v1"), Lsn::new(1, 5), 42),
+        );
+        row.set(Bytes::from_static(b"b"), ColumnValue::deleted(Lsn::new(1, 6), 43));
+        let enc = row.encode_to_vec();
+        let decoded = Row::decode(&mut enc.as_slice()).unwrap();
+        assert_eq!(decoded, row);
+    }
+
+    #[test]
+    fn bad_tombstone_flag_is_rejected() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 2);
+        put_bytes(&mut buf, b"");
+        assert!(ColumnValue::decode(&mut buf.as_slice()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_roundtrip(v: u64) {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut s = buf.as_slice();
+            prop_assert_eq!(get_varint(&mut s).unwrap(), v);
+            prop_assert!(s.is_empty());
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(data: Vec<u8>) {
+            let mut buf = Vec::new();
+            put_bytes(&mut buf, &data);
+            let mut s = buf.as_slice();
+            let got = get_bytes(&mut s).unwrap();
+            prop_assert_eq!(got.as_ref(), data.as_slice());
+        }
+
+        #[test]
+        fn prop_row_roundtrip(cols in proptest::collection::btree_map(
+            proptest::collection::vec(any::<u8>(), 0..16),
+            (any::<u64>(), any::<u64>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..8,
+        )) {
+            let mut row = Row::new();
+            for (name, (version, timestamp, tombstone, value)) in cols {
+                row.set(Bytes::from(name), ColumnValue {
+                    value: Bytes::from(value), version, timestamp, tombstone,
+                });
+            }
+            let enc = row.encode_to_vec();
+            prop_assert_eq!(Row::decode(&mut enc.as_slice()).unwrap(), row);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors surfaced by the storage substrates and the datastore API.
+///
+/// Higher level crates (replication, coordination) define their own richer
+/// error enums and convert into / wrap this one where they touch storage.
+#[derive(Debug)]
+pub enum Error {
+    /// An I/O error from the (virtual) file system.
+    Io(std::io::Error),
+    /// A corrupt record: checksum mismatch, truncated frame, bad magic...
+    Corruption(String),
+    /// Binary decoding failed (unexpected end of input, invalid tag...).
+    Codec(String),
+    /// A caller supplied an argument the API cannot honour.
+    InvalidArgument(String),
+    /// The requested entity (file, key range, column...) does not exist.
+    NotFound(String),
+    /// Conditional put/delete failed: stored version differs from expected.
+    VersionMismatch {
+        /// Version the caller expected the column to have.
+        expected: u64,
+        /// Version actually stored (0 when the column is absent).
+        actual: u64,
+    },
+    /// The operation cannot run in the current replica/cohort state.
+    Unavailable(String),
+    /// The contacted node is not the leader for the key's cohort.
+    NotLeader {
+        /// Hint: the leader the contacted node believes is current, if any.
+        leader_hint: Option<u32>,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::VersionMismatch { expected, actual } => {
+                write!(f, "version mismatch: expected {expected}, found {actual}")
+            }
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
+            Error::NotLeader { leader_hint } => match leader_hint {
+                Some(n) => write!(f, "not leader (try node {n})"),
+                None => write!(f, "not leader (leader unknown)"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// True when the error indicates permanently corrupted on-disk state.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+
+    /// True when retrying against a different node could succeed.
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, Error::Unavailable(_) | Error::NotLeader { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::VersionMismatch { expected: 3, actual: 5 };
+        assert_eq!(e.to_string(), "version mismatch: expected 3, found 5");
+        let e = Error::NotLeader { leader_hint: Some(2) };
+        assert_eq!(e.to_string(), "not leader (try node 2)");
+        let e = Error::NotLeader { leader_hint: None };
+        assert!(e.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retriability() {
+        assert!(Error::Unavailable("x".into()).is_retriable());
+        assert!(Error::NotLeader { leader_hint: None }.is_retriable());
+        assert!(!Error::Corruption("x".into()).is_retriable());
+        assert!(Error::Corruption("x".into()).is_corruption());
+    }
+}

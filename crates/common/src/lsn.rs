@@ -1,0 +1,151 @@
+//! Log sequence numbers.
+//!
+//! Spinnaker LSNs are two-part values `e.seq` (paper, Appendix B): the high
+//! order bits store an *epoch number* and the low order bits a *sequence
+//! number*. Epochs are incremented (and persisted in the coordination
+//! service) every time a new cohort leader takes over, which guarantees that
+//! a new leader assigns LSNs strictly greater than any LSN previously used
+//! in the cohort — LSNs effectively play the role of Paxos proposal numbers.
+
+use std::fmt;
+
+/// Leadership epoch of a cohort. Incremented on every leader takeover.
+pub type Epoch = u16;
+
+/// Number of low-order bits holding the sequence number.
+const SEQ_BITS: u32 = 48;
+/// Mask extracting the sequence number.
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// A log sequence number: 16-bit epoch in the high bits, 48-bit sequence in
+/// the low bits, so ordering on the packed `u64` is (epoch, seq) ordering.
+///
+/// `Lsn::ZERO` (`0.0`) is reserved as "before any record" — the first real
+/// record of a cohort is `1.1` (epoch numbering starts at 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(u64);
+
+impl Lsn {
+    /// The LSN that precedes every real record.
+    pub const ZERO: Lsn = Lsn(0);
+    /// Largest representable LSN.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Build an LSN from an epoch and sequence number.
+    ///
+    /// # Panics
+    /// Panics if `seq` does not fit in 48 bits.
+    pub fn new(epoch: Epoch, seq: u64) -> Lsn {
+        assert!(seq <= SEQ_MASK, "sequence number {seq} exceeds 48 bits");
+        Lsn(((epoch as u64) << SEQ_BITS) | seq)
+    }
+
+    /// The epoch component.
+    pub fn epoch(self) -> Epoch {
+        (self.0 >> SEQ_BITS) as Epoch
+    }
+
+    /// The sequence component.
+    pub fn seq(self) -> u64 {
+        self.0 & SEQ_MASK
+    }
+
+    /// The packed representation (used on disk and as column versions).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from the packed representation.
+    pub fn from_u64(raw: u64) -> Lsn {
+        Lsn(raw)
+    }
+
+    /// The next LSN in the same epoch.
+    ///
+    /// # Panics
+    /// Panics if the sequence number would overflow 48 bits.
+    pub fn next(self) -> Lsn {
+        Lsn::new(self.epoch(), self.seq() + 1)
+    }
+
+    /// First LSN a leader assigns after taking over with `epoch`.
+    ///
+    /// Sequence numbers continue from the highest sequence ever used in the
+    /// cohort so that `(epoch, seq)` stays strictly increasing even when the
+    /// previous epoch logged records this node never saw.
+    pub fn first_of_epoch(epoch: Epoch, prev: Lsn) -> Lsn {
+        debug_assert!(epoch > prev.epoch(), "epoch must move forward");
+        Lsn::new(epoch, prev.seq() + 1)
+    }
+
+    /// True for `Lsn::ZERO`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.epoch(), self.seq())
+    }
+}
+
+// Debug renders via Display so protocol traces read `1.21` rather than
+// `Lsn(281474976710677)`.
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let lsn = Lsn::new(3, 12345);
+        assert_eq!(lsn.epoch(), 3);
+        assert_eq!(lsn.seq(), 12345);
+        assert_eq!(Lsn::from_u64(lsn.as_u64()), lsn);
+    }
+
+    #[test]
+    fn ordering_is_epoch_then_seq() {
+        // The paper's Appendix B example: 1.22 was logged by a follower but a
+        // new leader in epoch 2 starts at 2.22 — and 2.22 > 1.22 must hold.
+        assert!(Lsn::new(2, 22) > Lsn::new(1, 22));
+        assert!(Lsn::new(1, 22) > Lsn::new(1, 21));
+        assert!(Lsn::new(2, 1) > Lsn::new(1, 999_999));
+        assert!(Lsn::ZERO < Lsn::new(1, 1));
+    }
+
+    #[test]
+    fn next_advances_seq_only() {
+        let lsn = Lsn::new(5, 9).next();
+        assert_eq!((lsn.epoch(), lsn.seq()), (5, 10));
+    }
+
+    #[test]
+    fn first_of_epoch_exceeds_any_prior_lsn() {
+        // New leader saw up to 1.21, epoch bumps to 2: new writes start at
+        // 2.22, greater than the unseen 1.22 a crashed follower may hold.
+        let prev = Lsn::new(1, 21);
+        let first = Lsn::first_of_epoch(2, prev);
+        assert_eq!((first.epoch(), first.seq()), (2, 22));
+        assert!(first > Lsn::new(1, 22));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Lsn::new(1, 20).to_string(), "1.20");
+        assert_eq!(format!("{:?}", Lsn::new(2, 30)), "2.30");
+        assert_eq!(Lsn::ZERO.to_string(), "0.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn seq_overflow_panics() {
+        let _ = Lsn::new(1, 1 << 48);
+    }
+}

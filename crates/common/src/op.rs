@@ -1,0 +1,217 @@
+//! Write operations — the replicated unit of work.
+//!
+//! Every API call that modifies data (§3: `put`, `delete`, `conditionalPut`,
+//! `conditionalDelete`, and their multi-column variants) is reduced by the
+//! cohort leader to a [`WriteOp`]: one or more cell mutations on a single
+//! row. The *condition* of a conditional call is evaluated at the leader
+//! before logging, so the logged operation is always unconditional — this is
+//! what guarantees "a conditional put has the same outcome on each node of
+//! the cohort because writes are executed in LSN order" (§5.1).
+
+use bytes::Bytes;
+
+use crate::codec::{self, Decode, Encode};
+use crate::error::{Error, Result};
+use crate::lsn::Lsn;
+use crate::types::{ColumnName, ColumnValue, Key, Row, Timestamp, Value};
+
+/// One cell mutation within a row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CellOp {
+    /// Set `col` to `value`.
+    Put {
+        /// Column to write.
+        col: ColumnName,
+        /// New value.
+        value: Value,
+    },
+    /// Delete `col` (writes a tombstone).
+    Delete {
+        /// Column to delete.
+        col: ColumnName,
+    },
+}
+
+impl CellOp {
+    /// The column this op touches.
+    pub fn column(&self) -> &ColumnName {
+        match self {
+            CellOp::Put { col, .. } | CellOp::Delete { col } => col,
+        }
+    }
+
+    /// Approximate payload size, used for log-volume accounting.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            CellOp::Put { col, value } => col.len() + value.len(),
+            CellOp::Delete { col } => col.len(),
+        }
+    }
+}
+
+/// A single-row write: the unit proposed through the replication protocol
+/// and recorded in the WAL.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WriteOp {
+    /// Row being modified.
+    pub key: Key,
+    /// Cell mutations (one for `put`/`delete`, several for the
+    /// multi-column API variants). Never empty.
+    pub cells: Vec<CellOp>,
+    /// Timestamp assigned when the write was accepted.
+    pub timestamp: Timestamp,
+}
+
+impl WriteOp {
+    /// Single-column put.
+    pub fn put(key: Key, col: impl Into<ColumnName>, value: impl Into<Value>, ts: Timestamp) -> WriteOp {
+        WriteOp { key, cells: vec![CellOp::Put { col: col.into(), value: value.into() }], timestamp: ts }
+    }
+
+    /// Single-column delete.
+    pub fn delete(key: Key, col: impl Into<ColumnName>, ts: Timestamp) -> WriteOp {
+        WriteOp { key, cells: vec![CellOp::Delete { col: col.into() }], timestamp: ts }
+    }
+
+    /// Apply this write to `row` as of `lsn`. Deterministic and idempotent:
+    /// versions derive from `lsn`, so re-application during log replay
+    /// reproduces identical state on every replica.
+    pub fn apply_to_row(&self, row: &mut Row, lsn: Lsn) {
+        for cell in &self.cells {
+            match cell {
+                CellOp::Put { col, value } => {
+                    row.set(col.clone(), ColumnValue::live(value.clone(), lsn, self.timestamp));
+                }
+                CellOp::Delete { col } => {
+                    row.set(col.clone(), ColumnValue::deleted(lsn, self.timestamp));
+                }
+            }
+        }
+    }
+
+    /// Approximate size for log-volume accounting.
+    pub fn approx_size(&self) -> usize {
+        self.key.len() + 8 + self.cells.iter().map(CellOp::approx_size).sum::<usize>()
+    }
+}
+
+impl Encode for CellOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CellOp::Put { col, value } => {
+                codec::put_u8(buf, 0);
+                codec::put_bytes(buf, col);
+                codec::put_bytes(buf, value);
+            }
+            CellOp::Delete { col } => {
+                codec::put_u8(buf, 1);
+                codec::put_bytes(buf, col);
+            }
+        }
+    }
+}
+
+impl Decode for CellOp {
+    fn decode(buf: &mut &[u8]) -> Result<CellOp> {
+        match codec::get_u8(buf)? {
+            0 => {
+                let col = codec::get_bytes(buf)?;
+                let value = codec::get_bytes(buf)?;
+                Ok(CellOp::Put { col, value })
+            }
+            1 => Ok(CellOp::Delete { col: codec::get_bytes(buf)? }),
+            tag => Err(Error::Codec(format!("bad CellOp tag {tag}"))),
+        }
+    }
+}
+
+impl Encode for WriteOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.key.encode(buf);
+        codec::put_u64(buf, self.timestamp);
+        codec::put_varint(buf, self.cells.len() as u64);
+        for cell in &self.cells {
+            cell.encode(buf);
+        }
+    }
+}
+
+impl Decode for WriteOp {
+    fn decode(buf: &mut &[u8]) -> Result<WriteOp> {
+        let key = Key::decode(buf)?;
+        let timestamp = codec::get_u64(buf)?;
+        let n = codec::get_varint(buf)? as usize;
+        if n == 0 {
+            return Err(Error::Codec("WriteOp with zero cells".into()));
+        }
+        let mut cells = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            cells.push(CellOp::decode(buf)?);
+        }
+        Ok(WriteOp { key, timestamp, cells })
+    }
+}
+
+/// Convenience constructor for tests and examples.
+pub fn put(key: &str, col: &str, value: &str) -> WriteOp {
+    WriteOp::put(
+        Key::from(key),
+        Bytes::copy_from_slice(col.as_bytes()),
+        Bytes::copy_from_slice(value.as_bytes()),
+        0,
+    )
+}
+
+/// Convenience delete constructor for tests and examples.
+pub fn delete(key: &str, col: &str) -> WriteOp {
+    WriteOp::delete(Key::from(key), Bytes::copy_from_slice(col.as_bytes()), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multi_cell() {
+        let op = WriteOp {
+            key: Key::from("row1"),
+            cells: vec![
+                CellOp::Put { col: Bytes::from_static(b"a"), value: Bytes::from_static(b"1") },
+                CellOp::Delete { col: Bytes::from_static(b"b") },
+            ],
+            timestamp: 77,
+        };
+        let enc = op.encode_to_vec();
+        assert_eq!(WriteOp::decode(&mut enc.as_slice()).unwrap(), op);
+    }
+
+    #[test]
+    fn zero_cells_rejected() {
+        let op = WriteOp { key: Key::from("k"), cells: vec![], timestamp: 0 };
+        let enc = op.encode_to_vec();
+        assert!(WriteOp::decode(&mut enc.as_slice()).is_err());
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let op = put("k", "c", "v");
+        let lsn = Lsn::new(1, 7);
+        let mut row = Row::new();
+        op.apply_to_row(&mut row, lsn);
+        let once = row.clone();
+        op.apply_to_row(&mut row, lsn);
+        assert_eq!(row, once, "re-applying the same record must be a no-op");
+        assert_eq!(row.get(b"c").unwrap().version, lsn.as_u64());
+    }
+
+    #[test]
+    fn apply_delete_writes_tombstone() {
+        let mut row = Row::new();
+        put("k", "c", "v").apply_to_row(&mut row, Lsn::new(1, 1));
+        WriteOp::delete(Key::from("k"), Bytes::from_static(b"c"), 9)
+            .apply_to_row(&mut row, Lsn::new(1, 2));
+        assert!(row.get_live(b"c").is_none());
+        assert!(row.get(b"c").unwrap().tombstone);
+        assert_eq!(row.get(b"c").unwrap().version, Lsn::new(1, 2).as_u64());
+    }
+}

@@ -1,0 +1,323 @@
+//! The row/column data model of the datastore (paper §3).
+//!
+//! Data is organized into rows, each row uniquely identified by its key. A
+//! row contains any number of columns with corresponding values and version
+//! numbers. Column names and values are opaque bytes.
+//!
+//! Version numbers are monotonically increasing integers managed by the
+//! store and exposed through `get`; conditional put/delete use them for
+//! optimistic concurrency control. In this implementation a column's
+//! version is the packed LSN of the write that produced it: within a cohort
+//! writes are applied in LSN order, so versions are identical on every
+//! replica, strictly increasing, and — crucially — *idempotent* under log
+//! replay during recovery (re-applying a record reproduces the exact same
+//! column state).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::lsn::Lsn;
+
+/// A row key: opaque bytes, ordered lexicographically (range partitioning
+/// splits the key space into contiguous byte ranges).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub Bytes);
+
+impl Key {
+    /// Key from any byte-ish source (named `new` so the `From` impls below
+    /// are not shadowed by an inherent `from`).
+    pub fn new<B: Into<Bytes>>(b: B) -> Key {
+        Key(b.into())
+    }
+
+    /// Borrow the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty (the minimum key).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", DisplayBytes(&self.0))
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Key {
+        Key(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Key {
+    fn from(v: Vec<u8>) -> Key {
+        Key(Bytes::from(v))
+    }
+}
+
+/// A column name: opaque bytes (`"c"`, `"email"`, ...).
+pub type ColumnName = Bytes;
+
+/// A column value: opaque bytes.
+pub type Value = Bytes;
+
+/// Column version, exposed through the `get` API and consumed by
+/// conditional put/delete. `0` means "column absent".
+pub type Version = u64;
+
+/// Wall-clock microseconds; used by the eventually consistent baseline for
+/// last-writer-wins conflict resolution, and recorded on Spinnaker columns
+/// for observability.
+pub type Timestamp = u64;
+
+/// Identifies a node (server) in the cluster.
+pub type NodeId = u32;
+
+/// Identifies a replicated key range — equivalently, the cohort that
+/// replicates it (paper §4: "each group of nodes involved in replicating a
+/// key range is denoted as a cohort").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RangeId(pub u32);
+
+impl fmt::Display for RangeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Read consistency level (paper §3): the `consistent` flag of `get`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Consistency {
+    /// Always return the latest committed value. Routed to the cohort
+    /// leader.
+    Strong,
+    /// Possibly stale value in exchange for better performance; may be
+    /// served by any replica (timeline consistency, §1.3).
+    Timeline,
+}
+
+/// The stored state of one column of one row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnValue {
+    /// The value bytes. Meaningless when `tombstone` is set.
+    pub value: Value,
+    /// Version of the write that produced this state (packed LSN).
+    pub version: Version,
+    /// Timestamp assigned when the write was accepted.
+    pub timestamp: Timestamp,
+    /// True when the column was deleted (the tombstone is retained until
+    /// compaction garbage-collects it).
+    pub tombstone: bool,
+}
+
+impl ColumnValue {
+    /// A live value written at `lsn`.
+    pub fn live(value: Value, lsn: Lsn, timestamp: Timestamp) -> ColumnValue {
+        ColumnValue { value, version: lsn.as_u64(), timestamp, tombstone: false }
+    }
+
+    /// A tombstone written at `lsn`.
+    pub fn deleted(lsn: Lsn, timestamp: Timestamp) -> ColumnValue {
+        ColumnValue { value: Bytes::new(), version: lsn.as_u64(), timestamp, tombstone: true }
+    }
+
+    /// True when `self` supersedes `other` (higher version wins; the
+    /// eventually consistent baseline compares timestamps instead and
+    /// breaks ties by version).
+    pub fn newer_than(&self, other: &ColumnValue) -> bool {
+        self.version > other.version
+    }
+
+    /// Approximate in-memory footprint, for memtable accounting.
+    pub fn approx_size(&self) -> usize {
+        self.value.len() + 8 + 8 + 1
+    }
+}
+
+/// A row: a sorted map from column name to column state.
+///
+/// Rows returned by reads have tombstones filtered out; rows stored in
+/// memtables/SSTables retain them until compaction.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Row {
+    /// Column states, sorted by column name.
+    pub columns: BTreeMap<ColumnName, ColumnValue>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Insert or replace a column state.
+    pub fn set(&mut self, col: ColumnName, cv: ColumnValue) {
+        self.columns.insert(col, cv);
+    }
+
+    /// Look up a column (tombstones included).
+    pub fn get(&self, col: &[u8]) -> Option<&ColumnValue> {
+        self.columns.get(col)
+    }
+
+    /// Look up a live column (None for absent *or* tombstoned).
+    pub fn get_live(&self, col: &[u8]) -> Option<&ColumnValue> {
+        self.columns.get(col).filter(|cv| !cv.tombstone)
+    }
+
+    /// Merge `newer` into `self`, keeping the higher-versioned state per
+    /// column. Used when collapsing memtable + SSTable fragments of a row.
+    pub fn merge_newer(&mut self, newer: &Row) {
+        for (col, cv) in &newer.columns {
+            match self.columns.get(col) {
+                Some(existing) if !cv.newer_than(existing) => {}
+                _ => {
+                    self.columns.insert(col.clone(), cv.clone());
+                }
+            }
+        }
+    }
+
+    /// Drop tombstoned columns (applied to rows returned to clients and to
+    /// rows rewritten by a major compaction).
+    pub fn without_tombstones(mut self) -> Row {
+        self.columns.retain(|_, cv| !cv.tombstone);
+        self
+    }
+
+    /// True when the row has no columns at all.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Number of columns (tombstones included).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Highest version present in the row (0 for an empty row).
+    pub fn max_version(&self) -> Version {
+        self.columns.values().map(|cv| cv.version).max().unwrap_or(0)
+    }
+
+    /// Approximate in-memory footprint, for memtable accounting.
+    pub fn approx_size(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|(name, cv)| name.len() + cv.approx_size())
+            .sum()
+    }
+}
+
+/// Helper rendering possibly-binary bytes: printable ASCII as-is, the rest
+/// as `\xNN` escapes.
+pub struct DisplayBytes<'a>(pub &'a [u8]);
+
+impl fmt::Display for DisplayBytes<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for &b in self.0 {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(version: u64, val: &str) -> ColumnValue {
+        ColumnValue {
+            value: Bytes::copy_from_slice(val.as_bytes()),
+            version,
+            timestamp: version,
+            tombstone: false,
+        }
+    }
+
+    #[test]
+    fn key_ordering_is_lexicographic() {
+        assert!(Key::from("a") < Key::from("b"));
+        assert!(Key::from("a") < Key::from("aa"));
+        assert!(Key::from("") < Key::from("a"));
+        assert!(Key::from(vec![0xffu8]) > Key::from("zzz"));
+    }
+
+    #[test]
+    fn row_merge_keeps_highest_version_per_column() {
+        let mut base = Row::new();
+        base.set(Bytes::from_static(b"a"), cv(1, "old-a"));
+        base.set(Bytes::from_static(b"b"), cv(5, "new-b"));
+
+        let mut newer = Row::new();
+        newer.set(Bytes::from_static(b"a"), cv(3, "new-a"));
+        newer.set(Bytes::from_static(b"b"), cv(2, "old-b"));
+        newer.set(Bytes::from_static(b"c"), cv(4, "only-c"));
+
+        base.merge_newer(&newer);
+        assert_eq!(base.get(b"a").unwrap().value, Bytes::from_static(b"new-a"));
+        assert_eq!(base.get(b"b").unwrap().value, Bytes::from_static(b"new-b"));
+        assert_eq!(base.get(b"c").unwrap().value, Bytes::from_static(b"only-c"));
+        assert_eq!(base.max_version(), 5);
+    }
+
+    #[test]
+    fn tombstones_hide_columns_from_live_reads() {
+        let mut row = Row::new();
+        row.set(Bytes::from_static(b"x"), cv(1, "v"));
+        row.set(Bytes::from_static(b"y"), ColumnValue::deleted(Lsn::new(1, 2), 0));
+        assert!(row.get_live(b"x").is_some());
+        assert!(row.get_live(b"y").is_none());
+        assert!(row.get(b"y").is_some(), "raw get still sees the tombstone");
+        let cleaned = row.clone().without_tombstones();
+        assert_eq!(cleaned.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_with_higher_version_supersedes_value() {
+        let mut row = Row::new();
+        row.set(Bytes::from_static(b"x"), cv(1, "v"));
+        let mut newer = Row::new();
+        newer.set(Bytes::from_static(b"x"), ColumnValue::deleted(Lsn::new(1, 9), 0));
+        row.merge_newer(&newer);
+        assert!(row.get_live(b"x").is_none());
+    }
+
+    #[test]
+    fn column_version_is_packed_lsn() {
+        let lsn = Lsn::new(2, 30);
+        let cv = ColumnValue::live(Bytes::from_static(b"v"), lsn, 17);
+        assert_eq!(cv.version, lsn.as_u64());
+        assert_eq!(cv.timestamp, 17);
+    }
+
+    #[test]
+    fn display_bytes_escapes_binary() {
+        assert_eq!(DisplayBytes(b"abc").to_string(), "\"abc\"");
+        assert_eq!(DisplayBytes(&[0x00, b'a', 0xff]).to_string(), "\"\\x00a\\xff\"");
+    }
+
+    #[test]
+    fn approx_size_counts_names_and_values() {
+        let mut row = Row::new();
+        row.set(Bytes::from_static(b"col"), cv(1, "valu"));
+        // 3 (name) + 4 (value) + 17 (version+timestamp+flag)
+        assert_eq!(row.approx_size(), 24);
+    }
+}

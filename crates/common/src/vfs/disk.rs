@@ -1,0 +1,195 @@
+//! Real-filesystem [`Vfs`] backend rooted at a directory.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+#[cfg(not(unix))]
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+use super::{Vfs, VfsFile};
+
+/// A [`Vfs`] backed by the operating system's file system, rooted at a
+/// directory. All paths are interpreted relative to the root; parent
+/// directories are created on demand.
+pub struct DiskVfs {
+    root: PathBuf,
+}
+
+impl DiskVfs {
+    /// Open (creating if needed) a file system rooted at `root`.
+    pub fn new(root: impl AsRef<Path>) -> Result<DiskVfs> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(DiskVfs { root: root.as_ref().to_path_buf() })
+    }
+
+    fn resolve(&self, path: &str) -> Result<PathBuf> {
+        if path.split('/').any(|c| c == "..") {
+            return Err(Error::InvalidArgument(format!("path escapes root: {path}")));
+        }
+        Ok(self.root.join(path))
+    }
+}
+
+struct DiskFile {
+    // Single handle used for reads and appends; the mutex serializes the
+    // seek+read sequence against appends (appends always land at EOF via
+    // O_APPEND regardless of the read cursor).
+    file: Mutex<File>,
+}
+
+impl VfsFile for DiskFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            let file = self.file.lock();
+            let mut read = 0;
+            while read < buf.len() {
+                match file.read_at(&mut buf[read..], offset + read as u64)? {
+                    0 => break,
+                    n => read += n,
+                }
+            }
+            Ok(read)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            let mut read = 0;
+            while read < buf.len() {
+                match file.read(&mut buf[read..])? {
+                    0 => break,
+                    n => read += n,
+                }
+            }
+            Ok(read)
+        }
+    }
+
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::End(0))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+}
+
+impl Vfs for DiskVfs {
+    fn create(&self, path: &str) -> Result<Box<dyn VfsFile>> {
+        let full = self.resolve(path)?;
+        if let Some(parent) = full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&full)?;
+        Ok(Box::new(DiskFile { file: Mutex::new(file) }))
+    }
+
+    fn open(&self, path: &str) -> Result<Box<dyn VfsFile>> {
+        let full = self.resolve(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(&full)?;
+        Ok(Box::new(DiskFile { file: Mutex::new(file) }))
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        Ok(self.resolve(path)?.is_file())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        // Walk from the deepest existing directory implied by the prefix.
+        let dir_part = match prefix.rfind('/') {
+            Some(i) => &prefix[..i],
+            None => "",
+        };
+        let start = self.root.join(dir_part);
+        let mut out = Vec::new();
+        if start.is_dir() {
+            walk(&start, &mut |p| {
+                if let Ok(rel) = p.strip_prefix(&self.root) {
+                    let rel = rel.to_string_lossy().replace('\\', "/");
+                    if rel.starts_with(prefix) {
+                        out.push(rel);
+                    }
+                }
+            })?;
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        fs::remove_file(self.resolve(path)?)?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let to_full = self.resolve(to)?;
+        if let Some(parent) = to_full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::rename(self.resolve(from)?, to_full)?;
+        Ok(())
+    }
+}
+
+fn walk(dir: &Path, f: &mut impl FnMut(&Path)) -> Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, f)?;
+        } else {
+            f(&path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spinnaker-disk-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn rejects_path_escape() {
+        let dir = scratch("escape");
+        let vfs = DiskVfs::new(&dir).unwrap();
+        assert!(vfs.create("../evil").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nested_list_with_prefix() {
+        let dir = scratch("list");
+        let vfs = DiskVfs::new(&dir).unwrap();
+        vfs.create("wal/seg-1").unwrap();
+        vfs.create("wal/seg-2").unwrap();
+        vfs.create("sst/t-1").unwrap();
+        assert_eq!(vfs.list("wal/seg-").unwrap(), vec!["wal/seg-1".to_string(), "wal/seg-2".into()]);
+        assert_eq!(vfs.list("nothing/").unwrap(), Vec::<String>::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

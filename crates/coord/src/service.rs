@@ -1,0 +1,545 @@
+//! The coordination service state machine.
+//!
+//! A deterministic, single-struct implementation of the ZooKeeper subset
+//! Spinnaker relies on (paper §4.2/§7.1): a tree of znodes addressed by
+//! slash-separated paths, persistent/ephemeral × plain/sequential create
+//! modes, one-shot watches on data and children, and sessions that expire
+//! when heartbeats stop — deleting the session's ephemerals and firing
+//! watches, which is exactly the failure-detection signal leader election
+//! consumes.
+//!
+//! All methods take the current time explicitly and return any watch
+//! events they triggered; the surrounding runtime (simulator or threads)
+//! delivers those events to clients. This keeps the service fully
+//! deterministic and runtime-agnostic.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Session identifier handed out by [`Coord::create_session`].
+pub type SessionId = u64;
+
+/// Monotonic transaction id (ZooKeeper's zxid).
+pub type Zxid = u64;
+
+/// Nanoseconds since an arbitrary epoch; supplied by the caller's clock.
+pub type Nanos = u64;
+
+/// Znode creation mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CreateMode {
+    /// Survives session loss; deleted only explicitly.
+    Persistent,
+    /// Deleted automatically when the creating session dies (§7.1).
+    Ephemeral,
+    /// Persistent, with a unique monotonically increasing suffix.
+    PersistentSequential,
+    /// Ephemeral + sequential (used by `/r/candidates`, Fig. 7).
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+
+    fn is_sequential(self) -> bool {
+        matches!(self, CreateMode::PersistentSequential | CreateMode::EphemeralSequential)
+    }
+}
+
+/// Errors returned by coordination operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoordError {
+    /// The path (or its parent) does not exist.
+    NoNode(String),
+    /// A node already exists at the path.
+    NodeExists(String),
+    /// Delete of a node that still has children.
+    NotEmpty(String),
+    /// The session is unknown or has expired.
+    SessionExpired(SessionId),
+    /// Malformed path.
+    BadPath(String),
+    /// Ephemeral znodes cannot have children (as in ZooKeeper).
+    NoChildrenForEphemerals(String),
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::NoNode(p) => write!(f, "no node: {p}"),
+            CoordError::NodeExists(p) => write!(f, "node exists: {p}"),
+            CoordError::NotEmpty(p) => write!(f, "node not empty: {p}"),
+            CoordError::SessionExpired(s) => write!(f, "session {s} expired"),
+            CoordError::BadPath(p) => write!(f, "bad path: {p}"),
+            CoordError::NoChildrenForEphemerals(p) => {
+                write!(f, "ephemerals cannot have children: {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// Result alias for coordination calls.
+pub type CoordResult<T> = Result<T, CoordError>;
+
+/// A watch notification. Watches are one-shot: after delivery the client
+/// must re-register (same as ZooKeeper).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WatchEvent {
+    /// Node created at the path (fires exists-watches).
+    Created(String),
+    /// Node deleted (fires data- and exists-watches on the node, and the
+    /// parent's child-watches).
+    Deleted(String),
+    /// Node data changed.
+    DataChanged(String),
+    /// The node's set of children changed.
+    ChildrenChanged(String),
+    /// The session was expired by the service.
+    SessionExpired,
+}
+
+/// A watch event addressed to the session that registered it.
+pub type Delivery = (SessionId, WatchEvent);
+
+/// Metadata of a znode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// zxid of the create.
+    pub czxid: Zxid,
+    /// zxid of the last data modification.
+    pub mzxid: Zxid,
+    /// Data version (bumped by `set_data`).
+    pub version: u64,
+    /// Owning session for ephemerals.
+    pub ephemeral_owner: Option<SessionId>,
+    /// Sequence number when created sequentially.
+    pub sequence: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct Znode {
+    data: Vec<u8>,
+    stat: Stat,
+    children: BTreeSet<String>,
+    seq_counter: u64,
+}
+
+#[derive(Clone, Copy)]
+enum WatchKind {
+    Data,
+    Child,
+    Exists,
+}
+
+#[derive(Clone, Debug)]
+struct Session {
+    last_heartbeat: Nanos,
+    timeout: Nanos,
+    ephemerals: BTreeSet<String>,
+    expired: bool,
+}
+
+/// The coordination service.
+pub struct Coord {
+    nodes: BTreeMap<String, Znode>,
+    sessions: HashMap<SessionId, Session>,
+    next_session: SessionId,
+    zxid: Zxid,
+    data_watches: HashMap<String, BTreeSet<SessionId>>,
+    child_watches: HashMap<String, BTreeSet<SessionId>>,
+    exists_watches: HashMap<String, BTreeSet<SessionId>>,
+}
+
+fn validate(path: &str) -> CoordResult<()> {
+    if path == "/" {
+        return Ok(());
+    }
+    if !path.starts_with('/') || path.ends_with('/') || path.contains("//") {
+        return Err(CoordError::BadPath(path.to_string()));
+    }
+    Ok(())
+}
+
+/// Parent path of `path` (`"/a/b"` → `"/a"`, `"/a"` → `"/"`).
+pub fn parent(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+/// Final component of `path`.
+pub fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+impl Default for Coord {
+    fn default() -> Coord {
+        Coord::new()
+    }
+}
+
+impl Coord {
+    /// Fresh service containing only the root node.
+    pub fn new() -> Coord {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            "/".to_string(),
+            Znode {
+                data: Vec::new(),
+                stat: Stat {
+                    czxid: 0,
+                    mzxid: 0,
+                    version: 0,
+                    ephemeral_owner: None,
+                    sequence: None,
+                },
+                children: BTreeSet::new(),
+                seq_counter: 0,
+            },
+        );
+        Coord {
+            nodes,
+            sessions: HashMap::new(),
+            next_session: 1,
+            zxid: 0,
+            data_watches: HashMap::new(),
+            child_watches: HashMap::new(),
+            exists_watches: HashMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------ sessions
+
+    /// Open a session with the given heartbeat timeout.
+    pub fn create_session(&mut self, timeout: Nanos, now: Nanos) -> SessionId {
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                last_heartbeat: now,
+                timeout,
+                ephemerals: BTreeSet::new(),
+                expired: false,
+            },
+        );
+        id
+    }
+
+    /// Refresh a session's liveness.
+    pub fn heartbeat(&mut self, session: SessionId, now: Nanos) -> CoordResult<()> {
+        let s = self.live_session(session)?;
+        s.last_heartbeat = now;
+        Ok(())
+    }
+
+    /// Expire sessions whose heartbeats stopped. Returns watch events plus
+    /// a `SessionExpired` delivery for each expired session.
+    pub fn tick(&mut self, now: Nanos) -> Vec<Delivery> {
+        let expired: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.expired && now.saturating_sub(s.last_heartbeat) > s.timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::new();
+        for id in expired {
+            out.extend(self.expire_session(id));
+        }
+        out
+    }
+
+    /// Close a session (graceful), deleting its ephemerals.
+    pub fn close_session(&mut self, session: SessionId) -> Vec<Delivery> {
+        if self.sessions.contains_key(&session) {
+            self.expire_session(session)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Kill a session immediately (used by chaos tests to model a node
+    /// whose heartbeats the service has given up on).
+    pub fn expire_session(&mut self, session: SessionId) -> Vec<Delivery> {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return Vec::new();
+        };
+        if s.expired {
+            return Vec::new();
+        }
+        s.expired = true;
+        let ephemerals: Vec<String> = s.ephemerals.iter().cloned().collect();
+        let mut out = vec![(session, WatchEvent::SessionExpired)];
+        for path in ephemerals {
+            // Ephemerals are leaves (no children allowed), so this cannot
+            // fail with NotEmpty.
+            if let Ok(events) = self.delete_inner(&path) {
+                out.extend(events);
+            }
+        }
+        // Drop any watches the dead session still holds.
+        for watches in [
+            &mut self.data_watches,
+            &mut self.child_watches,
+            &mut self.exists_watches,
+        ] {
+            for set in watches.values_mut() {
+                set.remove(&session);
+            }
+        }
+        out
+    }
+
+    /// Whether the session is alive.
+    pub fn session_alive(&self, session: SessionId) -> bool {
+        self.sessions.get(&session).is_some_and(|s| !s.expired)
+    }
+
+    fn live_session(&mut self, session: SessionId) -> CoordResult<&mut Session> {
+        match self.sessions.get_mut(&session) {
+            Some(s) if !s.expired => Ok(s),
+            _ => Err(CoordError::SessionExpired(session)),
+        }
+    }
+
+    // ------------------------------------------------------------- writes
+
+    /// Create a znode. Returns the actual path (with the sequence suffix
+    /// for sequential modes) and any watch deliveries.
+    pub fn create(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        data: Vec<u8>,
+        mode: CreateMode,
+    ) -> CoordResult<(String, Vec<Delivery>)> {
+        validate(path)?;
+        self.live_session(session)?;
+        let parent_path = parent(path).to_string();
+        {
+            let parent_node = self
+                .nodes
+                .get(&parent_path)
+                .ok_or_else(|| CoordError::NoNode(parent_path.clone()))?;
+            if parent_node.stat.ephemeral_owner.is_some() {
+                return Err(CoordError::NoChildrenForEphemerals(parent_path.clone()));
+            }
+        }
+
+        let actual_path = if mode.is_sequential() {
+            let parent_node = self.nodes.get_mut(&parent_path).expect("checked above");
+            let seq = parent_node.seq_counter;
+            parent_node.seq_counter += 1;
+            format!("{path}{seq:010}")
+        } else {
+            path.to_string()
+        };
+        if self.nodes.contains_key(&actual_path) {
+            return Err(CoordError::NodeExists(actual_path));
+        }
+
+        self.zxid += 1;
+        let seq = if mode.is_sequential() {
+            Some(self.nodes.get(&parent_path).expect("parent").seq_counter - 1)
+        } else {
+            None
+        };
+        let owner = mode.is_ephemeral().then_some(session);
+        self.nodes.insert(
+            actual_path.clone(),
+            Znode {
+                data,
+                stat: Stat {
+                    czxid: self.zxid,
+                    mzxid: self.zxid,
+                    version: 0,
+                    ephemeral_owner: owner,
+                    sequence: seq,
+                },
+                children: BTreeSet::new(),
+                seq_counter: 0,
+            },
+        );
+        let name = basename(&actual_path).to_string();
+        self.nodes
+            .get_mut(&parent_path)
+            .expect("parent")
+            .children
+            .insert(name);
+        if mode.is_ephemeral() {
+            self.live_session(session)?.ephemerals.insert(actual_path.clone());
+        }
+
+        let mut events = self.fire(WatchKind::Exists, &actual_path, || {
+            WatchEvent::Created(actual_path.clone())
+        });
+        events.extend(self.fire(WatchKind::Child, &parent_path, || {
+            WatchEvent::ChildrenChanged(parent_path.clone())
+        }));
+        Ok((actual_path, events))
+    }
+
+    /// Delete a znode (must have no children).
+    pub fn delete(&mut self, session: SessionId, path: &str) -> CoordResult<Vec<Delivery>> {
+        validate(path)?;
+        self.live_session(session)?;
+        self.delete_inner(path)
+    }
+
+    fn delete_inner(&mut self, path: &str) -> CoordResult<Vec<Delivery>> {
+        let node = self
+            .nodes
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        if !node.children.is_empty() {
+            return Err(CoordError::NotEmpty(path.to_string()));
+        }
+        let owner = node.stat.ephemeral_owner;
+        self.nodes.remove(path);
+        let parent_path = parent(path).to_string();
+        if let Some(p) = self.nodes.get_mut(&parent_path) {
+            p.children.remove(basename(path));
+        }
+        if let Some(owner) = owner {
+            if let Some(s) = self.sessions.get_mut(&owner) {
+                s.ephemerals.remove(path);
+            }
+        }
+        let mut events =
+            self.fire(WatchKind::Data, path, || WatchEvent::Deleted(path.to_string()));
+        events.extend(self.fire(WatchKind::Exists, path, || WatchEvent::Deleted(path.to_string())));
+        events.extend(self.fire(WatchKind::Child, &parent_path, || {
+            WatchEvent::ChildrenChanged(parent_path.clone())
+        }));
+        // A deleted node's child watches fire as Deleted too (ZK semantics).
+        events.extend(self.fire(WatchKind::Child, path, || WatchEvent::Deleted(path.to_string())));
+        Ok(events)
+    }
+
+    /// Replace a znode's data.
+    pub fn set_data(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        data: Vec<u8>,
+    ) -> CoordResult<Vec<Delivery>> {
+        validate(path)?;
+        self.live_session(session)?;
+        self.zxid += 1;
+        let zxid = self.zxid;
+        let node = self
+            .nodes
+            .get_mut(path)
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        node.data = data;
+        node.stat.mzxid = zxid;
+        node.stat.version += 1;
+        Ok(self.fire(WatchKind::Data, path, || WatchEvent::DataChanged(path.to_string())))
+    }
+
+    /// Delete a node if present; used for "clean up old state" (Fig. 7
+    /// line 1). Recursively removes children.
+    pub fn delete_recursive(&mut self, session: SessionId, path: &str) -> CoordResult<Vec<Delivery>> {
+        validate(path)?;
+        self.live_session(session)?;
+        if !self.nodes.contains_key(path) {
+            return Ok(Vec::new());
+        }
+        let mut events = Vec::new();
+        let children: Vec<String> = self
+            .nodes
+            .get(path)
+            .map(|n| n.children.iter().map(|c| format!("{path}/{c}")).collect())
+            .unwrap_or_default();
+        for child in children {
+            events.extend(self.delete_recursive(session, &child)?);
+        }
+        events.extend(self.delete_inner(path)?);
+        Ok(events)
+    }
+
+    // -------------------------------------------------------------- reads
+
+    /// Read data and stat, optionally registering a one-shot data watch.
+    pub fn get_data(
+        &mut self,
+        path: &str,
+        watch: Option<SessionId>,
+    ) -> CoordResult<(Vec<u8>, Stat)> {
+        validate(path)?;
+        let node = self
+            .nodes
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let out = (node.data.clone(), node.stat.clone());
+        if let Some(session) = watch {
+            self.data_watches.entry(path.to_string()).or_default().insert(session);
+        }
+        Ok(out)
+    }
+
+    /// Child names (sorted), optionally registering a one-shot child watch.
+    pub fn get_children(
+        &mut self,
+        path: &str,
+        watch: Option<SessionId>,
+    ) -> CoordResult<Vec<String>> {
+        validate(path)?;
+        let node = self
+            .nodes
+            .get(path)
+            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let out = node.children.iter().cloned().collect();
+        if let Some(session) = watch {
+            self.child_watches.entry(path.to_string()).or_default().insert(session);
+        }
+        Ok(out)
+    }
+
+    /// Whether a node exists, optionally registering a one-shot
+    /// exists-watch (fires on create, delete, or data change).
+    pub fn exists(&mut self, path: &str, watch: Option<SessionId>) -> CoordResult<Option<Stat>> {
+        validate(path)?;
+        let stat = self.nodes.get(path).map(|n| n.stat.clone());
+        if let Some(session) = watch {
+            self.exists_watches.entry(path.to_string()).or_default().insert(session);
+        }
+        Ok(stat)
+    }
+
+    /// Current zxid (for tests and diagnostics).
+    pub fn zxid(&self) -> Zxid {
+        self.zxid
+    }
+
+    fn fire(
+        &mut self,
+        kind: WatchKind,
+        path: &str,
+        event: impl Fn() -> WatchEvent,
+    ) -> Vec<Delivery> {
+        // One-shot semantics: registrations are consumed on delivery.
+        let watchers = {
+            let map = match kind {
+                WatchKind::Data => &mut self.data_watches,
+                WatchKind::Child => &mut self.child_watches,
+                WatchKind::Exists => &mut self.exists_watches,
+            };
+            map.remove(path)
+        };
+        let Some(watchers) = watchers else {
+            return Vec::new();
+        };
+        watchers
+            .into_iter()
+            .filter(|s| self.session_alive(*s))
+            .map(|s| (s, event()))
+            .collect()
+    }
+}

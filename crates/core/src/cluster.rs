@@ -1,0 +1,530 @@
+//! Deterministic simulated cluster: real [`Node`] state machines hosted on
+//! the `spinnaker-sim` substrate.
+//!
+//! This is the reproduction of the paper's testbed (Appendix C): each node
+//! gets an m-core CPU queue, a logging device with group commit, and a
+//! seat on a reliable in-order network; the coordination service runs as a
+//! shared deterministic instance whose watch deliveries are routed as
+//! messages. Everything — examples, integration tests, and every figure
+//! of the evaluation — runs on this harness.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use spinnaker_common::vfs::MemVfs;
+use spinnaker_common::{NodeId, RangeId};
+use spinnaker_coord::{Coord, SessionId};
+use spinnaker_sim::{
+    Actor, CpuModel, Ctx, DiskOutcome, DiskProfile, LogDevice, NetConfig, NetModel, ProcId, Sim,
+    Time, MICROS, MILLIS, SECS,
+};
+
+use crate::client::{ClientEv, ClientHost, ClientStats, Workload};
+use crate::coordcli::{CoordClient, DeliveryBus, SharedCoord};
+use crate::messages::{NodeInput, Outbox, PeerMsg, Reply, TimerKind};
+use crate::node::{Node, NodeConfig, Role};
+use crate::partition::Ring;
+
+/// Events flowing through the simulated cluster.
+#[derive(Debug)]
+pub enum Ev {
+    /// Deliver an input to a node (CPU-charged for client/peer traffic).
+    Input(NodeInput),
+    /// Execute a node input after its CPU queueing delay.
+    Exec(NodeInput),
+    /// The node's log device finished a sync.
+    SyncDone,
+    /// Client-side event.
+    Client(ClientEv),
+    /// Periodic coordination-service session sweep.
+    CoordTick,
+    /// Crash the node (drop volatile state, drop off the network).
+    Crash {
+        /// Expire the coordination session immediately instead of
+        /// waiting for the heartbeat timeout (used by experiments that
+        /// exclude failure-detection time, like Table 1).
+        expire_session: bool,
+    },
+    /// (Re)start a node from its on-disk (synced) state.
+    Restart,
+    /// A node timer fired. Tagged with the node incarnation that armed it
+    /// so timers from before a crash cannot leak into the restarted node
+    /// (and duplicate the periodic timer chains).
+    TimerFire {
+        /// Incarnation that armed the timer.
+        inc: u64,
+        /// Which timer.
+        kind: TimerKind,
+    },
+}
+
+/// CPU service-time parameters (per-message costs on a node).
+#[derive(Clone, Debug)]
+pub struct PerfConfig {
+    /// Cores per node (testbed: two quad-cores).
+    pub cpu_cores: usize,
+    /// Service time of a read RPC (row lookup + reply marshalling).
+    pub read_service: Time,
+    /// Service time of a write RPC / propose handling.
+    pub write_service: Time,
+    /// Service time of small protocol messages (acks, commits).
+    pub peer_service: Time,
+    /// Service time of catch-up assembly.
+    pub catchup_service: Time,
+}
+
+impl Default for PerfConfig {
+    fn default() -> PerfConfig {
+        PerfConfig {
+            cpu_cores: 8,
+            read_service: 1200 * MICROS,
+            write_service: 250 * MICROS,
+            peer_service: 80 * MICROS,
+            catchup_service: 2 * MILLIS,
+        }
+    }
+}
+
+impl PerfConfig {
+    fn service_for(&self, input: &NodeInput) -> Time {
+        match input {
+            NodeInput::Read { .. } => self.read_service,
+            NodeInput::Write { .. } => self.write_service,
+            NodeInput::Peer { msg, .. } => match msg {
+                PeerMsg::Propose { .. } => self.write_service,
+                PeerMsg::CatchupReq { .. } | PeerMsg::CatchupRecords { .. } => {
+                    self.catchup_service
+                }
+                _ => self.peer_service,
+            },
+            _ => 0,
+        }
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes (= number of base key ranges).
+    pub nodes: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Per-node protocol configuration.
+    pub node: NodeConfig,
+    /// CPU service times.
+    pub perf: PerfConfig,
+    /// Logging-device profile (HDD / SSD / EC2 / memory).
+    pub disk: DiskProfile,
+    /// Network link parameters.
+    pub net: NetConfig,
+    /// Coordination session timeout (the paper used 2 s).
+    pub session_timeout: Time,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 10,
+            seed: 42,
+            node: NodeConfig::default(),
+            perf: PerfConfig::default(),
+            disk: DiskProfile::Hdd,
+            net: NetConfig::default(),
+            session_timeout: 2 * SECS,
+        }
+    }
+}
+
+/// Shared mutable world state (single-threaded simulation).
+#[derive(Clone)]
+pub struct World {
+    /// Network model.
+    pub net: Rc<RefCell<NetModel>>,
+    /// Coordination service.
+    pub coord: SharedCoord,
+    /// Watch deliveries awaiting routing.
+    pub bus: DeliveryBus,
+    /// Session → hosting process.
+    pub owners: Rc<RefCell<HashMap<SessionId, ProcId>>>,
+}
+
+impl World {
+    fn new(net: NetConfig) -> World {
+        World {
+            net: Rc::new(RefCell::new(NetModel::new(net))),
+            coord: Rc::new(RefCell::new(Coord::new())),
+            bus: Rc::new(RefCell::new(Vec::new())),
+            owners: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+}
+
+/// Route pending coordination watch deliveries as node inputs.
+/// A small delay models the service→client notification hop.
+pub(crate) fn route_deliveries(world: &World, ctx: &mut Ctx<'_, Ev>) {
+    let deliveries: Vec<_> = world.bus.borrow_mut().drain(..).collect();
+    if deliveries.is_empty() {
+        return;
+    }
+    let owners = world.owners.borrow();
+    for (session, event) in deliveries {
+        if let Some(&proc) = owners.get(&session) {
+            ctx.schedule(300 * MICROS, proc, Ev::Input(NodeInput::Coord(event)));
+        }
+    }
+}
+
+/// Hosts one [`Node`] inside the simulator.
+pub struct NodeHost {
+    node_id: NodeId,
+    proc: ProcId,
+    ring: Ring,
+    node_cfg: NodeConfig,
+    perf: PerfConfig,
+    disk_profile: DiskProfile,
+    session_timeout: Time,
+    world: World,
+    vfs: MemVfs,
+    node: Option<Node>,
+    session: SessionId,
+    cpu: CpuModel,
+    device: LogDevice,
+    crashed_image: Option<MemVfs>,
+    incarnation: u64,
+}
+
+impl NodeHost {
+    fn boot(&mut self, now: Time, ctx: &mut Ctx<'_, Ev>) {
+        self.incarnation += 1;
+        let session = self.world.coord.borrow_mut().create_session(self.session_timeout, now);
+        self.world.owners.borrow_mut().insert(session, self.proc);
+        self.session = session;
+        let cc = CoordClient::new(self.world.coord.clone(), session, self.world.bus.clone());
+        let node = Node::new(
+            self.node_id,
+            self.ring.clone(),
+            self.node_cfg.clone(),
+            Arc::new(self.vfs.clone()),
+            cc,
+        )
+        .expect("node construction / local recovery");
+        self.node = Some(node);
+        self.exec(now, NodeInput::Start, ctx);
+    }
+
+    fn exec(&mut self, now: Time, input: NodeInput, ctx: &mut Ctx<'_, Ev>) {
+        let Some(node) = self.node.as_mut() else { return };
+        let mut out = Outbox::default();
+        node.on_input(now, input, &mut out);
+        let from_node = self.node_id;
+        for eff in out.effects {
+            match eff {
+                crate::messages::Effect::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    let at = self.world.net.borrow_mut().delivery_time(
+                        now,
+                        self.proc,
+                        to,
+                        bytes,
+                        ctx.rng(),
+                    );
+                    if let Some(at) = at {
+                        ctx.schedule_at(at, to, Ev::Input(NodeInput::Peer { from: from_node, msg }));
+                    }
+                }
+                crate::messages::Effect::Reply { to, reply } => {
+                    let bytes = match &reply {
+                        Reply::Value { value: Some((v, _)), .. } => 64 + v.len(),
+                        _ => 64,
+                    };
+                    let at = self.world.net.borrow_mut().delivery_time(
+                        now,
+                        self.proc,
+                        to,
+                        bytes,
+                        ctx.rng(),
+                    );
+                    if let Some(at) = at {
+                        ctx.schedule_at(at, to, Ev::Client(ClientEv::Reply(reply)));
+                    }
+                }
+                crate::messages::Effect::ForceLog { token, bytes } => {
+                    match self.device.request_force(now, token, bytes, ctx.rng()) {
+                        DiskOutcome::SyncScheduled { done_at } => {
+                            ctx.schedule_at(done_at, self.proc, Ev::SyncDone);
+                        }
+                        DiskOutcome::Queued => {}
+                    }
+                }
+                crate::messages::Effect::SetTimer { kind, after } => {
+                    ctx.schedule(
+                        after,
+                        self.proc,
+                        Ev::TimerFire { inc: self.incarnation, kind },
+                    );
+                }
+            }
+        }
+        route_deliveries(&self.world, ctx);
+    }
+
+    fn crash(&mut self, expire_session: bool, ctx: &mut Ctx<'_, Ev>) {
+        if self.node.is_none() {
+            return;
+        }
+        // What survives is exactly the synced prefix of every file.
+        self.crashed_image = Some(self.vfs.crash_clone());
+        self.node = None;
+        self.world.net.borrow_mut().take_down(self.proc);
+        self.cpu = CpuModel::new(self.perf.cpu_cores);
+        self.device = LogDevice::new(self.disk_profile);
+        if expire_session {
+            let deliveries = self.world.coord.borrow_mut().expire_session(self.session);
+            self.world.bus.borrow_mut().extend(deliveries);
+            route_deliveries(&self.world, ctx);
+        }
+    }
+
+    fn restart(&mut self, now: Time, ctx: &mut Ctx<'_, Ev>) {
+        if self.node.is_some() {
+            return;
+        }
+        if let Some(image) = self.crashed_image.take() {
+            self.vfs = image;
+        }
+        self.world.net.borrow_mut().bring_up(self.proc);
+        // The old session may still linger; expire it so stale ephemerals
+        // (e.g. our old leader znode) do not confuse the new incarnation.
+        if self.session != 0 {
+            let deliveries = self.world.coord.borrow_mut().expire_session(self.session);
+            self.world.bus.borrow_mut().extend(deliveries);
+        }
+        self.boot(now, ctx);
+        route_deliveries(&self.world, ctx);
+    }
+
+    /// Inspect the hosted node (`None` while crashed).
+    pub fn node(&self) -> Option<&Node> {
+        self.node.as_ref()
+    }
+
+    /// The node's group-commit statistics: (physical syncs, requests).
+    pub fn disk_counters(&self) -> (u64, u64) {
+        self.device.counters()
+    }
+}
+
+impl Actor<Ev> for NodeHost {
+    fn on_event(&mut self, now: Time, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        match ev {
+            Ev::Input(input) => {
+                if self.node.is_none() {
+                    return;
+                }
+                let service = self.perf.service_for(&input);
+                if service == 0 {
+                    self.exec(now, input, ctx);
+                } else {
+                    let done = self.cpu.schedule(now, service);
+                    ctx.schedule_at(done, self.proc, Ev::Exec(input));
+                }
+            }
+            Ev::Exec(input) => self.exec(now, input, ctx),
+            Ev::SyncDone => {
+                if self.node.is_none() {
+                    return;
+                }
+                let (tokens, next) = self.device.complete_sync(now, ctx.rng());
+                if let Some(t) = next {
+                    ctx.schedule_at(t, self.proc, Ev::SyncDone);
+                }
+                self.exec(now, NodeInput::LogForced { tokens }, ctx);
+            }
+            Ev::TimerFire { inc, kind } => {
+                if inc == self.incarnation && self.node.is_some() {
+                    self.exec(now, NodeInput::Timer(kind), ctx);
+                }
+            }
+            Ev::Crash { expire_session } => self.crash(expire_session, ctx),
+            Ev::Restart => self.restart(now, ctx),
+            Ev::Client(_) | Ev::CoordTick => {}
+        }
+    }
+}
+
+/// Periodically sweeps coordination sessions (heartbeat expiry).
+struct CoordTicker {
+    world: World,
+    interval: Time,
+    me: ProcId,
+}
+
+impl Actor<Ev> for CoordTicker {
+    fn on_event(&mut self, now: Time, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        if matches!(ev, Ev::CoordTick) {
+            let deliveries = self.world.coord.borrow_mut().tick(now);
+            self.world.bus.borrow_mut().extend(deliveries);
+            route_deliveries(&self.world, ctx);
+            ctx.schedule(self.interval, self.me, Ev::CoordTick);
+        }
+    }
+}
+
+/// An adapter letting the cluster keep typed handles to its actors.
+struct RcActor<T>(Rc<RefCell<T>>);
+
+impl<T: Actor<Ev>> Actor<Ev> for RcActor<T> {
+    fn on_event(&mut self, now: Time, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        self.0.borrow_mut().on_event(now, ev, ctx);
+    }
+}
+
+/// A complete simulated Spinnaker cluster.
+pub struct SimCluster {
+    /// The underlying simulator (exposed for custom schedules).
+    pub sim: Sim<Ev>,
+    /// Shared world state.
+    pub world: World,
+    /// The partition/replication layout.
+    pub ring: Ring,
+    cfg: ClusterConfig,
+    hosts: Vec<Rc<RefCell<NodeHost>>>,
+    clients: Vec<Rc<RefCell<ClientHost>>>,
+}
+
+impl SimCluster {
+    /// Build a cluster; node `i` is hosted by process id `i`. Node boots
+    /// are scheduled at time zero; advance with [`SimCluster::run_until`].
+    pub fn new(cfg: ClusterConfig) -> SimCluster {
+        let ring = Ring::with_nodes(cfg.nodes);
+        let world = World::new(cfg.net.clone());
+        let mut sim: Sim<Ev> = Sim::new(cfg.seed);
+        let mut hosts = Vec::with_capacity(cfg.nodes);
+        for node_id in 0..cfg.nodes as NodeId {
+            let host = Rc::new(RefCell::new(NodeHost {
+                node_id,
+                proc: node_id,
+                ring: ring.clone(),
+                node_cfg: cfg.node.clone(),
+                perf: cfg.perf.clone(),
+                disk_profile: cfg.disk,
+                session_timeout: cfg.session_timeout,
+                world: world.clone(),
+                vfs: MemVfs::new(),
+                node: None,
+                session: 0,
+                cpu: CpuModel::new(cfg.perf.cpu_cores),
+                device: LogDevice::new(cfg.disk),
+                crashed_image: None,
+                incarnation: 0,
+            }));
+            let proc = sim.add_actor(Box::new(RcActor(host.clone())));
+            assert_eq!(proc, node_id, "node procs must equal node ids");
+            hosts.push(host);
+        }
+        let ticker_proc = cfg.nodes as ProcId;
+        let ticker = CoordTicker { world: world.clone(), interval: 100 * MILLIS, me: ticker_proc };
+        let proc = sim.add_actor(Box::new(ticker));
+        assert_eq!(proc, ticker_proc);
+        sim.schedule(0, ticker_proc, Ev::CoordTick);
+
+        // Boot every node at t=0 (local recovery + elections).
+        for node_id in 0..cfg.nodes as ProcId {
+            sim.schedule(0, node_id, Ev::Restart);
+        }
+        SimCluster { sim, world, ring, cfg, hosts, clients: Vec::new() }
+    }
+
+    /// Register a closed-loop client; it starts issuing at `start_at` and
+    /// records latency for requests *completing* within
+    /// `[measure_from, measure_to]`.
+    pub fn add_client(
+        &mut self,
+        workload: Workload,
+        start_at: Time,
+        measure_from: Time,
+        measure_to: Time,
+    ) -> Rc<RefCell<ClientStats>> {
+        let stats = Rc::new(RefCell::new(ClientStats::default()));
+        // Two-phase registration: reserve the proc id, then build the
+        // client that knows it.
+        let proc = self.sim.add_actor(Box::new(Noop));
+        let client = Rc::new(RefCell::new(ClientHost::new(
+            proc,
+            self.ring.clone(),
+            workload,
+            self.world.clone(),
+            stats.clone(),
+            (measure_from, measure_to),
+        )));
+        self.sim.replace_actor(proc, Box::new(RcActor(client.clone())));
+        self.clients.push(client);
+        self.sim.schedule(start_at, proc, Ev::Client(ClientEv::Start));
+        stats
+    }
+
+    /// Crash node `id` at time `at`.
+    pub fn crash_node(&mut self, at: Time, id: NodeId, expire_session: bool) {
+        self.sim.schedule(at, id, Ev::Crash { expire_session });
+    }
+
+    /// Restart node `id` at time `at` from its synced on-disk state.
+    pub fn restart_node(&mut self, at: Time, id: NodeId) {
+        self.sim.schedule(at, id, Ev::Restart);
+    }
+
+    /// Advance virtual time.
+    pub fn run_until(&mut self, t: Time) {
+        self.sim.run_until(t);
+    }
+
+    /// Inspect a node (`None` while crashed).
+    pub fn with_node<T>(&self, id: NodeId, f: impl FnOnce(&Node) -> T) -> Option<T> {
+        let host = self.hosts[id as usize].borrow();
+        host.node().map(f)
+    }
+
+    /// The current leader of `range` according to any live cohort member.
+    pub fn leader_of(&self, range: RangeId) -> Option<NodeId> {
+        for &member in &self.ring.cohort(range) {
+            let host = self.hosts[member as usize].borrow();
+            if let Some(node) = host.node() {
+                if node.role(range) == Role::Leader {
+                    return Some(member);
+                }
+            }
+        }
+        None
+    }
+
+    /// True when every range has an open leader.
+    pub fn all_ranges_led(&self) -> bool {
+        self.ring.ranges().all(|r| self.leader_of(r).is_some())
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Group-commit counters summed over all nodes: (syncs, requests).
+    pub fn disk_counters(&self) -> (u64, u64) {
+        let mut syncs = 0;
+        let mut reqs = 0;
+        for h in &self.hosts {
+            let (s, r) = h.borrow().disk_counters();
+            syncs += s;
+            reqs += r;
+        }
+        (syncs, reqs)
+    }
+}
+
+/// Placeholder actor used during two-phase client registration.
+struct Noop;
+
+impl Actor<Ev> for Noop {
+    fn on_event(&mut self, _now: Time, _ev: Ev, _ctx: &mut Ctx<'_, Ev>) {}
+}

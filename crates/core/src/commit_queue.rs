@@ -1,0 +1,239 @@
+//! The commit queue (paper §4.1): "a main-memory data structure that is
+//! used to track pending writes. Writes are committed only after receiving
+//! a sufficient number of acks from a cohort."
+//!
+//! Leaders hold the client reply handle and ack count per pending write;
+//! followers hold just the operation so the asynchronous commit message
+//! can apply it later. Commits drain strictly in LSN order — a later write
+//! never commits before an earlier one, which is what makes conditional
+//! puts deterministic across the cohort (§5.1).
+
+use std::collections::BTreeMap;
+
+use spinnaker_common::{Lsn, Version, WriteOp};
+
+use crate::messages::{Addr, RequestId};
+
+/// A write sitting between propose and commit.
+#[derive(Clone, Debug)]
+pub struct PendingWrite {
+    /// LSN assigned by the leader.
+    pub lsn: Lsn,
+    /// The operation (needed to apply at commit time).
+    pub op: WriteOp,
+    /// Client to answer on commit (leader side only).
+    pub client: Option<(Addr, RequestId)>,
+    /// Follower acks received (leader side only).
+    pub acks: usize,
+    /// Whether our own log force for this record completed.
+    pub self_forced: bool,
+}
+
+/// The per-cohort commit queue.
+#[derive(Default, Debug)]
+pub struct CommitQueue {
+    entries: BTreeMap<Lsn, PendingWrite>,
+}
+
+impl CommitQueue {
+    /// Empty queue.
+    pub fn new() -> CommitQueue {
+        CommitQueue::default()
+    }
+
+    /// Track a pending write.
+    pub fn insert(&mut self, pw: PendingWrite) {
+        self.entries.insert(pw.lsn, pw);
+    }
+
+    /// Record a follower ack.
+    pub fn ack(&mut self, lsn: Lsn) {
+        if let Some(pw) = self.entries.get_mut(&lsn) {
+            pw.acks += 1;
+        }
+    }
+
+    /// Record completion of our own log force.
+    pub fn self_forced(&mut self, lsn: Lsn) {
+        if let Some(pw) = self.entries.get_mut(&lsn) {
+            pw.self_forced = true;
+        }
+    }
+
+    /// Leader-side commit: drain the longest prefix (starting right after
+    /// `last_committed`) in which every write has its own force plus at
+    /// least `needed_acks` follower acks. Returns the drained writes in
+    /// LSN order.
+    pub fn drain_committable(&mut self, last_committed: Lsn, needed_acks: usize) -> Vec<PendingWrite> {
+        let mut out = Vec::new();
+        let mut cursor = last_committed;
+        loop {
+            let Some((&lsn, pw)) = self.entries.range(next_after(cursor)..).next() else {
+                break;
+            };
+            if !(pw.self_forced && pw.acks >= needed_acks) {
+                break;
+            }
+            let pw = self.entries.remove(&lsn).expect("just observed");
+            cursor = lsn;
+            out.push(pw);
+        }
+        out
+    }
+
+    /// Follower-side commit: drain everything at or below `lsn` (the
+    /// asynchronous commit message's LSN), in order.
+    pub fn drain_up_to(&mut self, lsn: Lsn) -> Vec<PendingWrite> {
+        let mut out = Vec::new();
+        let keys: Vec<Lsn> = self.entries.range(..=lsn).map(|(&l, _)| l).collect();
+        for l in keys {
+            out.push(self.entries.remove(&l).expect("listed"));
+        }
+        out
+    }
+
+    /// Discard every pending write (used when a follower learns a new
+    /// leader and re-syncs; their fate is decided by catch-up).
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// The most recent pending version for `(key, col)`, used by the
+    /// leader to evaluate conditional writes against not-yet-committed
+    /// state (writes commit in LSN order, so the last pending write's LSN
+    /// *will* be the column's version once it commits).
+    pub fn latest_pending_version(&self, key: &spinnaker_common::Key, col: &[u8]) -> Option<Version> {
+        self.entries
+            .values()
+            .rev()
+            .find(|pw| pw.op.key == *key && pw.op.cells.iter().any(|c| c.column().as_ref() == col))
+            .map(|pw| pw.lsn.as_u64())
+    }
+
+    /// Whether a pending write with `lsn` exists.
+    pub fn contains(&self, lsn: Lsn) -> bool {
+        self.entries.contains_key(&lsn)
+    }
+
+    /// Number of pending writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// LSNs currently pending (diagnostics / takeover bookkeeping).
+    pub fn pending_lsns(&self) -> Vec<Lsn> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+fn next_after(lsn: Lsn) -> Lsn {
+    Lsn::from_u64(lsn.as_u64().saturating_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use spinnaker_common::op;
+
+    use super::*;
+
+    fn pending(seq: u64) -> PendingWrite {
+        PendingWrite {
+            lsn: Lsn::new(1, seq),
+            op: op::put(&format!("k{seq}"), "c", "v"),
+            client: Some((9, seq)),
+            acks: 0,
+            self_forced: false,
+        }
+    }
+
+    #[test]
+    fn commit_requires_force_and_ack() {
+        let mut q = CommitQueue::new();
+        q.insert(pending(1));
+        assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "nothing ready");
+        q.self_forced(Lsn::new(1, 1));
+        assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "force alone insufficient");
+        q.ack(Lsn::new(1, 1));
+        let drained = q.drain_committable(Lsn::ZERO, 1);
+        assert_eq!(drained.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn commits_drain_in_lsn_order_only() {
+        let mut q = CommitQueue::new();
+        for seq in 1..=3 {
+            q.insert(pending(seq));
+        }
+        // Write 2 becomes ready before write 1: nothing may commit.
+        q.self_forced(Lsn::new(1, 2));
+        q.ack(Lsn::new(1, 2));
+        assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "hole at LSN 1");
+        // Write 1 ready: 1 and 2 drain, 3 stays.
+        q.self_forced(Lsn::new(1, 1));
+        q.ack(Lsn::new(1, 1));
+        let drained = q.drain_committable(Lsn::ZERO, 1);
+        assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn follower_drain_up_to() {
+        let mut q = CommitQueue::new();
+        for seq in 1..=5 {
+            q.insert(pending(seq));
+        }
+        let drained = q.drain_up_to(Lsn::new(1, 3));
+        assert_eq!(drained.len(), 3);
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(Lsn::new(1, 4)));
+    }
+
+    #[test]
+    fn latest_pending_version_sees_most_recent_write() {
+        let mut q = CommitQueue::new();
+        q.insert(PendingWrite {
+            lsn: Lsn::new(1, 1),
+            op: op::put("k", "c", "v1"),
+            client: None,
+            acks: 0,
+            self_forced: false,
+        });
+        q.insert(PendingWrite {
+            lsn: Lsn::new(1, 2),
+            op: op::put("k", "c", "v2"),
+            client: None,
+            acks: 0,
+            self_forced: false,
+        });
+        assert_eq!(
+            q.latest_pending_version(&spinnaker_common::Key::from("k"), b"c"),
+            Some(Lsn::new(1, 2).as_u64())
+        );
+        assert_eq!(q.latest_pending_version(&spinnaker_common::Key::from("k"), b"other"), None);
+        assert_eq!(q.latest_pending_version(&spinnaker_common::Key::from("nope"), b"c"), None);
+    }
+
+    #[test]
+    fn epoch_boundaries_drain_correctly() {
+        let mut q = CommitQueue::new();
+        // Old-epoch re-proposals and new-epoch writes coexist at takeover.
+        for pw in [
+            PendingWrite { lsn: Lsn::new(1, 21), op: op::put("a", "c", "1"), client: None, acks: 1, self_forced: true },
+            PendingWrite { lsn: Lsn::new(2, 22), op: op::put("b", "c", "2"), client: None, acks: 1, self_forced: true },
+        ] {
+            q.insert(pw);
+        }
+        let drained = q.drain_committable(Lsn::new(1, 20), 1);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].lsn, Lsn::new(1, 21));
+        assert_eq!(drained[1].lsn, Lsn::new(2, 22));
+    }
+}

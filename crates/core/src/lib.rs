@@ -1,0 +1,35 @@
+//! Spinnaker: a scalable, consistent, and highly available datastore.
+//!
+//! This crate is the paper's primary contribution: a Multi-Paxos–derived
+//! replication protocol integrated with a shared write-ahead log and
+//! LSM storage, with leader election delegated to a ZooKeeper-like
+//! coordination service.
+//!
+//! * [`node`] — the per-node state machine: steady-state replication
+//!   (Fig. 4), leader election (Fig. 7), leader takeover (Fig. 6),
+//!   follower recovery and logical truncation (§6).
+//! * [`partition`] — range partitioning with chained declustering (Fig. 2).
+//! * [`commit_queue`] — pending writes between propose and commit (§4.1).
+//! * [`messages`] — client and peer protocol messages.
+//! * [`cluster`] — a deterministic simulated cluster harness hosting real
+//!   nodes over the `spinnaker-sim` substrate; what the examples, the
+//!   integration tests, and every benchmark figure run on.
+//! * [`client`] — closed-loop workload clients and a leader-caching router.
+
+pub mod client;
+pub mod cluster;
+pub mod commit_queue;
+pub mod coordcli;
+pub mod messages;
+pub mod node;
+pub mod partition;
+
+pub use client::{ClientStats, Workload};
+pub use cluster::{ClusterConfig, SimCluster};
+pub use coordcli::{CoordClient, DeliveryBus, SharedCoord};
+pub use messages::{
+    Addr, Effect, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, RequestId, TimerKind,
+    WriteRequest,
+};
+pub use node::{get_request, put_request, CohortPaths, Node, NodeConfig, Role};
+pub use partition::{key_to_u64, u64_to_key, Ring, REPLICATION};

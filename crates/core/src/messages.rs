@@ -1,0 +1,325 @@
+//! Protocol and client messages.
+//!
+//! Everything that travels between processes: client RPCs (§3 API),
+//! replication traffic (Fig. 4), and recovery/catch-up traffic (§6).
+//! Coordination-service watch events are delivered as [`NodeInput`] items
+//! by the hosting runtime.
+
+use spinnaker_common::{
+    CellOp, ColumnName, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Row, Value, Version,
+    WriteOp,
+};
+use spinnaker_coord::WatchEvent;
+
+/// Client-assigned request identifier, echoed in replies.
+pub type RequestId = u64;
+
+/// Address of a process (node or client) in the hosting runtime.
+pub type Addr = u32;
+
+/// A client write request: one or more cell operations on a single row,
+/// optionally conditional on a column's current version (§3, §5.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WriteRequest {
+    /// Request id for matching the reply.
+    pub req: RequestId,
+    /// Target row.
+    pub key: Key,
+    /// Cell mutations (put/delete, single or multi-column).
+    pub cells: Vec<CellOp>,
+    /// `Some((column, expected_version))` for conditional put/delete:
+    /// the write executes only when the column's current version matches.
+    /// Version 0 means "column must not exist".
+    pub condition: Option<(ColumnName, Version)>,
+}
+
+/// A client read request (§3 `get`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReadRequest {
+    /// Request id for matching the reply.
+    pub req: RequestId,
+    /// Target row.
+    pub key: Key,
+    /// Column to read.
+    pub col: ColumnName,
+    /// Strong (leader) or timeline (any replica) consistency.
+    pub consistency: Consistency,
+}
+
+/// Reply to a client request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Reply {
+    /// Write committed; the version it produced.
+    WriteOk {
+        /// Matching request id.
+        req: RequestId,
+        /// Version assigned to the written cells (packed LSN).
+        version: Version,
+    },
+    /// Read result: value + version, or `None` when absent/deleted.
+    Value {
+        /// Matching request id.
+        req: RequestId,
+        /// `(value, version)` when the column exists.
+        value: Option<(Value, Version)>,
+    },
+    /// Conditional put/delete failed the version check (§5.1).
+    VersionMismatch {
+        /// Matching request id.
+        req: RequestId,
+        /// The version actually stored (0 = absent).
+        actual: Version,
+    },
+    /// The contacted node does not lead this key's cohort.
+    NotLeader {
+        /// Matching request id.
+        req: RequestId,
+        /// Best known leader, if any.
+        hint: Option<NodeId>,
+    },
+    /// The cohort cannot serve the request right now (election or
+    /// recovery in progress).
+    Unavailable {
+        /// Matching request id.
+        req: RequestId,
+    },
+}
+
+impl Reply {
+    /// The request id the reply answers.
+    pub fn req(&self) -> RequestId {
+        match self {
+            Reply::WriteOk { req, .. }
+            | Reply::Value { req, .. }
+            | Reply::VersionMismatch { req, .. }
+            | Reply::NotLeader { req, .. }
+            | Reply::Unavailable { req } => *req,
+        }
+    }
+}
+
+/// Node-to-node protocol messages, all scoped to one cohort (`range`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PeerMsg {
+    /// Fig. 4: leader proposes a write to its followers.
+    Propose {
+        /// Cohort this applies to.
+        range: RangeId,
+        /// Leadership epoch of the sender; stale leaders are rejected.
+        epoch: Epoch,
+        /// LSN assigned to the write (may be from an older epoch during
+        /// takeover re-proposal, Fig. 6 line 9).
+        lsn: Lsn,
+        /// The write itself.
+        op: WriteOp,
+        /// Piggy-backed last-committed LSN (§D.1), `Lsn::ZERO` disables.
+        committed: Lsn,
+    },
+    /// Fig. 4: follower acknowledges a forced propose.
+    Ack {
+        /// Cohort.
+        range: RangeId,
+        /// Epoch the follower believes current.
+        epoch: Epoch,
+        /// LSN whose log record is now durable at the follower.
+        lsn: Lsn,
+    },
+    /// Fig. 4: asynchronous commit message.
+    Commit {
+        /// Cohort.
+        range: RangeId,
+        /// Epoch of the sender.
+        epoch: Epoch,
+        /// Apply pending writes up to this LSN.
+        lsn: Lsn,
+    },
+    /// New leader announcing itself after winning election (§6.2). Also
+    /// sent in reply to a recovering follower's ping.
+    LeaderHello {
+        /// Cohort.
+        range: RangeId,
+        /// The new epoch.
+        epoch: Epoch,
+        /// The leader's node id.
+        leader: NodeId,
+    },
+    /// Follower → leader: "I have committed up to `from`; send me
+    /// everything after that" (§6.1 catch-up, also Fig. 6 lines 3-7).
+    CatchupReq {
+        /// Cohort.
+        range: RangeId,
+        /// Epoch the follower believes current.
+        epoch: Epoch,
+        /// The follower's last committed LSN (`f.cmt`).
+        from: Lsn,
+    },
+    /// Leader → follower: committed writes after `f.cmt`.
+    CatchupRecords {
+        /// Cohort.
+        range: RangeId,
+        /// Leader's epoch.
+        epoch: Epoch,
+        /// Log records in `(f.cmt, up_to]`, in LSN order. Empty when the
+        /// log rolled over and `fragments` is used instead.
+        records: Vec<(Lsn, WriteOp)>,
+        /// Row fragments from SSTables when log records were garbage
+        /// collected (§6.1: "the appropriate SSTable is located and sent").
+        fragments: Vec<(Key, Row)>,
+        /// Everything up to this LSN is committed once applied.
+        up_to: Lsn,
+    },
+    /// Follower → leader: fully caught up to `at` (Fig. 6 line 8).
+    CaughtUp {
+        /// Cohort.
+        range: RangeId,
+        /// Epoch.
+        epoch: Epoch,
+        /// The LSN the follower is caught up to.
+        at: Lsn,
+    },
+}
+
+impl PeerMsg {
+    /// The cohort the message belongs to.
+    pub fn range(&self) -> RangeId {
+        match self {
+            PeerMsg::Propose { range, .. }
+            | PeerMsg::Ack { range, .. }
+            | PeerMsg::Commit { range, .. }
+            | PeerMsg::LeaderHello { range, .. }
+            | PeerMsg::CatchupReq { range, .. }
+            | PeerMsg::CatchupRecords { range, .. }
+            | PeerMsg::CaughtUp { range, .. } => *range,
+        }
+    }
+
+    /// Approximate wire size, for the network model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            PeerMsg::Propose { op, .. } => 64 + op.approx_size(),
+            PeerMsg::CatchupRecords { records, fragments, .. } => {
+                64 + records.iter().map(|(_, op)| 16 + op.approx_size()).sum::<usize>()
+                    + fragments
+                        .iter()
+                        .map(|(k, r)| k.len() + r.approx_size())
+                        .sum::<usize>()
+            }
+            _ => 64,
+        }
+    }
+}
+
+/// Timer kinds a node arms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// Send the periodic commit message (the *commit period*, §5).
+    CommitPeriod,
+    /// Heartbeat the coordination service session.
+    Heartbeat,
+    /// Re-check election progress (guards against missed watch races).
+    ElectionRetry,
+    /// Periodic memtable flush / compaction check.
+    Maintenance,
+}
+
+/// Everything a node can receive from its hosting runtime.
+#[derive(Clone, Debug)]
+pub enum NodeInput {
+    /// Bring the node up: open the coordination session, run local
+    /// recovery, trigger elections.
+    Start,
+    /// A peer protocol message.
+    Peer {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// A client write RPC.
+    Write {
+        /// Address to reply to.
+        from: Addr,
+        /// The request.
+        req: WriteRequest,
+    },
+    /// A client read RPC.
+    Read {
+        /// Address to reply to.
+        from: Addr,
+        /// The request.
+        req: ReadRequest,
+    },
+    /// The log device finished a sync covering these force tokens.
+    LogForced {
+        /// Completed force tokens (issued via [`Effect::ForceLog`]).
+        tokens: Vec<u64>,
+    },
+    /// A timer armed earlier fired.
+    Timer(TimerKind),
+    /// A coordination-service watch event for this node's session.
+    Coord(WatchEvent),
+}
+
+/// Effects a node asks its runtime to carry out.
+#[derive(Clone, Debug)]
+pub enum Effect {
+    /// Send a peer message to another node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// Reply to a client.
+    Reply {
+        /// Client address from the triggering input.
+        to: Addr,
+        /// The reply.
+        reply: Reply,
+    },
+    /// Request a log force; completion arrives as
+    /// [`NodeInput::LogForced`] with the token.
+    ForceLog {
+        /// Token to hand back on completion.
+        token: u64,
+        /// Bytes appended since the previous force request (for the disk
+        /// model's transfer-time accounting).
+        bytes: u64,
+    },
+    /// Arm a timer.
+    SetTimer {
+        /// Which timer.
+        kind: TimerKind,
+        /// Delay in nanoseconds of virtual time.
+        after: u64,
+    },
+}
+
+/// Collected effects of one input (the node's "outbox").
+#[derive(Default, Debug)]
+pub struct Outbox {
+    /// Effects in emission order.
+    pub effects: Vec<Effect>,
+}
+
+impl Outbox {
+    /// Queue a peer send.
+    pub fn send(&mut self, to: NodeId, msg: PeerMsg) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Queue a client reply.
+    pub fn reply(&mut self, to: Addr, reply: Reply) {
+        self.effects.push(Effect::Reply { to, reply });
+    }
+
+    /// Queue a force request.
+    pub fn force_log(&mut self, token: u64, bytes: u64) {
+        self.effects.push(Effect::ForceLog { token, bytes });
+    }
+
+    /// Queue a timer.
+    pub fn set_timer(&mut self, kind: TimerKind, after: u64) {
+        self.effects.push(Effect::SetTimer { kind, after });
+    }
+}

@@ -1,0 +1,1143 @@
+//! The Spinnaker node: replication protocol (Fig. 4), leader election
+//! (Fig. 7), leader takeover (Fig. 6), and follower recovery (§6.1) for
+//! each cohort the node participates in.
+//!
+//! The node is a sans-IO state machine: it consumes [`NodeInput`]s and
+//! emits [`Effect`]s into an [`Outbox`]. Log *content* is written
+//! synchronously into the embedded [`Wal`]; log *durability* is an
+//! explicit `ForceLog` effect whose completion arrives later, which is how
+//! the hosting runtime (simulator or threads) injects real force latency
+//! and group commit.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use spinnaker_common::vfs::SharedVfs;
+use spinnaker_common::{
+    CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Result, WriteOp,
+};
+use spinnaker_coord::WatchEvent;
+use spinnaker_storage::{RangeStore, StoreOptions};
+use spinnaker_wal::{LogRecord, Wal, WalOptions};
+
+use crate::commit_queue::{CommitQueue, PendingWrite};
+use crate::coordcli::CoordClient;
+use crate::messages::{
+    Addr, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, TimerKind, WriteRequest,
+};
+use crate::partition::Ring;
+
+/// Node tuning knobs.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Interval between asynchronous commit messages (§5). The paper's
+    /// Table 1 sweeps this between 1 and 15 seconds.
+    pub commit_period: u64,
+    /// Coordination-service session heartbeat interval.
+    pub heartbeat_interval: u64,
+    /// Election progress re-check interval (safety net for watch races).
+    pub election_retry: u64,
+    /// Memtable flush / compaction check interval.
+    pub maintenance_interval: u64,
+    /// Flush the memtable beyond this size.
+    pub memtable_flush_bytes: usize,
+    /// Piggy-back the committed watermark on propose messages (§D.1
+    /// suggests this as an optimization; off by default to match the
+    /// measured system, whose recovery time scales with the commit
+    /// period — Table 1).
+    pub piggyback_commits: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> NodeConfig {
+        NodeConfig {
+            commit_period: 1_000_000_000,
+            heartbeat_interval: 500_000_000,
+            election_retry: 100_000_000,
+            maintenance_interval: 250_000_000,
+            memtable_flush_bytes: 8 << 20,
+            piggyback_commits: false,
+        }
+    }
+}
+
+/// Role of this replica within one cohort.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Not participating (crashed or before `Start`).
+    Offline,
+    /// Running leader election (Fig. 7).
+    Electing,
+    /// Synchronizing with the leader (§6.1 catch-up phase).
+    CatchingUp,
+    /// Serving as follower.
+    Follower,
+    /// Won the election; executing leader takeover (Fig. 6).
+    LeaderTakeover,
+    /// Serving as leader: open for reads and writes.
+    Leader,
+}
+
+/// Why a force was requested; resolved on `LogForced`.
+enum Waiter {
+    /// Leader's own force of a proposed write.
+    LeaderWrite { range: RangeId, lsn: Lsn },
+    /// Follower's force of a propose; ack the leader when durable.
+    FollowerWrite { range: RangeId, lsn: Lsn, leader: NodeId },
+    /// Catch-up records were appended; confirm `CaughtUp` when durable.
+    CatchupDone { range: RangeId, up_to: Lsn, leader: NodeId },
+}
+
+struct Takeover {
+    caught_up: HashSet<NodeId>,
+    /// Unresolved writes `(l.cmt, l.lst]` re-proposed one at a time via
+    /// the normal replication protocol (Fig. 6 line 9).
+    repropose: VecDeque<(Lsn, WriteOp)>,
+    reproposing: bool,
+}
+
+struct Cohort {
+    peers: Vec<NodeId>,
+    store: RangeStore,
+    cq: CommitQueue,
+    role: Role,
+    epoch: Epoch,
+    leader: Option<NodeId>,
+    /// Leader: sequence number of the last assigned LSN.
+    last_assigned: Lsn,
+    last_committed: Lsn,
+    /// Last commit-note LSN logged (so idle periods log nothing new).
+    last_note: Lsn,
+    candidate_path: Option<String>,
+    takeover: Option<Takeover>,
+    /// Client writes buffered while takeover runs.
+    blocked_writes: Vec<(Addr, WriteRequest)>,
+}
+
+/// Coordination-service paths of one cohort ("information needed for
+/// leader election is stored under /r", §7.2).
+pub struct CohortPaths {
+    /// `/r{N}`.
+    pub base: String,
+    /// `/r{N}/candidates`.
+    pub candidates: String,
+    /// `/r{N}/leader`.
+    pub leader: String,
+    /// `/r{N}/epoch`.
+    pub epoch: String,
+}
+
+impl CohortPaths {
+    /// Paths for `range`.
+    pub fn new(range: RangeId) -> CohortPaths {
+        let base = format!("/r{}", range.0);
+        CohortPaths {
+            candidates: format!("{base}/candidates"),
+            leader: format!("{base}/leader"),
+            epoch: format!("{base}/epoch"),
+            base,
+        }
+    }
+
+    /// Extract the range id back out of a znode path.
+    pub fn range_of_path(path: &str) -> Option<RangeId> {
+        let rest = path.strip_prefix("/r")?;
+        let end = rest.find('/').unwrap_or(rest.len());
+        rest[..end].parse::<u32>().ok().map(RangeId)
+    }
+}
+
+/// The Spinnaker node.
+pub struct Node {
+    id: NodeId,
+    ring: Ring,
+    cfg: NodeConfig,
+    wal: Wal,
+    coord: CoordClient,
+    cohorts: BTreeMap<RangeId, Cohort>,
+    waiters: HashMap<u64, Waiter>,
+    next_token: u64,
+    /// Bytes appended to the log since the last force request.
+    unforced_bytes: u64,
+    started: bool,
+}
+
+impl Node {
+    /// Construct the node and run **local recovery** (§6.1): open the
+    /// shared log, open each cohort's LSM store, and re-apply log records
+    /// from the checkpoint through `f.cmt` idempotently. State past
+    /// `f.cmt` stays ambiguous until catch-up.
+    pub fn new(
+        id: NodeId,
+        ring: Ring,
+        cfg: NodeConfig,
+        vfs: SharedVfs,
+        coord: CoordClient,
+    ) -> Result<Node> {
+        let wal = Wal::open(vfs.clone(), WalOptions::default())?;
+        let mut cohorts = BTreeMap::new();
+        for range in ring.ranges_of(id) {
+            let store = RangeStore::open(
+                vfs.clone(),
+                StoreOptions {
+                    dir: format!("store-r{}", range.0),
+                    memtable_flush_bytes: cfg.memtable_flush_bytes,
+                    ..Default::default()
+                },
+            )?;
+            let mut cohort = Cohort {
+                peers: ring.cohort(range).into_iter().filter(|&n| n != id).collect(),
+                store,
+                cq: CommitQueue::new(),
+                role: Role::Offline,
+                epoch: 0,
+                leader: None,
+                last_assigned: Lsn::ZERO,
+                last_committed: Lsn::ZERO,
+                last_note: Lsn::ZERO,
+                candidate_path: None,
+                takeover: None,
+                blocked_writes: Vec::new(),
+            };
+            let st = wal.state(range);
+            // Idempotent replay of committed records (checkpoint, f.cmt].
+            let mut replayed = 0usize;
+            wal.replay(range, wal.checkpoint(range), st.last_committed, |lsn, op| {
+                cohort.store.apply(op, lsn);
+                replayed += 1;
+            })?;
+            cohort.last_committed = st.last_committed;
+            cohort.last_note = st.last_committed;
+            cohort.epoch = st.last_lsn.epoch();
+            cohorts.insert(range, cohort);
+        }
+        Ok(Node {
+            id,
+            ring,
+            cfg,
+            wal,
+            coord,
+            cohorts,
+            waiters: HashMap::new(),
+            next_token: 1,
+            unforced_bytes: 0,
+            started: false,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role for a range (diagnostics, tests, harnesses).
+    pub fn role(&self, range: RangeId) -> Role {
+        self.cohorts.get(&range).map_or(Role::Offline, |c| c.role)
+    }
+
+    /// The leader this node believes serves `range`.
+    pub fn leader_of(&self, range: RangeId) -> Option<NodeId> {
+        self.cohorts.get(&range).and_then(|c| c.leader)
+    }
+
+    /// Current epoch of a cohort.
+    pub fn epoch_of(&self, range: RangeId) -> Epoch {
+        self.cohorts.get(&range).map_or(0, |c| c.epoch)
+    }
+
+    /// Last committed LSN of a cohort (`f.cmt` / `l.cmt`).
+    pub fn last_committed(&self, range: RangeId) -> Lsn {
+        self.cohorts.get(&range).map_or(Lsn::ZERO, |c| c.last_committed)
+    }
+
+    /// Last LSN in this node's log for a cohort (`f.lst` / `l.lst`).
+    pub fn last_lsn(&self, range: RangeId) -> Lsn {
+        self.wal.state(range).last_lsn
+    }
+
+    /// Direct (test) access to a cohort's store.
+    pub fn store(&self, range: RangeId) -> Option<&RangeStore> {
+        self.cohorts.get(&range).map(|c| &c.store)
+    }
+
+    /// Access the node's WAL (tests, harness checkpoints).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    // =================================================================
+    // input dispatch
+    // =================================================================
+
+    /// Feed one input; effects accumulate into `out`.
+    pub fn on_input(&mut self, now: u64, input: NodeInput, out: &mut Outbox) {
+        match input {
+            NodeInput::Start => self.on_start(now, out),
+            NodeInput::Peer { from, msg } => self.on_peer(now, from, msg, out),
+            NodeInput::Write { from, req } => self.on_write(now, from, req, out),
+            NodeInput::Read { from, req } => self.on_read(from, req, out),
+            NodeInput::LogForced { tokens } => self.on_forced(now, tokens, out),
+            NodeInput::Timer(kind) => self.on_timer(now, kind, out),
+            NodeInput::Coord(ev) => self.on_coord_event(now, ev, out),
+        }
+    }
+
+    fn on_start(&mut self, now: u64, out: &mut Outbox) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        out.set_timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval);
+        out.set_timer(TimerKind::CommitPeriod, self.cfg.commit_period);
+        out.set_timer(TimerKind::Maintenance, self.cfg.maintenance_interval);
+        let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
+        for range in ranges {
+            self.join_cohort(now, range, out);
+        }
+    }
+
+    /// On startup (or rejoin): if the cohort already has a leader, go
+    /// straight to catch-up as a follower; otherwise run election.
+    fn join_cohort(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        let paths = CohortPaths::new(range);
+        self.coord.ensure_path(&paths.base);
+        self.coord.ensure_path(&paths.candidates);
+        match self.coord.get_data_watch(&paths.leader) {
+            Ok(data) => {
+                let leader: NodeId = parse_node(&data);
+                if leader == self.id {
+                    // A stale leader znode from our previous incarnation;
+                    // our old session must have expired for us to be here.
+                    self.start_election(now, range, out);
+                } else {
+                    self.become_follower(range, leader, out);
+                }
+            }
+            Err(_) => self.start_election(now, range, out),
+        }
+    }
+
+    // =================================================================
+    // leader election (Fig. 7)
+    // =================================================================
+
+    fn start_election(&mut self, _now: u64, range: RangeId, out: &mut Outbox) {
+        let paths = CohortPaths::new(range);
+        {
+            let cohort = self.cohorts.get_mut(&range).expect("own range");
+            cohort.role = Role::Electing;
+            cohort.leader = None;
+            cohort.takeover = None;
+            // Fig. 7 line 1: clean up our state from a previous round.
+            if let Some(old) = cohort.candidate_path.take() {
+                let _ = self.coord.delete(&old);
+            }
+        }
+        // Fig. 7 line 4: advertise n.lst in a sequential ephemeral znode.
+        let lst = self.wal.state(range).last_lsn;
+        let data = format!("{}:{}", self.id, lst.as_u64());
+        match self.coord.create_ephemeral_sequential(
+            &format!("{}/c-", paths.candidates),
+            data.into_bytes(),
+        ) {
+            Ok(path) => {
+                self.cohorts.get_mut(&range).expect("own range").candidate_path = Some(path);
+            }
+            Err(_) => {
+                // Session trouble; retry via the election timer.
+            }
+        }
+        out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
+        self.check_election(range, out);
+    }
+
+    /// Fig. 7 lines 5-12: wait for a majority of candidates, deterministic
+    /// winner = max `n.lst`, znode sequence number breaking ties.
+    fn check_election(&mut self, range: RangeId, out: &mut Outbox) {
+        let paths = CohortPaths::new(range);
+        if self.cohorts[&range].role != Role::Electing {
+            return;
+        }
+        let Ok(children) = self.coord.get_children_watch(&paths.candidates) else {
+            return;
+        };
+        // Candidate entries: (lst desc, seq asc) per node id (a node may
+        // briefly have a stale entry from an earlier round; keep its best).
+        let mut best: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new(); // node -> (lst, seq)
+        for child in &children {
+            let full = format!("{}/{child}", paths.candidates);
+            let Ok((data, stat)) = self.coord.get_data(&full) else { continue };
+            let Some((node, lst)) = parse_candidate(&data) else { continue };
+            let seq = stat.sequence.unwrap_or(u64::MAX);
+            let entry = best.entry(node).or_insert((lst, seq));
+            if lst > entry.0 || (lst == entry.0 && seq < entry.1) {
+                *entry = (lst, seq);
+            }
+        }
+        let majority = self.ring.replication() / 2 + 1;
+        if best.len() < majority {
+            return; // keep waiting; the child watch will wake us
+        }
+        // Winner: max lst (the safety requirement — the leader must hold
+        // every committed write, §7.2). Ties carry no safety constraint;
+        // prefer the range's *home* node so the initial election realizes
+        // the balanced one-leader-per-node layout of Fig. 2, falling back
+        // to the znode sequence number as the paper specifies.
+        let home = self.ring.home_node(range);
+        let max_lst = best.values().map(|&(lst, _)| lst).max().expect("non-empty");
+        let winner = best
+            .iter()
+            .filter(|(_, (lst, _))| *lst == max_lst)
+            .min_by_key(|(&node, (_, seq))| (node != home, *seq))
+            .map(|(&node, _)| node)
+            .expect("non-empty");
+        if winner == self.id {
+            // Fig. 7 lines 7-9.
+            match self.coord.create_ephemeral(&paths.leader, self.id.to_string().into_bytes()) {
+                Ok(()) => self.begin_takeover(range, out),
+                Err(_) => {
+                    // Someone beat us to it; learn them.
+                    if let Ok(data) = self.coord.get_data_watch(&paths.leader) {
+                        let leader = parse_node(&data);
+                        if leader != self.id {
+                            self.become_follower(range, leader, out);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Fig. 7 line 11: learn the new leader (it may not have written
+            // /r/leader yet; the exists-watch wakes us when it does).
+            match self.coord.get_data_watch(&paths.leader) {
+                Ok(data) => {
+                    let leader = parse_node(&data);
+                    self.become_follower(range, leader, out);
+                }
+                Err(_) => {
+                    let _ = self.coord.exists_watch(&paths.leader);
+                }
+            }
+        }
+    }
+
+    // =================================================================
+    // leader takeover (Fig. 6)
+    // =================================================================
+
+    fn begin_takeover(&mut self, range: RangeId, out: &mut Outbox) {
+        let paths = CohortPaths::new(range);
+        // Bump the epoch in the coordination service before accepting any
+        // new writes (Appendix B: "a new epoch number is stored in
+        // Zookeeper before the leader accepts any new writes").
+        let old_epoch = self.coord.read_epoch(&paths.epoch);
+        let new_epoch = old_epoch + 1;
+        self.coord.write_epoch(&paths.epoch, new_epoch);
+
+        let st = self.wal.state(range);
+        let cohort = self.cohorts.get_mut(&range).expect("own range");
+        cohort.role = Role::LeaderTakeover;
+        cohort.epoch = new_epoch;
+        cohort.leader = Some(self.id);
+        cohort.cq.clear();
+        let l_cmt = cohort.last_committed.max(st.last_committed);
+        let l_lst = st.last_lsn;
+        cohort.last_committed = l_cmt;
+        // Fig. 6 line 9's input: the unresolved writes (l.cmt, l.lst].
+        let repropose: VecDeque<(Lsn, WriteOp)> = self
+            .wal
+            .read_range(range, l_cmt, l_lst)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        cohort.takeover =
+            Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
+        cohort.last_assigned = l_lst;
+        let peers = cohort.peers.clone();
+        let epoch = cohort.epoch;
+        for peer in peers {
+            out.send(peer, PeerMsg::LeaderHello { range, epoch, leader: self.id });
+        }
+        // If we are somehow alone (all peers dead), we must wait: the
+        // cohort stays unavailable until a majority participates. The
+        // election-retry timer keeps us checking.
+        self.maybe_finish_takeover(range, out);
+    }
+
+    fn maybe_finish_takeover(&mut self, range: RangeId, out: &mut Outbox) {
+        let cohort = self.cohorts.get_mut(&range).expect("own range");
+        let Some(t) = cohort.takeover.as_mut() else { return };
+        // Fig. 6 line 8: wait until at least one follower caught up.
+        if t.caught_up.is_empty() {
+            return;
+        }
+        // Fig. 6 line 9: re-propose unresolved writes through the normal
+        // replication protocol, keeping a small pipeline in flight (the
+        // followers' group commit batches the forces).
+        const REPROPOSE_WINDOW: usize = 4;
+        let mut sent_any = false;
+        while cohort.cq.len() < REPROPOSE_WINDOW {
+            let Some((lsn, op)) = t.repropose.pop_front() else { break };
+            t.reproposing = true;
+            let epoch = cohort.epoch;
+            let committed = cohort.last_committed;
+            cohort.cq.insert(PendingWrite {
+                lsn,
+                op: op.clone(),
+                client: None,
+                acks: 0,
+                self_forced: true, // already durable in our log
+            });
+            let peers = cohort.peers.clone();
+            let piggy = if self.cfg.piggyback_commits { committed } else { Lsn::ZERO };
+            for peer in peers {
+                out.send(
+                    peer,
+                    PeerMsg::Propose { range, epoch, lsn, op: op.clone(), committed: piggy },
+                );
+            }
+            sent_any = true;
+        }
+        if sent_any || (t.reproposing && !cohort.cq.is_empty()) {
+            return; // in-flight re-proposals have not all committed yet
+        }
+        // Fig. 6 line 10: open the cohort for writes. New LSNs are
+        // (new_epoch, seq) with seq continuing past l.lst, so every new
+        // LSN exceeds every LSN previously used in the cohort (Appendix B).
+        let epoch = cohort.epoch;
+        cohort.takeover = None;
+        cohort.role = Role::Leader;
+        cohort.last_assigned = Lsn::new(epoch, cohort.last_assigned.seq());
+        let blocked = std::mem::take(&mut cohort.blocked_writes);
+        for (from, req) in blocked {
+            self.on_write(0, from, req, out);
+        }
+    }
+
+    // =================================================================
+    // follower paths
+    // =================================================================
+
+    fn become_follower(&mut self, range: RangeId, leader: NodeId, out: &mut Outbox) {
+        let paths = CohortPaths::new(range);
+        let epoch = self.coord.read_epoch(&paths.epoch);
+        let cohort = self.cohorts.get_mut(&range).expect("own range");
+        cohort.role = Role::CatchingUp;
+        cohort.leader = Some(leader);
+        cohort.epoch = cohort.epoch.max(epoch);
+        cohort.cq.clear();
+        // Redirect buffered writes; we are not the leader.
+        for (from, req) in std::mem::take(&mut cohort.blocked_writes) {
+            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(leader) });
+        }
+        let from = cohort.last_committed;
+        let epoch = cohort.epoch;
+        out.send(leader, PeerMsg::CatchupReq { range, epoch, from });
+    }
+
+    // =================================================================
+    // client requests
+    // =================================================================
+
+    fn on_write(&mut self, _now: u64, from: Addr, req: WriteRequest, out: &mut Outbox) {
+        let range = self.ring.range_of(&req.key);
+        let Some(cohort) = self.cohorts.get_mut(&range) else {
+            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) });
+            return;
+        };
+        match cohort.role {
+            Role::Leader => {}
+            Role::LeaderTakeover => {
+                cohort.blocked_writes.push((from, req));
+                return;
+            }
+            Role::Follower | Role::CatchingUp => {
+                out.reply(from, Reply::NotLeader { req: req.req, hint: cohort.leader });
+                return;
+            }
+            Role::Electing | Role::Offline => {
+                out.reply(from, Reply::Unavailable { req: req.req });
+                return;
+            }
+        }
+        // Conditional check (§5.1) against latest proposed state: pending
+        // writes commit in LSN order, so the newest pending version is the
+        // version the condition must match.
+        if let Some((col, expected)) = &req.condition {
+            let actual = cohort
+                .cq
+                .latest_pending_version(&req.key, col)
+                .or_else(|| {
+                    cohort
+                        .store
+                        .get_column(&req.key, col)
+                        .ok()
+                        .flatten()
+                        .filter(|cv| !cv.tombstone)
+                        .map(|cv| cv.version)
+                })
+                .unwrap_or(0);
+            if actual != *expected {
+                out.reply(from, Reply::VersionMismatch { req: req.req, actual });
+                return;
+            }
+        }
+
+        // Fig. 4: append + force in parallel with propose to followers.
+        let lsn = Lsn::new(cohort.epoch, cohort.last_assigned.seq() + 1);
+        cohort.last_assigned = lsn;
+        let op = WriteOp { key: req.key, cells: req.cells, timestamp: lsn.as_u64() };
+        let rec = LogRecord::write(range, lsn, op.clone());
+        let appended = self.wal.append(&rec);
+        debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
+        self.unforced_bytes += op.approx_size() as u64 + 32;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.waiters.insert(token, Waiter::LeaderWrite { range, lsn });
+        out.force_log(token, std::mem::take(&mut self.unforced_bytes));
+
+        cohort.cq.insert(PendingWrite {
+            lsn,
+            op: op.clone(),
+            client: Some((from, req.req)),
+            acks: 0,
+            self_forced: false,
+        });
+        let epoch = cohort.epoch;
+        let committed = if self.cfg.piggyback_commits { cohort.last_committed } else { Lsn::ZERO };
+        let peers = cohort.peers.clone();
+        for peer in peers {
+            out.send(peer, PeerMsg::Propose { range, epoch, lsn, op: op.clone(), committed });
+        }
+    }
+
+    fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
+        let range = self.ring.range_of(&req.key);
+        let Some(cohort) = self.cohorts.get(&range) else {
+            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) });
+            return;
+        };
+        match req.consistency {
+            Consistency::Strong => {
+                // Strongly consistent reads are always routed to the
+                // cohort's leader (§5).
+                if cohort.role != Role::Leader {
+                    out.reply(from, Reply::NotLeader { req: req.req, hint: cohort.leader });
+                    return;
+                }
+            }
+            Consistency::Timeline => {
+                // Any live replica may answer, possibly stale.
+                if cohort.role == Role::Offline {
+                    out.reply(from, Reply::Unavailable { req: req.req });
+                    return;
+                }
+            }
+        }
+        let value = cohort
+            .store
+            .get_column(&req.key, &req.col)
+            .ok()
+            .flatten()
+            .filter(|cv| !cv.tombstone)
+            .map(|cv| (cv.value.clone(), cv.version));
+        out.reply(from, Reply::Value { req: req.req, value });
+    }
+
+    // =================================================================
+    // peer messages
+    // =================================================================
+
+    fn on_peer(&mut self, now: u64, from: NodeId, msg: PeerMsg, out: &mut Outbox) {
+        let range = msg.range();
+        if !self.cohorts.contains_key(&range) {
+            return;
+        }
+        match msg {
+            PeerMsg::Propose { epoch, lsn, op, committed, .. } => {
+                self.on_propose(range, from, epoch, lsn, op, committed, out)
+            }
+            PeerMsg::Ack { epoch, lsn, .. } => self.on_ack(range, from, epoch, lsn, out),
+            PeerMsg::Commit { epoch, lsn, .. } => self.on_commit_msg(range, epoch, lsn),
+            PeerMsg::LeaderHello { epoch, leader, .. } => {
+                self.on_leader_hello(range, epoch, leader, out)
+            }
+            PeerMsg::CatchupReq { from: f_cmt, .. } => {
+                self.on_catchup_req(range, from, f_cmt, out)
+            }
+            PeerMsg::CatchupRecords { epoch, records, fragments, up_to, .. } => {
+                self.on_catchup_records(now, range, from, epoch, records, fragments, up_to, out)
+            }
+            PeerMsg::CaughtUp { at, .. } => self.on_caught_up(range, from, at, out),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_propose(
+        &mut self,
+        range: RangeId,
+        from: NodeId,
+        epoch: Epoch,
+        lsn: Lsn,
+        op: WriteOp,
+        committed: Lsn,
+        out: &mut Outbox,
+    ) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if epoch < cohort.epoch {
+            return; // stale leader
+        }
+        if epoch > cohort.epoch {
+            // A leader we have not formally met; adopt it (its authority
+            // comes from the coordination service).
+            cohort.epoch = epoch;
+            cohort.leader = Some(from);
+        }
+        match cohort.role {
+            Role::Follower | Role::CatchingUp => {}
+            Role::Leader | Role::LeaderTakeover => {
+                // We believed we led but a same/higher-epoch leader exists;
+                // epochs only move forward, so epoch == ours means we *are*
+                // the leader talking to ourselves — ignore. Higher epoch:
+                // step down.
+                if epoch > cohort.epoch || from != self.id {
+                    cohort.role = Role::CatchingUp;
+                    cohort.leader = Some(from);
+                } else {
+                    return;
+                }
+            }
+            Role::Electing | Role::Offline => {
+                // Accept the write anyway: log it so it counts toward our
+                // n.lst; the leader is authoritative.
+                cohort.leader = Some(from);
+                cohort.role = Role::CatchingUp;
+            }
+        }
+        // A duplicate of a propose already in flight (the leader re-sends
+        // pending writes when serving a catch-up): the first copy's force
+        // will generate the ack.
+        if cohort.cq.contains(lsn) {
+            return;
+        }
+        // Run the normal replication protocol even when the record already
+        // sits in our log from the previous epoch (a takeover re-proposal,
+        // Fig. 6 line 9 "commit these using the normal replication
+        // protocol"): append and force again. Re-appending an identical
+        // record is idempotent under replay, and the per-record force is
+        // exactly why cohort recovery time is proportional to the commit
+        // period (Table 1).
+        cohort.cq.insert(PendingWrite { lsn, op: op.clone(), client: None, acks: 0, self_forced: false });
+        let rec = LogRecord::write(range, lsn, op);
+        let _ = self.wal.append(&rec);
+        self.unforced_bytes += 64;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.waiters.insert(token, Waiter::FollowerWrite { range, lsn, leader: from });
+        out.force_log(token, std::mem::take(&mut self.unforced_bytes));
+        if !committed.is_zero() {
+            self.apply_commit(range, committed);
+        }
+    }
+
+    fn on_ack(&mut self, range: RangeId, _from: NodeId, epoch: Epoch, lsn: Lsn, out: &mut Outbox) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if epoch != cohort.epoch
+            || !matches!(cohort.role, Role::Leader | Role::LeaderTakeover)
+        {
+            return;
+        }
+        cohort.cq.ack(lsn);
+        self.try_commit_leader(range, out);
+    }
+
+    /// Leader: drain every write that now has its own force + a quorum of
+    /// acks, in LSN order; apply, reply to clients.
+    fn try_commit_leader(&mut self, range: RangeId, out: &mut Outbox) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if !matches!(cohort.role, Role::Leader | Role::LeaderTakeover) {
+            return;
+        }
+        // Majority of 3 = leader + 1 follower ack.
+        let needed_acks = self.ring.replication() / 2;
+        let committed = cohort.cq.drain_committable(cohort.last_committed, needed_acks);
+        if committed.is_empty() {
+            return;
+        }
+        for pw in committed {
+            cohort.store.apply(&pw.op, pw.lsn);
+            cohort.last_committed = pw.lsn;
+            if let Some((addr, req)) = pw.client {
+                out.reply(addr, Reply::WriteOk { req, version: pw.lsn.as_u64() });
+            }
+        }
+        if self.cohorts[&range].takeover.is_some() {
+            self.maybe_finish_takeover(range, out);
+        }
+    }
+
+    /// Follower: apply the asynchronous commit message (Fig. 4 right).
+    fn on_commit_msg(&mut self, range: RangeId, epoch: Epoch, lsn: Lsn) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if epoch < cohort.epoch || cohort.role != Role::Follower {
+            return;
+        }
+        self.apply_commit(range, lsn);
+    }
+
+    fn apply_commit(&mut self, range: RangeId, lsn: Lsn) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if lsn <= cohort.last_committed {
+            return;
+        }
+        for pw in cohort.cq.drain_up_to(lsn) {
+            cohort.store.apply(&pw.op, pw.lsn);
+        }
+        cohort.last_committed = lsn;
+        // Non-forced log write of the last committed LSN (§5).
+        if lsn > cohort.last_note {
+            let _ = self.wal.append(&LogRecord::commit_note(range, lsn));
+            self.unforced_bytes += 24;
+            cohort.last_note = lsn;
+        }
+    }
+
+    fn on_leader_hello(&mut self, range: RangeId, epoch: Epoch, leader: NodeId, out: &mut Outbox) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if epoch < cohort.epoch {
+            return;
+        }
+        if leader == self.id {
+            return;
+        }
+        self.become_follower(range, leader, out);
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        cohort.epoch = cohort.epoch.max(epoch);
+    }
+
+    /// Leader side of catch-up (§6.1 + Fig. 6 lines 3-7).
+    ///
+    /// The paper has the leader "momentarily block new writes to ensure
+    /// that the follower is fully caught up". We achieve the same
+    /// synchronization point without a blocking window (which could
+    /// deadlock when the requesting follower is the only live quorum
+    /// partner): committed history is shipped immediately and every write
+    /// still pending in the commit queue is *re-proposed* to the follower
+    /// over the same FIFO link, so by the time the follower processes the
+    /// catch-up reply it observes a complete, gap-free prefix.
+    fn on_catchup_req(&mut self, range: RangeId, follower: NodeId, f_cmt: Lsn, out: &mut Outbox) {
+        let role = self.cohorts.get(&range).map(|c| c.role);
+        if !matches!(role, Some(Role::Leader | Role::LeaderTakeover)) {
+            return; // not the leader (any more); the follower will re-learn
+        }
+        self.serve_catchup(range, follower, f_cmt, out);
+        // Re-send in-flight proposals so the follower misses nothing.
+        let cohort = self.cohorts.get(&range).expect("checked");
+        let epoch = cohort.epoch;
+        let committed = if self.cfg.piggyback_commits { cohort.last_committed } else { Lsn::ZERO };
+        let pending: Vec<(Lsn, WriteOp)> = cohort
+            .cq
+            .pending_lsns()
+            .into_iter()
+            .filter_map(|lsn| {
+                self.wal
+                    .read_range(range, Lsn::from_u64(lsn.as_u64() - 1), lsn)
+                    .ok()
+                    .and_then(|v| v.into_iter().next())
+            })
+            .collect();
+        for (lsn, op) in pending {
+            out.send(follower, PeerMsg::Propose { range, epoch, lsn, op, committed });
+        }
+    }
+
+    fn serve_catchup(&mut self, range: RangeId, follower: NodeId, f_cmt: Lsn, out: &mut Outbox) {
+        let cohort = self.cohorts.get(&range).expect("checked");
+        let up_to = cohort.last_committed;
+        let epoch = cohort.epoch;
+        match self.wal.read_range(range, f_cmt, up_to) {
+            Ok(records) => {
+                out.send(
+                    follower,
+                    PeerMsg::CatchupRecords { range, epoch, records, fragments: Vec::new(), up_to },
+                );
+            }
+            Err(_) => {
+                // Log rolled over: serve from SSTables + memtable (§6.1).
+                let fragments = cohort.store.rows_since(f_cmt).unwrap_or_default();
+                out.send(
+                    follower,
+                    PeerMsg::CatchupRecords { range, epoch, records: Vec::new(), fragments, up_to },
+                );
+            }
+        }
+    }
+
+    /// Follower side of catch-up completion: ingest, **logically
+    /// truncate** orphaned records (§6.1.1), confirm.
+    #[allow(clippy::too_many_arguments)]
+    fn on_catchup_records(
+        &mut self,
+        _now: u64,
+        range: RangeId,
+        leader: NodeId,
+        epoch: Epoch,
+        records: Vec<(Lsn, WriteOp)>,
+        fragments: Vec<(Key, spinnaker_common::Row)>,
+        up_to: Lsn,
+        out: &mut Outbox,
+    ) {
+        let st = self.wal.state(range);
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        if epoch < cohort.epoch || cohort.role != Role::CatchingUp {
+            return;
+        }
+        cohort.epoch = epoch;
+        let f_cmt = cohort.last_committed;
+
+        // Which of our own records beyond f.cmt does the leader's history
+        // confirm? Anything else in (f.cmt, up_to] was discarded by a
+        // previous leader change and must never replay: logical truncation.
+        let own: Vec<Lsn> = self
+            .wal
+            .read_range(range, f_cmt, st.last_lsn)
+            .map(|v| v.into_iter().map(|(l, _)| l).collect())
+            .unwrap_or_default();
+        let received: HashSet<Lsn> = records.iter().map(|(l, _)| *l).collect();
+        let to_truncate: Vec<Lsn> = own
+            .iter()
+            .copied()
+            .filter(|l| *l <= up_to && !received.contains(l))
+            .collect();
+        if !to_truncate.is_empty() {
+            let _ = self.wal.truncate_logically(range, &to_truncate);
+        }
+
+        // Append records we do not have, apply everything in LSN order.
+        let mut appended = false;
+        for (lsn, op) in &records {
+            if !own.contains(lsn) {
+                let _ = self.wal.append(&LogRecord::write(range, *lsn, op.clone()));
+                self.unforced_bytes += op.approx_size() as u64 + 32;
+                appended = true;
+            }
+            cohort.store.apply(op, *lsn);
+        }
+        if !fragments.is_empty() {
+            for (key, frag) in &fragments {
+                cohort.store.ingest_fragment(key, frag);
+            }
+            // SSTable-based catch-up: make it durable by flushing and
+            // advancing the checkpoint (the shipped rows exist in the
+            // leader's SSTables, not as replayable log records).
+            if let Ok(Some(flushed)) = cohort.store.flush() {
+                let _ = self.wal.set_checkpoint(range, flushed.max(up_to));
+            } else {
+                let _ = self.wal.set_checkpoint(range, up_to);
+            }
+        }
+        cohort.last_committed = up_to.max(cohort.last_committed);
+        if up_to > cohort.last_note {
+            let _ = self.wal.append(&LogRecord::commit_note(range, up_to));
+            cohort.last_note = up_to;
+            appended = true;
+        }
+        cohort.role = Role::Follower;
+
+        if appended {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.waiters.insert(token, Waiter::CatchupDone { range, up_to, leader });
+            out.force_log(token, std::mem::take(&mut self.unforced_bytes));
+        } else {
+            let epoch = cohort.epoch;
+            out.send(leader, PeerMsg::CaughtUp { range, epoch, at: up_to });
+        }
+    }
+
+    fn on_caught_up(&mut self, range: RangeId, follower: NodeId, _at: Lsn, out: &mut Outbox) {
+        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        let in_takeover = match cohort.takeover.as_mut() {
+            Some(t) => {
+                t.caught_up.insert(follower);
+                true
+            }
+            None => false,
+        };
+        if in_takeover {
+            self.maybe_finish_takeover(range, out);
+        }
+    }
+
+    // =================================================================
+    // force completions & timers
+    // =================================================================
+
+    fn on_forced(&mut self, _now: u64, tokens: Vec<u64>, out: &mut Outbox) {
+        // Content-level sync: everything appended so far is durable (the
+        // runtime's disk model decided *when*).
+        let _ = self.wal.sync();
+        for token in tokens {
+            match self.waiters.remove(&token) {
+                Some(Waiter::LeaderWrite { range, lsn }) => {
+                    if let Some(cohort) = self.cohorts.get_mut(&range) {
+                        cohort.cq.self_forced(lsn);
+                    }
+                    self.try_commit_leader(range, out);
+                }
+                Some(Waiter::FollowerWrite { range, lsn, leader }) => {
+                    let epoch = self.cohorts.get(&range).map_or(0, |c| c.epoch);
+                    out.send(leader, PeerMsg::Ack { range, epoch, lsn });
+                }
+                Some(Waiter::CatchupDone { range, up_to, leader }) => {
+                    let epoch = self.cohorts.get(&range).map_or(0, |c| c.epoch);
+                    out.send(leader, PeerMsg::CaughtUp { range, epoch, at: up_to });
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: u64, kind: TimerKind, out: &mut Outbox) {
+        match kind {
+            TimerKind::Heartbeat => {
+                self.coord.heartbeat(now);
+                out.set_timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval);
+            }
+            TimerKind::CommitPeriod => {
+                let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
+                for range in ranges {
+                    let cohort = self.cohorts.get_mut(&range).expect("own");
+                    if cohort.role == Role::Leader && cohort.last_committed > Lsn::ZERO {
+                        let lsn = cohort.last_committed;
+                        let epoch = cohort.epoch;
+                        let peers = cohort.peers.clone();
+                        // Log our own last-committed note (non-forced).
+                        if lsn > cohort.last_note {
+                            let _ = self.wal.append(&LogRecord::commit_note(range, lsn));
+                            self.unforced_bytes += 24;
+                            cohort.last_note = lsn;
+                        }
+                        for peer in peers {
+                            out.send(peer, PeerMsg::Commit { range, epoch, lsn });
+                        }
+                    }
+                }
+                out.set_timer(TimerKind::CommitPeriod, self.cfg.commit_period);
+            }
+            TimerKind::ElectionRetry => {
+                let electing: Vec<RangeId> = self
+                    .cohorts
+                    .iter()
+                    .filter(|(_, c)| c.role == Role::Electing)
+                    .map(|(&r, _)| r)
+                    .collect();
+                for range in &electing {
+                    self.check_election(*range, out);
+                }
+                if !electing.is_empty() {
+                    out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
+                }
+            }
+            TimerKind::Maintenance => {
+                let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
+                for range in ranges {
+                    let cohort = self.cohorts.get_mut(&range).expect("own");
+                    if cohort.store.needs_flush() {
+                        if let Ok(Some(flushed)) = cohort.store.flush() {
+                            let _ = self.wal.set_checkpoint(range, flushed);
+                        }
+                        let _ = cohort.store.maybe_compact();
+                    }
+                }
+                out.set_timer(TimerKind::Maintenance, self.cfg.maintenance_interval);
+            }
+        }
+    }
+
+    // =================================================================
+    // coordination events
+    // =================================================================
+
+    fn on_coord_event(&mut self, now: u64, ev: WatchEvent, out: &mut Outbox) {
+        match ev {
+            WatchEvent::ChildrenChanged(path) => {
+                if let Some(range) = CohortPaths::range_of_path(&path) {
+                    if path.ends_with("/candidates") && self.cohorts.contains_key(&range) {
+                        self.check_election(range, out);
+                    }
+                }
+            }
+            WatchEvent::Created(path) | WatchEvent::DataChanged(path) => {
+                if let Some(range) = CohortPaths::range_of_path(&path) {
+                    if path.ends_with("/leader") && self.cohorts.contains_key(&range) {
+                        if self.cohorts[&range].role == Role::Electing {
+                            let paths = CohortPaths::new(range);
+                            if let Ok(data) = self.coord.get_data_watch(&paths.leader) {
+                                let leader = parse_node(&data);
+                                if leader != self.id {
+                                    self.become_follower(range, leader, out);
+                                }
+                            }
+                        } else {
+                            // Keep watching the leader znode.
+                            let paths = CohortPaths::new(range);
+                            let _ = self.coord.get_data_watch(&paths.leader);
+                        }
+                    }
+                }
+            }
+            WatchEvent::Deleted(path) => {
+                if let Some(range) = CohortPaths::range_of_path(&path) {
+                    if path.ends_with("/leader") && self.cohorts.contains_key(&range) {
+                        // The leader died: elect a new one (§7).
+                        let role = self.cohorts[&range].role;
+                        if role != Role::Offline {
+                            self.start_election(now, range, out);
+                        }
+                    }
+                }
+            }
+            WatchEvent::SessionExpired => {
+                // Our session is gone: we are effectively partitioned from
+                // the cluster. Step down everywhere; the hosting runtime
+                // restarts us with a fresh session.
+                for cohort in self.cohorts.values_mut() {
+                    cohort.role = Role::Offline;
+                    cohort.leader = None;
+                }
+            }
+        }
+    }
+}
+
+fn parse_node(data: &[u8]) -> NodeId {
+    std::str::from_utf8(data).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(u32::MAX)
+}
+
+fn parse_candidate(data: &[u8]) -> Option<(NodeId, u64)> {
+    let s = std::str::from_utf8(data).ok()?;
+    let (node, lst) = s.split_once(':')?;
+    Some((node.parse().ok()?, lst.parse().ok()?))
+}
+
+/// Build a [`WriteRequest`] for a plain put (helper for clients/tests).
+pub fn put_request(req: u64, key: Key, col: &str, value: &[u8]) -> WriteRequest {
+    WriteRequest {
+        req,
+        key,
+        cells: vec![CellOp::Put {
+            col: bytes::Bytes::copy_from_slice(col.as_bytes()),
+            value: bytes::Bytes::copy_from_slice(value),
+        }],
+        condition: None,
+    }
+}
+
+/// Build a [`ReadRequest`] (helper for clients/tests).
+pub fn get_request(req: u64, key: Key, col: &str, consistency: Consistency) -> ReadRequest {
+    ReadRequest {
+        req,
+        key,
+        col: bytes::Bytes::copy_from_slice(col.as_bytes()),
+        consistency,
+    }
+}

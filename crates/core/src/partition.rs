@@ -1,0 +1,196 @@
+//! Range partitioning and cohort layout (paper §4, Fig. 2).
+//!
+//! The key space is split into contiguous ranges; each node is assigned a
+//! base range which is replicated on the next `N-1` nodes in ring order —
+//! chained declustering. Cohorts therefore overlap: with 5 nodes, A-B-C
+//! replicate A's base range, B-C-D replicate B's, and so on.
+
+use spinnaker_common::{Key, NodeId, RangeId};
+
+/// Replication factor (the paper fixes N = 3 and so do we by default).
+pub const REPLICATION: usize = 3;
+
+/// The static ring: ranges, their key bounds, and their cohorts.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    nodes: usize,
+    replication: usize,
+    /// `starts[i]` = inclusive lower bound of range i (8-byte big-endian).
+    starts: Vec<u64>,
+}
+
+impl Ring {
+    /// A ring of `nodes` nodes with one base range per node, keys taken
+    /// from the full `u64` space (encoded big-endian into 8-byte keys so
+    /// byte order equals numeric order).
+    pub fn uniform(nodes: usize, replication: usize) -> Ring {
+        assert!(nodes >= replication, "need at least as many nodes as replicas");
+        assert!(replication >= 1);
+        let step = u64::MAX / nodes as u64;
+        let starts = (0..nodes).map(|i| i as u64 * step).collect();
+        Ring { nodes, replication, starts }
+    }
+
+    /// Standard 3-way replicated ring.
+    pub fn with_nodes(nodes: usize) -> Ring {
+        Ring::uniform(nodes, REPLICATION)
+    }
+
+    /// Number of nodes (and base ranges).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// All range ids.
+    pub fn ranges(&self) -> impl Iterator<Item = RangeId> {
+        (0..self.nodes as u32).map(RangeId)
+    }
+
+    /// The cohort replicating `range`: the base node plus the next
+    /// `replication - 1` nodes in ring order (chained declustering).
+    pub fn cohort(&self, range: RangeId) -> Vec<NodeId> {
+        (0..self.replication)
+            .map(|i| ((range.0 as usize + i) % self.nodes) as NodeId)
+            .collect()
+    }
+
+    /// The ranges `node` participates in (its base range plus the
+    /// preceding `replication - 1` ranges).
+    pub fn ranges_of(&self, node: NodeId) -> Vec<RangeId> {
+        (0..self.replication)
+            .map(|i| RangeId(((node as usize + self.nodes - i) % self.nodes) as u32))
+            .collect()
+    }
+
+    /// The range a key belongs to.
+    pub fn range_of(&self, key: &Key) -> RangeId {
+        let v = key_to_u64(key);
+        // Last start <= v.
+        let idx = match self.starts.binary_search(&v) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        RangeId(idx as u32)
+    }
+
+    /// The preferred (initial) leader of a range: its base node.
+    pub fn home_node(&self, range: RangeId) -> NodeId {
+        range.0 as NodeId
+    }
+
+    /// Inclusive lower bound of a range as a key.
+    pub fn range_start(&self, range: RangeId) -> Key {
+        u64_to_key(self.starts[range.0 as usize])
+    }
+
+    /// Exclusive upper bound of a range (`None` for the last range).
+    pub fn range_end(&self, range: RangeId) -> Option<Key> {
+        self.starts.get(range.0 as usize + 1).map(|&s| u64_to_key(s))
+    }
+}
+
+/// Encode a `u64` as an order-preserving 8-byte key.
+pub fn u64_to_key(v: u64) -> Key {
+    Key::new(v.to_be_bytes().to_vec())
+}
+
+/// Interpret the first 8 bytes of a key as a big-endian `u64` (shorter
+/// keys are zero-padded, so `""` maps to 0).
+pub fn key_to_u64(key: &Key) -> u64 {
+    let mut buf = [0u8; 8];
+    let b = key.as_bytes();
+    let n = b.len().min(8);
+    buf[..n].copy_from_slice(&b[..n]);
+    u64::from_be_bytes(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_node_layout_matches_figure_2() {
+        // Fig. 2: node A's base range replicated on B and C; cohorts
+        // overlap: A-B-C, B-C-D, C-D-E, D-E-A, E-A-B.
+        let ring = Ring::with_nodes(5);
+        assert_eq!(ring.cohort(RangeId(0)), vec![0, 1, 2]);
+        assert_eq!(ring.cohort(RangeId(1)), vec![1, 2, 3]);
+        assert_eq!(ring.cohort(RangeId(4)), vec![4, 0, 1]);
+    }
+
+    #[test]
+    fn each_node_serves_three_ranges() {
+        let ring = Ring::with_nodes(5);
+        for node in 0..5u32 {
+            let ranges = ring.ranges_of(node);
+            assert_eq!(ranges.len(), 3);
+            for r in &ranges {
+                assert!(
+                    ring.cohort(*r).contains(&node),
+                    "node {node} must be in cohort of {r}"
+                );
+            }
+        }
+        // Node 0 of 5 serves its base range 0 plus ranges 4 and 3.
+        assert_eq!(ring.ranges_of(0), vec![RangeId(0), RangeId(4), RangeId(3)]);
+    }
+
+    #[test]
+    fn key_routing_covers_the_space() {
+        let ring = Ring::with_nodes(5);
+        assert_eq!(ring.range_of(&u64_to_key(0)), RangeId(0));
+        assert_eq!(ring.range_of(&u64_to_key(u64::MAX)), RangeId(4));
+        assert_eq!(ring.range_of(&Key::new(Vec::new())), RangeId(0), "empty key = minimum");
+        // Boundary keys land in the right range.
+        let step = u64::MAX / 5;
+        assert_eq!(ring.range_of(&u64_to_key(step)), RangeId(1));
+        assert_eq!(ring.range_of(&u64_to_key(step - 1)), RangeId(0));
+    }
+
+    #[test]
+    fn key_codec_preserves_order() {
+        let mut keys: Vec<u64> = vec![0, 1, 255, 256, 1 << 32, u64::MAX];
+        keys.sort_unstable();
+        let encoded: Vec<Key> = keys.iter().map(|&v| u64_to_key(v)).collect();
+        assert!(encoded.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        for &v in &keys {
+            assert_eq!(key_to_u64(&u64_to_key(v)), v);
+        }
+    }
+
+    #[test]
+    fn range_bounds_are_consistent_with_routing() {
+        let ring = Ring::with_nodes(4);
+        for r in ring.ranges() {
+            let start = ring.range_start(r);
+            assert_eq!(ring.range_of(&start), r);
+            if let Some(end) = ring.range_end(r) {
+                assert_ne!(ring.range_of(&end), r, "end is exclusive");
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_large_clusters() {
+        for n in [10usize, 20, 40, 80] {
+            let ring = Ring::with_nodes(n);
+            for r in ring.ranges() {
+                assert_eq!(ring.cohort(r).len(), 3);
+            }
+            // Every node appears in exactly 3 cohorts.
+            let mut counts = vec![0usize; n];
+            for r in ring.ranges() {
+                for node in ring.cohort(r) {
+                    counts[node as usize] += 1;
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 3), "balanced at n={n}");
+        }
+    }
+}

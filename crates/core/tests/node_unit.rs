@@ -1,0 +1,397 @@
+//! Direct state-machine tests of [`Node`]: drive `on_input` by hand with a
+//! local coordination service and assert on the emitted effects — no
+//! simulator, no timing, pure protocol logic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use spinnaker_common::vfs::MemVfs;
+use spinnaker_common::{Consistency, Lsn, RangeId};
+use spinnaker_coord::Coord;
+use spinnaker_core::coordcli::CoordClient;
+use spinnaker_core::messages::{Effect, NodeInput, Outbox, PeerMsg, Reply, TimerKind};
+use spinnaker_core::node::{get_request, put_request, Node, NodeConfig, Role};
+use spinnaker_core::partition::{u64_to_key, Ring};
+
+struct Fixture {
+    coord: Rc<RefCell<Coord>>,
+    bus: Rc<RefCell<Vec<spinnaker_coord::Delivery>>>,
+    ring: Ring,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        Fixture {
+            coord: Rc::new(RefCell::new(Coord::new())),
+            bus: Rc::new(RefCell::new(Vec::new())),
+            ring: Ring::with_nodes(3),
+        }
+    }
+
+    fn node(&self, id: u32) -> Node {
+        let session = self.coord.borrow_mut().create_session(u64::MAX / 2, 0);
+        let cc = CoordClient::new(self.coord.clone(), session, self.bus.clone());
+        Node::new(id, self.ring.clone(), NodeConfig::default(), Arc::new(MemVfs::new()), cc)
+            .unwrap()
+    }
+}
+
+fn feed(node: &mut Node, input: NodeInput) -> Outbox {
+    let mut out = Outbox::default();
+    node.on_input(0, input, &mut out);
+    out
+}
+
+fn sends(out: &Outbox) -> Vec<(u32, &PeerMsg)> {
+    out.effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { to, msg } => Some((*to, msg)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn replies(out: &Outbox) -> Vec<&Reply> {
+    out.effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Reply { reply, .. } => Some(reply),
+            _ => None,
+        })
+        .collect()
+}
+
+fn force_tokens(out: &Outbox) -> Vec<u64> {
+    out.effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::ForceLog { token, .. } => Some(*token),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Deliver every queued effect (peer sends, instant log forces, pending
+/// coordination watch events) between the given nodes until quiescence.
+/// Node ids equal their index in `nodes`; sessions were created in the
+/// same order, so session `i+1` belongs to node `i`.
+fn pump(fx: &Fixture, nodes: &mut [Node], mut pending: Vec<(usize, Outbox)>) {
+    for _ in 0..200 {
+        // Route coordination deliveries first.
+        let deliveries: Vec<_> = fx.bus.borrow_mut().drain(..).collect();
+        for (session, ev) in deliveries {
+            let idx = (session - 1) as usize;
+            if idx < nodes.len() {
+                let out = feed(&mut nodes[idx], NodeInput::Coord(ev));
+                pending.push((idx, out));
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        let batch: Vec<(usize, Outbox)> = std::mem::take(&mut pending);
+        for (from, out) in batch {
+            // Instant-durability: complete force requests immediately.
+            let tokens = force_tokens(&out);
+            if !tokens.is_empty() {
+                let fo = feed(&mut nodes[from], NodeInput::LogForced { tokens });
+                pending.push((from, fo));
+            }
+            for e in &out.effects {
+                if let Effect::Send { to, msg } = e {
+                    let idx = *to as usize;
+                    if idx < nodes.len() {
+                        let o = feed(
+                            &mut nodes[idx],
+                            NodeInput::Peer { from: from as u32, msg: msg.clone() },
+                        );
+                        pending.push((idx, o));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// With 3 nodes, home preference makes node i lead range i once peers
+/// exchange candidates and takeover messages; returns node 0 as an open
+/// Leader of range 0 (its peers are dropped — tests then feed peer
+/// messages by hand).
+fn make_leader(fx: &Fixture) -> Node {
+    let mut nodes = vec![fx.node(0), fx.node(1), fx.node(2)];
+    let mut pending = Vec::new();
+    for i in 0..3 {
+        let out = feed(&mut nodes[i], NodeInput::Start);
+        pending.push((i, out));
+    }
+    pump(fx, &mut nodes, pending);
+    let n0 = nodes.remove(0);
+    assert_eq!(n0.role(RangeId(0)), Role::Leader, "election settled");
+    n0
+}
+
+#[test]
+fn start_arms_the_periodic_timers() {
+    let fx = Fixture::new();
+    let mut n = fx.node(0);
+    let out = feed(&mut n, NodeInput::Start);
+    let timers: Vec<TimerKind> = out
+        .effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::SetTimer { kind, .. } => Some(*kind),
+            _ => None,
+        })
+        .collect();
+    assert!(timers.contains(&TimerKind::Heartbeat));
+    assert!(timers.contains(&TimerKind::CommitPeriod));
+    assert!(timers.contains(&TimerKind::Maintenance));
+}
+
+#[test]
+fn writes_to_a_non_leader_get_redirected() {
+    let fx = Fixture::new();
+    let mut follower = fx.node(1);
+    let _ = feed(&mut follower, NodeInput::Start);
+    // Another node announces itself leader of range 0 with epoch 1.
+    let _ = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::LeaderHello { range: RangeId(0), epoch: 1, leader: 0 },
+        },
+    );
+    let out = feed(
+        &mut follower,
+        NodeInput::Write { from: 99, req: put_request(7, u64_to_key(5), "c", b"v") },
+    );
+    match replies(&out).as_slice() {
+        [Reply::NotLeader { req: 7, hint }] => assert_eq!(*hint, Some(0)),
+        other => panic!("expected NotLeader, got {other:?}"),
+    }
+}
+
+#[test]
+fn leader_write_flow_force_then_ack_then_commit() {
+    let fx = Fixture::new();
+    let mut leader = make_leader(&fx);
+    assert_eq!(leader.role(RangeId(0)), Role::Leader, "fixture made node 0 leader");
+
+    // Client write: the node must force its log AND propose to both peers
+    // in the same step (Fig. 4: "in parallel").
+    let out = feed(
+        &mut leader,
+        NodeInput::Write { from: 99, req: put_request(1, u64_to_key(1), "c", b"hello") },
+    );
+    let proposes: Vec<u32> = sends(&out)
+        .iter()
+        .filter(|(_, m)| matches!(m, PeerMsg::Propose { .. }))
+        .map(|(to, _)| *to)
+        .collect();
+    assert_eq!(proposes.len(), 2, "proposed to both followers");
+    let tokens = force_tokens(&out);
+    assert_eq!(tokens.len(), 1, "own log force requested");
+    assert!(replies(&out).is_empty(), "no reply before commit");
+
+    // Own force completes: still no commit (no ack yet).
+    let lsn = leader.last_lsn(RangeId(0));
+    let out = feed(&mut leader, NodeInput::LogForced { tokens });
+    assert!(replies(&out).is_empty(), "force alone is not a quorum");
+
+    // One follower ack: quorum of 2/3 reached, commit + client reply.
+    let epoch = leader.epoch_of(RangeId(0));
+    let out = feed(
+        &mut leader,
+        NodeInput::Peer { from: 1, msg: PeerMsg::Ack { range: RangeId(0), epoch, lsn } },
+    );
+    match replies(&out).as_slice() {
+        [Reply::WriteOk { req: 1, version }] => assert_eq!(*version, lsn.as_u64()),
+        other => panic!("expected WriteOk, got {other:?}"),
+    }
+    assert_eq!(leader.last_committed(RangeId(0)), lsn);
+
+    // Strong read now sees it.
+    let out = feed(
+        &mut leader,
+        NodeInput::Read { from: 99, req: get_request(2, u64_to_key(1), "c", Consistency::Strong) },
+    );
+    match replies(&out).as_slice() {
+        [Reply::Value { req: 2, value: Some((v, ver)) }] => {
+            assert_eq!(v.as_ref(), b"hello");
+            assert_eq!(*ver, lsn.as_u64());
+        }
+        other => panic!("expected value, got {other:?}"),
+    }
+}
+
+#[test]
+fn conditional_put_checks_version_at_the_leader() {
+    let fx = Fixture::new();
+    let mut leader = make_leader(&fx);
+    // Conditional put on an absent column with expected=0 is accepted...
+    let mut req = put_request(1, u64_to_key(2), "c", b"first");
+    req.condition = Some((bytes::Bytes::from_static(b"c"), 0));
+    let out = feed(&mut leader, NodeInput::Write { from: 99, req });
+    assert!(replies(&out).is_empty(), "accepted: proposed, not yet committed");
+
+    // ...but a second conditional put with a wrong expected version fails
+    // immediately against the *pending* state (writes commit in LSN
+    // order, so the pending version is authoritative).
+    let mut req = put_request(2, u64_to_key(2), "c", b"second");
+    req.condition = Some((bytes::Bytes::from_static(b"c"), 12345));
+    let out = feed(&mut leader, NodeInput::Write { from: 99, req });
+    match replies(&out).as_slice() {
+        [Reply::VersionMismatch { req: 2, actual }] => assert_ne!(*actual, 12345),
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn follower_forces_before_acking_a_propose() {
+    let fx = Fixture::new();
+    let mut follower = fx.node(1);
+    let _ = feed(&mut follower, NodeInput::Start);
+    let _ = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::LeaderHello { range: RangeId(0), epoch: 1, leader: 0 },
+        },
+    );
+    // Complete the catch-up handshake so the node becomes a Follower
+    // (commit messages are ignored while still catching up).
+    let _ = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::CatchupRecords {
+                range: RangeId(0),
+                epoch: 1,
+                records: vec![],
+                fragments: vec![],
+                up_to: Lsn::ZERO,
+            },
+        },
+    );
+    assert_eq!(follower.role(RangeId(0)), Role::Follower);
+    let lsn = Lsn::new(1, 1);
+    let out = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::Propose {
+                range: RangeId(0),
+                epoch: 1,
+                lsn,
+                op: spinnaker_common::WriteOp::put(
+                    u64_to_key(1),
+                    bytes::Bytes::from_static(b"c"),
+                    bytes::Bytes::from_static(b"v"),
+                    0,
+                ),
+                committed: Lsn::ZERO,
+            },
+        },
+    );
+    assert!(
+        !sends(&out).iter().any(|(_, m)| matches!(m, PeerMsg::Ack { .. })),
+        "no ack before the log force completes (Fig. 4)"
+    );
+    let tokens = force_tokens(&out);
+    assert_eq!(tokens.len(), 1);
+    let out = feed(&mut follower, NodeInput::LogForced { tokens });
+    let acks: Vec<_> =
+        sends(&out).into_iter().filter(|(_, m)| matches!(m, PeerMsg::Ack { .. })).collect();
+    assert_eq!(acks.len(), 1, "ack after durability");
+    assert_eq!(acks[0].0, 0, "ack goes to the leader");
+
+    // The write is pending, not applied: timeline reads miss it.
+    let out = feed(
+        &mut follower,
+        NodeInput::Read {
+            from: 99,
+            req: get_request(5, u64_to_key(1), "c", Consistency::Timeline),
+        },
+    );
+    match replies(&out).as_slice() {
+        [Reply::Value { value: None, .. }] => {}
+        other => panic!("uncommitted write visible: {other:?}"),
+    }
+
+    // The commit message applies it.
+    let _ = feed(
+        &mut follower,
+        NodeInput::Peer { from: 0, msg: PeerMsg::Commit { range: RangeId(0), epoch: 1, lsn } },
+    );
+    let out = feed(
+        &mut follower,
+        NodeInput::Read {
+            from: 99,
+            req: get_request(6, u64_to_key(1), "c", Consistency::Timeline),
+        },
+    );
+    match replies(&out).as_slice() {
+        [Reply::Value { value: Some((v, _)), .. }] => assert_eq!(v.as_ref(), b"v"),
+        other => panic!("committed write not visible: {other:?}"),
+    }
+    assert_eq!(follower.last_committed(RangeId(0)), lsn);
+}
+
+#[test]
+fn stale_epoch_proposes_are_ignored() {
+    let fx = Fixture::new();
+    let mut follower = fx.node(1);
+    let _ = feed(&mut follower, NodeInput::Start);
+    let _ = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::LeaderHello { range: RangeId(0), epoch: 5, leader: 0 },
+        },
+    );
+    // A deposed leader from epoch 3 tries to propose.
+    let out = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 2,
+            msg: PeerMsg::Propose {
+                range: RangeId(0),
+                epoch: 3,
+                lsn: Lsn::new(3, 9),
+                op: spinnaker_common::op::put("k", "c", "stale"),
+                committed: Lsn::ZERO,
+            },
+        },
+    );
+    assert!(out.effects.is_empty(), "stale-epoch propose dropped: {:?}", out.effects);
+    assert_eq!(follower.last_lsn(RangeId(0)), Lsn::ZERO, "nothing logged");
+}
+
+#[test]
+fn timeline_reads_served_by_followers_strong_reads_rejected() {
+    let fx = Fixture::new();
+    let mut follower = fx.node(1);
+    let _ = feed(&mut follower, NodeInput::Start);
+    let _ = feed(
+        &mut follower,
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::LeaderHello { range: RangeId(0), epoch: 1, leader: 0 },
+        },
+    );
+    let out = feed(
+        &mut follower,
+        NodeInput::Read { from: 99, req: get_request(1, u64_to_key(1), "c", Consistency::Strong) },
+    );
+    assert!(matches!(replies(&out).as_slice(), [Reply::NotLeader { .. }]));
+    let out = feed(
+        &mut follower,
+        NodeInput::Read {
+            from: 99,
+            req: get_request(2, u64_to_key(1), "c", Consistency::Timeline),
+        },
+    );
+    assert!(matches!(replies(&out).as_slice(), [Reply::Value { .. }]));
+}

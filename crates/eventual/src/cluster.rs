@@ -1,0 +1,428 @@
+//! Simulated eventually-consistent cluster + closed-loop clients — the
+//! "Cassandra" side of every comparison figure.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rand::Rng;
+
+use spinnaker_common::vfs::MemVfs;
+use spinnaker_common::NodeId;
+use spinnaker_core::partition::{u64_to_key, Ring};
+use spinnaker_sim::{
+    Actor, CpuModel, Ctx, DiskOutcome, DiskProfile, LatencyStats, LogDevice, NetConfig, NetModel,
+    ProcId, Sim, Time, MICROS, MILLIS, SECS,
+};
+
+use crate::node::{
+    EEffect, ENodeInput, EPeerMsg, EReply, EventualNode, ReadLevel, WriteLevel,
+};
+
+/// Events of the eventual-consistency simulation.
+#[derive(Debug)]
+pub enum EEv {
+    /// Input for a node (CPU-charged where appropriate).
+    Input(ENodeInput),
+    /// Post-CPU execution.
+    Exec(ENodeInput),
+    /// Log device sync completion.
+    SyncDone,
+    /// Client event.
+    Client(EClientEv),
+    /// Periodic anti-entropy trigger.
+    AeTick,
+}
+
+/// Client events.
+#[derive(Debug)]
+pub enum EClientEv {
+    /// Begin the closed loop.
+    Start,
+    /// A reply arrived.
+    Reply(EReply),
+}
+
+/// Workloads for the baseline.
+#[derive(Clone, Debug)]
+pub enum EWorkload {
+    /// Random-row reads at the given level (Fig. 8).
+    Reads {
+        /// Distinct keys.
+        keys: u64,
+        /// Weak or quorum.
+        level: ReadLevel,
+    },
+    /// Writes (Fig. 9 / Fig. 15).
+    Writes {
+        /// Distinct keys.
+        keys: u64,
+        /// Value size.
+        value_size: usize,
+        /// Weak or quorum.
+        level: WriteLevel,
+    },
+    /// Mixed (Fig. 12).
+    Mixed {
+        /// Distinct keys.
+        keys: u64,
+        /// Value size.
+        value_size: usize,
+        /// Write percentage.
+        write_pct: u8,
+        /// Read level.
+        read_level: ReadLevel,
+        /// Write level.
+        write_level: WriteLevel,
+    },
+}
+
+/// Client statistics (same shape as the Spinnaker client's).
+#[derive(Default)]
+pub struct EClientStats {
+    /// Latency of ops completing inside the window.
+    pub latency: LatencyStats,
+    /// Ops completed inside the window.
+    pub completed: u64,
+    /// Ops completed overall.
+    pub total_completed: u64,
+}
+
+/// Shared stats handle.
+pub type ESharedStats = Rc<RefCell<EClientStats>>;
+
+/// Cluster parameters (mirrors the Spinnaker side for fair comparisons).
+#[derive(Clone, Debug)]
+pub struct EClusterConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Disk profile for the commit log.
+    pub disk: DiskProfile,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// CPU cores per node.
+    pub cpu_cores: usize,
+    /// Read service time per replica visit.
+    pub read_service: Time,
+    /// Write/propose service time.
+    pub write_service: Time,
+    /// Coordinator overhead per request.
+    pub coord_service: Time,
+    /// Anti-entropy interval (0 disables).
+    pub anti_entropy_interval: Time,
+}
+
+impl Default for EClusterConfig {
+    fn default() -> EClusterConfig {
+        EClusterConfig {
+            nodes: 10,
+            seed: 42,
+            disk: DiskProfile::Hdd,
+            net: NetConfig::default(),
+            cpu_cores: 8,
+            read_service: 1200 * MICROS,
+            write_service: 250 * MICROS,
+            coord_service: 350 * MICROS,
+            anti_entropy_interval: 0,
+        }
+    }
+}
+
+struct ENodeHost {
+    proc: ProcId,
+    node: EventualNode,
+    cpu: CpuModel,
+    device: LogDevice,
+    net: Rc<RefCell<NetModel>>,
+    cfg: EClusterConfig,
+}
+
+impl ENodeHost {
+    fn service_for(&self, input: &ENodeInput) -> Time {
+        match input {
+            ENodeInput::Read { .. } => self.cfg.coord_service,
+            ENodeInput::Write { .. } => self.cfg.coord_service,
+            ENodeInput::Peer { msg, .. } => match msg {
+                EPeerMsg::ReplicaWrite { .. } => self.cfg.write_service,
+                EPeerMsg::ReplicaRead { .. } => self.cfg.read_service,
+                EPeerMsg::TreeReq { .. } | EPeerMsg::TreeResp { .. }
+                | EPeerMsg::SyncRows { .. } => 2 * MILLIS,
+                _ => 80 * MICROS,
+            },
+            _ => 0,
+        }
+    }
+
+    fn exec(&mut self, now: Time, input: ENodeInput, ctx: &mut Ctx<'_, EEv>) {
+        let mut out = Vec::new();
+        self.node.on_input(now, input, &mut out);
+        let me = self.proc;
+        for eff in out {
+            match eff {
+                EEffect::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    let from_node = self.node.id();
+                    let at =
+                        self.net.borrow_mut().delivery_time(now, me, to, bytes, ctx.rng());
+                    if let Some(at) = at {
+                        ctx.schedule_at(
+                            at,
+                            to,
+                            EEv::Input(ENodeInput::Peer { from: from_node, msg }),
+                        );
+                    }
+                }
+                EEffect::Reply { to, reply } => {
+                    let bytes = match &reply {
+                        EReply::Value { value: Some((v, _)), .. } => 64 + v.len(),
+                        _ => 64,
+                    };
+                    let at =
+                        self.net.borrow_mut().delivery_time(now, me, to, bytes, ctx.rng());
+                    if let Some(at) = at {
+                        ctx.schedule_at(at, to, EEv::Client(EClientEv::Reply(reply)));
+                    }
+                }
+                EEffect::ForceLog { token, bytes } => {
+                    match self.device.request_force(now, token, bytes, ctx.rng()) {
+                        DiskOutcome::SyncScheduled { done_at } => {
+                            ctx.schedule_at(done_at, me, EEv::SyncDone);
+                        }
+                        DiskOutcome::Queued => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<EEv> for ENodeHost {
+    fn on_event(&mut self, now: Time, ev: EEv, ctx: &mut Ctx<'_, EEv>) {
+        match ev {
+            EEv::Input(input) => {
+                let service = self.service_for(&input);
+                if service == 0 {
+                    self.exec(now, input, ctx);
+                } else {
+                    let done = self.cpu.schedule(now, service);
+                    ctx.schedule_at(done, self.proc, EEv::Exec(input));
+                }
+            }
+            EEv::Exec(input) => self.exec(now, input, ctx),
+            EEv::SyncDone => {
+                let (tokens, next) = self.device.complete_sync(now, ctx.rng());
+                if let Some(t) = next {
+                    ctx.schedule_at(t, self.proc, EEv::SyncDone);
+                }
+                self.exec(now, ENodeInput::LogForced { tokens }, ctx);
+            }
+            EEv::AeTick => {
+                if self.cfg.anti_entropy_interval > 0 {
+                    self.exec(now, ENodeInput::AntiEntropy, ctx);
+                    ctx.schedule(self.cfg.anti_entropy_interval, self.proc, EEv::AeTick);
+                }
+            }
+            EEv::Client(_) => {}
+        }
+    }
+}
+
+struct EClientHost {
+    proc: ProcId,
+    nodes: usize,
+    workload: EWorkload,
+    net: Rc<RefCell<NetModel>>,
+    stats: ESharedStats,
+    window: (Time, Time),
+    next_req: u64,
+    outstanding: Option<(u64, Time)>,
+    value: Bytes,
+    write_index: u64,
+    start_index: Option<u64>,
+}
+
+impl EClientHost {
+    fn issue(&mut self, now: Time, ctx: &mut Ctx<'_, EEv>) {
+        let req = self.next_req;
+        self.next_req += 1;
+        // Any node can coordinate: pick one at random (no leader!).
+        let coordinator = ctx.rng().gen_range(0..self.nodes) as ProcId;
+        let start = *self.start_index.get_or_insert_with(|| ctx.rng().gen());
+        let key_of = |keys: u64, idx: u64| {
+            u64_to_key((idx % keys.max(1)).wrapping_mul(u64::MAX / keys.max(1)))
+        };
+        let (input, bytes) = match self.workload.clone() {
+            EWorkload::Reads { keys, level } => {
+                let key = key_of(keys, ctx.rng().gen_range(0..keys));
+                (ENodeInput::Read { from: self.proc, req, key, level }, 80)
+            }
+            EWorkload::Writes { keys, level, .. } => {
+                let index = start.wrapping_add(self.write_index);
+                self.write_index += 1;
+                let key = key_of(keys, index);
+                (
+                    ENodeInput::Write { from: self.proc, req, key, value: self.value.clone(), level },
+                    80 + self.value.len(),
+                )
+            }
+            EWorkload::Mixed { keys, write_pct, read_level, write_level, .. } => {
+                if ctx.rng().gen_range(0..100u8) < write_pct {
+                    let index = start.wrapping_add(self.write_index);
+                    self.write_index += 1;
+                    let key = key_of(keys, index);
+                    (
+                        ENodeInput::Write {
+                            from: self.proc,
+                            req,
+                            key,
+                            value: self.value.clone(),
+                            level: write_level,
+                        },
+                        80 + self.value.len(),
+                    )
+                } else {
+                    let key = key_of(keys, ctx.rng().gen_range(0..keys));
+                    (ENodeInput::Read { from: self.proc, req, key, level: read_level }, 80)
+                }
+            }
+        };
+        self.outstanding = Some((req, now));
+        let at = self
+            .net
+            .borrow_mut()
+            .delivery_time(now, self.proc, coordinator, bytes, ctx.rng());
+        if let Some(at) = at {
+            ctx.schedule_at(at, coordinator, EEv::Input(input));
+        }
+    }
+}
+
+impl Actor<EEv> for EClientHost {
+    fn on_event(&mut self, now: Time, ev: EEv, ctx: &mut Ctx<'_, EEv>) {
+        let EEv::Client(cev) = ev else { return };
+        match cev {
+            EClientEv::Start => self.issue(now, ctx),
+            EClientEv::Reply(reply) => {
+                let Some((req, sent)) = self.outstanding else { return };
+                if reply.req() != req {
+                    return;
+                }
+                self.outstanding = None;
+                let mut stats = self.stats.borrow_mut();
+                stats.total_completed += 1;
+                if now >= self.window.0 && now <= self.window.1 {
+                    stats.latency.record(now - sent);
+                    stats.completed += 1;
+                }
+                drop(stats);
+                self.issue(now, ctx);
+            }
+        }
+    }
+}
+
+struct RcActor<T>(Rc<RefCell<T>>);
+
+impl<T: Actor<EEv>> Actor<EEv> for RcActor<T> {
+    fn on_event(&mut self, now: Time, ev: EEv, ctx: &mut Ctx<'_, EEv>) {
+        self.0.borrow_mut().on_event(now, ev, ctx);
+    }
+}
+
+/// A complete simulated eventually-consistent cluster.
+pub struct EventualCluster {
+    /// The simulator.
+    pub sim: Sim<EEv>,
+    /// Ring layout (same as Spinnaker's for fair comparison).
+    pub ring: Ring,
+    net: Rc<RefCell<NetModel>>,
+    hosts: Vec<Rc<RefCell<ENodeHost>>>,
+    cfg: EClusterConfig,
+}
+
+impl EventualCluster {
+    /// Build the cluster; nodes occupy procs `0..nodes`.
+    pub fn new(cfg: EClusterConfig) -> EventualCluster {
+        let ring = Ring::with_nodes(cfg.nodes);
+        let net = Rc::new(RefCell::new(NetModel::new(cfg.net.clone())));
+        let mut sim: Sim<EEv> = Sim::new(cfg.seed);
+        let mut hosts = Vec::new();
+        for id in 0..cfg.nodes as NodeId {
+            let node = EventualNode::new(id, ring.clone(), Arc::new(MemVfs::new()))
+                .expect("node construction");
+            let host = Rc::new(RefCell::new(ENodeHost {
+                proc: id,
+                node,
+                cpu: CpuModel::new(cfg.cpu_cores),
+                device: LogDevice::new(cfg.disk),
+                net: net.clone(),
+                cfg: cfg.clone(),
+            }));
+            let proc = sim.add_actor(Box::new(RcActor(host.clone())));
+            assert_eq!(proc, id);
+            if cfg.anti_entropy_interval > 0 {
+                sim.schedule(SECS + id as u64 * 7 * MILLIS, proc, EEv::AeTick);
+            }
+            hosts.push(host);
+        }
+        EventualCluster { sim, ring, net, hosts, cfg }
+    }
+
+    /// Register a closed-loop client.
+    pub fn add_client(
+        &mut self,
+        workload: EWorkload,
+        start_at: Time,
+        measure_from: Time,
+        measure_to: Time,
+    ) -> ESharedStats {
+        let stats: ESharedStats = Rc::new(RefCell::new(EClientStats::default()));
+        let value_size = match &workload {
+            EWorkload::Writes { value_size, .. } | EWorkload::Mixed { value_size, .. } => {
+                *value_size
+            }
+            EWorkload::Reads { .. } => 0,
+        };
+        let placeholder = self.sim.add_actor(Box::new(NoopE));
+        let client = Rc::new(RefCell::new(EClientHost {
+            proc: placeholder,
+            nodes: self.cfg.nodes,
+            workload,
+            net: self.net.clone(),
+            stats: stats.clone(),
+            window: (measure_from, measure_to),
+            next_req: 1,
+            outstanding: None,
+            value: Bytes::from(vec![0xa5u8; value_size.max(1)]),
+            write_index: 0,
+            start_index: None,
+        }));
+        self.sim.replace_actor(placeholder, Box::new(RcActor(client)));
+        self.sim.schedule(start_at, placeholder, EEv::Client(EClientEv::Start));
+        stats
+    }
+
+    /// Inspect a node.
+    pub fn with_node<T>(&self, id: NodeId, f: impl FnOnce(&EventualNode) -> T) -> T {
+        f(&self.hosts[id as usize].borrow().node)
+    }
+
+    /// Drive a node input directly (tests).
+    pub fn inject(&mut self, at: Time, node: NodeId, input: ENodeInput) {
+        self.sim.schedule(at, node, EEv::Input(input));
+    }
+
+    /// Advance virtual time.
+    pub fn run_until(&mut self, t: Time) {
+        self.sim.run_until(t);
+    }
+}
+
+struct NoopE;
+
+impl Actor<EEv> for NoopE {
+    fn on_event(&mut self, _now: Time, _ev: EEv, _ctx: &mut Ctx<'_, EEv>) {}
+}

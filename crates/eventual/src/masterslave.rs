@@ -1,0 +1,234 @@
+//! Traditional 2-way synchronous master-slave replication — the §1.1
+//! baseline whose availability trap (Fig. 1) motivates Paxos replication.
+//!
+//! "The master's log is shipped to the slave and the master forces a
+//! commit record to disk only after the slave forces it first. If the
+//! slave goes down, the master simply continues on without the slave."
+
+use spinnaker_common::{Error, Result};
+
+/// What the pair does when one member is down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailoverPolicy {
+    /// Keep accepting writes on the survivor (the common configuration —
+    /// and the one Fig. 1 shows losing availability and risking data loss).
+    ContinueWithoutPeer,
+    /// Block writes whenever a member is down ("limiting availability this
+    /// way may not be acceptable", §1.1).
+    BlockOnPeerFailure,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Member {
+    /// LSN of the last committed write on this member's disk.
+    lsn: u64,
+    up: bool,
+}
+
+/// A synchronous master-slave pair, modeled at the granularity Fig. 1
+/// uses: committed LSNs per member plus liveness.
+#[derive(Clone, Debug)]
+pub struct MasterSlavePair {
+    master: Member,
+    slave: Member,
+    policy: FailoverPolicy,
+    /// Set when the current serving member is the former slave.
+    failed_over: bool,
+}
+
+impl MasterSlavePair {
+    /// A healthy pair with both members at `initial_lsn` (Fig. 1 starts at
+    /// LSN=10).
+    pub fn new(initial_lsn: u64, policy: FailoverPolicy) -> MasterSlavePair {
+        MasterSlavePair {
+            master: Member { lsn: initial_lsn, up: true },
+            slave: Member { lsn: initial_lsn, up: true },
+            policy,
+            failed_over: false,
+        }
+    }
+
+    fn serving(&self) -> &Member {
+        if self.failed_over {
+            &self.slave
+        } else {
+            &self.master
+        }
+    }
+
+    fn peer(&self) -> &Member {
+        if self.failed_over {
+            &self.master
+        } else {
+            &self.slave
+        }
+    }
+
+    /// Whether a write would be accepted right now.
+    pub fn available_for_writes(&self) -> bool {
+        if !self.serving().up {
+            return false;
+        }
+        match self.policy {
+            FailoverPolicy::ContinueWithoutPeer => true,
+            FailoverPolicy::BlockOnPeerFailure => self.peer().up,
+        }
+    }
+
+    /// Whether reads are served (requires a member with the latest state).
+    pub fn available_for_reads(&self) -> bool {
+        self.serving().up
+    }
+
+    /// Commit one write through the pair.
+    pub fn write(&mut self) -> Result<u64> {
+        if !self.available_for_writes() {
+            return Err(Error::Unavailable("pair cannot accept writes".into()));
+        }
+        let lsn = self.serving().lsn + 1;
+        // Synchronous replication: the peer forces first when it is up.
+        if self.failed_over {
+            if self.master.up {
+                self.master.lsn = lsn;
+            }
+            self.slave.lsn = lsn;
+        } else {
+            if self.slave.up {
+                self.slave.lsn = lsn;
+            }
+            self.master.lsn = lsn;
+        }
+        Ok(lsn)
+    }
+
+    /// The slave crashes.
+    pub fn fail_slave(&mut self) {
+        self.slave.up = false;
+    }
+
+    /// The master crashes. If the slave is up *and* has the latest state it
+    /// takes over.
+    pub fn fail_master(&mut self) {
+        self.master.up = false;
+        if self.slave.up && self.slave.lsn == self.master.lsn {
+            self.failed_over = true;
+        }
+    }
+
+    /// The slave restarts. Fig. 1(d): if the master is still down and the
+    /// slave's state is stale, it **cannot** serve — accepting reads or
+    /// writes would expose/lose committed data.
+    pub fn recover_slave(&mut self) {
+        self.slave.up = true;
+        if !self.master.up && self.slave.lsn == self.master.lsn {
+            self.failed_over = true;
+        }
+        // Stale slave + dead master: still unavailable (the Fig. 1 trap).
+    }
+
+    /// The master restarts; it resynchronizes from whichever member has
+    /// the latest state.
+    pub fn recover_master(&mut self) {
+        self.master.up = true;
+        if self.slave.lsn > self.master.lsn {
+            self.master.lsn = self.slave.lsn;
+        } else {
+            self.slave.lsn = self.slave.lsn.max(self.master.lsn);
+        }
+        self.failed_over = false;
+    }
+
+    /// Committed writes that exist only on a dead member — permanently
+    /// lost if that member never returns. Fig. 1: LSN 11..=20.
+    pub fn at_risk_window(&self) -> Option<(u64, u64)> {
+        let (hi, lo) = (
+            self.master.lsn.max(self.slave.lsn),
+            self.master.lsn.min(self.slave.lsn),
+        );
+        if hi == lo {
+            return None;
+        }
+        let holder_up = if self.master.lsn > self.slave.lsn {
+            self.master.up
+        } else {
+            self.slave.up
+        };
+        if holder_up {
+            None
+        } else {
+            Some((lo + 1, hi))
+        }
+    }
+
+    /// Committed LSNs as `(master, slave)` for assertions.
+    pub fn lsns(&self) -> (u64, u64) {
+        (self.master.lsn, self.slave.lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact Fig. 1 failure sequence.
+    #[test]
+    fn figure_1_unavailability_trap() {
+        let mut pair = MasterSlavePair::new(10, FailoverPolicy::ContinueWithoutPeer);
+        // (a) both at LSN 10.
+        assert_eq!(pair.lsns(), (10, 10));
+
+        // (b) the slave goes down; master continues to LSN 20.
+        pair.fail_slave();
+        assert!(pair.available_for_writes(), "master continues without slave");
+        for _ in 0..10 {
+            pair.write().unwrap();
+        }
+        assert_eq!(pair.lsns(), (20, 10));
+
+        // (c) the master also goes down.
+        pair.fail_master();
+        assert!(!pair.available_for_reads());
+        assert!(!pair.available_for_writes());
+
+        // (d) the slave comes back with the master still down: it does NOT
+        // have the latest state, so the database stays unavailable...
+        pair.recover_slave();
+        assert!(!pair.available_for_writes(), "stale slave cannot serve writes");
+        assert!(!pair.available_for_reads(), "stale slave cannot serve reads");
+        // ...and if the master never returns, LSNs 11-20 are lost.
+        assert_eq!(pair.at_risk_window(), Some((11, 20)));
+    }
+
+    #[test]
+    fn clean_failover_works_when_slave_is_current() {
+        let mut pair = MasterSlavePair::new(10, FailoverPolicy::ContinueWithoutPeer);
+        pair.write().unwrap(); // both at 11
+        pair.fail_master();
+        assert!(pair.available_for_writes(), "up-to-date slave takes over");
+        assert_eq!(pair.write().unwrap(), 12);
+    }
+
+    #[test]
+    fn blocking_policy_sacrifices_availability_not_durability() {
+        let mut pair = MasterSlavePair::new(10, FailoverPolicy::BlockOnPeerFailure);
+        pair.fail_slave();
+        assert!(!pair.available_for_writes(), "writes block with one node down");
+        assert!(pair.write().is_err());
+        // But nothing can ever be lost: both members stay equal.
+        pair.fail_master();
+        pair.recover_slave();
+        assert_eq!(pair.at_risk_window(), None);
+    }
+
+    #[test]
+    fn master_recovery_resyncs_both_sides() {
+        let mut pair = MasterSlavePair::new(10, FailoverPolicy::ContinueWithoutPeer);
+        pair.fail_slave();
+        pair.write().unwrap();
+        pair.recover_slave(); // slave stale at 10, master 11
+        pair.recover_master();
+        assert_eq!(pair.lsns(), (11, 11));
+        assert!(pair.available_for_writes());
+        assert_eq!(pair.at_risk_window(), None);
+    }
+}

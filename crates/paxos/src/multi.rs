@@ -1,0 +1,385 @@
+//! Multi-Paxos: a replicated log built from repeated Paxos instances.
+//!
+//! "Multi-Paxos is a well known optimization of Paxos when a sequence of
+//! values are being submitted to the group. Assuming the leader is
+//! relatively stable, Multi-Paxos skips leader election and simply executes
+//! the quorum phase." (paper Appendix A.)
+//!
+//! One `Prepare` covers every log slot from `from_slot` upward; the
+//! promises report previously accepted values per slot, which the new
+//! leader must re-propose (the generalization of single-decree value
+//! adoption — this is exactly what Spinnaker's leader-takeover re-proposal
+//! of `(l.cmt, l.lst]` specializes, §6.2). Once established, the leader
+//! runs only phase 2 per appended value: 2 message delays per commit.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::single::ProposalN;
+
+/// Log slot index.
+pub type Slot = u64;
+
+/// Messages of the Multi-Paxos protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MultiMsg<V> {
+    /// Phase 1a for every slot ≥ `from_slot`.
+    Prepare { n: ProposalN, from_slot: Slot },
+    /// Phase 1b: previously accepted `(slot, n, value)` triples.
+    Promise { n: ProposalN, accepted: Vec<(Slot, ProposalN, V)> },
+    /// Phase 1b negative.
+    Nack { n: ProposalN, promised: ProposalN },
+    /// Phase 2a for one slot.
+    Accept { n: ProposalN, slot: Slot, value: V },
+    /// Phase 2b for one slot.
+    Ok { n: ProposalN, slot: Slot },
+    /// Leader → replicas: the slot is chosen (Spinnaker's async commit
+    /// message plays this role).
+    Commit { slot: Slot, value: V },
+}
+
+/// Acceptor + learner state of one replica.
+#[derive(Clone, Debug, Default)]
+pub struct Replica<V> {
+    promised: ProposalN,
+    accepted: BTreeMap<Slot, (ProposalN, V)>,
+    chosen: BTreeMap<Slot, V>,
+}
+
+impl<V: Clone> Replica<V> {
+    /// Fresh replica.
+    pub fn new() -> Replica<V> {
+        Replica { promised: ProposalN(0), accepted: BTreeMap::new(), chosen: BTreeMap::new() }
+    }
+
+    /// Handle a message from a (would-be) leader; produce an optional reply.
+    pub fn on_msg(&mut self, msg: MultiMsg<V>) -> Option<MultiMsg<V>> {
+        match msg {
+            MultiMsg::Prepare { n, from_slot } => {
+                if n > self.promised {
+                    self.promised = n;
+                    let accepted = self
+                        .accepted
+                        .range(from_slot..)
+                        .map(|(&s, (an, av))| (s, *an, av.clone()))
+                        .collect();
+                    Some(MultiMsg::Promise { n, accepted })
+                } else {
+                    Some(MultiMsg::Nack { n, promised: self.promised })
+                }
+            }
+            MultiMsg::Accept { n, slot, value } => {
+                if n >= self.promised {
+                    self.promised = n;
+                    self.accepted.insert(slot, (n, value));
+                    Some(MultiMsg::Ok { n, slot })
+                } else {
+                    // Unlike bare single-decree Paxos (which stays silent),
+                    // nack stale accepts so a deposed leader steps down
+                    // promptly — the same practical choice Spinnaker makes
+                    // by detecting leadership changes through epochs.
+                    Some(MultiMsg::Nack { n, promised: self.promised })
+                }
+            }
+            MultiMsg::Commit { slot, value } => {
+                self.chosen.insert(slot, value);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// The learned log: values for a contiguous prefix of slots.
+    pub fn learned_prefix(&self) -> Vec<V> {
+        let mut out = Vec::new();
+        let mut next = 0;
+        while let Some(v) = self.chosen.get(&next) {
+            out.push(v.clone());
+            next += 1;
+        }
+        out
+    }
+
+    /// All learned `(slot, value)` pairs (possibly with gaps).
+    pub fn learned(&self) -> &BTreeMap<Slot, V> {
+        &self.chosen
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LeaderPhase {
+    Idle,
+    Electing,
+    Leading,
+}
+
+/// The distinguished proposer driving the log.
+#[derive(Clone, Debug)]
+pub struct Leader<V> {
+    id: u32,
+    cluster: usize,
+    n: ProposalN,
+    phase: LeaderPhase,
+    promises: BTreeSet<u32>,
+    recovered: BTreeMap<Slot, (ProposalN, V)>,
+    next_slot: Slot,
+    in_flight: BTreeMap<Slot, (V, BTreeSet<u32>)>,
+    chosen: BTreeMap<Slot, V>,
+    queue: Vec<V>,
+}
+
+/// Effects the leader asks its host to carry out.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Effect<V> {
+    /// Broadcast to all replicas (including the leader's own).
+    Broadcast(MultiMsg<V>),
+    /// A slot was committed in order; apply it to the state machine.
+    Deliver(Slot, V),
+}
+
+impl<V: Clone> Leader<V> {
+    /// A leader candidate for a cluster of `cluster` replicas.
+    pub fn new(id: u32, cluster: usize) -> Leader<V> {
+        Leader {
+            id,
+            cluster,
+            n: ProposalN(0),
+            phase: LeaderPhase::Idle,
+            promises: BTreeSet::new(),
+            recovered: BTreeMap::new(),
+            next_slot: 0,
+            in_flight: BTreeMap::new(),
+            chosen: BTreeMap::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.cluster / 2 + 1
+    }
+
+    /// Begin phase 1 over all slots not yet known chosen.
+    pub fn campaign(&mut self) -> Vec<Effect<V>> {
+        self.n = ProposalN::new(self.n.round() + 1, self.id);
+        self.phase = LeaderPhase::Electing;
+        self.promises.clear();
+        self.recovered.clear();
+        self.in_flight.clear();
+        vec![Effect::Broadcast(MultiMsg::Prepare { n: self.n, from_slot: self.next_slot })]
+    }
+
+    /// Submit a value to be appended to the log. Queued until leadership is
+    /// established; proposed immediately afterwards.
+    pub fn submit(&mut self, value: V) -> Vec<Effect<V>> {
+        self.queue.push(value);
+        if self.phase == LeaderPhase::Leading {
+            self.drain_queue()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn drain_queue(&mut self) -> Vec<Effect<V>> {
+        let mut out = Vec::new();
+        for value in std::mem::take(&mut self.queue) {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.in_flight.insert(slot, (value.clone(), BTreeSet::new()));
+            out.push(Effect::Broadcast(MultiMsg::Accept { n: self.n, slot, value }));
+        }
+        out
+    }
+
+    /// Handle a reply from replica `from`.
+    pub fn on_msg(&mut self, from: u32, msg: MultiMsg<V>) -> Vec<Effect<V>> {
+        match msg {
+            MultiMsg::Promise { n, accepted } if n == self.n && self.phase == LeaderPhase::Electing => {
+                self.promises.insert(from);
+                for (slot, an, av) in accepted {
+                    let better = match self.recovered.get(&slot) {
+                        Some((bn, _)) => an > *bn,
+                        None => true,
+                    };
+                    if better {
+                        self.recovered.insert(slot, (an, av));
+                    }
+                }
+                if self.promises.len() >= self.majority() {
+                    self.phase = LeaderPhase::Leading;
+                    let mut out = Vec::new();
+                    // Re-propose every recovered slot under our own n —
+                    // the Multi-Paxos analogue of leader takeover.
+                    for (slot, (_, value)) in std::mem::take(&mut self.recovered) {
+                        self.next_slot = self.next_slot.max(slot + 1);
+                        self.in_flight.insert(slot, (value.clone(), BTreeSet::new()));
+                        out.push(Effect::Broadcast(MultiMsg::Accept {
+                            n: self.n,
+                            slot,
+                            value,
+                        }));
+                    }
+                    out.extend(self.drain_queue());
+                    return out;
+                }
+                Vec::new()
+            }
+            MultiMsg::Ok { n, slot } if n == self.n && self.phase == LeaderPhase::Leading => {
+                let mut out = Vec::new();
+                let majority = self.majority();
+                let mut newly_chosen = false;
+                if let Some((value, oks)) = self.in_flight.get_mut(&slot) {
+                    oks.insert(from);
+                    if oks.len() >= majority {
+                        let value = value.clone();
+                        self.in_flight.remove(&slot);
+                        self.chosen.insert(slot, value.clone());
+                        out.push(Effect::Broadcast(MultiMsg::Commit { slot, value }));
+                        newly_chosen = true;
+                    }
+                }
+                if newly_chosen {
+                    out.extend(self.deliverable());
+                }
+                out
+            }
+            MultiMsg::Nack { n, promised } if n == self.n => {
+                // Deposed: remember the higher round for the next campaign.
+                if promised.round() > self.n.round() {
+                    self.n = ProposalN::new(promised.round(), self.id);
+                }
+                // Re-queue anything not yet chosen so a future campaign by
+                // this node re-submits it.
+                for (_, (v, _)) in std::mem::take(&mut self.in_flight) {
+                    self.queue.push(v);
+                }
+                self.phase = LeaderPhase::Idle;
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn deliverable(&self) -> Vec<Effect<V>> {
+        // Report the longest chosen prefix; the host applies in order.
+        let mut out = Vec::new();
+        let mut slot = 0;
+        while let Some(v) = self.chosen.get(&slot) {
+            out.push(Effect::Deliver(slot, v.clone()));
+            slot += 1;
+        }
+        out
+    }
+
+    /// True while established as leader.
+    pub fn is_leading(&self) -> bool {
+        self.phase == LeaderPhase::Leading
+    }
+
+    /// True when deposed and needing a new campaign.
+    pub fn needs_campaign(&self) -> bool {
+        self.phase == LeaderPhase::Idle
+    }
+
+    /// Values this leader knows are chosen.
+    pub fn chosen(&self) -> &BTreeMap<Slot, V> {
+        &self.chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deliver a broadcast to all replicas and feed replies back.
+    fn pump(leader: &mut Leader<u64>, replicas: &mut [Replica<u64>], effects: Vec<Effect<u64>>) {
+        let mut queue = effects;
+        while let Some(e) = queue.pop() {
+            if let Effect::Broadcast(msg) = e {
+                for (i, r) in replicas.iter_mut().enumerate() {
+                    if let Some(reply) = r.on_msg(msg.clone()) {
+                        queue.extend(leader.on_msg(i as u32, reply));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_leader_commits_a_sequence() {
+        let mut replicas: Vec<Replica<u64>> = (0..3).map(|_| Replica::new()).collect();
+        let mut leader: Leader<u64> = Leader::new(0, 3);
+        let fx = leader.campaign();
+        pump(&mut leader, &mut replicas, fx);
+        assert!(leader.is_leading());
+        for v in [10u64, 20, 30] {
+            let fx = leader.submit(v);
+            pump(&mut leader, &mut replicas, fx);
+        }
+        for r in &replicas {
+            assert_eq!(r.learned_prefix(), vec![10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn new_leader_recovers_in_flight_slots() {
+        let mut replicas: Vec<Replica<u64>> = (0..3).map(|_| Replica::new()).collect();
+
+        // Old leader gets slot 0 accepted on replicas 0 and 1 but crashes
+        // before committing.
+        let n_old = ProposalN::new(1, 0);
+        for r in &mut replicas[0..2] {
+            r.on_msg(MultiMsg::Prepare { n: n_old, from_slot: 0 });
+            r.on_msg(MultiMsg::Accept { n: n_old, slot: 0, value: 77 });
+        }
+
+        // New leader campaigns over replicas 1 and 2.
+        let mut leader: Leader<u64> = Leader::new(1, 3);
+        let fx = leader.campaign();
+        let mut queue = fx;
+        while let Some(effect) = queue.pop() {
+            if let Effect::Broadcast(msg) = effect {
+                for i in [1usize, 2] {
+                    if let Some(reply) = replicas[i].on_msg(msg.clone()) {
+                        queue.extend(leader.on_msg(i as u32, reply));
+                    }
+                }
+            }
+        }
+        assert!(leader.is_leading());
+        // Slot 0 must have been re-proposed with value 77 and committed.
+        assert_eq!(leader.chosen().get(&0), Some(&77));
+        assert_eq!(replicas[1].learned().get(&0), Some(&77));
+    }
+
+    #[test]
+    fn deposed_leader_requeues_unchosen_values() {
+        let mut replicas: Vec<Replica<u64>> = (0..3).map(|_| Replica::new()).collect();
+        let mut old: Leader<u64> = Leader::new(0, 3);
+        let fx = old.campaign();
+        pump(&mut old, &mut replicas, fx);
+        // A competing leader takes over with a higher round.
+        let mut new: Leader<u64> = Leader::new(1, 3);
+        let fx = new.campaign();
+        pump(&mut new, &mut replicas, fx);
+        assert!(new.is_leading());
+        // The old leader proposes; replicas nack; it must step down.
+        let fx = old.submit(5);
+        pump(&mut old, &mut replicas, fx);
+        assert!(old.needs_campaign());
+    }
+
+    #[test]
+    fn commit_order_is_slot_order() {
+        let mut replicas: Vec<Replica<u64>> = (0..5).map(|_| Replica::new()).collect();
+        let mut leader: Leader<u64> = Leader::new(0, 5);
+        let fx = leader.campaign();
+        pump(&mut leader, &mut replicas, fx);
+        for v in 0..20u64 {
+            let fx = leader.submit(v * 100);
+            pump(&mut leader, &mut replicas, fx);
+        }
+        let expect: Vec<u64> = (0..20).map(|v| v * 100).collect();
+        for r in &replicas {
+            assert_eq!(r.learned_prefix(), expect);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Single-decree Paxos (paper Appendix A).
+//!
+//! The two-phase message flow exactly as the paper sketches it:
+//!
+//! 1a. **Propose**: a proposer picks a proposal number `n` and sends
+//!     `Prepare` to the group.
+//! 1b. **Promise**: an acceptor that has not promised a higher `n` replies
+//!     with `Promise`, carrying any value it previously accepted;
+//!     otherwise it replies `Nack`.
+//! 2a. **Accept**: with promises from a majority, the proposer sends
+//!     `Accept` — required to carry the highest-numbered value reported in
+//!     the promises, or its own value if none was reported.
+//! 2b. **Ok**: an acceptor that has not promised past `n` accepts and
+//!     replies `Ok`; a majority of Oks means the value is *chosen*.
+//!
+//! Acceptor state (`promised`, `accepted`) is the part the paper says must
+//! be written "to stable storage in a write-ahead log before sending
+//! messages"; [`Acceptor::durable_state`]/[`Acceptor::restore`] expose that
+//! hook and the crash tests in this crate use it.
+
+use std::collections::BTreeSet;
+
+/// A proposal number: unique and totally ordered across proposers.
+/// The round occupies the high bits and the proposer id the low bits, so
+/// two proposers never generate the same number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct ProposalN(pub u64);
+
+impl ProposalN {
+    /// Compose from a round counter and proposer id.
+    pub fn new(round: u32, proposer: u32) -> ProposalN {
+        ProposalN(((round as u64) << 32) | proposer as u64)
+    }
+
+    /// The round component.
+    pub fn round(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The proposer component.
+    pub fn proposer(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Messages of the single-decree protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Msg<V> {
+    /// Phase 1a.
+    Prepare { n: ProposalN },
+    /// Phase 1b (positive).
+    Promise { n: ProposalN, accepted: Option<(ProposalN, V)> },
+    /// Phase 1b (negative): already promised `promised > n`.
+    Nack { n: ProposalN, promised: ProposalN },
+    /// Phase 2a.
+    Accept { n: ProposalN, value: V },
+    /// Phase 2b ("ok").
+    Ok { n: ProposalN },
+}
+
+/// Acceptor role: one per node.
+#[derive(Clone, Debug, Default)]
+pub struct Acceptor<V> {
+    promised: ProposalN,
+    accepted: Option<(ProposalN, V)>,
+}
+
+impl<V: Clone> Acceptor<V> {
+    /// Fresh acceptor.
+    pub fn new() -> Acceptor<V> {
+        Acceptor { promised: ProposalN(0), accepted: None }
+    }
+
+    /// Handle `Prepare`, producing the reply to send back.
+    pub fn on_prepare(&mut self, n: ProposalN) -> Msg<V> {
+        if n > self.promised {
+            self.promised = n;
+            Msg::Promise { n, accepted: self.accepted.clone() }
+        } else {
+            Msg::Nack { n, promised: self.promised }
+        }
+    }
+
+    /// Handle `Accept`; `None` means silently ignore (the paper: "no
+    /// response is given").
+    pub fn on_accept(&mut self, n: ProposalN, value: V) -> Option<Msg<V>> {
+        if n >= self.promised {
+            self.promised = n;
+            self.accepted = Some((n, value));
+            Some(Msg::Ok { n })
+        } else {
+            None
+        }
+    }
+
+    /// The state that must be forced to stable storage before replying.
+    pub fn durable_state(&self) -> (ProposalN, Option<(ProposalN, V)>) {
+        (self.promised, self.accepted.clone())
+    }
+
+    /// Restore after a crash from the durable state.
+    pub fn restore(promised: ProposalN, accepted: Option<(ProposalN, V)>) -> Acceptor<V> {
+        Acceptor { promised, accepted }
+    }
+}
+
+/// What the proposer asks the harness to do next.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action<V> {
+    /// Broadcast this message to every acceptor.
+    Broadcast(Msg<V>),
+    /// The value is chosen (a majority accepted it).
+    Chosen(V),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Preparing,
+    Accepting,
+    Done,
+}
+
+/// Proposer role.
+#[derive(Clone, Debug)]
+pub struct Proposer<V> {
+    id: u32,
+    cluster: usize,
+    round: u32,
+    n: ProposalN,
+    value: V,
+    phase: Phase,
+    promises: BTreeSet<u32>,
+    best_accepted: Option<(ProposalN, V)>,
+    oks: BTreeSet<u32>,
+    chosen: Option<V>,
+}
+
+impl<V: Clone> Proposer<V> {
+    /// A proposer with its own `value` it wishes to propose.
+    pub fn new(id: u32, cluster: usize, value: V) -> Proposer<V> {
+        Proposer {
+            id,
+            cluster,
+            round: 0,
+            n: ProposalN(0),
+            value,
+            phase: Phase::Idle,
+            promises: BTreeSet::new(),
+            best_accepted: None,
+            oks: BTreeSet::new(),
+            chosen: None,
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.cluster / 2 + 1
+    }
+
+    /// Start (or restart) a round with a proposal number above everything
+    /// seen so far.
+    pub fn start(&mut self) -> Action<V> {
+        self.round += 1;
+        self.n = ProposalN::new(self.round.max(self.n.round() + 1), self.id);
+        self.round = self.n.round();
+        self.phase = Phase::Preparing;
+        self.promises.clear();
+        self.oks.clear();
+        self.best_accepted = None;
+        Action::Broadcast(Msg::Prepare { n: self.n })
+    }
+
+    /// Feed a reply from acceptor `from`; returns the next action, if any.
+    pub fn on_msg(&mut self, from: u32, msg: Msg<V>) -> Option<Action<V>> {
+        match msg {
+            Msg::Promise { n, accepted } if n == self.n && self.phase == Phase::Preparing => {
+                self.promises.insert(from);
+                if let Some((an, av)) = accepted {
+                    let better = match &self.best_accepted {
+                        Some((bn, _)) => an > *bn,
+                        None => true,
+                    };
+                    if better {
+                        self.best_accepted = Some((an, av));
+                    }
+                }
+                if self.promises.len() >= self.majority() {
+                    self.phase = Phase::Accepting;
+                    // Adopt the highest-numbered previously accepted value.
+                    if let Some((_, v)) = &self.best_accepted {
+                        self.value = v.clone();
+                    }
+                    return Some(Action::Broadcast(Msg::Accept {
+                        n: self.n,
+                        value: self.value.clone(),
+                    }));
+                }
+                None
+            }
+            Msg::Ok { n } if n == self.n && self.phase == Phase::Accepting => {
+                self.oks.insert(from);
+                if self.oks.len() >= self.majority() {
+                    self.phase = Phase::Done;
+                    self.chosen = Some(self.value.clone());
+                    return Some(Action::Chosen(self.value.clone()));
+                }
+                None
+            }
+            Msg::Nack { n, promised } if n == self.n && self.phase != Phase::Done => {
+                // Someone promised a higher proposal: back off and retry
+                // with a larger number. (The harness decides *when*.)
+                if promised.round() >= self.round {
+                    self.round = promised.round();
+                }
+                self.phase = Phase::Idle;
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// True once a value was chosen through this proposer.
+    pub fn chosen(&self) -> Option<&V> {
+        self.chosen.as_ref()
+    }
+
+    /// Whether the proposer needs `start()` again (it was nacked).
+    pub fn needs_restart(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
+    /// Current proposal number (diagnostics).
+    pub fn current_n(&self) -> ProposalN {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposal_numbers_are_unique_and_ordered() {
+        let a = ProposalN::new(1, 0);
+        let b = ProposalN::new(1, 1);
+        let c = ProposalN::new(2, 0);
+        assert!(a < b && b < c);
+        assert_eq!(c.round(), 2);
+        assert_eq!(b.proposer(), 1);
+    }
+
+    #[test]
+    fn happy_path_three_acceptors() {
+        let mut acceptors: Vec<Acceptor<u64>> = (0..3).map(|_| Acceptor::new()).collect();
+        let mut p = Proposer::new(0, 3, 42u64);
+        let Action::Broadcast(prepare) = p.start() else { panic!() };
+        let mut chosen = None;
+        let mut replies: Vec<(u32, Msg<u64>)> = Vec::new();
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            let Msg::Prepare { n } = prepare.clone() else { panic!() };
+            replies.push((i as u32, a.on_prepare(n)));
+        }
+        let mut accept = None;
+        for (from, reply) in replies {
+            if let Some(Action::Broadcast(m)) = p.on_msg(from, reply) {
+                accept = Some(m);
+            }
+        }
+        let Some(Msg::Accept { n, value }) = accept else { panic!("no accept phase") };
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            if let Some(ok) = a.on_accept(n, value) {
+                if let Some(Action::Chosen(v)) = p.on_msg(i as u32, ok) {
+                    chosen = Some(v);
+                }
+            }
+        }
+        assert_eq!(chosen, Some(42));
+        assert_eq!(p.chosen(), Some(&42));
+    }
+
+    #[test]
+    fn acceptor_nacks_lower_prepares() {
+        let mut a: Acceptor<u64> = Acceptor::new();
+        let hi = ProposalN::new(5, 0);
+        let lo = ProposalN::new(3, 1);
+        assert!(matches!(a.on_prepare(hi), Msg::Promise { .. }));
+        assert!(matches!(a.on_prepare(lo), Msg::Nack { promised, .. } if promised == hi));
+    }
+
+    #[test]
+    fn acceptor_ignores_stale_accepts() {
+        let mut a: Acceptor<u64> = Acceptor::new();
+        a.on_prepare(ProposalN::new(9, 0));
+        assert!(a.on_accept(ProposalN::new(3, 1), 7).is_none());
+        assert!(a.on_accept(ProposalN::new(9, 0), 7).is_some());
+    }
+
+    #[test]
+    fn second_proposer_adopts_accepted_value() {
+        // The crux of Paxos safety: once a value may have been chosen, a
+        // later proposer must propose that value, not its own.
+        let mut acceptors: Vec<Acceptor<u64>> = (0..3).map(|_| Acceptor::new()).collect();
+
+        // Proposer 0 gets value 42 accepted by a majority {0, 1}.
+        let n0 = ProposalN::new(1, 0);
+        for a in &mut acceptors[0..2] {
+            a.on_prepare(n0);
+            a.on_accept(n0, 42);
+        }
+
+        // Proposer 1, unaware, prepares with a higher number at {1, 2}.
+        let mut p1 = Proposer::new(1, 3, 99u64);
+        let Action::Broadcast(Msg::Prepare { n }) = p1.start() else { panic!() };
+        assert!(n > n0);
+        let r1 = acceptors[1].on_prepare(n);
+        let r2 = acceptors[2].on_prepare(n);
+        let mut accept = None;
+        for (from, reply) in [(1u32, r1), (2u32, r2)] {
+            if let Some(Action::Broadcast(m)) = p1.on_msg(from, reply) {
+                accept = Some(m);
+            }
+        }
+        let Some(Msg::Accept { value, .. }) = accept else { panic!() };
+        assert_eq!(value, 42, "proposer must adopt the possibly-chosen value");
+    }
+
+    #[test]
+    fn crash_restore_preserves_promises() {
+        let mut a: Acceptor<u64> = Acceptor::new();
+        a.on_prepare(ProposalN::new(7, 0));
+        a.on_accept(ProposalN::new(7, 0), 13);
+        let (promised, accepted) = a.durable_state();
+        let mut restored = Acceptor::restore(promised, accepted);
+        // After restart it must still nack lower proposals.
+        assert!(matches!(restored.on_prepare(ProposalN::new(3, 1)), Msg::Nack { .. }));
+        // And it reports its accepted value in new promises.
+        match restored.on_prepare(ProposalN::new(9, 1)) {
+            Msg::Promise { accepted: Some((_, v)), .. } => assert_eq!(v, 13),
+            other => panic!("expected promise with value, got {other:?}"),
+        }
+    }
+}

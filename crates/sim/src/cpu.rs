@@ -1,0 +1,102 @@
+//! CPU model: an m-server queue per node.
+//!
+//! Every message a node handles is charged a service time on one of the
+//! node's cores (the testbed machines had two quad-cores, Appendix C). As
+//! offered load approaches `cores / service_time`, queueing delay blows up
+//! — producing the latency knee of Figures 8/9 without any hand-tuning.
+
+use crate::kernel::Time;
+
+/// An m-server FIFO queue tracking per-core busy-until times.
+pub struct CpuModel {
+    cores: Vec<Time>,
+    busy_ns: u64,
+    jobs: u64,
+}
+
+impl CpuModel {
+    /// A CPU with `cores` parallel servers.
+    pub fn new(cores: usize) -> CpuModel {
+        assert!(cores > 0);
+        CpuModel { cores: vec![0; cores], busy_ns: 0, jobs: 0 }
+    }
+
+    /// Schedule a job arriving at `now` needing `service` time; returns
+    /// the completion time (start may be delayed by queueing).
+    pub fn schedule(&mut self, now: Time, service: Time) -> Time {
+        // Pick the earliest-free core.
+        let core = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = self.cores[core].max(now);
+        let done = start + service;
+        self.cores[core] = done;
+        self.busy_ns += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// Utilization over `elapsed` wall time (can exceed 1.0 per-node when
+    /// multiple cores are busy; divide by core count for a fraction).
+    pub fn utilization(&self, elapsed: Time) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (elapsed as f64 * self.cores.len() as f64)
+    }
+
+    /// Jobs processed so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::kernel::MILLIS;
+
+    use super::*;
+
+    #[test]
+    fn uncontended_jobs_finish_after_service_time() {
+        let mut cpu = CpuModel::new(4);
+        assert_eq!(cpu.schedule(1000, 500), 1500);
+    }
+
+    #[test]
+    fn parallelism_up_to_core_count() {
+        let mut cpu = CpuModel::new(2);
+        // Three simultaneous 1 ms jobs on 2 cores: third queues.
+        let a = cpu.schedule(0, MILLIS);
+        let b = cpu.schedule(0, MILLIS);
+        let c = cpu.schedule(0, MILLIS);
+        assert_eq!(a, MILLIS);
+        assert_eq!(b, MILLIS);
+        assert_eq!(c, 2 * MILLIS);
+    }
+
+    #[test]
+    fn queueing_delay_grows_with_overload() {
+        let mut cpu = CpuModel::new(1);
+        let mut last = 0;
+        // Jobs arrive every 0.5 ms but need 1 ms: latency grows linearly.
+        for i in 0..100u64 {
+            last = cpu.schedule(i * MILLIS / 2, MILLIS);
+        }
+        let arrival = 99 * MILLIS / 2;
+        assert!(last - arrival > 40 * MILLIS, "overload must queue: {}", last - arrival);
+        assert!(cpu.utilization(last) > 0.99);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate() {
+        let mut cpu = CpuModel::new(1);
+        cpu.schedule(0, MILLIS);
+        // Arrives long after the first finished: no queueing.
+        assert_eq!(cpu.schedule(10 * MILLIS, MILLIS), 11 * MILLIS);
+    }
+}

@@ -1,0 +1,19 @@
+//! LSM storage engine for the Spinnaker datastore (paper §4.1).
+//!
+//! Committed writes land in a [`Memtable`], are periodically flushed to
+//! immutable, indexed, bloom-filtered [`sstable::Table`]s tagged with the
+//! min/max LSN of the writes they contain, and smaller tables are merged
+//! into larger ones in the background ([`RangeStore::maybe_compact`]).
+//! The design follows Bigtable's SSTables as the paper describes.
+
+pub mod bloom;
+pub mod memtable;
+pub mod merge;
+pub mod sstable;
+pub mod store;
+
+pub use bloom::Bloom;
+pub use memtable::Memtable;
+pub use merge::{vec_stream, MergeIter, RowStream};
+pub use sstable::{Table, TableBuilder, TableMeta, TableOptions};
+pub use store::{RangeStore, StoreOptions};

@@ -1,0 +1,185 @@
+//! The memtable: committed writes land here before being flushed to an
+//! SSTable (paper §4.1).
+
+use std::collections::BTreeMap;
+
+use spinnaker_common::{Key, Lsn, Row, WriteOp};
+
+/// In-memory sorted run of committed writes.
+///
+/// Tracks the LSN range it covers so a flush can tag the resulting SSTable
+/// with min/max LSNs (used by recovery catch-up when the log has rolled
+/// over, §6.1) and advance the WAL checkpoint.
+#[derive(Default)]
+pub struct Memtable {
+    rows: BTreeMap<Key, Row>,
+    approx_bytes: usize,
+    min_lsn: Lsn,
+    max_lsn: Lsn,
+}
+
+impl Memtable {
+    /// Fresh empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Apply a committed write at `lsn`.
+    ///
+    /// Idempotent: versions derive from the LSN, so replaying a record
+    /// during recovery reproduces identical state.
+    pub fn apply(&mut self, op: &WriteOp, lsn: Lsn) {
+        let is_new_row = !self.rows.contains_key(&op.key);
+        let row = self.rows.entry(op.key.clone()).or_default();
+        let before = row.approx_size();
+        op.apply_to_row(row, lsn);
+        let after = row.approx_size();
+        // Invariant: approx_bytes >= sum of counted row sizes >= before, so
+        // the expression below cannot underflow.
+        self.approx_bytes = self.approx_bytes + after - before;
+        if is_new_row {
+            self.approx_bytes += op.key.len();
+        }
+        if self.min_lsn.is_zero() || lsn < self.min_lsn {
+            self.min_lsn = lsn;
+        }
+        if lsn > self.max_lsn {
+            self.max_lsn = lsn;
+        }
+    }
+
+    /// Merge a row fragment received from catch-up (paper §6.1: rows shipped
+    /// from the leader's SSTables). Column versions inside `fragment` carry
+    /// the LSNs of their original writes; LSN accounting follows them.
+    pub fn merge_row(&mut self, key: &Key, fragment: &Row) {
+        if fragment.is_empty() {
+            return;
+        }
+        let is_new_row = !self.rows.contains_key(key);
+        let row = self.rows.entry(key.clone()).or_default();
+        let before = row.approx_size();
+        row.merge_newer(fragment);
+        let after = row.approx_size();
+        self.approx_bytes = self.approx_bytes + after - before;
+        if is_new_row {
+            self.approx_bytes += key.len();
+        }
+        for cv in fragment.columns.values() {
+            let lsn = Lsn::from_u64(cv.version);
+            if self.min_lsn.is_zero() || lsn < self.min_lsn {
+                self.min_lsn = lsn;
+            }
+            if lsn > self.max_lsn {
+                self.max_lsn = lsn;
+            }
+        }
+    }
+
+    /// The stored fragment of `key`'s row (tombstones included).
+    pub fn get(&self, key: &Key) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Number of distinct rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no writes have been applied.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rough memory footprint, used to trigger flushes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Lowest LSN applied (`Lsn::ZERO` when empty).
+    pub fn min_lsn(&self) -> Lsn {
+        self.min_lsn
+    }
+
+    /// Highest LSN applied (`Lsn::ZERO` when empty).
+    pub fn max_lsn(&self) -> Lsn {
+        self.max_lsn
+    }
+
+    /// Iterate rows in key order (the flush path).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Row)> {
+        self.rows.iter()
+    }
+
+    /// Drain into a sorted vector, resetting the memtable.
+    pub fn take_sorted(&mut self) -> Vec<(Key, Row)> {
+        let rows = std::mem::take(&mut self.rows);
+        self.approx_bytes = 0;
+        self.min_lsn = Lsn::ZERO;
+        self.max_lsn = Lsn::ZERO;
+        rows.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use spinnaker_common::op;
+
+    use super::*;
+
+    #[test]
+    fn apply_and_get() {
+        let mut mt = Memtable::new();
+        mt.apply(&op::put("k1", "c", "v1"), Lsn::new(1, 1));
+        mt.apply(&op::put("k1", "d", "v2"), Lsn::new(1, 2));
+        mt.apply(&op::put("k0", "c", "v3"), Lsn::new(1, 3));
+        assert_eq!(mt.len(), 2);
+        let row = mt.get(&Key::from("k1")).unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"v1");
+        assert_eq!(row.get_live(b"d").unwrap().value.as_ref(), b"v2");
+        assert_eq!((mt.min_lsn(), mt.max_lsn()), (Lsn::new(1, 1), Lsn::new(1, 3)));
+    }
+
+    #[test]
+    fn later_lsn_overwrites_column() {
+        let mut mt = Memtable::new();
+        mt.apply(&op::put("k", "c", "old"), Lsn::new(1, 1));
+        mt.apply(&op::put("k", "c", "new"), Lsn::new(1, 5));
+        let row = mt.get(&Key::from("k")).unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"new");
+        assert_eq!(row.get_live(b"c").unwrap().version, Lsn::new(1, 5).as_u64());
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut mt = Memtable::new();
+        mt.apply(&op::put("k", "c", "v"), Lsn::new(1, 1));
+        mt.apply(&op::delete("k", "c"), Lsn::new(1, 2));
+        let row = mt.get(&Key::from("k")).unwrap();
+        assert!(row.get_live(b"c").is_none());
+        assert!(row.get(b"c").unwrap().tombstone);
+    }
+
+    #[test]
+    fn take_sorted_resets_state() {
+        let mut mt = Memtable::new();
+        mt.apply(&op::put("b", "c", "v"), Lsn::new(1, 1));
+        mt.apply(&op::put("a", "c", "v"), Lsn::new(1, 2));
+        let drained = mt.take_sorted();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].0 < drained[1].0, "sorted by key");
+        assert!(mt.is_empty());
+        assert_eq!(mt.approx_bytes(), 0);
+        assert_eq!(mt.max_lsn(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn bytes_accounting_grows() {
+        let mut mt = Memtable::new();
+        assert_eq!(mt.approx_bytes(), 0);
+        mt.apply(&op::put("k", "c", "some value"), Lsn::new(1, 1));
+        let one = mt.approx_bytes();
+        assert!(one > 0);
+        mt.apply(&op::put("k2", "c", "some value"), Lsn::new(1, 2));
+        assert!(mt.approx_bytes() > one);
+    }
+}

@@ -1,0 +1,547 @@
+//! SSTables: immutable, sorted, indexed on-disk runs (paper §4.1, after
+//! Bigtable's design).
+//!
+//! Layout:
+//!
+//! ```text
+//! [data block | crc32c]*        entries: (key, row), ~4 KiB per block
+//! [index block | crc32c]        (first_key, offset, len) per data block
+//! [bloom block | crc32c]        bloom filter over row keys
+//! [footer | crc32c]             key range, LSN range, row count, offsets
+//! [footer_offset u64][magic u64]  fixed 16-byte trailer
+//! ```
+//!
+//! Every SSTable is tagged with the **min and max LSN** of the writes it
+//! contains (§6.1): when a catch-up request cannot be served from the
+//! leader's log because it rolled over, the appropriate SSTables are
+//! located by LSN range and their rows shipped to the follower.
+
+use spinnaker_common::codec::{self, Decode, Encode};
+use spinnaker_common::vfs::SharedVfs;
+use spinnaker_common::{Error, Key, Lsn, Result, Row};
+
+use crate::bloom::Bloom;
+
+/// `"SPINSST1"` little-endian.
+const MAGIC: u64 = 0x3154_5353_4e49_5053;
+
+/// Build-time options.
+#[derive(Clone, Debug)]
+pub struct TableOptions {
+    /// Target uncompressed data-block size.
+    pub block_bytes: usize,
+    /// Bloom filter budget.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> TableOptions {
+        TableOptions { block_bytes: 4096, bloom_bits_per_key: 10 }
+    }
+}
+
+/// Summary of a finished table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Smallest row key.
+    pub min_key: Key,
+    /// Largest row key.
+    pub max_key: Key,
+    /// Smallest column version (packed LSN) stored.
+    pub min_lsn: Lsn,
+    /// Largest column version (packed LSN) stored.
+    pub max_lsn: Lsn,
+    /// Number of rows.
+    pub row_count: u64,
+    /// File size in bytes.
+    pub file_bytes: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct IndexEntry {
+    first_key: Key,
+    offset: u64,
+    len: u32,
+}
+
+fn row_lsn_bounds(row: &Row) -> (Lsn, Lsn) {
+    let mut lo = Lsn::MAX;
+    let mut hi = Lsn::ZERO;
+    for cv in row.columns.values() {
+        let lsn = Lsn::from_u64(cv.version);
+        lo = lo.min(lsn);
+        hi = hi.max(lsn);
+    }
+    (lo, hi)
+}
+
+/// Streaming SSTable writer. Keys must be added in strictly ascending
+/// order; rows carry their column versions (packed LSNs).
+pub struct TableBuilder {
+    vfs: SharedVfs,
+    path: String,
+    opts: TableOptions,
+    file: Box<dyn spinnaker_common::vfs::VfsFile>,
+    offset: u64,
+    block: Vec<u8>,
+    block_first_key: Option<Key>,
+    index: Vec<IndexEntry>,
+    keys: Vec<Key>,
+    min_key: Option<Key>,
+    max_key: Option<Key>,
+    min_lsn: Lsn,
+    max_lsn: Lsn,
+    row_count: u64,
+}
+
+impl TableBuilder {
+    /// Start building at `path`.
+    pub fn new(vfs: SharedVfs, path: &str, opts: TableOptions) -> Result<TableBuilder> {
+        let file = vfs.create(path)?;
+        Ok(TableBuilder {
+            vfs,
+            path: path.to_string(),
+            opts,
+            file,
+            offset: 0,
+            block: Vec::new(),
+            block_first_key: None,
+            index: Vec::new(),
+            keys: Vec::new(),
+            min_key: None,
+            max_key: None,
+            min_lsn: Lsn::MAX,
+            max_lsn: Lsn::ZERO,
+            row_count: 0,
+        })
+    }
+
+    /// Append one row. Empty rows are skipped.
+    pub fn add(&mut self, key: &Key, row: &Row) -> Result<()> {
+        if row.is_empty() {
+            return Ok(());
+        }
+        if let Some(last) = &self.max_key {
+            if key <= last {
+                return Err(Error::InvalidArgument(format!(
+                    "keys out of order: {key:?} after {last:?}"
+                )));
+            }
+        }
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.clone());
+        }
+        key.encode(&mut self.block);
+        row.encode(&mut self.block);
+        let (lo, hi) = row_lsn_bounds(row);
+        self.min_lsn = self.min_lsn.min(lo);
+        self.max_lsn = self.max_lsn.max(hi);
+        if self.min_key.is_none() {
+            self.min_key = Some(key.clone());
+        }
+        self.max_key = Some(key.clone());
+        self.keys.push(key.clone());
+        self.row_count += 1;
+        if self.block.len() >= self.opts.block_bytes {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn write_chunk(&mut self, body: &[u8]) -> Result<(u64, u32)> {
+        let crc = spinnaker_common::crc32c::masked(spinnaker_common::crc32c::crc32c(body));
+        let start = self.offset;
+        self.file.append(body)?;
+        let mut tail = Vec::with_capacity(4);
+        codec::put_u32(&mut tail, crc);
+        self.file.append(&tail)?;
+        self.offset += body.len() as u64 + 4;
+        Ok((start, body.len() as u32 + 4))
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let body = std::mem::take(&mut self.block);
+        let first_key = self.block_first_key.take().expect("non-empty block has a first key");
+        let (offset, len) = self.write_chunk(&body)?;
+        self.index.push(IndexEntry { first_key, offset, len });
+        Ok(())
+    }
+
+    /// Finish: write index, bloom, footer, trailer; fsync; return the
+    /// opened [`Table`].
+    pub fn finish(mut self) -> Result<Table> {
+        if self.row_count == 0 {
+            return Err(Error::InvalidArgument("cannot build an empty SSTable".into()));
+        }
+        self.flush_block()?;
+
+        let mut index_body = Vec::new();
+        codec::put_varint(&mut index_body, self.index.len() as u64);
+        for e in &self.index {
+            e.first_key.encode(&mut index_body);
+            codec::put_u64(&mut index_body, e.offset);
+            codec::put_u32(&mut index_body, e.len);
+        }
+        let (index_off, index_len) = self.write_chunk(&index_body)?;
+
+        let bloom = Bloom::build(
+            self.keys.iter().map(|k| k.as_bytes()),
+            self.keys.len(),
+            self.opts.bloom_bits_per_key,
+        );
+        let (bloom_off, bloom_len) = self.write_chunk(&bloom.encode_to_vec())?;
+
+        let mut footer = Vec::new();
+        self.min_key.as_ref().expect("non-empty").encode(&mut footer);
+        self.max_key.as_ref().expect("non-empty").encode(&mut footer);
+        self.min_lsn.encode(&mut footer);
+        self.max_lsn.encode(&mut footer);
+        codec::put_u64(&mut footer, self.row_count);
+        codec::put_u64(&mut footer, index_off);
+        codec::put_u32(&mut footer, index_len);
+        codec::put_u64(&mut footer, bloom_off);
+        codec::put_u32(&mut footer, bloom_len);
+        let (footer_off, _) = self.write_chunk(&footer)?;
+
+        let mut trailer = Vec::with_capacity(16);
+        codec::put_u64(&mut trailer, footer_off);
+        codec::put_u64(&mut trailer, MAGIC);
+        self.file.append(&trailer)?;
+        self.offset += 16;
+        self.file.sync()?;
+        drop(self.file);
+
+        Table::open(self.vfs, &self.path)
+    }
+}
+
+/// An open, immutable SSTable.
+pub struct Table {
+    vfs: SharedVfs,
+    path: String,
+    meta: TableMeta,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+}
+
+impl Table {
+    /// Open and validate an existing table file.
+    pub fn open(vfs: SharedVfs, path: &str) -> Result<Table> {
+        let file = vfs.open(path)?;
+        let file_bytes = file.len()?;
+        if file_bytes < 16 {
+            return Err(Error::Corruption(format!("{path}: too small for a trailer")));
+        }
+        let mut trailer = [0u8; 16];
+        file.read_exact_at(file_bytes - 16, &mut trailer)?;
+        let mut cur: &[u8] = &trailer;
+        let footer_off = codec::get_u64(&mut cur)?;
+        let magic = codec::get_u64(&mut cur)?;
+        if magic != MAGIC {
+            return Err(Error::Corruption(format!("{path}: bad magic")));
+        }
+        let footer_len = file_bytes - 16 - footer_off;
+        let footer = read_chunk(file.as_ref(), footer_off, footer_len as u32, path)?;
+        let mut cur: &[u8] = &footer;
+        let min_key = Key::decode(&mut cur)?;
+        let max_key = Key::decode(&mut cur)?;
+        let min_lsn = Lsn::decode(&mut cur)?;
+        let max_lsn = Lsn::decode(&mut cur)?;
+        let row_count = codec::get_u64(&mut cur)?;
+        let index_off = codec::get_u64(&mut cur)?;
+        let index_len = codec::get_u32(&mut cur)?;
+        let bloom_off = codec::get_u64(&mut cur)?;
+        let bloom_len = codec::get_u32(&mut cur)?;
+
+        let index_body = read_chunk(file.as_ref(), index_off, index_len, path)?;
+        let mut cur: &[u8] = &index_body;
+        let n = codec::get_varint(&mut cur)? as usize;
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let first_key = Key::decode(&mut cur)?;
+            let offset = codec::get_u64(&mut cur)?;
+            let len = codec::get_u32(&mut cur)?;
+            index.push(IndexEntry { first_key, offset, len });
+        }
+
+        let bloom_body = read_chunk(file.as_ref(), bloom_off, bloom_len, path)?;
+        let bloom = Bloom::decode(&mut bloom_body.as_slice())?;
+
+        Ok(Table {
+            vfs,
+            path: path.to_string(),
+            meta: TableMeta { min_key, max_key, min_lsn, max_lsn, row_count, file_bytes },
+            index,
+            bloom,
+        })
+    }
+
+    /// Table metadata (key range, LSN range, size).
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// File path within the VFS.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Point lookup: the stored fragment of `key`'s row.
+    pub fn get(&self, key: &Key) -> Result<Option<Row>> {
+        if key < &self.meta.min_key || key > &self.meta.max_key {
+            return Ok(None);
+        }
+        if !self.bloom.may_contain(key.as_bytes()) {
+            return Ok(None);
+        }
+        // Last block whose first key <= key.
+        let block_idx = match self.index.partition_point(|e| e.first_key <= *key) {
+            0 => return Ok(None),
+            n => n - 1,
+        };
+        let entries = self.read_block(block_idx)?;
+        Ok(entries.into_iter().find(|(k, _)| k == key).map(|(_, row)| row))
+    }
+
+    fn read_block(&self, idx: usize) -> Result<Vec<(Key, Row)>> {
+        let e = &self.index[idx];
+        let file = self.vfs.open(&self.path)?;
+        let body = read_chunk(file.as_ref(), e.offset, e.len, &self.path)?;
+        let mut cur: &[u8] = &body;
+        let mut out = Vec::new();
+        while !cur.is_empty() {
+            let key = Key::decode(&mut cur)?;
+            let row = Row::decode(&mut cur)?;
+            out.push((key, row));
+        }
+        Ok(out)
+    }
+
+    /// Iterate every row in key order.
+    pub fn iter(&self) -> TableIter<'_> {
+        TableIter { table: self, block: 0, entries: Vec::new(), pos: 0 }
+    }
+
+    /// Collect rows within `[start, end)` (end `None` = unbounded).
+    pub fn scan(&self, start: &Key, end: Option<&Key>) -> Result<Vec<(Key, Row)>> {
+        let mut out = Vec::new();
+        for item in self.iter() {
+            let (k, row) = item?;
+            if &k < start {
+                continue;
+            }
+            if let Some(end) = end {
+                if &k >= end {
+                    break;
+                }
+            }
+            out.push((k, row));
+        }
+        Ok(out)
+    }
+
+    /// Delete the backing file.
+    pub fn delete(self) -> Result<()> {
+        self.vfs.delete(&self.path)
+    }
+}
+
+fn read_chunk(
+    file: &dyn spinnaker_common::vfs::VfsFile,
+    offset: u64,
+    len: u32,
+    path: &str,
+) -> Result<Vec<u8>> {
+    if len < 4 {
+        return Err(Error::Corruption(format!("{path}: chunk shorter than its checksum")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    file.read_exact_at(offset, &mut buf)?;
+    let body_len = len as usize - 4;
+    let stored = u32::from_le_bytes(buf[body_len..].try_into().expect("4 bytes"));
+    let actual =
+        spinnaker_common::crc32c::masked(spinnaker_common::crc32c::crc32c(&buf[..body_len]));
+    if stored != actual {
+        return Err(Error::Corruption(format!("{path}: chunk checksum mismatch at {offset}")));
+    }
+    buf.truncate(body_len);
+    Ok(buf)
+}
+
+/// Iterator over all rows of a table, in key order.
+pub struct TableIter<'a> {
+    table: &'a Table,
+    block: usize,
+    entries: Vec<(Key, Row)>,
+    pos: usize,
+}
+
+impl Iterator for TableIter<'_> {
+    type Item = Result<(Key, Row)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let item = self.entries[self.pos].clone();
+                self.pos += 1;
+                return Some(Ok(item));
+            }
+            if self.block >= self.table.index.len() {
+                return None;
+            }
+            match self.table.read_block(self.block) {
+                Ok(entries) => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.block += 1;
+                }
+                Err(e) => {
+                    self.block = self.table.index.len();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use spinnaker_common::vfs::MemVfs;
+    use spinnaker_common::{op, ColumnValue};
+
+    use super::*;
+
+    fn build(n: usize) -> (MemVfs, Table) {
+        let vfs = MemVfs::new();
+        let shared: SharedVfs = Arc::new(vfs.clone());
+        let mut b = TableBuilder::new(shared, "sst/t1", TableOptions::default()).unwrap();
+        for i in 0..n {
+            let key = Key::from(format!("key{i:06}").into_bytes());
+            let mut row = Row::new();
+            op::put("x", "c", &format!("value-{i}"))
+                .apply_to_row(&mut row, Lsn::new(1, i as u64 + 1));
+            b.add(&key, &row).unwrap();
+        }
+        let t = b.finish().unwrap();
+        (vfs, t)
+    }
+
+    #[test]
+    fn point_lookups_hit_and_miss() {
+        let (_vfs, t) = build(1000);
+        for i in [0usize, 1, 499, 998, 999] {
+            let key = Key::from(format!("key{i:06}").into_bytes());
+            let row = t.get(&key).unwrap().unwrap();
+            assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), format!("value-{i}").as_bytes());
+        }
+        assert!(t.get(&Key::from("absent")).unwrap().is_none());
+        assert!(t.get(&Key::from("key9999999")).unwrap().is_none());
+        assert!(t.get(&Key::from("")).unwrap().is_none());
+    }
+
+    #[test]
+    fn meta_records_key_and_lsn_ranges() {
+        let (_vfs, t) = build(100);
+        let m = t.meta();
+        assert_eq!(m.min_key, Key::from("key000000"));
+        assert_eq!(m.max_key, Key::from("key000099"));
+        assert_eq!(m.min_lsn, Lsn::new(1, 1));
+        assert_eq!(m.max_lsn, Lsn::new(1, 100));
+        assert_eq!(m.row_count, 100);
+    }
+
+    #[test]
+    fn iter_returns_all_rows_in_order() {
+        let (_vfs, t) = build(500);
+        let rows: Vec<_> = t.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 500);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scan_respects_bounds() {
+        let (_vfs, t) = build(100);
+        let got = t
+            .scan(&Key::from("key000010"), Some(&Key::from("key000013")))
+            .unwrap();
+        let keys: Vec<_> = got.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                Key::from("key000010"),
+                Key::from("key000011"),
+                Key::from("key000012")
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_keys_rejected() {
+        let vfs: SharedVfs = Arc::new(MemVfs::new());
+        let mut b = TableBuilder::new(vfs, "sst/bad", TableOptions::default()).unwrap();
+        let mut row = Row::new();
+        row.set(bytes::Bytes::from_static(b"c"), ColumnValue::live("v".into(), Lsn::new(1, 1), 0));
+        b.add(&Key::from("b"), &row).unwrap();
+        assert!(b.add(&Key::from("a"), &row).is_err());
+        assert!(b.add(&Key::from("b"), &row).is_err(), "duplicates rejected too");
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let vfs: SharedVfs = Arc::new(MemVfs::new());
+        let b = TableBuilder::new(vfs, "sst/empty", TableOptions::default()).unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn corruption_detected_on_open_and_read() {
+        let (vfs, t) = build(200);
+        let path = t.path().to_string();
+        drop(t);
+        // Flip a byte in the middle of the file (some data block).
+        let data = vfs.read_all(&path).unwrap();
+        use spinnaker_common::vfs::Vfs;
+        let mut f = vfs.create(&path).unwrap();
+        let mut corrupted = data.clone();
+        corrupted[data.len() / 3] ^= 0xff;
+        f.append(&corrupted).unwrap();
+        f.sync().unwrap();
+        let shared: SharedVfs = Arc::new(vfs.clone());
+        // Open may succeed (footer intact) but reads must detect corruption.
+        match Table::open(shared, &path) {
+            Ok(t) => {
+                let err = t.iter().collect::<Result<Vec<_>>>();
+                assert!(err.is_err(), "corrupted block must fail the scan");
+            }
+            Err(e) => assert!(e.is_corruption()),
+        }
+    }
+
+    #[test]
+    fn survives_crash_after_finish() {
+        let (vfs, t) = build(50);
+        let path = t.path().to_string();
+        drop(t);
+        let after = vfs.crash_clone();
+        let t = Table::open(Arc::new(after), &path).unwrap();
+        assert_eq!(t.meta().row_count, 50);
+    }
+
+    #[test]
+    fn single_row_table() {
+        let vfs: SharedVfs = Arc::new(MemVfs::new());
+        let mut b = TableBuilder::new(vfs, "sst/one", TableOptions::default()).unwrap();
+        let mut row = Row::new();
+        op::put("x", "c", "v").apply_to_row(&mut row, Lsn::new(2, 7));
+        b.add(&Key::from("only"), &row).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.meta().min_lsn, Lsn::new(2, 7));
+        assert_eq!(t.meta().max_lsn, Lsn::new(2, 7));
+        assert_eq!(t.get(&Key::from("only")).unwrap().unwrap(), row);
+    }
+}

@@ -1,0 +1,541 @@
+//! The per-key-range LSM store: memtable + SSTables + compaction.
+//!
+//! Each Spinnaker node hosts one [`RangeStore`] per cohort it participates
+//! in (three by default). The store handles:
+//!
+//! * applying committed writes to the memtable,
+//! * flushing the memtable to LSN-tagged SSTables (which advances the WAL
+//!   checkpoint — the caller wires that up),
+//! * merged reads across memtable + tables (newest version per column),
+//! * size-tiered compaction that garbage-collects superseded versions and,
+//!   on full merges, tombstones (paper §4.1: "in the background, smaller
+//!   SSTables are merged into larger ones"),
+//! * `rows_since` — the SSTable-backed catch-up feed used by recovery when
+//!   the leader's log has rolled over (§6.1).
+
+use spinnaker_common::codec::{self, Decode, Encode};
+use spinnaker_common::vfs::SharedVfs;
+use spinnaker_common::{Key, Lsn, Result, Row, WriteOp};
+
+use crate::memtable::Memtable;
+use crate::merge::{vec_stream, MergeIter, RowStream};
+use crate::sstable::{Table, TableBuilder, TableOptions};
+
+/// Store tuning knobs.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Directory for SSTables and the manifest.
+    pub dir: String,
+    /// Flush the memtable once it exceeds this size.
+    pub memtable_flush_bytes: usize,
+    /// SSTable block/bloom parameters.
+    pub table: TableOptions,
+    /// Trigger compaction when a size tier accumulates this many tables.
+    pub compaction_fanin: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            dir: "store".into(),
+            memtable_flush_bytes: 4 << 20,
+            table: TableOptions::default(),
+            compaction_fanin: 4,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Manifest {
+    /// Live table ids, newest first.
+    tables: Vec<u64>,
+    next_id: u64,
+}
+
+impl Encode for Manifest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.next_id);
+        codec::put_varint(buf, self.tables.len() as u64);
+        for id in &self.tables {
+            codec::put_u64(buf, *id);
+        }
+    }
+}
+
+impl Decode for Manifest {
+    fn decode(buf: &mut &[u8]) -> Result<Manifest> {
+        let next_id = codec::get_u64(buf)?;
+        let n = codec::get_varint(buf)? as usize;
+        let mut tables = Vec::with_capacity(n);
+        for _ in 0..n {
+            tables.push(codec::get_u64(buf)?);
+        }
+        Ok(Manifest { tables, next_id })
+    }
+}
+
+/// An LSM store for one replicated key range.
+pub struct RangeStore {
+    vfs: SharedVfs,
+    opts: StoreOptions,
+    memtable: Memtable,
+    /// Open tables, newest first (matching `manifest.tables`).
+    tables: Vec<Table>,
+    manifest: Manifest,
+}
+
+impl RangeStore {
+    fn manifest_path(dir: &str) -> String {
+        format!("{dir}/MANIFEST")
+    }
+
+    fn table_path(dir: &str, id: u64) -> String {
+        format!("{dir}/sst-{id:010}")
+    }
+
+    /// Open the store, loading tables listed in the manifest.
+    pub fn open(vfs: SharedVfs, opts: StoreOptions) -> Result<RangeStore> {
+        let mpath = Self::manifest_path(&opts.dir);
+        let manifest = if vfs.exists(&mpath)? {
+            let data = vfs.read_all(&mpath)?;
+            Manifest::decode(&mut data.as_slice())?
+        } else {
+            Manifest { tables: Vec::new(), next_id: 1 }
+        };
+        let mut tables = Vec::with_capacity(manifest.tables.len());
+        for &id in &manifest.tables {
+            tables.push(Table::open(vfs.clone(), &Self::table_path(&opts.dir, id))?);
+        }
+        Ok(RangeStore { vfs, opts, memtable: Memtable::new(), tables, manifest })
+    }
+
+    fn save_manifest(&self) -> Result<()> {
+        self.vfs
+            .write_atomic(&Self::manifest_path(&self.opts.dir), &self.manifest.encode_to_vec())
+    }
+
+    /// Apply a committed write at `lsn` (idempotent under replay).
+    pub fn apply(&mut self, op: &WriteOp, lsn: Lsn) {
+        self.memtable.apply(op, lsn);
+    }
+
+    /// Ingest a catch-up row fragment (versions embedded in the fragment).
+    pub fn ingest_fragment(&mut self, key: &Key, fragment: &Row) {
+        self.memtable.merge_row(key, fragment);
+    }
+
+    /// Merged read of a whole row (tombstones retained; callers filter).
+    pub fn get(&self, key: &Key) -> Result<Option<Row>> {
+        let mut merged: Option<Row> = None;
+        if let Some(frag) = self.memtable.get(key) {
+            merged = Some(frag.clone());
+        }
+        for table in &self.tables {
+            if let Some(frag) = table.get(key)? {
+                match merged.as_mut() {
+                    Some(row) => row.merge_newer(&frag),
+                    None => merged = Some(frag),
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Merged read of one column (tombstones retained).
+    pub fn get_column(
+        &self,
+        key: &Key,
+        col: &[u8],
+    ) -> Result<Option<spinnaker_common::ColumnValue>> {
+        Ok(self.get(key)?.and_then(|row| row.get(col).cloned()))
+    }
+
+    /// True when the memtable has outgrown its budget.
+    pub fn needs_flush(&self) -> bool {
+        self.memtable.approx_bytes() >= self.opts.memtable_flush_bytes
+    }
+
+    /// Flush the memtable into a new SSTable. Returns the highest LSN
+    /// captured (the caller advances the WAL checkpoint to it), or `None`
+    /// when the memtable was empty.
+    pub fn flush(&mut self) -> Result<Option<Lsn>> {
+        if self.memtable.is_empty() {
+            return Ok(None);
+        }
+        let max_lsn = self.memtable.max_lsn();
+        let rows = self.memtable.take_sorted();
+        let id = self.manifest.next_id;
+        self.manifest.next_id += 1;
+        let path = Self::table_path(&self.opts.dir, id);
+        let mut builder = TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
+        for (key, row) in &rows {
+            builder.add(key, row)?;
+        }
+        let table = builder.finish()?;
+        self.tables.insert(0, table);
+        self.manifest.tables.insert(0, id);
+        self.save_manifest()?;
+        Ok(Some(max_lsn))
+    }
+
+    /// Size-tiered compaction: when enough similarly-sized tables
+    /// accumulate, merge them into one. Returns `true` when a compaction
+    /// ran. Tombstones are garbage-collected only when *all* tables take
+    /// part (nothing older can resurrect the deleted column).
+    pub fn maybe_compact(&mut self) -> Result<bool> {
+        let fanin = self.opts.compaction_fanin;
+        if self.tables.len() < fanin {
+            return Ok(false);
+        }
+        // Order candidate indexes by file size ascending; pick the first
+        // tier: the `fanin` smallest tables where the largest is within 4x
+        // of the smallest (size-tiered heuristic).
+        let mut by_size: Vec<usize> = (0..self.tables.len()).collect();
+        by_size.sort_by_key(|&i| self.tables[i].meta().file_bytes);
+        let group: Vec<usize> = by_size
+            .windows(fanin)
+            .find(|w| {
+                let lo = self.tables[w[0]].meta().file_bytes;
+                let hi = self.tables[w[fanin - 1]].meta().file_bytes;
+                hi <= lo.saturating_mul(4).max(lo + (64 << 10))
+            })
+            .map(|w| w.to_vec())
+            .unwrap_or_default();
+        if group.is_empty() {
+            return Ok(false);
+        }
+        let full_merge = group.len() == self.tables.len();
+        self.compact_indexes(&group, full_merge)?;
+        Ok(true)
+    }
+
+    /// Merge every table (and leave tombstone GC to the merge). Used by
+    /// tests and by the catch-up path to bound the number of tables.
+    pub fn compact_all(&mut self) -> Result<()> {
+        if self.tables.len() < 2 {
+            return Ok(());
+        }
+        let all: Vec<usize> = (0..self.tables.len()).collect();
+        self.compact_indexes(&all, true)
+    }
+
+    fn compact_indexes(&mut self, picked: &[usize], drop_tombstones: bool) -> Result<()> {
+        let streams: Vec<RowStream<'_>> = picked
+            .iter()
+            .map(|&i| Box::new(self.tables[i].iter()) as RowStream<'_>)
+            .collect();
+        let mut out: Vec<(Key, Row)> = Vec::new();
+        for item in MergeIter::new(streams)? {
+            let (key, mut row) = item?;
+            if drop_tombstones {
+                row = row.without_tombstones();
+            }
+            if !row.is_empty() {
+                out.push((key, row));
+            }
+        }
+
+        let id = self.manifest.next_id;
+        self.manifest.next_id += 1;
+        let new_table = if out.is_empty() {
+            None
+        } else {
+            let path = Self::table_path(&self.opts.dir, id);
+            let mut builder =
+                TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
+            for (key, row) in &out {
+                builder.add(key, row)?;
+            }
+            Some(builder.finish()?)
+        };
+
+        // Replace the picked tables with the merged one, preserving overall
+        // newest-first order: insert at the position of the newest input.
+        let insert_at = *picked.iter().min().expect("non-empty group");
+        let mut picked_sorted = picked.to_vec();
+        picked_sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed = Vec::new();
+        for i in picked_sorted {
+            removed.push(self.tables.remove(i));
+            self.manifest.tables.remove(i);
+        }
+        if let Some(t) = new_table {
+            self.tables.insert(insert_at.min(self.tables.len()), t);
+            self.manifest
+                .tables
+                .insert(insert_at.min(self.manifest.tables.len()), id);
+        }
+        self.save_manifest()?;
+        for t in removed {
+            t.delete()?;
+        }
+        Ok(())
+    }
+
+    /// Every row fragment containing at least one column written after
+    /// `lsn`, in key order — the catch-up feed (§6.1). Fragments are
+    /// trimmed to columns with `version > lsn` so only missing writes are
+    /// shipped.
+    pub fn rows_since(&self, lsn: Lsn) -> Result<Vec<(Key, Row)>> {
+        let mut streams: Vec<RowStream<'_>> = Vec::new();
+        if !self.memtable.is_empty() && self.memtable.max_lsn() > lsn {
+            let rows: Vec<(Key, Row)> =
+                self.memtable.iter().map(|(k, r)| (k.clone(), r.clone())).collect();
+            streams.push(vec_stream(rows));
+        }
+        for table in &self.tables {
+            if table.meta().max_lsn > lsn {
+                streams.push(Box::new(table.iter()));
+            }
+        }
+        let mut out = Vec::new();
+        for item in MergeIter::new(streams)? {
+            let (key, row) = item?;
+            let mut trimmed = Row::new();
+            for (col, cv) in &row.columns {
+                if Lsn::from_u64(cv.version) > lsn {
+                    trimmed.set(col.clone(), cv.clone());
+                }
+            }
+            if !trimmed.is_empty() {
+                out.push((key, trimmed));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merged scan of `[start, end)` across memtable and all tables.
+    pub fn scan(&self, start: &Key, end: Option<&Key>) -> Result<Vec<(Key, Row)>> {
+        let mut streams: Vec<RowStream<'_>> = Vec::new();
+        let mem_rows: Vec<(Key, Row)> = self
+            .memtable
+            .iter()
+            .filter(|(k, _)| *k >= start && end.is_none_or(|e| *k < e))
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect();
+        streams.push(vec_stream(mem_rows));
+        for table in &self.tables {
+            streams.push(vec_stream(table.scan(start, end)?));
+        }
+        MergeIter::new(streams)?.collect()
+    }
+
+    /// Highest LSN applied to the memtable (`Lsn::ZERO` when clean).
+    pub fn memtable_max_lsn(&self) -> Lsn {
+        self.memtable.max_lsn()
+    }
+
+    /// Rows currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Number of live SSTables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Highest column version stored anywhere in this store.
+    pub fn max_lsn(&self) -> Lsn {
+        let mut max = self.memtable.max_lsn();
+        for t in &self.tables {
+            max = max.max(t.meta().max_lsn);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use spinnaker_common::op;
+    use spinnaker_common::vfs::MemVfs;
+
+    use super::*;
+
+    fn store_on(vfs: &MemVfs) -> RangeStore {
+        RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions { memtable_flush_bytes: 1 << 20, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn read_your_writes_through_memtable() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("k", "c", "v1"), Lsn::new(1, 1));
+        let row = s.get(&Key::from("k")).unwrap().unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"v1");
+    }
+
+    #[test]
+    fn reads_merge_memtable_over_tables() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("k", "c", "old"), Lsn::new(1, 1));
+        s.apply(&op::put("k", "d", "keep"), Lsn::new(1, 2));
+        s.flush().unwrap();
+        s.apply(&op::put("k", "c", "new"), Lsn::new(1, 3));
+        let row = s.get(&Key::from("k")).unwrap().unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"new");
+        assert_eq!(row.get_live(b"d").unwrap().value.as_ref(), b"keep");
+    }
+
+    #[test]
+    fn flush_returns_checkpoint_lsn_and_persists() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for i in 1..=100u64 {
+            s.apply(&op::put(&format!("k{i:03}"), "c", &format!("v{i}")), Lsn::new(1, i));
+        }
+        let cp = s.flush().unwrap().unwrap();
+        assert_eq!(cp, Lsn::new(1, 100));
+        assert_eq!(s.memtable_len(), 0);
+        assert_eq!(s.table_count(), 1);
+
+        // Restart from the crash image: manifest + table survive.
+        let s2 = store_on(&vfs.crash_clone());
+        assert_eq!(s2.table_count(), 1);
+        let row = s2.get(&Key::from("k050")).unwrap().unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"v50");
+    }
+
+    #[test]
+    fn empty_flush_is_a_noop() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        assert!(s.flush().unwrap().is_none());
+        assert_eq!(s.table_count(), 0);
+    }
+
+    #[test]
+    fn compaction_reduces_tables_and_preserves_data() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for batch in 0..5u64 {
+            for i in 0..50u64 {
+                let seq = batch * 50 + i + 1;
+                s.apply(
+                    &op::put(&format!("k{:03}", i), "c", &format!("b{batch}")),
+                    Lsn::new(1, seq),
+                );
+            }
+            s.flush().unwrap();
+        }
+        assert_eq!(s.table_count(), 5);
+        assert!(s.maybe_compact().unwrap());
+        assert!(s.table_count() < 5);
+        // Latest batch value must win for every key.
+        for i in 0..50u64 {
+            let row = s.get(&Key::from(format!("k{:03}", i).as_str())).unwrap().unwrap();
+            assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"b4", "key k{i:03}");
+        }
+    }
+
+    #[test]
+    fn full_compaction_drops_tombstones() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("k", "c", "v"), Lsn::new(1, 1));
+        s.flush().unwrap();
+        s.apply(&op::delete("k", "c"), Lsn::new(1, 2));
+        s.flush().unwrap();
+        // Before GC the tombstone is still readable (raw).
+        assert!(s.get(&Key::from("k")).unwrap().unwrap().get(b"c").unwrap().tombstone);
+        s.compact_all().unwrap();
+        // After a full merge the deleted column is gone entirely.
+        assert!(s.get(&Key::from("k")).unwrap().is_none());
+        assert_eq!(s.table_count(), 0, "everything was deleted");
+    }
+
+    #[test]
+    fn partial_compaction_keeps_tombstones() {
+        let vfs = MemVfs::new();
+        let mut s = RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions { compaction_fanin: 2, ..Default::default() },
+        )
+        .unwrap();
+        // Oldest table holds the value...
+        s.apply(&op::put("k", "c", "v"), Lsn::new(1, 1));
+        // ...plus enough bulk that it lands in a bigger size tier.
+        for i in 0..200u64 {
+            s.apply(&op::put(&format!("pad{i:05}"), "c", &"x".repeat(64)), Lsn::new(1, 2 + i));
+        }
+        s.flush().unwrap();
+        // Two small tables: the tombstone and another small write.
+        s.apply(&op::delete("k", "c"), Lsn::new(1, 300));
+        s.flush().unwrap();
+        s.apply(&op::put("other", "c", "y"), Lsn::new(1, 301));
+        s.flush().unwrap();
+        assert!(s.maybe_compact().unwrap());
+        // The tombstone must survive the partial merge: the old value still
+        // exists in the big table and would otherwise resurrect.
+        let row = s.get(&Key::from("k")).unwrap().unwrap();
+        assert!(row.get(b"c").unwrap().tombstone, "tombstone retained in partial merge");
+        assert!(row.get_live(b"c").is_none());
+    }
+
+    #[test]
+    fn rows_since_trims_to_new_columns() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("a", "c", "1"), Lsn::new(1, 1));
+        s.apply(&op::put("b", "c", "2"), Lsn::new(1, 2));
+        s.flush().unwrap();
+        s.apply(&op::put("c", "c", "3"), Lsn::new(1, 3));
+
+        let since = s.rows_since(Lsn::new(1, 1)).unwrap();
+        let keys: Vec<_> = since.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![Key::from("b"), Key::from("c")]);
+        // Catch-up from zero ships everything.
+        assert_eq!(s.rows_since(Lsn::ZERO).unwrap().len(), 3);
+        // Catch-up from the max ships nothing.
+        assert_eq!(s.rows_since(Lsn::new(1, 3)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn ingest_fragment_feeds_reads_and_flush() {
+        let vfs = MemVfs::new();
+        let mut src = store_on(&vfs);
+        src.apply(&op::put("k", "c", "v"), Lsn::new(2, 9));
+        let frags = src.rows_since(Lsn::ZERO).unwrap();
+
+        let vfs2 = MemVfs::new();
+        let mut dst = store_on(&vfs2);
+        for (k, frag) in &frags {
+            dst.ingest_fragment(k, frag);
+        }
+        let row = dst.get(&Key::from("k")).unwrap().unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().version, Lsn::new(2, 9).as_u64());
+        assert_eq!(dst.flush().unwrap().unwrap(), Lsn::new(2, 9));
+    }
+
+    #[test]
+    fn scan_is_merged_and_bounded() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("a", "c", "1"), Lsn::new(1, 1));
+        s.apply(&op::put("b", "c", "2"), Lsn::new(1, 2));
+        s.flush().unwrap();
+        s.apply(&op::put("b", "c", "2new"), Lsn::new(1, 3));
+        s.apply(&op::put("d", "c", "4"), Lsn::new(1, 4));
+        let got = s.scan(&Key::from("a"), Some(&Key::from("c"))).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].1.get_live(b"c").unwrap().value.as_ref(), b"2new");
+    }
+
+    #[test]
+    fn max_lsn_spans_memtable_and_tables() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        assert_eq!(s.max_lsn(), Lsn::ZERO);
+        s.apply(&op::put("a", "c", "1"), Lsn::new(1, 5));
+        s.flush().unwrap();
+        s.apply(&op::put("b", "c", "2"), Lsn::new(1, 3));
+        assert_eq!(s.max_lsn(), Lsn::new(1, 5));
+    }
+}

@@ -1,0 +1,258 @@
+//! Group commit for the live (threaded) runtime.
+//!
+//! A dedicated logger thread drains a queue of force requests: all records
+//! appended while a force was in flight are covered by a single following
+//! `sync` ("group commit \[13\] is also used to improve logging
+//! performance", §5). The deterministic simulator models the same batching
+//! in virtual time instead (see `spinnaker-sim`'s disk model); this wrapper
+//! is what examples and the threaded runtime use on real files.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use spinnaker_common::{Error, Result};
+
+use crate::record::LogRecord;
+use crate::wal::Wal;
+
+enum Op {
+    /// Append the records, then (once this and everything queued before it
+    /// has been appended) force the log and acknowledge.
+    Force(Vec<LogRecord>, Sender<Result<()>>),
+    /// Append without forcing (commit notes ride with the next force).
+    Append(Vec<LogRecord>),
+    Shutdown,
+}
+
+/// Thread-safe, group-committing handle around a [`Wal`].
+pub struct GroupCommitWal {
+    wal: Arc<Mutex<Wal>>,
+    tx: Sender<Op>,
+    handle: Option<JoinHandle<()>>,
+    forces: Arc<AtomicU64>,
+    batches: Arc<AtomicU64>,
+    poisoned: Arc<AtomicBool>,
+}
+
+impl GroupCommitWal {
+    /// Spawn the logger thread around `wal`.
+    pub fn new(wal: Wal) -> GroupCommitWal {
+        let wal = Arc::new(Mutex::new(wal));
+        let (tx, rx) = mpsc::channel::<Op>();
+        let forces = Arc::new(AtomicU64::new(0));
+        let batches = Arc::new(AtomicU64::new(0));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let wal = wal.clone();
+            let forces = forces.clone();
+            let batches = batches.clone();
+            let poisoned = poisoned.clone();
+            std::thread::Builder::new()
+                .name("wal-logger".into())
+                .spawn(move || logger_loop(&wal, &rx, &forces, &batches, &poisoned))
+                .expect("spawn wal logger thread")
+        };
+        GroupCommitWal { wal, tx, handle: Some(handle), forces, batches, poisoned }
+    }
+
+    /// Append `records` and force the log; blocks until durable.
+    pub fn append_forced(&self, records: Vec<LogRecord>) -> Result<()> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Op::Force(records, ack_tx))
+            .map_err(|_| gone())?;
+        ack_rx.recv().map_err(|_| gone())?
+    }
+
+    /// Append `records` and force the log, delivering the acknowledgement
+    /// asynchronously on the returned channel.
+    pub fn append_forced_async(&self, records: Vec<LogRecord>) -> Result<Receiver<Result<()>>> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(Op::Force(records, ack_tx)).map_err(|_| gone())?;
+        Ok(ack_rx)
+    }
+
+    /// Append `records` without forcing (a non-forced log write, §5).
+    pub fn append_unforced(&self, records: Vec<LogRecord>) -> Result<()> {
+        self.tx.send(Op::Append(records)).map_err(|_| gone())
+    }
+
+    /// Run `f` against the underlying log (for reads, checkpoints,
+    /// truncation). Queued appends issued before this call may still be in
+    /// flight; use only from quiesced contexts (recovery, tests).
+    pub fn with_wal<T>(&self, f: impl FnOnce(&mut Wal) -> T) -> T {
+        f(&mut self.wal.lock())
+    }
+
+    /// Total physical forces performed.
+    pub fn forces(&self) -> u64 {
+        self.forces.load(Ordering::Relaxed)
+    }
+
+    /// Total force *requests* acknowledged (≥ [`Self::forces`]; the ratio
+    /// is the group-commit batching factor).
+    pub fn force_requests(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// True once any append or force has failed; the device should be
+    /// treated as dead and the node taken out of its cohorts.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+fn gone() -> Error {
+    Error::Unavailable("wal logger thread is gone".into())
+}
+
+impl Drop for GroupCommitWal {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Op::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn logger_loop(
+    wal: &Mutex<Wal>,
+    rx: &Receiver<Op>,
+    forces: &AtomicU64,
+    batches: &AtomicU64,
+    poisoned: &AtomicBool,
+) {
+    loop {
+        // Block for the first request...
+        let first = match rx.recv() {
+            Ok(op) => op,
+            Err(_) => return,
+        };
+        // ...then drain everything else already queued: that whole batch is
+        // covered by one force.
+        let mut batch = vec![first];
+        while let Ok(op) = rx.try_recv() {
+            batch.push(op);
+        }
+
+        let mut waiters: Vec<Sender<Result<()>>> = Vec::new();
+        let mut shutdown = false;
+        let result = {
+            let mut wal = wal.lock();
+            let mut res: Result<()> = Ok(());
+            for op in batch {
+                match op {
+                    Op::Force(records, ack) => {
+                        if res.is_ok() {
+                            res = wal.append_many(&records);
+                        }
+                        waiters.push(ack);
+                    }
+                    Op::Append(records) => {
+                        if res.is_ok() {
+                            res = wal.append_many(&records);
+                        }
+                    }
+                    Op::Shutdown => shutdown = true,
+                }
+            }
+            if res.is_ok() && !waiters.is_empty() {
+                res = wal.sync();
+                forces.fetch_add(1, Ordering::Relaxed);
+            }
+            res
+        };
+        batches.fetch_add(waiters.len() as u64, Ordering::Relaxed);
+        if result.is_err() {
+            poisoned.store(true, Ordering::Relaxed);
+        }
+        for ack in waiters {
+            let to_send = match &result {
+                Ok(()) => Ok(()),
+                Err(e) => Err(Error::Unavailable(format!("log force failed: {e}"))),
+            };
+            let _ = ack.send(to_send);
+        }
+        if shutdown {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use spinnaker_common::op;
+    use spinnaker_common::vfs::MemVfs;
+    use spinnaker_common::{Lsn, RangeId};
+
+    use crate::wal::WalOptions;
+
+    use super::*;
+
+    fn rec(seq: u64) -> LogRecord {
+        LogRecord::write(RangeId(0), Lsn::new(1, seq), op::put(&format!("k{seq}"), "c", "v"))
+    }
+
+    fn make() -> (MemVfs, GroupCommitWal) {
+        let vfs = MemVfs::new();
+        let wal = Wal::open(Arc::new(vfs.clone()), WalOptions::default()).unwrap();
+        (vfs, GroupCommitWal::new(wal))
+    }
+
+    #[test]
+    fn forced_appends_are_durable() {
+        let (vfs, gc) = make();
+        gc.append_forced(vec![rec(1), rec(2)]).unwrap();
+        drop(gc);
+        let wal = Wal::open(Arc::new(vfs.crash_clone()), WalOptions::default()).unwrap();
+        assert_eq!(wal.state(RangeId(0)).last_lsn, Lsn::new(1, 2));
+    }
+
+    #[test]
+    fn concurrent_forces_batch_under_fewer_syncs() {
+        let (_vfs, gc) = make();
+        let gc = Arc::new(gc);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let gc = gc.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        gc.append_forced(vec![rec(t * 1000 + i + 1)]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let requests = gc.force_requests();
+        let physical = gc.forces();
+        assert_eq!(requests, 400);
+        assert!(physical <= requests, "group commit: {physical} forces for {requests} requests");
+    }
+
+    #[test]
+    fn unforced_rides_with_next_force() {
+        let (_vfs, gc) = make();
+        gc.append_unforced(vec![LogRecord::commit_note(RangeId(0), Lsn::new(1, 1))]).unwrap();
+        gc.append_forced(vec![rec(1)]).unwrap();
+        gc.with_wal(|w| {
+            assert_eq!(w.state(RangeId(0)).last_committed, Lsn::new(1, 1));
+            assert_eq!(w.state(RangeId(0)).last_lsn, Lsn::new(1, 1));
+        });
+    }
+
+    #[test]
+    fn async_force_acknowledges() {
+        let (_vfs, gc) = make();
+        let rx = gc.append_forced_async(vec![rec(9)]).unwrap();
+        rx.recv().unwrap().unwrap();
+        gc.with_wal(|w| assert_eq!(w.state(RangeId(0)).last_lsn, Lsn::new(1, 9)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Log record types and on-disk framing.
+//!
+//! Each frame on disk is `[u32 len][u32 masked-crc32c][body]` (little
+//! endian); the body encodes the record. Torn tails (partial frames after a
+//! crash) are detected by length/CRC validation during the recovery scan.
+
+use spinnaker_common::codec::{self, Decode, Encode};
+use spinnaker_common::{crc32c, Error, Lsn, RangeId, Result, WriteOp};
+
+/// Upper bound on a sane record body; larger lengths are treated as
+/// corruption during scans.
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// Frame header size: length + checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// What a log record carries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Payload {
+    /// A replicated write, forced to disk before acknowledgement.
+    Write(WriteOp),
+    /// "Writes up to the record's LSN are committed" — the non-forced note
+    /// the leader and followers log when processing a commit message (§5).
+    CommitNote,
+}
+
+/// One record in the shared log.
+///
+/// The log is shared by all cohorts on a node (§4.1): every record is
+/// tagged with its cohort, and LSNs are per-cohort logical sequences.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogRecord {
+    /// Cohort (key range) the record belongs to.
+    pub cohort: RangeId,
+    /// Per-cohort logical LSN. For [`Payload::CommitNote`] this is the
+    /// last-committed LSN being noted, not a fresh sequence number.
+    pub lsn: Lsn,
+    /// Record payload.
+    pub payload: Payload,
+}
+
+impl LogRecord {
+    /// A write record.
+    pub fn write(cohort: RangeId, lsn: Lsn, op: WriteOp) -> LogRecord {
+        LogRecord { cohort, lsn, payload: Payload::Write(op) }
+    }
+
+    /// A commit-note record.
+    pub fn commit_note(cohort: RangeId, committed: Lsn) -> LogRecord {
+        LogRecord { cohort, lsn: committed, payload: Payload::CommitNote }
+    }
+
+    /// True for write records.
+    pub fn is_write(&self) -> bool {
+        matches!(self.payload, Payload::Write(_))
+    }
+}
+
+impl Encode for LogRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_varint(buf, self.cohort.0 as u64);
+        self.lsn.encode(buf);
+        match &self.payload {
+            Payload::Write(op) => {
+                codec::put_u8(buf, 0);
+                op.encode(buf);
+            }
+            Payload::CommitNote => codec::put_u8(buf, 1),
+        }
+    }
+}
+
+impl Decode for LogRecord {
+    fn decode(buf: &mut &[u8]) -> Result<LogRecord> {
+        let cohort = RangeId(codec::get_varint(buf)? as u32);
+        let lsn = Lsn::decode(buf)?;
+        let payload = match codec::get_u8(buf)? {
+            0 => Payload::Write(WriteOp::decode(buf)?),
+            1 => Payload::CommitNote,
+            tag => return Err(Error::Codec(format!("bad LogRecord tag {tag}"))),
+        };
+        Ok(LogRecord { cohort, lsn, payload })
+    }
+}
+
+/// Encode a record as a complete frame (header + body).
+pub fn encode_frame(record: &LogRecord) -> Vec<u8> {
+    let body = record.encode_to_vec();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
+    codec::put_u32(&mut frame, body.len() as u32);
+    codec::put_u32(&mut frame, crc32c::masked(crc32c::crc32c(&body)));
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Outcome of attempting to read one frame from a buffer position.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A valid frame: the record and the total bytes consumed.
+    Record(Box<LogRecord>, usize),
+    /// The buffer ends before a complete, valid frame: a torn tail if this
+    /// is the end of the newest segment, corruption otherwise.
+    Torn(&'static str),
+}
+
+/// Try to decode one frame from `buf`.
+pub fn read_frame(buf: &[u8]) -> Result<FrameRead> {
+    if buf.len() < FRAME_HEADER {
+        return Ok(FrameRead::Torn("short header"));
+    }
+    let mut cursor = buf;
+    let len = codec::get_u32(&mut cursor)? as usize;
+    let stored_crc = codec::get_u32(&mut cursor)?;
+    if len as u32 > MAX_RECORD_BYTES {
+        return Ok(FrameRead::Torn("implausible length"));
+    }
+    if cursor.len() < len {
+        return Ok(FrameRead::Torn("short body"));
+    }
+    let body = &cursor[..len];
+    if crc32c::masked(crc32c::crc32c(body)) != stored_crc {
+        return Ok(FrameRead::Torn("checksum mismatch"));
+    }
+    let mut body_cursor = body;
+    let record = LogRecord::decode(&mut body_cursor)?;
+    if !body_cursor.is_empty() {
+        return Err(Error::Codec("trailing bytes in record body".into()));
+    }
+    Ok(FrameRead::Record(Box::new(record), FRAME_HEADER + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinnaker_common::op;
+
+    fn sample() -> LogRecord {
+        LogRecord::write(RangeId(2), Lsn::new(1, 9), op::put("key", "col", "value"))
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let rec = sample();
+        let frame = encode_frame(&rec);
+        match read_frame(&frame).unwrap() {
+            FrameRead::Record(r, n) => {
+                assert_eq!(*r, rec);
+                assert_eq!(n, frame.len());
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_note_roundtrip() {
+        let rec = LogRecord::commit_note(RangeId(1), Lsn::new(3, 44));
+        let frame = encode_frame(&rec);
+        match read_frame(&frame).unwrap() {
+            FrameRead::Record(r, _) => {
+                assert_eq!(*r, rec);
+                assert!(!r.is_write());
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_torn_not_errors() {
+        let frame = encode_frame(&sample());
+        for cut in 0..frame.len() {
+            match read_frame(&frame[..cut]).unwrap() {
+                FrameRead::Torn(_) => {}
+                FrameRead::Record(..) => panic!("cut at {cut} decoded a record"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_body_is_torn() {
+        let mut frame = encode_frame(&sample());
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        assert!(matches!(read_frame(&frame).unwrap(), FrameRead::Torn("checksum mismatch")));
+    }
+
+    #[test]
+    fn implausible_length_is_torn() {
+        let mut frame = encode_frame(&sample());
+        frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_frame(&frame).unwrap(), FrameRead::Torn("implausible length")));
+    }
+
+    #[test]
+    fn back_to_back_frames_parse() {
+        let a = LogRecord::write(RangeId(0), Lsn::new(1, 1), op::put("a", "c", "1"));
+        let b = LogRecord::commit_note(RangeId(0), Lsn::new(1, 1));
+        let mut buf = encode_frame(&a);
+        buf.extend(encode_frame(&b));
+        let FrameRead::Record(first, n) = read_frame(&buf).unwrap() else { panic!() };
+        assert_eq!(*first, a);
+        let FrameRead::Record(second, _) = read_frame(&buf[n..]).unwrap() else { panic!() };
+        assert_eq!(*second, b);
+    }
+}

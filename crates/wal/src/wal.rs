@@ -1,0 +1,699 @@
+//! The shared write-ahead log.
+//!
+//! One physical log per node, shared by every cohort the node belongs to
+//! (paper §4.1): "In order to share the same log, each cohort on a node
+//! uses its own logical LSNs." Records are framed with length + CRC32C;
+//! recovery scans all segments, tolerates a torn tail in the newest
+//! segment, honours the skipped-LSN lists (logical truncation, §6.1.1),
+//! and rebuilds a per-cohort index used for replay and catch-up reads.
+//!
+//! Force policy is the caller's: [`Wal::append`] buffers in the OS file,
+//! [`Wal::sync`] forces everything appended so far — group commit batches
+//! multiple appends under one sync (§5 "group commit is also used").
+
+use std::collections::{BTreeMap, HashMap};
+
+use spinnaker_common::vfs::{SharedVfs, VfsFile};
+use spinnaker_common::{Error, Lsn, RangeId, Result, WriteOp};
+
+use crate::checkpoint::Checkpoints;
+use crate::record::{encode_frame, read_frame, FrameRead, LogRecord, Payload};
+use crate::skipped::SkippedFile;
+
+/// Tuning knobs for the log.
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Directory (within the VFS namespace) holding segments and sidecars.
+    pub dir: String,
+    /// Rollover threshold: a segment is sealed once it exceeds this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions { dir: "wal".into(), segment_bytes: 8 << 20 }
+    }
+}
+
+/// Durable log positions of one cohort, as seen after recovery or during
+/// operation. In the paper's notation, `last_lsn` is `f.lst` and
+/// `last_committed` is `f.cmt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CohortLogState {
+    /// Highest write LSN present in the log (after logical truncation).
+    pub last_lsn: Lsn,
+    /// Highest LSN known committed (from commit notes and checkpoints).
+    pub last_committed: Lsn,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RecordLoc {
+    segment: u64,
+    offset: u64,
+    frame_len: u32,
+}
+
+#[derive(Default)]
+struct CohortIndex {
+    /// Non-truncated write records still available for replay.
+    records: BTreeMap<Lsn, RecordLoc>,
+    last_lsn: Lsn,
+    last_commit_note: Lsn,
+    /// Records at or below this LSN may have been dropped from the index
+    /// (checkpointed and possibly garbage collected); replay starting below
+    /// it must fall back to SSTable-based catch-up.
+    floor: Lsn,
+}
+
+struct OpenSegment {
+    id: u64,
+    file: Box<dyn VfsFile>,
+    bytes: u64,
+}
+
+/// The shared write-ahead log of one node.
+pub struct Wal {
+    vfs: SharedVfs,
+    opts: WalOptions,
+    sealed: Vec<u64>,
+    current: OpenSegment,
+    index: BTreeMap<RangeId, CohortIndex>,
+    checkpoints: Checkpoints,
+    skipped: SkippedFile,
+    /// Live index references per segment; a sealed segment with zero
+    /// references is garbage.
+    seg_refs: HashMap<u64, usize>,
+    appended_since_sync: bool,
+}
+
+impl Wal {
+    fn seg_path(dir: &str, id: u64) -> String {
+        format!("{dir}/seg-{id:010}.log")
+    }
+
+    fn cp_path(dir: &str) -> String {
+        format!("{dir}/checkpoints")
+    }
+
+    fn skipped_path(dir: &str) -> String {
+        format!("{dir}/skipped")
+    }
+
+    /// Open the log, running the recovery scan over existing segments.
+    ///
+    /// A torn tail in the newest segment is tolerated (records after it are
+    /// lost, which is correct: they were never acknowledged); a bad frame in
+    /// any older segment is reported as corruption. Appends always go to a
+    /// fresh segment so a torn tail is never overwritten.
+    pub fn open(vfs: SharedVfs, opts: WalOptions) -> Result<Wal> {
+        let checkpoints = Checkpoints::load(vfs.as_ref(), &Self::cp_path(&opts.dir))?;
+        let skipped = SkippedFile::load(vfs.as_ref(), &Self::skipped_path(&opts.dir))?;
+
+        let mut seg_ids: Vec<u64> = Vec::new();
+        for path in vfs.list(&format!("{}/seg-", opts.dir))? {
+            let name = path.rsplit('/').next().unwrap_or(&path);
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                seg_ids.push(id);
+            }
+        }
+        seg_ids.sort_unstable();
+
+        let mut index: BTreeMap<RangeId, CohortIndex> = BTreeMap::new();
+        let mut seg_refs: HashMap<u64, usize> = HashMap::new();
+        let last = seg_ids.last().copied();
+        for &id in &seg_ids {
+            let data = vfs.read_all(&Self::seg_path(&opts.dir, id))?;
+            let mut offset = 0usize;
+            while offset < data.len() {
+                match read_frame(&data[offset..])? {
+                    FrameRead::Record(rec, n) => {
+                        let loc = RecordLoc {
+                            segment: id,
+                            offset: offset as u64,
+                            frame_len: n as u32,
+                        };
+                        Self::index_record(
+                            &mut index,
+                            &mut seg_refs,
+                            &skipped,
+                            &checkpoints,
+                            &rec,
+                            loc,
+                        );
+                        offset += n;
+                    }
+                    FrameRead::Torn(why) => {
+                        if Some(id) == last {
+                            // Torn tail of the newest segment: data past the
+                            // last complete frame was never acknowledged.
+                            break;
+                        }
+                        return Err(Error::Corruption(format!(
+                            "bad frame in sealed segment {id} at offset {offset}: {why}"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Floors: nothing below a checkpoint is guaranteed replayable, and
+        // anything the index never saw is likewise unavailable.
+        for (cohort, cp) in checkpoints.iter() {
+            let entry = index.entry(cohort).or_default();
+            entry.floor = cp;
+            if cp > entry.last_lsn {
+                entry.last_lsn = cp;
+            }
+        }
+
+        let next_id = seg_ids.last().map_or(1, |m| m + 1);
+        let file = vfs.create(&Self::seg_path(&opts.dir, next_id))?;
+        Ok(Wal {
+            vfs,
+            sealed: seg_ids,
+            current: OpenSegment { id: next_id, file, bytes: 0 },
+            index,
+            checkpoints,
+            skipped,
+            seg_refs,
+            appended_since_sync: false,
+            opts,
+        })
+    }
+
+    fn index_record(
+        index: &mut BTreeMap<RangeId, CohortIndex>,
+        seg_refs: &mut HashMap<u64, usize>,
+        skipped: &SkippedFile,
+        checkpoints: &Checkpoints,
+        rec: &LogRecord,
+        loc: RecordLoc,
+    ) {
+        let entry = index.entry(rec.cohort).or_default();
+        match rec.payload {
+            Payload::Write(_) => {
+                if skipped.cohort(rec.cohort).is_some_and(|s| s.contains(rec.lsn)) {
+                    return; // logically truncated: invisible to recovery
+                }
+                if rec.lsn > entry.last_lsn {
+                    entry.last_lsn = rec.lsn;
+                }
+                if rec.lsn > checkpoints.get(rec.cohort) {
+                    entry.records.insert(rec.lsn, loc);
+                    *seg_refs.entry(loc.segment).or_insert(0) += 1;
+                }
+            }
+            Payload::CommitNote => {
+                if rec.lsn > entry.last_commit_note {
+                    entry.last_commit_note = rec.lsn;
+                }
+            }
+        }
+    }
+
+    /// Append one record (not forced). Returns the segment id it landed in.
+    pub fn append(&mut self, rec: &LogRecord) -> Result<u64> {
+        let frame = encode_frame(rec);
+        if self.current.bytes > 0 && self.current.bytes + frame.len() as u64 > self.opts.segment_bytes
+        {
+            self.roll_segment()?;
+        }
+        let loc = RecordLoc {
+            segment: self.current.id,
+            offset: self.current.bytes,
+            frame_len: frame.len() as u32,
+        };
+        self.current.file.append(&frame)?;
+        self.current.bytes += frame.len() as u64;
+        self.appended_since_sync = true;
+        // Index updates mirror the recovery scan so a running node and a
+        // restarted node agree exactly.
+        let rec_for_index = rec;
+        Self::index_record(
+            &mut self.index,
+            &mut self.seg_refs,
+            &self.skipped,
+            &self.checkpoints,
+            rec_for_index,
+            loc,
+        );
+        Ok(loc.segment)
+    }
+
+    /// Append several records back to back (one frame each).
+    pub fn append_many(&mut self, recs: &[LogRecord]) -> Result<()> {
+        for rec in recs {
+            self.append(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.appended_since_sync {
+            self.current.file.sync()?;
+            self.appended_since_sync = false;
+        }
+        Ok(())
+    }
+
+    fn roll_segment(&mut self) -> Result<()> {
+        self.current.file.sync()?;
+        self.sealed.push(self.current.id);
+        let id = self.current.id + 1;
+        let file = self.vfs.create(&Self::seg_path(&self.opts.dir, id))?;
+        self.current = OpenSegment { id, file, bytes: 0 };
+        self.appended_since_sync = false;
+        self.maybe_gc()?;
+        Ok(())
+    }
+
+    /// Durable state of a cohort (paper's `f.lst` / `f.cmt`).
+    pub fn state(&self, cohort: RangeId) -> CohortLogState {
+        let cp = self.checkpoints.get(cohort);
+        match self.index.get(&cohort) {
+            Some(e) => CohortLogState {
+                last_lsn: e.last_lsn.max(cp),
+                last_committed: e.last_commit_note.max(cp),
+            },
+            None => CohortLogState { last_lsn: cp, last_committed: cp },
+        }
+    }
+
+    /// Replay the write records of `cohort` with LSN in `(from, to]`, in
+    /// LSN order. Fails with [`Error::NotFound`] when `from` precedes the
+    /// replayable floor (checkpointed / garbage-collected territory) —
+    /// callers then serve catch-up from SSTables instead (§6.1).
+    pub fn replay(
+        &self,
+        cohort: RangeId,
+        from: Lsn,
+        to: Lsn,
+        mut f: impl FnMut(Lsn, &WriteOp),
+    ) -> Result<usize> {
+        if to <= from {
+            // Empty interval: legal during takeover races where a follower
+            // has committed past the new leader's watermark (its catch-up
+            // request then covers nothing).
+            return Ok(0);
+        }
+        let Some(entry) = self.index.get(&cohort) else {
+            if from == Lsn::ZERO || from >= self.checkpoints.get(cohort) {
+                return Ok(0);
+            }
+            return Err(Error::NotFound(format!("cohort {cohort} has no log index")));
+        };
+        if from < entry.floor {
+            return Err(Error::NotFound(format!(
+                "log for {cohort} starts above {from} (floor {})",
+                entry.floor
+            )));
+        }
+        let mut count = 0;
+        for (&lsn, loc) in entry.records.range((
+            std::ops::Bound::Excluded(from),
+            std::ops::Bound::Included(to),
+        )) {
+            let rec = self.read_at(loc)?;
+            match rec.payload {
+                Payload::Write(ref op) => {
+                    debug_assert_eq!(rec.lsn, lsn);
+                    f(lsn, op);
+                    count += 1;
+                }
+                Payload::CommitNote => {
+                    return Err(Error::Corruption("commit note in write index".into()))
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    /// Collect the records of `cohort` in `(from, to]` as owned pairs.
+    pub fn read_range(&self, cohort: RangeId, from: Lsn, to: Lsn) -> Result<Vec<(Lsn, WriteOp)>> {
+        let mut out = Vec::new();
+        self.replay(cohort, from, to, |lsn, op| out.push((lsn, op.clone())))?;
+        Ok(out)
+    }
+
+    fn read_at(&self, loc: &RecordLoc) -> Result<LogRecord> {
+        let mut buf = vec![0u8; loc.frame_len as usize];
+        if loc.segment == self.current.id {
+            self.current.file.read_exact_at(loc.offset, &mut buf)?;
+        } else {
+            let file = self.vfs.open(&Self::seg_path(&self.opts.dir, loc.segment))?;
+            file.read_exact_at(loc.offset, &mut buf)?;
+        }
+        match read_frame(&buf)? {
+            FrameRead::Record(rec, _) => Ok(*rec),
+            FrameRead::Torn(why) => Err(Error::Corruption(format!(
+                "indexed record unreadable at segment {} offset {}: {why}",
+                loc.segment, loc.offset
+            ))),
+        }
+    }
+
+    /// Logically truncate `lsns` from `cohort`'s log (paper §6.1.1): the
+    /// records stay on disk (other cohorts share the segments) but are
+    /// remembered in the skipped-LSN list, excluded from the index, and
+    /// will be skipped by every future local recovery.
+    pub fn truncate_logically(&mut self, cohort: RangeId, lsns: &[Lsn]) -> Result<()> {
+        if lsns.is_empty() {
+            return Ok(());
+        }
+        let entry = self.index.entry(cohort).or_default();
+        let list = self.skipped.cohort_mut(cohort);
+        for &lsn in lsns {
+            list.insert(lsn);
+            if let Some(loc) = entry.records.remove(&lsn) {
+                if let Some(refs) = self.seg_refs.get_mut(&loc.segment) {
+                    *refs = refs.saturating_sub(1);
+                }
+            }
+        }
+        entry.last_lsn = entry
+            .records
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(Lsn::ZERO)
+            .max(self.checkpoints.get(cohort));
+        self.skipped.save(self.vfs.as_ref(), &Self::skipped_path(&self.opts.dir))
+    }
+
+    /// The logically truncated LSNs currently remembered for `cohort`.
+    pub fn skipped_lsns(&self, cohort: RangeId) -> Vec<Lsn> {
+        self.skipped
+            .cohort(cohort)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Advance `cohort`'s checkpoint to `lsn` after its writes were flushed
+    /// to an SSTable. Drops index entries at or below `lsn`, garbage
+    /// collects skipped-LSN entries, and deletes sealed segments no cohort
+    /// still needs.
+    pub fn set_checkpoint(&mut self, cohort: RangeId, lsn: Lsn) -> Result<()> {
+        self.checkpoints.advance(cohort, lsn);
+        self.checkpoints.save(self.vfs.as_ref(), &Self::cp_path(&self.opts.dir))?;
+        let entry = self.index.entry(cohort).or_default();
+        if lsn > entry.floor {
+            entry.floor = lsn;
+        }
+        if lsn > entry.last_lsn {
+            entry.last_lsn = lsn;
+        }
+        // Split off the portion of the index that stays replayable.
+        let keep = entry.records.split_off(&lsn.next());
+        for (_, loc) in std::mem::replace(&mut entry.records, keep) {
+            if let Some(refs) = self.seg_refs.get_mut(&loc.segment) {
+                *refs = refs.saturating_sub(1);
+            }
+        }
+        let list = self.skipped.cohort_mut(cohort);
+        if !list.is_empty() {
+            list.gc(lsn);
+            self.skipped.save(self.vfs.as_ref(), &Self::skipped_path(&self.opts.dir))?;
+        }
+        self.maybe_gc()
+    }
+
+    /// The checkpoint of `cohort`.
+    pub fn checkpoint(&self, cohort: RangeId) -> Lsn {
+        self.checkpoints.get(cohort)
+    }
+
+    fn maybe_gc(&mut self) -> Result<()> {
+        let mut kept = Vec::with_capacity(self.sealed.len());
+        for &id in &self.sealed {
+            if self.seg_refs.get(&id).copied().unwrap_or(0) == 0 {
+                self.vfs.delete(&Self::seg_path(&self.opts.dir, id))?;
+                self.seg_refs.remove(&id);
+            } else {
+                kept.push(id);
+            }
+        }
+        self.sealed = kept;
+        Ok(())
+    }
+
+    /// Number of on-disk segments (sealed + current), for tests.
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Total frames currently indexed for `cohort` (replayable writes).
+    pub fn indexed_records(&self, cohort: RangeId) -> usize {
+        self.index.get(&cohort).map_or(0, |e| e.records.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use spinnaker_common::op;
+    use spinnaker_common::vfs::MemVfs;
+
+    use super::*;
+
+    fn opts() -> WalOptions {
+        WalOptions { dir: "wal".into(), segment_bytes: 8 << 20 }
+    }
+
+    fn wal_on(vfs: &MemVfs) -> Wal {
+        Wal::open(Arc::new(vfs.clone()), opts()).unwrap()
+    }
+
+    fn wr(cohort: u32, epoch: u16, seq: u64) -> LogRecord {
+        LogRecord::write(
+            RangeId(cohort),
+            Lsn::new(epoch, seq),
+            op::put(&format!("k{seq}"), "c", &format!("v{seq}")),
+        )
+    }
+
+    #[test]
+    fn append_sync_reopen_roundtrip() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        for seq in 1..=5 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        wal.append(&LogRecord::commit_note(RangeId(0), Lsn::new(1, 3))).unwrap();
+        wal.sync().unwrap();
+
+        let reopened = wal_on(&vfs.crash_clone());
+        let st = reopened.state(RangeId(0));
+        assert_eq!(st.last_lsn, Lsn::new(1, 5));
+        assert_eq!(st.last_committed, Lsn::new(1, 3));
+        let replayed = reopened.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap();
+        assert_eq!(replayed.len(), 5);
+        assert_eq!(replayed[0].0, Lsn::new(1, 1));
+        assert_eq!(replayed[4].0, Lsn::new(1, 5));
+    }
+
+    #[test]
+    fn unsynced_tail_lost_on_crash() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&wr(0, 1, 1)).unwrap();
+        wal.sync().unwrap();
+        wal.append(&wr(0, 1, 2)).unwrap(); // never forced
+
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.state(RangeId(0)).last_lsn, Lsn::new(1, 1));
+    }
+
+    #[test]
+    fn torn_tail_mid_frame_is_tolerated() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&wr(0, 1, 1)).unwrap();
+        wal.sync().unwrap();
+        // Simulate a torn write: append garbage directly to the segment.
+        use spinnaker_common::vfs::Vfs;
+        let mut f = Vfs::open(&vfs, "wal/seg-0000000001.log").unwrap();
+        f.append(&[0xde, 0xad, 0xbe]).unwrap();
+        f.sync().unwrap();
+
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.state(RangeId(0)).last_lsn, Lsn::new(1, 1));
+    }
+
+    #[test]
+    fn cohorts_share_the_log_but_keep_logical_lsns() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        // Interleave three cohorts with overlapping LSNs, as on a real node.
+        for seq in 1..=4 {
+            for cohort in 0..3u32 {
+                wal.append(&wr(cohort, 1, seq)).unwrap();
+            }
+        }
+        wal.sync().unwrap();
+        for cohort in 0..3u32 {
+            let got = wal.read_range(RangeId(cohort), Lsn::ZERO, Lsn::MAX).unwrap();
+            assert_eq!(got.len(), 4, "cohort {cohort}");
+            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "LSN order");
+        }
+        assert_eq!(wal.segment_count(), 1, "one shared physical log");
+    }
+
+    #[test]
+    fn replay_range_is_exclusive_inclusive() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        for seq in 1..=10 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        let got = wal.read_range(RangeId(0), Lsn::new(1, 3), Lsn::new(1, 7)).unwrap();
+        let lsns: Vec<u64> = got.iter().map(|(l, _)| l.seq()).collect();
+        assert_eq!(lsns, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn logical_truncation_hides_records_across_restart() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        for seq in 1..=5 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Fig. 10: LSN 1.22-style orphan — here 1.4 and 1.5 get truncated.
+        wal.truncate_logically(RangeId(0), &[Lsn::new(1, 4), Lsn::new(1, 5)]).unwrap();
+        assert_eq!(wal.state(RangeId(0)).last_lsn, Lsn::new(1, 3));
+        let got = wal.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap();
+        assert_eq!(got.len(), 3);
+
+        // The list survives a crash and is honoured by the recovery scan.
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.state(RangeId(0)).last_lsn, Lsn::new(1, 3));
+        assert_eq!(reopened.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap().len(), 3);
+        assert_eq!(reopened.skipped_lsns(RangeId(0)), vec![Lsn::new(1, 4), Lsn::new(1, 5)]);
+    }
+
+    #[test]
+    fn truncation_does_not_disturb_other_cohorts() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&wr(0, 1, 1)).unwrap();
+        wal.append(&wr(1, 1, 1)).unwrap();
+        wal.sync().unwrap();
+        wal.truncate_logically(RangeId(0), &[Lsn::new(1, 1)]).unwrap();
+        assert_eq!(wal.read_range(RangeId(1), Lsn::ZERO, Lsn::MAX).unwrap().len(), 1);
+        assert_eq!(wal.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn segment_rollover_and_gc() {
+        let vfs = MemVfs::new();
+        let mut wal = Wal::open(
+            Arc::new(vfs.clone()),
+            WalOptions { dir: "wal".into(), segment_bytes: 256 },
+        )
+        .unwrap();
+        for seq in 1..=50 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() > 1, "rollover must have happened");
+        let before = wal.segment_count();
+
+        // Checkpointing everything makes old segments collectable.
+        wal.set_checkpoint(RangeId(0), Lsn::new(1, 50)).unwrap();
+        // GC happens on the next rollover; force one.
+        for seq in 51..=80 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() < before + 3, "old segments collected");
+        // Replay below the checkpoint is refused (callers use SSTables).
+        assert!(wal.read_range(RangeId(0), Lsn::ZERO, Lsn::new(1, 50)).is_err());
+        // Replay above still works.
+        assert_eq!(
+            wal.read_range(RangeId(0), Lsn::new(1, 50), Lsn::MAX).unwrap().len(),
+            30
+        );
+    }
+
+    #[test]
+    fn checkpoint_survives_restart_and_sets_floor() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        for seq in 1..=10 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.set_checkpoint(RangeId(0), Lsn::new(1, 6)).unwrap();
+
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.checkpoint(RangeId(0)), Lsn::new(1, 6));
+        assert!(reopened.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).is_err());
+        let tail = reopened.read_range(RangeId(0), Lsn::new(1, 6), Lsn::MAX).unwrap();
+        assert_eq!(tail.len(), 4);
+        let st = reopened.state(RangeId(0));
+        assert_eq!(st.last_lsn, Lsn::new(1, 10));
+        assert_eq!(st.last_committed, Lsn::new(1, 6), "checkpoint implies committed");
+    }
+
+    #[test]
+    fn commit_notes_do_not_consume_write_lsns() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&wr(0, 1, 1)).unwrap();
+        wal.append(&LogRecord::commit_note(RangeId(0), Lsn::new(1, 1))).unwrap();
+        wal.append(&wr(0, 1, 2)).unwrap();
+        wal.sync().unwrap();
+        let got = wal.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap();
+        assert_eq!(got.len(), 2, "notes are not write records");
+        assert_eq!(wal.state(RangeId(0)).last_committed, Lsn::new(1, 1));
+    }
+
+    #[test]
+    fn epochs_interleave_correctly() {
+        // Fig. 10: records from epoch 1 and epoch 2 coexist; ordering and
+        // state must follow (epoch, seq).
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        for seq in 20..=21 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        for seq in 22..=30 {
+            wal.append(&wr(0, 2, seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        let st = wal.state(RangeId(0));
+        assert_eq!(st.last_lsn, Lsn::new(2, 30));
+        let got = wal.read_range(RangeId(0), Lsn::new(1, 20), Lsn::MAX).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, Lsn::new(1, 21));
+        assert_eq!(got[1].0, Lsn::new(2, 22));
+    }
+
+    #[test]
+    fn reopen_after_rollover_reads_sealed_segments() {
+        let vfs = MemVfs::new();
+        {
+            let mut wal = Wal::open(
+                Arc::new(vfs.clone()),
+                WalOptions { dir: "wal".into(), segment_bytes: 200 },
+            )
+            .unwrap();
+            for seq in 1..=20 {
+                wal.append(&wr(0, 1, seq)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let wal = Wal::open(
+            Arc::new(vfs.crash_clone()),
+            WalOptions { dir: "wal".into(), segment_bytes: 200 },
+        )
+        .unwrap();
+        assert_eq!(wal.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap().len(), 20);
+    }
+}

@@ -1,0 +1,61 @@
+//! Failover: the Fig. 1 master-slave trap side by side with Spinnaker's
+//! Paxos cohort surviving the same failure sequence.
+//!
+//! Run with `cargo run --release --example failover`.
+
+use spinnaker::common::RangeId;
+use spinnaker::core::client::Workload;
+use spinnaker::core::cluster::{ClusterConfig, SimCluster};
+use spinnaker::eventual::{FailoverPolicy, MasterSlavePair};
+use spinnaker::sim::{DiskProfile, SECS};
+
+fn main() {
+    println!("--- master-slave (Fig. 1): one node down can mean unavailability + loss ---");
+    let mut pair = MasterSlavePair::new(10, FailoverPolicy::ContinueWithoutPeer);
+    pair.fail_slave();
+    for _ in 0..10 {
+        pair.write().unwrap();
+    }
+    pair.fail_master();
+    pair.recover_slave();
+    println!("slave down -> master wrote LSN 11..=20 -> master down -> slave back:");
+    println!("  available for writes? {}", pair.available_for_writes());
+    println!("  at-risk committed writes: {:?}", pair.at_risk_window());
+
+    println!();
+    println!("--- Spinnaker: kill the leader of a cohort under load ---");
+    let mut cluster = SimCluster::new(ClusterConfig {
+        nodes: 5,
+        disk: DiskProfile::Ssd,
+        ..Default::default()
+    });
+    let stats = cluster.add_client(
+        Workload::SingleRangeWrites { value_size: 1024 },
+        SECS,
+        0,
+        30 * SECS,
+    );
+    stats.borrow_mut().trace = Some(Vec::new());
+    cluster.run_until(5 * SECS);
+    let old = cluster.leader_of(RangeId(0)).expect("led");
+    println!("t=5s  leader of range 0 is node {old}; killing it");
+    cluster.crash_node(5 * SECS, old, true);
+    cluster.run_until(30 * SECS);
+    let new = cluster.leader_of(RangeId(0)).expect("new leader");
+    println!("      new leader: node {new} (election by max n.lst, Fig. 7 + takeover, Fig. 6)");
+
+    let s = stats.borrow();
+    let trace = s.trace.as_ref().unwrap();
+    let last_before = trace.iter().map(|(t, _)| *t).filter(|&t| t < 5 * SECS).max().unwrap();
+    let first_after = trace.iter().map(|(t, _)| *t).find(|&t| t > 5 * SECS).unwrap();
+    println!(
+        "      write availability gap: {:.0} ms (last commit t={:.2}s, first after t={:.2}s)",
+        (first_after - last_before) as f64 / 1e6,
+        last_before as f64 / 1e9,
+        first_after as f64 / 1e9,
+    );
+    println!("      total writes committed: {}", s.total_completed);
+    println!();
+    println!("Unlike master-slave, no committed write was lost and the cohort reopened");
+    println!("as soon as a majority elected and caught up a new leader.");
+}
