@@ -112,7 +112,7 @@ fn bench_store(c: &mut Criterion) {
 }
 
 fn bench_paxos(c: &mut Criterion) {
-    use spinnaker_paxos::{Action, Acceptor, Msg, Proposer};
+    use spinnaker_paxos::{Acceptor, Action, Msg, Proposer};
     c.bench_function("paxos/single_decree_round", |b| {
         b.iter(|| {
             let mut acceptors: Vec<Acceptor<u64>> = (0..3).map(|_| Acceptor::new()).collect();
@@ -140,9 +140,8 @@ fn bench_paxos(c: &mut Criterion) {
 }
 
 fn bench_merkle(c: &mut Criterion) {
-    let rows: Vec<(Key, u64)> = (0..10_000u64)
-        .map(|i| (Key::from(format!("key{i:06}").into_bytes()), i * 7))
-        .collect();
+    let rows: Vec<(Key, u64)> =
+        (0..10_000u64).map(|i| (Key::from(format!("key{i:06}").into_bytes()), i * 7)).collect();
     c.bench_function("merkle/build_10k", |b| {
         b.iter(|| MerkleTree::build(rows.iter().map(|(k, h)| (k, *h))))
     });

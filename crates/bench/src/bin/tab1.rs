@@ -21,12 +21,8 @@ fn main() {
         cfg.node.commit_period = period * SECS;
         let mut cluster = SimCluster::new(cfg);
         let horizon = (25 + 4 * period) * SECS;
-        let stats = cluster.add_client(
-            Workload::SingleRangeWrites { value_size: 4096 },
-            SECS,
-            0,
-            horizon,
-        );
+        let stats =
+            cluster.add_client(Workload::SingleRangeWrites { value_size: 4096 }, SECS, 0, horizon);
         stats.borrow_mut().trace = Some(Vec::new());
         // Kill just before the next periodic commit message fires, so a
         // full commit period's worth of writes sits uncommitted at the

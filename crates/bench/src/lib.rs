@@ -75,9 +75,8 @@ pub fn spinnaker_sweep(
         let mut cfg = base.clone();
         cfg.seed = base.seed + i as u64;
         let mut cluster = SimCluster::new(cfg);
-        let stats: Vec<_> = (0..clients)
-            .map(|_| cluster.add_client(workload(), 2 * SECS, warm, end))
-            .collect();
+        let stats: Vec<_> =
+            (0..clients).map(|_| cluster.add_client(workload(), 2 * SECS, warm, end)).collect();
         cluster.run_until(end);
         let mut latency = spinnaker_sim::LatencyStats::new();
         let mut completed = 0u64;
@@ -111,9 +110,8 @@ pub fn eventual_sweep(
         let mut cfg = base.clone();
         cfg.seed = base.seed + i as u64;
         let mut cluster = EventualCluster::new(cfg);
-        let stats: Vec<_> = (0..clients)
-            .map(|_| cluster.add_client(workload(), SECS, warm, end))
-            .collect();
+        let stats: Vec<_> =
+            (0..clients).map(|_| cluster.add_client(workload(), SECS, warm, end)).collect();
         cluster.run_until(end);
         let mut latency = spinnaker_sim::LatencyStats::new();
         let mut completed = 0u64;

@@ -79,7 +79,7 @@ pub fn varint_len(v: u64) -> usize {
     if v == 0 {
         1
     } else {
-        (64 - v.leading_zeros() as usize + 6) / 7
+        (64 - v.leading_zeros() as usize).div_ceil(7)
     }
 }
 

@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn io_conversion_preserves_source() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(std::error::Error::source(&e).is_some());

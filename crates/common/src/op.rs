@@ -64,8 +64,17 @@ pub struct WriteOp {
 
 impl WriteOp {
     /// Single-column put.
-    pub fn put(key: Key, col: impl Into<ColumnName>, value: impl Into<Value>, ts: Timestamp) -> WriteOp {
-        WriteOp { key, cells: vec![CellOp::Put { col: col.into(), value: value.into() }], timestamp: ts }
+    pub fn put(
+        key: Key,
+        col: impl Into<ColumnName>,
+        value: impl Into<Value>,
+        ts: Timestamp,
+    ) -> WriteOp {
+        WriteOp {
+            key,
+            cells: vec![CellOp::Put { col: col.into(), value: value.into() }],
+            timestamp: ts,
+        }
     }
 
     /// Single-column delete.

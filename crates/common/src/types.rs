@@ -213,10 +213,7 @@ impl Row {
 
     /// Approximate in-memory footprint, for memtable accounting.
     pub fn approx_size(&self) -> usize {
-        self.columns
-            .iter()
-            .map(|(name, cv)| name.len() + cv.approx_size())
-            .sum()
+        self.columns.iter().map(|(name, cv)| name.len() + cv.approx_size()).sum()
     }
 }
 

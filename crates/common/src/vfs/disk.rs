@@ -1,9 +1,9 @@
 //! Real-filesystem [`Vfs`] backend rooted at a directory.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
 #[cfg(not(unix))]
 use std::io::Read;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
@@ -94,12 +94,8 @@ impl Vfs for DiskVfs {
         if let Some(parent) = full.parent() {
             fs::create_dir_all(parent)?;
         }
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&full)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&full)?;
         Ok(Box::new(DiskFile { file: Mutex::new(file) }))
     }
 
@@ -168,7 +164,8 @@ mod tests {
     use super::*;
 
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("spinnaker-disk-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("spinnaker-disk-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -188,7 +185,10 @@ mod tests {
         vfs.create("wal/seg-1").unwrap();
         vfs.create("wal/seg-2").unwrap();
         vfs.create("sst/t-1").unwrap();
-        assert_eq!(vfs.list("wal/seg-").unwrap(), vec!["wal/seg-1".to_string(), "wal/seg-2".into()]);
+        assert_eq!(
+            vfs.list("wal/seg-").unwrap(),
+            vec!["wal/seg-1".to_string(), "wal/seg-2".into()]
+        );
         assert_eq!(vfs.list("nothing/").unwrap(), Vec::<String>::new());
         fs::remove_dir_all(&dir).unwrap();
     }

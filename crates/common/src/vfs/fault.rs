@@ -61,7 +61,7 @@ impl FaultPlan {
         let n = seen.fetch_add(1, Ordering::SeqCst) + 1;
         if n == t || (n > t && self.sticky.load(Ordering::SeqCst)) {
             self.injected.fetch_add(1, Ordering::SeqCst);
-            return Err(Error::Io(io::Error::new(io::ErrorKind::Other, "injected fault")));
+            return Err(Error::Io(io::Error::other("injected fault")));
         }
         Ok(())
     }

@@ -119,13 +119,7 @@ impl Vfs for MemVfs {
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        Ok(self
-            .files
-            .lock()
-            .keys()
-            .filter(|p| p.starts_with(prefix))
-            .cloned()
-            .collect())
+        Ok(self.files.lock().keys().filter(|p| p.starts_with(prefix)).cloned().collect())
     }
 
     fn delete(&self, path: &str) -> Result<()> {

@@ -91,6 +91,11 @@ pub trait VfsFile: Send {
 
     /// Current file length in bytes.
     fn len(&self) -> Result<u64>;
+
+    /// True when the file holds no bytes.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
 }
 
 /// Shared, clonable handle to any `Vfs` implementation.

@@ -17,8 +17,8 @@
 pub mod service;
 
 pub use service::{
-    basename, parent, Coord, CoordError, CoordResult, CreateMode, Delivery, Nanos, SessionId,
-    Stat, WatchEvent, Zxid,
+    basename, parent, Coord, CoordError, CoordResult, CreateMode, Delivery, Nanos, SessionId, Stat,
+    WatchEvent, Zxid,
 };
 
 #[cfg(test)]
@@ -85,7 +85,10 @@ mod tests {
         let (mut c, s) = svc_with_session();
         for p in ["noslash", "/trailing/", "/dou//ble", ""] {
             assert!(
-                matches!(c.create(s, p, vec![], CreateMode::Persistent), Err(CoordError::BadPath(_))),
+                matches!(
+                    c.create(s, p, vec![], CreateMode::Persistent),
+                    Err(CoordError::BadPath(_))
+                ),
                 "path {p:?}"
             );
         }
@@ -226,10 +229,8 @@ mod tests {
         c.create(admin, "/r", vec![], CreateMode::Persistent).unwrap();
         c.create(admin, "/r/candidates", vec![], CreateMode::Persistent).unwrap();
 
-        c.create(a, "/r/candidates/n-", b"1.20".to_vec(), CreateMode::EphemeralSequential)
-            .unwrap();
-        c.create(b, "/r/candidates/n-", b"1.21".to_vec(), CreateMode::EphemeralSequential)
-            .unwrap();
+        c.create(a, "/r/candidates/n-", b"1.20".to_vec(), CreateMode::EphemeralSequential).unwrap();
+        c.create(b, "/r/candidates/n-", b"1.21".to_vec(), CreateMode::EphemeralSequential).unwrap();
         let kids = c.get_children("/r/candidates", None).unwrap();
         assert_eq!(kids.len(), 2);
         // Max advertised LSN wins: session b.

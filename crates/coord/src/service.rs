@@ -222,12 +222,7 @@ impl Coord {
         self.next_session += 1;
         self.sessions.insert(
             id,
-            Session {
-                last_heartbeat: now,
-                timeout,
-                ephemerals: BTreeSet::new(),
-                expired: false,
-            },
+            Session { last_heartbeat: now, timeout, ephemerals: BTreeSet::new(), expired: false },
         );
         id
     }
@@ -284,11 +279,7 @@ impl Coord {
             }
         }
         // Drop any watches the dead session still holds.
-        for watches in [
-            &mut self.data_watches,
-            &mut self.child_watches,
-            &mut self.exists_watches,
-        ] {
+        for watches in [&mut self.data_watches, &mut self.child_watches, &mut self.exists_watches] {
             for set in watches.values_mut() {
                 set.remove(&session);
             }
@@ -367,18 +358,13 @@ impl Coord {
             },
         );
         let name = basename(&actual_path).to_string();
-        self.nodes
-            .get_mut(&parent_path)
-            .expect("parent")
-            .children
-            .insert(name);
+        self.nodes.get_mut(&parent_path).expect("parent").children.insert(name);
         if mode.is_ephemeral() {
             self.live_session(session)?.ephemerals.insert(actual_path.clone());
         }
 
-        let mut events = self.fire(WatchKind::Exists, &actual_path, || {
-            WatchEvent::Created(actual_path.clone())
-        });
+        let mut events =
+            self.fire(WatchKind::Exists, &actual_path, || WatchEvent::Created(actual_path.clone()));
         events.extend(self.fire(WatchKind::Child, &parent_path, || {
             WatchEvent::ChildrenChanged(parent_path.clone())
         }));
@@ -393,10 +379,7 @@ impl Coord {
     }
 
     fn delete_inner(&mut self, path: &str) -> CoordResult<Vec<Delivery>> {
-        let node = self
-            .nodes
-            .get(path)
-            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let node = self.nodes.get(path).ok_or_else(|| CoordError::NoNode(path.to_string()))?;
         if !node.children.is_empty() {
             return Err(CoordError::NotEmpty(path.to_string()));
         }
@@ -411,8 +394,7 @@ impl Coord {
                 s.ephemerals.remove(path);
             }
         }
-        let mut events =
-            self.fire(WatchKind::Data, path, || WatchEvent::Deleted(path.to_string()));
+        let mut events = self.fire(WatchKind::Data, path, || WatchEvent::Deleted(path.to_string()));
         events.extend(self.fire(WatchKind::Exists, path, || WatchEvent::Deleted(path.to_string())));
         events.extend(self.fire(WatchKind::Child, &parent_path, || {
             WatchEvent::ChildrenChanged(parent_path.clone())
@@ -433,10 +415,7 @@ impl Coord {
         self.live_session(session)?;
         self.zxid += 1;
         let zxid = self.zxid;
-        let node = self
-            .nodes
-            .get_mut(path)
-            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let node = self.nodes.get_mut(path).ok_or_else(|| CoordError::NoNode(path.to_string()))?;
         node.data = data;
         node.stat.mzxid = zxid;
         node.stat.version += 1;
@@ -445,7 +424,11 @@ impl Coord {
 
     /// Delete a node if present; used for "clean up old state" (Fig. 7
     /// line 1). Recursively removes children.
-    pub fn delete_recursive(&mut self, session: SessionId, path: &str) -> CoordResult<Vec<Delivery>> {
+    pub fn delete_recursive(
+        &mut self,
+        session: SessionId,
+        path: &str,
+    ) -> CoordResult<Vec<Delivery>> {
         validate(path)?;
         self.live_session(session)?;
         if !self.nodes.contains_key(path) {
@@ -473,10 +456,7 @@ impl Coord {
         watch: Option<SessionId>,
     ) -> CoordResult<(Vec<u8>, Stat)> {
         validate(path)?;
-        let node = self
-            .nodes
-            .get(path)
-            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let node = self.nodes.get(path).ok_or_else(|| CoordError::NoNode(path.to_string()))?;
         let out = (node.data.clone(), node.stat.clone());
         if let Some(session) = watch {
             self.data_watches.entry(path.to_string()).or_default().insert(session);
@@ -491,10 +471,7 @@ impl Coord {
         watch: Option<SessionId>,
     ) -> CoordResult<Vec<String>> {
         validate(path)?;
-        let node = self
-            .nodes
-            .get(path)
-            .ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let node = self.nodes.get(path).ok_or_else(|| CoordError::NoNode(path.to_string()))?;
         let out = node.children.iter().cloned().collect();
         if let Some(session) = watch {
             self.child_watches.entry(path.to_string()).or_default().insert(session);
@@ -536,10 +513,6 @@ impl Coord {
         let Some(watchers) = watchers else {
             return Vec::new();
         };
-        watchers
-            .into_iter()
-            .filter(|s| self.session_alive(*s))
-            .map(|s| (s, event()))
-            .collect()
+        watchers.into_iter().filter(|s| self.session_alive(*s)).map(|s| (s, event())).collect()
     }
 }

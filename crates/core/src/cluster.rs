@@ -94,9 +94,7 @@ impl PerfConfig {
             NodeInput::Write { .. } => self.write_service,
             NodeInput::Peer { msg, .. } => match msg {
                 PeerMsg::Propose { .. } => self.write_service,
-                PeerMsg::CatchupReq { .. } | PeerMsg::CatchupRecords { .. } => {
-                    self.catchup_service
-                }
+                PeerMsg::CatchupReq { .. } | PeerMsg::CatchupRecords { .. } => self.catchup_service,
                 _ => self.peer_service,
             },
             _ => 0,
@@ -231,7 +229,11 @@ impl NodeHost {
                         ctx.rng(),
                     );
                     if let Some(at) = at {
-                        ctx.schedule_at(at, to, Ev::Input(NodeInput::Peer { from: from_node, msg }));
+                        ctx.schedule_at(
+                            at,
+                            to,
+                            Ev::Input(NodeInput::Peer { from: from_node, msg }),
+                        );
                     }
                 }
                 crate::messages::Effect::Reply { to, reply } => {
@@ -259,11 +261,7 @@ impl NodeHost {
                     }
                 }
                 crate::messages::Effect::SetTimer { kind, after } => {
-                    ctx.schedule(
-                        after,
-                        self.proc,
-                        Ev::TimerFire { inc: self.incarnation, kind },
-                    );
+                    ctx.schedule(after, self.proc, Ev::TimerFire { inc: self.incarnation, kind });
                 }
             }
         }

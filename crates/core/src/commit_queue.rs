@@ -64,13 +64,14 @@ impl CommitQueue {
     /// `last_committed`) in which every write has its own force plus at
     /// least `needed_acks` follower acks. Returns the drained writes in
     /// LSN order.
-    pub fn drain_committable(&mut self, last_committed: Lsn, needed_acks: usize) -> Vec<PendingWrite> {
+    pub fn drain_committable(
+        &mut self,
+        last_committed: Lsn,
+        needed_acks: usize,
+    ) -> Vec<PendingWrite> {
         let mut out = Vec::new();
         let mut cursor = last_committed;
-        loop {
-            let Some((&lsn, pw)) = self.entries.range(next_after(cursor)..).next() else {
-                break;
-            };
+        while let Some((&lsn, pw)) = self.entries.range(next_after(cursor)..).next() {
             if !(pw.self_forced && pw.acks >= needed_acks) {
                 break;
             }
@@ -104,7 +105,11 @@ impl CommitQueue {
     /// leader to evaluate conditional writes against not-yet-committed
     /// state (writes commit in LSN order, so the last pending write's LSN
     /// *will* be the column's version once it commits).
-    pub fn latest_pending_version(&self, key: &spinnaker_common::Key, col: &[u8]) -> Option<Version> {
+    pub fn latest_pending_version(
+        &self,
+        key: &spinnaker_common::Key,
+        col: &[u8],
+    ) -> Option<Version> {
         self.entries
             .values()
             .rev()
@@ -226,8 +231,20 @@ mod tests {
         let mut q = CommitQueue::new();
         // Old-epoch re-proposals and new-epoch writes coexist at takeover.
         for pw in [
-            PendingWrite { lsn: Lsn::new(1, 21), op: op::put("a", "c", "1"), client: None, acks: 1, self_forced: true },
-            PendingWrite { lsn: Lsn::new(2, 22), op: op::put("b", "c", "2"), client: None, acks: 1, self_forced: true },
+            PendingWrite {
+                lsn: Lsn::new(1, 21),
+                op: op::put("a", "c", "1"),
+                client: None,
+                acks: 1,
+                self_forced: true,
+            },
+            PendingWrite {
+                lsn: Lsn::new(2, 22),
+                op: op::put("b", "c", "2"),
+                client: None,
+                acks: 1,
+                self_forced: true,
+            },
         ] {
             q.insert(pw);
         }

@@ -50,12 +50,9 @@ impl CoordClient {
     /// Create a persistent node, ignoring "already exists".
     pub fn ensure_path(&self, path: &str) {
         let mut svc = self.svc.borrow_mut();
-        match svc.create(self.session, path, Vec::new(), CreateMode::Persistent) {
-            Ok((_, d)) => {
-                drop(svc);
-                self.push(d);
-            }
-            Err(_) => {}
+        if let Ok((_, d)) = svc.create(self.session, path, Vec::new(), CreateMode::Persistent) {
+            drop(svc);
+            self.push(d);
         }
     }
 
@@ -113,10 +110,9 @@ impl CoordClient {
     /// Read the epoch counter stored at `path` (0 when absent).
     pub fn read_epoch(&self, path: &str) -> Epoch {
         match self.svc.borrow_mut().get_data(path, None) {
-            Ok((data, _)) => std::str::from_utf8(&data)
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0),
+            Ok((data, _)) => {
+                std::str::from_utf8(&data).ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+            }
             Err(_) => 0,
         }
     }

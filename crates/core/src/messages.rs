@@ -6,8 +6,7 @@
 //! by the hosting runtime.
 
 use spinnaker_common::{
-    CellOp, ColumnName, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Row, Value, Version,
-    WriteOp,
+    CellOp, ColumnName, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Row, Value, Version, WriteOp,
 };
 use spinnaker_coord::WatchEvent;
 
@@ -199,10 +198,7 @@ impl PeerMsg {
             PeerMsg::Propose { op, .. } => 64 + op.approx_size(),
             PeerMsg::CatchupRecords { records, fragments, .. } => {
                 64 + records.iter().map(|(_, op)| 16 + op.approx_size()).sum::<usize>()
-                    + fragments
-                        .iter()
-                        .map(|(k, r)| k.len() + r.approx_size())
-                        .sum::<usize>()
+                    + fragments.iter().map(|(k, r)| k.len() + r.approx_size()).sum::<usize>()
             }
             _ => 64,
         }

@@ -12,9 +12,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use spinnaker_common::vfs::SharedVfs;
-use spinnaker_common::{
-    CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Result, WriteOp,
-};
+use spinnaker_common::{CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Result, WriteOp};
 use spinnaker_coord::WatchEvent;
 use spinnaker_storage::{RangeStore, StoreOptions};
 use spinnaker_wal::{LogRecord, Wal, WalOptions};
@@ -335,10 +333,10 @@ impl Node {
         // Fig. 7 line 4: advertise n.lst in a sequential ephemeral znode.
         let lst = self.wal.state(range).last_lsn;
         let data = format!("{}:{}", self.id, lst.as_u64());
-        match self.coord.create_ephemeral_sequential(
-            &format!("{}/c-", paths.candidates),
-            data.into_bytes(),
-        ) {
+        match self
+            .coord
+            .create_ephemeral_sequential(&format!("{}/c-", paths.candidates), data.into_bytes())
+        {
             Ok(path) => {
                 self.cohorts.get_mut(&range).expect("own range").candidate_path = Some(path);
             }
@@ -442,12 +440,8 @@ impl Node {
         let l_lst = st.last_lsn;
         cohort.last_committed = l_cmt;
         // Fig. 6 line 9's input: the unresolved writes (l.cmt, l.lst].
-        let repropose: VecDeque<(Lsn, WriteOp)> = self
-            .wal
-            .read_range(range, l_cmt, l_lst)
-            .unwrap_or_default()
-            .into_iter()
-            .collect();
+        let repropose: VecDeque<(Lsn, WriteOp)> =
+            self.wal.read_range(range, l_cmt, l_lst).unwrap_or_default().into_iter().collect();
         cohort.takeover =
             Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
         cohort.last_assigned = l_lst;
@@ -540,7 +534,10 @@ impl Node {
     fn on_write(&mut self, _now: u64, from: Addr, req: WriteRequest, out: &mut Outbox) {
         let range = self.ring.range_of(&req.key);
         let Some(cohort) = self.cohorts.get_mut(&range) else {
-            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) });
+            out.reply(
+                from,
+                Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) },
+            );
             return;
         };
         match cohort.role {
@@ -612,7 +609,10 @@ impl Node {
     fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
         let range = self.ring.range_of(&req.key);
         let Some(cohort) = self.cohorts.get(&range) else {
-            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) });
+            out.reply(
+                from,
+                Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) },
+            );
             return;
         };
         match req.consistency {
@@ -660,9 +660,7 @@ impl Node {
             PeerMsg::LeaderHello { epoch, leader, .. } => {
                 self.on_leader_hello(range, epoch, leader, out)
             }
-            PeerMsg::CatchupReq { from: f_cmt, .. } => {
-                self.on_catchup_req(range, from, f_cmt, out)
-            }
+            PeerMsg::CatchupReq { from: f_cmt, .. } => self.on_catchup_req(range, from, f_cmt, out),
             PeerMsg::CatchupRecords { epoch, records, fragments, up_to, .. } => {
                 self.on_catchup_records(now, range, from, epoch, records, fragments, up_to, out)
             }
@@ -725,7 +723,13 @@ impl Node {
         // record is idempotent under replay, and the per-record force is
         // exactly why cohort recovery time is proportional to the commit
         // period (Table 1).
-        cohort.cq.insert(PendingWrite { lsn, op: op.clone(), client: None, acks: 0, self_forced: false });
+        cohort.cq.insert(PendingWrite {
+            lsn,
+            op: op.clone(),
+            client: None,
+            acks: 0,
+            self_forced: false,
+        });
         let rec = LogRecord::write(range, lsn, op);
         let _ = self.wal.append(&rec);
         self.unforced_bytes += 64;
@@ -740,9 +744,7 @@ impl Node {
 
     fn on_ack(&mut self, range: RangeId, _from: NodeId, epoch: Epoch, lsn: Lsn, out: &mut Outbox) {
         let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if epoch != cohort.epoch
-            || !matches!(cohort.role, Role::Leader | Role::LeaderTakeover)
-        {
+        if epoch != cohort.epoch || !matches!(cohort.role, Role::Leader | Role::LeaderTakeover) {
             return;
         }
         cohort.cq.ack(lsn);
@@ -902,11 +904,8 @@ impl Node {
             .map(|v| v.into_iter().map(|(l, _)| l).collect())
             .unwrap_or_default();
         let received: HashSet<Lsn> = records.iter().map(|(l, _)| *l).collect();
-        let to_truncate: Vec<Lsn> = own
-            .iter()
-            .copied()
-            .filter(|l| *l <= up_to && !received.contains(l))
-            .collect();
+        let to_truncate: Vec<Lsn> =
+            own.iter().copied().filter(|l| *l <= up_to && !received.contains(l)).collect();
         if !to_truncate.is_empty() {
             let _ = self.wal.truncate_logically(range, &to_truncate);
         }
@@ -1134,10 +1133,5 @@ pub fn put_request(req: u64, key: Key, col: &str, value: &[u8]) -> WriteRequest 
 
 /// Build a [`ReadRequest`] (helper for clients/tests).
 pub fn get_request(req: u64, key: Key, col: &str, consistency: Consistency) -> ReadRequest {
-    ReadRequest {
-        req,
-        key,
-        col: bytes::Bytes::copy_from_slice(col.as_bytes()),
-        consistency,
-    }
+    ReadRequest { req, key, col: bytes::Bytes::copy_from_slice(col.as_bytes()), consistency }
 }

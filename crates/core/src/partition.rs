@@ -54,9 +54,7 @@ impl Ring {
     /// The cohort replicating `range`: the base node plus the next
     /// `replication - 1` nodes in ring order (chained declustering).
     pub fn cohort(&self, range: RangeId) -> Vec<NodeId> {
-        (0..self.replication)
-            .map(|i| ((range.0 as usize + i) % self.nodes) as NodeId)
-            .collect()
+        (0..self.replication).map(|i| ((range.0 as usize + i) % self.nodes) as NodeId).collect()
     }
 
     /// The ranges `node` participates in (its base range plus the
@@ -131,10 +129,7 @@ mod tests {
             let ranges = ring.ranges_of(node);
             assert_eq!(ranges.len(), 3);
             for r in &ranges {
-                assert!(
-                    ring.cohort(*r).contains(&node),
-                    "node {node} must be in cohort of {r}"
-                );
+                assert!(ring.cohort(*r).contains(&node), "node {node} must be in cohort of {r}");
             }
         }
         // Node 0 of 5 serves its base range 0 plus ranges 4 and 3.

@@ -65,12 +65,7 @@ fn writes_commit_and_reads_see_them() {
 #[test]
 fn replicas_converge_to_identical_committed_state() {
     let mut cluster = quick_cluster(5, 3);
-    cluster.add_client(
-        Workload::Writes { keys: 300, value_size: 64 },
-        SECS,
-        SECS,
-        8 * SECS,
-    );
+    cluster.add_client(Workload::Writes { keys: 300, value_size: 64 }, SECS, SECS, 8 * SECS);
     cluster.run_until(8 * SECS);
     // Let commit messages propagate (commit period 200 ms).
     cluster.run_until(10 * SECS);
@@ -126,12 +121,8 @@ fn conditional_puts_return_increasing_versions() {
 #[test]
 fn leader_failure_triggers_failover_and_writes_resume() {
     let mut cluster = quick_cluster(5, 6);
-    let stats = cluster.add_client(
-        Workload::SingleRangeWrites { value_size: 64 },
-        SECS,
-        SECS,
-        30 * SECS,
-    );
+    let stats =
+        cluster.add_client(Workload::SingleRangeWrites { value_size: 64 }, SECS, SECS, 30 * SECS);
     stats.borrow_mut().trace = Some(Vec::new());
     cluster.run_until(4 * SECS);
     let old_leader = cluster.leader_of(RangeId(0)).expect("range 0 led");
@@ -156,12 +147,7 @@ fn crashed_follower_recovers_and_catches_up() {
     cluster.add_client(Workload::SingleRangeWrites { value_size: 64 }, SECS, SECS, 30 * SECS);
     cluster.run_until(3 * SECS);
     let leader = cluster.leader_of(RangeId(0)).unwrap();
-    let follower = cluster
-        .ring
-        .cohort(RangeId(0))
-        .into_iter()
-        .find(|&n| n != leader)
-        .unwrap();
+    let follower = cluster.ring.cohort(RangeId(0)).into_iter().find(|&n| n != leader).unwrap();
 
     cluster.crash_node(3 * SECS, follower, false);
     // Writes continue on the remaining majority.
@@ -184,12 +170,8 @@ fn crashed_follower_recovers_and_catches_up() {
 #[test]
 fn majority_loss_blocks_writes_until_recovery() {
     let mut cluster = quick_cluster(5, 8);
-    let stats: Rc<RefCell<ClientStats>> = cluster.add_client(
-        Workload::SingleRangeWrites { value_size: 64 },
-        SECS,
-        SECS,
-        40 * SECS,
-    );
+    let stats: Rc<RefCell<ClientStats>> =
+        cluster.add_client(Workload::SingleRangeWrites { value_size: 64 }, SECS, SECS, 40 * SECS);
     stats.borrow_mut().trace = Some(Vec::new());
     cluster.run_until(3 * SECS);
     let cohort = cluster.ring.cohort(RangeId(0));
@@ -243,24 +225,15 @@ fn piggybacked_commits_shrink_follower_lag() {
     // with a long commit period — which is exactly why Table 1's recovery
     // backlog collapses when it is enabled.
     let lag_with = |piggyback: bool| -> u64 {
-        let mut cfg = ClusterConfig {
-            nodes: 5,
-            seed: 77,
-            disk: DiskProfile::Ssd,
-            ..Default::default()
-        };
+        let mut cfg =
+            ClusterConfig { nodes: 5, seed: 77, disk: DiskProfile::Ssd, ..Default::default() };
         cfg.node.commit_period = 5 * SECS; // long period: lag source
         cfg.node.piggyback_commits = piggyback;
         let mut cluster = SimCluster::new(cfg);
         cluster.add_client(Workload::SingleRangeWrites { value_size: 256 }, SECS, 0, 9 * SECS);
         cluster.run_until(9 * SECS);
         let leader = cluster.leader_of(RangeId(0)).unwrap();
-        let follower = cluster
-            .ring
-            .cohort(RangeId(0))
-            .into_iter()
-            .find(|&n| n != leader)
-            .unwrap();
+        let follower = cluster.ring.cohort(RangeId(0)).into_iter().find(|&n| n != leader).unwrap();
         let l = cluster.with_node(leader, |n| n.last_committed(RangeId(0))).unwrap();
         let f = cluster.with_node(follower, |n| n.last_committed(RangeId(0))).unwrap();
         l.seq() - f.seq()

@@ -122,8 +122,8 @@ fn pump(fx: &Fixture, nodes: &mut [Node], mut pending: Vec<(usize, Outbox)>) {
 fn make_leader(fx: &Fixture) -> Node {
     let mut nodes = vec![fx.node(0), fx.node(1), fx.node(2)];
     let mut pending = Vec::new();
-    for i in 0..3 {
-        let out = feed(&mut nodes[i], NodeInput::Start);
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let out = feed(node, NodeInput::Start);
         pending.push((i, out));
     }
     pump(fx, &mut nodes, pending);

@@ -16,9 +16,7 @@ use spinnaker_sim::{
     ProcId, Sim, Time, MICROS, MILLIS, SECS,
 };
 
-use crate::node::{
-    EEffect, ENodeInput, EPeerMsg, EReply, EventualNode, ReadLevel, WriteLevel,
-};
+use crate::node::{EEffect, ENodeInput, EPeerMsg, EReply, EventualNode, ReadLevel, WriteLevel};
 
 /// Events of the eventual-consistency simulation.
 #[derive(Debug)]
@@ -148,7 +146,8 @@ impl ENodeHost {
             ENodeInput::Peer { msg, .. } => match msg {
                 EPeerMsg::ReplicaWrite { .. } => self.cfg.write_service,
                 EPeerMsg::ReplicaRead { .. } => self.cfg.read_service,
-                EPeerMsg::TreeReq { .. } | EPeerMsg::TreeResp { .. }
+                EPeerMsg::TreeReq { .. }
+                | EPeerMsg::TreeResp { .. }
                 | EPeerMsg::SyncRows { .. } => 2 * MILLIS,
                 _ => 80 * MICROS,
             },
@@ -165,8 +164,7 @@ impl ENodeHost {
                 EEffect::Send { to, msg } => {
                     let bytes = msg.wire_size();
                     let from_node = self.node.id();
-                    let at =
-                        self.net.borrow_mut().delivery_time(now, me, to, bytes, ctx.rng());
+                    let at = self.net.borrow_mut().delivery_time(now, me, to, bytes, ctx.rng());
                     if let Some(at) = at {
                         ctx.schedule_at(
                             at,
@@ -180,8 +178,7 @@ impl ENodeHost {
                         EReply::Value { value: Some((v, _)), .. } => 64 + v.len(),
                         _ => 64,
                     };
-                    let at =
-                        self.net.borrow_mut().delivery_time(now, me, to, bytes, ctx.rng());
+                    let at = self.net.borrow_mut().delivery_time(now, me, to, bytes, ctx.rng());
                     if let Some(at) = at {
                         ctx.schedule_at(at, to, EEv::Client(EClientEv::Reply(reply)));
                     }
@@ -264,7 +261,13 @@ impl EClientHost {
                 self.write_index += 1;
                 let key = key_of(keys, index);
                 (
-                    ENodeInput::Write { from: self.proc, req, key, value: self.value.clone(), level },
+                    ENodeInput::Write {
+                        from: self.proc,
+                        req,
+                        key,
+                        value: self.value.clone(),
+                        level,
+                    },
                     80 + self.value.len(),
                 )
             }
@@ -290,10 +293,7 @@ impl EClientHost {
             }
         };
         self.outstanding = Some((req, now));
-        let at = self
-            .net
-            .borrow_mut()
-            .delivery_time(now, self.proc, coordinator, bytes, ctx.rng());
+        let at = self.net.borrow_mut().delivery_time(now, self.proc, coordinator, bytes, ctx.rng());
         if let Some(at) = at {
             ctx.schedule_at(at, coordinator, EEv::Input(input));
         }

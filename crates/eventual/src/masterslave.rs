@@ -141,18 +141,12 @@ impl MasterSlavePair {
     /// Committed writes that exist only on a dead member — permanently
     /// lost if that member never returns. Fig. 1: LSN 11..=20.
     pub fn at_risk_window(&self) -> Option<(u64, u64)> {
-        let (hi, lo) = (
-            self.master.lsn.max(self.slave.lsn),
-            self.master.lsn.min(self.slave.lsn),
-        );
+        let (hi, lo) = (self.master.lsn.max(self.slave.lsn), self.master.lsn.min(self.slave.lsn));
         if hi == lo {
             return None;
         }
-        let holder_up = if self.master.lsn > self.slave.lsn {
-            self.master.up
-        } else {
-            self.slave.up
-        };
+        let holder_up =
+            if self.master.lsn > self.slave.lsn { self.master.up } else { self.slave.up };
         if holder_up {
             None
         } else {

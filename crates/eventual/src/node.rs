@@ -135,9 +135,7 @@ impl EPeerMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             EPeerMsg::ReplicaWrite { op, .. } => 48 + op.approx_size(),
-            EPeerMsg::ReadResp { cv, .. } => {
-                48 + cv.as_ref().map_or(0, |c| c.value.len())
-            }
+            EPeerMsg::ReadResp { cv, .. } => 48 + cv.as_ref().map_or(0, |c| c.value.len()),
             EPeerMsg::TreeResp { .. } => 2 * MerkleTree::leaf_count() * 8,
             EPeerMsg::SyncRows { rows, .. } => {
                 48 + rows.iter().map(|(k, r)| k.len() + r.approx_size()).sum::<usize>()
@@ -318,7 +316,13 @@ impl EventualNode {
                 self.next_id += 1;
                 self.pending_writes.insert(
                     id,
-                    PendingWrite { client: from, req, needed: level.required(), acks: 0, done: false },
+                    PendingWrite {
+                        client: from,
+                        req,
+                        needed: level.required(),
+                        acks: 0,
+                        done: false,
+                    },
                 );
                 // "Both are sent to all 3 replicas" (§9).
                 for replica in self.ring.cohort(range) {
@@ -349,11 +353,7 @@ impl EventualNode {
                 // Prefer local data + the nearest peers: first R cohort
                 // members, self included when we are one of them.
                 let members = self.ring.cohort(range);
-                let mut asked = 0;
-                for replica in members {
-                    if asked >= level.required() {
-                        break;
-                    }
+                for replica in members.into_iter().take(level.required()) {
                     if replica == self.id {
                         let cv = self.read_local(range, &key, &col);
                         pending.resps.push((self.id, cv));
@@ -363,7 +363,6 @@ impl EventualNode {
                             msg: EPeerMsg::ReplicaRead { id, key: key.clone(), col: col.clone() },
                         });
                     }
-                    asked += 1;
                 }
                 self.pending_reads.insert(id, pending);
                 self.maybe_finish_read(id, out);
@@ -475,12 +474,7 @@ impl EventualNode {
     }
 
     fn read_local(&self, range: RangeId, key: &Key, col: &[u8]) -> Option<ColumnValue> {
-        self.stores
-            .get(&range)?
-            .get_column(key, col)
-            .ok()
-            .flatten()
-            .filter(|cv| !cv.tombstone)
+        self.stores.get(&range)?.get_column(key, col).ok().flatten().filter(|cv| !cv.tombstone)
     }
 
     fn maybe_finish_read(&mut self, id: u64, out: &mut Vec<EEffect>) {
@@ -505,7 +499,7 @@ impl EventualNode {
             let repairs: Vec<NodeId> = p
                 .resps
                 .iter()
-                .filter(|(_, cv)| cv.as_ref().map_or(true, |c| c.timestamp < w.timestamp))
+                .filter(|(_, cv)| cv.as_ref().is_none_or(|c| c.timestamp < w.timestamp))
                 .map(|(n, _)| *n)
                 .collect();
             let op = WriteOp {
@@ -539,10 +533,8 @@ impl EventualNode {
         let start = self.ring.range_start(range);
         let end = self.ring.range_end(range);
         let rows = store.scan(&start, end.as_ref()).ok()?;
-        let hashed: Vec<(Key, u64)> = rows
-            .iter()
-            .map(|(k, row)| (k.clone(), row_content_hash(row)))
-            .collect();
+        let hashed: Vec<(Key, u64)> =
+            rows.iter().map(|(k, row)| (k.clone(), row_content_hash(row))).collect();
         Some(MerkleTree::build(hashed.iter().map(|(k, h)| (k, *h))))
     }
 

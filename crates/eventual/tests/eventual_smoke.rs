@@ -167,10 +167,14 @@ fn anti_entropy_converges_divergent_replicas() {
     let mut w = op::put("x", "c", "orphan");
     w.key = key.clone();
     w.timestamp = 999_999;
-    c.inject(SECS, cohort[2], ENodeInput::Peer {
-        from: cohort[0],
-        msg: spinnaker_eventual::node::EPeerMsg::ReplicaWrite { id: 0, op: w },
-    });
+    c.inject(
+        SECS,
+        cohort[2],
+        ENodeInput::Peer {
+            from: cohort[0],
+            msg: spinnaker_eventual::node::EPeerMsg::ReplicaWrite { id: 0, op: w },
+        },
+    );
     c.run_until(SECS + MILLIS);
     let have = |c: &EventualCluster, n: u32| {
         c.with_node(n, |node: &EventualNode| {
@@ -197,18 +201,21 @@ fn read_repair_heals_a_stale_replica() {
     let mut w = op::put("x", "c", "fresh");
     w.key = key.clone();
     w.timestamp = 5_000_000_000;
-    c.inject(SECS, cohort[0], ENodeInput::Peer {
-        from: cohort[1],
-        msg: spinnaker_eventual::node::EPeerMsg::ReplicaWrite { id: 0, op: w },
-    });
+    c.inject(
+        SECS,
+        cohort[0],
+        ENodeInput::Peer {
+            from: cohort[1],
+            msg: spinnaker_eventual::node::EPeerMsg::ReplicaWrite { id: 0, op: w },
+        },
+    );
     // Quorum read coordinated by cohort[0] touches itself + cohort[1]:
     // detects the conflict and repairs cohort[1].
-    c.inject(2 * SECS, cohort[0], ENodeInput::Read {
-        from: 200,
-        req: 9,
-        key: key.clone(),
-        level: ReadLevel::Quorum,
-    });
+    c.inject(
+        2 * SECS,
+        cohort[0],
+        ENodeInput::Read { from: 200, req: 9, key: key.clone(), level: ReadLevel::Quorum },
+    );
     c.run_until(4 * SECS);
     let fresh_at = |c: &EventualCluster, n: u32| {
         c.with_node(n, |node: &EventualNode| {

@@ -111,8 +111,7 @@ mod chaos {
                 reply => {
                     // A reply destined for a proposer.
                     if to < proposers.len() {
-                        if let Some(Action::Broadcast(m)) = proposers[to].on_msg(pkt.from, reply)
-                        {
+                        if let Some(Action::Broadcast(m)) = proposers[to].on_msg(pkt.from, reply) {
                             broadcast(&mut wire, pkt.to, &m);
                         }
                     }

@@ -192,7 +192,9 @@ impl<V: Clone> Leader<V> {
     /// Handle a reply from replica `from`.
     pub fn on_msg(&mut self, from: u32, msg: MultiMsg<V>) -> Vec<Effect<V>> {
         match msg {
-            MultiMsg::Promise { n, accepted } if n == self.n && self.phase == LeaderPhase::Electing => {
+            MultiMsg::Promise { n, accepted }
+                if n == self.n && self.phase == LeaderPhase::Electing =>
+            {
                 self.promises.insert(from);
                 for (slot, an, av) in accepted {
                     let better = match self.recovered.get(&slot) {
@@ -211,11 +213,7 @@ impl<V: Clone> Leader<V> {
                     for (slot, (_, value)) in std::mem::take(&mut self.recovered) {
                         self.next_slot = self.next_slot.max(slot + 1);
                         self.in_flight.insert(slot, (value.clone(), BTreeSet::new()));
-                        out.push(Effect::Broadcast(MultiMsg::Accept {
-                            n: self.n,
-                            slot,
-                            value,
-                        }));
+                        out.push(Effect::Broadcast(MultiMsg::Accept { n: self.n, slot, value }));
                     }
                     out.extend(self.drain_queue());
                     return out;

@@ -192,7 +192,10 @@ mod tests {
         assert!(ssd < 2.0 * MILLIS as f64);
         assert!(mem < ssd, "memory log fastest");
         assert!(ec2 < hdd, "cached ec2 faster than raw hdd");
-        assert!(hdd > 15.0 * MILLIS as f64 && hdd < 50.0 * MILLIS as f64, "hdd in paper range: {hdd}");
+        assert!(
+            hdd > 15.0 * MILLIS as f64 && hdd < 50.0 * MILLIS as f64,
+            "hdd in paper range: {hdd}"
+        );
     }
 
     #[test]

@@ -156,7 +156,11 @@ impl Series {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(out, "# {}", self.name);
-        let _ = writeln!(out, "{:>10} {:>12} {:>10} {:>10}", "clients", "load(req/s)", "mean(ms)", "p99(ms)");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>10} {:>10}",
+            "clients", "load(req/s)", "mean(ms)", "p99(ms)"
+        );
         for p in &self.points {
             let _ = writeln!(
                 out,

@@ -33,10 +33,7 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for ascending key order.
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.stream.cmp(&self.stream))
+        other.key.cmp(&self.key).then_with(|| other.stream.cmp(&self.stream))
     }
 }
 
@@ -121,10 +118,7 @@ mod tests {
     fn merges_disjoint_streams_in_order() {
         let a = vec_stream(vec![frag("a", "c", "1", 1), frag("c", "c", "3", 3)]);
         let b = vec_stream(vec![frag("b", "c", "2", 2), frag("d", "c", "4", 4)]);
-        let merged: Vec<_> = MergeIter::new(vec![a, b])
-            .unwrap()
-            .map(|r| r.unwrap().0)
-            .collect();
+        let merged: Vec<_> = MergeIter::new(vec![a, b]).unwrap().map(|r| r.unwrap().0).collect();
         assert_eq!(merged, vec![Key::from("a"), Key::from("b"), Key::from("c"), Key::from("d")]);
     }
 

@@ -466,17 +466,11 @@ mod tests {
     #[test]
     fn scan_respects_bounds() {
         let (_vfs, t) = build(100);
-        let got = t
-            .scan(&Key::from("key000010"), Some(&Key::from("key000013")))
-            .unwrap();
+        let got = t.scan(&Key::from("key000010"), Some(&Key::from("key000013"))).unwrap();
         let keys: Vec<_> = got.iter().map(|(k, _)| k.clone()).collect();
         assert_eq!(
             keys,
-            vec![
-                Key::from("key000010"),
-                Key::from("key000011"),
-                Key::from("key000012")
-            ]
+            vec![Key::from("key000010"), Key::from("key000011"), Key::from("key000012")]
         );
     }
 

@@ -110,8 +110,7 @@ impl RangeStore {
     }
 
     fn save_manifest(&self) -> Result<()> {
-        self.vfs
-            .write_atomic(&Self::manifest_path(&self.opts.dir), &self.manifest.encode_to_vec())
+        self.vfs.write_atomic(&Self::manifest_path(&self.opts.dir), &self.manifest.encode_to_vec())
     }
 
     /// Apply a committed write at `lsn` (idempotent under replay).
@@ -220,10 +219,8 @@ impl RangeStore {
     }
 
     fn compact_indexes(&mut self, picked: &[usize], drop_tombstones: bool) -> Result<()> {
-        let streams: Vec<RowStream<'_>> = picked
-            .iter()
-            .map(|&i| Box::new(self.tables[i].iter()) as RowStream<'_>)
-            .collect();
+        let streams: Vec<RowStream<'_>> =
+            picked.iter().map(|&i| Box::new(self.tables[i].iter()) as RowStream<'_>).collect();
         let mut out: Vec<(Key, Row)> = Vec::new();
         for item in MergeIter::new(streams)? {
             let (key, mut row) = item?;
@@ -241,8 +238,7 @@ impl RangeStore {
             None
         } else {
             let path = Self::table_path(&self.opts.dir, id);
-            let mut builder =
-                TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
+            let mut builder = TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
             for (key, row) in &out {
                 builder.add(key, row)?;
             }
@@ -261,9 +257,7 @@ impl RangeStore {
         }
         if let Some(t) = new_table {
             self.tables.insert(insert_at.min(self.tables.len()), t);
-            self.manifest
-                .tables
-                .insert(insert_at.min(self.manifest.tables.len()), id);
+            self.manifest.tables.insert(insert_at.min(self.manifest.tables.len()), id);
         }
         self.save_manifest()?;
         for t in removed {

@@ -62,9 +62,7 @@ impl GroupCommitWal {
     /// Append `records` and force the log; blocks until durable.
     pub fn append_forced(&self, records: Vec<LogRecord>) -> Result<()> {
         let (ack_tx, ack_rx) = mpsc::channel();
-        self.tx
-            .send(Op::Force(records, ack_tx))
-            .map_err(|_| gone())?;
+        self.tx.send(Op::Force(records, ack_tx)).map_err(|_| gone())?;
         ack_rx.recv().map_err(|_| gone())?
     }
 

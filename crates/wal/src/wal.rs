@@ -131,11 +131,8 @@ impl Wal {
             while offset < data.len() {
                 match read_frame(&data[offset..])? {
                     FrameRead::Record(rec, n) => {
-                        let loc = RecordLoc {
-                            segment: id,
-                            offset: offset as u64,
-                            frame_len: n as u32,
-                        };
+                        let loc =
+                            RecordLoc { segment: id, offset: offset as u64, frame_len: n as u32 };
                         Self::index_record(
                             &mut index,
                             &mut seg_refs,
@@ -218,7 +215,8 @@ impl Wal {
     /// Append one record (not forced). Returns the segment id it landed in.
     pub fn append(&mut self, rec: &LogRecord) -> Result<u64> {
         let frame = encode_frame(rec);
-        if self.current.bytes > 0 && self.current.bytes + frame.len() as u64 > self.opts.segment_bytes
+        if self.current.bytes > 0
+            && self.current.bytes + frame.len() as u64 > self.opts.segment_bytes
         {
             self.roll_segment()?;
         }
@@ -314,10 +312,9 @@ impl Wal {
             )));
         }
         let mut count = 0;
-        for (&lsn, loc) in entry.records.range((
-            std::ops::Bound::Excluded(from),
-            std::ops::Bound::Included(to),
-        )) {
+        for (&lsn, loc) in
+            entry.records.range((std::ops::Bound::Excluded(from), std::ops::Bound::Included(to)))
+        {
             let rec = self.read_at(loc)?;
             match rec.payload {
                 Payload::Write(ref op) => {
@@ -387,10 +384,7 @@ impl Wal {
 
     /// The logically truncated LSNs currently remembered for `cohort`.
     pub fn skipped_lsns(&self, cohort: RangeId) -> Vec<Lsn> {
-        self.skipped
-            .cohort(cohort)
-            .map(|s| s.iter().collect())
-            .unwrap_or_default()
+        self.skipped.cohort(cohort).map(|s| s.iter().collect()).unwrap_or_default()
     }
 
     /// Advance `cohort`'s checkpoint to `lsn` after its writes were flushed
@@ -592,11 +586,9 @@ mod tests {
     #[test]
     fn segment_rollover_and_gc() {
         let vfs = MemVfs::new();
-        let mut wal = Wal::open(
-            Arc::new(vfs.clone()),
-            WalOptions { dir: "wal".into(), segment_bytes: 256 },
-        )
-        .unwrap();
+        let mut wal =
+            Wal::open(Arc::new(vfs.clone()), WalOptions { dir: "wal".into(), segment_bytes: 256 })
+                .unwrap();
         for seq in 1..=50 {
             wal.append(&wr(0, 1, seq)).unwrap();
         }
@@ -615,10 +607,7 @@ mod tests {
         // Replay below the checkpoint is refused (callers use SSTables).
         assert!(wal.read_range(RangeId(0), Lsn::ZERO, Lsn::new(1, 50)).is_err());
         // Replay above still works.
-        assert_eq!(
-            wal.read_range(RangeId(0), Lsn::new(1, 50), Lsn::MAX).unwrap().len(),
-            30
-        );
+        assert_eq!(wal.read_range(RangeId(0), Lsn::new(1, 50), Lsn::MAX).unwrap().len(), 30);
     }
 
     #[test]

@@ -12,11 +12,8 @@ use spinnaker::sim::{DiskProfile, SECS};
 
 fn main() {
     println!("--- Spinnaker: optimistic concurrency via conditional put (§3) ---");
-    let mut cluster = SimCluster::new(ClusterConfig {
-        nodes: 5,
-        disk: DiskProfile::Ssd,
-        ..Default::default()
-    });
+    let mut cluster =
+        SimCluster::new(ClusterConfig { nodes: 5, disk: DiskProfile::Ssd, ..Default::default() });
     // Four writers fighting over the SAME key with conditional puts.
     let writers: Vec<_> = (0..4)
         .map(|_| {
@@ -50,13 +47,17 @@ fn main() {
     let cohort = ev.ring.cohort(range);
     // Two coordinators accept conflicting quorum writes at the same instant.
     for (i, val) in [(0usize, "from-A"), (1, "from-B")] {
-        ev.inject(SECS, cohort[i], ENodeInput::Write {
-            from: 100,
-            req: i as u64 + 1,
-            key: key.clone(),
-            value: bytes::Bytes::copy_from_slice(val.as_bytes()),
-            level: WriteLevel::Quorum,
-        });
+        ev.inject(
+            SECS,
+            cohort[i],
+            ENodeInput::Write {
+                from: 100,
+                req: i as u64 + 1,
+                key: key.clone(),
+                value: bytes::Bytes::copy_from_slice(val.as_bytes()),
+                level: WriteLevel::Quorum,
+            },
+        );
     }
     ev.run_until(4 * SECS);
     let final_vals: Vec<String> = cohort

@@ -24,17 +24,10 @@ fn main() {
 
     println!();
     println!("--- Spinnaker: kill the leader of a cohort under load ---");
-    let mut cluster = SimCluster::new(ClusterConfig {
-        nodes: 5,
-        disk: DiskProfile::Ssd,
-        ..Default::default()
-    });
-    let stats = cluster.add_client(
-        Workload::SingleRangeWrites { value_size: 1024 },
-        SECS,
-        0,
-        30 * SECS,
-    );
+    let mut cluster =
+        SimCluster::new(ClusterConfig { nodes: 5, disk: DiskProfile::Ssd, ..Default::default() });
+    let stats =
+        cluster.add_client(Workload::SingleRangeWrites { value_size: 1024 }, SECS, 0, 30 * SECS);
     stats.borrow_mut().trace = Some(Vec::new());
     cluster.run_until(5 * SECS);
     let old = cluster.leader_of(RangeId(0)).expect("led");

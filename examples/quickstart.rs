@@ -9,11 +9,8 @@ use spinnaker::core::cluster::{ClusterConfig, SimCluster};
 use spinnaker::sim::{DiskProfile, SECS};
 
 fn main() {
-    let mut cluster = SimCluster::new(ClusterConfig {
-        nodes: 5,
-        disk: DiskProfile::Ssd,
-        ..Default::default()
-    });
+    let mut cluster =
+        SimCluster::new(ClusterConfig { nodes: 5, disk: DiskProfile::Ssd, ..Default::default() });
 
     // Let local recovery + leader elections finish.
     cluster.run_until(2 * SECS);

@@ -25,14 +25,8 @@ fn whole_cohort_crash_then_majority_restart_recovers_with_epoch_bump() {
         .with_node(0, |n| n.epoch_of(RangeId(0)))
         .or_else(|| c.with_node(1, |n| n.epoch_of(RangeId(0))))
         .unwrap();
-    let committed_before: Vec<u64> = stats
-        .borrow()
-        .trace
-        .as_ref()
-        .unwrap()
-        .iter()
-        .map(|(t, _)| *t)
-        .collect();
+    let committed_before: Vec<u64> =
+        stats.borrow().trace.as_ref().unwrap().iter().map(|(t, _)| *t).collect();
     assert!(!committed_before.is_empty(), "writes flowed before the crash");
 
     // S0 -> S1: all three nodes go down mid-flight.

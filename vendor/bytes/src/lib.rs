@@ -1,0 +1,264 @@
+//! Offline shim of the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the (small) slice of the real API that Spinnaker uses: a
+//! cheaply cloneable, immutable byte buffer. Cloning shares the underlying
+//! allocation via `Arc`, matching the real crate's cost model; the
+//! zero-copy `from_static` optimisation is not reproduced (it copies
+//! once), which is semantically identical.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Creates `Bytes` from a static slice (copies once; the real crate
+    /// borrows, but the observable behaviour is the same).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Copies `data` into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Number of bytes contained.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a sub-slice of `self` as a new `Bytes`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes::copy_from_slice(&self.data[start..end])
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.to_vec()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data[..].hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.data[..]
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data[..] == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        self.data[..] == *other.as_bytes()
+    }
+}
+
+impl PartialEq<&str> for Bytes {
+    fn eq(&self, other: &&str) -> bool {
+        self.data[..] == *other.as_bytes()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if b == b'"' || b == b'\\' {
+                write!(f, "\\{}", b as char)?;
+            } else if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn deref_slice_and_order() {
+        let a = Bytes::from_static(b"abc");
+        assert_eq!(&a[1..], b"bc");
+        assert_eq!(a.slice(1..3), Bytes::from_static(b"bc"));
+        assert!(Bytes::from_static(b"a") < Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        let s = format!("{:?}", Bytes::from_static(b"a\x00"));
+        assert_eq!(s, "b\"a\\x00\"");
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline shim of the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! Implements enough of the API for `benches/micro.rs` to compile and
+//! produce useful numbers without registry access: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple calibrated loop (warm-up, then enough
+//! iterations to fill a small time budget) reporting mean ns/iter and
+//! derived throughput — no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// How `iter_batched` amortises setup; the shim treats all variants alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: many iterations per batch in the real crate.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// Each batch is exactly one iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { ns_per_iter: f64::NAN, iters: 0 }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET && warm_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let target =
+            ((MEASURE_BUDGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / target as f64;
+        self.iters = target;
+    }
+
+    /// Measure `routine` with per-batch untimed `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up batch, then time-budgeted measurement with setup
+        // excluded from the clock.
+        std::hint::black_box(routine(setup()));
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall_start = Instant::now();
+        while timed < MEASURE_BUDGET && wall_start.elapsed() < 4 * MEASURE_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = timed.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<40} {:>12}/iter ({} iters)", human_ns(b.ns_per_iter), b.iters);
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => {
+                format!("{:.1} MiB/s", n as f64 / b.ns_per_iter * 1e9 / (1 << 20) as f64)
+            }
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / b.ns_per_iter * 1e9),
+        };
+        line.push_str(&format!("  {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the sample count (accepted for API compatibility; the shim's
+    /// time-budget measurement ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` callers work; prefer
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo may pass (e.g. `--bench`).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("shim_smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(100));
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline shim of the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the slice of proptest that Spinnaker's property tests use:
+//! the [`proptest!`] macro (both `arg in strategy` and typed-argument
+//! forms), `prop_assert!`/`prop_assert_eq!`, [`prop_oneof!`], ranges and
+//! tuples as strategies, `any::<T>()`, `Just`, `prop_map`, and the
+//! `collection::{vec, btree_map}` strategies.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case is printed (with the test's RNG
+//!   seed) and the panic propagates; it is not minimised.
+//! * **Deterministic seeding.** Each test derives its seed from its name,
+//!   so CI runs are reproducible; set `PROPTEST_SEED` to explore other
+//!   schedules.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Everything a property test typically imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any mix of `arg in strategy` and
+/// plain typed arguments (which use [`any::<T>()`](crate::any)).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursive expansion for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                &__cfg,
+                stringify!($name),
+                &__strategy,
+                |($($pat,)+)| $body,
+            );
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __strategy = ($($crate::any::<$ty>(),)+);
+            $crate::test_runner::run_cases(
+                &__cfg,
+                stringify!($name),
+                &__strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A(u8),
+        B,
+    }
+
+    fn kind_strategy() -> impl Strategy<Value = Kind> {
+        prop_oneof![
+            3 => any::<u8>().prop_map(Kind::A),
+            1 => Just(Kind::B),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn in_form_ranges(x in 10u64..20, flag in any::<bool>()) {
+            prop_assert!((10..20).contains(&x));
+            let _ = flag;
+        }
+
+        #[test]
+        fn typed_form(v: u64, data: Vec<u8>) {
+            prop_assert_eq!(v, v);
+            prop_assert!(data.len() <= 100);
+        }
+
+        #[test]
+        fn collections(
+            items in crate::collection::vec((0u32..3, any::<bool>()), 1..40),
+            map in crate::collection::btree_map(any::<u8>(), any::<u64>(), 0..8),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 40);
+            prop_assert!(items.iter().all(|(c, _)| *c < 3));
+            prop_assert!(map.len() < 8);
+        }
+
+        #[test]
+        fn oneof_weights(k in crate::collection::vec(kind_strategy(), 1..50)) {
+            // Weighted union must actually produce both variants over a
+            // reasonable sample (checked loosely: no panic + type works).
+            prop_assert!(k.iter().all(|x| matches!(x, Kind::A(_) | Kind::B)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn failing_property_panics(v: u64) {
+            prop_assert!(v != v, "must fail on the first case");
+        }
+    }
+}

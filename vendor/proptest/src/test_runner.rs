@@ -1,0 +1,91 @@
+//! Case runner: configuration, RNG, and the per-test driver loop.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real crate defaults to 256; 64 keeps the shim's runs fast
+        // while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies (splitmix64; deterministic per seed).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = seed.parse() {
+            return seed;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `f` over `cfg.cases` generated cases. On failure, print the
+/// offending case and seed, then re-panic. Called by the [`proptest!`]
+/// macro expansion; not public API.
+///
+/// [`proptest!`]: crate::proptest
+pub fn run_cases<S, F>(cfg: &ProptestConfig, name: &str, strategy: &S, mut f: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value),
+{
+    let seed = seed_for(name);
+    let mut rng = TestRng::new(seed);
+    for case in 0..cfg.cases {
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        let result = catch_unwind(AssertUnwindSafe(|| f(value)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest: {name} failed at case {case}/{} (seed {seed}):\n  input: {repr}",
+                cfg.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
