@@ -1,9 +1,12 @@
 //! Experiment harness reproducing the paper's evaluation (§9, Appendix D).
 //!
 //! One binary per table/figure (`fig8`, `fig9`, `tab1`, `fig11`–`fig16`,
-//! `fig1`, plus `all`). Each prints the paper's series as aligned text and
-//! writes `target/experiments/<id>.csv`. Set `SPINNAKER_QUICK=1` for a
-//! faster, lower-resolution pass (used by `cargo bench` smoke runs).
+//! `fig1`, plus `all`). `fig17` extends beyond the paper: elastic
+//! scale-out via dynamic range splitting — hot-range throughput before,
+//! during, and after a live split. Each prints the paper's series as
+//! aligned text and writes `target/experiments/<id>.csv`. Set
+//! `SPINNAKER_QUICK=1` for a faster, lower-resolution pass (used by
+//! `cargo bench` smoke runs).
 //!
 //! Absolute milliseconds depend on the calibrated hardware model
 //! (`spinnaker-sim`); the *shapes* — who wins, by what factor, where the

@@ -49,6 +49,26 @@ mod tests {
     }
 
     #[test]
+    fn set_data_cas_rejects_stale_versions() {
+        let (mut c, s) = svc_with_session();
+        c.create(s, "/table", b"v0".to_vec(), CreateMode::Persistent).unwrap();
+        // Version 0: the CAS with expected=0 wins and bumps to 1.
+        c.set_data_cas(s, "/table", b"v1".to_vec(), 0).unwrap();
+        let (_, stat) = c.get_data("/table", None).unwrap();
+        assert_eq!(stat.version, 1);
+        // A second writer still holding expected=0 must lose.
+        match c.set_data_cas(s, "/table", b"loser".to_vec(), 0) {
+            Err(CoordError::BadVersion { expected: 0, actual: 1, .. }) => {}
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+        let (data, _) = c.get_data("/table", None).unwrap();
+        assert_eq!(data, b"v1", "losing CAS left the data untouched");
+        // The winner can continue from the observed version.
+        c.set_data_cas(s, "/table", b"v2".to_vec(), 1).unwrap();
+        assert_eq!(c.get_data("/table", None).unwrap().0, b"v2");
+    }
+
+    #[test]
     fn create_requires_parent() {
         let (mut c, s) = svc_with_session();
         assert!(matches!(

@@ -63,6 +63,16 @@ pub enum CoordError {
     BadPath(String),
     /// Ephemeral znodes cannot have children (as in ZooKeeper).
     NoChildrenForEphemerals(String),
+    /// Conditional `set_data_cas` lost the race: the znode's data version
+    /// no longer matches the expected one.
+    BadVersion {
+        /// The znode whose update was rejected.
+        path: String,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually stored.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CoordError {
@@ -75,6 +85,9 @@ impl fmt::Display for CoordError {
             CoordError::BadPath(p) => write!(f, "bad path: {p}"),
             CoordError::NoChildrenForEphemerals(p) => {
                 write!(f, "ephemerals cannot have children: {p}")
+            }
+            CoordError::BadVersion { path, expected, actual } => {
+                write!(f, "bad version on {path}: expected {expected}, found {actual}")
             }
         }
     }
@@ -411,11 +424,45 @@ impl Coord {
         path: &str,
         data: Vec<u8>,
     ) -> CoordResult<Vec<Delivery>> {
+        self.set_data_inner(session, path, data, None)
+    }
+
+    /// Replace a znode's data only if its current data version equals
+    /// `expected_version` (ZooKeeper's conditional `setData`). This is the
+    /// primitive behind safe read-modify-write of shared metadata like the
+    /// range table: two racing writers cannot both win.
+    pub fn set_data_cas(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        data: Vec<u8>,
+        expected_version: u64,
+    ) -> CoordResult<Vec<Delivery>> {
+        self.set_data_inner(session, path, data, Some(expected_version))
+    }
+
+    fn set_data_inner(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        data: Vec<u8>,
+        expected_version: Option<u64>,
+    ) -> CoordResult<Vec<Delivery>> {
         validate(path)?;
         self.live_session(session)?;
+        let node = self.nodes.get_mut(path).ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        if let Some(expected) = expected_version {
+            if node.stat.version != expected {
+                return Err(CoordError::BadVersion {
+                    path: path.to_string(),
+                    expected,
+                    actual: node.stat.version,
+                });
+            }
+        }
         self.zxid += 1;
         let zxid = self.zxid;
-        let node = self.nodes.get_mut(path).ok_or_else(|| CoordError::NoNode(path.to_string()))?;
+        let node = self.nodes.get_mut(path).expect("checked above");
         node.data = data;
         node.stat.mzxid = zxid;
         node.stat.version += 1;

@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::MemVfs;
-use spinnaker_common::{NodeId, RangeId};
-use spinnaker_coord::{Coord, SessionId};
+use spinnaker_common::{Key, NodeId, RangeId};
+use spinnaker_coord::{Coord, CreateMode, SessionId};
 use spinnaker_sim::{
     Actor, CpuModel, Ctx, DiskOutcome, DiskProfile, LogDevice, NetConfig, NetModel, ProcId, Sim,
     Time, MICROS, MILLIS, SECS,
@@ -25,7 +26,7 @@ use crate::client::{ClientEv, ClientHost, ClientStats, Workload};
 use crate::coordcli::{CoordClient, DeliveryBus, SharedCoord};
 use crate::messages::{NodeInput, Outbox, PeerMsg, Reply, TimerKind};
 use crate::node::{Node, NodeConfig, Role};
-use crate::partition::Ring;
+use crate::partition::{Ring, TABLE_PATH};
 
 /// Events flowing through the simulated cluster.
 #[derive(Debug)]
@@ -73,6 +74,12 @@ pub struct PerfConfig {
     pub peer_service: Time,
     /// Service time of catch-up assembly.
     pub catchup_service: Time,
+    /// Service time of handling a propose on a follower. `None` (the
+    /// default) charges `write_service`, matching the calibrated paper
+    /// figures; scale-out experiments set it lower to model the real
+    /// asymmetry between leader RPC handling (OCC check, client reply)
+    /// and the follower's append-and-ack.
+    pub propose_service: Option<Time>,
 }
 
 impl Default for PerfConfig {
@@ -83,6 +90,7 @@ impl Default for PerfConfig {
             write_service: 250 * MICROS,
             peer_service: 80 * MICROS,
             catchup_service: 2 * MILLIS,
+            propose_service: None,
         }
     }
 }
@@ -93,10 +101,13 @@ impl PerfConfig {
             NodeInput::Read { .. } => self.read_service,
             NodeInput::Write { .. } => self.write_service,
             NodeInput::Peer { msg, .. } => match msg {
-                PeerMsg::Propose { .. } => self.write_service,
-                PeerMsg::CatchupReq { .. } | PeerMsg::CatchupRecords { .. } => self.catchup_service,
+                PeerMsg::Propose { .. } => self.propose_service.unwrap_or(self.write_service),
+                PeerMsg::CatchupReq { .. }
+                | PeerMsg::CatchupRecords { .. }
+                | PeerMsg::Split { .. } => self.catchup_service,
                 _ => self.peer_service,
             },
+            NodeInput::SplitRange { .. } => self.catchup_service,
             _ => 0,
         }
     }
@@ -159,6 +170,16 @@ impl World {
     }
 }
 
+/// Read the current range table from the coordination service.
+pub(crate) fn read_table(world: &World) -> Option<Ring> {
+    world
+        .coord
+        .borrow_mut()
+        .get_data(TABLE_PATH, None)
+        .ok()
+        .and_then(|(data, _)| Ring::decode(&mut data.as_slice()).ok())
+}
+
 /// Route pending coordination watch deliveries as node inputs.
 /// A small delay models the service→client notification hop.
 pub(crate) fn route_deliveries(world: &World, ctx: &mut Ctx<'_, Ev>) {
@@ -196,6 +217,13 @@ pub struct NodeHost {
 impl NodeHost {
     fn boot(&mut self, now: Time, ctx: &mut Ctx<'_, Ev>) {
         self.incarnation += 1;
+        // Refresh the range table before local recovery: splits performed
+        // while this node was down decide which cohorts it must open.
+        if let Some(ring) = read_table(&self.world) {
+            if ring.version() > self.ring.version() {
+                self.ring = ring;
+            }
+        }
         let session = self.world.coord.borrow_mut().create_session(self.session_timeout, now);
         self.world.owners.borrow_mut().insert(session, self.proc);
         self.session = session;
@@ -398,6 +426,14 @@ impl SimCluster {
     pub fn new(cfg: ClusterConfig) -> SimCluster {
         let ring = Ring::with_nodes(cfg.nodes);
         let world = World::new(cfg.net.clone());
+        // Publish the initial range table: nodes and clients read (and
+        // watch) it here, and splits update it through the same znode.
+        {
+            let mut coord = world.coord.borrow_mut();
+            let boot = coord.create_session(u64::MAX / 2, 0);
+            let _ = coord.create(boot, "/ranges", Vec::new(), CreateMode::Persistent);
+            let _ = coord.create(boot, TABLE_PATH, ring.encode_to_vec(), CreateMode::Persistent);
+        }
         let mut sim: Sim<Ev> = Sim::new(cfg.seed);
         let mut hosts = Vec::with_capacity(cfg.nodes);
         for node_id in 0..cfg.nodes as NodeId {
@@ -468,6 +504,27 @@ impl SimCluster {
         self.sim.schedule(at, id, Ev::Crash { expire_session });
     }
 
+    /// Ask for `range` to be split so `at_key` starts the new right-hand
+    /// child. The request is broadcast to every node at time `at`; only
+    /// the range's current leader acts on it (everyone else ignores it),
+    /// so the caller does not need to know who leads.
+    pub fn split_range(&mut self, at: Time, range: RangeId, at_key: Key) {
+        for node in 0..self.cfg.nodes as ProcId {
+            self.sim.schedule(
+                at,
+                node,
+                Ev::Input(NodeInput::SplitRange { range, at: at_key.clone() }),
+            );
+        }
+    }
+
+    /// The current (possibly split) range table, as published in the
+    /// coordination service. Falls back to the initial layout if the
+    /// table was never published.
+    pub fn current_ring(&self) -> Ring {
+        read_table(&self.world).unwrap_or_else(|| self.ring.clone())
+    }
+
     /// Restart node `id` at time `at` from its synced on-disk state.
     pub fn restart_node(&mut self, at: Time, id: NodeId) {
         self.sim.schedule(at, id, Ev::Restart);
@@ -485,8 +542,17 @@ impl SimCluster {
     }
 
     /// The current leader of `range` according to any live cohort member.
+    /// Consults the *current* table so it keeps working across splits.
     pub fn leader_of(&self, range: RangeId) -> Option<NodeId> {
-        for &member in &self.ring.cohort(range) {
+        let cohort = {
+            let c = self.current_ring().cohort(range);
+            if c.is_empty() {
+                self.ring.cohort(range)
+            } else {
+                c
+            }
+        };
+        for &member in &cohort {
             let host = self.hosts[member as usize].borrow();
             if let Some(node) = host.node() {
                 if node.role(range) == Role::Leader {
@@ -497,9 +563,9 @@ impl SimCluster {
         None
     }
 
-    /// True when every range has an open leader.
+    /// True when every range of the current table has an open leader.
     pub fn all_ranges_led(&self) -> bool {
-        self.ring.ranges().all(|r| self.leader_of(r).is_some())
+        self.current_ring().ranges().all(|r| self.leader_of(r).is_some())
     }
 
     /// Cluster configuration.

@@ -8,9 +8,9 @@
 //! never commits before an earlier one, which is what makes conditional
 //! puts deterministic across the cohort (§5.1).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
-use spinnaker_common::{Lsn, Version, WriteOp};
+use spinnaker_common::{Lsn, NodeId, Version, WriteOp};
 
 use crate::messages::{Addr, RequestId};
 
@@ -23,8 +23,12 @@ pub struct PendingWrite {
     pub op: WriteOp,
     /// Client to answer on commit (leader side only).
     pub client: Option<(Addr, RequestId)>,
-    /// Follower acks received (leader side only).
-    pub acks: usize,
+    /// *Distinct* followers that acked the write (leader side only).
+    /// Tracking node ids rather than a counter makes retransmitted acks
+    /// idempotent — a duplicate ack from one follower must never count
+    /// twice toward the quorum (it would silently weaken the quorum at
+    /// replication factors above 3).
+    pub ackers: HashSet<NodeId>,
     /// Whether our own log force for this record completed.
     pub self_forced: bool,
 }
@@ -46,10 +50,12 @@ impl CommitQueue {
         self.entries.insert(pw.lsn, pw);
     }
 
-    /// Record a follower ack.
-    pub fn ack(&mut self, lsn: Lsn) {
+    /// Record a follower ack. Duplicate acks from the same node (leader
+    /// retransmits, follower resends after catch-up) are absorbed by the
+    /// acker set.
+    pub fn ack(&mut self, lsn: Lsn, from: NodeId) {
         if let Some(pw) = self.entries.get_mut(&lsn) {
-            pw.acks += 1;
+            pw.ackers.insert(from);
         }
     }
 
@@ -72,7 +78,7 @@ impl CommitQueue {
         let mut out = Vec::new();
         let mut cursor = last_committed;
         while let Some((&lsn, pw)) = self.entries.range(next_after(cursor)..).next() {
-            if !(pw.self_forced && pw.acks >= needed_acks) {
+            if !(pw.self_forced && pw.ackers.len() >= needed_acks) {
                 break;
             }
             let pw = self.entries.remove(&lsn).expect("just observed");
@@ -153,7 +159,7 @@ mod tests {
             lsn: Lsn::new(1, seq),
             op: op::put(&format!("k{seq}"), "c", "v"),
             client: Some((9, seq)),
-            acks: 0,
+            ackers: HashSet::new(),
             self_forced: false,
         }
     }
@@ -165,10 +171,27 @@ mod tests {
         assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "nothing ready");
         q.self_forced(Lsn::new(1, 1));
         assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "force alone insufficient");
-        q.ack(Lsn::new(1, 1));
+        q.ack(Lsn::new(1, 1), 1);
         let drained = q.drain_committable(Lsn::ZERO, 1);
         assert_eq!(drained.len(), 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retransmitted_acks_do_not_fake_a_quorum() {
+        // Replication 5: majority needs the leader + 2 distinct followers.
+        let mut q = CommitQueue::new();
+        q.insert(pending(1));
+        q.self_forced(Lsn::new(1, 1));
+        q.ack(Lsn::new(1, 1), 3);
+        q.ack(Lsn::new(1, 1), 3); // same follower retransmits
+        q.ack(Lsn::new(1, 1), 3);
+        assert!(
+            q.drain_committable(Lsn::ZERO, 2).is_empty(),
+            "one follower acking thrice is not two followers"
+        );
+        q.ack(Lsn::new(1, 1), 4); // a second, distinct follower
+        assert_eq!(q.drain_committable(Lsn::ZERO, 2).len(), 1);
     }
 
     #[test]
@@ -179,11 +202,11 @@ mod tests {
         }
         // Write 2 becomes ready before write 1: nothing may commit.
         q.self_forced(Lsn::new(1, 2));
-        q.ack(Lsn::new(1, 2));
+        q.ack(Lsn::new(1, 2), 1);
         assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "hole at LSN 1");
         // Write 1 ready: 1 and 2 drain, 3 stays.
         q.self_forced(Lsn::new(1, 1));
-        q.ack(Lsn::new(1, 1));
+        q.ack(Lsn::new(1, 1), 1);
         let drained = q.drain_committable(Lsn::ZERO, 1);
         assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(q.len(), 1);
@@ -208,14 +231,14 @@ mod tests {
             lsn: Lsn::new(1, 1),
             op: op::put("k", "c", "v1"),
             client: None,
-            acks: 0,
+            ackers: HashSet::new(),
             self_forced: false,
         });
         q.insert(PendingWrite {
             lsn: Lsn::new(1, 2),
             op: op::put("k", "c", "v2"),
             client: None,
-            acks: 0,
+            ackers: HashSet::new(),
             self_forced: false,
         });
         assert_eq!(
@@ -235,14 +258,14 @@ mod tests {
                 lsn: Lsn::new(1, 21),
                 op: op::put("a", "c", "1"),
                 client: None,
-                acks: 1,
+                ackers: HashSet::from([1]),
                 self_forced: true,
             },
             PendingWrite {
                 lsn: Lsn::new(2, 22),
                 op: op::put("b", "c", "2"),
                 client: None,
-                acks: 1,
+                ackers: HashSet::from([1]),
                 self_forced: true,
             },
         ] {

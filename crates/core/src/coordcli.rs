@@ -91,6 +91,23 @@ impl CoordClient {
         self.svc.borrow_mut().get_data(path, None)
     }
 
+    /// Conditionally replace a node's data (compare-and-set on the data
+    /// version). Used for shared metadata like the range table, where two
+    /// leaders must never both win a read-modify-write race.
+    pub fn set_data_cas(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        expected_version: u64,
+    ) -> CoordResult<()> {
+        let d = {
+            let mut svc = self.svc.borrow_mut();
+            svc.set_data_cas(self.session, path, data, expected_version)?
+        };
+        self.push(d);
+        Ok(())
+    }
+
     /// Read data, registering a one-shot data watch.
     pub fn get_data_watch(&self, path: &str) -> CoordResult<Vec<u8>> {
         Ok(self.svc.borrow_mut().get_data(path, Some(self.session))?.0)

@@ -32,4 +32,4 @@ pub use messages::{
     WriteRequest,
 };
 pub use node::{get_request, put_request, CohortPaths, Node, NodeConfig, Role};
-pub use partition::{key_to_u64, u64_to_key, Ring, REPLICATION};
+pub use partition::{key_to_u64, u64_to_key, RangeDef, Ring, REPLICATION, TABLE_PATH};

@@ -30,6 +30,11 @@ pub struct WriteRequest {
     /// the write executes only when the column's current version matches.
     /// Version 0 means "column must not exist".
     pub condition: Option<(ColumnName, Version)>,
+    /// Version of the range table the sender routed with. Nodes holding a
+    /// newer table answer [`Reply::WrongRange`] so the client refreshes
+    /// its routing (dynamic range splits). `0` = unversioned (bypasses the
+    /// staleness check; used by internal helpers and tests).
+    pub ring_version: u64,
 }
 
 /// A client read request (§3 `get`).
@@ -43,6 +48,9 @@ pub struct ReadRequest {
     pub col: ColumnName,
     /// Strong (leader) or timeline (any replica) consistency.
     pub consistency: Consistency,
+    /// Version of the range table the sender routed with (see
+    /// [`WriteRequest::ring_version`]).
+    pub ring_version: u64,
 }
 
 /// Reply to a client request.
@@ -82,6 +90,17 @@ pub enum Reply {
         /// Matching request id.
         req: RequestId,
     },
+    /// The sender's routing table is stale (a range was split) or the
+    /// contacted node does not serve the key's range at all. The client
+    /// should refresh its range table from the coordination service and
+    /// re-send.
+    WrongRange {
+        /// Matching request id.
+        req: RequestId,
+        /// The responding node's range-table version (so the client can
+        /// tell whether a refresh made progress).
+        version: u64,
+    },
 }
 
 impl Reply {
@@ -92,7 +111,8 @@ impl Reply {
             | Reply::Value { req, .. }
             | Reply::VersionMismatch { req, .. }
             | Reply::NotLeader { req, .. }
-            | Reply::Unavailable { req } => *req,
+            | Reply::Unavailable { req }
+            | Reply::WrongRange { req, .. } => *req,
         }
     }
 }
@@ -176,6 +196,26 @@ pub enum PeerMsg {
         /// The LSN the follower is caught up to.
         at: Lsn,
     },
+    /// Leader → followers: the range was split at `split_key` with every
+    /// write up to `barrier` committed. The new range table is already in
+    /// the coordination service; receivers apply their commit queue up to
+    /// the barrier, fork their store at the split key, and join the two
+    /// child cohorts.
+    Split {
+        /// The parent cohort being dissolved.
+        range: RangeId,
+        /// Epoch of the splitting leader (stale leaders are rejected).
+        epoch: Epoch,
+        /// First key of the right child (exclusive end of the left child).
+        split_key: Key,
+        /// Left child range id.
+        left: RangeId,
+        /// Right child range id.
+        right: RangeId,
+        /// Barrier LSN: the parent's last committed write. Both children
+        /// start their logical LSN streams just above it.
+        barrier: Lsn,
+    },
 }
 
 impl PeerMsg {
@@ -188,7 +228,8 @@ impl PeerMsg {
             | PeerMsg::LeaderHello { range, .. }
             | PeerMsg::CatchupReq { range, .. }
             | PeerMsg::CatchupRecords { range, .. }
-            | PeerMsg::CaughtUp { range, .. } => *range,
+            | PeerMsg::CaughtUp { range, .. }
+            | PeerMsg::Split { range, .. } => *range,
         }
     }
 
@@ -200,6 +241,7 @@ impl PeerMsg {
                 64 + records.iter().map(|(_, op)| 16 + op.approx_size()).sum::<usize>()
                     + fragments.iter().map(|(k, r)| k.len() + r.approx_size()).sum::<usize>()
             }
+            PeerMsg::Split { split_key, .. } => 96 + split_key.len(),
             _ => 64,
         }
     }
@@ -254,6 +296,17 @@ pub enum NodeInput {
     Timer(TimerKind),
     /// A coordination-service watch event for this node's session.
     Coord(WatchEvent),
+    /// Administrative request: split `range` so that `at` becomes the
+    /// first key of the new right-hand child. Only the range's current
+    /// leader acts on it; every other node ignores it, so harnesses may
+    /// broadcast.
+    SplitRange {
+        /// The range to split.
+        range: RangeId,
+        /// First key of the right child (must be strictly inside the
+        /// range).
+        at: Key,
+    },
 }
 
 /// Effects a node asks its runtime to carry out.

@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
 use spinnaker_common::{CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Result, WriteOp};
 use spinnaker_coord::WatchEvent;
@@ -22,7 +23,7 @@ use crate::coordcli::CoordClient;
 use crate::messages::{
     Addr, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, TimerKind, WriteRequest,
 };
-use crate::partition::Ring;
+use crate::partition::{RangeDef, Ring, TABLE_PATH};
 
 /// Node tuning knobs.
 #[derive(Clone, Debug)]
@@ -107,8 +108,18 @@ struct Cohort {
     last_note: Lsn,
     candidate_path: Option<String>,
     takeover: Option<Takeover>,
-    /// Client writes buffered while takeover runs.
+    /// Client writes buffered while takeover runs (or while a split
+    /// drains the commit queue toward its barrier).
     blocked_writes: Vec<(Addr, WriteRequest)>,
+    /// Leader only: a split at this key is waiting for the commit queue
+    /// to drain; once it is empty the split executes at the barrier LSN.
+    splitting: Option<Key>,
+    /// Key bounds this cohort covers, captured at creation. The table may
+    /// move further (chained splits) while we lag; the span bounds which
+    /// current ranges can legitimately be derived from this cohort's
+    /// local state — claiming a watermark for data we never held would
+    /// let an election elect a leader missing committed writes.
+    span: (Key, Option<Key>),
 }
 
 /// Coordination-service paths of one cohort ("information needed for
@@ -171,17 +182,35 @@ impl Node {
         vfs: SharedVfs,
         coord: CoordClient,
     ) -> Result<Node> {
-        let wal = Wal::open(vfs.clone(), WalOptions::default())?;
+        let mut wal = Wal::open(vfs.clone(), WalOptions::default())?;
         let mut cohorts = BTreeMap::new();
         for range in ring.ranges_of(id) {
-            let store = RangeStore::open(
-                vfs.clone(),
-                StoreOptions {
-                    dir: format!("store-r{}", range.0),
-                    memtable_flush_bytes: cfg.memtable_flush_bytes,
-                    ..Default::default()
-                },
-            )?;
+            let mut store = RangeStore::open(vfs.clone(), store_options(range, &cfg))?;
+            let st = wal.state(range);
+            let mut last_committed = st.last_committed;
+            // A child range with no local state at all: this node crashed
+            // between the split's metadata update and its local store fork
+            // (or missed the split entirely). Rebuild the child from the
+            // parent's surviving local state where possible; otherwise the
+            // child starts empty and cohort catch-up fills it in.
+            let fresh = wal.checkpoint(range).is_zero()
+                && st.last_lsn.is_zero()
+                && store.table_count() == 0
+                && store.memtable_len() == 0;
+            if fresh {
+                if let Some(def) = ring.def(range).filter(|d| d.parent.is_some()) {
+                    if let Some(parent_cmt) =
+                        bootstrap_child_from_parent(&vfs, &wal, &cfg, def, &mut store)?
+                    {
+                        let _ = wal.set_checkpoint(range, parent_cmt);
+                        last_committed = parent_cmt;
+                    }
+                }
+            }
+            let span = ring
+                .def(range)
+                .map(|d| (d.start.clone(), d.end.clone()))
+                .unwrap_or((Key::default(), None));
             let mut cohort = Cohort {
                 peers: ring.cohort(range).into_iter().filter(|&n| n != id).collect(),
                 store,
@@ -195,16 +224,17 @@ impl Node {
                 candidate_path: None,
                 takeover: None,
                 blocked_writes: Vec::new(),
+                splitting: None,
+                span,
             };
-            let st = wal.state(range);
             // Idempotent replay of committed records (checkpoint, f.cmt].
             let mut replayed = 0usize;
             wal.replay(range, wal.checkpoint(range), st.last_committed, |lsn, op| {
                 cohort.store.apply(op, lsn);
                 replayed += 1;
             })?;
-            cohort.last_committed = st.last_committed;
-            cohort.last_note = st.last_committed;
+            cohort.last_committed = last_committed;
+            cohort.last_note = last_committed;
             cohort.epoch = st.last_lsn.epoch();
             cohorts.insert(range, cohort);
         }
@@ -230,6 +260,16 @@ impl Node {
     /// Current role for a range (diagnostics, tests, harnesses).
     pub fn role(&self, range: RangeId) -> Role {
         self.cohorts.get(&range).map_or(Role::Offline, |c| c.role)
+    }
+
+    /// The range table this node currently routes with.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The ranges this node currently serves (its live cohorts).
+    pub fn served_ranges(&self) -> Vec<RangeId> {
+        self.cohorts.keys().copied().collect()
     }
 
     /// The leader this node believes serves `range`.
@@ -276,6 +316,7 @@ impl Node {
             NodeInput::LogForced { tokens } => self.on_forced(now, tokens, out),
             NodeInput::Timer(kind) => self.on_timer(now, kind, out),
             NodeInput::Coord(ev) => self.on_coord_event(now, ev, out),
+            NodeInput::SplitRange { range, at } => self.on_split_request(now, range, at, out),
         }
     }
 
@@ -287,6 +328,24 @@ impl Node {
         out.set_timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval);
         out.set_timer(TimerKind::CommitPeriod, self.cfg.commit_period);
         out.set_timer(TimerKind::Maintenance, self.cfg.maintenance_interval);
+        // Watch the shared range table so splits performed elsewhere
+        // re-route us — and *adopt* it if it is already newer than the
+        // one we were constructed with (the gone-range handling in
+        // `join_cohort` then forks any cohort the table dissolved). Fall
+        // back to an exists-watch when the deployment never published a
+        // table (unit harnesses).
+        match self.coord.get_data_watch(TABLE_PATH) {
+            Ok(data) => {
+                if let Ok(t) = Ring::decode(&mut data.as_slice()) {
+                    if t.version() > self.ring.version() {
+                        self.ring = t;
+                    }
+                }
+            }
+            Err(_) => {
+                let _ = self.coord.exists_watch(TABLE_PATH);
+            }
+        }
         let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
         for range in ranges {
             self.join_cohort(now, range, out);
@@ -296,6 +355,12 @@ impl Node {
     /// On startup (or rejoin): if the cohort already has a leader, go
     /// straight to catch-up as a follower; otherwise run election.
     fn join_cohort(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        // A range the table no longer contains must not be joined (its
+        // leader znode, if any, is a leftover): fork it instead.
+        if self.ring.def(range).is_none() {
+            self.local_split_from_table(now, range, out);
+            return;
+        }
         let paths = CohortPaths::new(range);
         self.coord.ensure_path(&paths.base);
         self.coord.ensure_path(&paths.candidates);
@@ -318,7 +383,14 @@ impl Node {
     // leader election (Fig. 7)
     // =================================================================
 
-    fn start_election(&mut self, _now: u64, range: RangeId, out: &mut Outbox) {
+    fn start_election(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        // A range that vanished from the table cannot be led again: its
+        // split is authoritative even if we never saw the leader's Split
+        // message (it died mid-fanout). Fork locally instead of electing.
+        if self.ring.def(range).is_none() {
+            self.local_split_from_table(now, range, out);
+            return;
+        }
         let paths = CohortPaths::new(range);
         {
             let cohort = self.cohorts.get_mut(&range).expect("own range");
@@ -477,7 +549,7 @@ impl Node {
                 lsn,
                 op: op.clone(),
                 client: None,
-                acks: 0,
+                ackers: HashSet::new(),
                 self_forced: true, // already durable in our log
             });
             let peers = cohort.peers.clone();
@@ -531,16 +603,30 @@ impl Node {
     // client requests
     // =================================================================
 
+    /// True when the request was routed with a table older than ours — the
+    /// client must refresh before we serve it (its key→range mapping, and
+    /// therefore its leader cache, may be stale after a split).
+    fn stale_routing(&self, ring_version: u64) -> bool {
+        ring_version != 0 && ring_version < self.ring.version()
+    }
+
     fn on_write(&mut self, _now: u64, from: Addr, req: WriteRequest, out: &mut Outbox) {
+        if self.stale_routing(req.ring_version) {
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+            return;
+        }
         let range = self.ring.range_of(&req.key);
         let Some(cohort) = self.cohorts.get_mut(&range) else {
-            out.reply(
-                from,
-                Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) },
-            );
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
             return;
         };
         match cohort.role {
+            Role::Leader if cohort.splitting.is_some() => {
+                // Hold writes while the split drains to its barrier; they
+                // re-dispatch (and re-route) once the fork completes.
+                cohort.blocked_writes.push((from, req));
+                return;
+            }
             Role::Leader => {}
             Role::LeaderTakeover => {
                 cohort.blocked_writes.push((from, req));
@@ -595,7 +681,7 @@ impl Node {
             lsn,
             op: op.clone(),
             client: Some((from, req.req)),
-            acks: 0,
+            ackers: HashSet::new(),
             self_forced: false,
         });
         let epoch = cohort.epoch;
@@ -607,12 +693,13 @@ impl Node {
     }
 
     fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
+        if self.stale_routing(req.ring_version) {
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+            return;
+        }
         let range = self.ring.range_of(&req.key);
         let Some(cohort) = self.cohorts.get(&range) else {
-            out.reply(
-                from,
-                Reply::NotLeader { req: req.req, hint: Some(self.ring.home_node(range)) },
-            );
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
             return;
         };
         match req.consistency {
@@ -665,6 +752,9 @@ impl Node {
                 self.on_catchup_records(now, range, from, epoch, records, fragments, up_to, out)
             }
             PeerMsg::CaughtUp { at, .. } => self.on_caught_up(range, from, at, out),
+            PeerMsg::Split { epoch, split_key, left, right, barrier, .. } => {
+                self.on_split_msg(now, range, from, epoch, split_key, left, right, barrier, out)
+            }
         }
     }
 
@@ -727,7 +817,7 @@ impl Node {
             lsn,
             op: op.clone(),
             client: None,
-            acks: 0,
+            ackers: HashSet::new(),
             self_forced: false,
         });
         let rec = LogRecord::write(range, lsn, op);
@@ -742,19 +832,21 @@ impl Node {
         }
     }
 
-    fn on_ack(&mut self, range: RangeId, _from: NodeId, epoch: Epoch, lsn: Lsn, out: &mut Outbox) {
+    fn on_ack(&mut self, range: RangeId, from: NodeId, epoch: Epoch, lsn: Lsn, out: &mut Outbox) {
         let cohort = self.cohorts.get_mut(&range).expect("checked");
         if epoch != cohort.epoch || !matches!(cohort.role, Role::Leader | Role::LeaderTakeover) {
             return;
         }
-        cohort.cq.ack(lsn);
+        cohort.cq.ack(lsn, from);
         self.try_commit_leader(range, out);
     }
 
     /// Leader: drain every write that now has its own force + a quorum of
     /// acks, in LSN order; apply, reply to clients.
     fn try_commit_leader(&mut self, range: RangeId, out: &mut Outbox) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
+        // The range may have been dissolved by a split between the force
+        // request and its completion.
+        let Some(cohort) = self.cohorts.get_mut(&range) else { return };
         if !matches!(cohort.role, Role::Leader | Role::LeaderTakeover) {
             return;
         }
@@ -773,6 +865,11 @@ impl Node {
         }
         if self.cohorts[&range].takeover.is_some() {
             self.maybe_finish_takeover(range, out);
+        }
+        // A pending split whose barrier just drained can now fork.
+        let c = &self.cohorts[&range];
+        if c.splitting.is_some() && c.cq.is_empty() && c.role == Role::Leader {
+            self.execute_split(range, out);
         }
     }
 
@@ -967,6 +1064,395 @@ impl Node {
     }
 
     // =================================================================
+    // dynamic range splitting (elastic re-sharding)
+    // =================================================================
+
+    /// Administrative entry point: the range's leader accepts the split,
+    /// stops admitting new writes, and waits for the commit queue to drain
+    /// — its `last_committed` at that point is the **barrier LSN**. Every
+    /// other node (and a leader with an invalid split key) ignores the
+    /// request, so harnesses may broadcast it.
+    fn on_split_request(&mut self, _now: u64, range: RangeId, at: Key, out: &mut Outbox) {
+        let inside = match self.ring.def(range) {
+            Some(def) => {
+                def.start.as_bytes() < at.as_bytes()
+                    && def.end.as_ref().is_none_or(|e| at.as_bytes() < e.as_bytes())
+            }
+            None => false,
+        };
+        let Some(cohort) = self.cohorts.get_mut(&range) else { return };
+        if !inside || cohort.role != Role::Leader || cohort.splitting.is_some() {
+            return;
+        }
+        cohort.splitting = Some(at);
+        if cohort.cq.is_empty() {
+            self.execute_split(range, out);
+        }
+    }
+
+    /// The barrier has drained: perform the split. The authoritative range
+    /// table in the coordination service is updated first (conditional on
+    /// its version, so a racing update aborts us cleanly); only then is the
+    /// local store forked and the cohort dissolved into the two children.
+    /// The left child keeps this leader under a bumped epoch; the right
+    /// child runs a fresh election whose tie-break prefers the *next*
+    /// cohort member, moving half the hot range's load to another node.
+    fn execute_split(&mut self, range: RangeId, out: &mut Outbox) {
+        let Some(at) = self.cohorts.get_mut(&range).and_then(|c| c.splitting.take()) else {
+            return;
+        };
+        let updated = self.coord.get_data(TABLE_PATH).ok().and_then(|(data, stat)| {
+            let mut t = Ring::decode(&mut data.as_slice()).ok()?;
+            let (l, r) = t.split(range, &at).ok()?;
+            self.coord.set_data_cas(TABLE_PATH, t.encode_to_vec(), stat.version).ok()?;
+            Some((t, l, r))
+        });
+        let Some((new_ring, left, right)) = updated else {
+            // Clean abort (no table, decode failure, range already gone, or
+            // a lost CAS race): unblock the buffered writes — the old
+            // routing is still whatever the table says it is.
+            let blocked = {
+                let cohort = self.cohorts.get_mut(&range).expect("own range");
+                std::mem::take(&mut cohort.blocked_writes)
+            };
+            for (from, req) in blocked {
+                self.on_write(0, from, req, out);
+            }
+            return;
+        };
+        self.ring = new_ring;
+        let cohort = self.cohorts.remove(&range).expect("own range");
+        let barrier = cohort.last_committed;
+        let pe = cohort.epoch;
+        let peers = cohort.peers.clone();
+
+        // Children's election state: the left child inherits this leader
+        // at `pe + 1` (epochs only move forward, Appendix B); the right
+        // child's epoch znode is seeded with `pe` so its first election
+        // lands on `pe + 1` too — every child LSN exceeds the barrier.
+        let lp = CohortPaths::new(left);
+        let rp = CohortPaths::new(right);
+        for p in [&lp, &rp] {
+            self.coord.ensure_path(&p.base);
+            self.coord.ensure_path(&p.candidates);
+        }
+        self.coord.write_epoch(&lp.epoch, pe + 1);
+        self.coord.write_epoch(&rp.epoch, pe);
+        let _ = self.coord.create_ephemeral(&lp.leader, self.id.to_string().into_bytes());
+        // The parent's leader znode is deliberately left standing: deleting
+        // it would fire the followers' leader-watches *before* the Split
+        // message works through their (FIFO) request queues, pushing them
+        // onto the conservative fork path for no reason. It is our
+        // ephemeral — it dies with our session, by which time no cohort
+        // references the parent.
+
+        let (lstore, rstore) = self.fork_store(range, &cohort.store, &at, left, right, barrier);
+
+        let mut lc = child_cohort(lstore, peers.clone(), (cohort.span.0.clone(), Some(at.clone())));
+        lc.role = Role::Leader;
+        lc.epoch = pe + 1;
+        lc.leader = Some(self.id);
+        lc.last_assigned = Lsn::new(pe + 1, barrier.seq());
+        lc.last_committed = barrier;
+        lc.last_note = barrier;
+        self.cohorts.insert(left, lc);
+
+        let mut rc = child_cohort(rstore, peers.clone(), (at.clone(), cohort.span.1.clone()));
+        rc.epoch = pe;
+        rc.last_committed = barrier;
+        rc.last_note = barrier;
+        self.cohorts.insert(right, rc);
+
+        for peer in peers {
+            out.send(
+                peer,
+                PeerMsg::Split { range, epoch: pe, split_key: at.clone(), left, right, barrier },
+            );
+        }
+        self.begin_deferred_election(right, out);
+        // Buffered writes re-dispatch under the new table; clients that
+        // routed with the old one get `WrongRange` and refresh.
+        for (from, req) in cohort.blocked_writes {
+            self.on_write(0, from, req, out);
+        }
+    }
+
+    /// Enter the right child's election as an **observer**: watch the
+    /// candidates without registering our own candidacy, so the followers
+    /// — who tie with us at the barrier — decide among themselves and the
+    /// home preference moves leadership to the next cohort member. If no
+    /// quorum of followers materializes within an election-retry period
+    /// (one of them is down), the retry timer upgrades us to a full
+    /// candidate so availability never hinges on the handoff.
+    fn begin_deferred_election(&mut self, range: RangeId, out: &mut Outbox) {
+        let paths = CohortPaths::new(range);
+        self.coord.ensure_path(&paths.base);
+        self.coord.ensure_path(&paths.candidates);
+        let cohort = self.cohorts.get_mut(&range).expect("own range");
+        cohort.role = Role::Electing;
+        cohort.leader = None;
+        let _ = self.coord.get_children_watch(&paths.candidates);
+        out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
+        self.check_election(range, out);
+    }
+
+    /// Follower side of a split: the leader's table update is already in
+    /// the coordination service. Apply the commit queue up to the barrier
+    /// (the in-order link guarantees every propose `<= barrier` preceded
+    /// this message when we are a same-epoch follower), fork the store,
+    /// and join both child cohorts.
+    #[allow(clippy::too_many_arguments)]
+    fn on_split_msg(
+        &mut self,
+        now: u64,
+        range: RangeId,
+        from: NodeId,
+        epoch: Epoch,
+        split_key: Key,
+        left: RangeId,
+        right: RangeId,
+        barrier: Lsn,
+        out: &mut Outbox,
+    ) {
+        {
+            let cohort = self.cohorts.get_mut(&range).expect("checked");
+            if epoch < cohort.epoch {
+                return; // a deposed leader's split; the table CAS stopped it too
+            }
+            if epoch == cohort.epoch
+                && matches!(cohort.role, Role::Leader | Role::LeaderTakeover)
+                && from != self.id
+            {
+                return; // two leaders in one epoch cannot happen; drop
+            }
+        }
+        let full_prefix =
+            self.cohorts[&range].role == Role::Follower && self.cohorts[&range].epoch == epoch;
+        if full_prefix {
+            self.apply_commit(range, barrier);
+        }
+        self.adopt_table_from_coord();
+        let cohort = self.cohorts.remove(&range).expect("checked");
+        // A catching-up replica may hold a queue with holes; fork at its
+        // own committed watermark and let child catch-up fill the rest.
+        let watermark = cohort.last_committed.min(barrier);
+        let (lstore, rstore) =
+            self.fork_store(range, &cohort.store, &split_key, left, right, watermark);
+        self.install_children(
+            cohort, &split_key, left, lstore, right, rstore, watermark, epoch, out,
+        );
+        self.join_cohort(now, left, out);
+        self.join_cohort(now, right, out);
+    }
+
+    /// Watch-driven table refresh. When a range this node serves vanished
+    /// from the table, its split metadata is authoritative even though the
+    /// leader's `Split` message never arrived (it may have crashed between
+    /// the table update and the fan-out): fork locally at our own
+    /// committed watermark — the conservative path.
+    fn refresh_table(&mut self, now: u64, out: &mut Outbox) {
+        let data = match self.coord.get_data_watch(TABLE_PATH) {
+            Ok(d) => d,
+            Err(_) => {
+                let _ = self.coord.exists_watch(TABLE_PATH);
+                return;
+            }
+        };
+        let Ok(new_ring) = Ring::decode(&mut data.as_slice()) else { return };
+        if new_ring.version() <= self.ring.version() {
+            return;
+        }
+        self.ring = new_ring;
+        let gone: Vec<RangeId> =
+            self.cohorts.keys().copied().filter(|r| self.ring.def(*r).is_none()).collect();
+        for parent in gone {
+            // A follower with a live remote leader defers: the leader's
+            // `Split` message is queued behind every outstanding propose on
+            // the in-order link, so forking on the (out-of-band) watch
+            // would drop writes we already acked. If the leader is
+            // actually dead, its leader-znode deletion reaches us and
+            // `start_election` redirects to the conservative fork.
+            let c = &self.cohorts[&parent];
+            let defer = matches!(c.role, Role::Follower | Role::CatchingUp)
+                && c.leader.is_some_and(|l| l != self.id);
+            if defer {
+                continue;
+            }
+            self.local_split_from_table(now, parent, out);
+        }
+    }
+
+    /// Conservative local split of `parent`, driven purely by the table
+    /// (no barrier known): fork at our own committed watermark, then join
+    /// the derived cohorts — catch-up supplies anything we were missing.
+    ///
+    /// Generalized over *chained* splits: the table may be several splits
+    /// ahead (the parent's children may themselves have been split, or be
+    /// gone entirely), so the targets are all current ranges whose bounds
+    /// lie inside this cohort's recorded span and that name us a replica.
+    /// Ranges outside the span are never derived from this cohort — the
+    /// watermark only vouches for data the parent actually covered.
+    fn local_split_from_table(&mut self, now: u64, parent: RangeId, out: &mut Outbox) {
+        let Some(cohort) = self.cohorts.remove(&parent) else { return };
+        for (from, req) in cohort.blocked_writes {
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+        }
+        let (span_start, span_end) = (&cohort.span.0, &cohort.span.1);
+        let targets: Vec<RangeDef> = self
+            .ring
+            .defs()
+            .filter(|d| {
+                d.cohort.contains(&self.id)
+                    && !self.cohorts.contains_key(&d.id)
+                    && d.start.as_bytes() >= span_start.as_bytes()
+                    && match (&d.end, span_end) {
+                        (_, None) => true,
+                        (Some(de), Some(se)) => de.as_bytes() <= se.as_bytes(),
+                        (None, Some(_)) => false,
+                    }
+            })
+            .cloned()
+            .collect();
+        let watermark = cohort.last_committed;
+        let epoch = cohort.epoch;
+        let tail = self
+            .wal
+            .read_range(parent, watermark, self.wal.state(parent).last_lsn)
+            .unwrap_or_default();
+        let mut migrated = true;
+        for def in &targets {
+            let Ok(mut store) = cohort.store.extract(
+                &def.start,
+                def.end.as_ref(),
+                store_options(def.id, &self.cfg),
+            ) else {
+                migrated = false;
+                continue;
+            };
+            let _ = store.flush();
+            let _ = self.wal.set_checkpoint(def.id, watermark);
+            for (lsn, op) in tail.iter().filter(|(_, op)| {
+                op.key.as_bytes() >= def.start.as_bytes()
+                    && def.end.as_ref().is_none_or(|e| op.key.as_bytes() < e.as_bytes())
+            }) {
+                if self.wal.append(&LogRecord::write(def.id, *lsn, op.clone())).is_err() {
+                    migrated = false;
+                }
+            }
+            let mut c = child_cohort(
+                store,
+                def.cohort.iter().copied().filter(|&n| n != self.id).collect(),
+                (def.start.clone(), def.end.clone()),
+            );
+            c.epoch = epoch;
+            c.last_committed = watermark;
+            c.last_note = watermark;
+            self.cohorts.insert(def.id, c);
+        }
+        // Only retire the parent stream once every acked record has a
+        // durable home in a child stream.
+        if migrated {
+            let _ = self.wal.set_checkpoint(parent, watermark);
+        }
+        let _ = self.wal.sync();
+        for def in targets {
+            self.join_cohort(now, def.id, out);
+        }
+    }
+
+    /// Fork `store` at `at` into the two children, persist both halves,
+    /// and advance the WAL checkpoints: the children's logical LSN streams
+    /// begin just above `watermark`, and the parent's stream below it
+    /// becomes garbage-collectable.
+    ///
+    /// The parent's log *tail* — records beyond the watermark that this
+    /// replica holds and may already have **acked** toward a quorum — is
+    /// migrated into the child streams, keyed by side. Without this, a
+    /// replica forking at a lagging watermark (the conservative path)
+    /// would advertise a log position below writes it vouched for, and a
+    /// child election could pick a leader missing committed writes.
+    fn fork_store(
+        &mut self,
+        parent: RangeId,
+        store: &RangeStore,
+        at: &Key,
+        left: RangeId,
+        right: RangeId,
+        watermark: Lsn,
+    ) -> (RangeStore, RangeStore) {
+        let (mut ls, mut rs) = store
+            .split(at, store_options(left, &self.cfg), store_options(right, &self.cfg))
+            .expect("store fork");
+        let _ = ls.flush();
+        let _ = rs.flush();
+        let _ = self.wal.set_checkpoint(left, watermark);
+        let _ = self.wal.set_checkpoint(right, watermark);
+        let tail = self
+            .wal
+            .read_range(parent, watermark, self.wal.state(parent).last_lsn)
+            .unwrap_or_default();
+        let mut migrated = true;
+        for (lsn, op) in tail {
+            let child = if op.key.as_bytes() < at.as_bytes() { left } else { right };
+            if self.wal.append(&LogRecord::write(child, lsn, op)).is_err() {
+                migrated = false;
+            }
+        }
+        // Retire the parent stream only if every tail record found a home
+        // in a child stream; otherwise the parent copy stays replayable.
+        if migrated {
+            let _ = self.wal.set_checkpoint(parent, watermark);
+        }
+        // The tail copies must be as durable as the acked originals.
+        let _ = self.wal.sync();
+        (ls, rs)
+    }
+
+    /// Register the two child cohorts of a dissolved parent (split at
+    /// `at`) and redirect anything the parent still buffered.
+    #[allow(clippy::too_many_arguments)]
+    fn install_children(
+        &mut self,
+        parent_cohort: Cohort,
+        at: &Key,
+        left: RangeId,
+        lstore: RangeStore,
+        right: RangeId,
+        rstore: RangeStore,
+        watermark: Lsn,
+        epoch: Epoch,
+        out: &mut Outbox,
+    ) {
+        let lspan = (parent_cohort.span.0.clone(), Some(at.clone()));
+        let rspan = (at.clone(), parent_cohort.span.1.clone());
+        for (range, store, span) in [(left, lstore, lspan), (right, rstore, rspan)] {
+            let peers =
+                self.ring.cohort(range).into_iter().filter(|&n| n != self.id).collect::<Vec<_>>();
+            let peers = if peers.is_empty() { parent_cohort.peers.clone() } else { peers };
+            let mut c = child_cohort(store, peers, span);
+            c.epoch = epoch;
+            c.last_committed = watermark;
+            c.last_note = watermark;
+            self.cohorts.insert(range, c);
+        }
+        for (from, req) in parent_cohort.blocked_writes {
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+        }
+    }
+
+    /// Pull the freshest table from the coordination service (used when a
+    /// `Split` message outruns our table watch delivery).
+    fn adopt_table_from_coord(&mut self) {
+        if let Ok((data, _)) = self.coord.get_data(TABLE_PATH) {
+            if let Ok(t) = Ring::decode(&mut data.as_slice()) {
+                if t.version() > self.ring.version() {
+                    self.ring = t;
+                }
+            }
+        }
+    }
+
+    // =================================================================
     // force completions & timers
     // =================================================================
 
@@ -1030,7 +1516,14 @@ impl Node {
                     .map(|(&r, _)| r)
                     .collect();
                 for range in &electing {
-                    self.check_election(*range, out);
+                    // An observer (deferred candidacy after a split) or a
+                    // node whose candidate creation failed upgrades to a
+                    // full candidate; everyone else just re-checks.
+                    if self.cohorts[range].candidate_path.is_none() {
+                        self.start_election(now, *range, out);
+                    } else {
+                        self.check_election(*range, out);
+                    }
                 }
                 if !electing.is_empty() {
                     out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
@@ -1066,6 +1559,10 @@ impl Node {
                 }
             }
             WatchEvent::Created(path) | WatchEvent::DataChanged(path) => {
+                if path == TABLE_PATH {
+                    self.refresh_table(now, out);
+                    return;
+                }
                 if let Some(range) = CohortPaths::range_of_path(&path) {
                     if path.ends_with("/leader") && self.cohorts.contains_key(&range) {
                         if self.cohorts[&range].role == Role::Electing {
@@ -1108,6 +1605,64 @@ impl Node {
     }
 }
 
+/// Store layout for a range's LSM tree.
+fn store_options(range: RangeId, cfg: &NodeConfig) -> StoreOptions {
+    StoreOptions {
+        dir: format!("store-r{}", range.0),
+        memtable_flush_bytes: cfg.memtable_flush_bytes,
+        ..Default::default()
+    }
+}
+
+/// Local-recovery path for a split child with no state of its own: rebuild
+/// it from the parent's surviving local store + log, returning the
+/// parent's committed watermark (the child's starting `f.cmt`). Returns
+/// `Ok(None)` when no parent state survives locally — the child then
+/// starts empty and relies on cohort catch-up.
+fn bootstrap_child_from_parent(
+    vfs: &SharedVfs,
+    wal: &Wal,
+    cfg: &NodeConfig,
+    def: &RangeDef,
+    child: &mut RangeStore,
+) -> Result<Option<Lsn>> {
+    let parent = def.parent.expect("caller checked");
+    let pst = wal.state(parent);
+    let have_store = vfs.exists(&format!("store-r{}/MANIFEST", parent.0))?;
+    if !have_store && pst.last_lsn.is_zero() {
+        return Ok(None);
+    }
+    let mut pstore = RangeStore::open(vfs.clone(), store_options(parent, cfg))?;
+    wal.replay(parent, wal.checkpoint(parent), pst.last_committed, |lsn, op| {
+        pstore.apply(op, lsn);
+    })?;
+    for (key, row) in pstore.scan(&def.start, def.end.as_ref())? {
+        child.ingest_fragment(&key, &row);
+    }
+    child.flush()?;
+    Ok(Some(pst.last_committed))
+}
+
+/// A freshly-forked child cohort, offline until it joins its range.
+fn child_cohort(store: RangeStore, peers: Vec<NodeId>, span: (Key, Option<Key>)) -> Cohort {
+    Cohort {
+        peers,
+        store,
+        span,
+        cq: CommitQueue::new(),
+        role: Role::Offline,
+        epoch: 0,
+        leader: None,
+        last_assigned: Lsn::ZERO,
+        last_committed: Lsn::ZERO,
+        last_note: Lsn::ZERO,
+        candidate_path: None,
+        takeover: None,
+        blocked_writes: Vec::new(),
+        splitting: None,
+    }
+}
+
 fn parse_node(data: &[u8]) -> NodeId {
     std::str::from_utf8(data).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(u32::MAX)
 }
@@ -1119,6 +1674,8 @@ fn parse_candidate(data: &[u8]) -> Option<(NodeId, u64)> {
 }
 
 /// Build a [`WriteRequest`] for a plain put (helper for clients/tests).
+/// Leaves `ring_version` at 0 (unversioned); routing clients stamp their
+/// table version before sending.
 pub fn put_request(req: u64, key: Key, col: &str, value: &[u8]) -> WriteRequest {
     WriteRequest {
         req,
@@ -1128,10 +1685,17 @@ pub fn put_request(req: u64, key: Key, col: &str, value: &[u8]) -> WriteRequest 
             value: bytes::Bytes::copy_from_slice(value),
         }],
         condition: None,
+        ring_version: 0,
     }
 }
 
 /// Build a [`ReadRequest`] (helper for clients/tests).
 pub fn get_request(req: u64, key: Key, col: &str, consistency: Consistency) -> ReadRequest {
-    ReadRequest { req, key, col: bytes::Bytes::copy_from_slice(col.as_bytes()), consistency }
+    ReadRequest {
+        req,
+        key,
+        col: bytes::Bytes::copy_from_slice(col.as_bytes()),
+        consistency,
+        ring_version: 0,
+    }
 }

@@ -1,34 +1,83 @@
-//! Range partitioning and cohort layout (paper §4, Fig. 2).
+//! Range partitioning and cohort layout (paper §4, Fig. 2) — as a
+//! **versioned, mutable range table**.
 //!
-//! The key space is split into contiguous ranges; each node is assigned a
-//! base range which is replicated on the next `N-1` nodes in ring order —
-//! chained declustering. Cohorts therefore overlap: with 5 nodes, A-B-C
-//! replicate A's base range, B-C-D replicate B's, and so on.
+//! The key space is split into contiguous ranges; each range is replicated
+//! on a cohort of `N` nodes laid out by chained declustering. Unlike the
+//! paper's fixed deployment, the table can change at runtime: a leader may
+//! *split* its range at a chosen key, producing two child ranges that
+//! inherit the parent's replicas (ScalienDB-style elastic re-sharding).
+//! Every mutation bumps the table `version`; the encoded table lives in the
+//! coordination service (see [`TABLE_PATH`]) so nodes and clients can
+//! refresh stale routing after a `WrongRange` reply.
+//!
+//! Routing is **byte-order** based: a key belongs to the last range whose
+//! inclusive `start` bound is `<=` the key under plain lexicographic byte
+//! comparison. (Routing through [`key_to_u64`] would zero-pad short keys
+//! and truncate long ones, disagreeing with byte order exactly at range
+//! boundaries — see the boundary regression tests below.)
 
-use spinnaker_common::{Key, NodeId, RangeId};
+use spinnaker_common::codec::{self, Decode, Encode};
+use spinnaker_common::{Error, Key, NodeId, RangeId, Result};
 
 /// Replication factor (the paper fixes N = 3 and so do we by default).
 pub const REPLICATION: usize = 3;
 
-/// The static ring: ranges, their key bounds, and their cohorts.
+/// Coordination-service znode holding the encoded range table.
+pub const TABLE_PATH: &str = "/ranges/table";
+
+/// One entry of the range table: key bounds plus replica placement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RangeDef {
+    /// Stable identifier (also names the WAL stream, the store directory
+    /// and the `/r{id}` election znodes).
+    pub id: RangeId,
+    /// Inclusive lower bound (`Key::default()` = beginning of the space).
+    pub start: Key,
+    /// Exclusive upper bound (`None` = end of the space).
+    pub end: Option<Key>,
+    /// Replica set, preferred-leader first.
+    pub cohort: Vec<NodeId>,
+    /// Preferred (initial) leader; election tie-breaks toward it.
+    pub home: NodeId,
+    /// The range this one was split from, if any — recovery uses it to
+    /// rebuild a child store from the parent's local state.
+    pub parent: Option<RangeId>,
+}
+
+/// The versioned range table ("ring" kept for historical continuity).
 #[derive(Clone, Debug)]
 pub struct Ring {
     nodes: usize,
     replication: usize,
-    /// `starts[i]` = inclusive lower bound of range i (8-byte big-endian).
-    starts: Vec<u64>,
+    version: u64,
+    next_id: u32,
+    /// Sorted by `start` (ascending); bounds tile the key space.
+    ranges: Vec<RangeDef>,
 }
 
 impl Ring {
-    /// A ring of `nodes` nodes with one base range per node, keys taken
-    /// from the full `u64` space (encoded big-endian into 8-byte keys so
-    /// byte order equals numeric order).
+    /// A ring of `nodes` nodes with one base range per node, boundaries at
+    /// multiples of `u64::MAX / nodes` (8-byte big-endian keys, so byte
+    /// order equals numeric order). Range `i`'s cohort is nodes
+    /// `i..i+replication` in ring order — chained declustering.
     pub fn uniform(nodes: usize, replication: usize) -> Ring {
         assert!(nodes >= replication, "need at least as many nodes as replicas");
         assert!(replication >= 1);
         let step = u64::MAX / nodes as u64;
-        let starts = (0..nodes).map(|i| i as u64 * step).collect();
-        Ring { nodes, replication, starts }
+        let ranges = (0..nodes)
+            .map(|i| RangeDef {
+                id: RangeId(i as u32),
+                // The first range starts at the absolute minimum (the empty
+                // key), not at eight zero bytes: keys shorter than 8 bytes
+                // sort below `u64_to_key(0)` and must still be covered.
+                start: if i == 0 { Key::default() } else { u64_to_key(i as u64 * step) },
+                end: (i + 1 < nodes).then(|| u64_to_key((i as u64 + 1) * step)),
+                cohort: (0..replication).map(|j| ((i + j) % nodes) as NodeId).collect(),
+                home: i as NodeId,
+                parent: None,
+            })
+            .collect();
+        Ring { nodes, replication, version: 1, next_id: nodes as u32, ranges }
     }
 
     /// Standard 3-way replicated ring.
@@ -36,7 +85,7 @@ impl Ring {
         Ring::uniform(nodes, REPLICATION)
     }
 
-    /// Number of nodes (and base ranges).
+    /// Number of nodes in the cluster.
     pub fn nodes(&self) -> usize {
         self.nodes
     }
@@ -46,50 +95,180 @@ impl Ring {
         self.replication
     }
 
-    /// All range ids.
-    pub fn ranges(&self) -> impl Iterator<Item = RangeId> {
-        (0..self.nodes as u32).map(RangeId)
+    /// Table version; bumped by every mutation (splits).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
-    /// The cohort replicating `range`: the base node plus the next
-    /// `replication - 1` nodes in ring order (chained declustering).
+    /// Number of live ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// All live range ids, in key order.
+    pub fn ranges(&self) -> impl Iterator<Item = RangeId> + '_ {
+        self.ranges.iter().map(|d| d.id)
+    }
+
+    /// All range definitions, in key order.
+    pub fn defs(&self) -> impl Iterator<Item = &RangeDef> {
+        self.ranges.iter()
+    }
+
+    /// The definition of `range`, if it is (still) live.
+    pub fn def(&self, range: RangeId) -> Option<&RangeDef> {
+        self.ranges.iter().find(|d| d.id == range)
+    }
+
+    /// The cohort replicating `range` (empty when the range is gone).
     pub fn cohort(&self, range: RangeId) -> Vec<NodeId> {
-        (0..self.replication).map(|i| ((range.0 as usize + i) % self.nodes) as NodeId).collect()
+        self.def(range).map(|d| d.cohort.clone()).unwrap_or_default()
     }
 
-    /// The ranges `node` participates in (its base range plus the
-    /// preceding `replication - 1` ranges).
+    /// The ranges `node` participates in, in key order.
     pub fn ranges_of(&self, node: NodeId) -> Vec<RangeId> {
-        (0..self.replication)
-            .map(|i| RangeId(((node as usize + self.nodes - i) % self.nodes) as u32))
-            .collect()
+        self.ranges.iter().filter(|d| d.cohort.contains(&node)).map(|d| d.id).collect()
     }
 
-    /// The range a key belongs to.
+    /// The range a key belongs to: the last range whose inclusive start is
+    /// `<=` the key, under plain byte comparison.
     pub fn range_of(&self, key: &Key) -> RangeId {
-        let v = key_to_u64(key);
-        // Last start <= v.
-        let idx = match self.starts.binary_search(&v) {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
-        RangeId(idx as u32)
+        let idx = self.ranges.partition_point(|d| d.start.as_bytes() <= key.as_bytes());
+        self.ranges[idx.saturating_sub(1)].id
     }
 
-    /// The preferred (initial) leader of a range: its base node.
+    /// The preferred (initial) leader of a range.
     pub fn home_node(&self, range: RangeId) -> NodeId {
-        range.0 as NodeId
+        self.def(range).map(|d| d.home).unwrap_or(u32::MAX)
     }
 
     /// Inclusive lower bound of a range as a key.
     pub fn range_start(&self, range: RangeId) -> Key {
-        u64_to_key(self.starts[range.0 as usize])
+        self.def(range).map(|d| d.start.clone()).unwrap_or_default()
     }
 
     /// Exclusive upper bound of a range (`None` for the last range).
     pub fn range_end(&self, range: RangeId) -> Option<Key> {
-        self.starts.get(range.0 as usize + 1).map(|&s| u64_to_key(s))
+        self.def(range).and_then(|d| d.end.clone())
+    }
+
+    /// Split `parent` at `at`, producing two child ranges that inherit the
+    /// parent's replicas: the left child keeps the parent's preferred
+    /// leader, the right child's preference moves to the next cohort
+    /// member (so leadership of a hot range spreads after the split).
+    /// Bumps the table version. Returns `(left, right)` child ids.
+    pub fn split(&mut self, parent: RangeId, at: &Key) -> Result<(RangeId, RangeId)> {
+        let idx = self
+            .ranges
+            .iter()
+            .position(|d| d.id == parent)
+            .ok_or_else(|| Error::NotFound(format!("range {parent} not in table")))?;
+        let d = &self.ranges[idx];
+        let inside = d.start.as_bytes() < at.as_bytes()
+            && d.end.as_ref().is_none_or(|e| at.as_bytes() < e.as_bytes());
+        if !inside {
+            return Err(Error::InvalidArgument(format!(
+                "split key {:?} not strictly inside {parent}",
+                at
+            )));
+        }
+        let left = RangeId(self.next_id);
+        let right = RangeId(self.next_id + 1);
+        self.next_id += 2;
+        let home_pos = d.cohort.iter().position(|&n| n == d.home).unwrap_or(0);
+        let right_home = d.cohort[(home_pos + 1) % d.cohort.len()];
+        let left_def = RangeDef {
+            id: left,
+            start: d.start.clone(),
+            end: Some(at.clone()),
+            cohort: d.cohort.clone(),
+            home: d.home,
+            parent: Some(parent),
+        };
+        let right_def = RangeDef {
+            id: right,
+            start: at.clone(),
+            end: d.end.clone(),
+            cohort: d.cohort.clone(),
+            home: right_home,
+            parent: Some(parent),
+        };
+        self.ranges.splice(idx..=idx, [left_def, right_def]);
+        self.version += 1;
+        Ok((left, right))
+    }
+
+    /// The children a split of `parent` produced, in key order (empty when
+    /// `parent` was never split or is still live).
+    pub fn children_of(&self, parent: RangeId) -> Vec<&RangeDef> {
+        self.ranges.iter().filter(|d| d.parent == Some(parent)).collect()
+    }
+}
+
+impl Encode for Ring {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.version);
+        codec::put_u32(buf, self.nodes as u32);
+        codec::put_u32(buf, self.replication as u32);
+        codec::put_u32(buf, self.next_id);
+        codec::put_varint(buf, self.ranges.len() as u64);
+        for d in &self.ranges {
+            codec::put_u32(buf, d.id.0);
+            codec::put_bytes(buf, d.start.as_bytes());
+            match &d.end {
+                Some(e) => {
+                    codec::put_u8(buf, 1);
+                    codec::put_bytes(buf, e.as_bytes());
+                }
+                None => codec::put_u8(buf, 0),
+            }
+            codec::put_varint(buf, d.cohort.len() as u64);
+            for &n in &d.cohort {
+                codec::put_u32(buf, n);
+            }
+            codec::put_u32(buf, d.home);
+            match d.parent {
+                Some(p) => {
+                    codec::put_u8(buf, 1);
+                    codec::put_u32(buf, p.0);
+                }
+                None => codec::put_u8(buf, 0),
+            }
+        }
+    }
+}
+
+impl Decode for Ring {
+    fn decode(buf: &mut &[u8]) -> Result<Ring> {
+        let version = codec::get_u64(buf)?;
+        let nodes = codec::get_u32(buf)? as usize;
+        let replication = codec::get_u32(buf)? as usize;
+        let next_id = codec::get_u32(buf)?;
+        let n = codec::get_varint(buf)? as usize;
+        let mut ranges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = RangeId(codec::get_u32(buf)?);
+            let start = Key(codec::get_bytes(buf)?);
+            let end = match codec::get_u8(buf)? {
+                0 => None,
+                _ => Some(Key(codec::get_bytes(buf)?)),
+            };
+            let c = codec::get_varint(buf)? as usize;
+            let mut cohort = Vec::with_capacity(c);
+            for _ in 0..c {
+                cohort.push(codec::get_u32(buf)?);
+            }
+            let home = codec::get_u32(buf)?;
+            let parent = match codec::get_u8(buf)? {
+                0 => None,
+                _ => Some(RangeId(codec::get_u32(buf)?)),
+            };
+            ranges.push(RangeDef { id, start, end, cohort, home, parent });
+        }
+        if ranges.is_empty() {
+            return Err(Error::Corruption("range table with no ranges".into()));
+        }
+        Ok(Ring { nodes, replication, version, next_id, ranges })
     }
 }
 
@@ -100,6 +279,10 @@ pub fn u64_to_key(v: u64) -> Key {
 
 /// Interpret the first 8 bytes of a key as a big-endian `u64` (shorter
 /// keys are zero-padded, so `""` maps to 0).
+///
+/// This is a *display/bench* helper, **not** a routing primitive: the
+/// padding makes distinct keys collide (e.g. `[1]` and `[1,0]`), so
+/// [`Ring::range_of`] compares raw bytes instead.
 pub fn key_to_u64(key: &Key) -> u64 {
     let mut buf = [0u8; 8];
     let b = key.as_bytes();
@@ -132,8 +315,8 @@ mod tests {
                 assert!(ring.cohort(*r).contains(&node), "node {node} must be in cohort of {r}");
             }
         }
-        // Node 0 of 5 serves its base range 0 plus ranges 4 and 3.
-        assert_eq!(ring.ranges_of(0), vec![RangeId(0), RangeId(4), RangeId(3)]);
+        // Node 0 of 5 serves its base range 0 plus ranges 3 and 4.
+        assert_eq!(ring.ranges_of(0), vec![RangeId(0), RangeId(3), RangeId(4)]);
     }
 
     #[test]
@@ -146,6 +329,40 @@ mod tests {
         let step = u64::MAX / 5;
         assert_eq!(ring.range_of(&u64_to_key(step)), RangeId(1));
         assert_eq!(ring.range_of(&u64_to_key(step - 1)), RangeId(0));
+    }
+
+    #[test]
+    fn routing_agrees_with_byte_order_for_short_and_long_keys() {
+        // Regression: `key_to_u64`-based routing zero-padded short keys and
+        // truncated long ones, so keys adjacent to a range boundary in byte
+        // order could route to the wrong side.
+        let ring = Ring::with_nodes(4);
+        let step = u64::MAX / 4;
+        let boundary = u64_to_key(step); // 8-byte boundary of range 1
+
+        // A *prefix* of the boundary key sorts strictly below it in byte
+        // order and must therefore route to range 0 (u64 padding would have
+        // claimed it equal to the boundary and routed it to range 1).
+        let prefix = Key::new(boundary.as_bytes()[..4].to_vec());
+        assert!(prefix.as_bytes() < boundary.as_bytes());
+        assert_eq!(ring.range_of(&prefix), RangeId(0), "short key below boundary");
+
+        // The boundary key with a suffix sorts above the boundary and
+        // belongs to range 1 (truncation to 8 bytes agrees here, but only
+        // by accident of the inclusive-start convention).
+        let mut long = boundary.as_bytes().to_vec();
+        long.push(0x00);
+        let long = Key::new(long);
+        assert!(long.as_bytes() > boundary.as_bytes());
+        assert_eq!(ring.range_of(&long), RangeId(1), "long key at/after boundary");
+
+        // Directly below the boundary in byte order: 8-byte predecessor.
+        assert_eq!(ring.range_of(&u64_to_key(step - 1)), RangeId(0));
+
+        // A one-byte key sorts by its first byte: 0xFF… prefix keys land in
+        // the last range even though they are shorter than the boundaries.
+        let tiny_high = Key::new(vec![0xffu8]);
+        assert_eq!(ring.range_of(&tiny_high), RangeId(3), "short high key in last range");
     }
 
     #[test]
@@ -162,7 +379,7 @@ mod tests {
     #[test]
     fn range_bounds_are_consistent_with_routing() {
         let ring = Ring::with_nodes(4);
-        for r in ring.ranges() {
+        for r in ring.ranges().collect::<Vec<_>>() {
             let start = ring.range_start(r);
             assert_eq!(ring.range_of(&start), r);
             if let Some(end) = ring.range_end(r) {
@@ -175,17 +392,97 @@ mod tests {
     fn scales_to_large_clusters() {
         for n in [10usize, 20, 40, 80] {
             let ring = Ring::with_nodes(n);
-            for r in ring.ranges() {
+            for r in ring.ranges().collect::<Vec<_>>() {
                 assert_eq!(ring.cohort(r).len(), 3);
             }
             // Every node appears in exactly 3 cohorts.
             let mut counts = vec![0usize; n];
-            for r in ring.ranges() {
+            for r in ring.ranges().collect::<Vec<_>>() {
                 for node in ring.cohort(r) {
                     counts[node as usize] += 1;
                 }
             }
             assert!(counts.iter().all(|&c| c == 3), "balanced at n={n}");
         }
+    }
+
+    #[test]
+    fn split_produces_children_inheriting_the_cohort() {
+        let mut ring = Ring::with_nodes(5);
+        let v0 = ring.version();
+        let at = u64_to_key(1000);
+        let (left, right) = ring.split(RangeId(0), &at).unwrap();
+        assert_eq!(ring.version(), v0 + 1);
+        assert!(ring.def(RangeId(0)).is_none(), "parent removed");
+        let ld = ring.def(left).unwrap();
+        let rd = ring.def(right).unwrap();
+        assert_eq!(ld.cohort, vec![0, 1, 2], "children inherit replicas");
+        assert_eq!(rd.cohort, vec![0, 1, 2]);
+        assert_eq!(ld.end.as_ref(), Some(&at));
+        assert_eq!(rd.start, at);
+        assert_eq!(ld.home, 0, "left keeps the parent's preferred leader");
+        assert_eq!(rd.home, 1, "right preference moves to the next replica");
+        assert_eq!((ld.parent, rd.parent), (Some(RangeId(0)), Some(RangeId(0))));
+        // Routing: split key belongs to the right child, predecessor left.
+        assert_eq!(ring.range_of(&at), right);
+        assert_eq!(ring.range_of(&u64_to_key(999)), left);
+        assert_eq!(ring.range_of(&Key::default()), left);
+        // Old ranges unaffected.
+        assert_eq!(ring.range_of(&u64_to_key(u64::MAX)), RangeId(4));
+        assert_eq!(ring.children_of(RangeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn split_rejects_keys_outside_the_range() {
+        let mut ring = Ring::with_nodes(4);
+        // Range 1 spans [step, 2*step); its own start is not *strictly*
+        // inside, and keys beyond its end belong to other ranges.
+        let step = u64::MAX / 4;
+        assert!(ring.split(RangeId(1), &u64_to_key(step)).is_err(), "start not inside");
+        assert!(ring.split(RangeId(1), &u64_to_key(2 * step)).is_err(), "end not inside");
+        assert!(ring.split(RangeId(0), &Key::default()).is_err(), "minimum not inside");
+        assert!(ring.split(RangeId(9), &u64_to_key(1)).is_err(), "unknown range");
+        assert!(ring.split(RangeId(1), &u64_to_key(step + 1)).is_ok());
+    }
+
+    #[test]
+    fn recursive_splits_keep_ids_unique_and_space_tiled() {
+        let mut ring = Ring::with_nodes(3);
+        let mut at = 1u64;
+        for _ in 0..6 {
+            let target = ring.range_of(&u64_to_key(at));
+            let key = u64_to_key(at);
+            if ring.split(target, &key).is_ok() {
+                at = at.wrapping_mul(31).wrapping_add(997);
+            }
+        }
+        // Ids unique.
+        let mut ids: Vec<u32> = ring.ranges().map(|r| r.0).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "no duplicate range ids");
+        // Bounds tile: each range's end equals the next range's start.
+        let defs: Vec<_> = ring.defs().collect();
+        assert_eq!(defs[0].start, Key::default());
+        assert!(defs.last().unwrap().end.is_none());
+        for w in defs.windows(2) {
+            assert_eq!(w[0].end.as_ref(), Some(&w[1].start), "gapless boundaries");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut ring = Ring::with_nodes(5);
+        ring.split(RangeId(2), &u64_to_key(u64::MAX / 5 * 2 + 77)).unwrap();
+        let bytes = ring.encode_to_vec();
+        let back = Ring::decode(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.version(), ring.version());
+        assert_eq!(back.nodes(), ring.nodes());
+        assert_eq!(back.replication(), ring.replication());
+        assert_eq!(back.next_id, ring.next_id);
+        let a: Vec<_> = ring.defs().cloned().collect();
+        let b: Vec<_> = back.defs().cloned().collect();
+        assert_eq!(a, b);
     }
 }

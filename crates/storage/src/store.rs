@@ -298,6 +298,105 @@ impl RangeStore {
         Ok(out)
     }
 
+    /// Fork the store at `at` into two children (dynamic range splitting):
+    /// the memtable is cloned in halves, and every SSTable is assigned
+    /// wholly to one side when its key bounds allow — a cheap file copy —
+    /// or re-partitioned into per-side tables when it straddles the split
+    /// key. `self` is left untouched; the caller dissolves the parent once
+    /// both children are durable.
+    pub fn split(
+        &self,
+        at: &Key,
+        left_opts: StoreOptions,
+        right_opts: StoreOptions,
+    ) -> Result<(RangeStore, RangeStore)> {
+        let mut left = RangeStore::create(self.vfs.clone(), left_opts)?;
+        let mut right = RangeStore::create(self.vfs.clone(), right_opts)?;
+        for (key, row) in self.memtable.iter() {
+            let side = if key < at { &mut left } else { &mut right };
+            side.memtable.merge_row(key, row);
+        }
+        // Oldest table first, inserting at the front, so each child ends
+        // newest-first like its parent (merges are version-driven, but the
+        // invariant keeps compaction heuristics honest).
+        for table in self.tables.iter().rev() {
+            let meta = table.meta();
+            if &meta.max_key < at {
+                left.adopt_table_file(table.path())?;
+            } else if &meta.min_key >= at {
+                right.adopt_table_file(table.path())?;
+            } else {
+                left.adopt_rows(table.scan(&Key::default(), Some(at))?)?;
+                right.adopt_rows(table.scan(at, None)?)?;
+            }
+        }
+        left.save_manifest()?;
+        right.save_manifest()?;
+        Ok((left, right))
+    }
+
+    /// Extract the slice `[start, end)` into a fresh child store (the
+    /// generic, bounds-driven fork used by table-only split recovery,
+    /// where the exact split lineage may span several chained splits).
+    /// Unlike [`RangeStore::split`] this always re-partitions rows; it is
+    /// the rare-path variant, so simplicity wins over file reuse.
+    pub fn extract(
+        &self,
+        start: &Key,
+        end: Option<&Key>,
+        opts: StoreOptions,
+    ) -> Result<RangeStore> {
+        let mut child = RangeStore::create(self.vfs.clone(), opts)?;
+        child.adopt_rows(self.scan(start, end)?)?;
+        child.save_manifest()?;
+        Ok(child)
+    }
+
+    /// Open a store on a *fresh* manifest, ignoring any leftovers in the
+    /// directory (e.g. from a fork that crashed before completing).
+    fn create(vfs: SharedVfs, opts: StoreOptions) -> Result<RangeStore> {
+        let store = RangeStore {
+            vfs,
+            opts,
+            memtable: Memtable::new(),
+            tables: Vec::new(),
+            manifest: Manifest { tables: Vec::new(), next_id: 1 },
+        };
+        store.save_manifest()?;
+        Ok(store)
+    }
+
+    /// Adopt a whole SSTable from another store by copying its file.
+    fn adopt_table_file(&mut self, src: &str) -> Result<()> {
+        let id = self.manifest.next_id;
+        self.manifest.next_id += 1;
+        let dst = Self::table_path(&self.opts.dir, id);
+        let data = self.vfs.read_all(src)?;
+        let mut f = self.vfs.create(&dst)?;
+        f.append(&data)?;
+        f.sync()?;
+        self.tables.insert(0, Table::open(self.vfs.clone(), &dst)?);
+        self.manifest.tables.insert(0, id);
+        Ok(())
+    }
+
+    /// Build a new SSTable from already-sorted rows and adopt it.
+    fn adopt_rows(&mut self, rows: Vec<(Key, Row)>) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let id = self.manifest.next_id;
+        self.manifest.next_id += 1;
+        let path = Self::table_path(&self.opts.dir, id);
+        let mut builder = TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
+        for (key, row) in &rows {
+            builder.add(key, row)?;
+        }
+        self.tables.insert(0, builder.finish()?);
+        self.manifest.tables.insert(0, id);
+        Ok(())
+    }
+
     /// Merged scan of `[start, end)` across memtable and all tables.
     pub fn scan(&self, start: &Key, end: Option<&Key>) -> Result<Vec<(Key, Row)>> {
         let mut streams: Vec<RowStream<'_>> = Vec::new();
@@ -520,6 +619,88 @@ mod tests {
         let got = s.scan(&Key::from("a"), Some(&Key::from("c"))).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!(got[1].1.get_live(b"c").unwrap().value.as_ref(), b"2new");
+    }
+
+    #[test]
+    fn split_partitions_memtable_and_tables_by_key() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        // One table entirely left of the split, one straddling it, plus
+        // live memtable rows on both sides.
+        s.apply(&op::put("a1", "c", "t1"), Lsn::new(1, 1));
+        s.apply(&op::put("a2", "c", "t1"), Lsn::new(1, 2));
+        s.flush().unwrap();
+        s.apply(&op::put("a3", "c", "t2"), Lsn::new(1, 3));
+        s.apply(&op::put("z1", "c", "t2"), Lsn::new(1, 4));
+        s.flush().unwrap();
+        s.apply(&op::put("a2", "c", "mem"), Lsn::new(1, 5)); // newer version
+        s.apply(&op::put("z2", "c", "mem"), Lsn::new(1, 6));
+
+        let at = Key::from("m");
+        let (left, right) = s
+            .split(
+                &at,
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+
+        // Every key reads identically from the child owning its side.
+        for key in ["a1", "a2", "a3", "z1", "z2"] {
+            let k = Key::from(key);
+            let child = if k < at { &left } else { &right };
+            assert_eq!(child.get(&k).unwrap(), s.get(&k).unwrap(), "child read differs for {key}");
+        }
+        // And nothing crossed the boundary.
+        assert!(left.get(&Key::from("z1")).unwrap().is_none());
+        assert!(right.get(&Key::from("a1")).unwrap().is_none());
+        // The newest version won through the memtable clone.
+        let row = left.get(&Key::from("a2")).unwrap().unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"mem");
+        // The parent is untouched.
+        assert_eq!(s.get(&Key::from("a1")).unwrap().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn split_children_survive_restart() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for i in 0..40u64 {
+            s.apply(&op::put(&format!("k{i:02}"), "c", &format!("v{i}")), Lsn::new(1, i + 1));
+        }
+        s.flush().unwrap();
+        s.apply(&op::put("k99", "c", "late"), Lsn::new(1, 100));
+        let (mut left, mut right) = s
+            .split(
+                &Key::from("k20"),
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+        left.flush().unwrap();
+        right.flush().unwrap();
+
+        // Crash: only synced state survives; both children reopen intact.
+        let image = vfs.crash_clone();
+        let left2 = RangeStore::open(
+            Arc::new(image.clone()),
+            StoreOptions { dir: "left".into(), ..Default::default() },
+        )
+        .unwrap();
+        let right2 = RangeStore::open(
+            Arc::new(image),
+            StoreOptions { dir: "right".into(), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            left2.get(&Key::from("k07")).unwrap().unwrap().get_live(b"c").unwrap().value.as_ref(),
+            b"v7"
+        );
+        assert!(left2.get(&Key::from("k20")).unwrap().is_none(), "boundary key went right");
+        assert_eq!(
+            right2.get(&Key::from("k99")).unwrap().unwrap().get_live(b"c").unwrap().value.as_ref(),
+            b"late"
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property test for dynamic range splitting at the storage layer: for an
+//! arbitrary write history (puts, deletes, interleaved flushes — so the
+//! data straddles memtable and SSTables in arbitrary ways), splitting the
+//! store at an arbitrary key and reading each key from the child that owns
+//! its side must equal reading from the unsplit store.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spinnaker_common::vfs::MemVfs;
+use spinnaker_common::{op, Key, Lsn};
+use spinnaker_storage::{RangeStore, StoreOptions};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put { key: u8, col: u8, value: u8 },
+    Delete { key: u8 },
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), 0u8..3, any::<u8>())
+            .prop_map(|(key, col, value)| Op::Put { key, col, value }),
+        2 => any::<u8>().prop_map(|key| Op::Delete { key }),
+        2 => Just(Op::Flush),
+    ]
+}
+
+fn key_of(k: u8) -> Key {
+    Key::new(format!("key{k:03}").into_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn children_reads_equal_parent_reads(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        split_at in any::<u8>(),
+    ) {
+        let vfs = MemVfs::new();
+        let mut store = RangeStore::open(Arc::new(vfs.clone()), StoreOptions::default()).unwrap();
+        let mut seq = 0u64;
+        for operation in &ops {
+            match operation {
+                Op::Put { key, col, value } => {
+                    seq += 1;
+                    store.apply(
+                        &op::put(&format!("key{key:03}"), &format!("c{col}"), &format!("v{value}")),
+                        Lsn::new(1, seq),
+                    );
+                }
+                Op::Delete { key } => {
+                    seq += 1;
+                    store.apply(&op::delete(&format!("key{key:03}"), "c0"), Lsn::new(1, seq));
+                }
+                Op::Flush => {
+                    store.flush().unwrap();
+                }
+            }
+        }
+
+        let at = key_of(split_at);
+        let (left, right) = store
+            .split(
+                &at,
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+
+        for k in 0u8..=255 {
+            let key = key_of(k);
+            let parent_row = store.get(&key).unwrap();
+            let (own, other) = if key < at { (&left, &right) } else { (&right, &left) };
+            prop_assert_eq!(
+                own.get(&key).unwrap(),
+                parent_row,
+                "key {} must read identically from its child", k
+            );
+            prop_assert!(
+                other.get(&key).unwrap().is_none(),
+                "key {} leaked across the split boundary", k
+            );
+        }
+        // Scans over each side agree with the parent's bounded scans.
+        let parent_left = store.scan(&Key::default(), Some(&at)).unwrap();
+        prop_assert_eq!(left.scan(&Key::default(), None).unwrap(), parent_left);
+        let parent_right = store.scan(&at, None).unwrap();
+        prop_assert_eq!(right.scan(&Key::default(), None).unwrap(), parent_right);
+    }
+}
