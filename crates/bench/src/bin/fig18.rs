@@ -1,0 +1,173 @@
+//! Figure 18 (extension, beyond the paper): elastic **rebalancing** by
+//! cohort movement and range merge, on top of fig17's dynamic splits.
+//!
+//! A hot range is split mid-run; the right child's leadership lands on
+//! another original cohort member (fig17's scale-out). Then that child's
+//! *leader replica moves to a fresh node* that was never part of the
+//! range's replica set — snapshot + log-tail handoff, CAS cohort swap,
+//! direct leadership hand-off — and a *cold pair* of split siblings is
+//! merged back into one range (the inverse of the split).
+//!
+//! Reported series: the moved range's write throughput before and after
+//! the movement. The claim under test: once the fresh node leads, the
+//! moved range serves within 20% of its pre-movement leader-local
+//! throughput — i.e. cohort movement relocates load without degrading
+//! the range, which is what makes scale-out to *new* nodes real.
+
+use std::fs;
+use std::io::Write as _;
+
+use spinnaker_bench as b;
+use spinnaker_common::RangeId;
+use spinnaker_core::client::Workload;
+use spinnaker_core::cluster::{ClusterConfig, SimCluster};
+use spinnaker_core::partition::u64_to_key;
+use spinnaker_sim::{DiskProfile, Time, MICROS, MILLIS, SECS};
+
+fn main() {
+    let quick = b::quick();
+    let clients_per_side = if quick { 24 } else { 48 };
+
+    // fig17's leader-bottleneck model: leader RPC handling is expensive,
+    // the follower's append+ack is cheap, few cores to saturate. Six
+    // nodes so node 3 is *outside* the hot range's cohort {0, 1, 2}.
+    let mut cfg = ClusterConfig { nodes: 6, seed: 1818, ..Default::default() };
+    cfg.disk = DiskProfile::Ssd;
+    cfg.node.commit_period = 200 * MILLIS;
+    cfg.perf.cpu_cores = 2;
+    cfg.perf.write_service = 600 * MICROS;
+    cfg.perf.propose_service = Some(60 * MICROS);
+
+    let split_at = 4 * SECS;
+    let move_at = 9 * SECS;
+    let merge_at = 12 * SECS;
+    let end: Time = if quick { 16 * SECS } else { 22 * SECS };
+    let pre_window = (6 * SECS, 9 * SECS);
+    let post_window = (12 * SECS, end - SECS);
+
+    let mut cluster = SimCluster::new(cfg);
+    // Left-side and right-side writers: both hammer range 0 before the
+    // split; afterwards each group is confined to one child, so the
+    // moved (right) child's throughput is measurable on its own.
+    let left_stats: Vec<_> = (0..clients_per_side)
+        .map(|_| {
+            let s = cluster.add_client(
+                Workload::SpanWrites { value_size: 512, lo: 0, hi: 2048 },
+                SECS,
+                SECS,
+                end,
+            );
+            s.borrow_mut().trace = Some(Vec::new());
+            s
+        })
+        .collect();
+    let right_stats: Vec<_> = (0..clients_per_side)
+        .map(|_| {
+            let s = cluster.add_client(
+                Workload::SpanWrites { value_size: 512, lo: 2048, hi: 4096 },
+                SECS,
+                SECS,
+                end,
+            );
+            s.borrow_mut().trace = Some(Vec::new());
+            s
+        })
+        .collect();
+
+    // Split the hot range at the median hot key, and split the (cold,
+    // trafficless) range 1 to manufacture the cold pair for the merge.
+    let step = u64::MAX / 6;
+    cluster.split_range(split_at, RangeId(0), u64_to_key(2048));
+    cluster.split_range(split_at, RangeId(1), u64_to_key(step + step / 2));
+
+    cluster.run_until(move_at);
+    let ring = cluster.current_ring();
+    let hot_children = ring.children_of(RangeId(0));
+    assert_eq!(hot_children.len(), 2, "the hot split must have completed");
+    let moved = hot_children[1].id;
+    let old_leader = cluster.leader_of(moved).expect("right child led");
+    let cold_children = ring.children_of(RangeId(1));
+    assert_eq!(cold_children.len(), 2, "the cold split must have completed");
+    let (cold_left, cold_right) = (cold_children[0].id, cold_children[1].id);
+
+    // Move the right child's leader replica to node 3 — a node that was
+    // never in the range's replica set — and merge the cold pair.
+    cluster.move_replica(move_at, moved, old_leader, 3);
+    cluster.merge_ranges(merge_at, cold_left, cold_right);
+    cluster.run_until(end);
+
+    let tput = |stats: &[std::rc::Rc<std::cell::RefCell<spinnaker_core::ClientStats>>],
+                window: (Time, Time)| {
+        let completed: u64 = stats
+            .iter()
+            .map(|s| {
+                let s = s.borrow();
+                s.trace
+                    .as_ref()
+                    .unwrap()
+                    .iter()
+                    .filter(|(t, _)| *t >= window.0 && *t < window.1)
+                    .count() as u64
+            })
+            .sum();
+        completed as f64 / ((window.1 - window.0) as f64 / 1e9)
+    };
+    let pre_move = tput(&right_stats, pre_window);
+    let post_move = tput(&right_stats, post_window);
+    let left_post = tput(&left_stats, post_window);
+
+    let ring = cluster.current_ring();
+    let new_leader = cluster.leader_of(moved);
+    let moved_def = ring.def(moved).expect("moved range live").clone();
+
+    println!("==============================================================");
+    println!("Figure 18 — Cohort movement + range merge (elastic rebalance)");
+    println!("==============================================================");
+    println!(
+        "({} writers/side; split t=4s, move {old_leader}->3 t=9s, merge t=12s)",
+        clients_per_side
+    );
+    println!(
+        "  moved range {moved}: {pre_move:>8.0} writes/s before movement (leader {old_leader})"
+    );
+    println!(
+        "  moved range {moved}: {post_move:>8.0} writes/s after movement  (leader {:?})",
+        new_leader
+    );
+    println!("  left sibling     : {left_post:>8.0} writes/s after movement");
+    println!(
+        "  recovery: {:.0}% of pre-movement leader-local throughput",
+        100.0 * post_move / pre_move.max(1.0)
+    );
+
+    // --- assertions (the reproduction targets) ---
+    assert!(moved_def.cohort.contains(&3), "node 3 joined the moved range's replica set");
+    assert!(!moved_def.cohort.contains(&old_leader), "the departing replica left the replica set");
+    assert_eq!(new_leader, Some(3), "the fresh node leads the moved range");
+    assert!(
+        post_move >= 0.8 * pre_move,
+        "post-movement throughput ({post_move:.0}/s) within 20% of pre-movement ({pre_move:.0}/s)"
+    );
+    // The cold pair merged back into a single range covering range 1's
+    // original span.
+    assert!(
+        ring.def(cold_left).is_none() && ring.def(cold_right).is_none(),
+        "cold siblings dissolved"
+    );
+    let merged = ring.range_of(&u64_to_key(step + 1));
+    let merged_def = ring.def(merged).expect("merged range live");
+    assert_eq!(merged_def.start, u64_to_key(step), "merge restored the left bound");
+    assert_eq!(merged_def.end, Some(u64_to_key(2 * step)), "merge restored the right bound");
+    assert!(cluster.all_ranges_led(), "every range in the final table has an open leader");
+
+    let dir = "target/experiments";
+    let _ = fs::create_dir_all(dir);
+    let path = format!("{dir}/fig18.csv");
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = writeln!(f, "series,throughput_writes_s");
+        let _ = writeln!(f, "moved range pre-movement,{pre_move:.1}");
+        let _ = writeln!(f, "moved range post-movement,{post_move:.1}");
+        let _ = writeln!(f, "left sibling post-movement,{left_post:.1}");
+    }
+    println!("(csv written to {path})");
+}

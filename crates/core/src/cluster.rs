@@ -104,10 +104,14 @@ impl PerfConfig {
                 PeerMsg::Propose { .. } => self.propose_service.unwrap_or(self.write_service),
                 PeerMsg::CatchupReq { .. }
                 | PeerMsg::CatchupRecords { .. }
-                | PeerMsg::Split { .. } => self.catchup_service,
+                | PeerMsg::Split { .. }
+                | PeerMsg::JoinRange { .. }
+                | PeerMsg::Merge { .. } => self.catchup_service,
                 _ => self.peer_service,
             },
-            NodeInput::SplitRange { .. } => self.catchup_service,
+            NodeInput::SplitRange { .. }
+            | NodeInput::MoveReplica { .. }
+            | NodeInput::MergeRanges { .. } => self.catchup_service,
             _ => 0,
         }
     }
@@ -516,6 +520,30 @@ impl SimCluster {
                 Ev::Input(NodeInput::SplitRange { range, at: at_key.clone() }),
             );
         }
+    }
+
+    /// Ask for `range`'s replica on node `from` to move to node `to`
+    /// (snapshot + log-tail handoff, CAS cohort swap). The request is
+    /// broadcast at time `at`; only the range's current leader acts.
+    pub fn move_replica(&mut self, at: Time, range: RangeId, from: NodeId, to: NodeId) {
+        for node in 0..self.cfg.nodes as ProcId {
+            self.sim.schedule(at, node, Ev::Input(NodeInput::MoveReplica { range, from, to }));
+        }
+    }
+
+    /// Ask for the adjacent, same-cohort ranges `left` and `right` to be
+    /// merged back into one. The request is broadcast at time `at`; only
+    /// the left range's current leader acts.
+    pub fn merge_ranges(&mut self, at: Time, left: RangeId, right: RangeId) {
+        for node in 0..self.cfg.nodes as ProcId {
+            self.sim.schedule(at, node, Ev::Input(NodeInput::MergeRanges { left, right }));
+        }
+    }
+
+    /// A crash-consistent clone of node `id`'s filesystem (tests:
+    /// store-directory GC assertions).
+    pub fn node_vfs(&self, id: NodeId) -> MemVfs {
+        self.hosts[id as usize].borrow().vfs.clone()
     }
 
     /// The current (possibly split) range table, as published in the

@@ -86,6 +86,17 @@ impl CoordClient {
         Ok(())
     }
 
+    /// Delete a node and everything under it (garbage collection of a
+    /// dissolved range's `/r{N}` subtree).
+    pub fn delete_recursive(&self, path: &str) -> CoordResult<()> {
+        let d = {
+            let mut svc = self.svc.borrow_mut();
+            svc.delete_recursive(self.session, path)?
+        };
+        self.push(d);
+        Ok(())
+    }
+
     /// Read data and stat without watching.
     pub fn get_data(&self, path: &str) -> CoordResult<(Vec<u8>, Stat)> {
         self.svc.borrow_mut().get_data(path, None)

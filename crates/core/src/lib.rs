@@ -23,6 +23,7 @@ pub mod coordcli;
 pub mod messages;
 pub mod node;
 pub mod partition;
+pub mod replica;
 
 pub use client::{ClientStats, Workload};
 pub use cluster::{ClusterConfig, SimCluster};
@@ -31,5 +32,6 @@ pub use messages::{
     Addr, Effect, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, RequestId, TimerKind,
     WriteRequest,
 };
-pub use node::{get_request, put_request, CohortPaths, Node, NodeConfig, Role};
+pub use node::{get_request, put_request, CohortPaths, Node, NodeConfig, ReshardPolicy, Role};
 pub use partition::{key_to_u64, u64_to_key, RangeDef, Ring, REPLICATION, TABLE_PATH};
+pub use replica::RangeReplica;

@@ -9,6 +9,7 @@ use spinnaker_common::{
     CellOp, ColumnName, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Row, Value, Version, WriteOp,
 };
 use spinnaker_coord::WatchEvent;
+use spinnaker_storage::StoreSnapshot;
 
 /// Client-assigned request identifier, echoed in replies.
 pub type RequestId = u64;
@@ -196,6 +197,96 @@ pub enum PeerMsg {
         /// The LSN the follower is caught up to.
         at: Lsn,
     },
+    /// Leader → joining node (cohort movement): attach a replica of
+    /// `range` seeded from this consistent store snapshot, then catch up
+    /// from the leader's log tail. The `/ranges/table` entry already
+    /// carries the in-flight `moving` marker for this handoff.
+    JoinRange {
+        /// The range whose cohort the receiver is joining.
+        range: RangeId,
+        /// Leader's epoch.
+        epoch: Epoch,
+        /// The snapshot is consistent up to this (committed) LSN; it
+        /// becomes the joiner's starting checkpoint and `f.cmt`.
+        at: Lsn,
+        /// Full-store snapshot: SSTable images + memtable rows.
+        snapshot: StoreSnapshot,
+    },
+    /// Leader → cohort (old and new members): the replica movement
+    /// committed in the range table. Receivers refresh their peer sets;
+    /// the departing replica detaches.
+    CohortChange {
+        /// The range whose cohort changed.
+        range: RangeId,
+        /// Leader's epoch.
+        epoch: Epoch,
+        /// The table entry's cohort-change generation after the commit.
+        gen: u64,
+        /// The committed replica set.
+        cohort: Vec<NodeId>,
+        /// The replica that left the cohort.
+        departing: NodeId,
+        /// The replica that joined in its place.
+        joining: NodeId,
+    },
+    /// Merge coordinator (left sibling's leader) → right sibling's
+    /// leader: drain your commit queue and answer [`PeerMsg::MergeReady`].
+    MergeProposal {
+        /// The right sibling (the receiver leads it).
+        range: RangeId,
+        /// The left sibling (the coordinator's range).
+        left: RangeId,
+        /// The coordinator's epoch on the left sibling.
+        epoch: Epoch,
+        /// Attempt token, echoed in [`PeerMsg::MergeReady`] so a stale
+        /// readiness from an aborted attempt can never satisfy a newer
+        /// one.
+        token: u64,
+    },
+    /// Right sibling's leader → merge coordinator: the right sibling's
+    /// commit queue drained at `barrier`; a commit message up to the
+    /// barrier was fanned to the cohort first on the same links.
+    MergeReady {
+        /// The coordinator's range (the left sibling).
+        range: RangeId,
+        /// The right sibling.
+        right: RangeId,
+        /// The right sibling's drained `last_committed`.
+        barrier: Lsn,
+        /// The right sibling leader's epoch.
+        epoch: Epoch,
+        /// The attempt token from the matching [`PeerMsg::MergeProposal`].
+        token: u64,
+    },
+    /// Merge coordinator → right sibling's leader: the merge was
+    /// abandoned (CAS race, timeout); unblock held writes.
+    MergeAbort {
+        /// The right sibling whose barrier is released.
+        range: RangeId,
+        /// The coordinator's epoch on the left sibling.
+        epoch: Epoch,
+    },
+    /// Merge coordinator → cohort: both siblings drained and the merged
+    /// `RangeDef` is already in the table. Receivers apply both commit
+    /// queues up to the barriers, merge their local stores, and join the
+    /// merged cohort.
+    Merge {
+        /// The left sibling (dissolved).
+        range: RangeId,
+        /// The right sibling (dissolved).
+        right: RangeId,
+        /// The merged range both dissolve into.
+        merged: RangeId,
+        /// Coordinator's epoch on the left sibling (stale coordinators
+        /// are rejected).
+        epoch: Epoch,
+        /// The right sibling leader's epoch at its barrier.
+        right_epoch: Epoch,
+        /// The left sibling's barrier LSN.
+        barrier: Lsn,
+        /// The right sibling's barrier LSN.
+        right_barrier: Lsn,
+    },
     /// Leader → followers: the range was split at `split_key` with every
     /// write up to `barrier` committed. The new range table is already in
     /// the coordination service; receivers apply their commit queue up to
@@ -229,6 +320,12 @@ impl PeerMsg {
             | PeerMsg::CatchupReq { range, .. }
             | PeerMsg::CatchupRecords { range, .. }
             | PeerMsg::CaughtUp { range, .. }
+            | PeerMsg::JoinRange { range, .. }
+            | PeerMsg::CohortChange { range, .. }
+            | PeerMsg::MergeProposal { range, .. }
+            | PeerMsg::MergeReady { range, .. }
+            | PeerMsg::MergeAbort { range, .. }
+            | PeerMsg::Merge { range, .. }
             | PeerMsg::Split { range, .. } => *range,
         }
     }
@@ -242,6 +339,9 @@ impl PeerMsg {
                     + fragments.iter().map(|(k, r)| k.len() + r.approx_size()).sum::<usize>()
             }
             PeerMsg::Split { split_key, .. } => 96 + split_key.len(),
+            PeerMsg::JoinRange { snapshot, .. } => 128 + snapshot.approx_size(),
+            PeerMsg::CohortChange { cohort, .. } => 96 + 4 * cohort.len(),
+            PeerMsg::Merge { .. } => 128,
             _ => 64,
         }
     }
@@ -306,6 +406,28 @@ pub enum NodeInput {
         /// First key of the right child (must be strictly inside the
         /// range).
         at: Key,
+    },
+    /// Administrative request: move `range`'s replica from node `from` to
+    /// node `to` (snapshot + log-tail handoff, then a CAS cohort swap).
+    /// Only the range's current leader acts on it, so harnesses may
+    /// broadcast.
+    MoveReplica {
+        /// The range whose cohort changes.
+        range: RangeId,
+        /// The departing replica (must be in the cohort).
+        from: NodeId,
+        /// The joining node (must not be in the cohort).
+        to: NodeId,
+    },
+    /// Administrative request: merge the adjacent ranges `left` and
+    /// `right` (which must share a replica set) back into one. Only the
+    /// left range's current leader acts on it, so harnesses may
+    /// broadcast.
+    MergeRanges {
+        /// The left sibling (its leader coordinates).
+        left: RangeId,
+        /// The right sibling.
+        right: RangeId,
     },
 }
 

@@ -1,29 +1,69 @@
-//! The Spinnaker node: replication protocol (Fig. 4), leader election
-//! (Fig. 7), leader takeover (Fig. 6), and follower recovery (§6.1) for
-//! each cohort the node participates in.
+//! The Spinnaker node: a thin per-node runtime hosting one
+//! [`RangeReplica`] per cohort the node participates in.
+//!
+//! The node owns what is genuinely node-wide — the shared WAL, the
+//! coordination-service session, the routing table, force-token
+//! bookkeeping — plus a `RangeId → RangeReplica` registry with an
+//! explicit **attach/detach lifecycle**. Every per-range protocol
+//! transition (election Fig. 7, takeover Fig. 6, replication Fig. 4,
+//! catch-up §6.1) lives on [`RangeReplica`]; the node routes inputs to
+//! the right replica and performs the cross-replica lifecycle
+//! operations that create and dissolve replicas:
+//!
+//! * **range split** — barrier at a drained commit queue, CAS the table,
+//!   fork the store, attach the children, detach the parent;
+//! * **range merge** — barrier *both* siblings (the left leader
+//!   coordinates, the right leader drains on request), CAS a merged
+//!   `RangeDef`, merge the stores, attach the merged range, detach both;
+//! * **cohort movement** — CAS a `moving` marker, stream a snapshot plus
+//!   the WAL tail to the joining node, wait for its durable catch-up
+//!   ack, CAS the new replica set, detach the departing replica;
+//! * **dissolved-range GC** — after a quiesce period, delete dissolved
+//!   ranges' store directories, WAL streams, and `/r{N}` znodes.
 //!
 //! The node is a sans-IO state machine: it consumes [`NodeInput`]s and
 //! emits [`Effect`]s into an [`Outbox`]. Log *content* is written
 //! synchronously into the embedded [`Wal`]; log *durability* is an
-//! explicit `ForceLog` effect whose completion arrives later, which is how
-//! the hosting runtime (simulator or threads) injects real force latency
-//! and group commit.
+//! explicit `ForceLog` effect whose completion arrives later.
+//!
+//! [`Effect`]: crate::messages::Effect
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::BTreeMap;
 
 use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
-use spinnaker_common::{CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Result, WriteOp};
+use spinnaker_common::{CellOp, Consistency, Key, Lsn, NodeId, RangeId, Result};
 use spinnaker_coord::WatchEvent;
-use spinnaker_storage::{RangeStore, StoreOptions};
+use spinnaker_storage::{RangeStore, StoreOptions, StoreSnapshot};
 use spinnaker_wal::{LogRecord, Wal, WalOptions};
 
-use crate::commit_queue::{CommitQueue, PendingWrite};
 use crate::coordcli::CoordClient;
 use crate::messages::{
     Addr, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, TimerKind, WriteRequest,
 };
 use crate::partition::{RangeDef, Ring, TABLE_PATH};
+use crate::replica::{
+    parse_node, FollowUp, ForceTracker, Merging, MoveState, RangeReplica, ReshardAdvice, Runtime,
+    Waiter,
+};
+
+pub use crate::replica::Role;
+
+/// Thresholds for automatic split/merge decisions, sampled on the
+/// maintenance tick from per-range load (ops/sec) and size (store bytes)
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct ReshardPolicy {
+    /// Split a range whose leader serves more than this many ops/sec.
+    pub split_ops_per_sec: f64,
+    /// Split a range whose store exceeds this many bytes.
+    pub split_bytes: u64,
+    /// Merge a range (with its right neighbour) when both run below this
+    /// many ops/sec...
+    pub merge_ops_per_sec: f64,
+    /// ...and both stores are smaller than this many bytes.
+    pub merge_bytes: u64,
+}
 
 /// Node tuning knobs.
 #[derive(Clone, Debug)]
@@ -44,6 +84,19 @@ pub struct NodeConfig {
     /// measured system, whose recovery time scales with the commit
     /// period — Table 1).
     pub piggyback_commits: bool,
+    /// Automatic split/merge triggers from load + size statistics.
+    /// `None` (the default) leaves resharding to administrative RPCs.
+    pub reshard: Option<ReshardPolicy>,
+    /// Abort a cohort movement whose joining node has not confirmed
+    /// durable catch-up within this long.
+    pub move_timeout: u64,
+    /// Abort a range merge whose barriers have not both drained within
+    /// this long.
+    pub merge_timeout: u64,
+    /// How long a dissolved range (split parent, merged sibling,
+    /// departed replica) rests before its store directory, WAL stream,
+    /// and `/r{N}` znodes are garbage collected.
+    pub gc_quiesce: u64,
 }
 
 impl Default for NodeConfig {
@@ -55,71 +108,12 @@ impl Default for NodeConfig {
             maintenance_interval: 250_000_000,
             memtable_flush_bytes: 8 << 20,
             piggyback_commits: false,
+            reshard: None,
+            move_timeout: 10_000_000_000,
+            merge_timeout: 10_000_000_000,
+            gc_quiesce: 5_000_000_000,
         }
     }
-}
-
-/// Role of this replica within one cohort.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Role {
-    /// Not participating (crashed or before `Start`).
-    Offline,
-    /// Running leader election (Fig. 7).
-    Electing,
-    /// Synchronizing with the leader (§6.1 catch-up phase).
-    CatchingUp,
-    /// Serving as follower.
-    Follower,
-    /// Won the election; executing leader takeover (Fig. 6).
-    LeaderTakeover,
-    /// Serving as leader: open for reads and writes.
-    Leader,
-}
-
-/// Why a force was requested; resolved on `LogForced`.
-enum Waiter {
-    /// Leader's own force of a proposed write.
-    LeaderWrite { range: RangeId, lsn: Lsn },
-    /// Follower's force of a propose; ack the leader when durable.
-    FollowerWrite { range: RangeId, lsn: Lsn, leader: NodeId },
-    /// Catch-up records were appended; confirm `CaughtUp` when durable.
-    CatchupDone { range: RangeId, up_to: Lsn, leader: NodeId },
-}
-
-struct Takeover {
-    caught_up: HashSet<NodeId>,
-    /// Unresolved writes `(l.cmt, l.lst]` re-proposed one at a time via
-    /// the normal replication protocol (Fig. 6 line 9).
-    repropose: VecDeque<(Lsn, WriteOp)>,
-    reproposing: bool,
-}
-
-struct Cohort {
-    peers: Vec<NodeId>,
-    store: RangeStore,
-    cq: CommitQueue,
-    role: Role,
-    epoch: Epoch,
-    leader: Option<NodeId>,
-    /// Leader: sequence number of the last assigned LSN.
-    last_assigned: Lsn,
-    last_committed: Lsn,
-    /// Last commit-note LSN logged (so idle periods log nothing new).
-    last_note: Lsn,
-    candidate_path: Option<String>,
-    takeover: Option<Takeover>,
-    /// Client writes buffered while takeover runs (or while a split
-    /// drains the commit queue toward its barrier).
-    blocked_writes: Vec<(Addr, WriteRequest)>,
-    /// Leader only: a split at this key is waiting for the commit queue
-    /// to drain; once it is empty the split executes at the barrier LSN.
-    splitting: Option<Key>,
-    /// Key bounds this cohort covers, captured at creation. The table may
-    /// move further (chained splits) while we lag; the span bounds which
-    /// current ranges can legitimately be derived from this cohort's
-    /// local state — claiming a watermark for data we never held would
-    /// let an election elect a leader missing committed writes.
-    span: (Key, Option<Key>),
 }
 
 /// Coordination-service paths of one cohort ("information needed for
@@ -155,18 +149,56 @@ impl CohortPaths {
     }
 }
 
+/// How this node relates to a range in the current table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ServeStatus {
+    /// In the table and we are a cohort member.
+    Member,
+    /// In the table; we are the joining learner of an in-flight move.
+    MoveTarget,
+    /// In the table but we are neither member nor move target.
+    NotMember,
+    /// No longer in the table (split or merged away).
+    Gone,
+}
+
+/// A range whose local state awaits garbage collection after a quiesce
+/// period.
+struct Dissolved {
+    range: RangeId,
+    at: u64,
+    /// Also delete the `/r{N}` znode subtree (true for ranges removed
+    /// from the table; false for a replica that merely departed this
+    /// node — the range lives on elsewhere).
+    gc_znodes: bool,
+}
+
+/// Constructs the split borrow of node-wide facilities that replica
+/// methods run against.
+macro_rules! runtime {
+    ($node:expr) => {
+        Runtime {
+            id: $node.id,
+            cfg: &$node.cfg,
+            ring: &$node.ring,
+            wal: &mut $node.wal,
+            coord: &$node.coord,
+            forces: &mut $node.forces,
+        }
+    };
+}
+
 /// The Spinnaker node.
 pub struct Node {
     id: NodeId,
     ring: Ring,
     cfg: NodeConfig,
+    vfs: SharedVfs,
     wal: Wal,
     coord: CoordClient,
-    cohorts: BTreeMap<RangeId, Cohort>,
-    waiters: HashMap<u64, Waiter>,
-    next_token: u64,
-    /// Bytes appended to the log since the last force request.
-    unforced_bytes: u64,
+    replicas: BTreeMap<RangeId, RangeReplica>,
+    forces: ForceTracker,
+    dissolved: Vec<Dissolved>,
     started: bool,
 }
 
@@ -183,16 +215,16 @@ impl Node {
         coord: CoordClient,
     ) -> Result<Node> {
         let mut wal = Wal::open(vfs.clone(), WalOptions::default())?;
-        let mut cohorts = BTreeMap::new();
+        let mut replicas = BTreeMap::new();
         for range in ring.ranges_of(id) {
             let mut store = RangeStore::open(vfs.clone(), store_options(range, &cfg))?;
             let st = wal.state(range);
             let mut last_committed = st.last_committed;
             // A child range with no local state at all: this node crashed
-            // between the split's metadata update and its local store fork
-            // (or missed the split entirely). Rebuild the child from the
-            // parent's surviving local state where possible; otherwise the
-            // child starts empty and cohort catch-up fills it in.
+            // between the split's metadata update and its local store
+            // fork (or missed the split entirely). Rebuild the child from
+            // the parent's surviving local state where possible;
+            // otherwise the child starts empty and catch-up fills it in.
             let fresh = wal.checkpoint(range).is_zero()
                 && st.last_lsn.is_zero()
                 && store.table_count() == 0
@@ -211,43 +243,54 @@ impl Node {
                 .def(range)
                 .map(|d| (d.start.clone(), d.end.clone()))
                 .unwrap_or((Key::default(), None));
-            let mut cohort = Cohort {
-                peers: ring.cohort(range).into_iter().filter(|&n| n != id).collect(),
-                store,
-                cq: CommitQueue::new(),
-                role: Role::Offline,
-                epoch: 0,
-                leader: None,
-                last_assigned: Lsn::ZERO,
-                last_committed: Lsn::ZERO,
-                last_note: Lsn::ZERO,
-                candidate_path: None,
-                takeover: None,
-                blocked_writes: Vec::new(),
-                splitting: None,
-                span,
-            };
+            let peers = ring.cohort(range).into_iter().filter(|&n| n != id).collect();
+            let mut rep = RangeReplica::new(range, store, peers, span);
             // Idempotent replay of committed records (checkpoint, f.cmt].
-            let mut replayed = 0usize;
             wal.replay(range, wal.checkpoint(range), st.last_committed, |lsn, op| {
-                cohort.store.apply(op, lsn);
-                replayed += 1;
+                rep.store.apply(op, lsn);
             })?;
-            cohort.last_committed = last_committed;
-            cohort.last_note = last_committed;
-            cohort.epoch = st.last_lsn.epoch();
-            cohorts.insert(range, cohort);
+            rep.last_committed = last_committed;
+            rep.last_note = last_committed;
+            rep.epoch = st.last_lsn.epoch();
+            replicas.insert(range, rep);
+        }
+        // Leftovers from dissolutions interrupted by a restart: the
+        // in-memory GC bookkeeping does not survive a crash, so any
+        // store directory for a range this node no longer serves
+        // re-enters the quiesced GC pipeline here. (Parent stores a
+        // split child just bootstrapped from are done being read.)
+        let mut dissolved = Vec::new();
+        if let Ok(files) = vfs.list("store-r") {
+            let mut seen = std::collections::BTreeSet::new();
+            for f in &files {
+                if let Some(rest) = f.strip_prefix("store-r") {
+                    if let Some(slash) = rest.find('/') {
+                        if let Ok(n) = rest[..slash].parse::<u32>() {
+                            seen.insert(RangeId(n));
+                        }
+                    }
+                }
+            }
+            for range in seen {
+                if !replicas.contains_key(&range) {
+                    dissolved.push(Dissolved {
+                        range,
+                        at: 0,
+                        gc_znodes: ring.def(range).is_none(),
+                    });
+                }
+            }
         }
         Ok(Node {
             id,
             ring,
             cfg,
+            vfs,
             wal,
             coord,
-            cohorts,
-            waiters: HashMap::new(),
-            next_token: 1,
-            unforced_bytes: 0,
+            replicas,
+            forces: ForceTracker::new(),
+            dissolved,
             started: false,
         })
     }
@@ -259,7 +302,7 @@ impl Node {
 
     /// Current role for a range (diagnostics, tests, harnesses).
     pub fn role(&self, range: RangeId) -> Role {
-        self.cohorts.get(&range).map_or(Role::Offline, |c| c.role)
+        self.replicas.get(&range).map_or(Role::Offline, |r| r.role)
     }
 
     /// The range table this node currently routes with.
@@ -267,24 +310,24 @@ impl Node {
         &self.ring
     }
 
-    /// The ranges this node currently serves (its live cohorts).
+    /// The ranges this node currently serves (its attached replicas).
     pub fn served_ranges(&self) -> Vec<RangeId> {
-        self.cohorts.keys().copied().collect()
+        self.replicas.keys().copied().collect()
     }
 
     /// The leader this node believes serves `range`.
     pub fn leader_of(&self, range: RangeId) -> Option<NodeId> {
-        self.cohorts.get(&range).and_then(|c| c.leader)
+        self.replicas.get(&range).and_then(|r| r.leader)
     }
 
     /// Current epoch of a cohort.
-    pub fn epoch_of(&self, range: RangeId) -> Epoch {
-        self.cohorts.get(&range).map_or(0, |c| c.epoch)
+    pub fn epoch_of(&self, range: RangeId) -> spinnaker_common::Epoch {
+        self.replicas.get(&range).map_or(0, |r| r.epoch)
     }
 
     /// Last committed LSN of a cohort (`f.cmt` / `l.cmt`).
     pub fn last_committed(&self, range: RangeId) -> Lsn {
-        self.cohorts.get(&range).map_or(Lsn::ZERO, |c| c.last_committed)
+        self.replicas.get(&range).map_or(Lsn::ZERO, |r| r.last_committed)
     }
 
     /// Last LSN in this node's log for a cohort (`f.lst` / `l.lst`).
@@ -292,9 +335,9 @@ impl Node {
         self.wal.state(range).last_lsn
     }
 
-    /// Direct (test) access to a cohort's store.
+    /// Direct (test) access to a replica's store.
     pub fn store(&self, range: RangeId) -> Option<&RangeStore> {
-        self.cohorts.get(&range).map(|c| &c.store)
+        self.replicas.get(&range).map(|r| &r.store)
     }
 
     /// Access the node's WAL (tests, harness checkpoints).
@@ -317,6 +360,10 @@ impl Node {
             NodeInput::Timer(kind) => self.on_timer(now, kind, out),
             NodeInput::Coord(ev) => self.on_coord_event(now, ev, out),
             NodeInput::SplitRange { range, at } => self.on_split_request(now, range, at, out),
+            NodeInput::MoveReplica { range, from, to } => {
+                self.on_move_request(now, range, from, to, out)
+            }
+            NodeInput::MergeRanges { left, right } => self.on_merge_request(now, left, right, out),
         }
     }
 
@@ -328,12 +375,11 @@ impl Node {
         out.set_timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval);
         out.set_timer(TimerKind::CommitPeriod, self.cfg.commit_period);
         out.set_timer(TimerKind::Maintenance, self.cfg.maintenance_interval);
-        // Watch the shared range table so splits performed elsewhere
-        // re-route us — and *adopt* it if it is already newer than the
-        // one we were constructed with (the gone-range handling in
-        // `join_cohort` then forks any cohort the table dissolved). Fall
-        // back to an exists-watch when the deployment never published a
-        // table (unit harnesses).
+        // Watch the shared range table so splits/merges/moves performed
+        // elsewhere re-route us — and *adopt* it if it is already newer
+        // than the one we were constructed with. Fall back to an
+        // exists-watch when the deployment never published a table (unit
+        // harnesses).
         match self.coord.get_data_watch(TABLE_PATH) {
             Ok(data) => {
                 if let Ok(t) = Ring::decode(&mut data.as_slice()) {
@@ -346,21 +392,41 @@ impl Node {
                 let _ = self.coord.exists_watch(TABLE_PATH);
             }
         }
-        let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
+        let ranges: Vec<RangeId> = self.replicas.keys().copied().collect();
         for range in ranges {
             self.join_cohort(now, range, out);
+        }
+    }
+
+    /// How this node relates to `range` under the current table.
+    fn serve_status(&self, range: RangeId) -> ServeStatus {
+        match self.ring.def(range) {
+            None => ServeStatus::Gone,
+            Some(def) if def.cohort.contains(&self.id) => ServeStatus::Member,
+            Some(def) if def.moving.is_some_and(|(_, to)| to == self.id) => ServeStatus::MoveTarget,
+            Some(_) => ServeStatus::NotMember,
         }
     }
 
     /// On startup (or rejoin): if the cohort already has a leader, go
     /// straight to catch-up as a follower; otherwise run election.
     fn join_cohort(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
-        // A range the table no longer contains must not be joined (its
-        // leader znode, if any, is a leftover): fork it instead.
-        if self.ring.def(range).is_none() {
-            self.local_split_from_table(now, range, out);
-            return;
+        match self.serve_status(range) {
+            // A range the table no longer contains must not be joined
+            // (its leader znode, if any, is a leftover): reconcile it
+            // against the table instead.
+            ServeStatus::Gone => {
+                self.reconcile_gone_ranges(now, vec![range], out);
+                return;
+            }
+            // Not ours (any more): a departed replica's leftovers.
+            ServeStatus::NotMember => {
+                self.retire_replica(now, range, false, out);
+                return;
+            }
+            ServeStatus::Member | ServeStatus::MoveTarget => {}
         }
+        let is_member = self.serve_status(range) == ServeStatus::Member;
         let paths = CohortPaths::new(range);
         self.coord.ensure_path(&paths.base);
         self.coord.ensure_path(&paths.candidates);
@@ -369,243 +435,57 @@ impl Node {
                 let leader: NodeId = parse_node(&data);
                 if leader == self.id {
                     // A stale leader znode from our previous incarnation;
-                    // our old session must have expired for us to be here.
-                    self.start_election(now, range, out);
+                    // our old session must have expired for us to be
+                    // here.
+                    self.try_start_election(now, range, out);
                 } else {
-                    self.become_follower(range, leader, out);
-                }
-            }
-            Err(_) => self.start_election(now, range, out),
-        }
-    }
-
-    // =================================================================
-    // leader election (Fig. 7)
-    // =================================================================
-
-    fn start_election(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
-        // A range that vanished from the table cannot be led again: its
-        // split is authoritative even if we never saw the leader's Split
-        // message (it died mid-fanout). Fork locally instead of electing.
-        if self.ring.def(range).is_none() {
-            self.local_split_from_table(now, range, out);
-            return;
-        }
-        let paths = CohortPaths::new(range);
-        {
-            let cohort = self.cohorts.get_mut(&range).expect("own range");
-            cohort.role = Role::Electing;
-            cohort.leader = None;
-            cohort.takeover = None;
-            // Fig. 7 line 1: clean up our state from a previous round.
-            if let Some(old) = cohort.candidate_path.take() {
-                let _ = self.coord.delete(&old);
-            }
-        }
-        // Fig. 7 line 4: advertise n.lst in a sequential ephemeral znode.
-        let lst = self.wal.state(range).last_lsn;
-        let data = format!("{}:{}", self.id, lst.as_u64());
-        match self
-            .coord
-            .create_ephemeral_sequential(&format!("{}/c-", paths.candidates), data.into_bytes())
-        {
-            Ok(path) => {
-                self.cohorts.get_mut(&range).expect("own range").candidate_path = Some(path);
-            }
-            Err(_) => {
-                // Session trouble; retry via the election timer.
-            }
-        }
-        out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
-        self.check_election(range, out);
-    }
-
-    /// Fig. 7 lines 5-12: wait for a majority of candidates, deterministic
-    /// winner = max `n.lst`, znode sequence number breaking ties.
-    fn check_election(&mut self, range: RangeId, out: &mut Outbox) {
-        let paths = CohortPaths::new(range);
-        if self.cohorts[&range].role != Role::Electing {
-            return;
-        }
-        let Ok(children) = self.coord.get_children_watch(&paths.candidates) else {
-            return;
-        };
-        // Candidate entries: (lst desc, seq asc) per node id (a node may
-        // briefly have a stale entry from an earlier round; keep its best).
-        let mut best: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new(); // node -> (lst, seq)
-        for child in &children {
-            let full = format!("{}/{child}", paths.candidates);
-            let Ok((data, stat)) = self.coord.get_data(&full) else { continue };
-            let Some((node, lst)) = parse_candidate(&data) else { continue };
-            let seq = stat.sequence.unwrap_or(u64::MAX);
-            let entry = best.entry(node).or_insert((lst, seq));
-            if lst > entry.0 || (lst == entry.0 && seq < entry.1) {
-                *entry = (lst, seq);
-            }
-        }
-        let majority = self.ring.replication() / 2 + 1;
-        if best.len() < majority {
-            return; // keep waiting; the child watch will wake us
-        }
-        // Winner: max lst (the safety requirement — the leader must hold
-        // every committed write, §7.2). Ties carry no safety constraint;
-        // prefer the range's *home* node so the initial election realizes
-        // the balanced one-leader-per-node layout of Fig. 2, falling back
-        // to the znode sequence number as the paper specifies.
-        let home = self.ring.home_node(range);
-        let max_lst = best.values().map(|&(lst, _)| lst).max().expect("non-empty");
-        let winner = best
-            .iter()
-            .filter(|(_, (lst, _))| *lst == max_lst)
-            .min_by_key(|(&node, (_, seq))| (node != home, *seq))
-            .map(|(&node, _)| node)
-            .expect("non-empty");
-        if winner == self.id {
-            // Fig. 7 lines 7-9.
-            match self.coord.create_ephemeral(&paths.leader, self.id.to_string().into_bytes()) {
-                Ok(()) => self.begin_takeover(range, out),
-                Err(_) => {
-                    // Someone beat us to it; learn them.
-                    if let Ok(data) = self.coord.get_data_watch(&paths.leader) {
-                        let leader = parse_node(&data);
-                        if leader != self.id {
-                            self.become_follower(range, leader, out);
-                        }
+                    let mut rt = runtime!(self);
+                    if let Some(rep) = self.replicas.get_mut(&range) {
+                        rep.become_follower(&mut rt, leader, out);
                     }
                 }
             }
-        } else {
-            // Fig. 7 line 11: learn the new leader (it may not have written
-            // /r/leader yet; the exists-watch wakes us when it does).
-            match self.coord.get_data_watch(&paths.leader) {
-                Ok(data) => {
-                    let leader = parse_node(&data);
-                    self.become_follower(range, leader, out);
+            Err(_) => {
+                if is_member {
+                    self.try_start_election(now, range, out);
                 }
-                Err(_) => {
-                    let _ = self.coord.exists_watch(&paths.leader);
-                }
+                // A move target without a leader znode just waits: the
+                // exists-watch (set by get_data_watch's failure path
+                // below) wakes it when a leader appears.
+                let _ = self.coord.exists_watch(&paths.leader);
             }
         }
     }
 
-    // =================================================================
-    // leader takeover (Fig. 6)
-    // =================================================================
-
-    fn begin_takeover(&mut self, range: RangeId, out: &mut Outbox) {
-        let paths = CohortPaths::new(range);
-        // Bump the epoch in the coordination service before accepting any
-        // new writes (Appendix B: "a new epoch number is stored in
-        // Zookeeper before the leader accepts any new writes").
-        let old_epoch = self.coord.read_epoch(&paths.epoch);
-        let new_epoch = old_epoch + 1;
-        self.coord.write_epoch(&paths.epoch, new_epoch);
-
-        let st = self.wal.state(range);
-        let cohort = self.cohorts.get_mut(&range).expect("own range");
-        cohort.role = Role::LeaderTakeover;
-        cohort.epoch = new_epoch;
-        cohort.leader = Some(self.id);
-        cohort.cq.clear();
-        let l_cmt = cohort.last_committed.max(st.last_committed);
-        let l_lst = st.last_lsn;
-        cohort.last_committed = l_cmt;
-        // Fig. 6 line 9's input: the unresolved writes (l.cmt, l.lst].
-        let repropose: VecDeque<(Lsn, WriteOp)> =
-            self.wal.read_range(range, l_cmt, l_lst).unwrap_or_default().into_iter().collect();
-        cohort.takeover =
-            Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
-        cohort.last_assigned = l_lst;
-        let peers = cohort.peers.clone();
-        let epoch = cohort.epoch;
-        for peer in peers {
-            out.send(peer, PeerMsg::LeaderHello { range, epoch, leader: self.id });
-        }
-        // If we are somehow alone (all peers dead), we must wait: the
-        // cohort stays unavailable until a majority participates. The
-        // election-retry timer keeps us checking.
-        self.maybe_finish_takeover(range, out);
-    }
-
-    fn maybe_finish_takeover(&mut self, range: RangeId, out: &mut Outbox) {
-        let cohort = self.cohorts.get_mut(&range).expect("own range");
-        let Some(t) = cohort.takeover.as_mut() else { return };
-        // Fig. 6 line 8: wait until at least one follower caught up.
-        if t.caught_up.is_empty() {
-            return;
-        }
-        // Fig. 6 line 9: re-propose unresolved writes through the normal
-        // replication protocol, keeping a small pipeline in flight (the
-        // followers' group commit batches the forces).
-        const REPROPOSE_WINDOW: usize = 4;
-        let mut sent_any = false;
-        while cohort.cq.len() < REPROPOSE_WINDOW {
-            let Some((lsn, op)) = t.repropose.pop_front() else { break };
-            t.reproposing = true;
-            let epoch = cohort.epoch;
-            let committed = cohort.last_committed;
-            cohort.cq.insert(PendingWrite {
-                lsn,
-                op: op.clone(),
-                client: None,
-                ackers: HashSet::new(),
-                self_forced: true, // already durable in our log
-            });
-            let peers = cohort.peers.clone();
-            let piggy = if self.cfg.piggyback_commits { committed } else { Lsn::ZERO };
-            for peer in peers {
-                out.send(
-                    peer,
-                    PeerMsg::Propose { range, epoch, lsn, op: op.clone(), committed: piggy },
-                );
+    /// Run an election for `range` after re-validating that the table
+    /// still names us: gone ranges reconcile, departed replicas retire,
+    /// move targets wait for the members to elect among themselves.
+    fn try_start_election(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        match self.serve_status(range) {
+            ServeStatus::Gone => self.reconcile_gone_ranges(now, vec![range], out),
+            ServeStatus::NotMember => self.retire_replica(now, range, false, out),
+            ServeStatus::MoveTarget => {
+                // Learners never stand for election — they hold data they
+                // have not been voted responsible for. Wait for the
+                // members' election and relearn the leader via the watch.
+                let paths = CohortPaths::new(range);
+                let _ = self.coord.exists_watch(&paths.leader);
             }
-            sent_any = true;
+            ServeStatus::Member => {
+                let mut rt = runtime!(self);
+                if let Some(rep) = self.replicas.get_mut(&range) {
+                    rep.start_election(&mut rt, out);
+                }
+            }
         }
-        if sent_any || (t.reproposing && !cohort.cq.is_empty()) {
-            return; // in-flight re-proposals have not all committed yet
-        }
-        // Fig. 6 line 10: open the cohort for writes. New LSNs are
-        // (new_epoch, seq) with seq continuing past l.lst, so every new
-        // LSN exceeds every LSN previously used in the cohort (Appendix B).
-        let epoch = cohort.epoch;
-        cohort.takeover = None;
-        cohort.role = Role::Leader;
-        cohort.last_assigned = Lsn::new(epoch, cohort.last_assigned.seq());
-        let blocked = std::mem::take(&mut cohort.blocked_writes);
-        for (from, req) in blocked {
-            self.on_write(0, from, req, out);
-        }
-    }
-
-    // =================================================================
-    // follower paths
-    // =================================================================
-
-    fn become_follower(&mut self, range: RangeId, leader: NodeId, out: &mut Outbox) {
-        let paths = CohortPaths::new(range);
-        let epoch = self.coord.read_epoch(&paths.epoch);
-        let cohort = self.cohorts.get_mut(&range).expect("own range");
-        cohort.role = Role::CatchingUp;
-        cohort.leader = Some(leader);
-        cohort.epoch = cohort.epoch.max(epoch);
-        cohort.cq.clear();
-        // Redirect buffered writes; we are not the leader.
-        for (from, req) in std::mem::take(&mut cohort.blocked_writes) {
-            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(leader) });
-        }
-        let from = cohort.last_committed;
-        let epoch = cohort.epoch;
-        out.send(leader, PeerMsg::CatchupReq { range, epoch, from });
     }
 
     // =================================================================
     // client requests
     // =================================================================
 
-    /// True when the request was routed with a table older than ours — the
-    /// client must refresh before we serve it (its key→range mapping, and
-    /// therefore its leader cache, may be stale after a split).
+    /// True when the request was routed with a table older than ours —
+    /// the client must refresh before we serve it.
     fn stale_routing(&self, ring_version: u64) -> bool {
         ring_version != 0 && ring_version < self.ring.version()
     }
@@ -616,80 +496,12 @@ impl Node {
             return;
         }
         let range = self.ring.range_of(&req.key);
-        let Some(cohort) = self.cohorts.get_mut(&range) else {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+        let mut rt = runtime!(self);
+        let Some(rep) = self.replicas.get_mut(&range) else {
+            out.reply(from, Reply::WrongRange { req: req.req, version: rt.ring.version() });
             return;
         };
-        match cohort.role {
-            Role::Leader if cohort.splitting.is_some() => {
-                // Hold writes while the split drains to its barrier; they
-                // re-dispatch (and re-route) once the fork completes.
-                cohort.blocked_writes.push((from, req));
-                return;
-            }
-            Role::Leader => {}
-            Role::LeaderTakeover => {
-                cohort.blocked_writes.push((from, req));
-                return;
-            }
-            Role::Follower | Role::CatchingUp => {
-                out.reply(from, Reply::NotLeader { req: req.req, hint: cohort.leader });
-                return;
-            }
-            Role::Electing | Role::Offline => {
-                out.reply(from, Reply::Unavailable { req: req.req });
-                return;
-            }
-        }
-        // Conditional check (§5.1) against latest proposed state: pending
-        // writes commit in LSN order, so the newest pending version is the
-        // version the condition must match.
-        if let Some((col, expected)) = &req.condition {
-            let actual = cohort
-                .cq
-                .latest_pending_version(&req.key, col)
-                .or_else(|| {
-                    cohort
-                        .store
-                        .get_column(&req.key, col)
-                        .ok()
-                        .flatten()
-                        .filter(|cv| !cv.tombstone)
-                        .map(|cv| cv.version)
-                })
-                .unwrap_or(0);
-            if actual != *expected {
-                out.reply(from, Reply::VersionMismatch { req: req.req, actual });
-                return;
-            }
-        }
-
-        // Fig. 4: append + force in parallel with propose to followers.
-        let lsn = Lsn::new(cohort.epoch, cohort.last_assigned.seq() + 1);
-        cohort.last_assigned = lsn;
-        let op = WriteOp { key: req.key, cells: req.cells, timestamp: lsn.as_u64() };
-        let rec = LogRecord::write(range, lsn, op.clone());
-        let appended = self.wal.append(&rec);
-        debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
-        self.unforced_bytes += op.approx_size() as u64 + 32;
-        let token = self.next_token;
-        self.next_token += 1;
-        self.waiters.insert(token, Waiter::LeaderWrite { range, lsn });
-        out.force_log(token, std::mem::take(&mut self.unforced_bytes));
-
-        cohort.cq.insert(PendingWrite {
-            lsn,
-            op: op.clone(),
-            client: Some((from, req.req)),
-            ackers: HashSet::new(),
-            self_forced: false,
-        });
-        let epoch = cohort.epoch;
-        let committed = if self.cfg.piggyback_commits { cohort.last_committed } else { Lsn::ZERO };
-        let peers = cohort.peers.clone();
-        for peer in peers {
-            out.send(peer, PeerMsg::Propose { range, epoch, lsn, op: op.clone(), committed });
-        }
+        rep.on_write(&mut rt, from, req, out);
     }
 
     fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
@@ -698,35 +510,11 @@ impl Node {
             return;
         }
         let range = self.ring.range_of(&req.key);
-        let Some(cohort) = self.cohorts.get(&range) else {
+        let Some(rep) = self.replicas.get_mut(&range) else {
             out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
             return;
         };
-        match req.consistency {
-            Consistency::Strong => {
-                // Strongly consistent reads are always routed to the
-                // cohort's leader (§5).
-                if cohort.role != Role::Leader {
-                    out.reply(from, Reply::NotLeader { req: req.req, hint: cohort.leader });
-                    return;
-                }
-            }
-            Consistency::Timeline => {
-                // Any live replica may answer, possibly stale.
-                if cohort.role == Role::Offline {
-                    out.reply(from, Reply::Unavailable { req: req.req });
-                    return;
-                }
-            }
-        }
-        let value = cohort
-            .store
-            .get_column(&req.key, &req.col)
-            .ok()
-            .flatten()
-            .filter(|cv| !cv.tombstone)
-            .map(|cv| (cv.value.clone(), cv.version));
-        out.reply(from, Reply::Value { req: req.req, value });
+        rep.on_read(from, req, out);
     }
 
     // =================================================================
@@ -734,332 +522,399 @@ impl Node {
     // =================================================================
 
     fn on_peer(&mut self, now: u64, from: NodeId, msg: PeerMsg, out: &mut Outbox) {
-        let range = msg.range();
-        if !self.cohorts.contains_key(&range) {
-            return;
-        }
+        // Lifecycle messages attach, detach, or span multiple replicas;
+        // the node handles them with their own guards.
         match msg {
+            PeerMsg::Split { range, epoch, split_key, left, right, barrier } => {
+                if self.replicas.contains_key(&range) {
+                    self.on_split_msg(
+                        now, range, from, epoch, split_key, left, right, barrier, out,
+                    );
+                }
+                return;
+            }
+            PeerMsg::JoinRange { range, epoch, at, snapshot } => {
+                self.on_join_range(now, from, range, epoch, at, &snapshot, out);
+                return;
+            }
+            PeerMsg::CohortChange { range, epoch, cohort, departing, joining, .. } => {
+                self.on_cohort_change(now, range, epoch, cohort, departing, joining, out);
+                return;
+            }
+            PeerMsg::MergeProposal { range, left, epoch, token } => {
+                self.on_merge_proposal(now, from, range, left, epoch, token, out);
+                return;
+            }
+            PeerMsg::MergeReady { range, right, barrier, token, .. } => {
+                self.on_merge_ready(now, range, right, barrier, token, out);
+                return;
+            }
+            PeerMsg::MergeAbort { range, .. } => {
+                self.on_merge_abort(now, range, out);
+                return;
+            }
+            PeerMsg::Merge { range, right, merged, epoch, right_epoch, barrier, right_barrier } => {
+                self.on_merge_msg(
+                    now,
+                    from,
+                    range,
+                    right,
+                    merged,
+                    epoch,
+                    right_epoch,
+                    barrier,
+                    right_barrier,
+                    out,
+                );
+                return;
+            }
+            _ => {}
+        }
+        let range = msg.range();
+        let mut rt = runtime!(self);
+        let Some(rep) = self.replicas.get_mut(&range) else {
+            return;
+        };
+        let fu = match msg {
             PeerMsg::Propose { epoch, lsn, op, committed, .. } => {
-                self.on_propose(range, from, epoch, lsn, op, committed, out)
+                rep.on_propose(&mut rt, from, epoch, lsn, op, committed, out);
+                FollowUp::default()
             }
-            PeerMsg::Ack { epoch, lsn, .. } => self.on_ack(range, from, epoch, lsn, out),
-            PeerMsg::Commit { epoch, lsn, .. } => self.on_commit_msg(range, epoch, lsn),
+            PeerMsg::Ack { epoch, lsn, .. } => rep.on_ack(&mut rt, from, epoch, lsn, out),
+            PeerMsg::Commit { epoch, lsn, .. } => {
+                rep.on_commit_msg(&mut rt, epoch, lsn);
+                FollowUp::default()
+            }
             PeerMsg::LeaderHello { epoch, leader, .. } => {
-                self.on_leader_hello(range, epoch, leader, out)
+                rep.on_leader_hello(&mut rt, epoch, leader, out);
+                FollowUp::default()
             }
-            PeerMsg::CatchupReq { from: f_cmt, .. } => self.on_catchup_req(range, from, f_cmt, out),
+            PeerMsg::CatchupReq { from: f_cmt, .. } => {
+                rep.on_catchup_req(&mut rt, from, f_cmt, out);
+                FollowUp::default()
+            }
             PeerMsg::CatchupRecords { epoch, records, fragments, up_to, .. } => {
-                self.on_catchup_records(now, range, from, epoch, records, fragments, up_to, out)
+                rep.on_catchup_records(&mut rt, from, epoch, records, fragments, up_to, out);
+                FollowUp::default()
             }
-            PeerMsg::CaughtUp { at, .. } => self.on_caught_up(range, from, at, out),
-            PeerMsg::Split { epoch, split_key, left, right, barrier, .. } => {
-                self.on_split_msg(now, range, from, epoch, split_key, left, right, barrier, out)
+            PeerMsg::CaughtUp { .. } => rep.on_caught_up(&mut rt, from, out),
+            // Handled above.
+            PeerMsg::Split { .. }
+            | PeerMsg::JoinRange { .. }
+            | PeerMsg::CohortChange { .. }
+            | PeerMsg::MergeProposal { .. }
+            | PeerMsg::MergeReady { .. }
+            | PeerMsg::MergeAbort { .. }
+            | PeerMsg::Merge { .. } => FollowUp::default(),
+        };
+        self.follow_up(now, range, fu, out);
+    }
+
+    /// Carry out the cross-replica consequences a replica transition
+    /// reported: re-dispatch released writes, execute a drained barrier,
+    /// commit a caught-up cohort move.
+    fn follow_up(&mut self, now: u64, range: RangeId, fu: FollowUp, out: &mut Outbox) {
+        for (from, req) in fu.redispatch {
+            self.on_write(now, from, req, out);
+        }
+        if fu.move_target_caught_up {
+            self.finish_move(now, range, out);
+        }
+        if fu.barrier_ready {
+            let (split, merge_coord_on, handoff) = match self.replicas.get(&range) {
+                Some(rep) => (
+                    rep.splitting.is_some(),
+                    match &rep.merging {
+                        Some(m) if m.coordinator => Some(range),
+                        Some(m) => Some(m.sibling),
+                        None => None,
+                    },
+                    rep.moving.as_ref().is_some_and(|m| m.draining),
+                ),
+                None => (false, None, false),
+            };
+            if split {
+                self.execute_split(now, range, out);
+            } else if let Some(left) = merge_coord_on {
+                self.advance_merge(now, left, out);
+            } else if handoff {
+                self.finish_move(now, range, out);
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn on_propose(
-        &mut self,
-        range: RangeId,
-        from: NodeId,
-        epoch: Epoch,
-        lsn: Lsn,
-        op: WriteOp,
-        committed: Lsn,
-        out: &mut Outbox,
-    ) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if epoch < cohort.epoch {
-            return; // stale leader
+    // =================================================================
+    // force completions & timers
+    // =================================================================
+
+    fn on_forced(&mut self, now: u64, tokens: Vec<u64>, out: &mut Outbox) {
+        // Content-level sync: everything appended so far is durable (the
+        // runtime's disk model decided *when*).
+        let _ = self.wal.sync();
+        for token in tokens {
+            match self.forces.take(token) {
+                Some(Waiter::LeaderWrite { range, lsn }) => {
+                    // The range may have been dissolved between the force
+                    // request and its completion.
+                    let mut rt = runtime!(self);
+                    let fu = match self.replicas.get_mut(&range) {
+                        Some(rep) => rep.on_self_forced(&mut rt, lsn, out),
+                        None => FollowUp::default(),
+                    };
+                    self.follow_up(now, range, fu, out);
+                }
+                Some(Waiter::FollowerWrite { range, lsn, leader }) => {
+                    let epoch = self.replicas.get(&range).map_or(0, |r| r.epoch);
+                    out.send(leader, PeerMsg::Ack { range, epoch, lsn });
+                }
+                Some(Waiter::CatchupDone { range, up_to, leader }) => {
+                    let epoch = self.replicas.get(&range).map_or(0, |r| r.epoch);
+                    out.send(leader, PeerMsg::CaughtUp { range, epoch, at: up_to });
+                }
+                None => {}
+            }
         }
-        if epoch > cohort.epoch {
-            // A leader we have not formally met; adopt it (its authority
-            // comes from the coordination service).
-            cohort.epoch = epoch;
-            cohort.leader = Some(from);
-        }
-        match cohort.role {
-            Role::Follower | Role::CatchingUp => {}
-            Role::Leader | Role::LeaderTakeover => {
-                // We believed we led but a same/higher-epoch leader exists;
-                // epochs only move forward, so epoch == ours means we *are*
-                // the leader talking to ourselves — ignore. Higher epoch:
-                // step down.
-                if epoch > cohort.epoch || from != self.id {
-                    cohort.role = Role::CatchingUp;
-                    cohort.leader = Some(from);
-                } else {
-                    return;
+    }
+
+    fn on_timer(&mut self, now: u64, kind: TimerKind, out: &mut Outbox) {
+        match kind {
+            TimerKind::Heartbeat => {
+                self.coord.heartbeat(now);
+                out.set_timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval);
+            }
+            TimerKind::CommitPeriod => {
+                let ranges: Vec<RangeId> = self.replicas.keys().copied().collect();
+                for range in ranges {
+                    let mut rt = runtime!(self);
+                    if let Some(rep) = self.replicas.get_mut(&range) {
+                        rep.commit_tick(&mut rt, out);
+                    }
+                }
+                out.set_timer(TimerKind::CommitPeriod, self.cfg.commit_period);
+            }
+            TimerKind::ElectionRetry => {
+                let electing: Vec<RangeId> = self
+                    .replicas
+                    .iter()
+                    .filter(|(_, r)| r.role == Role::Electing)
+                    .map(|(&r, _)| r)
+                    .collect();
+                for range in &electing {
+                    // An observer (deferred candidacy after a split) or a
+                    // node whose candidate creation failed upgrades to a
+                    // full candidate; everyone else just re-checks.
+                    if self.replicas[range].candidate_path.is_none() {
+                        self.try_start_election(now, *range, out);
+                    } else {
+                        let mut rt = runtime!(self);
+                        if let Some(rep) = self.replicas.get_mut(range) {
+                            rep.check_election(&mut rt, out);
+                        }
+                    }
+                }
+                if !electing.is_empty() {
+                    out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
                 }
             }
-            Role::Electing | Role::Offline => {
-                // Accept the write anyway: log it so it counts toward our
-                // n.lst; the leader is authoritative.
-                cohort.leader = Some(from);
-                cohort.role = Role::CatchingUp;
+            TimerKind::Maintenance => self.on_maintenance(now, out),
+        }
+    }
+
+    /// The maintenance tick: per-replica flush/compaction + load
+    /// sampling, automatic reshard triggers, move/merge timeouts, stale
+    /// move-marker repair, and dissolved-range GC.
+    fn on_maintenance(&mut self, now: u64, out: &mut Outbox) {
+        let ranges: Vec<RangeId> = self.replicas.keys().copied().collect();
+        let mut advices: Vec<(RangeId, ReshardAdvice)> = Vec::new();
+        for range in ranges {
+            let mut rt = runtime!(self);
+            if let Some(rep) = self.replicas.get_mut(&range) {
+                let advice = rep.maintenance_tick(&mut rt, now);
+                if advice != ReshardAdvice::None {
+                    advices.push((range, advice));
+                }
             }
         }
-        // A duplicate of a propose already in flight (the leader re-sends
-        // pending writes when serving a catch-up): the first copy's force
-        // will generate the ack.
-        if cohort.cq.contains(lsn) {
-            return;
-        }
-        // Run the normal replication protocol even when the record already
-        // sits in our log from the previous epoch (a takeover re-proposal,
-        // Fig. 6 line 9 "commit these using the normal replication
-        // protocol"): append and force again. Re-appending an identical
-        // record is idempotent under replay, and the per-record force is
-        // exactly why cohort recovery time is proportional to the commit
-        // period (Table 1).
-        cohort.cq.insert(PendingWrite {
-            lsn,
-            op: op.clone(),
-            client: None,
-            ackers: HashSet::new(),
-            self_forced: false,
-        });
-        let rec = LogRecord::write(range, lsn, op);
-        let _ = self.wal.append(&rec);
-        self.unforced_bytes += 64;
-        let token = self.next_token;
-        self.next_token += 1;
-        self.waiters.insert(token, Waiter::FollowerWrite { range, lsn, leader: from });
-        out.force_log(token, std::mem::take(&mut self.unforced_bytes));
-        if !committed.is_zero() {
-            self.apply_commit(range, committed);
-        }
-    }
-
-    fn on_ack(&mut self, range: RangeId, from: NodeId, epoch: Epoch, lsn: Lsn, out: &mut Outbox) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if epoch != cohort.epoch || !matches!(cohort.role, Role::Leader | Role::LeaderTakeover) {
-            return;
-        }
-        cohort.cq.ack(lsn, from);
-        self.try_commit_leader(range, out);
-    }
-
-    /// Leader: drain every write that now has its own force + a quorum of
-    /// acks, in LSN order; apply, reply to clients.
-    fn try_commit_leader(&mut self, range: RangeId, out: &mut Outbox) {
-        // The range may have been dissolved by a split between the force
-        // request and its completion.
-        let Some(cohort) = self.cohorts.get_mut(&range) else { return };
-        if !matches!(cohort.role, Role::Leader | Role::LeaderTakeover) {
-            return;
-        }
-        // Majority of 3 = leader + 1 follower ack.
-        let needed_acks = self.ring.replication() / 2;
-        let committed = cohort.cq.drain_committable(cohort.last_committed, needed_acks);
-        if committed.is_empty() {
-            return;
-        }
-        for pw in committed {
-            cohort.store.apply(&pw.op, pw.lsn);
-            cohort.last_committed = pw.lsn;
-            if let Some((addr, req)) = pw.client {
-                out.reply(addr, Reply::WriteOk { req, version: pw.lsn.as_u64() });
+        for (range, advice) in advices {
+            match advice {
+                ReshardAdvice::Split => {
+                    let at = self.replicas.get(&range).and_then(|r| r.store.mid_key());
+                    if let Some(at) = at {
+                        self.on_split_request(now, range, at, out);
+                    }
+                }
+                ReshardAdvice::MergeRight => {
+                    if let Some(right) = self.mergeable_right_sibling(range) {
+                        self.on_merge_request(now, range, right, out);
+                    }
+                }
+                ReshardAdvice::None => {}
             }
         }
-        if self.cohorts[&range].takeover.is_some() {
-            self.maybe_finish_takeover(range, out);
-        }
-        // A pending split whose barrier just drained can now fork.
-        let c = &self.cohorts[&range];
-        if c.splitting.is_some() && c.cq.is_empty() && c.role == Role::Leader {
-            self.execute_split(range, out);
-        }
-    }
 
-    /// Follower: apply the asynchronous commit message (Fig. 4 right).
-    fn on_commit_msg(&mut self, range: RangeId, epoch: Epoch, lsn: Lsn) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if epoch < cohort.epoch || cohort.role != Role::Follower {
-            return;
+        // In-flight reconfiguration upkeep: abort a move whose learner
+        // went silent, a merge whose barriers never drained, and CAS away
+        // a `moving` marker orphaned by a dead predecessor leader.
+        let mut move_aborts = Vec::new();
+        let mut stale_markers = Vec::new();
+        let mut merge_timeouts = Vec::new();
+        for (&range, rep) in &self.replicas {
+            match &rep.moving {
+                Some(m) if now.saturating_sub(m.since) > self.cfg.move_timeout && !m.draining => {
+                    move_aborts.push(range);
+                }
+                Some(_) => {}
+                None => {
+                    if rep.role == Role::Leader
+                        && self.ring.def(range).is_some_and(|d| d.moving.is_some())
+                    {
+                        stale_markers.push(range);
+                    }
+                }
+            }
+            if let Some(m) = &rep.merging {
+                if now.saturating_sub(m.since) > self.cfg.merge_timeout {
+                    merge_timeouts.push((range, m.coordinator));
+                }
+            }
         }
-        self.apply_commit(range, lsn);
-    }
+        for range in move_aborts {
+            self.abort_move(now, range, out);
+        }
+        for range in stale_markers {
+            self.cas_table(|t| t.abort_move(range).is_ok());
+        }
+        for (range, coordinator) in merge_timeouts {
+            if coordinator {
+                self.abort_merge(now, range, out);
+            } else if let Some(rep) = self.replicas.get_mut(&range) {
+                // Subordinate self-release: the coordinator is gone or
+                // wedged; unblock held writes and forget the barrier.
+                rep.merging = None;
+                self.unblock_writes(now, range, out);
+            }
+        }
 
-    fn apply_commit(&mut self, range: RangeId, lsn: Lsn) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if lsn <= cohort.last_committed {
-            return;
-        }
-        for pw in cohort.cq.drain_up_to(lsn) {
-            cohort.store.apply(&pw.op, pw.lsn);
-        }
-        cohort.last_committed = lsn;
-        // Non-forced log write of the last committed LSN (§5).
-        if lsn > cohort.last_note {
-            let _ = self.wal.append(&LogRecord::commit_note(range, lsn));
-            self.unforced_bytes += 24;
-            cohort.last_note = lsn;
-        }
-    }
-
-    fn on_leader_hello(&mut self, range: RangeId, epoch: Epoch, leader: NodeId, out: &mut Outbox) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if epoch < cohort.epoch {
-            return;
-        }
-        if leader == self.id {
-            return;
-        }
-        self.become_follower(range, leader, out);
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        cohort.epoch = cohort.epoch.max(epoch);
-    }
-
-    /// Leader side of catch-up (§6.1 + Fig. 6 lines 3-7).
-    ///
-    /// The paper has the leader "momentarily block new writes to ensure
-    /// that the follower is fully caught up". We achieve the same
-    /// synchronization point without a blocking window (which could
-    /// deadlock when the requesting follower is the only live quorum
-    /// partner): committed history is shipped immediately and every write
-    /// still pending in the commit queue is *re-proposed* to the follower
-    /// over the same FIFO link, so by the time the follower processes the
-    /// catch-up reply it observes a complete, gap-free prefix.
-    fn on_catchup_req(&mut self, range: RangeId, follower: NodeId, f_cmt: Lsn, out: &mut Outbox) {
-        let role = self.cohorts.get(&range).map(|c| c.role);
-        if !matches!(role, Some(Role::Leader | Role::LeaderTakeover)) {
-            return; // not the leader (any more); the follower will re-learn
-        }
-        self.serve_catchup(range, follower, f_cmt, out);
-        // Re-send in-flight proposals so the follower misses nothing.
-        let cohort = self.cohorts.get(&range).expect("checked");
-        let epoch = cohort.epoch;
-        let committed = if self.cfg.piggyback_commits { cohort.last_committed } else { Lsn::ZERO };
-        let pending: Vec<(Lsn, WriteOp)> = cohort
-            .cq
-            .pending_lsns()
-            .into_iter()
-            .filter_map(|lsn| {
-                self.wal
-                    .read_range(range, Lsn::from_u64(lsn.as_u64() - 1), lsn)
-                    .ok()
-                    .and_then(|v| v.into_iter().next())
-            })
+        // Hand-off fallback: a leader znode we still own for a range we
+        // departed means the joining node never claimed (it may have
+        // died). Release it so the members can elect. Split/merge
+        // parents' znodes are deliberately excluded — they stand until
+        // the subtree GC to preserve watch ordering.
+        let stale_leaderships: Vec<RangeId> = self
+            .dissolved
+            .iter()
+            .filter(|d| !d.gc_znodes && !self.replicas.contains_key(&d.range))
+            .map(|d| d.range)
             .collect();
-        for (lsn, op) in pending {
-            out.send(follower, PeerMsg::Propose { range, epoch, lsn, op, committed });
+        for range in stale_leaderships {
+            let paths = CohortPaths::new(range);
+            if let Ok((data, _)) = self.coord.get_data(&paths.leader) {
+                if parse_node(&data) == self.id {
+                    let _ = self.coord.delete(&paths.leader);
+                }
+            }
         }
+
+        self.gc_dissolved(now);
+        out.set_timer(TimerKind::Maintenance, self.cfg.maintenance_interval);
     }
 
-    fn serve_catchup(&mut self, range: RangeId, follower: NodeId, f_cmt: Lsn, out: &mut Outbox) {
-        let cohort = self.cohorts.get(&range).expect("checked");
-        let up_to = cohort.last_committed;
-        let epoch = cohort.epoch;
-        match self.wal.read_range(range, f_cmt, up_to) {
-            Ok(records) => {
-                out.send(
-                    follower,
-                    PeerMsg::CatchupRecords { range, epoch, records, fragments: Vec::new(), up_to },
-                );
-            }
-            Err(_) => {
-                // Log rolled over: serve from SSTables + memtable (§6.1).
-                let fragments = cohort.store.rows_since(f_cmt).unwrap_or_default();
-                out.send(
-                    follower,
-                    PeerMsg::CatchupRecords { range, epoch, records: Vec::new(), fragments, up_to },
-                );
-            }
+    /// The right-hand neighbour of `range` if the pair is merge-eligible
+    /// (adjacent, same replica set, no move in flight, and we replicate
+    /// both sides locally).
+    fn mergeable_right_sibling(&self, range: RangeId) -> Option<RangeId> {
+        let def = self.ring.def(range)?;
+        let end = def.end.as_ref()?;
+        let neighbour = self.ring.defs().find(|d| &d.start == end)?;
+        let mut a = def.cohort.clone();
+        let mut b = neighbour.cohort.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        if a != b || def.moving.is_some() || neighbour.moving.is_some() {
+            return None;
         }
+        self.replicas.contains_key(&neighbour.id).then_some(neighbour.id)
     }
 
-    /// Follower side of catch-up completion: ingest, **logically
-    /// truncate** orphaned records (§6.1.1), confirm.
-    #[allow(clippy::too_many_arguments)]
-    fn on_catchup_records(
-        &mut self,
-        _now: u64,
-        range: RangeId,
-        leader: NodeId,
-        epoch: Epoch,
-        records: Vec<(Lsn, WriteOp)>,
-        fragments: Vec<(Key, spinnaker_common::Row)>,
-        up_to: Lsn,
-        out: &mut Outbox,
-    ) {
-        let st = self.wal.state(range);
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        if epoch < cohort.epoch || cohort.role != Role::CatchingUp {
-            return;
+    /// Read-modify-CAS the shared range table; adopts the new table on
+    /// success and returns it. `mutate` returns false to abandon.
+    fn cas_table(&mut self, mutate: impl FnOnce(&mut Ring) -> bool) -> Option<Ring> {
+        let (data, stat) = self.coord.get_data(TABLE_PATH).ok()?;
+        let mut t = Ring::decode(&mut data.as_slice()).ok()?;
+        if !mutate(&mut t) {
+            return None;
         }
-        cohort.epoch = epoch;
-        let f_cmt = cohort.last_committed;
-
-        // Which of our own records beyond f.cmt does the leader's history
-        // confirm? Anything else in (f.cmt, up_to] was discarded by a
-        // previous leader change and must never replay: logical truncation.
-        let own: Vec<Lsn> = self
-            .wal
-            .read_range(range, f_cmt, st.last_lsn)
-            .map(|v| v.into_iter().map(|(l, _)| l).collect())
-            .unwrap_or_default();
-        let received: HashSet<Lsn> = records.iter().map(|(l, _)| *l).collect();
-        let to_truncate: Vec<Lsn> =
-            own.iter().copied().filter(|l| *l <= up_to && !received.contains(l)).collect();
-        if !to_truncate.is_empty() {
-            let _ = self.wal.truncate_logically(range, &to_truncate);
-        }
-
-        // Append records we do not have, apply everything in LSN order.
-        let mut appended = false;
-        for (lsn, op) in &records {
-            if !own.contains(lsn) {
-                let _ = self.wal.append(&LogRecord::write(range, *lsn, op.clone()));
-                self.unforced_bytes += op.approx_size() as u64 + 32;
-                appended = true;
-            }
-            cohort.store.apply(op, *lsn);
-        }
-        if !fragments.is_empty() {
-            for (key, frag) in &fragments {
-                cohort.store.ingest_fragment(key, frag);
-            }
-            // SSTable-based catch-up: make it durable by flushing and
-            // advancing the checkpoint (the shipped rows exist in the
-            // leader's SSTables, not as replayable log records).
-            if let Ok(Some(flushed)) = cohort.store.flush() {
-                let _ = self.wal.set_checkpoint(range, flushed.max(up_to));
-            } else {
-                let _ = self.wal.set_checkpoint(range, up_to);
-            }
-        }
-        cohort.last_committed = up_to.max(cohort.last_committed);
-        if up_to > cohort.last_note {
-            let _ = self.wal.append(&LogRecord::commit_note(range, up_to));
-            cohort.last_note = up_to;
-            appended = true;
-        }
-        cohort.role = Role::Follower;
-
-        if appended {
-            let token = self.next_token;
-            self.next_token += 1;
-            self.waiters.insert(token, Waiter::CatchupDone { range, up_to, leader });
-            out.force_log(token, std::mem::take(&mut self.unforced_bytes));
-        } else {
-            let epoch = cohort.epoch;
-            out.send(leader, PeerMsg::CaughtUp { range, epoch, at: up_to });
-        }
+        self.coord.set_data_cas(TABLE_PATH, t.encode_to_vec(), stat.version).ok()?;
+        self.ring = t.clone();
+        Some(t)
     }
 
-    fn on_caught_up(&mut self, range: RangeId, follower: NodeId, _at: Lsn, out: &mut Outbox) {
-        let cohort = self.cohorts.get_mut(&range).expect("checked");
-        let in_takeover = match cohort.takeover.as_mut() {
-            Some(t) => {
-                t.caught_up.insert(follower);
-                true
-            }
-            None => false,
+    // =================================================================
+    // attach/detach lifecycle
+    // =================================================================
+
+    /// Attach a replica to the registry (it joins its cohort separately).
+    fn attach_replica(&mut self, rep: RangeReplica) {
+        self.replicas.insert(rep.range, rep);
+    }
+
+    /// Release and re-dispatch a replica's buffered writes: they
+    /// re-route under the current table (abort paths of splits, merges,
+    /// and moves).
+    fn unblock_writes(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        let blocked = match self.replicas.get_mut(&range) {
+            Some(rep) => std::mem::take(&mut rep.blocked_writes),
+            None => return,
         };
-        if in_takeover {
-            self.maybe_finish_takeover(range, out);
+        for (from, req) in blocked {
+            self.on_write(now, from, req, out);
+        }
+    }
+
+    /// Detach `range`'s replica: answer its buffered writes with
+    /// `WrongRange` (the client refreshes and re-routes), drop its
+    /// candidate znode, and queue its local state for quiesced GC.
+    fn retire_replica(&mut self, now: u64, range: RangeId, gc_znodes: bool, out: &mut Outbox) {
+        let Some(rep) = self.replicas.remove(&range) else { return };
+        for (from, req) in rep.blocked_writes {
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+        }
+        if let Some(path) = rep.candidate_path {
+            let _ = self.coord.delete(&path);
+        }
+        self.dissolved.push(Dissolved { range, at: now, gc_znodes });
+    }
+
+    /// Quiesced garbage collection of dissolved ranges: store directory,
+    /// WAL stream, and (for ranges gone from the table) the `/r{N}`
+    /// znode subtree.
+    fn gc_dissolved(&mut self, now: u64) {
+        let quiesce = self.cfg.gc_quiesce;
+        let due: Vec<Dissolved> = {
+            let (due, rest) = std::mem::take(&mut self.dissolved)
+                .into_iter()
+                .partition(|d| now.saturating_sub(d.at) >= quiesce);
+            self.dissolved = rest;
+            due
+        };
+        for d in due {
+            // Re-attached meanwhile (e.g. the replica moved back): spare.
+            if self.replicas.contains_key(&d.range) {
+                continue;
+            }
+            // Never GC the znodes of a range the table still serves.
+            if d.gc_znodes && self.ring.def(d.range).is_some() {
+                continue;
+            }
+            if let Ok(files) = self.vfs.list(&format!("store-r{}/", d.range.0)) {
+                for f in files {
+                    let _ = self.vfs.delete(&f);
+                }
+            }
+            let _ = self.wal.retire_stream(d.range);
+            if d.gc_znodes {
+                let _ = self.coord.delete_recursive(&CohortPaths::new(d.range).base);
+            }
         }
     }
 
@@ -1068,63 +923,63 @@ impl Node {
     // =================================================================
 
     /// Administrative entry point: the range's leader accepts the split,
-    /// stops admitting new writes, and waits for the commit queue to drain
-    /// — its `last_committed` at that point is the **barrier LSN**. Every
-    /// other node (and a leader with an invalid split key) ignores the
-    /// request, so harnesses may broadcast it.
-    fn on_split_request(&mut self, _now: u64, range: RangeId, at: Key, out: &mut Outbox) {
+    /// stops admitting new writes, and waits for the commit queue to
+    /// drain — its `last_committed` at that point is the **barrier LSN**.
+    /// Every other node (and a leader with an invalid split key) ignores
+    /// the request, so harnesses may broadcast it.
+    fn on_split_request(&mut self, now: u64, range: RangeId, at: Key, out: &mut Outbox) {
         let inside = match self.ring.def(range) {
             Some(def) => {
-                def.start.as_bytes() < at.as_bytes()
+                def.moving.is_none()
+                    && def.start.as_bytes() < at.as_bytes()
                     && def.end.as_ref().is_none_or(|e| at.as_bytes() < e.as_bytes())
             }
             None => false,
         };
-        let Some(cohort) = self.cohorts.get_mut(&range) else { return };
-        if !inside || cohort.role != Role::Leader || cohort.splitting.is_some() {
+        let Some(rep) = self.replicas.get_mut(&range) else { return };
+        if !inside || rep.role != Role::Leader || rep.barrier_pending() || rep.moving.is_some() {
             return;
         }
-        cohort.splitting = Some(at);
-        if cohort.cq.is_empty() {
-            self.execute_split(range, out);
+        rep.splitting = Some(at);
+        if rep.cq.is_empty() {
+            self.execute_split(now, range, out);
         }
     }
 
-    /// The barrier has drained: perform the split. The authoritative range
-    /// table in the coordination service is updated first (conditional on
-    /// its version, so a racing update aborts us cleanly); only then is the
-    /// local store forked and the cohort dissolved into the two children.
-    /// The left child keeps this leader under a bumped epoch; the right
-    /// child runs a fresh election whose tie-break prefers the *next*
-    /// cohort member, moving half the hot range's load to another node.
-    fn execute_split(&mut self, range: RangeId, out: &mut Outbox) {
-        let Some(at) = self.cohorts.get_mut(&range).and_then(|c| c.splitting.take()) else {
+    /// The barrier has drained: perform the split. The authoritative
+    /// range table in the coordination service is updated first
+    /// (conditional on its version, so a racing update aborts us
+    /// cleanly); only then is the local store forked and the replica
+    /// dissolved into the two children. The left child keeps this leader
+    /// under a bumped epoch; the right child runs a fresh election whose
+    /// tie-break prefers the *next* cohort member, moving half the hot
+    /// range's load to another node.
+    fn execute_split(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        let Some(at) = self.replicas.get_mut(&range).and_then(|r| r.splitting.take()) else {
             return;
         };
-        let updated = self.coord.get_data(TABLE_PATH).ok().and_then(|(data, stat)| {
-            let mut t = Ring::decode(&mut data.as_slice()).ok()?;
-            let (l, r) = t.split(range, &at).ok()?;
-            self.coord.set_data_cas(TABLE_PATH, t.encode_to_vec(), stat.version).ok()?;
-            Some((t, l, r))
-        });
-        let Some((new_ring, left, right)) = updated else {
-            // Clean abort (no table, decode failure, range already gone, or
-            // a lost CAS race): unblock the buffered writes — the old
+        let mut children = None;
+        let updated = self
+            .cas_table(|t| match t.split(range, &at) {
+                Ok(lr) => {
+                    children = Some(lr);
+                    true
+                }
+                Err(_) => false,
+            })
+            .is_some();
+        if !updated {
+            // Clean abort (no table, decode failure, range already gone,
+            // or a lost CAS race): unblock the buffered writes — the old
             // routing is still whatever the table says it is.
-            let blocked = {
-                let cohort = self.cohorts.get_mut(&range).expect("own range");
-                std::mem::take(&mut cohort.blocked_writes)
-            };
-            for (from, req) in blocked {
-                self.on_write(0, from, req, out);
-            }
+            self.unblock_writes(now, range, out);
             return;
-        };
-        self.ring = new_ring;
-        let cohort = self.cohorts.remove(&range).expect("own range");
-        let barrier = cohort.last_committed;
-        let pe = cohort.epoch;
-        let peers = cohort.peers.clone();
+        }
+        let (left, right) = children.expect("cas succeeded");
+        let rep = self.replicas.remove(&range).expect("own range");
+        let barrier = rep.last_committed;
+        let pe = rep.epoch;
+        let peers = rep.peers.clone();
 
         // Children's election state: the left child inherits this leader
         // at `pe + 1` (epochs only move forward, Appendix B); the right
@@ -1139,29 +994,30 @@ impl Node {
         self.coord.write_epoch(&lp.epoch, pe + 1);
         self.coord.write_epoch(&rp.epoch, pe);
         let _ = self.coord.create_ephemeral(&lp.leader, self.id.to_string().into_bytes());
-        // The parent's leader znode is deliberately left standing: deleting
-        // it would fire the followers' leader-watches *before* the Split
-        // message works through their (FIFO) request queues, pushing them
-        // onto the conservative fork path for no reason. It is our
-        // ephemeral — it dies with our session, by which time no cohort
-        // references the parent.
+        // The parent's leader znode is deliberately left standing:
+        // deleting it would fire the followers' leader-watches *before*
+        // the Split message works through their (FIFO) request queues,
+        // pushing them onto the conservative fork path for no reason.
+        // The quiesced GC removes the whole `/r{N}` subtree later.
 
-        let (lstore, rstore) = self.fork_store(range, &cohort.store, &at, left, right, barrier);
+        let (lstore, rstore) = self.fork_store(range, &rep.store, &at, left, right, barrier);
 
-        let mut lc = child_cohort(lstore, peers.clone(), (cohort.span.0.clone(), Some(at.clone())));
+        let mut lc =
+            RangeReplica::new(left, lstore, peers.clone(), (rep.span.0.clone(), Some(at.clone())));
         lc.role = Role::Leader;
         lc.epoch = pe + 1;
         lc.leader = Some(self.id);
         lc.last_assigned = Lsn::new(pe + 1, barrier.seq());
         lc.last_committed = barrier;
         lc.last_note = barrier;
-        self.cohorts.insert(left, lc);
+        self.attach_replica(lc);
 
-        let mut rc = child_cohort(rstore, peers.clone(), (at.clone(), cohort.span.1.clone()));
+        let mut rc =
+            RangeReplica::new(right, rstore, peers.clone(), (at.clone(), rep.span.1.clone()));
         rc.epoch = pe;
         rc.last_committed = barrier;
         rc.last_note = barrier;
-        self.cohorts.insert(right, rc);
+        self.attach_replica(rc);
 
         for peer in peers {
             out.send(
@@ -1169,31 +1025,25 @@ impl Node {
                 PeerMsg::Split { range, epoch: pe, split_key: at.clone(), left, right, barrier },
             );
         }
-        self.begin_deferred_election(right, out);
+        self.dissolved.push(Dissolved { range, at: now, gc_znodes: true });
+        {
+            // Enter the right child's election as an observer so the
+            // followers — who tie with us at the barrier — decide among
+            // themselves and the home preference moves leadership to the
+            // next cohort member.
+            let rp = CohortPaths::new(right);
+            self.coord.ensure_path(&rp.base);
+            self.coord.ensure_path(&rp.candidates);
+            let mut rt = runtime!(self);
+            if let Some(rc) = self.replicas.get_mut(&right) {
+                rc.observe_election(&mut rt, out);
+            }
+        }
         // Buffered writes re-dispatch under the new table; clients that
         // routed with the old one get `WrongRange` and refresh.
-        for (from, req) in cohort.blocked_writes {
-            self.on_write(0, from, req, out);
+        for (from, req) in rep.blocked_writes {
+            self.on_write(now, from, req, out);
         }
-    }
-
-    /// Enter the right child's election as an **observer**: watch the
-    /// candidates without registering our own candidacy, so the followers
-    /// — who tie with us at the barrier — decide among themselves and the
-    /// home preference moves leadership to the next cohort member. If no
-    /// quorum of followers materializes within an election-retry period
-    /// (one of them is down), the retry timer upgrades us to a full
-    /// candidate so availability never hinges on the handoff.
-    fn begin_deferred_election(&mut self, range: RangeId, out: &mut Outbox) {
-        let paths = CohortPaths::new(range);
-        self.coord.ensure_path(&paths.base);
-        self.coord.ensure_path(&paths.candidates);
-        let cohort = self.cohorts.get_mut(&range).expect("own range");
-        cohort.role = Role::Electing;
-        cohort.leader = None;
-        let _ = self.coord.get_children_watch(&paths.candidates);
-        out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
-        self.check_election(range, out);
     }
 
     /// Follower side of a split: the leader's table update is already in
@@ -1207,7 +1057,7 @@ impl Node {
         now: u64,
         range: RangeId,
         from: NodeId,
-        epoch: Epoch,
+        epoch: spinnaker_common::Epoch,
         split_key: Key,
         left: RangeId,
         right: RangeId,
@@ -1215,41 +1065,47 @@ impl Node {
         out: &mut Outbox,
     ) {
         {
-            let cohort = self.cohorts.get_mut(&range).expect("checked");
-            if epoch < cohort.epoch {
+            let rep = self.replicas.get_mut(&range).expect("checked");
+            if epoch < rep.epoch {
                 return; // a deposed leader's split; the table CAS stopped it too
             }
-            if epoch == cohort.epoch
-                && matches!(cohort.role, Role::Leader | Role::LeaderTakeover)
+            if epoch == rep.epoch
+                && matches!(rep.role, Role::Leader | Role::LeaderTakeover)
                 && from != self.id
             {
                 return; // two leaders in one epoch cannot happen; drop
             }
         }
-        let full_prefix =
-            self.cohorts[&range].role == Role::Follower && self.cohorts[&range].epoch == epoch;
+        let full_prefix = {
+            let rep = &self.replicas[&range];
+            rep.role == Role::Follower && rep.epoch == epoch
+        };
         if full_prefix {
-            self.apply_commit(range, barrier);
+            let mut rt = runtime!(self);
+            if let Some(rep) = self.replicas.get_mut(&range) {
+                rep.apply_commit(&mut rt, barrier);
+            }
         }
         self.adopt_table_from_coord();
-        let cohort = self.cohorts.remove(&range).expect("checked");
+        let rep = self.replicas.remove(&range).expect("checked");
         // A catching-up replica may hold a queue with holes; fork at its
         // own committed watermark and let child catch-up fill the rest.
-        let watermark = cohort.last_committed.min(barrier);
+        let watermark = rep.last_committed.min(barrier);
         let (lstore, rstore) =
-            self.fork_store(range, &cohort.store, &split_key, left, right, watermark);
-        self.install_children(
-            cohort, &split_key, left, lstore, right, rstore, watermark, epoch, out,
-        );
+            self.fork_store(range, &rep.store, &split_key, left, right, watermark);
+        self.install_children(rep, &split_key, left, lstore, right, rstore, watermark, epoch, out);
+        self.dissolved.push(Dissolved { range, at: now, gc_znodes: true });
         self.join_cohort(now, left, out);
         self.join_cohort(now, right, out);
     }
 
-    /// Watch-driven table refresh. When a range this node serves vanished
-    /// from the table, its split metadata is authoritative even though the
-    /// leader's `Split` message never arrived (it may have crashed between
-    /// the table update and the fan-out): fork locally at our own
-    /// committed watermark — the conservative path.
+    /// Watch-driven table refresh. When a range this node serves
+    /// vanished from the table, its split/merge metadata is
+    /// authoritative even though the leader's message never arrived (it
+    /// may have crashed between the table update and the fan-out):
+    /// reconcile locally at our own committed watermark — the
+    /// conservative path. A live def that no longer names us (a
+    /// committed departure we slept through) retires the local replica.
     fn refresh_table(&mut self, now: u64, out: &mut Outbox) {
         let data = match self.coord.get_data_watch(TABLE_PATH) {
             Ok(d) => d,
@@ -1263,107 +1119,162 @@ impl Node {
             return;
         }
         self.ring = new_ring;
-        let gone: Vec<RangeId> =
-            self.cohorts.keys().copied().filter(|r| self.ring.def(*r).is_none()).collect();
-        for parent in gone {
-            // A follower with a live remote leader defers: the leader's
-            // `Split` message is queued behind every outstanding propose on
-            // the in-order link, so forking on the (out-of-band) watch
-            // would drop writes we already acked. If the leader is
-            // actually dead, its leader-znode deletion reaches us and
-            // `start_election` redirects to the conservative fork.
-            let c = &self.cohorts[&parent];
-            let defer = matches!(c.role, Role::Follower | Role::CatchingUp)
-                && c.leader.is_some_and(|l| l != self.id);
-            if defer {
-                continue;
+        let mut gone = Vec::new();
+        let mut departed = Vec::new();
+        for &range in self.replicas.keys() {
+            match self.serve_status(range) {
+                ServeStatus::Gone => gone.push(range),
+                ServeStatus::NotMember => departed.push(range),
+                ServeStatus::Member | ServeStatus::MoveTarget => {}
             }
-            self.local_split_from_table(now, parent, out);
+        }
+        for range in departed {
+            self.retire_replica(now, range, false, out);
+        }
+        let gone: Vec<RangeId> = gone
+            .into_iter()
+            .filter(|&range| {
+                // A follower with a live remote leader defers: the
+                // leader's Split/Merge message is queued behind every
+                // outstanding propose on the in-order link, so
+                // reconciling on the (out-of-band) watch would drop
+                // writes we already acked. If the leader is actually
+                // dead, its leader-znode deletion reaches us and the
+                // election path redirects to the conservative
+                // reconcile.
+                let r = &self.replicas[&range];
+                let defer = matches!(r.role, Role::Follower | Role::CatchingUp)
+                    && r.leader.is_some_and(|l| l != self.id);
+                !defer
+            })
+            .collect();
+        if !gone.is_empty() {
+            self.reconcile_gone_ranges(now, gone, out);
         }
     }
 
-    /// Conservative local split of `parent`, driven purely by the table
-    /// (no barrier known): fork at our own committed watermark, then join
-    /// the derived cohorts — catch-up supplies anything we were missing.
+    /// Conservative, table-driven reconciliation of ranges that vanished
+    /// from the table while this replica lagged (crashed leader mid
+    /// fan-out, slept-through splits/merges, chained either way). The
+    /// targets are all current ranges that name us a replica and
+    /// intersect a gone replica's recorded span:
     ///
-    /// Generalized over *chained* splits: the table may be several splits
-    /// ahead (the parent's children may themselves have been split, or be
-    /// gone entirely), so the targets are all current ranges whose bounds
-    /// lie inside this cohort's recorded span and that name us a replica.
-    /// Ranges outside the span are never derived from this cohort — the
-    /// watermark only vouches for data the parent actually covered.
-    fn local_split_from_table(&mut self, now: u64, parent: RangeId, out: &mut Outbox) {
-        let Some(cohort) = self.cohorts.remove(&parent) else { return };
-        for (from, req) in cohort.blocked_writes {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+    /// * a target **contained** in a single gone span is the split case:
+    ///   rebuild it at that replica's committed watermark (the watermark
+    ///   vouches for the whole target);
+    /// * any other intersection (merges, mixed chains) rebuilds from all
+    ///   intersecting spans at watermark **zero** — under-claiming, so an
+    ///   election can never pick a leader missing committed writes —
+    ///   and catch-up fills the gaps.
+    ///
+    /// Either way the gone streams' **tails** (records beyond the
+    /// watermark that we may already have acked toward a quorum) are
+    /// migrated into the target streams so their durability — and their
+    /// visibility to elections via `n.lst` — survives the handoff.
+    fn reconcile_gone_ranges(&mut self, now: u64, gone: Vec<RangeId>, out: &mut Outbox) {
+        let mut parents: Vec<RangeReplica> = Vec::new();
+        for range in gone {
+            if let Some(rep) = self.replicas.remove(&range) {
+                for (from, req) in &rep.blocked_writes {
+                    out.reply(
+                        *from,
+                        Reply::WrongRange { req: req.req, version: self.ring.version() },
+                    );
+                }
+                if let Some(path) = &rep.candidate_path {
+                    let _ = self.coord.delete(path);
+                }
+                parents.push(rep);
+            }
         }
-        let (span_start, span_end) = (&cohort.span.0, &cohort.span.1);
+        if parents.is_empty() {
+            return;
+        }
         let targets: Vec<RangeDef> = self
             .ring
             .defs()
             .filter(|d| {
                 d.cohort.contains(&self.id)
-                    && !self.cohorts.contains_key(&d.id)
-                    && d.start.as_bytes() >= span_start.as_bytes()
-                    && match (&d.end, span_end) {
-                        (_, None) => true,
-                        (Some(de), Some(se)) => de.as_bytes() <= se.as_bytes(),
-                        (None, Some(_)) => false,
-                    }
+                    && !self.replicas.contains_key(&d.id)
+                    && parents.iter().any(|p| spans_intersect(&p.span, d))
             })
             .cloned()
             .collect();
-        let watermark = cohort.last_committed;
-        let epoch = cohort.epoch;
-        let tail = self
-            .wal
-            .read_range(parent, watermark, self.wal.state(parent).last_lsn)
-            .unwrap_or_default();
-        let mut migrated = true;
+        let mut built = Vec::new();
         for def in &targets {
-            let Ok(mut store) = cohort.store.extract(
-                &def.start,
-                def.end.as_ref(),
-                store_options(def.id, &self.cfg),
-            ) else {
-                migrated = false;
+            let contributors: Vec<&RangeReplica> =
+                parents.iter().filter(|p| spans_intersect(&p.span, def)).collect();
+            let contained = contributors.len() == 1 && span_contains(&contributors[0].span, def);
+            let Ok(mut store) =
+                RangeStore::recreate(self.vfs.clone(), store_options(def.id, &self.cfg))
+            else {
                 continue;
             };
-            let _ = store.flush();
-            let _ = self.wal.set_checkpoint(def.id, watermark);
-            for (lsn, op) in tail.iter().filter(|(_, op)| {
-                op.key.as_bytes() >= def.start.as_bytes()
-                    && def.end.as_ref().is_none_or(|e| op.key.as_bytes() < e.as_bytes())
-            }) {
-                if self.wal.append(&LogRecord::write(def.id, *lsn, op.clone())).is_err() {
-                    migrated = false;
+            for p in &contributors {
+                let (lo, hi) = span_clip(&p.span, def);
+                if let Ok(rows) = p.store.scan(&lo, hi.as_ref()) {
+                    for (key, row) in rows {
+                        store.ingest_fragment(&key, &row);
+                    }
                 }
             }
-            let mut c = child_cohort(
+            let _ = store.flush();
+            let watermark = if contained { contributors[0].last_committed } else { Lsn::ZERO };
+            if !watermark.is_zero() {
+                let _ = self.wal.set_checkpoint(def.id, watermark);
+            }
+            let epoch = contributors.iter().map(|p| p.epoch).max().unwrap_or(0);
+            let mut rep = RangeReplica::new(
+                def.id,
                 store,
                 def.cohort.iter().copied().filter(|&n| n != self.id).collect(),
                 (def.start.clone(), def.end.clone()),
             );
-            c.epoch = epoch;
-            c.last_committed = watermark;
-            c.last_note = watermark;
-            self.cohorts.insert(def.id, c);
+            rep.epoch = epoch;
+            rep.last_committed = watermark;
+            rep.last_note = watermark;
+            self.attach_replica(rep);
+            built.push(def.id);
         }
-        // Only retire the parent stream once every acked record has a
-        // durable home in a child stream.
-        if migrated {
-            let _ = self.wal.set_checkpoint(parent, watermark);
+        // Migrate each gone stream's tail — acked records must keep their
+        // durable home and stay visible to elections. Only retire a
+        // parent stream once every tail record found a target stream.
+        for p in &parents {
+            let watermark = p.last_committed;
+            let tail = self
+                .wal
+                .read_range(p.range, watermark, self.wal.state(p.range).last_lsn)
+                .unwrap_or_default();
+            let mut migrated = true;
+            for (lsn, op) in tail {
+                let target = targets
+                    .iter()
+                    .find(|d| built.contains(&d.id) && key_in_def(&op.key, d))
+                    .map(|d| d.id);
+                match target {
+                    Some(t) => {
+                        if self.wal.append(&LogRecord::write(t, lsn, op)).is_err() {
+                            migrated = false;
+                        }
+                    }
+                    None => migrated = false,
+                }
+            }
+            if migrated {
+                let _ = self.wal.set_checkpoint(p.range, watermark);
+                self.dissolved.push(Dissolved { range: p.range, at: now, gc_znodes: true });
+            }
         }
         let _ = self.wal.sync();
-        for def in targets {
-            self.join_cohort(now, def.id, out);
+        for range in built {
+            self.join_cohort(now, range, out);
         }
     }
 
     /// Fork `store` at `at` into the two children, persist both halves,
-    /// and advance the WAL checkpoints: the children's logical LSN streams
-    /// begin just above `watermark`, and the parent's stream below it
-    /// becomes garbage-collectable.
+    /// and advance the WAL checkpoints: the children's logical LSN
+    /// streams begin just above `watermark`, and the parent's stream
+    /// below it becomes garbage-collectable.
     ///
     /// The parent's log *tail* — records beyond the watermark that this
     /// replica holds and may already have **acked** toward a quorum — is
@@ -1408,40 +1319,40 @@ impl Node {
         (ls, rs)
     }
 
-    /// Register the two child cohorts of a dissolved parent (split at
+    /// Register the two child replicas of a dissolved parent (split at
     /// `at`) and redirect anything the parent still buffered.
     #[allow(clippy::too_many_arguments)]
     fn install_children(
         &mut self,
-        parent_cohort: Cohort,
+        parent: RangeReplica,
         at: &Key,
         left: RangeId,
         lstore: RangeStore,
         right: RangeId,
         rstore: RangeStore,
         watermark: Lsn,
-        epoch: Epoch,
+        epoch: spinnaker_common::Epoch,
         out: &mut Outbox,
     ) {
-        let lspan = (parent_cohort.span.0.clone(), Some(at.clone()));
-        let rspan = (at.clone(), parent_cohort.span.1.clone());
+        let lspan = (parent.span.0.clone(), Some(at.clone()));
+        let rspan = (at.clone(), parent.span.1.clone());
         for (range, store, span) in [(left, lstore, lspan), (right, rstore, rspan)] {
             let peers =
                 self.ring.cohort(range).into_iter().filter(|&n| n != self.id).collect::<Vec<_>>();
-            let peers = if peers.is_empty() { parent_cohort.peers.clone() } else { peers };
-            let mut c = child_cohort(store, peers, span);
-            c.epoch = epoch;
-            c.last_committed = watermark;
-            c.last_note = watermark;
-            self.cohorts.insert(range, c);
+            let peers = if peers.is_empty() { parent.peers.clone() } else { peers };
+            let mut rep = RangeReplica::new(range, store, peers, span);
+            rep.epoch = epoch;
+            rep.last_committed = watermark;
+            rep.last_note = watermark;
+            self.attach_replica(rep);
         }
-        for (from, req) in parent_cohort.blocked_writes {
+        for (from, req) in parent.blocked_writes {
             out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
         }
     }
 
-    /// Pull the freshest table from the coordination service (used when a
-    /// `Split` message outruns our table watch delivery).
+    /// Pull the freshest table from the coordination service (used when
+    /// a lifecycle message outruns our table watch delivery).
     fn adopt_table_from_coord(&mut self) {
         if let Ok((data, _)) = self.coord.get_data(TABLE_PATH) {
             if let Ok(t) = Ring::decode(&mut data.as_slice()) {
@@ -1453,96 +1364,651 @@ impl Node {
     }
 
     // =================================================================
-    // force completions & timers
+    // cohort movement (replica rebalancing)
     // =================================================================
 
-    fn on_forced(&mut self, _now: u64, tokens: Vec<u64>, out: &mut Outbox) {
-        // Content-level sync: everything appended so far is durable (the
-        // runtime's disk model decided *when*).
-        let _ = self.wal.sync();
-        for token in tokens {
-            match self.waiters.remove(&token) {
-                Some(Waiter::LeaderWrite { range, lsn }) => {
-                    if let Some(cohort) = self.cohorts.get_mut(&range) {
-                        cohort.cq.self_forced(lsn);
-                    }
-                    self.try_commit_leader(range, out);
-                }
-                Some(Waiter::FollowerWrite { range, lsn, leader }) => {
-                    let epoch = self.cohorts.get(&range).map_or(0, |c| c.epoch);
-                    out.send(leader, PeerMsg::Ack { range, epoch, lsn });
-                }
-                Some(Waiter::CatchupDone { range, up_to, leader }) => {
-                    let epoch = self.cohorts.get(&range).map_or(0, |c| c.epoch);
-                    out.send(leader, PeerMsg::CaughtUp { range, epoch, at: up_to });
-                }
-                None => {}
+    /// Administrative entry point: the range's leader CAS-publishes the
+    /// move intent, streams a consistent snapshot to the joining node,
+    /// and keeps proposing to it as a **learner** until it confirms
+    /// durable catch-up. Every other node ignores the request, so
+    /// harnesses may broadcast it.
+    fn on_move_request(
+        &mut self,
+        now: u64,
+        range: RangeId,
+        from: NodeId,
+        to: NodeId,
+        out: &mut Outbox,
+    ) {
+        let eligible = self.ring.def(range).is_some_and(|d| {
+            d.moving.is_none() && d.cohort.contains(&from) && !d.cohort.contains(&to)
+        });
+        let Some(rep) = self.replicas.get(&range) else { return };
+        if !eligible
+            || rep.role != Role::Leader
+            || rep.barrier_pending()
+            || rep.moving.is_some()
+            || rep.takeover.is_some()
+        {
+            return;
+        }
+        if self.cas_table(|t| t.begin_move(range, from, to).is_ok()).is_none() {
+            return; // lost a table race; the admin can retry
+        }
+        let rep = self.replicas.get_mut(&range).expect("own range");
+        rep.moving = Some(MoveState { from, to, since: now, draining: false });
+        // The learner receives every subsequent propose (its acks are
+        // excluded from the quorum until the commit CAS).
+        if !rep.peers.contains(&to) {
+            rep.peers.push(to);
+        }
+        let at = rep.last_committed;
+        let epoch = rep.epoch;
+        match rep.store.export_snapshot() {
+            Ok(snapshot) => {
+                out.send(to, PeerMsg::JoinRange { range, epoch, at, snapshot });
             }
+            Err(_) => self.abort_move(now, range, out),
         }
     }
 
-    fn on_timer(&mut self, now: u64, kind: TimerKind, out: &mut Outbox) {
-        match kind {
-            TimerKind::Heartbeat => {
-                self.coord.heartbeat(now);
-                out.set_timer(TimerKind::Heartbeat, self.cfg.heartbeat_interval);
+    /// Joining-node side: seed a fresh replica from the snapshot, hand
+    /// the WAL stream its starting checkpoint, and catch up from the
+    /// leader's log tail through the normal follower path. The final
+    /// `CaughtUp` confirmation is sent only after the appended tail is
+    /// durable, which is exactly the leader's commit gate.
+    #[allow(clippy::too_many_arguments)]
+    fn on_join_range(
+        &mut self,
+        now: u64,
+        leader: NodeId,
+        range: RangeId,
+        epoch: spinnaker_common::Epoch,
+        at: Lsn,
+        snapshot: &StoreSnapshot,
+        out: &mut Outbox,
+    ) {
+        if self.replicas.contains_key(&range) {
+            return; // duplicate handoff
+        }
+        self.adopt_table_from_coord();
+        let Some(def) = self.ring.def(range).cloned() else { return };
+        let expected =
+            def.moving.is_some_and(|(_, to)| to == self.id) || def.cohort.contains(&self.id);
+        if !expected {
+            return; // stale or aborted handoff
+        }
+        let Ok(mut store) = RangeStore::recreate(self.vfs.clone(), store_options(range, &self.cfg))
+        else {
+            return;
+        };
+        if store.import_snapshot(snapshot).is_err() {
+            return;
+        }
+        let _ = store.flush();
+        // Per-stream checkpoint handoff: the snapshot vouches for
+        // everything at or below `at`; catch-up and live proposes cover
+        // the rest.
+        let _ = self.wal.retire_stream(range);
+        let _ = self.wal.set_checkpoint(range, at);
+        let mut rep = RangeReplica::new(
+            range,
+            store,
+            def.cohort.iter().copied().filter(|&n| n != self.id).collect(),
+            (def.start.clone(), def.end.clone()),
+        );
+        rep.epoch = epoch;
+        rep.last_committed = at;
+        rep.last_note = at;
+        self.attach_replica(rep);
+        let paths = CohortPaths::new(range);
+        self.coord.ensure_path(&paths.base);
+        self.coord.ensure_path(&paths.candidates);
+        let _ = self.coord.get_data_watch(&paths.leader);
+        let mut rt = runtime!(self);
+        if let Some(rep) = self.replicas.get_mut(&range) {
+            rep.become_follower(&mut rt, leader, out);
+        }
+        let _ = now;
+    }
+
+    /// The learner confirmed durable catch-up: commit the new replica
+    /// set. A departing leader first drains its commit queue (a barrier,
+    /// like a split's) so no client ack is ever owed by a replica that
+    /// just left.
+    fn finish_move(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        let Some(rep) = self.replicas.get_mut(&range) else { return };
+        let Some(m) = rep.moving.as_mut() else { return };
+        let (from, to) = (m.from, m.to);
+        if from == self.id && !rep.cq.is_empty() {
+            m.draining = true; // barrier: try_commit re-triggers when drained
+            return;
+        }
+        if self.cas_table(|t| t.commit_move(range, from, to).is_ok()).is_none() {
+            self.abort_move(now, range, out);
+            return;
+        }
+        let def = self.ring.def(range).cloned().expect("just committed");
+        let rep = self.replicas.get_mut(&range).expect("own range");
+        rep.moving = None;
+        rep.peers = def.cohort.iter().copied().filter(|&n| n != self.id).collect();
+        let epoch = rep.epoch;
+        let change = PeerMsg::CohortChange {
+            range,
+            epoch,
+            gen: def.gen,
+            cohort: def.cohort.clone(),
+            departing: from,
+            joining: to,
+        };
+        let mut recipients: Vec<NodeId> =
+            def.cohort.iter().copied().filter(|&n| n != self.id).collect();
+        if from != self.id && !recipients.contains(&from) {
+            recipients.push(from);
+        }
+        for peer in recipients {
+            out.send(peer, change.clone());
+        }
+        if from == self.id {
+            // Leader hand-off: the joining node claims leadership
+            // directly on receiving the cohort change (atomic znode
+            // swap, so member elections cannot race it). Our own leader
+            // znode stays standing until the swap — the maintenance
+            // sweep deletes it as a fallback should the joiner die
+            // first, so the members can elect.
+            self.retire_replica(now, range, false, out);
+        }
+    }
+
+    /// Abandon an in-flight move: CAS the marker away and drop the
+    /// learner from the propose fan-out.
+    fn abort_move(&mut self, now: u64, range: RangeId, out: &mut Outbox) {
+        let _ = self.cas_table(|t| t.abort_move(range).is_ok());
+        let Some(rep) = self.replicas.get_mut(&range) else { return };
+        if let Some(m) = rep.moving.take() {
+            rep.peers.retain(|&n| n != m.to);
+        }
+        self.unblock_writes(now, range, out);
+    }
+
+    /// The committed cohort change reached a member (or the departing
+    /// replica): refresh the peer set, or detach.
+    #[allow(clippy::too_many_arguments)]
+    fn on_cohort_change(
+        &mut self,
+        now: u64,
+        range: RangeId,
+        epoch: spinnaker_common::Epoch,
+        cohort: Vec<NodeId>,
+        departing: NodeId,
+        joining: NodeId,
+        out: &mut Outbox,
+    ) {
+        self.adopt_table_from_coord();
+        if departing == self.id {
+            self.retire_replica(now, range, false, out);
+            return;
+        }
+        let mut rt = runtime!(self);
+        let Some(rep) = self.replicas.get_mut(&range) else { return };
+        if epoch < rep.epoch {
+            return;
+        }
+        let claim = joining == self.id && rep.leader == Some(departing);
+        rep.peers = cohort.into_iter().filter(|&n| n != self.id).collect();
+        if claim {
+            // The departing replica was the leader and named us its
+            // successor: take over directly (we are fully caught up —
+            // that is what gated the commit CAS).
+            rep.claim_leadership(&mut rt, out);
+        }
+    }
+
+    // =================================================================
+    // range merge (the inverse of split)
+    // =================================================================
+
+    /// Administrative entry point: the **left** sibling's leader
+    /// coordinates. Both siblings barrier (drain their commit queues),
+    /// then the coordinator CAS-publishes the merged `RangeDef`, merges
+    /// the local stores, and leads the merged range.
+    fn on_merge_request(&mut self, now: u64, left: RangeId, right: RangeId, out: &mut Outbox) {
+        let eligible = {
+            let (ld, rd) = (self.ring.def(left), self.ring.def(right));
+            match (ld, rd) {
+                (Some(ld), Some(rd)) => {
+                    let mut a = ld.cohort.clone();
+                    let mut b = rd.cohort.clone();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    ld.end.as_ref() == Some(&rd.start)
+                        && a == b
+                        && ld.moving.is_none()
+                        && rd.moving.is_none()
+                }
+                _ => false,
             }
-            TimerKind::CommitPeriod => {
-                let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
-                for range in ranges {
-                    let cohort = self.cohorts.get_mut(&range).expect("own");
-                    if cohort.role == Role::Leader && cohort.last_committed > Lsn::ZERO {
-                        let lsn = cohort.last_committed;
-                        let epoch = cohort.epoch;
-                        let peers = cohort.peers.clone();
-                        // Log our own last-committed note (non-forced).
-                        if lsn > cohort.last_note {
-                            let _ = self.wal.append(&LogRecord::commit_note(range, lsn));
-                            self.unforced_bytes += 24;
-                            cohort.last_note = lsn;
-                        }
-                        for peer in peers {
-                            out.send(peer, PeerMsg::Commit { range, epoch, lsn });
-                        }
-                    }
-                }
-                out.set_timer(TimerKind::CommitPeriod, self.cfg.commit_period);
+        };
+        if !eligible || !self.replicas.contains_key(&right) {
+            return;
+        }
+        {
+            let Some(lrep) = self.replicas.get_mut(&left) else { return };
+            if lrep.role != Role::Leader
+                || lrep.barrier_pending()
+                || lrep.moving.is_some()
+                || lrep.takeover.is_some()
+            {
+                return;
             }
-            TimerKind::ElectionRetry => {
-                let electing: Vec<RangeId> = self
-                    .cohorts
-                    .iter()
-                    .filter(|(_, c)| c.role == Role::Electing)
-                    .map(|(&r, _)| r)
-                    .collect();
-                for range in &electing {
-                    // An observer (deferred candidacy after a split) or a
-                    // node whose candidate creation failed upgrades to a
-                    // full candidate; everyone else just re-checks.
-                    if self.cohorts[range].candidate_path.is_none() {
-                        self.start_election(now, *range, out);
-                    } else {
-                        self.check_election(*range, out);
-                    }
+            lrep.merging = Some(Merging {
+                sibling: right,
+                coordinator: true,
+                sibling_barrier: None,
+                requester: self.id,
+                announced: false,
+                since: now,
+                token: now,
+            });
+        }
+        // Subordinate barrier: locally when we lead the right sibling
+        // too, by proposal to its leader otherwise.
+        let (rrole, rleader, repoch) = {
+            let r = &self.replicas[&right];
+            (r.role, r.leader, r.epoch)
+        };
+        let mut local_subordinate = false;
+        match rrole {
+            Role::Leader => {
+                let rrep = self.replicas.get_mut(&right).expect("checked");
+                if rrep.barrier_pending() || rrep.moving.is_some() {
+                    self.abort_merge(now, left, out);
+                    return;
                 }
-                if !electing.is_empty() {
-                    out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
-                }
+                rrep.merging = Some(Merging {
+                    sibling: left,
+                    coordinator: false,
+                    sibling_barrier: None,
+                    requester: self.id,
+                    announced: false,
+                    since: now,
+                    token: now,
+                });
+                local_subordinate = true;
             }
-            TimerKind::Maintenance => {
-                let ranges: Vec<RangeId> = self.cohorts.keys().copied().collect();
-                for range in ranges {
-                    let cohort = self.cohorts.get_mut(&range).expect("own");
-                    if cohort.store.needs_flush() {
-                        if let Ok(Some(flushed)) = cohort.store.flush() {
-                            let _ = self.wal.set_checkpoint(range, flushed);
-                        }
-                        let _ = cohort.store.maybe_compact();
-                    }
+            _ => match rleader {
+                Some(leader) if leader != self.id => {
+                    out.send(
+                        leader,
+                        PeerMsg::MergeProposal { range: right, left, epoch: repoch, token: now },
+                    );
                 }
-                out.set_timer(TimerKind::Maintenance, self.cfg.maintenance_interval);
+                _ => {
+                    self.abort_merge(now, left, out);
+                    return;
+                }
+            },
+        }
+        if local_subordinate {
+            // An idle right sibling is already drained: its try_commit
+            // must announce the barrier now, or nothing ever would (no
+            // acks or forces arrive on an idle range).
+            let mut rt = runtime!(self);
+            let fu = self.replicas.get_mut(&right).expect("checked").try_commit(&mut rt, out);
+            self.follow_up(now, right, fu, out);
+        }
+        self.advance_merge(now, left, out);
+    }
+
+    /// Right sibling's leader: barrier on request. Once the queue
+    /// drains, a commit message up to the barrier goes to the cohort
+    /// (same FIFO links as the proposes it covers) and `MergeReady` to
+    /// the coordinator — both from [`RangeReplica::try_commit`].
+    #[allow(clippy::too_many_arguments)]
+    fn on_merge_proposal(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        right: RangeId,
+        left: RangeId,
+        _epoch: spinnaker_common::Epoch,
+        token: u64,
+        out: &mut Outbox,
+    ) {
+        {
+            let Some(rep) = self.replicas.get_mut(&right) else { return };
+            if rep.role != Role::Leader
+                || rep.barrier_pending()
+                || rep.moving.is_some()
+                || rep.takeover.is_some()
+            {
+                return;
+            }
+            rep.merging = Some(Merging {
+                sibling: left,
+                coordinator: false,
+                sibling_barrier: None,
+                requester: from,
+                announced: false,
+                since: now,
+                token,
+            });
+        }
+        // Already drained? Announce immediately.
+        let mut rt = runtime!(self);
+        let fu = self.replicas.get_mut(&right).expect("checked").try_commit(&mut rt, out);
+        self.follow_up(now, right, fu, out);
+    }
+
+    /// Coordinator: the right sibling's barrier is known.
+    fn on_merge_ready(
+        &mut self,
+        now: u64,
+        left: RangeId,
+        right: RangeId,
+        barrier: Lsn,
+        token: u64,
+        out: &mut Outbox,
+    ) {
+        {
+            let Some(lrep) = self.replicas.get_mut(&left) else { return };
+            match lrep.merging.as_mut() {
+                // The token ties the readiness to *this* attempt: a
+                // delayed MergeReady from an earlier aborted attempt
+                // would otherwise supply a stale barrier.
+                Some(m) if m.coordinator && m.sibling == right && m.token == token => {
+                    m.sibling_barrier = Some(barrier);
+                }
+                _ => return,
             }
         }
+        self.advance_merge(now, left, out);
+    }
+
+    /// Coordinator: execute the merge once (a) our own queue drained,
+    /// and (b) the right sibling's barrier is known **and** our local
+    /// right replica has committed through it (the subordinate's commit
+    /// message precedes `MergeReady` on the same FIFO link, so this
+    /// resolves promptly; a wedged catch-up falls to the merge timeout).
+    fn advance_merge(&mut self, now: u64, left: RangeId, out: &mut Outbox) {
+        let (right, sibling_barrier) = {
+            let Some(lrep) = self.replicas.get(&left) else { return };
+            let Some(m) = lrep.merging.as_ref().filter(|m| m.coordinator) else { return };
+            if lrep.role != Role::Leader || !lrep.cq.is_empty() {
+                return;
+            }
+            (m.sibling, m.sibling_barrier)
+        };
+        let right_barrier = match sibling_barrier {
+            Some(b) => {
+                match self.replicas.get(&right) {
+                    Some(r) if r.last_committed >= b => b,
+                    Some(_) => return, // commit still in flight
+                    None => {
+                        self.abort_merge(now, left, out);
+                        return;
+                    }
+                }
+            }
+            None => {
+                // Local subordinate: we lead the right sibling too.
+                let Some(rrep) = self.replicas.get(&right) else {
+                    self.abort_merge(now, left, out);
+                    return;
+                };
+                let drained = rrep.role == Role::Leader
+                    && rrep.merging.as_ref().is_some_and(|m| !m.coordinator && m.announced);
+                if !drained {
+                    return; // its try_commit will re-poke us when drained
+                }
+                rrep.last_committed
+            }
+        };
+        self.execute_merge(now, left, right, right_barrier, out);
+    }
+
+    /// Both barriers drained: CAS the merged `RangeDef`, merge the local
+    /// stores, lead the merged range, fan the `Merge` message to the
+    /// cohort, and detach both siblings.
+    fn execute_merge(
+        &mut self,
+        now: u64,
+        left: RangeId,
+        right: RangeId,
+        right_barrier: Lsn,
+        out: &mut Outbox,
+    ) {
+        if !self.replicas.contains_key(&left) || !self.replicas.contains_key(&right) {
+            self.abort_merge(now, left, out);
+            return;
+        }
+        let mut merged_id = None;
+        if self
+            .cas_table(|t| match t.merge(left, right) {
+                Ok(id) => {
+                    merged_id = Some(id);
+                    true
+                }
+                Err(_) => false,
+            })
+            .is_none()
+        {
+            self.abort_merge(now, left, out);
+            return;
+        }
+        let merged = merged_id.expect("cas succeeded");
+        let lrep = self.replicas.remove(&left).expect("coordinator owns left");
+        let rrep = self.replicas.remove(&right).expect("same cohort owns right");
+        let barrier = lrep.last_committed;
+        let (le, re) = (lrep.epoch, rrep.epoch);
+        let merged_epoch = le.max(re) + 1;
+        let base = Lsn::new(merged_epoch, barrier.seq().max(right_barrier.seq()));
+
+        // Election state of the merged range: this leader continues at
+        // `max(epochs) + 1`, so every merged-range LSN exceeds every LSN
+        // either sibling ever used.
+        let mp = CohortPaths::new(merged);
+        self.coord.ensure_path(&mp.base);
+        self.coord.ensure_path(&mp.candidates);
+        self.coord.write_epoch(&mp.epoch, merged_epoch);
+        let _ = self.coord.create_ephemeral(&mp.leader, self.id.to_string().into_bytes());
+        // Both siblings' leader znodes stay standing until GC, exactly
+        // like a split parent's (watch-ordering: peers must process the
+        // Merge message first).
+
+        let mut mstore =
+            RangeStore::merge(&lrep.store, &rrep.store, store_options(merged, &self.cfg))
+                .expect("store merge");
+        let _ = mstore.flush();
+        let _ = self.wal.set_checkpoint(left, barrier);
+        let _ = self.wal.set_checkpoint(right, right_barrier);
+        let _ = self.wal.set_checkpoint(merged, base);
+        let _ = self.wal.sync();
+
+        let peers = lrep.peers.clone();
+        let mut mrep = RangeReplica::new(
+            merged,
+            mstore,
+            peers.clone(),
+            (lrep.span.0.clone(), rrep.span.1.clone()),
+        );
+        mrep.role = Role::Leader;
+        mrep.epoch = merged_epoch;
+        mrep.leader = Some(self.id);
+        mrep.last_assigned = base;
+        mrep.last_committed = base;
+        mrep.last_note = base;
+        self.attach_replica(mrep);
+
+        for peer in peers {
+            out.send(
+                peer,
+                PeerMsg::Merge {
+                    range: left,
+                    right,
+                    merged,
+                    epoch: le,
+                    right_epoch: re,
+                    barrier,
+                    right_barrier,
+                },
+            );
+        }
+        self.dissolved.push(Dissolved { range: left, at: now, gc_znodes: true });
+        self.dissolved.push(Dissolved { range: right, at: now, gc_znodes: true });
+        for (from, req) in lrep.blocked_writes.into_iter().chain(rrep.blocked_writes) {
+            self.on_write(now, from, req, out);
+        }
+    }
+
+    /// Abandon an in-flight merge: unblock both siblings' held writes
+    /// and release a remote subordinate barrier.
+    fn abort_merge(&mut self, now: u64, left: RangeId, out: &mut Outbox) {
+        let (right, epoch) = {
+            let Some(lrep) = self.replicas.get_mut(&left) else { return };
+            let Some(m) = lrep.merging.take() else { return };
+            (m.sibling, lrep.epoch)
+        };
+        self.unblock_writes(now, left, out);
+        let rleader = match self.replicas.get_mut(&right) {
+            Some(rrep) => {
+                if rrep.merging.as_ref().is_some_and(|m| !m.coordinator)
+                    && rrep.role == Role::Leader
+                {
+                    rrep.merging = None;
+                    self.unblock_writes(now, right, out);
+                    None
+                } else {
+                    self.replicas.get(&right).and_then(|r| r.leader).filter(|&l| l != self.id)
+                }
+            }
+            None => None,
+        };
+        if let Some(leader) = rleader {
+            out.send(leader, PeerMsg::MergeAbort { range: right, epoch });
+        }
+    }
+
+    /// Remote subordinate: the coordinator abandoned the merge.
+    fn on_merge_abort(&mut self, now: u64, right: RangeId, out: &mut Outbox) {
+        let Some(rep) = self.replicas.get_mut(&right) else { return };
+        if rep.merging.as_ref().is_none_or(|m| m.coordinator) {
+            return;
+        }
+        rep.merging = None;
+        self.unblock_writes(now, right, out);
+    }
+
+    /// Follower side of a merge: both barriers are committed history.
+    /// Drain both queues through their barriers; a gap-free drain keeps
+    /// the merged stream's full watermark, anything else under-claims
+    /// (watermark zero, WAL tails migrated) and lets catch-up fill the
+    /// gaps — an election must never see a watermark the local state
+    /// cannot back.
+    #[allow(clippy::too_many_arguments)]
+    fn on_merge_msg(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        left: RangeId,
+        right: RangeId,
+        merged: RangeId,
+        epoch: spinnaker_common::Epoch,
+        right_epoch: spinnaker_common::Epoch,
+        barrier: Lsn,
+        right_barrier: Lsn,
+        out: &mut Outbox,
+    ) {
+        if let Some(lrep) = self.replicas.get(&left) {
+            if epoch < lrep.epoch {
+                return; // a deposed coordinator's merge
+            }
+            if epoch == lrep.epoch
+                && matches!(lrep.role, Role::Leader | Role::LeaderTakeover)
+                && from != self.id
+            {
+                return;
+            }
+        }
+        self.adopt_table_from_coord();
+        if !self.replicas.contains_key(&left) || !self.replicas.contains_key(&right) {
+            // Missing one side entirely: fall back to the conservative
+            // table-driven reconcile over whatever we do hold.
+            let gone: Vec<RangeId> = [left, right]
+                .into_iter()
+                .filter(|r| self.replicas.contains_key(r) && self.ring.def(*r).is_none())
+                .collect();
+            if !gone.is_empty() {
+                self.reconcile_gone_ranges(now, gone, out);
+            }
+            return;
+        }
+        let mut clean = true;
+        for (range, e, b) in [(left, epoch, barrier), (right, right_epoch, right_barrier)] {
+            let mut rt = runtime!(self);
+            let rep = self.replicas.get_mut(&range).expect("checked");
+            let pre = matches!(rep.role, Role::Follower | Role::Leader) && rep.epoch == e;
+            let drained = rep.commit_through_barrier(&mut rt, b);
+            clean &= pre && drained;
+        }
+        let lrep = self.replicas.remove(&left).expect("checked");
+        let rrep = self.replicas.remove(&right).expect("checked");
+        let merged_epoch = epoch.max(right_epoch) + 1;
+        let base = Lsn::new(merged_epoch, barrier.seq().max(right_barrier.seq()));
+        let mut mstore =
+            RangeStore::merge(&lrep.store, &rrep.store, store_options(merged, &self.cfg))
+                .expect("store merge");
+        let _ = mstore.flush();
+        let watermark = if clean {
+            let _ = self.wal.set_checkpoint(left, barrier);
+            let _ = self.wal.set_checkpoint(right, right_barrier);
+            let _ = self.wal.set_checkpoint(merged, base);
+            self.dissolved.push(Dissolved { range: left, at: now, gc_znodes: true });
+            self.dissolved.push(Dissolved { range: right, at: now, gc_znodes: true });
+            base
+        } else {
+            // Under-claim: migrate both streams' tails into the merged
+            // stream so acked records keep their durability and their
+            // election visibility; catch-up rebuilds the rest.
+            for (range, rep) in [(left, &lrep), (right, &rrep)] {
+                let w = rep.last_committed;
+                let tail = self
+                    .wal
+                    .read_range(range, w, self.wal.state(range).last_lsn)
+                    .unwrap_or_default();
+                let mut migrated = true;
+                for (lsn, op) in tail {
+                    if self.wal.append(&LogRecord::write(merged, lsn, op)).is_err() {
+                        migrated = false;
+                    }
+                }
+                if migrated {
+                    let _ = self.wal.set_checkpoint(range, w);
+                    self.dissolved.push(Dissolved { range, at: now, gc_znodes: true });
+                }
+            }
+            Lsn::ZERO
+        };
+        let _ = self.wal.sync();
+        let peers = {
+            let p: Vec<NodeId> =
+                self.ring.cohort(merged).into_iter().filter(|&n| n != self.id).collect();
+            if p.is_empty() {
+                lrep.peers.clone()
+            } else {
+                p
+            }
+        };
+        let mut mrep =
+            RangeReplica::new(merged, mstore, peers, (lrep.span.0.clone(), rrep.span.1.clone()));
+        mrep.epoch = if clean { merged_epoch } else { lrep.epoch.max(rrep.epoch) };
+        mrep.last_committed = watermark;
+        mrep.last_note = watermark;
+        self.attach_replica(mrep);
+        for (from, req) in lrep.blocked_writes.into_iter().chain(rrep.blocked_writes) {
+            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+        }
+        self.join_cohort(now, merged, out);
     }
 
     // =================================================================
@@ -1553,8 +2019,11 @@ impl Node {
         match ev {
             WatchEvent::ChildrenChanged(path) => {
                 if let Some(range) = CohortPaths::range_of_path(&path) {
-                    if path.ends_with("/candidates") && self.cohorts.contains_key(&range) {
-                        self.check_election(range, out);
+                    if path.ends_with("/candidates") && self.replicas.contains_key(&range) {
+                        let mut rt = runtime!(self);
+                        if let Some(rep) = self.replicas.get_mut(&range) {
+                            rep.check_election(&mut rt, out);
+                        }
                     }
                 }
             }
@@ -1564,13 +2033,16 @@ impl Node {
                     return;
                 }
                 if let Some(range) = CohortPaths::range_of_path(&path) {
-                    if path.ends_with("/leader") && self.cohorts.contains_key(&range) {
-                        if self.cohorts[&range].role == Role::Electing {
+                    if path.ends_with("/leader") && self.replicas.contains_key(&range) {
+                        if self.replicas[&range].role == Role::Electing {
                             let paths = CohortPaths::new(range);
                             if let Ok(data) = self.coord.get_data_watch(&paths.leader) {
                                 let leader = parse_node(&data);
                                 if leader != self.id {
-                                    self.become_follower(range, leader, out);
+                                    let mut rt = runtime!(self);
+                                    if let Some(rep) = self.replicas.get_mut(&range) {
+                                        rep.become_follower(&mut rt, leader, out);
+                                    }
                                 }
                             }
                         } else {
@@ -1583,22 +2055,40 @@ impl Node {
             }
             WatchEvent::Deleted(path) => {
                 if let Some(range) = CohortPaths::range_of_path(&path) {
-                    if path.ends_with("/leader") && self.cohorts.contains_key(&range) {
-                        // The leader died: elect a new one (§7).
-                        let role = self.cohorts[&range].role;
-                        if role != Role::Offline {
-                            self.start_election(now, range, out);
+                    if path.ends_with("/leader") && self.replicas.contains_key(&range) {
+                        if self.replicas[&range].role == Role::Offline {
+                            return;
+                        }
+                        // Re-read before electing: a cohort-movement
+                        // hand-off deletes and re-creates the znode in
+                        // one step, so the deletion event may be stale —
+                        // electing over a live claimant (or over our own
+                        // freshly-claimed leadership) would wedge the
+                        // cohort.
+                        let paths = CohortPaths::new(range);
+                        match self.coord.get_data_watch(&paths.leader) {
+                            Ok(data) => {
+                                let leader = parse_node(&data);
+                                if leader != self.id {
+                                    let mut rt = runtime!(self);
+                                    if let Some(rep) = self.replicas.get_mut(&range) {
+                                        rep.become_follower(&mut rt, leader, out);
+                                    }
+                                }
+                            }
+                            // Truly gone: elect a new leader (§7).
+                            Err(_) => self.try_start_election(now, range, out),
                         }
                     }
                 }
             }
             WatchEvent::SessionExpired => {
-                // Our session is gone: we are effectively partitioned from
-                // the cluster. Step down everywhere; the hosting runtime
-                // restarts us with a fresh session.
-                for cohort in self.cohorts.values_mut() {
-                    cohort.role = Role::Offline;
-                    cohort.leader = None;
+                // Our session is gone: we are effectively partitioned
+                // from the cluster. Step down everywhere; the hosting
+                // runtime restarts us with a fresh session.
+                for rep in self.replicas.values_mut() {
+                    rep.role = Role::Offline;
+                    rep.leader = None;
                 }
             }
         }
@@ -1614,11 +2104,55 @@ fn store_options(range: RangeId, cfg: &NodeConfig) -> StoreOptions {
     }
 }
 
-/// Local-recovery path for a split child with no state of its own: rebuild
-/// it from the parent's surviving local store + log, returning the
-/// parent's committed watermark (the child's starting `f.cmt`). Returns
-/// `Ok(None)` when no parent state survives locally — the child then
-/// starts empty and relies on cohort catch-up.
+/// True when the replica span `(start, end)` and `def`'s bounds overlap.
+fn spans_intersect(span: &(Key, Option<Key>), def: &RangeDef) -> bool {
+    let below = match (&def.end, &span.0) {
+        (Some(de), s) => de.as_bytes() > s.as_bytes(),
+        (None, _) => true,
+    };
+    let above = match (&span.1, &def.start) {
+        (Some(se), ds) => se.as_bytes() > ds.as_bytes(),
+        (None, _) => true,
+    };
+    below && above
+}
+
+/// True when `def`'s bounds lie entirely inside the replica span.
+fn span_contains(span: &(Key, Option<Key>), def: &RangeDef) -> bool {
+    def.start.as_bytes() >= span.0.as_bytes()
+        && match (&def.end, &span.1) {
+            (_, None) => true,
+            (Some(de), Some(se)) => de.as_bytes() <= se.as_bytes(),
+            (None, Some(_)) => false,
+        }
+}
+
+/// Clip `def`'s bounds to the replica span: `[lo, hi)`.
+fn span_clip(span: &(Key, Option<Key>), def: &RangeDef) -> (Key, Option<Key>) {
+    let lo =
+        if def.start.as_bytes() >= span.0.as_bytes() { def.start.clone() } else { span.0.clone() };
+    let hi = match (&def.end, &span.1) {
+        (Some(de), Some(se)) => {
+            Some(if de.as_bytes() <= se.as_bytes() { de.clone() } else { se.clone() })
+        }
+        (Some(de), None) => Some(de.clone()),
+        (None, Some(se)) => Some(se.clone()),
+        (None, None) => None,
+    };
+    (lo, hi)
+}
+
+/// True when `key` routes inside `def`'s bounds.
+fn key_in_def(key: &Key, def: &RangeDef) -> bool {
+    key.as_bytes() >= def.start.as_bytes()
+        && def.end.as_ref().is_none_or(|e| key.as_bytes() < e.as_bytes())
+}
+
+/// Local-recovery path for a split child with no state of its own:
+/// rebuild it from the parent's surviving local store + log, returning
+/// the parent's committed watermark (the child's starting `f.cmt`).
+/// Returns `Ok(None)` when no parent state survives locally — the child
+/// then starts empty and relies on cohort catch-up.
 fn bootstrap_child_from_parent(
     vfs: &SharedVfs,
     wal: &Wal,
@@ -1641,36 +2175,6 @@ fn bootstrap_child_from_parent(
     }
     child.flush()?;
     Ok(Some(pst.last_committed))
-}
-
-/// A freshly-forked child cohort, offline until it joins its range.
-fn child_cohort(store: RangeStore, peers: Vec<NodeId>, span: (Key, Option<Key>)) -> Cohort {
-    Cohort {
-        peers,
-        store,
-        span,
-        cq: CommitQueue::new(),
-        role: Role::Offline,
-        epoch: 0,
-        leader: None,
-        last_assigned: Lsn::ZERO,
-        last_committed: Lsn::ZERO,
-        last_note: Lsn::ZERO,
-        candidate_path: None,
-        takeover: None,
-        blocked_writes: Vec::new(),
-        splitting: None,
-    }
-}
-
-fn parse_node(data: &[u8]) -> NodeId {
-    std::str::from_utf8(data).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(u32::MAX)
-}
-
-fn parse_candidate(data: &[u8]) -> Option<(NodeId, u64)> {
-    let s = std::str::from_utf8(data).ok()?;
-    let (node, lst) = s.split_once(':')?;
-    Some((node.parse().ok()?, lst.parse().ok()?))
 }
 
 /// Build a [`WriteRequest`] for a plain put (helper for clients/tests).

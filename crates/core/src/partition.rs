@@ -42,6 +42,14 @@ pub struct RangeDef {
     /// The range this one was split from, if any — recovery uses it to
     /// rebuild a child store from the parent's local state.
     pub parent: Option<RangeId>,
+    /// Cohort-change generation: bumped by every replica-set mutation
+    /// (move begin/commit/abort). Lets observers distinguish "same cohort
+    /// list" from "same cohort history" across CAS races.
+    pub gen: u64,
+    /// A replica movement in flight: `(departing, joining)`. Published
+    /// *before* any data moves so crash recovery can see the intent; the
+    /// commit CAS clears it and swaps the cohort entry.
+    pub moving: Option<(NodeId, NodeId)>,
 }
 
 /// The versioned range table ("ring" kept for historical continuity).
@@ -75,6 +83,8 @@ impl Ring {
                 cohort: (0..replication).map(|j| ((i + j) % nodes) as NodeId).collect(),
                 home: i as NodeId,
                 parent: None,
+                gen: 0,
+                moving: None,
             })
             .collect();
         Ring { nodes, replication, version: 1, next_id: nodes as u32, ranges }
@@ -172,6 +182,11 @@ impl Ring {
                 at
             )));
         }
+        if d.moving.is_some() {
+            return Err(Error::InvalidArgument(format!(
+                "range {parent} has a replica movement in flight"
+            )));
+        }
         let left = RangeId(self.next_id);
         let right = RangeId(self.next_id + 1);
         self.next_id += 2;
@@ -184,6 +199,8 @@ impl Ring {
             cohort: d.cohort.clone(),
             home: d.home,
             parent: Some(parent),
+            gen: 0,
+            moving: None,
         };
         let right_def = RangeDef {
             id: right,
@@ -192,10 +209,125 @@ impl Ring {
             cohort: d.cohort.clone(),
             home: right_home,
             parent: Some(parent),
+            gen: 0,
+            moving: None,
         };
         self.ranges.splice(idx..=idx, [left_def, right_def]);
         self.version += 1;
         Ok((left, right))
+    }
+
+    /// Merge two *adjacent* ranges replicated by the *same* cohort into one
+    /// (the inverse of [`Ring::split`]). The merged range gets a fresh id;
+    /// it keeps the left side's cohort ordering and preferred leader, so
+    /// the coordinating left leader leads the merged range without a
+    /// leadership transfer. Bumps the table version. Returns the merged id.
+    pub fn merge(&mut self, left: RangeId, right: RangeId) -> Result<RangeId> {
+        let li = self
+            .ranges
+            .iter()
+            .position(|d| d.id == left)
+            .ok_or_else(|| Error::NotFound(format!("range {left} not in table")))?;
+        let ri = self
+            .ranges
+            .iter()
+            .position(|d| d.id == right)
+            .ok_or_else(|| Error::NotFound(format!("range {right} not in table")))?;
+        let (ld, rd) = (&self.ranges[li], &self.ranges[ri]);
+        if ld.end.as_ref() != Some(&rd.start) {
+            return Err(Error::InvalidArgument(format!("{left} and {right} are not adjacent")));
+        }
+        let mut lc = ld.cohort.clone();
+        let mut rc = rd.cohort.clone();
+        lc.sort_unstable();
+        rc.sort_unstable();
+        if lc != rc {
+            return Err(Error::InvalidArgument(format!(
+                "{left} and {right} have different replica sets"
+            )));
+        }
+        if ld.moving.is_some() || rd.moving.is_some() {
+            return Err(Error::InvalidArgument(format!(
+                "{left} or {right} has a replica movement in flight"
+            )));
+        }
+        let merged = RangeId(self.next_id);
+        self.next_id += 1;
+        let def = RangeDef {
+            id: merged,
+            start: ld.start.clone(),
+            end: rd.end.clone(),
+            cohort: ld.cohort.clone(),
+            home: ld.home,
+            parent: None,
+            gen: 0,
+            moving: None,
+        };
+        debug_assert_eq!(ri, li + 1, "adjacency implies consecutive table slots");
+        self.ranges.splice(li..=ri, [def]);
+        self.version += 1;
+        Ok(merged)
+    }
+
+    /// Publish the *intent* to move `range`'s replica from `from` to `to`:
+    /// sets the moving marker and bumps generation + version. The cohort
+    /// itself is untouched until [`Ring::commit_move`].
+    pub fn begin_move(&mut self, range: RangeId, from: NodeId, to: NodeId) -> Result<()> {
+        let d = self.def_mut(range)?;
+        if d.moving.is_some() {
+            return Err(Error::InvalidArgument(format!("{range} already has a move in flight")));
+        }
+        if !d.cohort.contains(&from) {
+            return Err(Error::InvalidArgument(format!("{from} is not a replica of {range}")));
+        }
+        if d.cohort.contains(&to) {
+            return Err(Error::InvalidArgument(format!("{to} is already a replica of {range}")));
+        }
+        d.moving = Some((from, to));
+        d.gen += 1;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Commit the in-flight move of `range`: swap `from` for `to` in the
+    /// cohort (keeping its position), retarget the preferred leader when
+    /// the departing replica held it, clear the marker, and bump
+    /// generation + version.
+    pub fn commit_move(&mut self, range: RangeId, from: NodeId, to: NodeId) -> Result<()> {
+        let d = self.def_mut(range)?;
+        if d.moving != Some((from, to)) {
+            return Err(Error::InvalidArgument(format!("{range} has no matching move in flight")));
+        }
+        let pos = d
+            .cohort
+            .iter()
+            .position(|&n| n == from)
+            .ok_or_else(|| Error::InvalidArgument(format!("{from} left {range} already")))?;
+        d.cohort[pos] = to;
+        if d.home == from {
+            d.home = to;
+        }
+        d.moving = None;
+        d.gen += 1;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Abort the in-flight move of `range` (if any), clearing the marker.
+    pub fn abort_move(&mut self, range: RangeId) -> Result<()> {
+        let d = self.def_mut(range)?;
+        if d.moving.take().is_some() {
+            d.gen += 1;
+            self.version += 1;
+        }
+        Ok(())
+    }
+
+    fn def_mut(&mut self, range: RangeId) -> Result<&mut RangeDef> {
+        self.ranges
+            .iter_mut()
+            .find(|d| d.id == range)
+            .ok_or_else(|| Error::NotFound(format!("range {range} not in table")))
     }
 
     /// The children a split of `parent` produced, in key order (empty when
@@ -234,6 +366,15 @@ impl Encode for Ring {
                 }
                 None => codec::put_u8(buf, 0),
             }
+            codec::put_varint(buf, d.gen);
+            match d.moving {
+                Some((from, to)) => {
+                    codec::put_u8(buf, 1);
+                    codec::put_u32(buf, from);
+                    codec::put_u32(buf, to);
+                }
+                None => codec::put_u8(buf, 0),
+            }
         }
     }
 }
@@ -263,7 +404,12 @@ impl Decode for Ring {
                 0 => None,
                 _ => Some(RangeId(codec::get_u32(buf)?)),
             };
-            ranges.push(RangeDef { id, start, end, cohort, home, parent });
+            let gen = codec::get_varint(buf)?;
+            let moving = match codec::get_u8(buf)? {
+                0 => None,
+                _ => Some((codec::get_u32(buf)?, codec::get_u32(buf)?)),
+            };
+            ranges.push(RangeDef { id, start, end, cohort, home, parent, gen, moving });
         }
         if ranges.is_empty() {
             return Err(Error::Corruption("range table with no ranges".into()));
@@ -472,9 +618,103 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_the_inverse_of_split() {
+        let mut ring = Ring::with_nodes(5);
+        let at = u64_to_key(1000);
+        let (left, right) = ring.split(RangeId(0), &at).unwrap();
+        let v = ring.version();
+        let merged = ring.merge(left, right).unwrap();
+        assert_eq!(ring.version(), v + 1);
+        assert!(ring.def(left).is_none() && ring.def(right).is_none(), "children dissolved");
+        let d = ring.def(merged).unwrap();
+        assert_eq!(d.start, Key::default());
+        assert_eq!(d.end, Some(u64_to_key(u64::MAX / 5)));
+        assert_eq!(d.cohort, vec![0, 1, 2]);
+        assert_eq!(d.home, 0, "left side's preferred leader survives");
+        assert_eq!(ring.range_of(&u64_to_key(999)), merged);
+        assert_eq!(ring.range_of(&u64_to_key(1000)), merged);
+        // Bounds still tile the space.
+        let defs: Vec<_> = ring.defs().collect();
+        for w in defs.windows(2) {
+            assert_eq!(w[0].end.as_ref(), Some(&w[1].start));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_non_adjacent_and_different_cohorts() {
+        let mut ring = Ring::with_nodes(5);
+        // Base ranges 0 and 1 are adjacent but replicated by different
+        // cohorts under chained declustering: must be rejected.
+        assert!(ring.merge(RangeId(0), RangeId(1)).is_err(), "cohorts differ");
+        // Non-adjacent pair.
+        assert!(ring.merge(RangeId(0), RangeId(2)).is_err(), "not adjacent");
+        // Wrong order (right before left) is not adjacency either.
+        let (l, r) = ring.split(RangeId(0), &u64_to_key(7)).unwrap();
+        assert!(ring.merge(r, l).is_err(), "reversed order rejected");
+        assert!(ring.merge(l, r).is_ok());
+    }
+
+    #[test]
+    fn move_lifecycle_swaps_the_replica_and_bumps_generation() {
+        let mut ring = Ring::with_nodes(5);
+        let d0 = ring.def(RangeId(0)).unwrap().clone();
+        assert_eq!((d0.gen, d0.moving), (0, None));
+        let v = ring.version();
+
+        ring.begin_move(RangeId(0), 2, 4).unwrap();
+        let d = ring.def(RangeId(0)).unwrap();
+        assert_eq!(d.moving, Some((2, 4)));
+        assert_eq!(d.gen, 1);
+        assert_eq!(d.cohort, vec![0, 1, 2], "cohort unchanged until commit");
+        assert_eq!(ring.version(), v + 1);
+        // A second move (or a split) cannot start while one is in flight.
+        assert!(ring.begin_move(RangeId(0), 1, 3).is_err());
+        assert!(ring.split(RangeId(0), &u64_to_key(9)).is_err());
+
+        ring.commit_move(RangeId(0), 2, 4).unwrap();
+        let d = ring.def(RangeId(0)).unwrap();
+        assert_eq!(d.cohort, vec![0, 1, 4], "position preserved");
+        assert_eq!(d.moving, None);
+        assert_eq!(d.gen, 2);
+        assert_eq!(ring.version(), v + 2);
+        assert!(ring.ranges_of(4).contains(&RangeId(0)));
+        assert!(!ring.ranges_of(2).contains(&RangeId(0)));
+    }
+
+    #[test]
+    fn move_of_the_preferred_leader_retargets_home() {
+        let mut ring = Ring::with_nodes(5);
+        ring.begin_move(RangeId(1), 1, 4).unwrap();
+        ring.commit_move(RangeId(1), 1, 4).unwrap();
+        let d = ring.def(RangeId(1)).unwrap();
+        assert_eq!(d.home, 4, "home follows the departing leader's replacement");
+        assert_eq!(d.cohort, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn move_validation_and_abort() {
+        let mut ring = Ring::with_nodes(5);
+        assert!(ring.begin_move(RangeId(0), 3, 4).is_err(), "3 not a replica");
+        assert!(ring.begin_move(RangeId(0), 0, 1).is_err(), "1 already a replica");
+        assert!(ring.commit_move(RangeId(0), 0, 4).is_err(), "no move in flight");
+        ring.begin_move(RangeId(0), 0, 4).unwrap();
+        assert!(ring.commit_move(RangeId(0), 1, 4).is_err(), "mismatched commit");
+        let v = ring.version();
+        ring.abort_move(RangeId(0)).unwrap();
+        let d = ring.def(RangeId(0)).unwrap();
+        assert_eq!(d.moving, None);
+        assert_eq!(d.cohort, vec![0, 1, 2]);
+        assert_eq!(ring.version(), v + 1);
+        // Aborting with nothing in flight is a no-op.
+        ring.abort_move(RangeId(0)).unwrap();
+        assert_eq!(ring.version(), v + 1);
+    }
+
+    #[test]
     fn encode_decode_round_trips() {
         let mut ring = Ring::with_nodes(5);
         ring.split(RangeId(2), &u64_to_key(u64::MAX / 5 * 2 + 77)).unwrap();
+        ring.begin_move(RangeId(0), 1, 3).unwrap();
         let bytes = ring.encode_to_vec();
         let back = Ring::decode(&mut bytes.as_slice()).unwrap();
         assert_eq!(back.version(), ring.version());

@@ -1,0 +1,1145 @@
+//! The per-range replica runtime.
+//!
+//! A [`RangeReplica`] owns everything one node keeps for one replicated
+//! key range: its role, epoch, LSM store handle, commit queue, takeover
+//! and catch-up progress, barrier state for splits/merges, and in-flight
+//! cohort-movement bookkeeping. Every per-range protocol transition —
+//! election (Fig. 7), takeover (Fig. 6), steady-state replication
+//! (Fig. 4), catch-up (§6.1) — is a method here; the [`crate::node::Node`]
+//! is a thin runtime that owns the shared WAL, the coordination session
+//! and a `RangeId → RangeReplica` registry, dispatches inputs to the
+//! right replica, and performs the attach/detach lifecycle (splits,
+//! merges, cohort movement) that creates and dissolves replicas.
+//!
+//! Replica methods borrow the node-wide facilities through a [`Runtime`]
+//! context (shared log, coordination client, range table, force tracker),
+//! which is what lets the registry and the shared state live side by side
+//! without aliasing.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use spinnaker_common::{Consistency, Epoch, Key, Lsn, NodeId, RangeId, WriteOp};
+use spinnaker_storage::RangeStore;
+use spinnaker_wal::{LogRecord, Wal};
+
+use crate::commit_queue::{CommitQueue, PendingWrite};
+use crate::coordcli::CoordClient;
+use crate::messages::{Addr, Outbox, PeerMsg, ReadRequest, Reply, WriteRequest};
+use crate::node::{CohortPaths, NodeConfig};
+use crate::partition::Ring;
+
+/// Role of this replica within its cohort.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Not participating (crashed or before `Start`).
+    Offline,
+    /// Running leader election (Fig. 7).
+    Electing,
+    /// Synchronizing with the leader (§6.1 catch-up phase).
+    CatchingUp,
+    /// Serving as follower.
+    Follower,
+    /// Won the election; executing leader takeover (Fig. 6).
+    LeaderTakeover,
+    /// Serving as leader: open for reads and writes.
+    Leader,
+}
+
+/// Why a force was requested; resolved on `LogForced`.
+pub(crate) enum Waiter {
+    /// Leader's own force of a proposed write.
+    LeaderWrite {
+        /// Cohort.
+        range: RangeId,
+        /// The write's LSN.
+        lsn: Lsn,
+    },
+    /// Follower's force of a propose; ack the leader when durable.
+    FollowerWrite {
+        /// Cohort.
+        range: RangeId,
+        /// The write's LSN.
+        lsn: Lsn,
+        /// Leader to ack.
+        leader: NodeId,
+    },
+    /// Catch-up records were appended; confirm `CaughtUp` when durable.
+    CatchupDone {
+        /// Cohort.
+        range: RangeId,
+        /// Caught up to this LSN.
+        up_to: Lsn,
+        /// Leader to confirm to.
+        leader: NodeId,
+    },
+}
+
+/// Force-token bookkeeping shared by every replica on a node: appended
+/// bytes accumulate until a force is requested; completions resolve to
+/// the [`Waiter`] that asked.
+#[derive(Default)]
+pub(crate) struct ForceTracker {
+    waiters: HashMap<u64, Waiter>,
+    next_token: u64,
+    unforced_bytes: u64,
+}
+
+impl ForceTracker {
+    pub(crate) fn new() -> ForceTracker {
+        ForceTracker { waiters: HashMap::new(), next_token: 1, unforced_bytes: 0 }
+    }
+
+    /// Account bytes appended to the shared log since the last force.
+    pub(crate) fn add_bytes(&mut self, bytes: u64) {
+        self.unforced_bytes += bytes;
+    }
+
+    /// Request a force covering everything appended so far.
+    pub(crate) fn request(&mut self, waiter: Waiter, out: &mut Outbox) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.waiters.insert(token, waiter);
+        out.force_log(token, std::mem::take(&mut self.unforced_bytes));
+    }
+
+    /// Resolve a completed force token.
+    pub(crate) fn take(&mut self, token: u64) -> Option<Waiter> {
+        self.waiters.remove(&token)
+    }
+}
+
+/// Node-wide facilities a replica borrows for the duration of one input.
+pub(crate) struct Runtime<'a> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Node tuning knobs.
+    pub cfg: &'a NodeConfig,
+    /// The range table the node currently routes with.
+    pub ring: &'a Ring,
+    /// The shared write-ahead log.
+    pub wal: &'a mut Wal,
+    /// The coordination-service session.
+    pub coord: &'a CoordClient,
+    /// Force-token bookkeeping.
+    pub forces: &'a mut ForceTracker,
+}
+
+/// Cross-replica consequences of a per-replica transition, handed back to
+/// the node runtime (which owns the lifecycle operations they trigger).
+#[derive(Default)]
+pub(crate) struct FollowUp {
+    /// Writes unblocked by the transition; the node re-routes and
+    /// re-dispatches them (the table may have moved meanwhile).
+    pub redispatch: Vec<(Addr, WriteRequest)>,
+    /// A split/merge barrier drained: the node executes the pending
+    /// split or advances the pending merge.
+    pub barrier_ready: bool,
+    /// The cohort-movement target confirmed it is durably caught up: the
+    /// node commits the new replica set.
+    pub move_target_caught_up: bool,
+}
+
+impl FollowUp {
+    fn merge_from(&mut self, other: FollowUp) {
+        self.redispatch.extend(other.redispatch);
+        self.barrier_ready |= other.barrier_ready;
+        self.move_target_caught_up |= other.move_target_caught_up;
+    }
+}
+
+/// Leader-takeover progress (Fig. 6).
+pub(crate) struct Takeover {
+    pub(crate) caught_up: HashSet<NodeId>,
+    /// Unresolved writes `(l.cmt, l.lst]` re-proposed one at a time via
+    /// the normal replication protocol (Fig. 6 line 9).
+    pub(crate) repropose: VecDeque<(Lsn, WriteOp)>,
+    pub(crate) reproposing: bool,
+}
+
+/// An in-flight cohort movement, tracked by the range's leader.
+pub(crate) struct MoveState {
+    /// The departing replica.
+    pub(crate) from: NodeId,
+    /// The joining node (a learner until the commit CAS: its acks never
+    /// count toward the old cohort's quorum).
+    pub(crate) to: NodeId,
+    /// When the move started (abort timeout).
+    pub(crate) since: u64,
+    /// A departing *leader* drains its commit queue before handing off
+    /// (a barrier, like a split's); true once the drain is armed.
+    pub(crate) draining: bool,
+}
+
+/// An in-flight range merge, tracked on both siblings' leaders.
+pub(crate) struct Merging {
+    /// The other sibling of the merge.
+    pub(crate) sibling: RangeId,
+    /// True on the left sibling's leader (the coordinator), false on the
+    /// right sibling's leader (the subordinate barrier).
+    pub(crate) coordinator: bool,
+    /// Coordinator only: the right sibling's drained barrier, once its
+    /// leader announced `MergeReady`.
+    pub(crate) sibling_barrier: Option<Lsn>,
+    /// Subordinate only: the coordinator to answer with `MergeReady`.
+    pub(crate) requester: NodeId,
+    /// Subordinate only: whether `MergeReady` was already sent.
+    pub(crate) announced: bool,
+    /// When the merge started (abort timeout).
+    pub(crate) since: u64,
+    /// Attempt token correlating `MergeProposal` and `MergeReady`: a
+    /// stale readiness from an earlier aborted attempt never satisfies
+    /// a newer one.
+    pub(crate) token: u64,
+}
+
+/// Everything one node keeps for one replicated key range.
+pub struct RangeReplica {
+    pub(crate) range: RangeId,
+    pub(crate) peers: Vec<NodeId>,
+    pub(crate) store: RangeStore,
+    pub(crate) cq: CommitQueue,
+    pub(crate) role: Role,
+    pub(crate) epoch: Epoch,
+    pub(crate) leader: Option<NodeId>,
+    /// Leader: sequence number of the last assigned LSN.
+    pub(crate) last_assigned: Lsn,
+    pub(crate) last_committed: Lsn,
+    /// Last commit-note LSN logged (so idle periods log nothing new).
+    pub(crate) last_note: Lsn,
+    pub(crate) candidate_path: Option<String>,
+    pub(crate) takeover: Option<Takeover>,
+    /// Client writes buffered while takeover runs or while a split/merge
+    /// drains the commit queue toward its barrier.
+    pub(crate) blocked_writes: Vec<(Addr, WriteRequest)>,
+    /// Leader only: a split at this key waits for the queue to drain.
+    pub(crate) splitting: Option<Key>,
+    /// Leader only: a merge with a sibling waits for the queue to drain.
+    pub(crate) merging: Option<Merging>,
+    /// Leader only: a cohort movement in flight.
+    pub(crate) moving: Option<MoveState>,
+    /// Key bounds this replica covers, captured at creation. The table
+    /// may move further (chained splits, merges) while we lag; the span
+    /// bounds which current ranges can legitimately be derived from this
+    /// replica's local state.
+    pub(crate) span: (Key, Option<Key>),
+    /// Operations observed since the last maintenance sample (leader
+    /// writes + strong reads, follower proposes) — the load statistic
+    /// behind automatic split/merge triggers.
+    pub(crate) ops_since_sample: u64,
+    /// Virtual time of the last maintenance sample.
+    pub(crate) last_sample_at: u64,
+    /// Number of maintenance samples taken since attach (hysteresis: no
+    /// automatic resharding before the statistics settle).
+    pub(crate) samples: u64,
+}
+
+/// What the load/size statistics recommend for a range (sampled on the
+/// maintenance tick when a reshard policy is configured).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ReshardAdvice {
+    /// Nothing to do.
+    None,
+    /// Hot or oversized: split at the store's median key.
+    Split,
+    /// Cold and small: merge with the right-hand neighbour if eligible.
+    MergeRight,
+}
+
+impl RangeReplica {
+    /// A fresh, offline replica (attach it, then join its cohort).
+    pub(crate) fn new(
+        range: RangeId,
+        store: RangeStore,
+        peers: Vec<NodeId>,
+        span: (Key, Option<Key>),
+    ) -> RangeReplica {
+        RangeReplica {
+            range,
+            peers,
+            store,
+            span,
+            cq: CommitQueue::new(),
+            role: Role::Offline,
+            epoch: 0,
+            leader: None,
+            last_assigned: Lsn::ZERO,
+            last_committed: Lsn::ZERO,
+            last_note: Lsn::ZERO,
+            candidate_path: None,
+            takeover: None,
+            blocked_writes: Vec::new(),
+            splitting: None,
+            merging: None,
+            moving: None,
+            ops_since_sample: 0,
+            last_sample_at: 0,
+            samples: 0,
+        }
+    }
+
+    /// True while a barrier (split, merge, or a departing leader's
+    /// hand-off drain) is draining the queue.
+    pub(crate) fn barrier_pending(&self) -> bool {
+        self.splitting.is_some()
+            || self.merging.is_some()
+            || self.moving.as_ref().is_some_and(|m| m.draining)
+    }
+
+    // =================================================================
+    // leader election (Fig. 7)
+    // =================================================================
+
+    /// Register our candidacy and evaluate the round. The node runtime
+    /// guarantees the range is still in the table and we are (or are
+    /// becoming) a cohort member before calling.
+    pub(crate) fn start_election(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        let paths = CohortPaths::new(self.range);
+        self.role = Role::Electing;
+        self.leader = None;
+        self.takeover = None;
+        // Fig. 7 line 1: clean up our state from a previous round.
+        if let Some(old) = self.candidate_path.take() {
+            let _ = rt.coord.delete(&old);
+        }
+        // Fig. 7 line 4: advertise n.lst in a sequential ephemeral znode.
+        let lst = rt.wal.state(self.range).last_lsn;
+        let data = format!("{}:{}", rt.id, lst.as_u64());
+        match rt
+            .coord
+            .create_ephemeral_sequential(&format!("{}/c-", paths.candidates), data.into_bytes())
+        {
+            Ok(path) => self.candidate_path = Some(path),
+            Err(_) => {
+                // Session trouble; retry via the election timer.
+            }
+        }
+        out.set_timer(crate::messages::TimerKind::ElectionRetry, rt.cfg.election_retry);
+        self.check_election(rt, out);
+    }
+
+    /// Enter an election as an **observer**: watch the candidates without
+    /// registering our own candidacy (used for the right child of a split
+    /// so the home preference moves leadership to the next cohort
+    /// member). The election-retry timer upgrades us to a full candidate
+    /// if no quorum materializes.
+    pub(crate) fn observe_election(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        let paths = CohortPaths::new(self.range);
+        self.role = Role::Electing;
+        self.leader = None;
+        let _ = rt.coord.get_children_watch(&paths.candidates);
+        out.set_timer(crate::messages::TimerKind::ElectionRetry, rt.cfg.election_retry);
+        self.check_election(rt, out);
+    }
+
+    /// Fig. 7 lines 5-12: wait for a majority of candidates,
+    /// deterministic winner = max `n.lst`, znode sequence breaking ties.
+    pub(crate) fn check_election(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        let paths = CohortPaths::new(self.range);
+        if self.role != Role::Electing {
+            return;
+        }
+        let Ok(children) = rt.coord.get_children_watch(&paths.candidates) else {
+            return;
+        };
+        // Candidate entries: (lst desc, seq asc) per node id (a node may
+        // briefly have a stale entry from an earlier round; keep its best).
+        let mut best: std::collections::BTreeMap<NodeId, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for child in &children {
+            let full = format!("{}/{child}", paths.candidates);
+            let Ok((data, stat)) = rt.coord.get_data(&full) else { continue };
+            let Some((node, lst)) = parse_candidate(&data) else { continue };
+            let seq = stat.sequence.unwrap_or(u64::MAX);
+            let entry = best.entry(node).or_insert((lst, seq));
+            if lst > entry.0 || (lst == entry.0 && seq < entry.1) {
+                *entry = (lst, seq);
+            }
+        }
+        let majority = rt.ring.replication() / 2 + 1;
+        if best.len() < majority {
+            return; // keep waiting; the child watch will wake us
+        }
+        // Winner: max lst (the safety requirement — the leader must hold
+        // every committed write, §7.2). Ties carry no safety constraint;
+        // prefer the range's *home* node so elections realize the
+        // balanced one-leader-per-node layout of Fig. 2, falling back to
+        // the znode sequence number as the paper specifies.
+        let home = rt.ring.home_node(self.range);
+        let max_lst = best.values().map(|&(lst, _)| lst).max().expect("non-empty");
+        let winner = best
+            .iter()
+            .filter(|(_, (lst, _))| *lst == max_lst)
+            .min_by_key(|(&node, (_, seq))| (node != home, *seq))
+            .map(|(&node, _)| node)
+            .expect("non-empty");
+        if winner == rt.id {
+            // Fig. 7 lines 7-9.
+            match rt.coord.create_ephemeral(&paths.leader, rt.id.to_string().into_bytes()) {
+                Ok(()) => self.begin_takeover(rt, out),
+                Err(_) => {
+                    // Someone beat us to it; learn them.
+                    if let Ok(data) = rt.coord.get_data_watch(&paths.leader) {
+                        let leader = parse_node(&data);
+                        if leader != rt.id {
+                            self.become_follower(rt, leader, out);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Fig. 7 line 11: learn the new leader (it may not have
+            // written /r/leader yet; the exists-watch wakes us).
+            match rt.coord.get_data_watch(&paths.leader) {
+                Ok(data) => {
+                    let leader = parse_node(&data);
+                    self.become_follower(rt, leader, out);
+                }
+                Err(_) => {
+                    let _ = rt.coord.exists_watch(&paths.leader);
+                }
+            }
+        }
+    }
+
+    /// Claim leadership directly (cohort-movement hand-off): the
+    /// departing leader drained its queue and committed the cohort swap
+    /// naming us its successor, so we hold every committed write. The
+    /// old leader's znode is replaced and our takeover runs **in one
+    /// synchronous step** — by the time any member's deletion watch
+    /// fires, the new leader znode is already in place, so their
+    /// elections resolve to us instead of racing.
+    pub(crate) fn claim_leadership(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        let paths = CohortPaths::new(self.range);
+        let _ = rt.coord.delete(&paths.leader); // the departed leader's ephemeral
+        match rt.coord.create_ephemeral(&paths.leader, rt.id.to_string().into_bytes()) {
+            Ok(()) => self.begin_takeover(rt, out),
+            Err(_) => {
+                // Someone else already took over; follow them.
+                if let Ok(data) = rt.coord.get_data_watch(&paths.leader) {
+                    let leader = parse_node(&data);
+                    if leader != rt.id {
+                        self.become_follower(rt, leader, out);
+                    }
+                }
+            }
+        }
+    }
+
+    // =================================================================
+    // leader takeover (Fig. 6)
+    // =================================================================
+
+    fn begin_takeover(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        let paths = CohortPaths::new(self.range);
+        // Bump the epoch in the coordination service before accepting any
+        // new writes (Appendix B).
+        let old_epoch = rt.coord.read_epoch(&paths.epoch);
+        let new_epoch = old_epoch + 1;
+        rt.coord.write_epoch(&paths.epoch, new_epoch);
+
+        let st = rt.wal.state(self.range);
+        self.role = Role::LeaderTakeover;
+        self.epoch = new_epoch;
+        self.leader = Some(rt.id);
+        self.cq.clear();
+        let l_cmt = self.last_committed.max(st.last_committed);
+        let l_lst = st.last_lsn;
+        self.last_committed = l_cmt;
+        // Fig. 6 line 9's input: the unresolved writes (l.cmt, l.lst].
+        let repropose: VecDeque<(Lsn, WriteOp)> =
+            rt.wal.read_range(self.range, l_cmt, l_lst).unwrap_or_default().into_iter().collect();
+        self.takeover = Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
+        self.last_assigned = l_lst;
+        let epoch = self.epoch;
+        for peer in self.peers.clone() {
+            out.send(peer, PeerMsg::LeaderHello { range: self.range, epoch, leader: rt.id });
+        }
+        // If we are somehow alone (all peers dead), we must wait: the
+        // cohort stays unavailable until a majority participates. The
+        // election-retry timer keeps us checking.
+        let _ = self.maybe_finish_takeover(rt, out);
+    }
+
+    pub(crate) fn maybe_finish_takeover(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        out: &mut Outbox,
+    ) -> FollowUp {
+        let mut fu = FollowUp::default();
+        let Some(t) = self.takeover.as_mut() else { return fu };
+        // Fig. 6 line 8: wait until at least one follower caught up.
+        if t.caught_up.is_empty() {
+            return fu;
+        }
+        // Fig. 6 line 9: re-propose unresolved writes through the normal
+        // replication protocol, keeping a small pipeline in flight (the
+        // followers' group commit batches the forces).
+        const REPROPOSE_WINDOW: usize = 4;
+        let mut sent_any = false;
+        while self.cq.len() < REPROPOSE_WINDOW {
+            let Some((lsn, op)) = t.repropose.pop_front() else { break };
+            t.reproposing = true;
+            let epoch = self.epoch;
+            let committed = self.last_committed;
+            self.cq.insert(PendingWrite {
+                lsn,
+                op: op.clone(),
+                client: None,
+                ackers: HashSet::new(),
+                self_forced: true, // already durable in our log
+            });
+            let piggy = if rt.cfg.piggyback_commits { committed } else { Lsn::ZERO };
+            for peer in self.peers.clone() {
+                out.send(
+                    peer,
+                    PeerMsg::Propose {
+                        range: self.range,
+                        epoch,
+                        lsn,
+                        op: op.clone(),
+                        committed: piggy,
+                    },
+                );
+            }
+            sent_any = true;
+        }
+        let t = self.takeover.as_ref().expect("still in takeover");
+        if sent_any || (t.reproposing && !self.cq.is_empty()) {
+            return fu; // in-flight re-proposals have not all committed yet
+        }
+        // Fig. 6 line 10: open the cohort for writes. New LSNs are
+        // (new_epoch, seq) with seq continuing past l.lst, so every new
+        // LSN exceeds every LSN previously used in the cohort.
+        let epoch = self.epoch;
+        self.takeover = None;
+        self.role = Role::Leader;
+        self.last_assigned = Lsn::new(epoch, self.last_assigned.seq());
+        fu.redispatch = std::mem::take(&mut self.blocked_writes);
+        fu
+    }
+
+    // =================================================================
+    // follower paths
+    // =================================================================
+
+    pub(crate) fn become_follower(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        leader: NodeId,
+        out: &mut Outbox,
+    ) {
+        let paths = CohortPaths::new(self.range);
+        let epoch = rt.coord.read_epoch(&paths.epoch);
+        self.role = Role::CatchingUp;
+        self.leader = Some(leader);
+        self.epoch = self.epoch.max(epoch);
+        self.cq.clear();
+        // Redirect buffered writes; we are not the leader.
+        for (from, req) in std::mem::take(&mut self.blocked_writes) {
+            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(leader) });
+        }
+        out.send(
+            leader,
+            PeerMsg::CatchupReq { range: self.range, epoch: self.epoch, from: self.last_committed },
+        );
+    }
+
+    // =================================================================
+    // client requests (the node routed them here)
+    // =================================================================
+
+    pub(crate) fn on_write(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        from: Addr,
+        req: WriteRequest,
+        out: &mut Outbox,
+    ) {
+        match self.role {
+            Role::Leader if self.barrier_pending() => {
+                // Hold writes while a split/merge drains to its barrier;
+                // they re-dispatch (and re-route) once it completes.
+                self.blocked_writes.push((from, req));
+                return;
+            }
+            Role::Leader => {}
+            Role::LeaderTakeover => {
+                self.blocked_writes.push((from, req));
+                return;
+            }
+            Role::Follower | Role::CatchingUp => {
+                out.reply(from, Reply::NotLeader { req: req.req, hint: self.leader });
+                return;
+            }
+            Role::Electing | Role::Offline => {
+                out.reply(from, Reply::Unavailable { req: req.req });
+                return;
+            }
+        }
+        // Conditional check (§5.1) against latest proposed state: pending
+        // writes commit in LSN order, so the newest pending version is
+        // the version the condition must match.
+        if let Some((col, expected)) = &req.condition {
+            let actual = self
+                .cq
+                .latest_pending_version(&req.key, col)
+                .or_else(|| {
+                    self.store
+                        .get_column(&req.key, col)
+                        .ok()
+                        .flatten()
+                        .filter(|cv| !cv.tombstone)
+                        .map(|cv| cv.version)
+                })
+                .unwrap_or(0);
+            if actual != *expected {
+                out.reply(from, Reply::VersionMismatch { req: req.req, actual });
+                return;
+            }
+        }
+        self.ops_since_sample += 1;
+
+        // Fig. 4: append + force in parallel with propose to followers.
+        let lsn = Lsn::new(self.epoch, self.last_assigned.seq() + 1);
+        self.last_assigned = lsn;
+        let op = WriteOp { key: req.key, cells: req.cells, timestamp: lsn.as_u64() };
+        let rec = LogRecord::write(self.range, lsn, op.clone());
+        let appended = rt.wal.append(&rec);
+        debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
+        rt.forces.add_bytes(op.approx_size() as u64 + 32);
+        rt.forces.request(Waiter::LeaderWrite { range: self.range, lsn }, out);
+
+        self.cq.insert(PendingWrite {
+            lsn,
+            op: op.clone(),
+            client: Some((from, req.req)),
+            ackers: HashSet::new(),
+            self_forced: false,
+        });
+        let epoch = self.epoch;
+        let committed = if rt.cfg.piggyback_commits { self.last_committed } else { Lsn::ZERO };
+        for peer in self.peers.clone() {
+            out.send(
+                peer,
+                PeerMsg::Propose { range: self.range, epoch, lsn, op: op.clone(), committed },
+            );
+        }
+    }
+
+    pub(crate) fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
+        match req.consistency {
+            Consistency::Strong => {
+                // Strongly consistent reads are always routed to the
+                // cohort's leader (§5).
+                if self.role != Role::Leader {
+                    out.reply(from, Reply::NotLeader { req: req.req, hint: self.leader });
+                    return;
+                }
+                self.ops_since_sample += 1;
+            }
+            Consistency::Timeline => {
+                // Any live replica may answer, possibly stale.
+                if self.role == Role::Offline {
+                    out.reply(from, Reply::Unavailable { req: req.req });
+                    return;
+                }
+            }
+        }
+        let value = self
+            .store
+            .get_column(&req.key, &req.col)
+            .ok()
+            .flatten()
+            .filter(|cv| !cv.tombstone)
+            .map(|cv| (cv.value.clone(), cv.version));
+        out.reply(from, Reply::Value { req: req.req, value });
+    }
+
+    // =================================================================
+    // replication protocol (Fig. 4) + catch-up (§6.1)
+    // =================================================================
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_propose(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        from: NodeId,
+        epoch: Epoch,
+        lsn: Lsn,
+        op: WriteOp,
+        committed: Lsn,
+        out: &mut Outbox,
+    ) {
+        if epoch < self.epoch {
+            return; // stale leader
+        }
+        if epoch > self.epoch {
+            // A leader we have not formally met; adopt it (its authority
+            // comes from the coordination service).
+            self.epoch = epoch;
+            self.leader = Some(from);
+        }
+        match self.role {
+            Role::Follower | Role::CatchingUp => {}
+            Role::Leader | Role::LeaderTakeover => {
+                // We believed we led but a same/higher-epoch leader
+                // exists; epochs only move forward, so epoch == ours
+                // means we *are* the leader talking to ourselves —
+                // ignore. Higher epoch: step down.
+                if epoch > self.epoch || from != rt.id {
+                    self.role = Role::CatchingUp;
+                    self.leader = Some(from);
+                } else {
+                    return;
+                }
+            }
+            Role::Electing | Role::Offline => {
+                // Accept the write anyway: log it so it counts toward our
+                // n.lst; the leader is authoritative.
+                self.leader = Some(from);
+                self.role = Role::CatchingUp;
+            }
+        }
+        // A duplicate of a propose already in flight (the leader re-sends
+        // pending writes when serving a catch-up): the first copy's force
+        // will generate the ack.
+        if self.cq.contains(lsn) {
+            return;
+        }
+        self.ops_since_sample += 1;
+        // Run the normal replication protocol even when the record
+        // already sits in our log from the previous epoch (a takeover
+        // re-proposal, Fig. 6 line 9): append and force again.
+        // Re-appending an identical record is idempotent under replay.
+        self.cq.insert(PendingWrite {
+            lsn,
+            op: op.clone(),
+            client: None,
+            ackers: HashSet::new(),
+            self_forced: false,
+        });
+        let rec = LogRecord::write(self.range, lsn, op);
+        let _ = rt.wal.append(&rec);
+        rt.forces.add_bytes(64);
+        rt.forces.request(Waiter::FollowerWrite { range: self.range, lsn, leader: from }, out);
+        if !committed.is_zero() {
+            self.apply_commit(rt, committed);
+        }
+    }
+
+    pub(crate) fn on_ack(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        from: NodeId,
+        epoch: Epoch,
+        lsn: Lsn,
+        out: &mut Outbox,
+    ) -> FollowUp {
+        if epoch != self.epoch || !matches!(self.role, Role::Leader | Role::LeaderTakeover) {
+            return FollowUp::default();
+        }
+        // A cohort-movement learner's acks never count toward the *old*
+        // cohort's quorum: a commit vouched for only by leader + learner
+        // would not survive the old majority's failure rules.
+        if self.moving.as_ref().is_some_and(|m| m.to == from) {
+            return FollowUp::default();
+        }
+        self.cq.ack(lsn, from);
+        self.try_commit(rt, out)
+    }
+
+    /// Leader: drain every write that now has its own force + a quorum of
+    /// acks, in LSN order; apply, reply to clients. Reports drained
+    /// split/merge barriers and takeover completion to the node runtime.
+    pub(crate) fn try_commit(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) -> FollowUp {
+        let mut fu = FollowUp::default();
+        if !matches!(self.role, Role::Leader | Role::LeaderTakeover) {
+            return fu;
+        }
+        // Majority of 3 = leader + 1 follower ack.
+        let needed_acks = rt.ring.replication() / 2;
+        let committed = self.cq.drain_committable(self.last_committed, needed_acks);
+        for pw in committed {
+            self.store.apply(&pw.op, pw.lsn);
+            self.last_committed = pw.lsn;
+            if let Some((addr, req)) = pw.client {
+                out.reply(addr, Reply::WriteOk { req, version: pw.lsn.as_u64() });
+            }
+        }
+        if self.takeover.is_some() {
+            fu.merge_from(self.maybe_finish_takeover(rt, out));
+        }
+        // A pending barrier whose queue just drained can now execute. A
+        // subordinate merge barrier announces readiness itself; the
+        // coordinator's (and a split's) execution is a node-level
+        // lifecycle operation.
+        if self.role == Role::Leader && self.cq.is_empty() {
+            if let Some(m) = self.merging.as_mut() {
+                if !m.coordinator && !m.announced {
+                    m.announced = true;
+                    let (epoch, barrier) = (self.epoch, self.last_committed);
+                    let (sibling, requester, token) = (m.sibling, m.requester, m.token);
+                    // Barrier commit first, on the same FIFO links as the
+                    // proposes it covers; then the readiness announcement.
+                    for peer in self.peers.clone() {
+                        out.send(peer, PeerMsg::Commit { range: self.range, epoch, lsn: barrier });
+                    }
+                    if lsn_note_needed(barrier, self.last_note) {
+                        let _ = rt.wal.append(&LogRecord::commit_note(self.range, barrier));
+                        rt.forces.add_bytes(24);
+                        self.last_note = barrier;
+                    }
+                    // A coordinator that leads both siblings advances
+                    // through the returned barrier-ready flag instead of
+                    // messaging itself.
+                    if requester != rt.id {
+                        out.send(
+                            requester,
+                            PeerMsg::MergeReady {
+                                range: sibling,
+                                right: self.range,
+                                barrier,
+                                epoch,
+                                token,
+                            },
+                        );
+                    }
+                }
+            }
+            if self.barrier_pending() {
+                fu.barrier_ready = true;
+            }
+        }
+        fu
+    }
+
+    /// Our own log force completed for `lsn`.
+    pub(crate) fn on_self_forced(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        lsn: Lsn,
+        out: &mut Outbox,
+    ) -> FollowUp {
+        self.cq.self_forced(lsn);
+        self.try_commit(rt, out)
+    }
+
+    /// Follower: apply the asynchronous commit message (Fig. 4 right).
+    pub(crate) fn on_commit_msg(&mut self, rt: &mut Runtime<'_>, epoch: Epoch, lsn: Lsn) {
+        if epoch < self.epoch || self.role != Role::Follower {
+            return;
+        }
+        self.apply_commit(rt, lsn);
+    }
+
+    pub(crate) fn apply_commit(&mut self, rt: &mut Runtime<'_>, lsn: Lsn) {
+        if lsn <= self.last_committed {
+            return;
+        }
+        for pw in self.cq.drain_up_to(lsn) {
+            self.store.apply(&pw.op, pw.lsn);
+        }
+        self.last_committed = lsn;
+        // Non-forced log write of the last committed LSN (§5).
+        if lsn > self.last_note {
+            let _ = rt.wal.append(&LogRecord::commit_note(self.range, lsn));
+            rt.forces.add_bytes(24);
+            self.last_note = lsn;
+        }
+    }
+
+    /// Drain and apply queued writes up to `barrier`, reporting whether
+    /// the drained history was *gap-free* (cohort LSN sequence numbers
+    /// are dense across epochs, so contiguity is checkable). Only a clean
+    /// prefix may advance the committed watermark — everything drained is
+    /// known committed (the merge coordinator saw both barriers), so
+    /// applying with holes is safe for the store, but *claiming* the
+    /// barrier with a hole would let an election elect a leader missing
+    /// committed writes.
+    pub(crate) fn commit_through_barrier(&mut self, rt: &mut Runtime<'_>, barrier: Lsn) -> bool {
+        if self.last_committed >= barrier {
+            return true;
+        }
+        let start = self.last_committed;
+        let mut expected_seq = start.seq();
+        let mut clean = true;
+        for pw in self.cq.drain_up_to(barrier) {
+            if pw.lsn.seq() != expected_seq + 1 {
+                clean = false;
+            }
+            expected_seq = pw.lsn.seq();
+            self.store.apply(&pw.op, pw.lsn);
+        }
+        clean &= expected_seq == barrier.seq();
+        if clean {
+            self.last_committed = barrier;
+            if barrier > self.last_note {
+                let _ = rt.wal.append(&LogRecord::commit_note(self.range, barrier));
+                rt.forces.add_bytes(24);
+                self.last_note = barrier;
+            }
+        }
+        clean
+    }
+
+    pub(crate) fn on_leader_hello(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        epoch: Epoch,
+        leader: NodeId,
+        out: &mut Outbox,
+    ) {
+        if epoch < self.epoch || leader == rt.id {
+            return;
+        }
+        self.become_follower(rt, leader, out);
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Leader side of catch-up (§6.1 + Fig. 6 lines 3-7).
+    ///
+    /// The paper has the leader "momentarily block new writes to ensure
+    /// that the follower is fully caught up". We achieve the same
+    /// synchronization point without a blocking window: committed history
+    /// is shipped immediately and every write still pending in the commit
+    /// queue is *re-proposed* to the follower over the same FIFO link, so
+    /// by the time the follower processes the catch-up reply it observes
+    /// a complete, gap-free prefix.
+    pub(crate) fn on_catchup_req(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        follower: NodeId,
+        f_cmt: Lsn,
+        out: &mut Outbox,
+    ) {
+        if !matches!(self.role, Role::Leader | Role::LeaderTakeover) {
+            return; // not the leader (any more); the follower will re-learn
+        }
+        self.serve_catchup(rt, follower, f_cmt, out);
+        // Re-send in-flight proposals so the follower misses nothing.
+        let epoch = self.epoch;
+        let committed = if rt.cfg.piggyback_commits { self.last_committed } else { Lsn::ZERO };
+        let pending: Vec<(Lsn, WriteOp)> = self
+            .cq
+            .pending_lsns()
+            .into_iter()
+            .filter_map(|lsn| {
+                rt.wal
+                    .read_range(self.range, Lsn::from_u64(lsn.as_u64() - 1), lsn)
+                    .ok()
+                    .and_then(|v| v.into_iter().next())
+            })
+            .collect();
+        for (lsn, op) in pending {
+            out.send(follower, PeerMsg::Propose { range: self.range, epoch, lsn, op, committed });
+        }
+    }
+
+    fn serve_catchup(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        follower: NodeId,
+        f_cmt: Lsn,
+        out: &mut Outbox,
+    ) {
+        let up_to = self.last_committed;
+        let epoch = self.epoch;
+        match rt.wal.read_range(self.range, f_cmt, up_to) {
+            Ok(records) => {
+                out.send(
+                    follower,
+                    PeerMsg::CatchupRecords {
+                        range: self.range,
+                        epoch,
+                        records,
+                        fragments: Vec::new(),
+                        up_to,
+                    },
+                );
+            }
+            Err(_) => {
+                // Log rolled over: serve from SSTables + memtable (§6.1).
+                let fragments = self.store.rows_since(f_cmt).unwrap_or_default();
+                out.send(
+                    follower,
+                    PeerMsg::CatchupRecords {
+                        range: self.range,
+                        epoch,
+                        records: Vec::new(),
+                        fragments,
+                        up_to,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Follower side of catch-up completion: ingest, **logically
+    /// truncate** orphaned records (§6.1.1), confirm.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_catchup_records(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        leader: NodeId,
+        epoch: Epoch,
+        records: Vec<(Lsn, WriteOp)>,
+        fragments: Vec<(Key, spinnaker_common::Row)>,
+        up_to: Lsn,
+        out: &mut Outbox,
+    ) {
+        let st = rt.wal.state(self.range);
+        if epoch < self.epoch || self.role != Role::CatchingUp {
+            return;
+        }
+        self.epoch = epoch;
+        let f_cmt = self.last_committed;
+
+        // Which of our own records beyond f.cmt does the leader's history
+        // confirm? Anything else in (f.cmt, up_to] was discarded by a
+        // previous leader change and must never replay: logical
+        // truncation.
+        let own: Vec<Lsn> = rt
+            .wal
+            .read_range(self.range, f_cmt, st.last_lsn)
+            .map(|v| v.into_iter().map(|(l, _)| l).collect())
+            .unwrap_or_default();
+        let received: HashSet<Lsn> = records.iter().map(|(l, _)| *l).collect();
+        let to_truncate: Vec<Lsn> =
+            own.iter().copied().filter(|l| *l <= up_to && !received.contains(l)).collect();
+        if !to_truncate.is_empty() {
+            let _ = rt.wal.truncate_logically(self.range, &to_truncate);
+        }
+
+        // Append records we do not have, apply everything in LSN order.
+        let mut appended = false;
+        for (lsn, op) in &records {
+            if !own.contains(lsn) {
+                let _ = rt.wal.append(&LogRecord::write(self.range, *lsn, op.clone()));
+                rt.forces.add_bytes(op.approx_size() as u64 + 32);
+                appended = true;
+            }
+            self.store.apply(op, *lsn);
+        }
+        if !fragments.is_empty() {
+            for (key, frag) in &fragments {
+                self.store.ingest_fragment(key, frag);
+            }
+            // SSTable-based catch-up: make it durable by flushing and
+            // advancing the checkpoint (the shipped rows exist in the
+            // leader's SSTables, not as replayable log records).
+            if let Ok(Some(flushed)) = self.store.flush() {
+                let _ = rt.wal.set_checkpoint(self.range, flushed.max(up_to));
+            } else {
+                let _ = rt.wal.set_checkpoint(self.range, up_to);
+            }
+        }
+        self.last_committed = up_to.max(self.last_committed);
+        if up_to > self.last_note {
+            let _ = rt.wal.append(&LogRecord::commit_note(self.range, up_to));
+            self.last_note = up_to;
+            appended = true;
+        }
+        self.role = Role::Follower;
+
+        if appended {
+            rt.forces.request(Waiter::CatchupDone { range: self.range, up_to, leader }, out);
+        } else {
+            out.send(leader, PeerMsg::CaughtUp { range: self.range, epoch: self.epoch, at: up_to });
+        }
+    }
+
+    pub(crate) fn on_caught_up(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        follower: NodeId,
+        out: &mut Outbox,
+    ) -> FollowUp {
+        let mut fu = FollowUp::default();
+        if self.takeover.is_some() {
+            if let Some(t) = self.takeover.as_mut() {
+                t.caught_up.insert(follower);
+            }
+            fu.merge_from(self.maybe_finish_takeover(rt, out));
+        }
+        if self.moving.as_ref().is_some_and(|m| m.to == follower)
+            && matches!(self.role, Role::Leader | Role::LeaderTakeover)
+        {
+            fu.move_target_caught_up = true;
+        }
+        fu
+    }
+
+    // =================================================================
+    // timers
+    // =================================================================
+
+    /// The periodic commit message (Fig. 4 right; the *commit period*).
+    pub(crate) fn commit_tick(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        if self.role != Role::Leader || self.last_committed == Lsn::ZERO {
+            return;
+        }
+        let lsn = self.last_committed;
+        let epoch = self.epoch;
+        // Log our own last-committed note (non-forced).
+        if lsn > self.last_note {
+            let _ = rt.wal.append(&LogRecord::commit_note(self.range, lsn));
+            rt.forces.add_bytes(24);
+            self.last_note = lsn;
+        }
+        for peer in self.peers.clone() {
+            out.send(peer, PeerMsg::Commit { range: self.range, epoch, lsn });
+        }
+    }
+
+    /// Memtable flush / compaction check, plus the load/size sample
+    /// behind automatic split/merge triggers.
+    pub(crate) fn maintenance_tick(&mut self, rt: &mut Runtime<'_>, now: u64) -> ReshardAdvice {
+        if self.store.needs_flush() {
+            if let Ok(Some(flushed)) = self.store.flush() {
+                let _ = rt.wal.set_checkpoint(self.range, flushed);
+            }
+            let _ = self.store.maybe_compact();
+        }
+
+        let elapsed = now.saturating_sub(self.last_sample_at);
+        let ops = std::mem::take(&mut self.ops_since_sample);
+        self.last_sample_at = now;
+        self.samples += 1;
+        let Some(policy) = rt.cfg.reshard.as_ref() else { return ReshardAdvice::None };
+        // Hysteresis: let the statistics settle after attach, and never
+        // trigger while another reconfiguration is already running.
+        if self.samples < 3
+            || self.role != Role::Leader
+            || self.barrier_pending()
+            || self.moving.is_some()
+            || self.takeover.is_some()
+            || elapsed == 0
+        {
+            return ReshardAdvice::None;
+        }
+        let ops_per_sec = ops as f64 * 1e9 / elapsed as f64;
+        let bytes = self.store.approx_total_bytes();
+        if ops_per_sec > policy.split_ops_per_sec || bytes > policy.split_bytes {
+            return ReshardAdvice::Split;
+        }
+        if ops_per_sec < policy.merge_ops_per_sec && bytes < policy.merge_bytes {
+            return ReshardAdvice::MergeRight;
+        }
+        ReshardAdvice::None
+    }
+}
+
+/// True when a commit note for `lsn` is worth logging.
+fn lsn_note_needed(lsn: Lsn, last_note: Lsn) -> bool {
+    lsn > last_note
+}
+
+pub(crate) fn parse_node(data: &[u8]) -> NodeId {
+    std::str::from_utf8(data).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(u32::MAX)
+}
+
+pub(crate) fn parse_candidate(data: &[u8]) -> Option<(NodeId, u64)> {
+    let s = std::str::from_utf8(data).ok()?;
+    let (node, lst) = s.split_once(':')?;
+    Some((node.parse().ok()?, lst.parse().ok()?))
+}

@@ -45,6 +45,27 @@ impl Default for StoreOptions {
     }
 }
 
+/// A consistent full-store snapshot, streamed to a node joining a cohort
+/// (replica movement): raw SSTable file images (newest first, matching the
+/// exporter's table order) plus unflushed memtable rows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreSnapshot {
+    /// Raw SSTable file contents, newest first.
+    pub tables: Vec<Vec<u8>>,
+    /// Memtable row fragments (versions embedded).
+    pub mem_rows: Vec<(Key, Row)>,
+    /// Highest LSN captured anywhere in the snapshot.
+    pub max_lsn: Lsn,
+}
+
+impl StoreSnapshot {
+    /// Approximate wire size, for the network model.
+    pub fn approx_size(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum::<usize>()
+            + self.mem_rows.iter().map(|(k, r)| k.len() + r.approx_size()).sum::<usize>()
+    }
+}
+
 #[derive(Default)]
 struct Manifest {
     /// Live table ids, newest first.
@@ -352,6 +373,75 @@ impl RangeStore {
         Ok(child)
     }
 
+    /// Merge two sibling stores with *disjoint* key spans into one child
+    /// (dynamic range merging — the inverse of [`RangeStore::split`]).
+    /// Because no key can live on both sides, every SSTable is adopted
+    /// wholesale as a cheap file copy and the memtables are unioned; no
+    /// row-level merge is ever needed. The parents are left untouched; the
+    /// caller dissolves them once the merged child is durable.
+    pub fn merge(left: &RangeStore, right: &RangeStore, opts: StoreOptions) -> Result<RangeStore> {
+        let mut merged = RangeStore::create(left.vfs.clone(), opts)?;
+        for parent in [left, right] {
+            // Oldest first, inserting at the front, preserving each side's
+            // newest-first order (the sides are disjoint, so their relative
+            // interleaving carries no version semantics).
+            for table in parent.tables.iter().rev() {
+                merged.adopt_table_file(table.path())?;
+            }
+            for (key, row) in parent.memtable.iter() {
+                merged.memtable.merge_row(key, row);
+            }
+        }
+        merged.save_manifest()?;
+        Ok(merged)
+    }
+
+    /// Export a consistent snapshot of the whole store: raw SSTable file
+    /// images plus the memtable rows that have not been flushed yet. Used
+    /// to stream a range's data to a node joining its cohort (replica
+    /// movement); everything the store holds at call time is captured, so
+    /// the snapshot is consistent up to [`RangeStore::max_lsn`].
+    pub fn export_snapshot(&self) -> Result<StoreSnapshot> {
+        let mut tables = Vec::with_capacity(self.tables.len());
+        for table in &self.tables {
+            tables.push(self.vfs.read_all(table.path())?);
+        }
+        let mem_rows: Vec<(Key, Row)> =
+            self.memtable.iter().map(|(k, r)| (k.clone(), r.clone())).collect();
+        Ok(StoreSnapshot { tables, mem_rows, max_lsn: self.max_lsn() })
+    }
+
+    /// Import a snapshot into this (expected-fresh) store: the table
+    /// images are written and synced as local SSTables and the row
+    /// fragments land in the memtable. The caller flushes and advances its
+    /// WAL checkpoint to make the handoff durable.
+    pub fn import_snapshot(&mut self, snap: &StoreSnapshot) -> Result<()> {
+        // Oldest image first, inserting at the front, so this store ends
+        // newest-first exactly like the exporter.
+        for data in snap.tables.iter().rev() {
+            let id = self.manifest.next_id;
+            self.manifest.next_id += 1;
+            let dst = Self::table_path(&self.opts.dir, id);
+            let mut f = self.vfs.create(&dst)?;
+            f.append(data)?;
+            f.sync()?;
+            self.tables.insert(0, Table::open(self.vfs.clone(), &dst)?);
+            self.manifest.tables.insert(0, id);
+        }
+        for (key, row) in &snap.mem_rows {
+            self.memtable.merge_row(key, row);
+        }
+        self.save_manifest()
+    }
+
+    /// Open a store on a fresh manifest, discarding any leftovers in the
+    /// directory (stale state from a replica that departed earlier, or a
+    /// fork that crashed before completing). The public entry point for a
+    /// node about to receive a snapshot.
+    pub fn recreate(vfs: SharedVfs, opts: StoreOptions) -> Result<RangeStore> {
+        RangeStore::create(vfs, opts)
+    }
+
     /// Open a store on a *fresh* manifest, ignoring any leftovers in the
     /// directory (e.g. from a fork that crashed before completing).
     fn create(vfs: SharedVfs, opts: StoreOptions) -> Result<RangeStore> {
@@ -411,6 +501,24 @@ impl RangeStore {
             streams.push(vec_stream(table.scan(start, end)?));
         }
         MergeIter::new(streams)?.collect()
+    }
+
+    /// Approximate total bytes held (memtable estimate + SSTable file
+    /// sizes) — the size statistic behind automatic split triggers.
+    pub fn approx_total_bytes(&self) -> u64 {
+        self.memtable.approx_bytes() as u64
+            + self.tables.iter().map(|t| t.meta().file_bytes).sum::<u64>()
+    }
+
+    /// An approximate median key: the middle key of a merged scan. Costs a
+    /// full scan, so callers invoke it only when a size/load trigger has
+    /// already decided to split. `None` when the store holds no rows.
+    pub fn mid_key(&self) -> Option<Key> {
+        let rows = self.scan(&Key::default(), None).ok()?;
+        if rows.len() < 2 {
+            return None;
+        }
+        Some(rows[rows.len() / 2].0.clone())
     }
 
     /// Highest LSN applied to the memtable (`Lsn::ZERO` when clean).
@@ -701,6 +809,147 @@ mod tests {
             right2.get(&Key::from("k99")).unwrap().unwrap().get_live(b"c").unwrap().value.as_ref(),
             b"late"
         );
+    }
+
+    #[test]
+    fn merge_rejoins_split_children_losslessly() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for i in 0..30u64 {
+            s.apply(&op::put(&format!("k{i:02}"), "c", &format!("v{i}")), Lsn::new(1, i + 1));
+            if i % 7 == 0 {
+                s.flush().unwrap();
+            }
+        }
+        s.apply(&op::delete("k05", "c"), Lsn::new(1, 100));
+        let at = Key::from("k15");
+        let (left, right) = s
+            .split(
+                &at,
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+        let merged = RangeStore::merge(
+            &left,
+            &right,
+            StoreOptions { dir: "merged".into(), ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..30u64 {
+            let k = Key::from(format!("k{i:02}").as_str());
+            assert_eq!(merged.get(&k).unwrap(), s.get(&k).unwrap(), "key k{i:02}");
+        }
+        assert_eq!(
+            merged.scan(&Key::default(), None).unwrap(),
+            s.scan(&Key::default(), None).unwrap(),
+            "merged scan equals the original"
+        );
+    }
+
+    #[test]
+    fn merged_store_survives_restart() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for i in 0..20u64 {
+            s.apply(&op::put(&format!("k{i:02}"), "c", &format!("v{i}")), Lsn::new(1, i + 1));
+        }
+        s.flush().unwrap();
+        let (left, right) = s
+            .split(
+                &Key::from("k10"),
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+        let mut merged = RangeStore::merge(
+            &left,
+            &right,
+            StoreOptions { dir: "merged".into(), ..Default::default() },
+        )
+        .unwrap();
+        merged.flush().unwrap();
+        let merged2 = RangeStore::open(
+            Arc::new(vfs.crash_clone()),
+            StoreOptions { dir: "merged".into(), ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..20u64 {
+            let k = Key::from(format!("k{i:02}").as_str());
+            assert_eq!(merged2.get(&k).unwrap(), s.get(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_export_import_roundtrip() {
+        let vfs = MemVfs::new();
+        let mut src = store_on(&vfs);
+        for i in 0..25u64 {
+            src.apply(&op::put(&format!("k{i:02}"), "c", &format!("v{i}")), Lsn::new(2, i + 1));
+            if i == 10 {
+                src.flush().unwrap();
+            }
+        }
+        src.apply(&op::delete("k03", "c"), Lsn::new(2, 90));
+        let snap = src.export_snapshot().unwrap();
+        assert_eq!(snap.max_lsn, Lsn::new(2, 90));
+        assert!(snap.approx_size() > 0);
+
+        // Import on a different node's (fresh) filesystem.
+        let vfs2 = MemVfs::new();
+        let mut dst = RangeStore::recreate(
+            Arc::new(vfs2.clone()),
+            StoreOptions { dir: "joined".into(), ..Default::default() },
+        )
+        .unwrap();
+        dst.import_snapshot(&snap).unwrap();
+        for i in 0..25u64 {
+            let k = Key::from(format!("k{i:02}").as_str());
+            assert_eq!(dst.get(&k).unwrap(), src.get(&k).unwrap(), "key k{i:02}");
+        }
+        assert_eq!(dst.max_lsn(), src.max_lsn());
+
+        // The imported tables are durable; memtable rows need a flush.
+        dst.flush().unwrap();
+        let dst2 = RangeStore::open(
+            Arc::new(vfs2.crash_clone()),
+            StoreOptions { dir: "joined".into(), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            dst2.scan(&Key::default(), None).unwrap(),
+            src.scan(&Key::default(), None).unwrap()
+        );
+    }
+
+    #[test]
+    fn recreate_discards_stale_state() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("old", "c", "stale"), Lsn::new(1, 1));
+        s.flush().unwrap();
+        let fresh = RangeStore::recreate(Arc::new(vfs.clone()), StoreOptions::default()).unwrap();
+        assert!(fresh.get(&Key::from("old")).unwrap().is_none(), "leftovers discarded");
+        assert_eq!(fresh.table_count(), 0);
+    }
+
+    #[test]
+    fn size_and_mid_key_statistics() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        assert_eq!(s.approx_total_bytes(), 0);
+        assert!(s.mid_key().is_none());
+        for i in 0..40u64 {
+            s.apply(&op::put(&format!("k{i:02}"), "c", &"x".repeat(32)), Lsn::new(1, i + 1));
+        }
+        let mem_only = s.approx_total_bytes();
+        assert!(mem_only > 0);
+        s.flush().unwrap();
+        assert!(s.approx_total_bytes() > 0, "flushed bytes counted via file sizes");
+        let mid = s.mid_key().unwrap();
+        // The midpoint splits the keys roughly in half.
+        let below = (0..40u64).filter(|i| Key::from(format!("k{i:02}").as_str()) < mid).count();
+        assert!((10..=30).contains(&below), "mid key is central: {below} below");
     }
 
     #[test]

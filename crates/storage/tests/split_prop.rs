@@ -1,8 +1,10 @@
-//! Property test for dynamic range splitting at the storage layer: for an
-//! arbitrary write history (puts, deletes, interleaved flushes — so the
-//! data straddles memtable and SSTables in arbitrary ways), splitting the
-//! store at an arbitrary key and reading each key from the child that owns
-//! its side must equal reading from the unsplit store.
+//! Property tests for dynamic range splitting and merging at the storage
+//! layer: for an arbitrary write history (puts, deletes, interleaved
+//! flushes — so the data straddles memtable and SSTables in arbitrary
+//! ways), splitting the store at an arbitrary key and reading each key
+//! from the child that owns its side must equal reading from the unsplit
+//! store — and merging the two children back must reproduce the parent
+//! exactly (merge ∘ split = identity).
 
 use std::sync::Arc;
 
@@ -90,5 +92,64 @@ proptest! {
         prop_assert_eq!(left.scan(&Key::default(), None).unwrap(), parent_left);
         let parent_right = store.scan(&at, None).unwrap();
         prop_assert_eq!(right.scan(&Key::default(), None).unwrap(), parent_right);
+    }
+
+    #[test]
+    fn merge_is_the_inverse_of_split(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        split_at in any::<u8>(),
+    ) {
+        let vfs = MemVfs::new();
+        let mut store = RangeStore::open(Arc::new(vfs.clone()), StoreOptions::default()).unwrap();
+        let mut seq = 0u64;
+        for operation in &ops {
+            match operation {
+                Op::Put { key, col, value } => {
+                    seq += 1;
+                    store.apply(
+                        &op::put(&format!("key{key:03}"), &format!("c{col}"), &format!("v{value}")),
+                        Lsn::new(1, seq),
+                    );
+                }
+                Op::Delete { key } => {
+                    seq += 1;
+                    store.apply(&op::delete(&format!("key{key:03}"), "c0"), Lsn::new(1, seq));
+                }
+                Op::Flush => {
+                    store.flush().unwrap();
+                }
+            }
+        }
+
+        let at = key_of(split_at);
+        let (left, right) = store
+            .split(
+                &at,
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+        let merged = RangeStore::merge(
+            &left,
+            &right,
+            StoreOptions { dir: "merged".into(), ..Default::default() },
+        )
+        .unwrap();
+
+        // Point reads: every key reads identically from the merged store
+        // (tombstones and versions included).
+        for k in 0u8..=255 {
+            let key = key_of(k);
+            prop_assert_eq!(
+                merged.get(&key).unwrap(),
+                store.get(&key).unwrap(),
+                "key {} must read identically after split + merge", k
+            );
+        }
+        // Full scan equality: the merged store *is* the parent.
+        prop_assert_eq!(
+            merged.scan(&Key::default(), None).unwrap(),
+            store.scan(&Key::default(), None).unwrap()
+        );
     }
 }

@@ -37,6 +37,13 @@ impl Checkpoints {
         }
     }
 
+    /// Forget `cohort` entirely (its range was dissolved or its replica
+    /// departed this node): the stream will never be replayed again, so
+    /// its entry stops occupying the sidecar file.
+    pub fn remove(&mut self, cohort: RangeId) {
+        self.by_cohort.remove(&cohort);
+    }
+
     /// Iterate `(cohort, checkpoint)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RangeId, Lsn)> + '_ {
         self.by_cohort.iter().map(|(&c, &l)| (c, l))

@@ -435,6 +435,29 @@ impl Wal {
         Ok(())
     }
 
+    /// Retire `cohort`'s logical stream: its range was dissolved (split or
+    /// merge) or its replica departed this node, and another stream — or
+    /// another node — now owns the data. Drops the replay index, the
+    /// skipped-LSN list and the checkpoint entry, releasing the stream's
+    /// segment references so shared segments become collectable. The
+    /// stream afterwards reads as pristine, which is exactly what a later
+    /// re-handoff (the replica moving back) expects.
+    pub fn retire_stream(&mut self, cohort: RangeId) -> Result<()> {
+        if let Some(entry) = self.index.remove(&cohort) {
+            for loc in entry.records.values() {
+                if let Some(refs) = self.seg_refs.get_mut(&loc.segment) {
+                    *refs = refs.saturating_sub(1);
+                }
+            }
+        }
+        self.checkpoints.remove(cohort);
+        self.checkpoints.save(self.vfs.as_ref(), &Self::cp_path(&self.opts.dir))?;
+        if self.skipped.by_cohort.remove(&cohort).is_some() {
+            self.skipped.save(self.vfs.as_ref(), &Self::skipped_path(&self.opts.dir))?;
+        }
+        self.maybe_gc()
+    }
+
     /// Number of on-disk segments (sealed + current), for tests.
     pub fn segment_count(&self) -> usize {
         self.sealed.len() + 1
@@ -662,6 +685,47 @@ mod tests {
         assert_eq!(got.len(), 10);
         assert_eq!(got[0].0, Lsn::new(1, 21));
         assert_eq!(got[1].0, Lsn::new(2, 22));
+    }
+
+    #[test]
+    fn retire_stream_forgets_the_cohort_and_frees_segments() {
+        let vfs = MemVfs::new();
+        let mut wal =
+            Wal::open(Arc::new(vfs.clone()), WalOptions { dir: "wal".into(), segment_bytes: 256 })
+                .unwrap();
+        // Cohort 0 fills several segments; cohort 1 stays small and live.
+        for seq in 1..=40 {
+            wal.append(&wr(0, 1, seq)).unwrap();
+        }
+        wal.append(&wr(1, 1, 1)).unwrap();
+        wal.truncate_logically(RangeId(0), &[Lsn::new(1, 40)]).unwrap();
+        wal.set_checkpoint(RangeId(0), Lsn::new(1, 10)).unwrap();
+        wal.sync().unwrap();
+        let before = wal.segment_count();
+
+        wal.retire_stream(RangeId(0)).unwrap();
+        let st = wal.state(RangeId(0));
+        assert_eq!(st.last_lsn, Lsn::ZERO, "stream reads as pristine");
+        assert_eq!(wal.checkpoint(RangeId(0)), Lsn::ZERO);
+        assert_eq!(wal.indexed_records(RangeId(0)), 0);
+        assert!(wal.skipped_lsns(RangeId(0)).is_empty());
+        // Rolling the segment makes the retired stream's segments garbage.
+        for seq in 2..=20 {
+            wal.append(&wr(1, 1, seq)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() <= before, "retired segments collected");
+        // The other cohort is untouched.
+        assert_eq!(wal.read_range(RangeId(1), Lsn::ZERO, Lsn::MAX).unwrap().len(), 20);
+
+        // And the retirement is durable across restart.
+        let reopened = Wal::open(
+            Arc::new(vfs.crash_clone()),
+            WalOptions { dir: "wal".into(), segment_bytes: 256 },
+        );
+        // Old cohort-0 records may still sit in surviving segments, but
+        // the checkpoint/skipped sidecars no longer mention the cohort.
+        assert_eq!(reopened.unwrap().checkpoint(RangeId(0)), Lsn::ZERO);
     }
 
     #[test]
