@@ -8,6 +8,8 @@
 //!   (`e.seq` in the paper's Appendix B),
 //! * [`Key`], [`Value`], [`Row`], [`ColumnValue`] — the row/column data
 //!   model of §3,
+//! * [`api`] — the typed §3 client API surface ([`ClientOp`],
+//!   [`ClientReply`]) and its wire encoding,
 //! * [`codec`] — the hand-written binary encoding used by the WAL and
 //!   SSTable formats,
 //! * [`crc32c`] — CRC-32C (Castagnoli) checksums guarding on-disk records,
@@ -15,6 +17,7 @@
 //!   fault-injecting backends so storage code can be crash-tested
 //!   deterministically.
 
+pub mod api;
 pub mod codec;
 pub mod crc32c;
 pub mod error;
@@ -23,6 +26,7 @@ pub mod op;
 pub mod types;
 pub mod vfs;
 
+pub use api::{ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow};
 pub use error::{Error, Result};
 pub use lsn::{Epoch, Lsn};
 pub use op::{CellOp, WriteOp};

@@ -1,0 +1,122 @@
+//! Codec round-trip property tests for the typed client protocol:
+//! arbitrary [`ClientOp`]s and [`ClientReply`]s must survive
+//! encode → decode exactly, and decoding must consume the full encoding
+//! (no trailing garbage left behind — requests are concatenated on the
+//! wire).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use spinnaker_common::api::{
+    ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, ScanRow,
+};
+use spinnaker_common::codec::{Decode, Encode};
+use spinnaker_common::{Consistency, Key};
+
+fn bytes_strat() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(Bytes::from)
+}
+
+fn key_strat() -> impl Strategy<Value = Key> {
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(Key::from)
+}
+
+fn opt_key_strat() -> impl Strategy<Value = Option<Key>> {
+    prop_oneof![Just(None), key_strat().prop_map(Some)]
+}
+
+fn opt_bytes_strat() -> impl Strategy<Value = Option<Bytes>> {
+    prop_oneof![Just(None), bytes_strat().prop_map(Some)]
+}
+
+fn consistency_strat() -> impl Strategy<Value = Consistency> {
+    prop_oneof![Just(Consistency::Strong), Just(Consistency::Timeline)]
+}
+
+fn column_select_strat() -> impl Strategy<Value = ColumnSelect> {
+    prop_oneof![
+        Just(ColumnSelect::All),
+        bytes_strat().prop_map(ColumnSelect::One),
+        proptest::collection::vec(bytes_strat(), 0..4).prop_map(ColumnSelect::Set),
+    ]
+}
+
+fn op_strat() -> impl Strategy<Value = ClientOp> {
+    prop_oneof![
+        (key_strat(), column_select_strat(), consistency_strat())
+            .prop_map(|(key, columns, consistency)| ClientOp::Get { key, columns, consistency }),
+        (key_strat(), proptest::collection::vec((bytes_strat(), bytes_strat()), 1..4))
+            .prop_map(|(key, cells)| ClientOp::Put { key, cells }),
+        (key_strat(), proptest::collection::vec(bytes_strat(), 1..4))
+            .prop_map(|(key, columns)| ClientOp::Delete { key, columns }),
+        (key_strat(), bytes_strat(), bytes_strat(), any::<u64>()).prop_map(
+            |(key, col, value, expected)| ClientOp::ConditionalPut { key, col, value, expected }
+        ),
+        (key_strat(), bytes_strat(), any::<u64>())
+            .prop_map(|(key, col, expected)| ClientOp::ConditionalDelete { key, col, expected }),
+        (key_strat(), opt_key_strat(), any::<u32>(), consistency_strat()).prop_map(
+            |(start, end, limit, consistency)| ClientOp::Scan { start, end, limit, consistency }
+        ),
+    ]
+}
+
+fn cell_strat() -> impl Strategy<Value = ReadCell> {
+    (bytes_strat(), opt_bytes_strat(), any::<u64>()).prop_map(|(col, value, version)| ReadCell {
+        col,
+        value,
+        version,
+    })
+}
+
+fn row_strat() -> impl Strategy<Value = ScanRow> {
+    (key_strat(), proptest::collection::vec(cell_strat(), 0..4))
+        .prop_map(|(key, cells)| ScanRow { key, cells })
+}
+
+fn reply_strat() -> impl Strategy<Value = ClientReply> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(req, version)| ClientReply::WriteOk { req, version }),
+        (any::<u64>(), proptest::collection::vec(cell_strat(), 0..4))
+            .prop_map(|(req, cells)| ClientReply::Row { req, cells }),
+        (any::<u64>(), proptest::collection::vec(row_strat(), 0..4), opt_key_strat())
+            .prop_map(|(req, rows, resume)| ClientReply::Rows { req, rows, resume }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(req, actual)| ClientReply::VersionMismatch { req, actual }),
+        (any::<u64>(), prop_oneof![Just(None), any::<u32>().prop_map(Some)])
+            .prop_map(|(req, hint)| ClientReply::NotLeader { req, hint }),
+        any::<u64>().prop_map(|req| ClientReply::Unavailable { req }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(req, version)| ClientReply::WrongRange { req, version }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn client_request_roundtrips(req in any::<u64>(), ring_version in any::<u64>(), op in op_strat()) {
+        let original = ClientRequest { req, ring_version, op };
+        let enc = original.encode_to_vec();
+        let mut slice = enc.as_slice();
+        let decoded = ClientRequest::decode(&mut slice).expect("decode");
+        prop_assert_eq!(decoded, original);
+        prop_assert!(slice.is_empty(), "decode consumed the full encoding");
+    }
+
+    #[test]
+    fn client_reply_roundtrips(reply in reply_strat()) {
+        let enc = reply.encode_to_vec();
+        let mut slice = enc.as_slice();
+        let decoded = ClientReply::decode(&mut slice).expect("decode");
+        prop_assert_eq!(decoded, reply);
+        prop_assert!(slice.is_empty(), "decode consumed the full encoding");
+    }
+
+    #[test]
+    fn truncated_encodings_never_panic(op in op_strat(), cut in any::<u16>()) {
+        let enc = ClientRequest { req: 1, ring_version: 1, op }.encode_to_vec();
+        let cut = (cut as usize) % enc.len().max(1);
+        let _ = ClientRequest::decode(&mut &enc[..cut]); // error or partial decode — never a panic
+    }
+}

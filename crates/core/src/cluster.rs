@@ -24,9 +24,10 @@ use spinnaker_sim::{
 
 use crate::client::{ClientEv, ClientHost, ClientStats, Workload};
 use crate::coordcli::{CoordClient, DeliveryBus, SharedCoord};
-use crate::messages::{NodeInput, Outbox, PeerMsg, Reply, TimerKind};
+use crate::messages::{NodeInput, Outbox, PeerMsg, TimerKind};
 use crate::node::{Node, NodeConfig, Role};
 use crate::partition::{Ring, TABLE_PATH};
+use crate::session::SessionCall;
 
 /// Events flowing through the simulated cluster.
 #[derive(Debug)]
@@ -98,8 +99,13 @@ impl Default for PerfConfig {
 impl PerfConfig {
     fn service_for(&self, input: &NodeInput) -> Time {
         match input {
-            NodeInput::Read { .. } => self.read_service,
-            NodeInput::Write { .. } => self.write_service,
+            NodeInput::Client { req, .. } => {
+                if req.op.is_write() {
+                    self.write_service
+                } else {
+                    self.read_service
+                }
+            }
             NodeInput::Peer { msg, .. } => match msg {
                 PeerMsg::Propose { .. } => self.propose_service.unwrap_or(self.write_service),
                 PeerMsg::CatchupReq { .. }
@@ -269,10 +275,9 @@ impl NodeHost {
                     }
                 }
                 crate::messages::Effect::Reply { to, reply } => {
-                    let bytes = match &reply {
-                        Reply::Value { value: Some((v, _)), .. } => 64 + v.len(),
-                        _ => 64,
-                    };
+                    // Replies are charged their real payload (values,
+                    // scan pages) rather than a flat constant.
+                    let bytes = reply.wire_size();
                     let at = self.world.net.borrow_mut().delivery_time(
                         now,
                         self.proc,
@@ -485,22 +490,54 @@ impl SimCluster {
         measure_from: Time,
         measure_to: Time,
     ) -> Rc<RefCell<ClientStats>> {
+        self.add_client_pipelined(workload, 1, start_at, measure_from, measure_to)
+    }
+
+    /// Register a closed-loop client keeping up to `pipeline` calls
+    /// outstanding at once (1 = the classic one-op loop). Pipelined
+    /// clients multiply offered load per client and give leaders real
+    /// batches to group-commit.
+    pub fn add_client_pipelined(
+        &mut self,
+        workload: Workload,
+        pipeline: usize,
+        start_at: Time,
+        measure_from: Time,
+        measure_to: Time,
+    ) -> Rc<RefCell<ClientStats>> {
         let stats = Rc::new(RefCell::new(ClientStats::default()));
         // Two-phase registration: reserve the proc id, then build the
         // client that knows it.
         let proc = self.sim.add_actor(Box::new(Noop));
-        let client = Rc::new(RefCell::new(ClientHost::new(
+        let client = Rc::new(RefCell::new(ClientHost::with_pipeline(
             proc,
+            // Clients start from the boot-time table — even when added
+            // late — and converge through WrongRange refreshes, exactly
+            // like a real client holding a cached table.
             self.ring.clone(),
             workload,
             self.world.clone(),
             stats.clone(),
             (measure_from, measure_to),
+            pipeline,
         )));
         self.sim.replace_actor(proc, Box::new(RcActor(client.clone())));
         self.clients.push(client);
         self.sim.schedule(start_at, proc, Ev::Client(ClientEv::Start));
         stats
+    }
+
+    /// Run a fixed list of typed [`SessionCall`]s strictly in order
+    /// through a dedicated session client starting at `start_at`. Every
+    /// call's [`crate::session::CallOutcome`] lands in the returned
+    /// stats' `outcomes`, in submission order — the harness for tests
+    /// that exercise the §3 surface end to end.
+    pub fn add_session(
+        &mut self,
+        calls: Vec<SessionCall>,
+        start_at: Time,
+    ) -> Rc<RefCell<ClientStats>> {
+        self.add_client(Workload::Script(Rc::new(calls)), start_at, 0, u64::MAX)
     }
 
     /// Crash node `id` at time `at`.

@@ -14,7 +14,9 @@
 //! * [`cluster`] — a deterministic simulated cluster harness hosting real
 //!   nodes over the `spinnaker-sim` substrate; what the examples, the
 //!   integration tests, and every benchmark figure run on.
-//! * [`client`] — closed-loop workload clients and a leader-caching router.
+//! * [`session`] — the typed client session runtime: the full §3 op
+//!   surface, multi-range scans with continuation, pipelined windows.
+//! * [`client`] — closed-loop workload clients driving sessions.
 
 pub mod client;
 pub mod cluster;
@@ -24,14 +26,16 @@ pub mod messages;
 pub mod node;
 pub mod partition;
 pub mod replica;
+pub mod session;
 
 pub use client::{ClientStats, Workload};
 pub use cluster::{ClusterConfig, SimCluster};
 pub use coordcli::{CoordClient, DeliveryBus, SharedCoord};
 pub use messages::{
-    Addr, Effect, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, RequestId, TimerKind,
-    WriteRequest,
+    Addr, ClientOp, ClientReply, ClientRequest, ColumnSelect, Effect, NodeInput, Outbox, PeerMsg,
+    ReadCell, RequestId, ScanRow, TimerKind,
 };
 pub use node::{get_request, put_request, CohortPaths, Node, NodeConfig, ReshardPolicy, Role};
 pub use partition::{key_to_u64, u64_to_key, RangeDef, Ring, REPLICATION, TABLE_PATH};
 pub use replica::RangeReplica;
+pub use session::{CallId, CallOutcome, Session, SessionCall, SessionStep};

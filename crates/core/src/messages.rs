@@ -5,118 +5,16 @@
 //! Coordination-service watch events are delivered as [`NodeInput`] items
 //! by the hosting runtime.
 
-use spinnaker_common::{
-    CellOp, ColumnName, Consistency, Epoch, Key, Lsn, NodeId, RangeId, Row, Value, Version, WriteOp,
-};
+use spinnaker_common::{Epoch, Key, Lsn, NodeId, RangeId, Row, WriteOp};
 use spinnaker_coord::WatchEvent;
 use spinnaker_storage::StoreSnapshot;
 
-/// Client-assigned request identifier, echoed in replies.
-pub type RequestId = u64;
+pub use spinnaker_common::api::{
+    ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
+};
 
 /// Address of a process (node or client) in the hosting runtime.
 pub type Addr = u32;
-
-/// A client write request: one or more cell operations on a single row,
-/// optionally conditional on a column's current version (§3, §5.1).
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct WriteRequest {
-    /// Request id for matching the reply.
-    pub req: RequestId,
-    /// Target row.
-    pub key: Key,
-    /// Cell mutations (put/delete, single or multi-column).
-    pub cells: Vec<CellOp>,
-    /// `Some((column, expected_version))` for conditional put/delete:
-    /// the write executes only when the column's current version matches.
-    /// Version 0 means "column must not exist".
-    pub condition: Option<(ColumnName, Version)>,
-    /// Version of the range table the sender routed with. Nodes holding a
-    /// newer table answer [`Reply::WrongRange`] so the client refreshes
-    /// its routing (dynamic range splits). `0` = unversioned (bypasses the
-    /// staleness check; used by internal helpers and tests).
-    pub ring_version: u64,
-}
-
-/// A client read request (§3 `get`).
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ReadRequest {
-    /// Request id for matching the reply.
-    pub req: RequestId,
-    /// Target row.
-    pub key: Key,
-    /// Column to read.
-    pub col: ColumnName,
-    /// Strong (leader) or timeline (any replica) consistency.
-    pub consistency: Consistency,
-    /// Version of the range table the sender routed with (see
-    /// [`WriteRequest::ring_version`]).
-    pub ring_version: u64,
-}
-
-/// Reply to a client request.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum Reply {
-    /// Write committed; the version it produced.
-    WriteOk {
-        /// Matching request id.
-        req: RequestId,
-        /// Version assigned to the written cells (packed LSN).
-        version: Version,
-    },
-    /// Read result: value + version, or `None` when absent/deleted.
-    Value {
-        /// Matching request id.
-        req: RequestId,
-        /// `(value, version)` when the column exists.
-        value: Option<(Value, Version)>,
-    },
-    /// Conditional put/delete failed the version check (§5.1).
-    VersionMismatch {
-        /// Matching request id.
-        req: RequestId,
-        /// The version actually stored (0 = absent).
-        actual: Version,
-    },
-    /// The contacted node does not lead this key's cohort.
-    NotLeader {
-        /// Matching request id.
-        req: RequestId,
-        /// Best known leader, if any.
-        hint: Option<NodeId>,
-    },
-    /// The cohort cannot serve the request right now (election or
-    /// recovery in progress).
-    Unavailable {
-        /// Matching request id.
-        req: RequestId,
-    },
-    /// The sender's routing table is stale (a range was split) or the
-    /// contacted node does not serve the key's range at all. The client
-    /// should refresh its range table from the coordination service and
-    /// re-send.
-    WrongRange {
-        /// Matching request id.
-        req: RequestId,
-        /// The responding node's range-table version (so the client can
-        /// tell whether a refresh made progress).
-        version: u64,
-    },
-}
-
-impl Reply {
-    /// The request id the reply answers.
-    pub fn req(&self) -> RequestId {
-        match self {
-            Reply::WriteOk { req, .. }
-            | Reply::Value { req, .. }
-            | Reply::VersionMismatch { req, .. }
-            | Reply::NotLeader { req, .. }
-            | Reply::Unavailable { req }
-            | Reply::WrongRange { req, .. } => *req,
-        }
-    }
-}
 
 /// Node-to-node protocol messages, all scoped to one cohort (`range`).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -373,19 +271,12 @@ pub enum NodeInput {
         /// The message.
         msg: PeerMsg,
     },
-    /// A client write RPC.
-    Write {
+    /// A client RPC (any [`ClientOp`]: read, write, or scan).
+    Client {
         /// Address to reply to.
         from: Addr,
-        /// The request.
-        req: WriteRequest,
-    },
-    /// A client read RPC.
-    Read {
-        /// Address to reply to.
-        from: Addr,
-        /// The request.
-        req: ReadRequest,
+        /// The request envelope.
+        req: ClientRequest,
     },
     /// The log device finished a sync covering these force tokens.
     LogForced {
@@ -446,7 +337,7 @@ pub enum Effect {
         /// Client address from the triggering input.
         to: Addr,
         /// The reply.
-        reply: Reply,
+        reply: ClientReply,
     },
     /// Request a log force; completion arrives as
     /// [`NodeInput::LogForced`] with the token.
@@ -480,7 +371,7 @@ impl Outbox {
     }
 
     /// Queue a client reply.
-    pub fn reply(&mut self, to: Addr, reply: Reply) {
+    pub fn reply(&mut self, to: Addr, reply: ClientReply) {
         self.effects.push(Effect::Reply { to, reply });
     }
 

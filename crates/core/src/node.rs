@@ -32,14 +32,14 @@ use std::collections::BTreeMap;
 
 use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
-use spinnaker_common::{CellOp, Consistency, Key, Lsn, NodeId, RangeId, Result};
+use spinnaker_common::{Consistency, Key, Lsn, NodeId, RangeId, Result};
 use spinnaker_coord::WatchEvent;
 use spinnaker_storage::{RangeStore, StoreOptions, StoreSnapshot};
 use spinnaker_wal::{LogRecord, Wal, WalOptions};
 
 use crate::coordcli::CoordClient;
 use crate::messages::{
-    Addr, NodeInput, Outbox, PeerMsg, ReadRequest, Reply, TimerKind, WriteRequest,
+    Addr, ClientOp, ClientReply, ClientRequest, ColumnSelect, NodeInput, Outbox, PeerMsg, TimerKind,
 };
 use crate::partition::{RangeDef, Ring, TABLE_PATH};
 use crate::replica::{
@@ -354,8 +354,7 @@ impl Node {
         match input {
             NodeInput::Start => self.on_start(now, out),
             NodeInput::Peer { from, msg } => self.on_peer(now, from, msg, out),
-            NodeInput::Write { from, req } => self.on_write(now, from, req, out),
-            NodeInput::Read { from, req } => self.on_read(from, req, out),
+            NodeInput::Client { from, req } => self.on_client(now, from, req, out),
             NodeInput::LogForced { tokens } => self.on_forced(now, tokens, out),
             NodeInput::Timer(kind) => self.on_timer(now, kind, out),
             NodeInput::Coord(ev) => self.on_coord_event(now, ev, out),
@@ -490,31 +489,37 @@ impl Node {
         ring_version != 0 && ring_version < self.ring.version()
     }
 
-    fn on_write(&mut self, _now: u64, from: Addr, req: WriteRequest, out: &mut Outbox) {
+    /// Route one client RPC to the replica serving its key (a scan
+    /// routes by its cursor). Every §3 verb and `Scan` enters here.
+    fn on_client(&mut self, _now: u64, from: Addr, req: ClientRequest, out: &mut Outbox) {
         if self.stale_routing(req.ring_version) {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
             return;
         }
-        let range = self.ring.range_of(&req.key);
+        let range = self.ring.range_of(req.op.routing_key());
         let mut rt = runtime!(self);
         let Some(rep) = self.replicas.get_mut(&range) else {
-            out.reply(from, Reply::WrongRange { req: req.req, version: rt.ring.version() });
+            out.reply(from, ClientReply::WrongRange { req: req.req, version: rt.ring.version() });
             return;
         };
-        rep.on_write(&mut rt, from, req, out);
-    }
-
-    fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
-        if self.stale_routing(req.ring_version) {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
-            return;
+        match &req.op {
+            ClientOp::Get { key, columns, consistency } => {
+                rep.on_get(from, req.req, key, columns, *consistency, out);
+            }
+            ClientOp::Scan { start, end, limit, consistency } => {
+                rep.on_scan(
+                    from,
+                    req.req,
+                    start,
+                    end.as_ref(),
+                    *limit,
+                    *consistency,
+                    out,
+                    self.ring.version(),
+                );
+            }
+            _ => rep.on_write(&mut rt, from, req, out),
         }
-        let range = self.ring.range_of(&req.key);
-        let Some(rep) = self.replicas.get_mut(&range) else {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
-            return;
-        };
-        rep.on_read(from, req, out);
     }
 
     // =================================================================
@@ -615,7 +620,7 @@ impl Node {
     /// commit a caught-up cohort move.
     fn follow_up(&mut self, now: u64, range: RangeId, fu: FollowUp, out: &mut Outbox) {
         for (from, req) in fu.redispatch {
-            self.on_write(now, from, req, out);
+            self.on_client(now, from, req, out);
         }
         if fu.move_target_caught_up {
             self.finish_move(now, range, out);
@@ -867,7 +872,7 @@ impl Node {
             None => return,
         };
         for (from, req) in blocked {
-            self.on_write(now, from, req, out);
+            self.on_client(now, from, req, out);
         }
     }
 
@@ -877,7 +882,7 @@ impl Node {
     fn retire_replica(&mut self, now: u64, range: RangeId, gc_znodes: bool, out: &mut Outbox) {
         let Some(rep) = self.replicas.remove(&range) else { return };
         for (from, req) in rep.blocked_writes {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
         }
         if let Some(path) = rep.candidate_path {
             let _ = self.coord.delete(&path);
@@ -1042,7 +1047,7 @@ impl Node {
         // Buffered writes re-dispatch under the new table; clients that
         // routed with the old one get `WrongRange` and refresh.
         for (from, req) in rep.blocked_writes {
-            self.on_write(now, from, req, out);
+            self.on_client(now, from, req, out);
         }
     }
 
@@ -1178,7 +1183,7 @@ impl Node {
                 for (from, req) in &rep.blocked_writes {
                     out.reply(
                         *from,
-                        Reply::WrongRange { req: req.req, version: self.ring.version() },
+                        ClientReply::WrongRange { req: req.req, version: self.ring.version() },
                     );
                 }
                 if let Some(path) = &rep.candidate_path {
@@ -1347,7 +1352,7 @@ impl Node {
             self.attach_replica(rep);
         }
         for (from, req) in parent.blocked_writes {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
         }
     }
 
@@ -1857,7 +1862,7 @@ impl Node {
         self.dissolved.push(Dissolved { range: left, at: now, gc_znodes: true });
         self.dissolved.push(Dissolved { range: right, at: now, gc_znodes: true });
         for (from, req) in lrep.blocked_writes.into_iter().chain(rrep.blocked_writes) {
-            self.on_write(now, from, req, out);
+            self.on_client(now, from, req, out);
         }
     }
 
@@ -2006,7 +2011,7 @@ impl Node {
         mrep.last_note = watermark;
         self.attach_replica(mrep);
         for (from, req) in lrep.blocked_writes.into_iter().chain(rrep.blocked_writes) {
-            out.reply(from, Reply::WrongRange { req: req.req, version: self.ring.version() });
+            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
         }
         self.join_cohort(now, merged, out);
     }
@@ -2177,29 +2182,33 @@ fn bootstrap_child_from_parent(
     Ok(Some(pst.last_committed))
 }
 
-/// Build a [`WriteRequest`] for a plain put (helper for clients/tests).
-/// Leaves `ring_version` at 0 (unversioned); routing clients stamp their
-/// table version before sending.
-pub fn put_request(req: u64, key: Key, col: &str, value: &[u8]) -> WriteRequest {
-    WriteRequest {
+/// Build a [`ClientRequest`] for a plain single-column put (helper for
+/// tests and harnesses). Leaves `ring_version` at 0 (unversioned);
+/// routing clients stamp their table version before sending.
+pub fn put_request(req: u64, key: Key, col: &str, value: &[u8]) -> ClientRequest {
+    ClientRequest {
         req,
-        key,
-        cells: vec![CellOp::Put {
-            col: bytes::Bytes::copy_from_slice(col.as_bytes()),
-            value: bytes::Bytes::copy_from_slice(value),
-        }],
-        condition: None,
         ring_version: 0,
+        op: ClientOp::Put {
+            key,
+            cells: vec![(
+                bytes::Bytes::copy_from_slice(col.as_bytes()),
+                bytes::Bytes::copy_from_slice(value),
+            )],
+        },
     }
 }
 
-/// Build a [`ReadRequest`] (helper for clients/tests).
-pub fn get_request(req: u64, key: Key, col: &str, consistency: Consistency) -> ReadRequest {
-    ReadRequest {
+/// Build a single-column [`ClientRequest`] `get` (helper for tests and
+/// harnesses).
+pub fn get_request(req: u64, key: Key, col: &str, consistency: Consistency) -> ClientRequest {
+    ClientRequest {
         req,
-        key,
-        col: bytes::Bytes::copy_from_slice(col.as_bytes()),
-        consistency,
         ring_version: 0,
+        op: ClientOp::Get {
+            key,
+            columns: ColumnSelect::One(bytes::Bytes::copy_from_slice(col.as_bytes())),
+            consistency,
+        },
     }
 }

@@ -18,13 +18,16 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use spinnaker_common::{Consistency, Epoch, Key, Lsn, NodeId, RangeId, WriteOp};
+use spinnaker_common::{CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, WriteOp};
 use spinnaker_storage::RangeStore;
 use spinnaker_wal::{LogRecord, Wal};
 
 use crate::commit_queue::{CommitQueue, PendingWrite};
 use crate::coordcli::CoordClient;
-use crate::messages::{Addr, Outbox, PeerMsg, ReadRequest, Reply, WriteRequest};
+use crate::messages::{
+    Addr, ClientOp, ClientReply, ClientRequest, ColumnSelect, Outbox, PeerMsg, ReadCell, RequestId,
+    ScanRow,
+};
 use crate::node::{CohortPaths, NodeConfig};
 use crate::partition::Ring;
 
@@ -130,7 +133,7 @@ pub(crate) struct Runtime<'a> {
 pub(crate) struct FollowUp {
     /// Writes unblocked by the transition; the node re-routes and
     /// re-dispatches them (the table may have moved meanwhile).
-    pub redispatch: Vec<(Addr, WriteRequest)>,
+    pub redispatch: Vec<(Addr, ClientRequest)>,
     /// A split/merge barrier drained: the node executes the pending
     /// split or advances the pending merge.
     pub barrier_ready: bool,
@@ -210,7 +213,7 @@ pub struct RangeReplica {
     pub(crate) takeover: Option<Takeover>,
     /// Client writes buffered while takeover runs or while a split/merge
     /// drains the commit queue toward its barrier.
-    pub(crate) blocked_writes: Vec<(Addr, WriteRequest)>,
+    pub(crate) blocked_writes: Vec<(Addr, ClientRequest)>,
     /// Leader only: a split at this key waits for the queue to drain.
     pub(crate) splitting: Option<Key>,
     /// Leader only: a merge with a sibling waits for the queue to drain.
@@ -536,7 +539,7 @@ impl RangeReplica {
         self.cq.clear();
         // Redirect buffered writes; we are not the leader.
         for (from, req) in std::mem::take(&mut self.blocked_writes) {
-            out.reply(from, Reply::NotLeader { req: req.req, hint: Some(leader) });
+            out.reply(from, ClientReply::NotLeader { req: req.req, hint: Some(leader) });
         }
         out.send(
             leader,
@@ -552,7 +555,7 @@ impl RangeReplica {
         &mut self,
         rt: &mut Runtime<'_>,
         from: Addr,
-        req: WriteRequest,
+        req: ClientRequest,
         out: &mut Outbox,
     ) {
         match self.role {
@@ -568,32 +571,52 @@ impl RangeReplica {
                 return;
             }
             Role::Follower | Role::CatchingUp => {
-                out.reply(from, Reply::NotLeader { req: req.req, hint: self.leader });
+                out.reply(from, ClientReply::NotLeader { req: req.req, hint: self.leader });
                 return;
             }
             Role::Electing | Role::Offline => {
-                out.reply(from, Reply::Unavailable { req: req.req });
+                out.reply(from, ClientReply::Unavailable { req: req.req });
                 return;
             }
         }
+        // Reduce the typed op to cell mutations + an optional condition
+        // (§5.1: the condition is evaluated here at the leader, so the
+        // logged operation is always unconditional).
+        let (key, cells, condition) = match req.op {
+            ClientOp::Put { key, cells } => (
+                key,
+                cells.into_iter().map(|(col, value)| CellOp::Put { col, value }).collect(),
+                None,
+            ),
+            ClientOp::Delete { key, columns } => {
+                (key, columns.into_iter().map(|col| CellOp::Delete { col }).collect(), None)
+            }
+            ClientOp::ConditionalPut { key, col, value, expected } => {
+                let cond = (col.clone(), expected);
+                (key, vec![CellOp::Put { col, value }], Some(cond))
+            }
+            ClientOp::ConditionalDelete { key, col, expected } => {
+                let cond = (col.clone(), expected);
+                (key, vec![CellOp::Delete { col }], Some(cond))
+            }
+            ClientOp::Get { .. } | ClientOp::Scan { .. } => {
+                // The node dispatches reads elsewhere; nothing to do.
+                return;
+            }
+        };
         // Conditional check (§5.1) against latest proposed state: pending
         // writes commit in LSN order, so the newest pending version is
-        // the version the condition must match.
-        if let Some((col, expected)) = &req.condition {
+        // the version the condition must match. A tombstone's version
+        // counts — a deleted column is *not* the same as one that was
+        // never written (expected == 0 matches only the latter).
+        if let Some((col, expected)) = &condition {
             let actual = self
                 .cq
-                .latest_pending_version(&req.key, col)
-                .or_else(|| {
-                    self.store
-                        .get_column(&req.key, col)
-                        .ok()
-                        .flatten()
-                        .filter(|cv| !cv.tombstone)
-                        .map(|cv| cv.version)
-                })
+                .latest_pending_version(&key, col)
+                .or_else(|| self.store.get_column(&key, col).ok().flatten().map(|cv| cv.version))
                 .unwrap_or(0);
             if actual != *expected {
-                out.reply(from, Reply::VersionMismatch { req: req.req, actual });
+                out.reply(from, ClientReply::VersionMismatch { req: req.req, actual });
                 return;
             }
         }
@@ -602,7 +625,7 @@ impl RangeReplica {
         // Fig. 4: append + force in parallel with propose to followers.
         let lsn = Lsn::new(self.epoch, self.last_assigned.seq() + 1);
         self.last_assigned = lsn;
-        let op = WriteOp { key: req.key, cells: req.cells, timestamp: lsn.as_u64() };
+        let op = WriteOp { key, cells, timestamp: lsn.as_u64() };
         let rec = LogRecord::write(self.range, lsn, op.clone());
         let appended = rt.wal.append(&rec);
         debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
@@ -626,33 +649,141 @@ impl RangeReplica {
         }
     }
 
-    pub(crate) fn on_read(&mut self, from: Addr, req: ReadRequest, out: &mut Outbox) {
-        match req.consistency {
+    /// Consistency gate shared by reads and scans: strong ops only at
+    /// the leader, timeline ops at any live replica. Returns `false`
+    /// after emitting the redirect reply.
+    fn admit_read(
+        &mut self,
+        from: Addr,
+        req: RequestId,
+        consistency: Consistency,
+        out: &mut Outbox,
+    ) -> bool {
+        match consistency {
             Consistency::Strong => {
                 // Strongly consistent reads are always routed to the
                 // cohort's leader (§5).
                 if self.role != Role::Leader {
-                    out.reply(from, Reply::NotLeader { req: req.req, hint: self.leader });
-                    return;
+                    out.reply(from, ClientReply::NotLeader { req, hint: self.leader });
+                    return false;
                 }
                 self.ops_since_sample += 1;
             }
             Consistency::Timeline => {
                 // Any live replica may answer, possibly stale.
                 if self.role == Role::Offline {
-                    out.reply(from, Reply::Unavailable { req: req.req });
-                    return;
+                    out.reply(from, ClientReply::Unavailable { req });
+                    return false;
                 }
             }
         }
-        let value = self
-            .store
-            .get_column(&req.key, &req.col)
-            .ok()
-            .flatten()
-            .filter(|cv| !cv.tombstone)
-            .map(|cv| (cv.value.clone(), cv.version));
-        out.reply(from, Reply::Value { req: req.req, value });
+        true
+    }
+
+    /// §3 `get`: one column, a column set, or the whole row. Deleted
+    /// columns come back as [`ReadCell`]s with `value: None` and the
+    /// tombstone's version; never-written columns are simply absent.
+    pub(crate) fn on_get(
+        &mut self,
+        from: Addr,
+        req: RequestId,
+        key: &Key,
+        columns: &ColumnSelect,
+        consistency: Consistency,
+        out: &mut Outbox,
+    ) {
+        if !self.admit_read(from, req, consistency, out) {
+            return;
+        }
+        let row = self.store.get(key).ok().flatten().unwrap_or_default();
+        let cell_of = |col: &spinnaker_common::ColumnName| {
+            row.get(col).map(|cv| ReadCell {
+                col: col.clone(),
+                value: (!cv.tombstone).then(|| cv.value.clone()),
+                version: cv.version,
+            })
+        };
+        let cells = match columns {
+            ColumnSelect::All => row
+                .columns
+                .iter()
+                .map(|(col, cv)| ReadCell {
+                    col: col.clone(),
+                    value: (!cv.tombstone).then(|| cv.value.clone()),
+                    version: cv.version,
+                })
+                .collect(),
+            ColumnSelect::One(col) => cell_of(col).into_iter().collect(),
+            ColumnSelect::Set(cols) => cols.iter().filter_map(cell_of).collect(),
+        };
+        out.reply(from, ClientReply::Row { req, cells });
+    }
+
+    /// One page of a range scan, clamped to this replica's key span. The
+    /// reply carries the rows plus a continuation key: the in-range
+    /// resume point when the page limit was hit, or this range's end
+    /// when the scan extends past it (the client re-routes the cursor
+    /// through the range table — which is exactly what keeps a logical
+    /// scan correct across live splits, merges, and cohort moves).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_scan(
+        &mut self,
+        from: Addr,
+        req: RequestId,
+        start: &Key,
+        end: Option<&Key>,
+        limit: u32,
+        consistency: Consistency,
+        out: &mut Outbox,
+        ring_version: u64,
+    ) {
+        // The cursor must lie inside our span; a mismatch means routing
+        // raced a reconfiguration — the client refreshes and re-sends.
+        let inside = start >= &self.span.0 && self.span.1.as_ref().is_none_or(|se| start < se);
+        if !inside {
+            out.reply(from, ClientReply::WrongRange { req, version: ring_version });
+            return;
+        }
+        if !self.admit_read(from, req, consistency, out) {
+            return;
+        }
+        // Clamp the scan bounds to the span this replica owns.
+        let hi: Option<&Key> = match (end, self.span.1.as_ref()) {
+            (Some(e), Some(se)) => Some(if e < se { e } else { se }),
+            (Some(e), None) => Some(e),
+            (None, se) => se,
+        };
+        let limit = (limit.max(1) as usize).min(4096);
+        let (raw, next) = self.store.scan_page(start, hi, limit).unwrap_or_default();
+        let rows: Vec<ScanRow> = raw
+            .into_iter()
+            .filter_map(|(key, row)| {
+                let cells: Vec<ReadCell> = row
+                    .columns
+                    .iter()
+                    .filter(|(_, cv)| !cv.tombstone)
+                    .map(|(col, cv)| ReadCell {
+                        col: col.clone(),
+                        value: Some(cv.value.clone()),
+                        version: cv.version,
+                    })
+                    .collect();
+                // Fully-deleted rows are omitted: a scan enumerates what
+                // exists (the page still consumed the slot, but the
+                // continuation key keeps the cursor exact).
+                (!cells.is_empty()).then_some(ScanRow { key, cells })
+            })
+            .collect();
+        // Where the logical scan continues: inside our span (page limit
+        // hit), at our span's end (scan extends past this range), or
+        // nowhere (done).
+        let resume = next.or_else(|| match (self.span.1.as_ref(), end) {
+            (None, _) => None,
+            (Some(se), None) => Some(se.clone()),
+            (Some(se), Some(e)) if se < e => Some(se.clone()),
+            (Some(_), Some(_)) => None,
+        });
+        out.reply(from, ClientReply::Rows { req, rows, resume });
     }
 
     // =================================================================
@@ -763,7 +894,7 @@ impl RangeReplica {
             self.store.apply(&pw.op, pw.lsn);
             self.last_committed = pw.lsn;
             if let Some((addr, req)) = pw.client {
-                out.reply(addr, Reply::WriteOk { req, version: pw.lsn.as_u64() });
+                out.reply(addr, ClientReply::WriteOk { req, version: pw.lsn.as_u64() });
             }
         }
         if self.takeover.is_some() {

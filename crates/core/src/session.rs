@@ -1,0 +1,537 @@
+//! Typed client sessions: the full §3 op surface over the unified
+//! [`ClientRequest`]/[`ClientReply`] protocol.
+//!
+//! A [`Session`] is the sans-IO client runtime. Callers submit typed
+//! [`SessionCall`]s (`get`, `put`, `delete`, `conditional_put`,
+//! `conditional_delete`, and multi-range `scan`); the session owns
+//! everything between a call and its [`CallOutcome`]:
+//!
+//! * **routing** — keys route through the session's cached range table;
+//!   strong ops go to the cached cohort leader, timeline reads to a
+//!   random replica;
+//! * **redirects** — `NotLeader` hints are learned, `WrongRange`
+//!   refreshes the table (splits, merges, and cohort moves re-route
+//!   live traffic), leader guesses rotate modulo the range's **actual
+//!   cohort size**;
+//! * **scan continuation** — a logical scan fans across every range it
+//!   crosses: each reply's continuation key becomes the next page's
+//!   cursor, re-routed through the (possibly refreshed) table, so the
+//!   scan stays exact across live re-sharding;
+//! * **pipelining** — up to `window` calls are outstanding at once,
+//!   each with its own retry/redirect state. A window of one is the
+//!   classic closed loop; larger windows give the leader real batches
+//!   to group-commit.
+//!
+//! Every transmission gets a fresh [`RequestId`], so a straggler reply
+//! from a superseded attempt can never complete (or corrupt the scan
+//! accumulator of) the current one.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::Rng;
+
+use spinnaker_common::{ColumnName, Consistency, Key, RangeId, Value, Version};
+
+use crate::messages::{
+    ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
+};
+use crate::partition::Ring;
+
+/// Session-assigned identifier of one typed call.
+pub type CallId = u64;
+
+/// One typed call of the §3 client API (plus logical `Scan`).
+#[derive(Clone, Debug)]
+pub enum SessionCall {
+    /// `get(key, columns, consistent)`.
+    Get {
+        /// Target row.
+        key: Key,
+        /// Columns to return.
+        columns: ColumnSelect,
+        /// Strong (leader) or timeline (any replica).
+        consistency: Consistency,
+    },
+    /// `put(key, cols, values)`.
+    Put {
+        /// Target row.
+        key: Key,
+        /// `(column, value)` pairs; never empty.
+        cells: Vec<(ColumnName, Value)>,
+    },
+    /// `delete(key, cols)`.
+    Delete {
+        /// Target row.
+        key: Key,
+        /// Columns to delete; never empty.
+        columns: Vec<ColumnName>,
+    },
+    /// `conditionalPut(key, col, value, v)` (§5.1).
+    ConditionalPut {
+        /// Target row.
+        key: Key,
+        /// Column to write.
+        col: ColumnName,
+        /// New value.
+        value: Value,
+        /// Version the column must currently have (0 = never written).
+        expected: Version,
+    },
+    /// `conditionalDelete(key, col, v)` (§5.1).
+    ConditionalDelete {
+        /// Target row.
+        key: Key,
+        /// Column to delete.
+        col: ColumnName,
+        /// Version the column must currently have.
+        expected: Version,
+    },
+    /// Logical range scan over `[start, end)`, assembled from per-range
+    /// pages of up to `page` rows each.
+    Scan {
+        /// First key (inclusive).
+        start: Key,
+        /// End key (exclusive); `None` scans to the end of the space.
+        end: Option<Key>,
+        /// Rows per page request.
+        page: u32,
+        /// Strong (leader) or timeline (any replica).
+        consistency: Consistency,
+    },
+}
+
+/// How a call ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CallOutcome {
+    /// The write committed at this version.
+    Written {
+        /// Version assigned to the written cells (packed LSN).
+        version: Version,
+    },
+    /// `get` result: the selected columns that exist (deleted columns
+    /// surface `value: None` + the tombstone's version).
+    Row {
+        /// Cell states in column order.
+        cells: Vec<ReadCell>,
+    },
+    /// Fully assembled logical scan result, in key order.
+    Rows {
+        /// Every live row of `[start, end)` at the time each page ran.
+        rows: Vec<ScanRow>,
+    },
+    /// A conditional op failed its version check (§5.1).
+    Mismatch {
+        /// The version actually stored (0 = never written).
+        actual: Version,
+    },
+}
+
+/// What the session wants its host to do after processing a reply or a
+/// timeout.
+#[derive(Debug)]
+pub enum SessionStep {
+    /// Nothing (stale reply from a superseded attempt).
+    None,
+    /// Send the request again under this fresh id — a redirect, refresh,
+    /// or rotation happened. Counts as a retry.
+    Retransmit {
+        /// The fresh request id to transmit.
+        req: RequestId,
+        /// Whether a newer range table was adopted on the way.
+        refreshed_ring: bool,
+    },
+    /// A scan page completed and the next page is ready to go. Not a
+    /// retry — the logical call is making progress.
+    Continue {
+        /// The fresh request id of the next page.
+        req: RequestId,
+    },
+    /// The cohort answered `Unavailable`: back off briefly, then fire a
+    /// timeout for this id to rotate and re-send.
+    Backoff {
+        /// The (still pending) request id to retry after the backoff.
+        req: RequestId,
+    },
+    /// A call finished.
+    Done {
+        /// The finished call.
+        call: CallId,
+        /// Its outcome.
+        outcome: CallOutcome,
+    },
+}
+
+/// One outstanding wire request and the call state behind it.
+struct InFlight {
+    call: CallId,
+    op: SessionCall,
+    /// Scan only: the resume cursor (the next page's start key).
+    cursor: Key,
+    /// Scan only: rows accumulated across pages.
+    acc: Vec<ScanRow>,
+}
+
+/// The typed client session runtime (sans-IO).
+pub struct Session {
+    ring: Ring,
+    window: usize,
+    next_req: RequestId,
+    next_call: CallId,
+    /// Cached cohort-member index believed to lead each range.
+    leader_cache: HashMap<RangeId, usize>,
+    queue: VecDeque<(CallId, SessionCall)>,
+    pending: HashMap<RequestId, InFlight>,
+}
+
+impl Session {
+    /// A session routing with `ring`, keeping up to `window` calls
+    /// outstanding.
+    pub fn new(ring: Ring, window: usize) -> Session {
+        Session {
+            ring,
+            window: window.max(1),
+            next_req: 1,
+            next_call: 1,
+            leader_cache: HashMap::new(),
+            queue: VecDeque::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The range table this session currently routes with.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Outstanding wire requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Calls submitted but not yet launched.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Calls in flight or waiting: the closed-loop occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.pending.len() + self.queue.len()
+    }
+
+    /// Enqueue a typed call; it launches when a window slot frees up.
+    pub fn submit(&mut self, call: SessionCall) -> CallId {
+        let id = self.next_call;
+        self.next_call += 1;
+        self.queue.push_back((id, call));
+        id
+    }
+
+    /// Move queued calls into the window. Returns the request ids to
+    /// transmit (empty when the window is full or the queue is empty).
+    pub fn launch(&mut self) -> Vec<RequestId> {
+        let mut reqs = Vec::new();
+        while self.pending.len() < self.window {
+            let Some((call, op)) = self.queue.pop_front() else { break };
+            let cursor = match &op {
+                SessionCall::Scan { start, .. } => start.clone(),
+                _ => Key::default(),
+            };
+            let req = self.fresh_req();
+            self.pending.insert(req, InFlight { call, op, cursor, acc: Vec::new() });
+            reqs.push(req);
+        }
+        reqs
+    }
+
+    fn fresh_req(&mut self) -> RequestId {
+        let req = self.next_req;
+        self.next_req += 1;
+        req
+    }
+
+    /// The cohort member we currently believe leads `range`.
+    fn target_for(&mut self, range: RangeId, strong: bool, rng: &mut rand::rngs::SmallRng) -> u32 {
+        let cohort = self.ring.cohort(range);
+        if strong {
+            let idx = *self.leader_cache.entry(range).or_insert(0);
+            cohort[idx % cohort.len()]
+        } else {
+            cohort[rng.gen_range(0..cohort.len())]
+        }
+    }
+
+    /// Rotate the leader guess for `range` — modulo the range's
+    /// **actual cohort length** (cohort movement can change membership
+    /// size/order, so `ring.replication()` would skew the rotation).
+    fn rotate_leader(&mut self, range: RangeId) {
+        let len = self.ring.cohort(range).len().max(1);
+        let e = self.leader_cache.entry(range).or_insert(0);
+        *e = (*e + 1) % len;
+    }
+
+    fn learn_leader(&mut self, range: RangeId, node: u32) {
+        if let Some(idx) = self.ring.cohort(range).iter().position(|&n| n == node) {
+            self.leader_cache.insert(range, idx);
+        }
+    }
+
+    /// Build the wire request for an outstanding id and pick its target
+    /// node.
+    pub fn wire(
+        &mut self,
+        req: RequestId,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Option<(u32, ClientRequest)> {
+        let inf = self.pending.get(&req)?;
+        let (key, strong, op) = match &inf.op {
+            SessionCall::Get { key, columns, consistency } => (
+                key.clone(),
+                *consistency == Consistency::Strong,
+                ClientOp::Get {
+                    key: key.clone(),
+                    columns: columns.clone(),
+                    consistency: *consistency,
+                },
+            ),
+            SessionCall::Put { key, cells } => {
+                (key.clone(), true, ClientOp::Put { key: key.clone(), cells: cells.clone() })
+            }
+            SessionCall::Delete { key, columns } => {
+                (key.clone(), true, ClientOp::Delete { key: key.clone(), columns: columns.clone() })
+            }
+            SessionCall::ConditionalPut { key, col, value, expected } => (
+                key.clone(),
+                true,
+                ClientOp::ConditionalPut {
+                    key: key.clone(),
+                    col: col.clone(),
+                    value: value.clone(),
+                    expected: *expected,
+                },
+            ),
+            SessionCall::ConditionalDelete { key, col, expected } => (
+                key.clone(),
+                true,
+                ClientOp::ConditionalDelete {
+                    key: key.clone(),
+                    col: col.clone(),
+                    expected: *expected,
+                },
+            ),
+            SessionCall::Scan { end, page, consistency, .. } => (
+                inf.cursor.clone(),
+                *consistency == Consistency::Strong,
+                ClientOp::Scan {
+                    start: inf.cursor.clone(),
+                    end: end.clone(),
+                    limit: *page,
+                    consistency: *consistency,
+                },
+            ),
+        };
+        let range = self.ring.range_of(&key);
+        let to = self.target_for(range, strong, rng);
+        Some((to, ClientRequest { req, ring_version: self.ring.version(), op }))
+    }
+
+    /// Process a reply. `refresh` is consulted on `WrongRange`: it
+    /// should return the freshest range table available (the session
+    /// adopts it only when strictly newer than its own).
+    pub fn on_reply(
+        &mut self,
+        reply: ClientReply,
+        refresh: impl FnOnce() -> Option<Ring>,
+    ) -> SessionStep {
+        let req = reply.req();
+        let Some(mut inf) = self.pending.remove(&req) else {
+            return SessionStep::None; // superseded attempt
+        };
+        match reply {
+            ClientReply::WriteOk { version, .. } => {
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::Written { version } }
+            }
+            ClientReply::Row { cells, .. } => {
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::Row { cells } }
+            }
+            ClientReply::Rows { rows, resume, .. } => {
+                inf.acc.extend(rows);
+                let scan_end = match &inf.op {
+                    SessionCall::Scan { end, .. } => end.clone(),
+                    _ => None,
+                };
+                match resume {
+                    // The continuation key must make progress and stay
+                    // inside the logical bounds; anything else ends the
+                    // scan (a defensive guard — replicas never emit a
+                    // non-advancing cursor).
+                    Some(k) if k > inf.cursor && scan_end.as_ref().is_none_or(|e| &k < e) => {
+                        inf.cursor = k;
+                        let next = self.fresh_req();
+                        self.pending.insert(next, inf);
+                        SessionStep::Continue { req: next }
+                    }
+                    _ => SessionStep::Done {
+                        call: inf.call,
+                        outcome: CallOutcome::Rows { rows: inf.acc },
+                    },
+                }
+            }
+            ClientReply::VersionMismatch { actual, .. } => {
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::Mismatch { actual } }
+            }
+            ClientReply::NotLeader { hint, .. } => {
+                let key = self.key_of(&inf);
+                let range = self.ring.range_of(&key);
+                match hint {
+                    Some(node) => self.learn_leader(range, node),
+                    None => self.rotate_leader(range),
+                }
+                let next = self.fresh_req();
+                self.pending.insert(next, inf);
+                SessionStep::Retransmit { req: next, refreshed_ring: false }
+            }
+            ClientReply::Unavailable { .. } => {
+                // Keep the id: the host's backoff timer fires a timeout
+                // for it, which rotates and re-sends.
+                self.pending.insert(req, inf);
+                SessionStep::Backoff { req }
+            }
+            ClientReply::WrongRange { .. } => {
+                // A range was split/merged/moved since we fetched our
+                // table: refresh and transparently re-route. If no newer
+                // table exists (we were the fresher side of a version
+                // skew), rotate the leader guess so the retry does not
+                // hammer the same node.
+                let refreshed = match refresh() {
+                    Some(t) if t.version() > self.ring.version() => {
+                        self.ring = t;
+                        true
+                    }
+                    _ => false,
+                };
+                if !refreshed {
+                    let key = self.key_of(&inf);
+                    let range = self.ring.range_of(&key);
+                    self.rotate_leader(range);
+                }
+                let next = self.fresh_req();
+                self.pending.insert(next, inf);
+                SessionStep::Retransmit { req: next, refreshed_ring: refreshed }
+            }
+        }
+    }
+
+    fn key_of(&self, inf: &InFlight) -> Key {
+        match &inf.op {
+            SessionCall::Get { key, .. }
+            | SessionCall::Put { key, .. }
+            | SessionCall::Delete { key, .. }
+            | SessionCall::ConditionalPut { key, .. }
+            | SessionCall::ConditionalDelete { key, .. } => key.clone(),
+            SessionCall::Scan { .. } => inf.cursor.clone(),
+        }
+    }
+
+    /// A request timed out (or its backoff elapsed): rotate the leader
+    /// guess for its range and hand back a fresh id to re-send, or
+    /// `None` when the id is no longer outstanding.
+    pub fn on_timeout(&mut self, req: RequestId) -> Option<RequestId> {
+        let inf = self.pending.remove(&req)?;
+        let key = self.key_of(&inf);
+        let range = self.ring.range_of(&key);
+        self.rotate_leader(range);
+        let next = self.fresh_req();
+        self.pending.insert(next, inf);
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_bounds_outstanding_requests() {
+        let mut s = Session::new(Ring::with_nodes(3), 2);
+        for i in 0..5u64 {
+            s.submit(SessionCall::Put {
+                key: Key::from(format!("k{i}").as_str()),
+                cells: vec![(bytes::Bytes::from_static(b"c"), bytes::Bytes::from_static(b"v"))],
+            });
+        }
+        let launched = s.launch();
+        assert_eq!(launched.len(), 2, "window of 2 admits 2");
+        assert_eq!(s.pending_len(), 2);
+        assert_eq!(s.queued_len(), 3);
+        // Completing one frees one slot.
+        let step = s.on_reply(ClientReply::WriteOk { req: launched[0], version: 1 }, || None);
+        assert!(matches!(step, SessionStep::Done { .. }));
+        assert_eq!(s.launch().len(), 1);
+    }
+
+    #[test]
+    fn stale_replies_are_ignored_after_retransmit() {
+        let mut s = Session::new(Ring::with_nodes(3), 1);
+        s.submit(SessionCall::Put {
+            key: Key::from("k"),
+            cells: vec![(bytes::Bytes::from_static(b"c"), bytes::Bytes::from_static(b"v"))],
+        });
+        let old = s.launch()[0];
+        let fresh = s.on_timeout(old).expect("still pending");
+        assert_ne!(old, fresh);
+        // The superseded id completes nothing.
+        assert!(matches!(
+            s.on_reply(ClientReply::WriteOk { req: old, version: 1 }, || None),
+            SessionStep::None
+        ));
+        // The fresh one does.
+        assert!(matches!(
+            s.on_reply(ClientReply::WriteOk { req: fresh, version: 1 }, || None),
+            SessionStep::Done { .. }
+        ));
+    }
+
+    #[test]
+    fn rotation_wraps_at_cohort_length() {
+        let mut s = Session::new(Ring::with_nodes(3), 1);
+        let range = RangeId(0);
+        let len = s.ring.cohort(range).len();
+        for _ in 0..len {
+            s.rotate_leader(range);
+        }
+        assert_eq!(s.leader_cache[&range], 0, "full rotation returns to the first member");
+    }
+
+    #[test]
+    fn scan_accumulates_pages_until_resume_is_exhausted() {
+        let mut s = Session::new(Ring::with_nodes(3), 1);
+        s.submit(SessionCall::Scan {
+            start: Key::default(),
+            end: None,
+            page: 2,
+            consistency: Consistency::Strong,
+        });
+        let r1 = s.launch()[0];
+        let row = |k: &str| ScanRow { key: Key::from(k), cells: Vec::new() };
+        let step = s.on_reply(
+            ClientReply::Rows {
+                req: r1,
+                rows: vec![row("a"), row("b")],
+                resume: Some(Key::from("c")),
+            },
+            || None,
+        );
+        let SessionStep::Continue { req: r2 } = step else {
+            panic!("expected Continue, got {step:?}")
+        };
+        let step =
+            s.on_reply(ClientReply::Rows { req: r2, rows: vec![row("c")], resume: None }, || None);
+        match step {
+            SessionStep::Done { outcome: CallOutcome::Rows { rows }, .. } => {
+                let keys: Vec<Key> = rows.into_iter().map(|r| r.key).collect();
+                assert_eq!(keys, vec![Key::from("a"), Key::from("b"), Key::from("c")]);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}

@@ -10,7 +10,9 @@ use spinnaker_common::vfs::MemVfs;
 use spinnaker_common::{Consistency, Lsn, RangeId};
 use spinnaker_coord::Coord;
 use spinnaker_core::coordcli::CoordClient;
-use spinnaker_core::messages::{Effect, NodeInput, Outbox, PeerMsg, Reply, TimerKind};
+use spinnaker_core::messages::{
+    ClientOp, ClientReply, ClientRequest, Effect, NodeInput, Outbox, PeerMsg, TimerKind,
+};
 use spinnaker_core::node::{get_request, put_request, Node, NodeConfig, Role};
 use spinnaker_core::partition::{u64_to_key, Ring};
 
@@ -37,6 +39,25 @@ impl Fixture {
     }
 }
 
+/// A single-column conditional put request (expected version check).
+fn cond_put_request(
+    req: u64,
+    key: spinnaker_common::Key,
+    value: &[u8],
+    expected: u64,
+) -> ClientRequest {
+    ClientRequest {
+        req,
+        ring_version: 0,
+        op: ClientOp::ConditionalPut {
+            key,
+            col: bytes::Bytes::from_static(b"c"),
+            value: bytes::Bytes::copy_from_slice(value),
+            expected,
+        },
+    }
+}
+
 fn feed(node: &mut Node, input: NodeInput) -> Outbox {
     let mut out = Outbox::default();
     node.on_input(0, input, &mut out);
@@ -53,7 +74,7 @@ fn sends(out: &Outbox) -> Vec<(u32, &PeerMsg)> {
         .collect()
 }
 
-fn replies(out: &Outbox) -> Vec<&Reply> {
+fn replies(out: &Outbox) -> Vec<&ClientReply> {
     out.effects
         .iter()
         .filter_map(|e| match e {
@@ -165,10 +186,10 @@ fn writes_to_a_non_leader_get_redirected() {
     );
     let out = feed(
         &mut follower,
-        NodeInput::Write { from: 99, req: put_request(7, u64_to_key(5), "c", b"v") },
+        NodeInput::Client { from: 99, req: put_request(7, u64_to_key(5), "c", b"v") },
     );
     match replies(&out).as_slice() {
-        [Reply::NotLeader { req: 7, hint }] => assert_eq!(*hint, Some(0)),
+        [ClientReply::NotLeader { req: 7, hint }] => assert_eq!(*hint, Some(0)),
         other => panic!("expected NotLeader, got {other:?}"),
     }
 }
@@ -183,7 +204,7 @@ fn leader_write_flow_force_then_ack_then_commit() {
     // in the same step (Fig. 4: "in parallel").
     let out = feed(
         &mut leader,
-        NodeInput::Write { from: 99, req: put_request(1, u64_to_key(1), "c", b"hello") },
+        NodeInput::Client { from: 99, req: put_request(1, u64_to_key(1), "c", b"hello") },
     );
     let proposes: Vec<u32> = sends(&out)
         .iter()
@@ -207,7 +228,7 @@ fn leader_write_flow_force_then_ack_then_commit() {
         NodeInput::Peer { from: 1, msg: PeerMsg::Ack { range: RangeId(0), epoch, lsn } },
     );
     match replies(&out).as_slice() {
-        [Reply::WriteOk { req: 1, version }] => assert_eq!(*version, lsn.as_u64()),
+        [ClientReply::WriteOk { req: 1, version }] => assert_eq!(*version, lsn.as_u64()),
         other => panic!("expected WriteOk, got {other:?}"),
     }
     assert_eq!(leader.last_committed(RangeId(0)), lsn);
@@ -215,12 +236,16 @@ fn leader_write_flow_force_then_ack_then_commit() {
     // Strong read now sees it.
     let out = feed(
         &mut leader,
-        NodeInput::Read { from: 99, req: get_request(2, u64_to_key(1), "c", Consistency::Strong) },
+        NodeInput::Client {
+            from: 99,
+            req: get_request(2, u64_to_key(1), "c", Consistency::Strong),
+        },
     );
     match replies(&out).as_slice() {
-        [Reply::Value { req: 2, value: Some((v, ver)) }] => {
-            assert_eq!(v.as_ref(), b"hello");
-            assert_eq!(*ver, lsn.as_u64());
+        [ClientReply::Row { req: 2, cells }] => {
+            assert_eq!(cells.len(), 1);
+            assert_eq!(cells[0].value.as_ref().unwrap().as_ref(), b"hello");
+            assert_eq!(cells[0].version, lsn.as_u64());
         }
         other => panic!("expected value, got {other:?}"),
     }
@@ -231,19 +256,17 @@ fn conditional_put_checks_version_at_the_leader() {
     let fx = Fixture::new();
     let mut leader = make_leader(&fx);
     // Conditional put on an absent column with expected=0 is accepted...
-    let mut req = put_request(1, u64_to_key(2), "c", b"first");
-    req.condition = Some((bytes::Bytes::from_static(b"c"), 0));
-    let out = feed(&mut leader, NodeInput::Write { from: 99, req });
+    let req = cond_put_request(1, u64_to_key(2), b"first", 0);
+    let out = feed(&mut leader, NodeInput::Client { from: 99, req });
     assert!(replies(&out).is_empty(), "accepted: proposed, not yet committed");
 
     // ...but a second conditional put with a wrong expected version fails
     // immediately against the *pending* state (writes commit in LSN
     // order, so the pending version is authoritative).
-    let mut req = put_request(2, u64_to_key(2), "c", b"second");
-    req.condition = Some((bytes::Bytes::from_static(b"c"), 12345));
-    let out = feed(&mut leader, NodeInput::Write { from: 99, req });
+    let req = cond_put_request(2, u64_to_key(2), b"second", 12345);
+    let out = feed(&mut leader, NodeInput::Client { from: 99, req });
     match replies(&out).as_slice() {
-        [Reply::VersionMismatch { req: 2, actual }] => assert_ne!(*actual, 12345),
+        [ClientReply::VersionMismatch { req: 2, actual }] => assert_ne!(*actual, 12345),
         other => panic!("expected VersionMismatch, got {other:?}"),
     }
 }
@@ -310,13 +333,13 @@ fn follower_forces_before_acking_a_propose() {
     // The write is pending, not applied: timeline reads miss it.
     let out = feed(
         &mut follower,
-        NodeInput::Read {
+        NodeInput::Client {
             from: 99,
             req: get_request(5, u64_to_key(1), "c", Consistency::Timeline),
         },
     );
     match replies(&out).as_slice() {
-        [Reply::Value { value: None, .. }] => {}
+        [ClientReply::Row { cells, .. }] if cells.is_empty() => {}
         other => panic!("uncommitted write visible: {other:?}"),
     }
 
@@ -327,13 +350,15 @@ fn follower_forces_before_acking_a_propose() {
     );
     let out = feed(
         &mut follower,
-        NodeInput::Read {
+        NodeInput::Client {
             from: 99,
             req: get_request(6, u64_to_key(1), "c", Consistency::Timeline),
         },
     );
     match replies(&out).as_slice() {
-        [Reply::Value { value: Some((v, _)), .. }] => assert_eq!(v.as_ref(), b"v"),
+        [ClientReply::Row { cells, .. }] if cells.len() == 1 => {
+            assert_eq!(cells[0].value.as_ref().unwrap().as_ref(), b"v");
+        }
         other => panic!("committed write not visible: {other:?}"),
     }
     assert_eq!(follower.last_committed(RangeId(0)), lsn);
@@ -383,15 +408,18 @@ fn timeline_reads_served_by_followers_strong_reads_rejected() {
     );
     let out = feed(
         &mut follower,
-        NodeInput::Read { from: 99, req: get_request(1, u64_to_key(1), "c", Consistency::Strong) },
+        NodeInput::Client {
+            from: 99,
+            req: get_request(1, u64_to_key(1), "c", Consistency::Strong),
+        },
     );
-    assert!(matches!(replies(&out).as_slice(), [Reply::NotLeader { .. }]));
+    assert!(matches!(replies(&out).as_slice(), [ClientReply::NotLeader { .. }]));
     let out = feed(
         &mut follower,
-        NodeInput::Read {
+        NodeInput::Client {
             from: 99,
             req: get_request(2, u64_to_key(1), "c", Consistency::Timeline),
         },
     );
-    assert!(matches!(replies(&out).as_slice(), [Reply::Value { .. }]));
+    assert!(matches!(replies(&out).as_slice(), [ClientReply::Row { .. }]));
 }

@@ -16,4 +16,4 @@ pub use bloom::Bloom;
 pub use memtable::Memtable;
 pub use merge::{vec_stream, MergeIter, RowStream};
 pub use sstable::{Table, TableBuilder, TableMeta, TableOptions};
-pub use store::{RangeStore, StoreOptions, StoreSnapshot};
+pub use store::{RangeStore, ScanPage, StoreOptions, StoreSnapshot};

@@ -45,6 +45,11 @@ impl Default for StoreOptions {
     }
 }
 
+/// One page of a bounded scan: the rows returned plus the first key
+/// *not* returned (the caller's resume cursor), or `None` when the
+/// bounds were exhausted.
+pub type ScanPage = (Vec<(Key, Row)>, Option<Key>);
+
 /// A consistent full-store snapshot, streamed to a node joining a cohort
 /// (replica movement): raw SSTable file images (newest first, matching the
 /// exporter's table order) plus unflushed memtable rows.
@@ -489,18 +494,56 @@ impl RangeStore {
 
     /// Merged scan of `[start, end)` across memtable and all tables.
     pub fn scan(&self, start: &Key, end: Option<&Key>) -> Result<Vec<(Key, Row)>> {
+        Ok(self.scan_page(start, end, usize::MAX)?.0)
+    }
+
+    /// One page of a merged scan: up to `limit` rows of `[start, end)`
+    /// across memtable and all tables, plus the first key **not**
+    /// returned when more rows remain inside the bounds — the caller's
+    /// resume cursor. `None` means the bounds are exhausted. This is the
+    /// replica-side engine of the client `Scan` op: each request drains
+    /// one page, and the continuation key lets a logical scan resume
+    /// exactly where it stopped (even across range splits and merges,
+    /// because the cursor is a plain key that re-routes through the
+    /// range table).
+    pub fn scan_page(&self, start: &Key, end: Option<&Key>, limit: usize) -> Result<ScanPage> {
+        // Producing `limit` merged rows plus the resume key touches at
+        // most the first `limit + 1` in-bounds entries of each stream
+        // (streams are sorted and duplicate-free per key), so each
+        // stream is truncated there instead of materializing its whole
+        // remaining range on every page.
+        let cap = limit.saturating_add(1);
         let mut streams: Vec<RowStream<'_>> = Vec::new();
-        let mem_rows: Vec<(Key, Row)> = self
-            .memtable
-            .iter()
-            .filter(|(k, _)| *k >= start && end.is_none_or(|e| *k < e))
-            .map(|(k, r)| (k.clone(), r.clone()))
-            .collect();
-        streams.push(vec_stream(mem_rows));
+        streams.push(Box::new(
+            self.memtable
+                .iter()
+                .filter(move |(k, _)| *k >= start && end.is_none_or(|e| *k < e))
+                .take(cap)
+                .map(|(k, r)| Ok((k.clone(), r.clone()))),
+        ));
         for table in &self.tables {
-            streams.push(vec_stream(table.scan(start, end)?));
+            let lo = start.clone();
+            let hi = end.cloned();
+            streams.push(Box::new(
+                table
+                    .iter()
+                    .skip_while(move |item| matches!(item, Ok((k, _)) if k < &lo))
+                    .take_while(move |item| match (item, &hi) {
+                        (Ok((k, _)), Some(e)) => k < e,
+                        _ => true, // unbounded, or an error to surface
+                    })
+                    .take(cap),
+            ));
         }
-        MergeIter::new(streams)?.collect()
+        let mut rows = Vec::new();
+        for item in MergeIter::new(streams)? {
+            let (key, row) = item?;
+            if rows.len() >= limit {
+                return Ok((rows, Some(key)));
+            }
+            rows.push((key, row));
+        }
+        Ok((rows, None))
     }
 
     /// Approximate total bytes held (memtable estimate + SSTable file
@@ -602,6 +645,43 @@ mod tests {
         assert_eq!(s2.table_count(), 1);
         let row = s2.get(&Key::from("k050")).unwrap().unwrap();
         assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"v50");
+    }
+
+    #[test]
+    fn scan_page_limits_and_resumes() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for i in 1..=20u64 {
+            s.apply(&op::put(&format!("k{i:03}"), "c", &format!("v{i}")), Lsn::new(1, i));
+            if i == 10 {
+                s.flush().unwrap(); // straddle memtable and an SSTable
+            }
+        }
+        // Page through the whole store at 7 rows per page.
+        let mut cursor = Key::default();
+        let mut seen = Vec::new();
+        loop {
+            let (rows, resume) = s.scan_page(&cursor, None, 7).unwrap();
+            assert!(rows.len() <= 7);
+            seen.extend(rows.into_iter().map(|(k, _)| k));
+            match resume {
+                Some(next) => {
+                    assert!(seen.last().unwrap() < &next, "resume key advances");
+                    cursor = next;
+                }
+                None => break,
+            }
+        }
+        let all: Vec<Key> =
+            s.scan(&Key::default(), None).unwrap().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(seen, all, "paged scan equals one-shot scan");
+        assert_eq!(seen.len(), 20);
+
+        // Bounds are respected and an exhausted page reports no resume.
+        let (rows, resume) =
+            s.scan_page(&Key::from("k005"), Some(&Key::from("k010")), 100).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(resume.is_none());
     }
 
     #[test]
