@@ -13,6 +13,8 @@
 //! knees fall — are the reproduction targets. `EXPERIMENTS.md` records
 //! paper-vs-measured for every artifact.
 
+#![warn(missing_docs)]
+
 use std::fs;
 use std::io::Write as _;
 

@@ -17,10 +17,18 @@
 //! a column that was **deleted** comes back as a cell with `value: None`
 //! and the tombstone's version, while a column that was **never written**
 //! is simply absent from the reply.
+//!
+//! Reads take a [`Consistency`] level. Beyond the paper's strong and
+//! timeline modes, [`Consistency::Snapshot`] selects the MVCC
+//! read-timestamp path: the reply reflects a fixed commit-timestamp cut
+//! of the data, `WriteOk` replies piggyback each write's commit
+//! timestamp, and `Rows` replies echo the timestamp a scan page was
+//! served at — which is how a paged, multi-range scan pins one
+//! consistent cut end to end.
 
 use crate::codec::{self, Decode, Encode};
 use crate::error::{Error, Result};
-use crate::types::{ColumnName, Consistency, Key, NodeId, Value, Version};
+use crate::types::{ColumnName, Consistency, Key, NodeId, Timestamp, Value, Version};
 
 /// Client-assigned request identifier, echoed in replies.
 pub type RequestId = u64;
@@ -46,7 +54,8 @@ pub enum ClientOp {
         key: Key,
         /// Columns to return.
         columns: ColumnSelect,
-        /// Strong (leader) or timeline (any replica).
+        /// Strong (leader), timeline (any replica), or snapshot (a fixed
+        /// commit-timestamp cut).
         consistency: Consistency,
     },
     /// `put(key, cols, values)`: write one or more columns of one row.
@@ -97,7 +106,8 @@ pub enum ClientOp {
         end: Option<Key>,
         /// Maximum rows per reply (a paging bound, not a total bound).
         limit: u32,
-        /// Strong (leader) or timeline (any replica).
+        /// Strong (leader), timeline (any replica), or snapshot (a fixed
+        /// commit-timestamp cut).
         consistency: Consistency,
     },
 }
@@ -219,6 +229,9 @@ pub enum ClientReply {
         req: RequestId,
         /// Version assigned to the written cells (packed LSN).
         version: Version,
+        /// Commit timestamp the leader stamped on the write — the write
+        /// is visible to every snapshot read pinned at or above it.
+        ts: Timestamp,
     },
     /// `Get` result: the selected columns that exist. Deleted columns
     /// appear with `value: None` and the tombstone's version;
@@ -228,6 +241,10 @@ pub enum ClientReply {
         req: RequestId,
         /// Cell states in column order.
         cells: Vec<ReadCell>,
+        /// The read timestamp this row was served at: the echoed (or,
+        /// for a `ts == 0` pinning get, the just-pinned) snapshot
+        /// timestamp. `0` for strong and timeline reads.
+        at_ts: Timestamp,
     },
     /// `Scan` result: rows this replica's range covers, plus where to
     /// resume. `resume: Some(k)` means the logical scan continues at `k`
@@ -239,6 +256,12 @@ pub enum ClientReply {
         rows: Vec<ScanRow>,
         /// Continuation key, if the scan extends past this reply.
         resume: Option<Key>,
+        /// The read timestamp this page was served at. For a
+        /// [`Consistency::Snapshot`] scan this echoes the pinned
+        /// timestamp — or, when the request asked with `ts == 0`, the
+        /// timestamp the leader just pinned (the client carries it into
+        /// every subsequent page). `0` for strong and timeline scans.
+        at_ts: Timestamp,
     },
     /// Conditional put/delete failed the version check (§5.1).
     VersionMismatch {
@@ -260,6 +283,18 @@ pub enum ClientReply {
     Unavailable {
         /// Matching request id.
         req: RequestId,
+    },
+    /// A [`Consistency::Snapshot`] read asked for a timestamp below the
+    /// replica's MVCC garbage-collection floor: versions that old may
+    /// already be pruned, so serving would risk a silently corrupted
+    /// cut. The snapshot is gone for good (retention is time-based —
+    /// see `NodeConfig::snapshot_retain`); the client fails the call.
+    SnapshotTooOld {
+        /// Matching request id.
+        req: RequestId,
+        /// The replica's current floor (the oldest still-servable
+        /// timestamp).
+        floor: Timestamp,
     },
     /// The sender's routing table is stale (a range was split, merged,
     /// or moved) or the contacted node does not serve the key's range at
@@ -283,6 +318,7 @@ impl ClientReply {
             | ClientReply::VersionMismatch { req, .. }
             | ClientReply::NotLeader { req, .. }
             | ClientReply::Unavailable { req }
+            | ClientReply::SnapshotTooOld { req, .. }
             | ClientReply::WrongRange { req, .. } => *req,
         }
     }
@@ -307,13 +343,14 @@ impl ClientReply {
 
 impl Encode for Consistency {
     fn encode(&self, buf: &mut Vec<u8>) {
-        codec::put_u8(
-            buf,
-            match self {
-                Consistency::Strong => 0,
-                Consistency::Timeline => 1,
-            },
-        );
+        match self {
+            Consistency::Strong => codec::put_u8(buf, 0),
+            Consistency::Timeline => codec::put_u8(buf, 1),
+            Consistency::Snapshot { ts } => {
+                codec::put_u8(buf, 2);
+                codec::put_u64(buf, *ts);
+            }
+        }
     }
 }
 
@@ -322,6 +359,7 @@ impl Decode for Consistency {
         match codec::get_u8(buf)? {
             0 => Ok(Consistency::Strong),
             1 => Ok(Consistency::Timeline),
+            2 => Ok(Consistency::Snapshot { ts: codec::get_u64(buf)? }),
             tag => Err(Error::Codec(format!("bad Consistency tag {tag}"))),
         }
     }
@@ -557,20 +595,22 @@ impl Decode for ScanRow {
 impl Encode for ClientReply {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ClientReply::WriteOk { req, version } => {
+            ClientReply::WriteOk { req, version, ts } => {
                 codec::put_u8(buf, 0);
                 codec::put_u64(buf, *req);
                 codec::put_u64(buf, *version);
+                codec::put_u64(buf, *ts);
             }
-            ClientReply::Row { req, cells } => {
+            ClientReply::Row { req, cells, at_ts } => {
                 codec::put_u8(buf, 1);
                 codec::put_u64(buf, *req);
                 codec::put_varint(buf, cells.len() as u64);
                 for cell in cells {
                     cell.encode(buf);
                 }
+                codec::put_u64(buf, *at_ts);
             }
-            ClientReply::Rows { req, rows, resume } => {
+            ClientReply::Rows { req, rows, resume, at_ts } => {
                 codec::put_u8(buf, 2);
                 codec::put_u64(buf, *req);
                 codec::put_varint(buf, rows.len() as u64);
@@ -578,6 +618,7 @@ impl Encode for ClientReply {
                     row.encode(buf);
                 }
                 put_opt_key(buf, resume);
+                codec::put_u64(buf, *at_ts);
             }
             ClientReply::VersionMismatch { req, actual } => {
                 codec::put_u8(buf, 3);
@@ -604,6 +645,11 @@ impl Encode for ClientReply {
                 codec::put_u64(buf, *req);
                 codec::put_u64(buf, *version);
             }
+            ClientReply::SnapshotTooOld { req, floor } => {
+                codec::put_u8(buf, 7);
+                codec::put_u64(buf, *req);
+                codec::put_u64(buf, *floor);
+            }
         }
     }
 }
@@ -614,6 +660,7 @@ impl Decode for ClientReply {
             0 => Ok(ClientReply::WriteOk {
                 req: codec::get_u64(buf)?,
                 version: codec::get_u64(buf)?,
+                ts: codec::get_u64(buf)?,
             }),
             1 => {
                 let req = codec::get_u64(buf)?;
@@ -622,7 +669,7 @@ impl Decode for ClientReply {
                 for _ in 0..n {
                     cells.push(ReadCell::decode(buf)?);
                 }
-                Ok(ClientReply::Row { req, cells })
+                Ok(ClientReply::Row { req, cells, at_ts: codec::get_u64(buf)? })
             }
             2 => {
                 let req = codec::get_u64(buf)?;
@@ -631,7 +678,12 @@ impl Decode for ClientReply {
                 for _ in 0..n {
                     rows.push(ScanRow::decode(buf)?);
                 }
-                Ok(ClientReply::Rows { req, rows, resume: get_opt_key(buf)? })
+                Ok(ClientReply::Rows {
+                    req,
+                    rows,
+                    resume: get_opt_key(buf)?,
+                    at_ts: codec::get_u64(buf)?,
+                })
             }
             3 => Ok(ClientReply::VersionMismatch {
                 req: codec::get_u64(buf)?,
@@ -650,6 +702,10 @@ impl Decode for ClientReply {
             6 => Ok(ClientReply::WrongRange {
                 req: codec::get_u64(buf)?,
                 version: codec::get_u64(buf)?,
+            }),
+            7 => Ok(ClientReply::SnapshotTooOld {
+                req: codec::get_u64(buf)?,
+                floor: codec::get_u64(buf)?,
             }),
             tag => Err(Error::Codec(format!("bad ClientReply tag {tag}"))),
         }
@@ -705,6 +761,17 @@ mod tests {
             limit: 64,
             consistency: Consistency::Strong,
         });
+        roundtrip_op(ClientOp::Scan {
+            start: Key::from("a"),
+            end: None,
+            limit: 16,
+            consistency: Consistency::Snapshot { ts: 123_456 },
+        });
+        roundtrip_op(ClientOp::Get {
+            key: Key::from("k"),
+            columns: ColumnSelect::All,
+            consistency: Consistency::SNAPSHOT_PIN,
+        });
     }
 
     #[test]
@@ -718,9 +785,10 @@ mod tests {
     #[test]
     fn replies_roundtrip() {
         let replies = vec![
-            ClientReply::WriteOk { req: 1, version: 99 },
+            ClientReply::WriteOk { req: 1, version: 99, ts: 1234 },
             ClientReply::Row {
                 req: 2,
+                at_ts: 0,
                 cells: vec![
                     ReadCell {
                         col: Bytes::from_static(b"a"),
@@ -741,6 +809,7 @@ mod tests {
                     }],
                 }],
                 resume: Some(Key::from("l")),
+                at_ts: 777,
             },
             ClientReply::VersionMismatch { req: 4, actual: 11 },
             ClientReply::NotLeader { req: 5, hint: Some(2) },
@@ -756,9 +825,10 @@ mod tests {
 
     #[test]
     fn reply_wire_size_scales_with_payload() {
-        let small = ClientReply::Row { req: 1, cells: vec![] };
+        let small = ClientReply::Row { req: 1, cells: vec![], at_ts: 0 };
         let big = ClientReply::Row {
             req: 1,
+            at_ts: 0,
             cells: vec![ReadCell {
                 col: Bytes::from_static(b"c"),
                 value: Some(Bytes::from(vec![0u8; 4096])),

@@ -172,26 +172,47 @@ impl Decode for Key {
     }
 }
 
+fn put_cv_fields(buf: &mut Vec<u8>, cv: &ColumnValue) {
+    put_u8(buf, cv.tombstone as u8);
+    put_u64(buf, cv.version);
+    put_u64(buf, cv.timestamp);
+    put_bytes(buf, &cv.value);
+}
+
+fn get_cv_fields(buf: &mut &[u8]) -> Result<ColumnValue> {
+    let tombstone = match get_u8(buf)? {
+        0 => false,
+        1 => true,
+        other => return Err(Error::Codec(format!("bad tombstone flag {other}"))),
+    };
+    let version = get_u64(buf)?;
+    let timestamp = get_u64(buf)?;
+    let value = get_bytes(buf)?;
+    Ok(ColumnValue { value, version, timestamp, tombstone, older: Vec::new() })
+}
+
 impl Encode for ColumnValue {
     fn encode(&self, buf: &mut Vec<u8>) {
-        put_u8(buf, self.tombstone as u8);
-        put_u64(buf, self.version);
-        put_u64(buf, self.timestamp);
-        put_bytes(buf, &self.value);
+        put_cv_fields(buf, self);
+        // The MVCC chain: superseded versions, newest first. Chain
+        // entries never nest further, so their encoding is flat.
+        put_varint(buf, self.older.len() as u64);
+        for cv in &self.older {
+            put_cv_fields(buf, cv);
+        }
     }
 }
 
 impl Decode for ColumnValue {
     fn decode(buf: &mut &[u8]) -> Result<ColumnValue> {
-        let tombstone = match get_u8(buf)? {
-            0 => false,
-            1 => true,
-            other => return Err(Error::Codec(format!("bad tombstone flag {other}"))),
-        };
-        let version = get_u64(buf)?;
-        let timestamp = get_u64(buf)?;
-        let value = get_bytes(buf)?;
-        Ok(ColumnValue { value, version, timestamp, tombstone })
+        let mut head = get_cv_fields(buf)?;
+        let n = get_varint(buf)? as usize;
+        let mut older = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            older.push(get_cv_fields(buf)?);
+        }
+        head.older = older;
+        Ok(head)
     }
 }
 
@@ -269,6 +290,23 @@ mod tests {
     }
 
     #[test]
+    fn column_value_chain_roundtrips() {
+        let mut row = Row::new();
+        let col = Bytes::from_static(b"c");
+        for (v, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            row.apply_version(
+                col.clone(),
+                ColumnValue::live(Bytes::from(format!("v{v}")), Lsn::new(1, v), ts),
+            );
+        }
+        assert_eq!(row.get(b"c").unwrap().older.len(), 2, "chain built");
+        let enc = row.encode_to_vec();
+        let decoded = Row::decode(&mut enc.as_slice()).unwrap();
+        assert_eq!(decoded, row, "the MVCC chain survives the codec");
+        assert_eq!(decoded.visible_at(20).get(b"c").unwrap().value.as_ref(), b"v2");
+    }
+
+    #[test]
     fn bad_tombstone_flag_is_rejected() {
         let mut buf = Vec::new();
         put_u8(&mut buf, 7);
@@ -307,6 +345,7 @@ mod tests {
             for (name, (version, timestamp, tombstone, value)) in cols {
                 row.set(Bytes::from(name), ColumnValue {
                     value: Bytes::from(value), version, timestamp, tombstone,
+                    older: Vec::new(),
                 });
             }
             let enc = row.encode_to_vec();

@@ -17,6 +17,8 @@
 //!   fault-injecting backends so storage code can be crash-tested
 //!   deterministically.
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod codec;
 pub mod crc32c;

@@ -84,15 +84,20 @@ impl WriteOp {
 
     /// Apply this write to `row` as of `lsn`. Deterministic and idempotent:
     /// versions derive from `lsn`, so re-application during log replay
-    /// reproduces identical state on every replica.
+    /// reproduces identical state on every replica. A strictly newer
+    /// version pushes the column's previous state onto its MVCC chain
+    /// (retained until compaction prunes it below the snapshot floor).
     pub fn apply_to_row(&self, row: &mut Row, lsn: Lsn) {
         for cell in &self.cells {
             match cell {
                 CellOp::Put { col, value } => {
-                    row.set(col.clone(), ColumnValue::live(value.clone(), lsn, self.timestamp));
+                    row.apply_version(
+                        col.clone(),
+                        ColumnValue::live(value.clone(), lsn, self.timestamp),
+                    );
                 }
                 CellOp::Delete { col } => {
-                    row.set(col.clone(), ColumnValue::deleted(lsn, self.timestamp));
+                    row.apply_version(col.clone(), ColumnValue::deleted(lsn, self.timestamp));
                 }
             }
         }

@@ -96,7 +96,8 @@ impl fmt::Display for RangeId {
     }
 }
 
-/// Read consistency level (paper §3): the `consistent` flag of `get`.
+/// Read consistency level (paper §3): the `consistent` flag of `get`,
+/// extended with an MVCC snapshot mode for multi-range scans.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Consistency {
     /// Always return the latest committed value. Routed to the cohort
@@ -105,43 +106,109 @@ pub enum Consistency {
     /// Possibly stale value in exchange for better performance; may be
     /// served by any replica (timeline consistency, §1.3).
     Timeline,
+    /// Read the state visible at a fixed commit timestamp — a consistent
+    /// cut of the whole key space. `ts == 0` asks the serving leader to
+    /// *pin* a timestamp (its current safe point, covering every write it
+    /// has acknowledged) and report it back; a non-zero `ts` replays that
+    /// pinned cut, and may be served by any replica that has applied all
+    /// commits at or below it. This is what makes a paged multi-range
+    /// scan a true snapshot: the first page pins, every later page —
+    /// across range splits, merges, and cohort moves — reads the same
+    /// cut.
+    Snapshot {
+        /// The pinned read timestamp; `0` = "choose one and tell me".
+        ts: Timestamp,
+    },
 }
 
-/// The stored state of one column of one row.
+impl Consistency {
+    /// A snapshot read that lets the first serving leader pick (and pin)
+    /// the read timestamp.
+    pub const SNAPSHOT_PIN: Consistency = Consistency::Snapshot { ts: 0 };
+}
+
+/// The stored state of one column of one row: the **latest** version at
+/// the top, plus the MVCC chain of superseded versions in [`older`].
+///
+/// The chain is what makes snapshot reads possible: a read at timestamp
+/// `ts` walks the chain for the newest version whose commit timestamp is
+/// `<= ts`. Superseded versions are retained until compaction prunes
+/// them below the store's GC floor, so a pinned snapshot scan never
+/// loses its cut.
+///
+/// [`older`]: ColumnValue::older
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ColumnValue {
     /// The value bytes. Meaningless when `tombstone` is set.
     pub value: Value,
     /// Version of the write that produced this state (packed LSN).
     pub version: Version,
-    /// Timestamp assigned when the write was accepted.
+    /// Commit timestamp assigned by the leader when the write was
+    /// sequenced; replicated with the write, so identical on every
+    /// replica. Within a range, commit order, LSN order, and timestamp
+    /// order all agree — that is the MVCC visibility invariant.
     pub timestamp: Timestamp,
     /// True when the column was deleted (the tombstone is retained until
     /// compaction garbage-collects it).
     pub tombstone: bool,
+    /// Superseded versions, newest first (strictly descending by
+    /// `version` and `timestamp`). Entries carry empty chains of their
+    /// own. Empty for freshly written cells; populated as newer writes
+    /// push the previous head down.
+    pub older: Vec<ColumnValue>,
 }
 
 impl ColumnValue {
     /// A live value written at `lsn`.
     pub fn live(value: Value, lsn: Lsn, timestamp: Timestamp) -> ColumnValue {
-        ColumnValue { value, version: lsn.as_u64(), timestamp, tombstone: false }
+        ColumnValue { value, version: lsn.as_u64(), timestamp, tombstone: false, older: Vec::new() }
     }
 
     /// A tombstone written at `lsn`.
     pub fn deleted(lsn: Lsn, timestamp: Timestamp) -> ColumnValue {
-        ColumnValue { value: Bytes::new(), version: lsn.as_u64(), timestamp, tombstone: true }
+        ColumnValue {
+            value: Bytes::new(),
+            version: lsn.as_u64(),
+            timestamp,
+            tombstone: true,
+            older: Vec::new(),
+        }
     }
 
-    /// True when `self` supersedes `other` (higher version wins; the
-    /// eventually consistent baseline compares timestamps instead and
-    /// breaks ties by version).
-    pub fn newer_than(&self, other: &ColumnValue) -> bool {
-        self.version > other.version
+    /// The newest version (the head itself or a chain entry) visible at
+    /// `ts` — i.e. with commit timestamp `<= ts` — or `None` when every
+    /// retained version is newer than `ts`.
+    pub fn visible_at(&self, ts: Timestamp) -> Option<&ColumnValue> {
+        if self.timestamp <= ts {
+            return Some(self);
+        }
+        self.older.iter().find(|cv| cv.timestamp <= ts)
+    }
+
+    /// This cell's head state with the chain stripped (what reads and
+    /// replies carry).
+    pub fn flattened(&self) -> ColumnValue {
+        ColumnValue {
+            value: self.value.clone(),
+            version: self.version,
+            timestamp: self.timestamp,
+            tombstone: self.tombstone,
+            older: Vec::new(),
+        }
+    }
+
+    /// Every version in the chain, newest first (head included).
+    pub fn versions(&self) -> impl Iterator<Item = &ColumnValue> {
+        std::iter::once(self).chain(self.older.iter())
     }
 
     /// Approximate in-memory footprint, for memtable accounting.
     pub fn approx_size(&self) -> usize {
-        self.value.len() + 8 + 8 + 1
+        self.value.len()
+            + 8
+            + 8
+            + 1
+            + self.older.iter().map(ColumnValue::approx_size).sum::<usize>()
     }
 }
 
@@ -176,24 +243,109 @@ impl Row {
         self.columns.get(col).filter(|cv| !cv.tombstone)
     }
 
-    /// Merge `newer` into `self`, keeping the higher-versioned state per
-    /// column. Used when collapsing memtable + SSTable fragments of a row.
+    /// Record one write (or replayed record) of a column: the MVCC-aware
+    /// insert. A strictly newer version pushes the current head onto the
+    /// chain; re-applying the head's own version is a no-op (idempotent
+    /// log replay); an older version is threaded into the chain at its
+    /// sorted position (catch-up fragments may arrive out of order).
+    pub fn apply_version(&mut self, col: ColumnName, cv: ColumnValue) {
+        debug_assert!(cv.older.is_empty(), "apply_version takes a single version");
+        match self.columns.get_mut(&col) {
+            None => {
+                self.columns.insert(col, cv);
+            }
+            Some(head) => Self::thread_version(head, cv),
+        }
+    }
+
+    /// Thread a single version into an existing chain head, preserving
+    /// strict descending version order and dropping duplicates.
+    fn thread_version(head: &mut ColumnValue, mut cv: ColumnValue) {
+        if cv.version == head.version {
+            return; // idempotent replay of the head
+        }
+        if cv.version > head.version {
+            let mut old_head = std::mem::replace(head, cv);
+            head.older = std::mem::take(&mut old_head.older);
+            head.older.insert(0, old_head);
+            return;
+        }
+        match head.older.binary_search_by(|e| cv.version.cmp(&e.version)) {
+            Ok(_) => {}
+            Err(pos) => {
+                cv.older = Vec::new();
+                head.older.insert(pos, cv);
+            }
+        }
+    }
+
+    /// Merge `newer` into `self`, unioning the version chains per column
+    /// (the highest version becomes the head). Used when collapsing
+    /// memtable + SSTable fragments of a row; because versions are packed
+    /// LSNs the outcome is order-independent.
     pub fn merge_newer(&mut self, newer: &Row) {
         for (col, cv) in &newer.columns {
-            match self.columns.get(col) {
-                Some(existing) if !cv.newer_than(existing) => {}
-                _ => {
+            match self.columns.get_mut(col) {
+                None => {
                     self.columns.insert(col.clone(), cv.clone());
+                }
+                Some(existing) => {
+                    for v in cv.versions() {
+                        Self::thread_version(existing, v.flattened());
+                    }
                 }
             }
         }
     }
 
-    /// Drop tombstoned columns (applied to rows returned to clients and to
-    /// rows rewritten by a major compaction).
-    pub fn without_tombstones(mut self) -> Row {
-        self.columns.retain(|_, cv| !cv.tombstone);
-        self
+    /// The state of this row visible at commit timestamp `ts`: per
+    /// column, the newest retained version with `timestamp <= ts`
+    /// (chains stripped). Columns with no visible version are absent.
+    pub fn visible_at(&self, ts: Timestamp) -> Row {
+        let mut row = Row::new();
+        for (col, cv) in &self.columns {
+            if let Some(v) = cv.visible_at(ts) {
+                row.set(col.clone(), v.flattened());
+            }
+        }
+        row
+    }
+
+    /// Garbage-collect version chains against a snapshot `floor`: every
+    /// version with `timestamp > floor` is retained, plus the newest
+    /// version at or below the floor (it is what a read pinned exactly at
+    /// the floor sees). When `drop_tombstones` is set (a full compaction:
+    /// nothing older survives to resurrect) a column whose *entire*
+    /// retained state is a tombstone at or below the floor is dropped
+    /// outright. Returns the pruned row (possibly empty).
+    pub fn prune(&self, floor: Timestamp, drop_tombstones: bool) -> Row {
+        let mut row = Row::new();
+        for (col, cv) in &self.columns {
+            if drop_tombstones && cv.tombstone && cv.timestamp <= floor {
+                // The tombstone is the newest version and already below
+                // the floor: no retained reader can see anything else of
+                // this column, and nothing older survives the merge to
+                // resurrect it.
+                continue;
+            }
+            let mut head = cv.flattened();
+            for v in &cv.older {
+                head.older.push(v.flattened());
+                if v.timestamp <= floor {
+                    // The newest version at or below the floor closes the
+                    // chain: everything beneath it is invisible to every
+                    // retained timestamp.
+                    break;
+                }
+            }
+            // The head itself may already sit at/below the floor, in
+            // which case the loop above retained one version too many.
+            if cv.timestamp <= floor {
+                head.older.clear();
+            }
+            row.set(col.clone(), head);
+        }
+        row
     }
 
     /// True when the row has no columns at all.
@@ -245,6 +397,7 @@ mod tests {
             version,
             timestamp: version,
             tombstone: false,
+            older: Vec::new(),
         }
     }
 
@@ -282,8 +435,11 @@ mod tests {
         assert!(row.get_live(b"x").is_some());
         assert!(row.get_live(b"y").is_none());
         assert!(row.get(b"y").is_some(), "raw get still sees the tombstone");
-        let cleaned = row.clone().without_tombstones();
+        // A full-merge prune with everything below the floor drops the
+        // tombstoned column and keeps the live one.
+        let cleaned = row.prune(u64::MAX, true);
         assert_eq!(cleaned.len(), 1);
+        assert!(cleaned.get(b"x").is_some());
     }
 
     #[test]
@@ -302,6 +458,102 @@ mod tests {
         let cv = ColumnValue::live(Bytes::from_static(b"v"), lsn, 17);
         assert_eq!(cv.version, lsn.as_u64());
         assert_eq!(cv.timestamp, 17);
+    }
+
+    fn ts_cv(version: u64, ts: u64, val: &str) -> ColumnValue {
+        ColumnValue {
+            value: Bytes::copy_from_slice(val.as_bytes()),
+            version,
+            timestamp: ts,
+            tombstone: false,
+            older: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn apply_version_builds_descending_chain() {
+        let mut row = Row::new();
+        let c = Bytes::from_static(b"c");
+        row.apply_version(c.clone(), ts_cv(1, 10, "v1"));
+        row.apply_version(c.clone(), ts_cv(3, 30, "v3"));
+        row.apply_version(c.clone(), ts_cv(2, 20, "v2")); // out-of-order arrival
+        row.apply_version(c.clone(), ts_cv(3, 30, "v3")); // idempotent replay
+        let head = row.get(b"c").unwrap();
+        assert_eq!(head.value.as_ref(), b"v3");
+        let versions: Vec<u64> = head.versions().map(|v| v.version).collect();
+        assert_eq!(versions, vec![3, 2, 1], "strictly descending, duplicate-free");
+    }
+
+    #[test]
+    fn visible_at_walks_the_chain() {
+        let mut row = Row::new();
+        let c = Bytes::from_static(b"c");
+        row.apply_version(c.clone(), ts_cv(1, 10, "v1"));
+        row.apply_version(c.clone(), ts_cv(2, 20, "v2"));
+        row.apply_version(c.clone(), ColumnValue::deleted(Lsn::new(1, 3), 30));
+        assert!(row.visible_at(5).is_empty(), "before the first write: nothing");
+        assert_eq!(row.visible_at(10).get(b"c").unwrap().value.as_ref(), b"v1");
+        assert_eq!(row.visible_at(19).get(b"c").unwrap().value.as_ref(), b"v1");
+        assert_eq!(row.visible_at(20).get(b"c").unwrap().value.as_ref(), b"v2");
+        assert!(row.visible_at(30).get(b"c").unwrap().tombstone, "the delete is visible at 30");
+        assert!(row.visible_at(u64::MAX).get(b"c").unwrap().tombstone);
+    }
+
+    #[test]
+    fn merge_newer_unions_chains_order_independently() {
+        let c = Bytes::from_static(b"c");
+        let mut a = Row::new();
+        a.apply_version(c.clone(), ts_cv(1, 10, "v1"));
+        a.apply_version(c.clone(), ts_cv(3, 30, "v3"));
+        let mut b = Row::new();
+        b.apply_version(c.clone(), ts_cv(2, 20, "v2"));
+
+        let mut ab = a.clone();
+        ab.merge_newer(&b);
+        let mut ba = b.clone();
+        ba.merge_newer(&a);
+        assert_eq!(ab, ba, "merge is order-independent");
+        let versions: Vec<u64> = ab.get(b"c").unwrap().versions().map(|v| v.version).collect();
+        assert_eq!(versions, vec![3, 2, 1]);
+        assert_eq!(ab.visible_at(25).get(b"c").unwrap().value.as_ref(), b"v2");
+    }
+
+    #[test]
+    fn prune_keeps_floor_visibility() {
+        let mut row = Row::new();
+        let c = Bytes::from_static(b"c");
+        for (v, ts) in [(1, 10), (2, 20), (3, 30), (4, 40)] {
+            row.apply_version(c.clone(), ts_cv(v, ts, &format!("v{v}")));
+        }
+        // Floor 25: versions 4 and 3 are above; version 2 is the newest
+        // at/below and must survive; version 1 is invisible to every
+        // retained timestamp.
+        let pruned = row.prune(25, false);
+        let versions: Vec<u64> = pruned.get(b"c").unwrap().versions().map(|v| v.version).collect();
+        assert_eq!(versions, vec![4, 3, 2]);
+        for ts in [25u64, 30, 39, 40, 100] {
+            assert_eq!(pruned.visible_at(ts), row.visible_at(ts), "visibility at {ts} preserved");
+        }
+        // Floor above everything: only the head survives.
+        let latest_only = row.prune(1000, false);
+        assert_eq!(latest_only.get(b"c").unwrap().versions().count(), 1);
+    }
+
+    #[test]
+    fn prune_drops_floored_tombstones_only_on_full_merges() {
+        let mut row = Row::new();
+        let c = Bytes::from_static(b"c");
+        row.apply_version(c.clone(), ts_cv(1, 10, "v1"));
+        row.apply_version(c.clone(), ColumnValue::deleted(Lsn::new(1, 2), 20));
+        // Partial merge keeps the tombstone (older tables could resurrect).
+        assert!(row.prune(100, false).get(b"c").unwrap().tombstone);
+        // Full merge at a floor above the tombstone drops the column.
+        assert!(row.prune(100, true).is_empty());
+        // Full merge with the tombstone above the floor keeps it (a pinned
+        // reader between 10 and 20 still needs v1).
+        let kept = row.prune(15, true);
+        assert!(kept.get(b"c").unwrap().tombstone);
+        assert_eq!(kept.visible_at(15).get(b"c").unwrap().value.as_ref(), b"v1");
     }
 
     #[test]

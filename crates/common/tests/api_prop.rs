@@ -30,7 +30,11 @@ fn opt_bytes_strat() -> impl Strategy<Value = Option<Bytes>> {
 }
 
 fn consistency_strat() -> impl Strategy<Value = Consistency> {
-    prop_oneof![Just(Consistency::Strong), Just(Consistency::Timeline)]
+    prop_oneof![
+        Just(Consistency::Strong),
+        Just(Consistency::Timeline),
+        any::<u64>().prop_map(|ts| Consistency::Snapshot { ts }),
+    ]
 }
 
 fn column_select_strat() -> impl Strategy<Value = ColumnSelect> {
@@ -75,12 +79,12 @@ fn row_strat() -> impl Strategy<Value = ScanRow> {
 
 fn reply_strat() -> impl Strategy<Value = ClientReply> {
     prop_oneof![
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(req, version)| ClientReply::WriteOk { req, version }),
-        (any::<u64>(), proptest::collection::vec(cell_strat(), 0..4))
-            .prop_map(|(req, cells)| ClientReply::Row { req, cells }),
-        (any::<u64>(), proptest::collection::vec(row_strat(), 0..4), opt_key_strat())
-            .prop_map(|(req, rows, resume)| ClientReply::Rows { req, rows, resume }),
+        (any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(req, version, ts)| ClientReply::WriteOk { req, version, ts }),
+        (any::<u64>(), proptest::collection::vec(cell_strat(), 0..4), any::<u64>())
+            .prop_map(|(req, cells, at_ts)| ClientReply::Row { req, cells, at_ts }),
+        (any::<u64>(), proptest::collection::vec(row_strat(), 0..4), opt_key_strat(), any::<u64>())
+            .prop_map(|(req, rows, resume, at_ts)| ClientReply::Rows { req, rows, resume, at_ts }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(req, actual)| ClientReply::VersionMismatch { req, actual }),
         (any::<u64>(), prop_oneof![Just(None), any::<u32>().prop_map(Some)])
@@ -88,6 +92,8 @@ fn reply_strat() -> impl Strategy<Value = ClientReply> {
         any::<u64>().prop_map(|req| ClientReply::Unavailable { req }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(req, version)| ClientReply::WrongRange { req, version }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(req, floor)| ClientReply::SnapshotTooOld { req, floor }),
     ]
 }
 

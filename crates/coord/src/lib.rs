@@ -14,6 +14,8 @@
 //! black box that is *not* on the read/write critical path, and so do we.
 //! `spinnaker-paxos` demonstrates how its log would be replicated.
 
+#![warn(missing_docs)]
+
 pub mod service;
 
 pub use service::{

@@ -107,6 +107,16 @@ impl CommitQueue {
         n
     }
 
+    /// The commit timestamp of the **oldest** pending write, or `None`
+    /// when the queue is empty. Pending writes commit in LSN order and
+    /// commit timestamps are assigned monotonically with LSNs, so every
+    /// write with a timestamp strictly below this is already applied —
+    /// which makes `min_pending_ts() - 1` the leader's snapshot-read
+    /// safe point while writes are in flight.
+    pub fn min_pending_ts(&self) -> Option<spinnaker_common::Timestamp> {
+        self.entries.values().next().map(|pw| pw.op.timestamp)
+    }
+
     /// The most recent pending version for `(key, col)`, used by the
     /// leader to evaluate conditional writes against not-yet-committed
     /// state (writes commit in LSN order, so the last pending write's LSN

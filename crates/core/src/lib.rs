@@ -18,6 +18,8 @@
 //!   surface, multi-range scans with continuation, pipelined windows.
 //! * [`client`] — closed-loop workload clients driving sessions.
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod cluster;
 pub mod commit_queue;

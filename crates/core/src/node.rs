@@ -97,6 +97,11 @@ pub struct NodeConfig {
     /// departed replica) rests before its store directory, WAL stream,
     /// and `/r{N}` znodes are garbage collected.
     pub gc_quiesce: u64,
+    /// MVCC version retention: superseded column versions younger than
+    /// this survive compaction, so a snapshot scan pinned within the
+    /// window always finds its cut. The maintenance tick advances each
+    /// store's GC floor to `now - snapshot_retain`.
+    pub snapshot_retain: u64,
 }
 
 impl Default for NodeConfig {
@@ -112,6 +117,7 @@ impl Default for NodeConfig {
             move_timeout: 10_000_000_000,
             merge_timeout: 10_000_000_000,
             gc_quiesce: 5_000_000_000,
+            snapshot_retain: 30_000_000_000,
         }
     }
 }
@@ -174,11 +180,12 @@ struct Dissolved {
 }
 
 /// Constructs the split borrow of node-wide facilities that replica
-/// methods run against.
+/// methods run against, carrying the current input's virtual time.
 macro_rules! runtime {
-    ($node:expr) => {
+    ($node:expr, $now:expr) => {
         Runtime {
             id: $node.id,
+            now: $now,
             cfg: &$node.cfg,
             ring: &$node.ring,
             wal: &mut $node.wal,
@@ -438,7 +445,7 @@ impl Node {
                     // here.
                     self.try_start_election(now, range, out);
                 } else {
-                    let mut rt = runtime!(self);
+                    let mut rt = runtime!(self, now);
                     if let Some(rep) = self.replicas.get_mut(&range) {
                         rep.become_follower(&mut rt, leader, out);
                     }
@@ -471,7 +478,7 @@ impl Node {
                 let _ = self.coord.exists_watch(&paths.leader);
             }
             ServeStatus::Member => {
-                let mut rt = runtime!(self);
+                let mut rt = runtime!(self, now);
                 if let Some(rep) = self.replicas.get_mut(&range) {
                     rep.start_election(&mut rt, out);
                 }
@@ -491,23 +498,25 @@ impl Node {
 
     /// Route one client RPC to the replica serving its key (a scan
     /// routes by its cursor). Every §3 verb and `Scan` enters here.
-    fn on_client(&mut self, _now: u64, from: Addr, req: ClientRequest, out: &mut Outbox) {
+    fn on_client(&mut self, now: u64, from: Addr, req: ClientRequest, out: &mut Outbox) {
         if self.stale_routing(req.ring_version) {
             out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
             return;
         }
         let range = self.ring.range_of(req.op.routing_key());
-        let mut rt = runtime!(self);
+        let ring_version = self.ring.version();
+        let mut rt = runtime!(self, now);
         let Some(rep) = self.replicas.get_mut(&range) else {
             out.reply(from, ClientReply::WrongRange { req: req.req, version: rt.ring.version() });
             return;
         };
         match &req.op {
             ClientOp::Get { key, columns, consistency } => {
-                rep.on_get(from, req.req, key, columns, *consistency, out);
+                rep.on_get(&rt, from, req.req, key, columns, *consistency, out);
             }
             ClientOp::Scan { start, end, limit, consistency } => {
                 rep.on_scan(
+                    &rt,
                     from,
                     req.req,
                     start,
@@ -515,7 +524,7 @@ impl Node {
                     *limit,
                     *consistency,
                     out,
-                    self.ring.version(),
+                    ring_version,
                 );
             }
             _ => rep.on_write(&mut rt, from, req, out),
@@ -576,7 +585,7 @@ impl Node {
             _ => {}
         }
         let range = msg.range();
-        let mut rt = runtime!(self);
+        let mut rt = runtime!(self, now);
         let Some(rep) = self.replicas.get_mut(&range) else {
             return;
         };
@@ -661,7 +670,7 @@ impl Node {
                 Some(Waiter::LeaderWrite { range, lsn }) => {
                     // The range may have been dissolved between the force
                     // request and its completion.
-                    let mut rt = runtime!(self);
+                    let mut rt = runtime!(self, now);
                     let fu = match self.replicas.get_mut(&range) {
                         Some(rep) => rep.on_self_forced(&mut rt, lsn, out),
                         None => FollowUp::default(),
@@ -690,7 +699,7 @@ impl Node {
             TimerKind::CommitPeriod => {
                 let ranges: Vec<RangeId> = self.replicas.keys().copied().collect();
                 for range in ranges {
-                    let mut rt = runtime!(self);
+                    let mut rt = runtime!(self, now);
                     if let Some(rep) = self.replicas.get_mut(&range) {
                         rep.commit_tick(&mut rt, out);
                     }
@@ -711,7 +720,7 @@ impl Node {
                     if self.replicas[range].candidate_path.is_none() {
                         self.try_start_election(now, *range, out);
                     } else {
-                        let mut rt = runtime!(self);
+                        let mut rt = runtime!(self, now);
                         if let Some(rep) = self.replicas.get_mut(range) {
                             rep.check_election(&mut rt, out);
                         }
@@ -732,7 +741,7 @@ impl Node {
         let ranges: Vec<RangeId> = self.replicas.keys().copied().collect();
         let mut advices: Vec<(RangeId, ReshardAdvice)> = Vec::new();
         for range in ranges {
-            let mut rt = runtime!(self);
+            let mut rt = runtime!(self, now);
             if let Some(rep) = self.replicas.get_mut(&range) {
                 let advice = rep.maintenance_tick(&mut rt, now);
                 if advice != ReshardAdvice::None {
@@ -1015,6 +1024,11 @@ impl Node {
         lc.last_assigned = Lsn::new(pe + 1, barrier.seq());
         lc.last_committed = barrier;
         lc.last_note = barrier;
+        // The children inherit the parent's commit-timestamp clock so
+        // their future stamps stay above everything the parent assigned
+        // (ts-order == LSN-order survives the split).
+        lc.last_ts = rep.last_ts;
+        lc.served_ts = rep.served_ts;
         self.attach_replica(lc);
 
         let mut rc =
@@ -1022,6 +1036,8 @@ impl Node {
         rc.epoch = pe;
         rc.last_committed = barrier;
         rc.last_note = barrier;
+        rc.last_ts = rep.last_ts;
+        rc.served_ts = rep.served_ts;
         self.attach_replica(rc);
 
         for peer in peers {
@@ -1039,7 +1055,7 @@ impl Node {
             let rp = CohortPaths::new(right);
             self.coord.ensure_path(&rp.base);
             self.coord.ensure_path(&rp.candidates);
-            let mut rt = runtime!(self);
+            let mut rt = runtime!(self, now);
             if let Some(rc) = self.replicas.get_mut(&right) {
                 rc.observe_election(&mut rt, out);
             }
@@ -1086,7 +1102,7 @@ impl Node {
             rep.role == Role::Follower && rep.epoch == epoch
         };
         if full_prefix {
-            let mut rt = runtime!(self);
+            let mut rt = runtime!(self, now);
             if let Some(rep) = self.replicas.get_mut(&range) {
                 rep.apply_commit(&mut rt, barrier);
             }
@@ -1222,6 +1238,9 @@ impl Node {
                         store.ingest_fragment(&key, &row);
                     }
                 }
+                // The contributors' rows were pruned at their floors;
+                // the rebuilt store must not serve snapshots below them.
+                store.set_gc_floor(p.store.gc_floor());
             }
             let _ = store.flush();
             let watermark = if contained { contributors[0].last_committed } else { Lsn::ZERO };
@@ -1470,7 +1489,7 @@ impl Node {
         self.coord.ensure_path(&paths.base);
         self.coord.ensure_path(&paths.candidates);
         let _ = self.coord.get_data_watch(&paths.leader);
-        let mut rt = runtime!(self);
+        let mut rt = runtime!(self, now);
         if let Some(rep) = self.replicas.get_mut(&range) {
             rep.become_follower(&mut rt, leader, out);
         }
@@ -1554,7 +1573,7 @@ impl Node {
             self.retire_replica(now, range, false, out);
             return;
         }
-        let mut rt = runtime!(self);
+        let mut rt = runtime!(self, now);
         let Some(rep) = self.replicas.get_mut(&range) else { return };
         if epoch < rep.epoch {
             return;
@@ -1658,7 +1677,7 @@ impl Node {
             // An idle right sibling is already drained: its try_commit
             // must announce the barrier now, or nothing ever would (no
             // acks or forces arrive on an idle range).
-            let mut rt = runtime!(self);
+            let mut rt = runtime!(self, now);
             let fu = self.replicas.get_mut(&right).expect("checked").try_commit(&mut rt, out);
             self.follow_up(now, right, fu, out);
         }
@@ -1700,7 +1719,7 @@ impl Node {
             });
         }
         // Already drained? Announce immediately.
-        let mut rt = runtime!(self);
+        let mut rt = runtime!(self, now);
         let fu = self.replicas.get_mut(&right).expect("checked").try_commit(&mut rt, out);
         self.follow_up(now, right, fu, out);
     }
@@ -1843,6 +1862,9 @@ impl Node {
         mrep.last_assigned = base;
         mrep.last_committed = base;
         mrep.last_note = base;
+        // Continue the merged clock above both siblings' stamps.
+        mrep.last_ts = lrep.last_ts.max(rrep.last_ts);
+        mrep.served_ts = lrep.served_ts.max(rrep.served_ts);
         self.attach_replica(mrep);
 
         for peer in peers {
@@ -1950,7 +1972,7 @@ impl Node {
         }
         let mut clean = true;
         for (range, e, b) in [(left, epoch, barrier), (right, right_epoch, right_barrier)] {
-            let mut rt = runtime!(self);
+            let mut rt = runtime!(self, now);
             let rep = self.replicas.get_mut(&range).expect("checked");
             let pre = matches!(rep.role, Role::Follower | Role::Leader) && rep.epoch == e;
             let drained = rep.commit_through_barrier(&mut rt, b);
@@ -2025,7 +2047,7 @@ impl Node {
             WatchEvent::ChildrenChanged(path) => {
                 if let Some(range) = CohortPaths::range_of_path(&path) {
                     if path.ends_with("/candidates") && self.replicas.contains_key(&range) {
-                        let mut rt = runtime!(self);
+                        let mut rt = runtime!(self, now);
                         if let Some(rep) = self.replicas.get_mut(&range) {
                             rep.check_election(&mut rt, out);
                         }
@@ -2044,7 +2066,7 @@ impl Node {
                             if let Ok(data) = self.coord.get_data_watch(&paths.leader) {
                                 let leader = parse_node(&data);
                                 if leader != self.id {
-                                    let mut rt = runtime!(self);
+                                    let mut rt = runtime!(self, now);
                                     if let Some(rep) = self.replicas.get_mut(&range) {
                                         rep.become_follower(&mut rt, leader, out);
                                     }
@@ -2075,7 +2097,7 @@ impl Node {
                             Ok(data) => {
                                 let leader = parse_node(&data);
                                 if leader != self.id {
-                                    let mut rt = runtime!(self);
+                                    let mut rt = runtime!(self, now);
                                     if let Some(rep) = self.replicas.get_mut(&range) {
                                         rep.become_follower(&mut rt, leader, out);
                                     }
@@ -2178,6 +2200,9 @@ fn bootstrap_child_from_parent(
     for (key, row) in pstore.scan(&def.start, def.end.as_ref())? {
         child.ingest_fragment(&key, &row);
     }
+    // The parent's rows were pruned at its floor; the bootstrapped
+    // child must not serve snapshots below it.
+    child.set_gc_floor(pstore.gc_floor());
     child.flush()?;
     Ok(Some(pst.last_committed))
 }

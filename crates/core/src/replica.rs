@@ -11,10 +11,10 @@
 //! right replica, and performs the attach/detach lifecycle (splits,
 //! merges, cohort movement) that creates and dissolves replicas.
 //!
-//! Replica methods borrow the node-wide facilities through a [`Runtime`]
-//! context (shared log, coordination client, range table, force tracker),
-//! which is what lets the registry and the shared state live side by side
-//! without aliasing.
+//! Replica methods borrow the node-wide facilities through a `Runtime`
+//! context (shared log, coordination client, range table, force tracker,
+//! current virtual time), which is what lets the registry and the shared
+//! state live side by side without aliasing.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -115,6 +115,10 @@ impl ForceTracker {
 pub(crate) struct Runtime<'a> {
     /// This node's id.
     pub id: NodeId,
+    /// Virtual time of the input being processed. Feeds the hybrid
+    /// commit-timestamp clock (`max(now, last_ts + 1)`) and the
+    /// snapshot-read safe point.
+    pub now: u64,
     /// Node tuning knobs.
     pub cfg: &'a NodeConfig,
     /// The range table the node currently routes with.
@@ -206,6 +210,16 @@ pub struct RangeReplica {
     pub(crate) leader: Option<NodeId>,
     /// Leader: sequence number of the last assigned LSN.
     pub(crate) last_assigned: Lsn,
+    /// Leader: highest commit timestamp assigned to a write of this
+    /// range. The hybrid clock — `max(now, last_ts + 1, served_ts + 1)`
+    /// — keeps timestamps strictly increasing in LSN order (the MVCC
+    /// visibility invariant) while tracking real time closely enough
+    /// that timestamps are comparable across ranges.
+    pub(crate) last_ts: u64,
+    /// Leader: highest snapshot timestamp this replica has served (or
+    /// pinned) a read at. Future commit timestamps must exceed it, or a
+    /// pinned cut could grow new writes after being read.
+    pub(crate) served_ts: u64,
     pub(crate) last_committed: Lsn,
     /// Last commit-note LSN logged (so idle periods log nothing new).
     pub(crate) last_note: Lsn,
@@ -266,6 +280,8 @@ impl RangeReplica {
             epoch: 0,
             leader: None,
             last_assigned: Lsn::ZERO,
+            last_ts: 0,
+            served_ts: 0,
             last_committed: Lsn::ZERO,
             last_note: Lsn::ZERO,
             candidate_path: None,
@@ -451,6 +467,14 @@ impl RangeReplica {
         // Fig. 6 line 9's input: the unresolved writes (l.cmt, l.lst].
         let repropose: VecDeque<(Lsn, WriteOp)> =
             rt.wal.read_range(self.range, l_cmt, l_lst).unwrap_or_default().into_iter().collect();
+        // Seed the commit-timestamp clock above everything this cohort
+        // may already have stamped: applied history (the store) plus the
+        // unresolved tail we are about to re-propose (which keeps its
+        // original stamps). New writes then get strictly larger
+        // timestamps, preserving ts-order == LSN-order across the
+        // takeover.
+        let tail_ts = repropose.iter().map(|(_, op)| op.timestamp).max().unwrap_or(0);
+        self.last_ts = self.last_ts.max(self.store.max_ts()).max(tail_ts);
         self.takeover = Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
         self.last_assigned = l_lst;
         let epoch = self.epoch;
@@ -625,7 +649,17 @@ impl RangeReplica {
         // Fig. 4: append + force in parallel with propose to followers.
         let lsn = Lsn::new(self.epoch, self.last_assigned.seq() + 1);
         self.last_assigned = lsn;
-        let op = WriteOp { key, cells, timestamp: lsn.as_u64() };
+        // Stamp the write with its commit timestamp (hybrid clock):
+        // strictly above every timestamp previously assigned here, above
+        // every snapshot timestamp already served (a pinned cut must
+        // never grow new writes), and at least the wall clock so
+        // timestamps stay comparable across ranges. The stamp travels
+        // inside the replicated WriteOp — through the WAL, the propose
+        // fan-out, and catch-up — so every replica applies the identical
+        // timestamp.
+        let ts = (self.last_ts + 1).max(self.served_ts + 1).max(rt.now);
+        self.last_ts = ts;
+        let op = WriteOp { key, cells, timestamp: ts };
         let rec = LogRecord::write(self.range, lsn, op.clone());
         let appended = rt.wal.append(&rec);
         debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
@@ -650,41 +684,119 @@ impl RangeReplica {
     }
 
     /// Consistency gate shared by reads and scans: strong ops only at
-    /// the leader, timeline ops at any live replica. Returns `false`
-    /// after emitting the redirect reply.
+    /// the leader, timeline ops at any live replica, snapshot ops at any
+    /// replica whose applied history covers the read timestamp (with
+    /// pinning — `ts == 0` — reserved for the leader). Returns `None`
+    /// after emitting the redirect reply; otherwise the timestamp to
+    /// read at (`u64::MAX` = latest, for strong and timeline).
     fn admit_read(
         &mut self,
+        rt: &Runtime<'_>,
         from: Addr,
         req: RequestId,
         consistency: Consistency,
         out: &mut Outbox,
-    ) -> bool {
+    ) -> Option<u64> {
         match consistency {
             Consistency::Strong => {
                 // Strongly consistent reads are always routed to the
                 // cohort's leader (§5).
                 if self.role != Role::Leader {
                     out.reply(from, ClientReply::NotLeader { req, hint: self.leader });
-                    return false;
+                    return None;
                 }
                 self.ops_since_sample += 1;
+                Some(u64::MAX)
             }
             Consistency::Timeline => {
                 // Any live replica may answer, possibly stale.
                 if self.role == Role::Offline {
                     out.reply(from, ClientReply::Unavailable { req });
-                    return false;
+                    return None;
                 }
+                Some(u64::MAX)
+            }
+            Consistency::Snapshot { ts: 0 } => {
+                // Pinning read: the leader chooses the snapshot
+                // timestamp — its safe point covers every write it has
+                // acknowledged, so the pinned cut is as fresh as a
+                // strong read.
+                if self.role != Role::Leader {
+                    out.reply(from, ClientReply::NotLeader { req, hint: self.leader });
+                    return None;
+                }
+                self.ops_since_sample += 1;
+                let pin = self.snapshot_safe_ts(rt.now);
+                // Fence the clock: no later write may commit at or
+                // below the pinned timestamp.
+                self.served_ts = self.served_ts.max(pin);
+                Some(pin)
+            }
+            Consistency::Snapshot { ts } => {
+                // A pinned page: any replica that has applied every
+                // commit at or below `ts` may serve it. One that has
+                // not answers `Unavailable` — the client backs off and
+                // retries (the leader always converges on coverage, so
+                // the scan makes progress).
+                if self.role == Role::Offline {
+                    out.reply(from, ClientReply::Unavailable { req });
+                    return None;
+                }
+                // A pin below the MVCC garbage-collection floor may
+                // reference versions compaction already pruned; serving
+                // it could silently return a corrupted cut. Fail the
+                // read instead — the snapshot outlived its retention
+                // window and is gone for good. (`u64::MAX` = the floor
+                // was never armed: everything is still retained.)
+                let floor = self.store.gc_floor();
+                if floor != u64::MAX && ts < floor {
+                    out.reply(from, ClientReply::SnapshotTooOld { req, floor });
+                    return None;
+                }
+                if ts > self.snapshot_safe_ts(rt.now) {
+                    out.reply(from, ClientReply::Unavailable { req });
+                    return None;
+                }
+                if self.role == Role::Leader {
+                    self.ops_since_sample += 1;
+                    self.served_ts = self.served_ts.max(ts);
+                }
+                Some(ts)
             }
         }
-        true
+    }
+
+    /// The highest snapshot timestamp this replica can serve: everything
+    /// committed at or below it is applied locally, and — on the leader —
+    /// nothing can commit at or below it afterwards.
+    ///
+    /// * Leader with writes in flight: just below the oldest pending
+    ///   commit timestamp (everything older is applied, the pending ones
+    ///   are not yet readable).
+    /// * Idle leader: the clock (`now`) — future assignments are
+    ///   fenced above it via `served_ts` once a read is actually served.
+    /// * Follower: its applied watermark (commit order equals timestamp
+    ///   order, so "applied through ts T" means "nothing ≤ T missing").
+    fn snapshot_safe_ts(&self, now: u64) -> u64 {
+        if matches!(self.role, Role::Leader) {
+            match self.cq.min_pending_ts() {
+                Some(ts) => ts.saturating_sub(1),
+                None => self.last_ts.max(self.served_ts).max(now),
+            }
+        } else {
+            self.store.max_ts()
+        }
     }
 
     /// §3 `get`: one column, a column set, or the whole row. Deleted
     /// columns come back as [`ReadCell`]s with `value: None` and the
     /// tombstone's version; never-written columns are simply absent.
+    /// Under [`Consistency::Snapshot`] the row state is the one visible
+    /// at the read timestamp ([`RangeStore::get_at`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_get(
         &mut self,
+        rt: &Runtime<'_>,
         from: Addr,
         req: RequestId,
         key: &Key,
@@ -692,10 +804,14 @@ impl RangeReplica {
         consistency: Consistency,
         out: &mut Outbox,
     ) {
-        if !self.admit_read(from, req, consistency, out) {
+        let Some(read_ts) = self.admit_read(rt, from, req, consistency, out) else {
             return;
+        };
+        let row = match read_ts {
+            u64::MAX => self.store.get(key).ok().flatten(),
+            ts => self.store.get_at(key, ts).ok().flatten(),
         }
-        let row = self.store.get(key).ok().flatten().unwrap_or_default();
+        .unwrap_or_default();
         let cell_of = |col: &spinnaker_common::ColumnName| {
             row.get(col).map(|cv| ReadCell {
                 col: col.clone(),
@@ -716,7 +832,11 @@ impl RangeReplica {
             ColumnSelect::One(col) => cell_of(col).into_iter().collect(),
             ColumnSelect::Set(cols) => cols.iter().filter_map(cell_of).collect(),
         };
-        out.reply(from, ClientReply::Row { req, cells });
+        // Piggyback the read timestamp: a pinning get (`ts == 0`) learns
+        // the timestamp the leader chose and can replay the same cut in
+        // later snapshot reads.
+        let at_ts = if read_ts == u64::MAX { 0 } else { read_ts };
+        out.reply(from, ClientReply::Row { req, cells, at_ts });
     }
 
     /// One page of a range scan, clamped to this replica's key span. The
@@ -728,6 +848,7 @@ impl RangeReplica {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_scan(
         &mut self,
+        rt: &Runtime<'_>,
         from: Addr,
         req: RequestId,
         start: &Key,
@@ -744,9 +865,9 @@ impl RangeReplica {
             out.reply(from, ClientReply::WrongRange { req, version: ring_version });
             return;
         }
-        if !self.admit_read(from, req, consistency, out) {
+        let Some(read_ts) = self.admit_read(rt, from, req, consistency, out) else {
             return;
-        }
+        };
         // Clamp the scan bounds to the span this replica owns.
         let hi: Option<&Key> = match (end, self.span.1.as_ref()) {
             (Some(e), Some(se)) => Some(if e < se { e } else { se }),
@@ -754,7 +875,11 @@ impl RangeReplica {
             (None, se) => se,
         };
         let limit = (limit.max(1) as usize).min(4096);
-        let (raw, next) = self.store.scan_page(start, hi, limit).unwrap_or_default();
+        let (raw, next) = match read_ts {
+            u64::MAX => self.store.scan_page(start, hi, limit),
+            ts => self.store.scan_page_at(start, hi, limit, ts),
+        }
+        .unwrap_or_default();
         let rows: Vec<ScanRow> = raw
             .into_iter()
             .filter_map(|(key, row)| {
@@ -783,7 +908,10 @@ impl RangeReplica {
             (Some(se), Some(e)) if se < e => Some(se.clone()),
             (Some(_), Some(_)) => None,
         });
-        out.reply(from, ClientReply::Rows { req, rows, resume });
+        // Piggyback the read timestamp: for a snapshot page this is the
+        // pinned (or just-pinned) cut the client carries forward.
+        let at_ts = if read_ts == u64::MAX { 0 } else { read_ts };
+        out.reply(from, ClientReply::Rows { req, rows, resume, at_ts });
     }
 
     // =================================================================
@@ -894,7 +1022,12 @@ impl RangeReplica {
             self.store.apply(&pw.op, pw.lsn);
             self.last_committed = pw.lsn;
             if let Some((addr, req)) = pw.client {
-                out.reply(addr, ClientReply::WriteOk { req, version: pw.lsn.as_u64() });
+                // The commit timestamp rides the ack: the client learns
+                // exactly which snapshot cuts include this write.
+                out.reply(
+                    addr,
+                    ClientReply::WriteOk { req, version: pw.lsn.as_u64(), ts: pw.op.timestamp },
+                );
             }
         }
         if self.takeover.is_some() {
@@ -1223,8 +1356,12 @@ impl RangeReplica {
     }
 
     /// Memtable flush / compaction check, plus the load/size sample
-    /// behind automatic split/merge triggers.
+    /// behind automatic split/merge triggers. Also advances the MVCC
+    /// garbage-collection floor: version chains older than
+    /// `snapshot_retain` fall out at the next compaction, so a snapshot
+    /// pinned within the retention window never loses its cut.
     pub(crate) fn maintenance_tick(&mut self, rt: &mut Runtime<'_>, now: u64) -> ReshardAdvice {
+        self.store.set_gc_floor(now.saturating_sub(rt.cfg.snapshot_retain));
         if self.store.needs_flush() {
             if let Ok(Some(flushed)) = self.store.flush() {
                 let _ = rt.wal.set_checkpoint(self.range, flushed);

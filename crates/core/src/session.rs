@@ -7,8 +7,8 @@
 //! everything between a call and its [`CallOutcome`]:
 //!
 //! * **routing** — keys route through the session's cached range table;
-//!   strong ops go to the cached cohort leader, timeline reads to a
-//!   random replica;
+//!   strong ops (and snapshot pins) go to the cached cohort leader,
+//!   timeline reads and pinned snapshot pages to a random replica;
 //! * **redirects** — `NotLeader` hints are learned, `WrongRange`
 //!   refreshes the table (splits, merges, and cohort moves re-route
 //!   live traffic), leader guesses rotate modulo the range's **actual
@@ -17,6 +17,11 @@
 //!   crosses: each reply's continuation key becomes the next page's
 //!   cursor, re-routed through the (possibly refreshed) table, so the
 //!   scan stays exact across live re-sharding;
+//! * **snapshot pinning** — a [`Consistency::Snapshot`] scan submitted
+//!   with `ts: 0` lets the first page's leader choose the read
+//!   timestamp; the session pins it into every subsequent page, so the
+//!   assembled result is one consistent cut of the whole key space no
+//!   matter what commits, splits, or merges land mid-scan;
 //! * **pipelining** — up to `window` calls are outstanding at once,
 //!   each with its own retry/redirect state. A window of one is the
 //!   classic closed loop; larger windows give the leader real batches
@@ -25,6 +30,45 @@
 //! Every transmission gets a fresh [`RequestId`], so a straggler reply
 //! from a superseded attempt can never complete (or corrupt the scan
 //! accumulator of) the current one.
+//!
+//! # Quick start
+//!
+//! The session is sans-IO: [`Session::wire`] tells the host *what* to
+//! send *where*, and [`Session::on_reply`] digests whatever comes back.
+//! A minimal host loop:
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use spinnaker_core::messages::ClientReply;
+//! use spinnaker_core::partition::Ring;
+//! use spinnaker_core::session::{CallOutcome, Session, SessionCall, SessionStep};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut session = Session::new(Ring::with_nodes(3), 1);
+//!
+//! // Submit a typed call and launch it into the window.
+//! let call = session.submit(SessionCall::Put {
+//!     key: spinnaker_common::Key::from("user:42"),
+//!     cells: vec![(bytes::Bytes::from_static(b"email"), bytes::Bytes::from_static(b"x@y.z"))],
+//! });
+//! let req = session.launch()[0];
+//!
+//! // The session picks the target node and builds the wire request;
+//! // a real host hands `wire` to its transport.
+//! let (node, wire) = session.wire(req, &mut rng).unwrap();
+//! assert_eq!(wire.req, req);
+//!
+//! // ... the leader commits and replies; the session resolves the call.
+//! let reply = ClientReply::WriteOk { req, version: 99, ts: 1234 };
+//! match session.on_reply(reply, || None) {
+//!     SessionStep::Done { call: done, outcome: CallOutcome::Written { version, ts } } => {
+//!         assert_eq!((done, version, ts), (call, 99, 1234));
+//!     }
+//!     other => panic!("unexpected step: {other:?}"),
+//! }
+//! # let _ = node;
+//! ```
 
 use std::collections::{HashMap, VecDeque};
 
@@ -49,7 +93,8 @@ pub enum SessionCall {
         key: Key,
         /// Columns to return.
         columns: ColumnSelect,
-        /// Strong (leader) or timeline (any replica).
+        /// Strong (leader), timeline (any replica), or snapshot (a fixed
+        /// commit-timestamp cut).
         consistency: Consistency,
     },
     /// `put(key, cols, values)`.
@@ -95,7 +140,8 @@ pub enum SessionCall {
         end: Option<Key>,
         /// Rows per page request.
         page: u32,
-        /// Strong (leader) or timeline (any replica).
+        /// Strong (leader), timeline (any replica), or snapshot (a fixed
+        /// commit-timestamp cut).
         consistency: Consistency,
     },
 }
@@ -107,22 +153,46 @@ pub enum CallOutcome {
     Written {
         /// Version assigned to the written cells (packed LSN).
         version: Version,
+        /// Commit timestamp the leader stamped on the write: the write
+        /// is part of every snapshot cut pinned at or above this.
+        ts: u64,
     },
     /// `get` result: the selected columns that exist (deleted columns
     /// surface `value: None` + the tombstone's version).
     Row {
         /// Cell states in column order.
         cells: Vec<ReadCell>,
+        /// The snapshot timestamp the row was served at — echoed for an
+        /// explicit [`Consistency::Snapshot`] read, freshly pinned for a
+        /// `ts == 0` one (reusable in later snapshot reads to observe
+        /// the same cut). `0` for strong and timeline reads.
+        at_ts: u64,
     },
     /// Fully assembled logical scan result, in key order.
     Rows {
-        /// Every live row of `[start, end)` at the time each page ran.
+        /// Every live row of `[start, end)`. For a snapshot scan this is
+        /// a *consistent cut*: exactly the rows visible at `at_ts`, no
+        /// matter how many pages, ranges, or reconfigurations the scan
+        /// crossed. For strong/timeline scans, each page reflects its
+        /// own serve time.
         rows: Vec<ScanRow>,
+        /// The pinned snapshot timestamp the whole scan was served at
+        /// (`0` for strong and timeline scans).
+        at_ts: u64,
     },
     /// A conditional op failed its version check (§5.1).
     Mismatch {
         /// The version actually stored (0 = never written).
         actual: Version,
+    },
+    /// A snapshot read's timestamp fell below a replica's MVCC
+    /// garbage-collection floor: versions that old may already be
+    /// pruned, so the cut cannot be served faithfully any more. The
+    /// call fails (any rows a scan accumulated are discarded); retry
+    /// with a fresh pin.
+    SnapshotTooOld {
+        /// The replica's floor (the oldest still-servable timestamp).
+        floor: u64,
     },
 }
 
@@ -169,6 +239,17 @@ struct InFlight {
     cursor: Key,
     /// Scan only: rows accumulated across pages.
     acc: Vec<ScanRow>,
+    /// Snapshot scan only: the pinned read timestamp, learned from the
+    /// first page's reply and carried into every subsequent page (0 =
+    /// not pinned / not a snapshot).
+    pinned_ts: u64,
+    /// Pinned snapshot ops only: route the next attempt to the cached
+    /// leader. Set when a randomly chosen replica answered
+    /// `Unavailable` (it has not applied through the pin yet) — the
+    /// leader always covers the pin, so one immediate redirect beats a
+    /// backoff. Cleared once a page succeeds, so later pages try the
+    /// cheaper replica-balanced route again.
+    prefer_leader: bool,
 }
 
 /// The typed client session runtime (sans-IO).
@@ -237,7 +318,10 @@ impl Session {
                 _ => Key::default(),
             };
             let req = self.fresh_req();
-            self.pending.insert(req, InFlight { call, op, cursor, acc: Vec::new() });
+            self.pending.insert(
+                req,
+                InFlight { call, op, cursor, acc: Vec::new(), pinned_ts: 0, prefer_leader: false },
+            );
             reqs.push(req);
         }
         reqs
@@ -283,10 +367,24 @@ impl Session {
         rng: &mut rand::rngs::SmallRng,
     ) -> Option<(u32, ClientRequest)> {
         let inf = self.pending.get(&req)?;
+        // Leader-routed: strong reads, writes, and *pinning* snapshot
+        // reads (`ts == 0` — the leader chooses the cut, so it is as
+        // fresh as a strong read). Pinned snapshot pages (`ts > 0`) go
+        // to a random replica like timeline reads: any replica that has
+        // applied through the pin may serve them.
+        let prefer_leader = inf.prefer_leader;
+        let leader_routed = move |c: &Consistency| match c {
+            Consistency::Strong | Consistency::Snapshot { ts: 0 } => true,
+            // A pinned page normally load-balances across replicas;
+            // after an `Unavailable` (the replica lags the pin) it
+            // redirects to the leader, which always covers the pin.
+            Consistency::Snapshot { .. } => prefer_leader,
+            Consistency::Timeline => false,
+        };
         let (key, strong, op) = match &inf.op {
             SessionCall::Get { key, columns, consistency } => (
                 key.clone(),
-                *consistency == Consistency::Strong,
+                leader_routed(consistency),
                 ClientOp::Get {
                     key: key.clone(),
                     columns: columns.clone(),
@@ -320,7 +418,7 @@ impl Session {
             ),
             SessionCall::Scan { end, page, consistency, .. } => (
                 inf.cursor.clone(),
-                *consistency == Consistency::Strong,
+                leader_routed(consistency),
                 ClientOp::Scan {
                     start: inf.cursor.clone(),
                     end: end.clone(),
@@ -347,14 +445,32 @@ impl Session {
             return SessionStep::None; // superseded attempt
         };
         match reply {
-            ClientReply::WriteOk { version, .. } => {
-                SessionStep::Done { call: inf.call, outcome: CallOutcome::Written { version } }
+            ClientReply::WriteOk { version, ts, .. } => {
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::Written { version, ts } }
             }
-            ClientReply::Row { cells, .. } => {
-                SessionStep::Done { call: inf.call, outcome: CallOutcome::Row { cells } }
+            ClientReply::Row { cells, at_ts, .. } => {
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::Row { cells, at_ts } }
             }
-            ClientReply::Rows { rows, resume, .. } => {
+            ClientReply::SnapshotTooOld { floor, .. } => {
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::SnapshotTooOld { floor } }
+            }
+            ClientReply::Rows { rows, resume, at_ts, .. } => {
                 inf.acc.extend(rows);
+                // Snapshot pinning: the first page of a `Snapshot { ts:
+                // 0 }` scan comes back stamped with the timestamp the
+                // leader chose. Pin it into the call so every subsequent
+                // page — wherever routing sends it, across splits,
+                // merges, and moves — reads the very same cut.
+                if at_ts != 0 {
+                    inf.pinned_ts = at_ts;
+                    if let SessionCall::Scan {
+                        consistency: consistency @ Consistency::Snapshot { ts: 0 },
+                        ..
+                    } = &mut inf.op
+                    {
+                        *consistency = Consistency::Snapshot { ts: at_ts };
+                    }
+                }
                 let scan_end = match &inf.op {
                     SessionCall::Scan { end, .. } => end.clone(),
                     _ => None,
@@ -366,13 +482,16 @@ impl Session {
                     // non-advancing cursor).
                     Some(k) if k > inf.cursor && scan_end.as_ref().is_none_or(|e| &k < e) => {
                         inf.cursor = k;
+                        // This page succeeded; give the next one the
+                        // replica-balanced route again.
+                        inf.prefer_leader = false;
                         let next = self.fresh_req();
                         self.pending.insert(next, inf);
                         SessionStep::Continue { req: next }
                     }
                     _ => SessionStep::Done {
                         call: inf.call,
-                        outcome: CallOutcome::Rows { rows: inf.acc },
+                        outcome: CallOutcome::Rows { rows: inf.acc, at_ts: inf.pinned_ts },
                     },
                 }
             }
@@ -391,10 +510,26 @@ impl Session {
                 SessionStep::Retransmit { req: next, refreshed_ring: false }
             }
             ClientReply::Unavailable { .. } => {
-                // Keep the id: the host's backoff timer fires a timeout
-                // for it, which rotates and re-sends.
-                self.pending.insert(req, inf);
-                SessionStep::Backoff { req }
+                // A pinned snapshot page on a lagging replica: redirect
+                // straight to the leader (it always covers the pin)
+                // instead of backing off. Everything else — and a leader
+                // that itself answered `Unavailable` (election, or
+                // in-flight writes below the pin) — backs off and lets
+                // the timeout rotate.
+                let pinned_snapshot = matches!(
+                    &inf.op,
+                    SessionCall::Scan { consistency: Consistency::Snapshot { ts: 1.. }, .. }
+                        | SessionCall::Get { consistency: Consistency::Snapshot { ts: 1.. }, .. }
+                );
+                if pinned_snapshot && !inf.prefer_leader {
+                    inf.prefer_leader = true;
+                    let next = self.fresh_req();
+                    self.pending.insert(next, inf);
+                    SessionStep::Retransmit { req: next, refreshed_ring: false }
+                } else {
+                    self.pending.insert(req, inf);
+                    SessionStep::Backoff { req }
+                }
             }
             ClientReply::WrongRange { .. } => {
                 // A range was split/merged/moved since we fetched our
@@ -464,7 +599,8 @@ mod tests {
         assert_eq!(s.pending_len(), 2);
         assert_eq!(s.queued_len(), 3);
         // Completing one frees one slot.
-        let step = s.on_reply(ClientReply::WriteOk { req: launched[0], version: 1 }, || None);
+        let step =
+            s.on_reply(ClientReply::WriteOk { req: launched[0], version: 1, ts: 1 }, || None);
         assert!(matches!(step, SessionStep::Done { .. }));
         assert_eq!(s.launch().len(), 1);
     }
@@ -481,12 +617,12 @@ mod tests {
         assert_ne!(old, fresh);
         // The superseded id completes nothing.
         assert!(matches!(
-            s.on_reply(ClientReply::WriteOk { req: old, version: 1 }, || None),
+            s.on_reply(ClientReply::WriteOk { req: old, version: 1, ts: 1 }, || None),
             SessionStep::None
         ));
         // The fresh one does.
         assert!(matches!(
-            s.on_reply(ClientReply::WriteOk { req: fresh, version: 1 }, || None),
+            s.on_reply(ClientReply::WriteOk { req: fresh, version: 1, ts: 1 }, || None),
             SessionStep::Done { .. }
         ));
     }
@@ -518,16 +654,19 @@ mod tests {
                 req: r1,
                 rows: vec![row("a"), row("b")],
                 resume: Some(Key::from("c")),
+                at_ts: 0,
             },
             || None,
         );
         let SessionStep::Continue { req: r2 } = step else {
             panic!("expected Continue, got {step:?}")
         };
-        let step =
-            s.on_reply(ClientReply::Rows { req: r2, rows: vec![row("c")], resume: None }, || None);
+        let step = s.on_reply(
+            ClientReply::Rows { req: r2, rows: vec![row("c")], resume: None, at_ts: 0 },
+            || None,
+        );
         match step {
-            SessionStep::Done { outcome: CallOutcome::Rows { rows }, .. } => {
+            SessionStep::Done { outcome: CallOutcome::Rows { rows, .. }, .. } => {
                 let keys: Vec<Key> = rows.into_iter().map(|r| r.key).collect();
                 assert_eq!(keys, vec![Key::from("a"), Key::from("b"), Key::from("c")]);
             }

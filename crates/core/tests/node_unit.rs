@@ -228,7 +228,7 @@ fn leader_write_flow_force_then_ack_then_commit() {
         NodeInput::Peer { from: 1, msg: PeerMsg::Ack { range: RangeId(0), epoch, lsn } },
     );
     match replies(&out).as_slice() {
-        [ClientReply::WriteOk { req: 1, version }] => assert_eq!(*version, lsn.as_u64()),
+        [ClientReply::WriteOk { req: 1, version, .. }] => assert_eq!(*version, lsn.as_u64()),
         other => panic!("expected WriteOk, got {other:?}"),
     }
     assert_eq!(leader.last_committed(RangeId(0)), lsn);
@@ -242,7 +242,7 @@ fn leader_write_flow_force_then_ack_then_commit() {
         },
     );
     match replies(&out).as_slice() {
-        [ClientReply::Row { req: 2, cells }] => {
+        [ClientReply::Row { req: 2, cells, .. }] => {
             assert_eq!(cells.len(), 1);
             assert_eq!(cells[0].value.as_ref().unwrap().as_ref(), b"hello");
             assert_eq!(cells[0].version, lsn.as_u64());

@@ -69,11 +69,11 @@ fn put_and_get_cover_the_selection_shapes() {
     let s = stats.borrow();
     assert_eq!(s.outcomes.len(), 5, "all calls completed: {:?}", s.outcomes);
     let put_version = match &s.outcomes[0] {
-        CallOutcome::Written { version } => *version,
+        CallOutcome::Written { version, .. } => *version,
         other => panic!("put: {other:?}"),
     };
     match &s.outcomes[1] {
-        CallOutcome::Row { cells } => {
+        CallOutcome::Row { cells, .. } => {
             assert_eq!(cells.len(), 2, "whole-row get sees both columns");
             assert_eq!(cells[0].value.as_ref().unwrap().as_ref(), b"v-a");
             assert_eq!(cells[1].value.as_ref().unwrap().as_ref(), b"v-b");
@@ -82,20 +82,20 @@ fn put_and_get_cover_the_selection_shapes() {
         other => panic!("get all: {other:?}"),
     }
     match &s.outcomes[2] {
-        CallOutcome::Row { cells } => {
+        CallOutcome::Row { cells, .. } => {
             assert_eq!(cells.len(), 1);
             assert_eq!(cells[0].col.as_ref(), b"a");
         }
         other => panic!("get one: {other:?}"),
     }
     match &s.outcomes[3] {
-        CallOutcome::Row { cells } => {
+        CallOutcome::Row { cells, .. } => {
             assert_eq!(cells.len(), 2, "never-written column omitted from the set");
         }
         other => panic!("get set: {other:?}"),
     }
     match &s.outcomes[4] {
-        CallOutcome::Row { cells } => assert!(cells.is_empty(), "absent row reads empty"),
+        CallOutcome::Row { cells, .. } => assert!(cells.is_empty(), "absent row reads empty"),
         other => panic!("get absent: {other:?}"),
     }
 }
@@ -132,11 +132,11 @@ fn delete_surfaces_tombstone_version_for_conditionals() {
         let s = stats.borrow();
         assert_eq!(s.outcomes.len(), 4, "all calls completed: {:?}", s.outcomes);
         let delete_version = match &s.outcomes[1] {
-            CallOutcome::Written { version } => *version,
+            CallOutcome::Written { version, .. } => *version,
             other => panic!("delete: {other:?}"),
         };
         match &s.outcomes[2] {
-            CallOutcome::Row { cells } => {
+            CallOutcome::Row { cells, .. } => {
                 assert_eq!(cells.len(), 1, "deleted column still surfaces a cell");
                 assert!(cells[0].value.is_none(), "…with no value (tombstone)");
                 assert_eq!(cells[0].version, delete_version, "…at the tombstone's version");
@@ -174,7 +174,7 @@ fn delete_surfaces_tombstone_version_for_conditionals() {
     assert_eq!(s2.outcomes.len(), 2, "all calls completed: {:?}", s2.outcomes);
     assert!(matches!(&s2.outcomes[0], CallOutcome::Written { .. }));
     match &s2.outcomes[1] {
-        CallOutcome::Row { cells } => {
+        CallOutcome::Row { cells, .. } => {
             assert_eq!(cells[0].value.as_ref().unwrap().as_ref(), b"v2");
         }
         other => panic!("get recreated: {other:?}"),
@@ -212,7 +212,7 @@ fn conditional_put_and_delete_chain_versions() {
         let s = stats.borrow();
         assert_eq!(s.outcomes.len(), 3, "all calls completed: {:?}", s.outcomes);
         let v1 = match &s.outcomes[0] {
-            CallOutcome::Written { version } => *version,
+            CallOutcome::Written { version, .. } => *version,
             other => panic!("cond put: {other:?}"),
         };
         assert_eq!(s.outcomes[1], CallOutcome::Mismatch { actual: v1 });
@@ -236,7 +236,7 @@ fn conditional_put_and_delete_chain_versions() {
     assert_eq!(s2.outcomes.len(), 2, "all calls completed: {:?}", s2.outcomes);
     assert!(matches!(&s2.outcomes[0], CallOutcome::Written { .. }));
     match &s2.outcomes[1] {
-        CallOutcome::Row { cells } => assert!(cells[0].value.is_none(), "deleted"),
+        CallOutcome::Row { cells, .. } => assert!(cells[0].value.is_none(), "deleted"),
         other => panic!("get after cond delete: {other:?}"),
     }
 }
@@ -316,7 +316,7 @@ fn strong_scan_exact_across_live_split_and_merge() {
     let s = scan_stats.borrow();
     assert_eq!(s.outcomes.len(), 1, "scan completed: {:?}", s.outcomes);
     let rows = match &s.outcomes[0] {
-        CallOutcome::Rows { rows } => rows,
+        CallOutcome::Rows { rows, .. } => rows,
         other => panic!("scan: {other:?}"),
     };
     assert_eq!(rows.len() as u64, ROWS, "no lost or duplicated rows");
@@ -368,7 +368,7 @@ fn pipelined_writes_complete_and_persist() {
     assert_eq!(r.outcomes.len() as u64, check);
     for (i, o) in r.outcomes.iter().enumerate() {
         match o {
-            CallOutcome::Row { cells } if cells.len() == 1 && cells[0].value.is_some() => {}
+            CallOutcome::Row { cells, .. } if cells.len() == 1 && cells[0].value.is_some() => {}
             other => panic!("key {i} missing after pipelined writes: {other:?}"),
         }
     }
@@ -404,7 +404,7 @@ fn timeline_scan_pages_across_ranges() {
     cluster.run_until(12 * SECS);
     let s = scan.borrow();
     match &s.outcomes[..] {
-        [CallOutcome::Rows { rows }] => {
+        [CallOutcome::Rows { rows, .. }] => {
             assert_eq!(rows.len(), 40, "timeline scan sees the settled history");
         }
         other => panic!("timeline scan: {other:?}"),

@@ -11,6 +11,8 @@
 //!   Fig. 1 availability trap (§1.1).
 //! * [`merkle`] — the anti-entropy Merkle tree.
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod masterslave;
 pub mod merkle;

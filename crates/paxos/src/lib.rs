@@ -14,6 +14,8 @@
 //! **validity** (only proposed values are chosen), plus durability of
 //! acceptor state across crashes.
 
+#![warn(missing_docs)]
+
 pub mod multi;
 pub mod single;
 

@@ -23,18 +23,51 @@ pub type Slot = u64;
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum MultiMsg<V> {
     /// Phase 1a for every slot ≥ `from_slot`.
-    Prepare { n: ProposalN, from_slot: Slot },
+    Prepare {
+        /// Proposal number being prepared.
+        n: ProposalN,
+        /// First slot the prepare covers (all higher slots included).
+        from_slot: Slot,
+    },
     /// Phase 1b: previously accepted `(slot, n, value)` triples.
-    Promise { n: ProposalN, accepted: Vec<(Slot, ProposalN, V)> },
+    Promise {
+        /// Proposal number being promised.
+        n: ProposalN,
+        /// Every `(slot, proposal, value)` this acceptor has accepted
+        /// at or above the prepared slot.
+        accepted: Vec<(Slot, ProposalN, V)>,
+    },
     /// Phase 1b negative.
-    Nack { n: ProposalN, promised: ProposalN },
+    Nack {
+        /// The rejected proposal number.
+        n: ProposalN,
+        /// The higher proposal number already promised.
+        promised: ProposalN,
+    },
     /// Phase 2a for one slot.
-    Accept { n: ProposalN, slot: Slot, value: V },
+    Accept {
+        /// Proposal number of the accepting leader.
+        n: ProposalN,
+        /// Slot being decided.
+        slot: Slot,
+        /// Value proposed for the slot.
+        value: V,
+    },
     /// Phase 2b for one slot.
-    Ok { n: ProposalN, slot: Slot },
+    Ok {
+        /// Proposal number being acknowledged.
+        n: ProposalN,
+        /// Slot the acceptance applies to.
+        slot: Slot,
+    },
     /// Leader → replicas: the slot is chosen (Spinnaker's async commit
     /// message plays this role).
-    Commit { slot: Slot, value: V },
+    Commit {
+        /// The chosen slot.
+        slot: Slot,
+        /// The chosen value.
+        value: V,
+    },
 }
 
 /// Acceptor + learner state of one replica.

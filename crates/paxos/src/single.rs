@@ -47,15 +47,36 @@ impl ProposalN {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Msg<V> {
     /// Phase 1a.
-    Prepare { n: ProposalN },
+    Prepare {
+        /// Proposal number being prepared.
+        n: ProposalN,
+    },
     /// Phase 1b (positive).
-    Promise { n: ProposalN, accepted: Option<(ProposalN, V)> },
+    Promise {
+        /// Proposal number being promised.
+        n: ProposalN,
+        /// The previously accepted `(proposal, value)`, if any.
+        accepted: Option<(ProposalN, V)>,
+    },
     /// Phase 1b (negative): already promised `promised > n`.
-    Nack { n: ProposalN, promised: ProposalN },
+    Nack {
+        /// The rejected proposal number.
+        n: ProposalN,
+        /// The higher proposal number already promised.
+        promised: ProposalN,
+    },
     /// Phase 2a.
-    Accept { n: ProposalN, value: V },
+    Accept {
+        /// Proposal number of the proposing leader.
+        n: ProposalN,
+        /// Value proposed.
+        value: V,
+    },
     /// Phase 2b ("ok").
-    Ok { n: ProposalN },
+    Ok {
+        /// Proposal number being acknowledged.
+        n: ProposalN,
+    },
 }
 
 /// Acceptor role: one per node.

@@ -11,6 +11,8 @@
 //! Protocol crates (`spinnaker-core`, `spinnaker-eventual`) provide the
 //! actors; this crate provides time, randomness, and physics.
 
+#![warn(missing_docs)]
+
 pub mod cpu;
 pub mod disk;
 pub mod kernel;

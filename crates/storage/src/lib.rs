@@ -6,6 +6,8 @@
 //! into larger ones in the background ([`RangeStore::maybe_compact`]).
 //! The design follows Bigtable's SSTables as the paper describes.
 
+#![warn(missing_docs)]
+
 pub mod bloom;
 pub mod memtable;
 pub mod merge;

@@ -3,19 +3,21 @@
 
 use std::collections::BTreeMap;
 
-use spinnaker_common::{Key, Lsn, Row, WriteOp};
+use spinnaker_common::{Key, Lsn, Row, Timestamp, WriteOp};
 
 /// In-memory sorted run of committed writes.
 ///
 /// Tracks the LSN range it covers so a flush can tag the resulting SSTable
 /// with min/max LSNs (used by recovery catch-up when the log has rolled
-/// over, §6.1) and advance the WAL checkpoint.
+/// over, §6.1) and advance the WAL checkpoint, plus the highest commit
+/// timestamp applied (the replica's snapshot-read safe point).
 #[derive(Default)]
 pub struct Memtable {
     rows: BTreeMap<Key, Row>,
     approx_bytes: usize,
     min_lsn: Lsn,
     max_lsn: Lsn,
+    max_ts: Timestamp,
 }
 
 impl Memtable {
@@ -46,6 +48,7 @@ impl Memtable {
         if lsn > self.max_lsn {
             self.max_lsn = lsn;
         }
+        self.max_ts = self.max_ts.max(op.timestamp);
     }
 
     /// Merge a row fragment received from catch-up (paper §6.1: rows shipped
@@ -65,12 +68,15 @@ impl Memtable {
             self.approx_bytes += key.len();
         }
         for cv in fragment.columns.values() {
-            let lsn = Lsn::from_u64(cv.version);
-            if self.min_lsn.is_zero() || lsn < self.min_lsn {
-                self.min_lsn = lsn;
-            }
-            if lsn > self.max_lsn {
-                self.max_lsn = lsn;
+            for v in cv.versions() {
+                let lsn = Lsn::from_u64(v.version);
+                if self.min_lsn.is_zero() || lsn < self.min_lsn {
+                    self.min_lsn = lsn;
+                }
+                if lsn > self.max_lsn {
+                    self.max_lsn = lsn;
+                }
+                self.max_ts = self.max_ts.max(v.timestamp);
             }
         }
     }
@@ -105,9 +111,21 @@ impl Memtable {
         self.max_lsn
     }
 
+    /// Highest commit timestamp applied (`0` when empty).
+    pub fn max_ts(&self) -> Timestamp {
+        self.max_ts
+    }
+
     /// Iterate rows in key order (the flush path).
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Row)> {
         self.rows.iter()
+    }
+
+    /// Iterate rows in key order starting at the first key `>= start`
+    /// (a seek, not a scan-and-skip — scan pages use this so their cost
+    /// tracks the page, not the cursor's depth into the range).
+    pub fn range_from(&self, start: &Key) -> impl Iterator<Item = (&Key, &Row)> {
+        self.rows.range(start.clone()..)
     }
 
     /// Drain into a sorted vector, resetting the memtable.
@@ -116,6 +134,7 @@ impl Memtable {
         self.approx_bytes = 0;
         self.min_lsn = Lsn::ZERO;
         self.max_lsn = Lsn::ZERO;
+        self.max_ts = 0;
         rows.into_iter().collect()
     }
 }

@@ -18,7 +18,7 @@
 
 use spinnaker_common::codec::{self, Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
-use spinnaker_common::{Error, Key, Lsn, Result, Row};
+use spinnaker_common::{Error, Key, Lsn, Result, Row, Timestamp};
 
 use crate::bloom::Bloom;
 
@@ -51,6 +51,9 @@ pub struct TableMeta {
     pub min_lsn: Lsn,
     /// Largest column version (packed LSN) stored.
     pub max_lsn: Lsn,
+    /// Largest commit timestamp stored (over every version chain entry):
+    /// the table's contribution to the store's snapshot-read safe point.
+    pub max_ts: Timestamp,
     /// Number of rows.
     pub row_count: u64,
     /// File size in bytes.
@@ -64,15 +67,19 @@ struct IndexEntry {
     len: u32,
 }
 
-fn row_lsn_bounds(row: &Row) -> (Lsn, Lsn) {
+fn row_lsn_bounds(row: &Row) -> (Lsn, Lsn, Timestamp) {
     let mut lo = Lsn::MAX;
     let mut hi = Lsn::ZERO;
+    let mut ts = 0;
     for cv in row.columns.values() {
-        let lsn = Lsn::from_u64(cv.version);
-        lo = lo.min(lsn);
-        hi = hi.max(lsn);
+        for v in cv.versions() {
+            let lsn = Lsn::from_u64(v.version);
+            lo = lo.min(lsn);
+            hi = hi.max(lsn);
+            ts = ts.max(v.timestamp);
+        }
     }
-    (lo, hi)
+    (lo, hi, ts)
 }
 
 /// Streaming SSTable writer. Keys must be added in strictly ascending
@@ -91,6 +98,7 @@ pub struct TableBuilder {
     max_key: Option<Key>,
     min_lsn: Lsn,
     max_lsn: Lsn,
+    max_ts: Timestamp,
     row_count: u64,
 }
 
@@ -112,6 +120,7 @@ impl TableBuilder {
             max_key: None,
             min_lsn: Lsn::MAX,
             max_lsn: Lsn::ZERO,
+            max_ts: 0,
             row_count: 0,
         })
     }
@@ -133,9 +142,10 @@ impl TableBuilder {
         }
         key.encode(&mut self.block);
         row.encode(&mut self.block);
-        let (lo, hi) = row_lsn_bounds(row);
+        let (lo, hi, ts) = row_lsn_bounds(row);
         self.min_lsn = self.min_lsn.min(lo);
         self.max_lsn = self.max_lsn.max(hi);
+        self.max_ts = self.max_ts.max(ts);
         if self.min_key.is_none() {
             self.min_key = Some(key.clone());
         }
@@ -199,6 +209,7 @@ impl TableBuilder {
         self.max_key.as_ref().expect("non-empty").encode(&mut footer);
         self.min_lsn.encode(&mut footer);
         self.max_lsn.encode(&mut footer);
+        codec::put_u64(&mut footer, self.max_ts);
         codec::put_u64(&mut footer, self.row_count);
         codec::put_u64(&mut footer, index_off);
         codec::put_u32(&mut footer, index_len);
@@ -250,6 +261,7 @@ impl Table {
         let max_key = Key::decode(&mut cur)?;
         let min_lsn = Lsn::decode(&mut cur)?;
         let max_lsn = Lsn::decode(&mut cur)?;
+        let max_ts = codec::get_u64(&mut cur)?;
         let row_count = codec::get_u64(&mut cur)?;
         let index_off = codec::get_u64(&mut cur)?;
         let index_len = codec::get_u32(&mut cur)?;
@@ -273,7 +285,7 @@ impl Table {
         Ok(Table {
             vfs,
             path: path.to_string(),
-            meta: TableMeta { min_key, max_key, min_lsn, max_lsn, row_count, file_bytes },
+            meta: TableMeta { min_key, max_key, min_lsn, max_lsn, max_ts, row_count, file_bytes },
             index,
             bloom,
         })
@@ -325,14 +337,30 @@ impl Table {
         TableIter { table: self, block: 0, entries: Vec::new(), pos: 0 }
     }
 
+    /// Iterate rows in key order starting at the first key `>= start`,
+    /// **seeking** via the block index: only the block containing `start`
+    /// and those after it are ever read or decoded. This is what keeps a
+    /// scan page's cost proportional to the page, not to the table prefix
+    /// before the cursor.
+    pub fn iter_from(&self, start: &Key) -> TableIter<'_> {
+        // First candidate block: the last one whose first key <= start
+        // (an earlier block cannot contain keys >= start... its keys are
+        // all < its successor's first key <= start — except the block
+        // *at* the partition point, which may straddle `start`).
+        let block = match self.index.partition_point(|e| e.first_key <= *start) {
+            0 => 0,
+            n => n - 1,
+        };
+        let mut it = TableIter { table: self, block, entries: Vec::new(), pos: 0 };
+        it.skip_below(start);
+        it
+    }
+
     /// Collect rows within `[start, end)` (end `None` = unbounded).
     pub fn scan(&self, start: &Key, end: Option<&Key>) -> Result<Vec<(Key, Row)>> {
         let mut out = Vec::new();
-        for item in self.iter() {
+        for item in self.iter_from(start) {
             let (k, row) = item?;
-            if &k < start {
-                continue;
-            }
             if let Some(end) = end {
                 if &k >= end {
                     break;
@@ -371,12 +399,31 @@ fn read_chunk(
     Ok(buf)
 }
 
-/// Iterator over all rows of a table, in key order.
+/// Iterator over rows of a table in key order, decoding one block at a
+/// time (so its memory footprint is one block, regardless of table size).
 pub struct TableIter<'a> {
     table: &'a Table,
     block: usize,
     entries: Vec<(Key, Row)>,
     pos: usize,
+}
+
+impl TableIter<'_> {
+    /// Skip entries below `start` inside the current candidate block
+    /// (the one [`Table::iter_from`] seeked to). Later blocks begin at
+    /// or after `start` by construction, so one positioning suffices.
+    fn skip_below(&mut self, start: &Key) {
+        if self.block >= self.table.index.len() {
+            return;
+        }
+        if let Ok(entries) = self.table.read_block(self.block) {
+            self.entries = entries;
+            self.pos = self.entries.partition_point(|(k, _)| k < start);
+            self.block += 1;
+        }
+        // On a read error, leave the iterator pointing at the block so
+        // the first `next()` surfaces the corruption.
+    }
 }
 
 impl Iterator for TableIter<'_> {
@@ -461,6 +508,48 @@ mod tests {
         let rows: Vec<_> = t.iter().map(|r| r.unwrap()).collect();
         assert_eq!(rows.len(), 500);
         assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn iter_from_seeks_to_the_cursor() {
+        let (_vfs, t) = build(1000);
+        // Mid-table seek: first yielded key is exactly the cursor.
+        let rows: Vec<_> = t.iter_from(&Key::from("key000500")).map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 500);
+        assert_eq!(rows[0].0, Key::from("key000500"));
+        // A cursor between keys lands on the next one.
+        let rows: Vec<_> = t.iter_from(&Key::from("key000500a")).map(|r| r.unwrap()).collect();
+        assert_eq!(rows[0].0, Key::from("key000501"));
+        // Before the table: everything; past the end: nothing.
+        assert_eq!(t.iter_from(&Key::from("a")).count(), 1000);
+        assert_eq!(t.iter_from(&Key::from("z")).count(), 0);
+        // Equivalent to filtering the full iterator, for every block edge.
+        for i in [0usize, 1, 37, 499, 998, 999] {
+            let start = Key::from(format!("key{i:06}").into_bytes());
+            let seeked: Vec<_> = t.iter_from(&start).map(|r| r.unwrap().0).collect();
+            let filtered: Vec<_> = t.iter().map(|r| r.unwrap().0).filter(|k| k >= &start).collect();
+            assert_eq!(seeked, filtered, "seek at {i}");
+        }
+    }
+
+    #[test]
+    fn meta_records_max_commit_timestamp() {
+        let vfs: SharedVfs = Arc::new(MemVfs::new());
+        let mut b = TableBuilder::new(vfs, "sst/ts", TableOptions::default()).unwrap();
+        for (i, ts) in [(1u64, 50u64), (2, 90), (3, 70)] {
+            let key = Key::from(format!("k{i}").as_str());
+            let mut row = Row::new();
+            spinnaker_common::WriteOp::put(
+                key.clone(),
+                bytes::Bytes::from_static(b"c"),
+                bytes::Bytes::from_static(b"v"),
+                ts,
+            )
+            .apply_to_row(&mut row, Lsn::new(1, i));
+            b.add(&key, &row).unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(t.meta().max_ts, 90, "footer records the highest commit timestamp");
     }
 
     #[test]

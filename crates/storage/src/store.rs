@@ -15,7 +15,7 @@
 
 use spinnaker_common::codec::{self, Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
-use spinnaker_common::{Key, Lsn, Result, Row, WriteOp};
+use spinnaker_common::{Key, Lsn, Result, Row, Timestamp, WriteOp};
 
 use crate::memtable::Memtable;
 use crate::merge::{vec_stream, MergeIter, RowStream};
@@ -61,6 +61,10 @@ pub struct StoreSnapshot {
     pub mem_rows: Vec<(Key, Row)>,
     /// Highest LSN captured anywhere in the snapshot.
     pub max_lsn: Lsn,
+    /// The exporter's MVCC garbage-collection floor: the shipped tables
+    /// were pruned at it, so the importer must not serve snapshot reads
+    /// below it (`u64::MAX` = the exporter never pruned).
+    pub gc_floor: Timestamp,
 }
 
 impl StoreSnapshot {
@@ -71,16 +75,22 @@ impl StoreSnapshot {
     }
 }
 
-#[derive(Default)]
 struct Manifest {
     /// Live table ids, newest first.
     tables: Vec<u64>,
     next_id: u64,
+    /// The MVCC garbage-collection floor (see [`RangeStore::set_gc_floor`]).
+    /// Persisted so that a store whose tables were pruned at some floor
+    /// never re-opens claiming it can still serve below it — the
+    /// `SnapshotTooOld` guard must survive restarts and store forks.
+    /// `u64::MAX` = never armed (nothing has ever been pruned).
+    gc_floor: Timestamp,
 }
 
 impl Encode for Manifest {
     fn encode(&self, buf: &mut Vec<u8>) {
         codec::put_u64(buf, self.next_id);
+        codec::put_u64(buf, self.gc_floor);
         codec::put_varint(buf, self.tables.len() as u64);
         for id in &self.tables {
             codec::put_u64(buf, *id);
@@ -91,12 +101,13 @@ impl Encode for Manifest {
 impl Decode for Manifest {
     fn decode(buf: &mut &[u8]) -> Result<Manifest> {
         let next_id = codec::get_u64(buf)?;
+        let gc_floor = codec::get_u64(buf)?;
         let n = codec::get_varint(buf)? as usize;
         let mut tables = Vec::with_capacity(n);
         for _ in 0..n {
             tables.push(codec::get_u64(buf)?);
         }
-        Ok(Manifest { tables, next_id })
+        Ok(Manifest { tables, next_id, gc_floor })
     }
 }
 
@@ -126,7 +137,7 @@ impl RangeStore {
             let data = vfs.read_all(&mpath)?;
             Manifest::decode(&mut data.as_slice())?
         } else {
-            Manifest { tables: Vec::new(), next_id: 1 }
+            Manifest { tables: Vec::new(), next_id: 1, gc_floor: Timestamp::MAX }
         };
         let mut tables = Vec::with_capacity(manifest.tables.len());
         for &id in &manifest.tables {
@@ -173,6 +184,55 @@ impl RangeStore {
         col: &[u8],
     ) -> Result<Option<spinnaker_common::ColumnValue>> {
         Ok(self.get(key)?.and_then(|row| row.get(col).cloned()))
+    }
+
+    /// MVCC read: the row state **visible at** commit timestamp `ts` —
+    /// per column, the newest retained version with `timestamp <= ts`
+    /// (tombstones included; callers filter). `None` when nothing of the
+    /// row is visible at `ts`.
+    pub fn get_at(&self, key: &Key, ts: Timestamp) -> Result<Option<Row>> {
+        Ok(self.get(key)?.map(|row| row.visible_at(ts)).filter(|r| !r.is_empty()))
+    }
+
+    /// Set the MVCC garbage-collection floor: subsequent compactions
+    /// prune version-chain entries whose commit timestamp is at or
+    /// below it (keeping the newest such entry, so reads pinned exactly
+    /// at the floor still resolve). `u64::MAX` — the default for a
+    /// fresh store — retains only the latest version, the pre-MVCC
+    /// behaviour; the hosting replica lowers it to `now -
+    /// snapshot_retain` on its maintenance tick. Floors only move
+    /// forward — a lagging caller cannot resurrect pruned history, so
+    /// regressions are ignored. The floor is persisted with the
+    /// manifest (on the next flush/compaction) and inherited by
+    /// split/merge/extract children and snapshot importers, so a store
+    /// whose tables were pruned at some floor never claims it can
+    /// serve below it. Passing `u64::MAX` (the "unarmed" sentinel) is a
+    /// no-op: an armed floor can never be disarmed.
+    pub fn set_gc_floor(&mut self, floor: Timestamp) {
+        if floor == Timestamp::MAX {
+            return;
+        }
+        if self.manifest.gc_floor == Timestamp::MAX || floor > self.manifest.gc_floor {
+            self.manifest.gc_floor = floor;
+        }
+    }
+
+    /// The current MVCC garbage-collection floor (`u64::MAX` = never
+    /// armed: no version has ever been pruned, every timestamp is
+    /// servable).
+    pub fn gc_floor(&self) -> Timestamp {
+        self.manifest.gc_floor
+    }
+
+    /// Highest commit timestamp stored anywhere (memtable + SSTables):
+    /// everything committed at or below this is applied here, which makes
+    /// it the replica's snapshot-read safe point.
+    pub fn max_ts(&self) -> Timestamp {
+        let mut max = self.memtable.max_ts();
+        for t in &self.tables {
+            max = max.max(t.meta().max_ts);
+        }
+        max
     }
 
     /// True when the memtable has outgrown its budget.
@@ -245,14 +305,18 @@ impl RangeStore {
     }
 
     fn compact_indexes(&mut self, picked: &[usize], drop_tombstones: bool) -> Result<()> {
+        let floor = self.manifest.gc_floor;
         let streams: Vec<RowStream<'_>> =
             picked.iter().map(|&i| Box::new(self.tables[i].iter()) as RowStream<'_>).collect();
         let mut out: Vec<(Key, Row)> = Vec::new();
         for item in MergeIter::new(streams)? {
-            let (key, mut row) = item?;
-            if drop_tombstones {
-                row = row.without_tombstones();
-            }
+            let (key, row) = item?;
+            // MVCC garbage collection rides compaction: superseded
+            // versions at or below the snapshot floor are dropped (the
+            // newest at-or-below survives for floor-pinned readers), and
+            // tombstones below the floor are dropped only on full merges
+            // (`drop_tombstones`), where nothing older can resurrect.
+            let row = row.prune(floor, drop_tombstones);
             if !row.is_empty() {
                 out.push((key, row));
             }
@@ -338,6 +402,10 @@ impl RangeStore {
     ) -> Result<(RangeStore, RangeStore)> {
         let mut left = RangeStore::create(self.vfs.clone(), left_opts)?;
         let mut right = RangeStore::create(self.vfs.clone(), right_opts)?;
+        // The children adopt tables pruned at the parent's floor; they
+        // must not claim they can serve below it.
+        left.manifest.gc_floor = self.manifest.gc_floor;
+        right.manifest.gc_floor = self.manifest.gc_floor;
         for (key, row) in self.memtable.iter() {
             let side = if key < at { &mut left } else { &mut right };
             side.memtable.merge_row(key, row);
@@ -373,6 +441,7 @@ impl RangeStore {
         opts: StoreOptions,
     ) -> Result<RangeStore> {
         let mut child = RangeStore::create(self.vfs.clone(), opts)?;
+        child.manifest.gc_floor = self.manifest.gc_floor;
         child.adopt_rows(self.scan(start, end)?)?;
         child.save_manifest()?;
         Ok(child)
@@ -386,6 +455,10 @@ impl RangeStore {
     /// caller dissolves them once the merged child is durable.
     pub fn merge(left: &RangeStore, right: &RangeStore, opts: StoreOptions) -> Result<RangeStore> {
         let mut merged = RangeStore::create(left.vfs.clone(), opts)?;
+        // Adopt the stricter of the parents' floors (MAX inputs are
+        // no-ops, so an armed floor always wins over an unarmed one).
+        merged.set_gc_floor(left.gc_floor());
+        merged.set_gc_floor(right.gc_floor());
         for parent in [left, right] {
             // Oldest first, inserting at the front, preserving each side's
             // newest-first order (the sides are disjoint, so their relative
@@ -413,7 +486,12 @@ impl RangeStore {
         }
         let mem_rows: Vec<(Key, Row)> =
             self.memtable.iter().map(|(k, r)| (k.clone(), r.clone())).collect();
-        Ok(StoreSnapshot { tables, mem_rows, max_lsn: self.max_lsn() })
+        Ok(StoreSnapshot {
+            tables,
+            mem_rows,
+            max_lsn: self.max_lsn(),
+            gc_floor: self.manifest.gc_floor,
+        })
     }
 
     /// Import a snapshot into this (expected-fresh) store: the table
@@ -421,6 +499,9 @@ impl RangeStore {
     /// fragments land in the memtable. The caller flushes and advances its
     /// WAL checkpoint to make the handoff durable.
     pub fn import_snapshot(&mut self, snap: &StoreSnapshot) -> Result<()> {
+        // The imported tables were pruned at the exporter's floor; adopt
+        // it so this store never serves snapshot reads below it.
+        self.set_gc_floor(snap.gc_floor);
         // Oldest image first, inserting at the front, so this store ends
         // newest-first exactly like the exporter.
         for data in snap.tables.iter().rev() {
@@ -455,7 +536,7 @@ impl RangeStore {
             opts,
             memtable: Memtable::new(),
             tables: Vec::new(),
-            manifest: Manifest { tables: Vec::new(), next_id: 1 },
+            manifest: Manifest { tables: Vec::new(), next_id: 1, gc_floor: Timestamp::MAX },
         };
         store.save_manifest()?;
         Ok(store)
@@ -510,24 +591,25 @@ impl RangeStore {
         // Producing `limit` merged rows plus the resume key touches at
         // most the first `limit + 1` in-bounds entries of each stream
         // (streams are sorted and duplicate-free per key), so each
-        // stream is truncated there instead of materializing its whole
-        // remaining range on every page.
+        // stream is truncated there. SSTable streams *seek* to the
+        // cursor through the block index ([`Table::iter_from`]) and
+        // decode one block at a time, so a page's memory and work are
+        // bounded by the page limit and the block size — not by the
+        // range size or by how far into the range the cursor sits.
         let cap = limit.saturating_add(1);
         let mut streams: Vec<RowStream<'_>> = Vec::new();
         streams.push(Box::new(
             self.memtable
-                .iter()
-                .filter(move |(k, _)| *k >= start && end.is_none_or(|e| *k < e))
+                .range_from(start)
+                .filter(move |(k, _)| end.is_none_or(|e| *k < e))
                 .take(cap)
                 .map(|(k, r)| Ok((k.clone(), r.clone()))),
         ));
         for table in &self.tables {
-            let lo = start.clone();
             let hi = end.cloned();
             streams.push(Box::new(
                 table
-                    .iter()
-                    .skip_while(move |item| matches!(item, Ok((k, _)) if k < &lo))
+                    .iter_from(start)
                     .take_while(move |item| match (item, &hi) {
                         (Ok((k, _)), Some(e)) => k < e,
                         _ => true, // unbounded, or an error to surface
@@ -544,6 +626,30 @@ impl RangeStore {
             rows.push((key, row));
         }
         Ok((rows, None))
+    }
+
+    /// One page of an **MVCC snapshot scan**: like [`RangeStore::scan_page`]
+    /// but every returned row is the state visible at commit timestamp
+    /// `ts` (newest version `<= ts` per column, tombstones retained for
+    /// the caller to filter). Rows with nothing visible at `ts` — e.g.
+    /// created after the snapshot was pinned — are omitted, but still
+    /// consume page slots so the continuation cursor stays exact.
+    pub fn scan_page_at(
+        &self,
+        start: &Key,
+        end: Option<&Key>,
+        limit: usize,
+        ts: Timestamp,
+    ) -> Result<ScanPage> {
+        let (raw, resume) = self.scan_page(start, end, limit)?;
+        let rows = raw
+            .into_iter()
+            .filter_map(|(key, row)| {
+                let visible = row.visible_at(ts);
+                (!visible.is_empty()).then_some((key, visible))
+            })
+            .collect();
+        Ok((rows, resume))
     }
 
     /// Approximate total bytes held (memtable estimate + SSTable file
@@ -682,6 +788,169 @@ mod tests {
             s.scan_page(&Key::from("k005"), Some(&Key::from("k010")), 100).unwrap();
         assert_eq!(rows.len(), 5);
         assert!(resume.is_none());
+    }
+
+    /// A put of `key.c = val` whose commit timestamp is `ts`.
+    fn put_at(key: &str, val: &str, ts: u64) -> WriteOp {
+        WriteOp::put(
+            Key::from(key),
+            bytes::Bytes::from_static(b"c"),
+            bytes::Bytes::copy_from_slice(val.as_bytes()),
+            ts,
+        )
+    }
+
+    #[test]
+    fn get_at_reads_the_version_chain_across_flushes() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&put_at("k", "v1", 10), Lsn::new(1, 1));
+        s.flush().unwrap();
+        s.apply(&put_at("k", "v2", 20), Lsn::new(1, 2));
+        s.flush().unwrap();
+        s.apply(&put_at("k", "v3", 30), Lsn::new(1, 3)); // memtable
+        let k = Key::from("k");
+        assert!(s.get_at(&k, 9).unwrap().is_none(), "before the first write");
+        for (ts, want) in [(10u64, "v1"), (15, "v1"), (20, "v2"), (29, "v2"), (30, "v3")] {
+            let row = s.get_at(&k, ts).unwrap().unwrap();
+            assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), want.as_bytes(), "ts {ts}");
+        }
+        assert_eq!(s.max_ts(), 30);
+    }
+
+    #[test]
+    fn scan_page_at_serves_a_fixed_cut() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for i in 0..10u64 {
+            s.apply(&put_at(&format!("k{i}"), &format!("old{i}"), 100 + i), Lsn::new(1, i + 1));
+        }
+        s.flush().unwrap();
+        // Overwrite half the keys, delete one, and add a new one — all
+        // after the cut at ts=109.
+        for i in 0..5u64 {
+            s.apply(&put_at(&format!("k{i}"), &format!("new{i}"), 200 + i), Lsn::new(1, 20 + i));
+        }
+        s.apply(
+            &WriteOp::delete(Key::from("k7"), bytes::Bytes::from_static(b"c"), 210),
+            Lsn::new(1, 30),
+        );
+        s.apply(&put_at("k99", "born-late", 220), Lsn::new(1, 31));
+
+        // Page through at the cut; every row reads its pre-overwrite
+        // state, the deleted row is still live, the late row is absent.
+        let mut cursor = Key::default();
+        let mut seen = Vec::new();
+        loop {
+            let (rows, resume) = s.scan_page_at(&cursor, None, 3, 109).unwrap();
+            seen.extend(rows);
+            match resume {
+                Some(next) => cursor = next,
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 10, "exactly the ten rows of the cut");
+        for (key, row) in &seen {
+            let i: u64 = std::str::from_utf8(&key.as_bytes()[1..]).unwrap().parse().unwrap();
+            assert_eq!(
+                row.get_live(b"c").unwrap().value.as_ref(),
+                format!("old{i}").as_bytes(),
+                "row {i} reads the snapshot value"
+            );
+        }
+        // The latest cut sees the overwrites, the delete, and the late row.
+        let (now_rows, _) = s.scan_page_at(&Key::default(), None, 100, u64::MAX).unwrap();
+        let live: Vec<&(Key, Row)> =
+            now_rows.iter().filter(|(_, r)| r.get_live(b"c").is_some()).collect();
+        assert_eq!(live.len(), 10, "10 old - 1 deleted + 1 late");
+        assert!(s.get_at(&Key::from("k0"), u64::MAX).unwrap().is_some());
+    }
+
+    #[test]
+    fn gc_floor_prunes_only_invisible_versions() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for (i, ts) in [(1u64, 10u64), (2, 20), (3, 30), (4, 40)] {
+            s.apply(&put_at("k", &format!("v{i}"), ts), Lsn::new(1, i));
+            s.flush().unwrap();
+        }
+        // Floor at 25: compaction must keep versions 40, 30 and the
+        // newest at-or-below (20); only 10 is prunable.
+        s.set_gc_floor(25);
+        s.compact_all().unwrap();
+        let k = Key::from("k");
+        let head = s.get(&k).unwrap().unwrap();
+        let retained: Vec<u64> = head.get(b"c").unwrap().versions().map(|v| v.timestamp).collect();
+        assert_eq!(retained, vec![40, 30, 20]);
+        for (ts, want) in [(25u64, "v2"), (30, "v3"), (45, "v4")] {
+            let row = s.get_at(&k, ts).unwrap().unwrap();
+            assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), want.as_bytes(), "ts {ts}");
+        }
+        // Without a floor (the default), compaction keeps only the head.
+        let mut s2 = store_on(&vfs.crash_clone());
+        s2.apply(&put_at("j", "x", 5), Lsn::new(2, 1));
+        s2.apply(&put_at("j", "y", 6), Lsn::new(2, 2));
+        s2.flush().unwrap();
+        s2.compact_all().unwrap();
+        assert_eq!(s2.get(&Key::from("j")).unwrap().unwrap().get(b"c").unwrap().older.len(), 0);
+    }
+
+    #[test]
+    fn gc_floor_survives_restart_and_store_forks() {
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        for (i, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            s.apply(&put_at("k", &format!("v{i}"), ts), Lsn::new(1, i));
+            s.flush().unwrap();
+        }
+        s.set_gc_floor(25);
+        s.compact_all().unwrap(); // prunes ts=10 and persists the floor
+        assert_eq!(s.gc_floor(), 25);
+        s.set_gc_floor(u64::MAX);
+        assert_eq!(s.gc_floor(), 25, "an armed floor can never be disarmed");
+        s.set_gc_floor(5);
+        assert_eq!(s.gc_floor(), 25, "floors only move forward");
+
+        // Restart: the floor must come back — the pruned history is gone,
+        // so the store must keep refusing to claim it can serve below 25.
+        let reopened = store_on(&vfs.crash_clone());
+        assert_eq!(reopened.gc_floor(), 25, "floor persisted with the manifest");
+
+        // Split children, an extracted child, a merged store, and a
+        // snapshot importer all inherit it.
+        let (left, right) = s
+            .split(
+                &Key::from("m"),
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!((left.gc_floor(), right.gc_floor()), (25, 25));
+        let merged = RangeStore::merge(
+            &left,
+            &right,
+            StoreOptions { dir: "merged".into(), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(merged.gc_floor(), 25);
+        let extracted = s
+            .extract(
+                &Key::default(),
+                None,
+                StoreOptions { dir: "extracted".into(), ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(extracted.gc_floor(), 25);
+        let snap = s.export_snapshot().unwrap();
+        assert_eq!(snap.gc_floor, 25);
+        let mut joiner = RangeStore::recreate(
+            Arc::new(MemVfs::new()),
+            StoreOptions { dir: "joined".into(), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(joiner.gc_floor(), u64::MAX, "fresh store: unarmed");
+        joiner.import_snapshot(&snap).unwrap();
+        assert_eq!(joiner.gc_floor(), 25, "importer adopts the exporter's floor");
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   has flushed past a segment,
 //! * group commit for the threaded runtime ([`GroupCommitWal`]).
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod group;
 pub mod record;

@@ -43,6 +43,8 @@
 //! `crates/bench` for the reproduction of every figure and table in the
 //! paper's evaluation.
 
+#![warn(missing_docs)]
+
 pub use spinnaker_common as common;
 pub use spinnaker_coord as coordination;
 pub use spinnaker_core as core;
