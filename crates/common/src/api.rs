@@ -28,7 +28,7 @@
 
 use crate::codec::{self, Decode, Encode};
 use crate::error::{Error, Result};
-use crate::types::{ColumnName, Consistency, Key, NodeId, Timestamp, Value, Version};
+use crate::types::{ColumnName, Consistency, Key, NodeId, SnapshotTs, Timestamp, Value, Version};
 
 /// Client-assigned request identifier, echoed in replies.
 pub type RequestId = u64;
@@ -169,7 +169,7 @@ pub struct ClientRequest {
     /// Request id for matching the reply.
     pub req: RequestId,
     /// Version of the range table the sender routed with. Nodes holding
-    /// a newer table answer [`ClientReply::WrongRange`] so the client
+    /// a newer table answer [`ClientError::WrongRange`] so the client
     /// refreshes its routing (splits, merges, cohort moves). `0` =
     /// unversioned (bypasses the staleness check; internal helpers and
     /// tests).
@@ -220,6 +220,65 @@ impl ScanRow {
     }
 }
 
+/// Why a request could not be served as asked: every redirect- or
+/// error-shaped outcome a replica can answer with, as one typed enum
+/// shared between the wire ([`ClientReply::Err`]) and the session layer
+/// (`CallOutcome::Failed`). Whether an error is retryable (routing
+/// staleness) or terminal (a failed condition, a pruned snapshot) is a
+/// property of the variant, matched in exactly one place per layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientError {
+    /// The contacted node does not lead this key's cohort. Carries the
+    /// best known leader, if any. Retryable: re-route.
+    NotLeader {
+        /// Best known leader, if any.
+        hint: Option<NodeId>,
+    },
+    /// The cohort cannot serve the request right now (election or
+    /// recovery in progress, or a follower that cannot yet prove
+    /// snapshot coverage). Retryable: back off or try the leader.
+    Unavailable,
+    /// The sender's routing table is stale (a range was split, merged,
+    /// or moved) or the contacted node does not serve the key's range at
+    /// all. Retryable: refresh the range table and re-send.
+    WrongRange {
+        /// The responding node's range-table version (so the client can
+        /// tell whether a refresh made progress).
+        version: u64,
+    },
+    /// A [`Consistency::Snapshot`] read asked for a timestamp below the
+    /// replica's MVCC garbage-collection floor: versions that old may
+    /// already be pruned, so serving would risk a silently corrupted
+    /// cut. Terminal — the snapshot outlived its retention window
+    /// (`NodeConfig::snapshot_retain`) and is gone for good.
+    SnapshotTooOld {
+        /// The replica's current floor (the oldest still-servable
+        /// timestamp).
+        floor: Timestamp,
+    },
+    /// Conditional put/delete failed the version check (§5.1). Terminal
+    /// for the attempt; the caller re-reads and retries at its level.
+    VersionMismatch {
+        /// The version actually stored (0 = never written; a deleted
+        /// column reports its tombstone's version).
+        actual: Version,
+    },
+}
+
+impl ClientError {
+    /// True for errors the session retries transparently (routing and
+    /// availability); false for terminal outcomes surfaced to the
+    /// caller.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::NotLeader { .. }
+                | ClientError::Unavailable
+                | ClientError::WrongRange { .. }
+        )
+    }
+}
+
 /// Reply to a [`ClientRequest`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ClientReply {
@@ -242,8 +301,8 @@ pub enum ClientReply {
         /// Cell states in column order.
         cells: Vec<ReadCell>,
         /// The read timestamp this row was served at: the echoed (or,
-        /// for a `ts == 0` pinning get, the just-pinned) snapshot
-        /// timestamp. `0` for strong and timeline reads.
+        /// for a pinning get, the just-pinned) snapshot timestamp. `0`
+        /// for strong and timeline reads.
         at_ts: Timestamp,
     },
     /// `Scan` result: rows this replica's range covers, plus where to
@@ -258,53 +317,17 @@ pub enum ClientReply {
         resume: Option<Key>,
         /// The read timestamp this page was served at. For a
         /// [`Consistency::Snapshot`] scan this echoes the pinned
-        /// timestamp — or, when the request asked with `ts == 0`, the
-        /// timestamp the leader just pinned (the client carries it into
-        /// every subsequent page). `0` for strong and timeline scans.
+        /// timestamp — or, when the request asked to pin, the timestamp
+        /// the leader just pinned (the client carries it into every
+        /// subsequent page). `0` for strong and timeline scans.
         at_ts: Timestamp,
     },
-    /// Conditional put/delete failed the version check (§5.1).
-    VersionMismatch {
+    /// The request could not be served as asked; see [`ClientError`].
+    Err {
         /// Matching request id.
         req: RequestId,
-        /// The version actually stored (0 = never written; a deleted
-        /// column reports its tombstone's version).
-        actual: Version,
-    },
-    /// The contacted node does not lead this key's cohort.
-    NotLeader {
-        /// Matching request id.
-        req: RequestId,
-        /// Best known leader, if any.
-        hint: Option<NodeId>,
-    },
-    /// The cohort cannot serve the request right now (election or
-    /// recovery in progress).
-    Unavailable {
-        /// Matching request id.
-        req: RequestId,
-    },
-    /// A [`Consistency::Snapshot`] read asked for a timestamp below the
-    /// replica's MVCC garbage-collection floor: versions that old may
-    /// already be pruned, so serving would risk a silently corrupted
-    /// cut. The snapshot is gone for good (retention is time-based —
-    /// see `NodeConfig::snapshot_retain`); the client fails the call.
-    SnapshotTooOld {
-        /// Matching request id.
-        req: RequestId,
-        /// The replica's current floor (the oldest still-servable
-        /// timestamp).
-        floor: Timestamp,
-    },
-    /// The sender's routing table is stale (a range was split, merged,
-    /// or moved) or the contacted node does not serve the key's range at
-    /// all. The client should refresh its range table and re-send.
-    WrongRange {
-        /// Matching request id.
-        req: RequestId,
-        /// The responding node's range-table version (so the client can
-        /// tell whether a refresh made progress).
-        version: u64,
+        /// What went wrong.
+        error: ClientError,
     },
 }
 
@@ -315,12 +338,13 @@ impl ClientReply {
             ClientReply::WriteOk { req, .. }
             | ClientReply::Row { req, .. }
             | ClientReply::Rows { req, .. }
-            | ClientReply::VersionMismatch { req, .. }
-            | ClientReply::NotLeader { req, .. }
-            | ClientReply::Unavailable { req }
-            | ClientReply::SnapshotTooOld { req, .. }
-            | ClientReply::WrongRange { req, .. } => *req,
+            | ClientReply::Err { req, .. } => *req,
         }
+    }
+
+    /// Shorthand for an error reply.
+    pub fn err(req: RequestId, error: ClientError) -> ClientReply {
+        ClientReply::Err { req, error }
     }
 
     /// Approximate wire size for the network model: replies carrying
@@ -346,8 +370,9 @@ impl Encode for Consistency {
         match self {
             Consistency::Strong => codec::put_u8(buf, 0),
             Consistency::Timeline => codec::put_u8(buf, 1),
-            Consistency::Snapshot { ts } => {
-                codec::put_u8(buf, 2);
+            Consistency::Snapshot(SnapshotTs::Pin) => codec::put_u8(buf, 2),
+            Consistency::Snapshot(SnapshotTs::At(ts)) => {
+                codec::put_u8(buf, 3);
                 codec::put_u64(buf, *ts);
             }
         }
@@ -359,8 +384,59 @@ impl Decode for Consistency {
         match codec::get_u8(buf)? {
             0 => Ok(Consistency::Strong),
             1 => Ok(Consistency::Timeline),
-            2 => Ok(Consistency::Snapshot { ts: codec::get_u64(buf)? }),
+            2 => Ok(Consistency::Snapshot(SnapshotTs::Pin)),
+            3 => Ok(Consistency::Snapshot(SnapshotTs::At(codec::get_u64(buf)?))),
             tag => Err(Error::Codec(format!("bad Consistency tag {tag}"))),
+        }
+    }
+}
+
+impl Encode for ClientError {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ClientError::NotLeader { hint } => {
+                codec::put_u8(buf, 0);
+                match hint {
+                    Some(node) => {
+                        codec::put_u8(buf, 1);
+                        codec::put_u32(buf, *node);
+                    }
+                    None => codec::put_u8(buf, 0),
+                }
+            }
+            ClientError::Unavailable => codec::put_u8(buf, 1),
+            ClientError::WrongRange { version } => {
+                codec::put_u8(buf, 2);
+                codec::put_u64(buf, *version);
+            }
+            ClientError::SnapshotTooOld { floor } => {
+                codec::put_u8(buf, 3);
+                codec::put_u64(buf, *floor);
+            }
+            ClientError::VersionMismatch { actual } => {
+                codec::put_u8(buf, 4);
+                codec::put_u64(buf, *actual);
+            }
+        }
+    }
+}
+
+impl Decode for ClientError {
+    fn decode(buf: &mut &[u8]) -> Result<ClientError> {
+        match codec::get_u8(buf)? {
+            0 => {
+                let hint = match codec::get_u8(buf)? {
+                    0 => None,
+                    1 => Some(codec::get_u32(buf)?),
+                    tag => return Err(Error::Codec(format!("bad NotLeader tag {tag}"))),
+                };
+                Ok(ClientError::NotLeader { hint })
+            }
+            1 => Ok(ClientError::Unavailable),
+            2 => Ok(ClientError::WrongRange { version: codec::get_u64(buf)? }),
+            3 => Ok(ClientError::SnapshotTooOld { floor: codec::get_u64(buf)? }),
+            4 => Ok(ClientError::VersionMismatch { actual: codec::get_u64(buf)? }),
+            tag => Err(Error::Codec(format!("bad ClientError tag {tag}"))),
         }
     }
 }
@@ -620,35 +696,10 @@ impl Encode for ClientReply {
                 put_opt_key(buf, resume);
                 codec::put_u64(buf, *at_ts);
             }
-            ClientReply::VersionMismatch { req, actual } => {
+            ClientReply::Err { req, error } => {
                 codec::put_u8(buf, 3);
                 codec::put_u64(buf, *req);
-                codec::put_u64(buf, *actual);
-            }
-            ClientReply::NotLeader { req, hint } => {
-                codec::put_u8(buf, 4);
-                codec::put_u64(buf, *req);
-                match hint {
-                    Some(node) => {
-                        codec::put_u8(buf, 1);
-                        codec::put_u32(buf, *node);
-                    }
-                    None => codec::put_u8(buf, 0),
-                }
-            }
-            ClientReply::Unavailable { req } => {
-                codec::put_u8(buf, 5);
-                codec::put_u64(buf, *req);
-            }
-            ClientReply::WrongRange { req, version } => {
-                codec::put_u8(buf, 6);
-                codec::put_u64(buf, *req);
-                codec::put_u64(buf, *version);
-            }
-            ClientReply::SnapshotTooOld { req, floor } => {
-                codec::put_u8(buf, 7);
-                codec::put_u64(buf, *req);
-                codec::put_u64(buf, *floor);
+                error.encode(buf);
             }
         }
     }
@@ -685,28 +736,9 @@ impl Decode for ClientReply {
                     at_ts: codec::get_u64(buf)?,
                 })
             }
-            3 => Ok(ClientReply::VersionMismatch {
-                req: codec::get_u64(buf)?,
-                actual: codec::get_u64(buf)?,
-            }),
-            4 => {
-                let req = codec::get_u64(buf)?;
-                let hint = match codec::get_u8(buf)? {
-                    0 => None,
-                    1 => Some(codec::get_u32(buf)?),
-                    tag => return Err(Error::Codec(format!("bad NotLeader tag {tag}"))),
-                };
-                Ok(ClientReply::NotLeader { req, hint })
+            3 => {
+                Ok(ClientReply::Err { req: codec::get_u64(buf)?, error: ClientError::decode(buf)? })
             }
-            5 => Ok(ClientReply::Unavailable { req: codec::get_u64(buf)? }),
-            6 => Ok(ClientReply::WrongRange {
-                req: codec::get_u64(buf)?,
-                version: codec::get_u64(buf)?,
-            }),
-            7 => Ok(ClientReply::SnapshotTooOld {
-                req: codec::get_u64(buf)?,
-                floor: codec::get_u64(buf)?,
-            }),
             tag => Err(Error::Codec(format!("bad ClientReply tag {tag}"))),
         }
     }
@@ -765,7 +797,7 @@ mod tests {
             start: Key::from("a"),
             end: None,
             limit: 16,
-            consistency: Consistency::Snapshot { ts: 123_456 },
+            consistency: Consistency::snapshot_at(123_456),
         });
         roundtrip_op(ClientOp::Get {
             key: Key::from("k"),
@@ -811,11 +843,12 @@ mod tests {
                 resume: Some(Key::from("l")),
                 at_ts: 777,
             },
-            ClientReply::VersionMismatch { req: 4, actual: 11 },
-            ClientReply::NotLeader { req: 5, hint: Some(2) },
-            ClientReply::NotLeader { req: 6, hint: None },
-            ClientReply::Unavailable { req: 7 },
-            ClientReply::WrongRange { req: 8, version: 12 },
+            ClientReply::err(4, ClientError::VersionMismatch { actual: 11 }),
+            ClientReply::err(5, ClientError::NotLeader { hint: Some(2) }),
+            ClientReply::err(6, ClientError::NotLeader { hint: None }),
+            ClientReply::err(7, ClientError::Unavailable),
+            ClientReply::err(8, ClientError::WrongRange { version: 12 }),
+            ClientReply::err(9, ClientError::SnapshotTooOld { floor: 1_000 }),
         ];
         for r in replies {
             let enc = r.encode_to_vec();
@@ -836,6 +869,15 @@ mod tests {
             }],
         };
         assert!(big.wire_size() > small.wire_size() + 4000);
+    }
+
+    #[test]
+    fn retryability_splits_routing_from_terminal_errors() {
+        assert!(ClientError::NotLeader { hint: None }.is_retryable());
+        assert!(ClientError::Unavailable.is_retryable());
+        assert!(ClientError::WrongRange { version: 3 }.is_retryable());
+        assert!(!ClientError::SnapshotTooOld { floor: 9 }.is_retryable());
+        assert!(!ClientError::VersionMismatch { actual: 4 }.is_retryable());
     }
 
     #[test]

@@ -28,10 +28,13 @@ pub mod op;
 pub mod types;
 pub mod vfs;
 
-pub use api::{ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow};
+pub use api::{
+    ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
+};
 pub use error::{Error, Result};
 pub use lsn::{Epoch, Lsn};
 pub use op::{CellOp, WriteOp};
 pub use types::{
-    ColumnName, ColumnValue, Consistency, Key, NodeId, RangeId, Row, Timestamp, Value, Version,
+    ColumnName, ColumnValue, Consistency, Key, NodeId, RangeId, Row, SnapshotTs, Timestamp, Value,
+    Version,
 };

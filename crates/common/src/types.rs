@@ -96,6 +96,32 @@ impl fmt::Display for RangeId {
     }
 }
 
+/// The read timestamp of a snapshot read: either "pick one for me" or a
+/// concrete pinned cut. An explicit type rather than a sentinel value, so
+/// no caller ever encodes "pin" as a magic zero.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SnapshotTs {
+    /// Ask the serving leader to *pin* a timestamp (its current safe
+    /// point, covering every write it has acknowledged) and report it
+    /// back in the reply's `at_ts`.
+    Pin,
+    /// Replay the cut pinned at this commit timestamp. May be served by
+    /// any replica that can prove it has applied every commit at or
+    /// below it (the leader always can; a follower can once the leader's
+    /// closed timestamp reaches it).
+    At(Timestamp),
+}
+
+impl SnapshotTs {
+    /// The concrete pinned timestamp, or `None` for [`SnapshotTs::Pin`].
+    pub fn pinned(self) -> Option<Timestamp> {
+        match self {
+            SnapshotTs::Pin => None,
+            SnapshotTs::At(ts) => Some(ts),
+        }
+    }
+}
+
 /// Read consistency level (paper §3): the `consistent` flag of `get`,
 /// extended with an MVCC snapshot mode for multi-range scans.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -107,24 +133,25 @@ pub enum Consistency {
     /// served by any replica (timeline consistency, §1.3).
     Timeline,
     /// Read the state visible at a fixed commit timestamp — a consistent
-    /// cut of the whole key space. `ts == 0` asks the serving leader to
-    /// *pin* a timestamp (its current safe point, covering every write it
-    /// has acknowledged) and report it back; a non-zero `ts` replays that
-    /// pinned cut, and may be served by any replica that has applied all
-    /// commits at or below it. This is what makes a paged multi-range
-    /// scan a true snapshot: the first page pins, every later page —
-    /// across range splits, merges, and cohort moves — reads the same
-    /// cut.
-    Snapshot {
-        /// The pinned read timestamp; `0` = "choose one and tell me".
-        ts: Timestamp,
-    },
+    /// cut of the whole key space. [`SnapshotTs::Pin`] asks the serving
+    /// leader to choose the timestamp and report it back;
+    /// [`SnapshotTs::At`] replays that pinned cut, and may be served by
+    /// any replica that has applied all commits at or below it. This is
+    /// what makes a paged multi-range scan a true snapshot: the first
+    /// page pins, every later page — across range splits, merges, and
+    /// cohort moves — reads the same cut.
+    Snapshot(SnapshotTs),
 }
 
 impl Consistency {
     /// A snapshot read that lets the first serving leader pick (and pin)
     /// the read timestamp.
-    pub const SNAPSHOT_PIN: Consistency = Consistency::Snapshot { ts: 0 };
+    pub const SNAPSHOT_PIN: Consistency = Consistency::Snapshot(SnapshotTs::Pin);
+
+    /// A snapshot read replaying the cut pinned at `ts`.
+    pub fn snapshot_at(ts: Timestamp) -> Consistency {
+        Consistency::Snapshot(SnapshotTs::At(ts))
+    }
 }
 
 /// The stored state of one column of one row: the **latest** version at

@@ -8,10 +8,10 @@ use bytes::Bytes;
 use proptest::prelude::*;
 
 use spinnaker_common::api::{
-    ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, ScanRow,
+    ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, ScanRow,
 };
 use spinnaker_common::codec::{Decode, Encode};
-use spinnaker_common::{Consistency, Key};
+use spinnaker_common::{Consistency, Key, SnapshotTs};
 
 fn bytes_strat() -> impl Strategy<Value = Bytes> {
     proptest::collection::vec(any::<u8>(), 0..24).prop_map(Bytes::from)
@@ -33,7 +33,8 @@ fn consistency_strat() -> impl Strategy<Value = Consistency> {
     prop_oneof![
         Just(Consistency::Strong),
         Just(Consistency::Timeline),
-        any::<u64>().prop_map(|ts| Consistency::Snapshot { ts }),
+        Just(Consistency::Snapshot(SnapshotTs::Pin)),
+        any::<u64>().prop_map(|ts| Consistency::Snapshot(SnapshotTs::At(ts))),
     ]
 }
 
@@ -85,15 +86,18 @@ fn reply_strat() -> impl Strategy<Value = ClientReply> {
             .prop_map(|(req, cells, at_ts)| ClientReply::Row { req, cells, at_ts }),
         (any::<u64>(), proptest::collection::vec(row_strat(), 0..4), opt_key_strat(), any::<u64>())
             .prop_map(|(req, rows, resume, at_ts)| ClientReply::Rows { req, rows, resume, at_ts }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(req, actual)| ClientReply::VersionMismatch { req, actual }),
-        (any::<u64>(), prop_oneof![Just(None), any::<u32>().prop_map(Some)])
-            .prop_map(|(req, hint)| ClientReply::NotLeader { req, hint }),
-        any::<u64>().prop_map(|req| ClientReply::Unavailable { req }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(req, version)| ClientReply::WrongRange { req, version }),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(req, floor)| ClientReply::SnapshotTooOld { req, floor }),
+        (any::<u64>(), error_strat()).prop_map(|(req, error)| ClientReply::Err { req, error }),
+    ]
+}
+
+fn error_strat() -> impl Strategy<Value = ClientError> {
+    prop_oneof![
+        prop_oneof![Just(None), any::<u32>().prop_map(Some)]
+            .prop_map(|hint| ClientError::NotLeader { hint }),
+        Just(ClientError::Unavailable),
+        any::<u64>().prop_map(|version| ClientError::WrongRange { version }),
+        any::<u64>().prop_map(|floor| ClientError::SnapshotTooOld { floor }),
+        any::<u64>().prop_map(|actual| ClientError::VersionMismatch { actual }),
     ]
 }
 

@@ -53,15 +53,22 @@ impl CommitQueue {
     /// Record a follower ack. Duplicate acks from the same node (leader
     /// retransmits, follower resends after catch-up) are absorbed by the
     /// acker set.
+    ///
+    /// Acks are **cumulative**: the log is appended sequentially, so a
+    /// follower whose force covers `lsn` has every earlier record durable
+    /// too. Group proposes lean on this — the follower acks once, at the
+    /// batch's last LSN, and that single ack vouches for the whole batch.
     pub fn ack(&mut self, lsn: Lsn, from: NodeId) {
-        if let Some(pw) = self.entries.get_mut(&lsn) {
+        for (_, pw) in self.entries.range_mut(..=lsn) {
             pw.ackers.insert(from);
         }
     }
 
-    /// Record completion of our own log force.
+    /// Record completion of our own log force. Cumulative for the same
+    /// reason as [`CommitQueue::ack`]: a force that covers `lsn` covered
+    /// everything appended before it.
     pub fn self_forced(&mut self, lsn: Lsn) {
-        if let Some(pw) = self.entries.get_mut(&lsn) {
+        for (_, pw) in self.entries.range_mut(..=lsn) {
             pw.self_forced = true;
         }
     }
@@ -206,19 +213,23 @@ mod tests {
 
     #[test]
     fn commits_drain_in_lsn_order_only() {
+        // Replication 5: quorum needs the leader plus two distinct
+        // follower acks. Follower 1 is durable through LSN 2, follower 2
+        // only through LSN 1 — the quorum prefix ends at 1, and writes
+        // 2..3 must wait even though each already holds one ack.
         let mut q = CommitQueue::new();
         for seq in 1..=3 {
             q.insert(pending(seq));
         }
-        // Write 2 becomes ready before write 1: nothing may commit.
-        q.self_forced(Lsn::new(1, 2));
+        q.self_forced(Lsn::new(1, 3));
         q.ack(Lsn::new(1, 2), 1);
-        assert!(q.drain_committable(Lsn::ZERO, 1).is_empty(), "hole at LSN 1");
-        // Write 1 ready: 1 and 2 drain, 3 stays.
-        q.self_forced(Lsn::new(1, 1));
-        q.ack(Lsn::new(1, 1), 1);
-        let drained = q.drain_committable(Lsn::ZERO, 1);
-        assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![1, 2]);
+        q.ack(Lsn::new(1, 1), 2);
+        let drained = q.drain_committable(Lsn::ZERO, 2);
+        assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![1]);
+        // Follower 2 catches up through LSN 2: write 2 drains, 3 stays.
+        q.ack(Lsn::new(1, 2), 2);
+        let drained = q.drain_committable(Lsn::new(1, 1), 2);
+        assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![2]);
         assert_eq!(q.len(), 1);
     }
 
@@ -232,6 +243,35 @@ mod tests {
         assert_eq!(drained.len(), 3);
         assert_eq!(q.len(), 2);
         assert!(q.contains(Lsn::new(1, 4)));
+    }
+
+    #[test]
+    fn acks_and_forces_are_cumulative() {
+        // A group propose of 3 writes gets ONE follower ack (at the last
+        // LSN) and ONE self-force completion: all three must become
+        // committable at once.
+        let mut q = CommitQueue::new();
+        for seq in 1..=3 {
+            q.insert(pending(seq));
+        }
+        q.self_forced(Lsn::new(1, 3));
+        q.ack(Lsn::new(1, 3), 7);
+        let drained = q.drain_committable(Lsn::ZERO, 1);
+        assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cumulative_ack_does_not_touch_later_entries() {
+        let mut q = CommitQueue::new();
+        for seq in 1..=4 {
+            q.insert(pending(seq));
+        }
+        q.self_forced(Lsn::new(1, 2));
+        q.ack(Lsn::new(1, 2), 7);
+        let drained = q.drain_committable(Lsn::ZERO, 1);
+        assert_eq!(drained.iter().map(|p| p.lsn.seq()).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.len(), 2, "writes 3 and 4 still pending");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use spinnaker_coord::WatchEvent;
 use spinnaker_storage::StoreSnapshot;
 
 pub use spinnaker_common::api::{
-    ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
+    ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
 };
 
 /// Address of a process (node or client) in the hosting runtime.
@@ -19,19 +19,30 @@ pub type Addr = u32;
 /// Node-to-node protocol messages, all scoped to one cohort (`range`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum PeerMsg {
-    /// Fig. 4: leader proposes a write to its followers.
+    /// Fig. 4: leader proposes a *group* of writes to its followers in
+    /// one consensus round. A singleton group is the classic per-write
+    /// propose; larger groups are drained from the leader's submission
+    /// queue while the previous force was in flight.
     Propose {
         /// Cohort this applies to.
         range: RangeId,
         /// Leadership epoch of the sender; stale leaders are rejected.
         epoch: Epoch,
-        /// LSN assigned to the write (may be from an older epoch during
-        /// takeover re-proposal, Fig. 6 line 9).
+        /// LSN assigned to the *first* write; op `i` carries `lsn + i`
+        /// (may be from an older epoch during takeover re-proposal,
+        /// Fig. 6 line 9).
         lsn: Lsn,
-        /// The write itself.
-        op: WriteOp,
+        /// The writes, in LSN order. Never empty; replicated as one log
+        /// record, acked once at the last LSN, atomic across crashes.
+        ops: Vec<WriteOp>,
         /// Piggy-backed last-committed LSN (§D.1), `Lsn::ZERO` disables.
         committed: Lsn,
+        /// Closed timestamp: the leader promises never to commit another
+        /// write with `ts <= closed_ts`. A follower that has applied
+        /// everything through `committed` may serve snapshot reads at or
+        /// below this bound locally. Meaningful only when `committed`
+        /// piggy-backing is on; `0` disables.
+        closed_ts: u64,
     },
     /// Fig. 4: follower acknowledges a forced propose.
     Ack {
@@ -42,7 +53,10 @@ pub enum PeerMsg {
         /// LSN whose log record is now durable at the follower.
         lsn: Lsn,
     },
-    /// Fig. 4: asynchronous commit message.
+    /// Fig. 4: asynchronous commit message. Doubles as the closed-ts
+    /// heartbeat: it is sent every commit period even when `lsn` has not
+    /// advanced, so follower snapshot bounds keep moving on an idle
+    /// range.
     Commit {
         /// Cohort.
         range: RangeId,
@@ -50,6 +64,10 @@ pub enum PeerMsg {
         epoch: Epoch,
         /// Apply pending writes up to this LSN.
         lsn: Lsn,
+        /// Closed timestamp: the leader promises never to commit another
+        /// write with `ts <= closed_ts`. A follower applied through `lsn`
+        /// may serve snapshot reads at or below this bound. `0` disables.
+        closed_ts: u64,
     },
     /// New leader announcing itself after winning election (§6.2). Also
     /// sent in reply to a recovering follower's ping.
@@ -231,7 +249,9 @@ impl PeerMsg {
     /// Approximate wire size, for the network model.
     pub fn wire_size(&self) -> usize {
         match self {
-            PeerMsg::Propose { op, .. } => 64 + op.approx_size(),
+            PeerMsg::Propose { ops, .. } => {
+                64 + ops.iter().map(|op| 8 + op.approx_size()).sum::<usize>()
+            }
             PeerMsg::CatchupRecords { records, fragments, .. } => {
                 64 + records.iter().map(|(_, op)| 16 + op.approx_size()).sum::<usize>()
                     + fragments.iter().map(|(k, r)| k.len() + r.approx_size()).sum::<usize>()

@@ -28,7 +28,7 @@
 //!
 //! [`Effect`]: crate::messages::Effect
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
@@ -39,7 +39,8 @@ use spinnaker_wal::{LogRecord, Wal, WalOptions};
 
 use crate::coordcli::CoordClient;
 use crate::messages::{
-    Addr, ClientOp, ClientReply, ClientRequest, ColumnSelect, NodeInput, Outbox, PeerMsg, TimerKind,
+    Addr, ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, NodeInput, Outbox,
+    PeerMsg, TimerKind,
 };
 use crate::partition::{RangeDef, Ring, TABLE_PATH};
 use crate::replica::{
@@ -82,11 +83,25 @@ pub struct NodeConfig {
     /// Piggy-back the committed watermark on propose messages (§D.1
     /// suggests this as an optimization; off by default to match the
     /// measured system, whose recovery time scales with the commit
-    /// period — Table 1).
+    /// period — Table 1). Also gates closed-timestamp advertisement:
+    /// followers can only adopt a closed bound together with the
+    /// committed watermark it was computed against.
     pub piggyback_commits: bool,
+    /// Maximum writes coalesced into one **group propose** (one log
+    /// record, one force, one propose/ack round). Writes accumulate only
+    /// while a previous flush's force is in flight, so batching never
+    /// adds latency on an idle range; `1` restores the classic
+    /// propose-per-write protocol.
+    pub propose_batch: usize,
     /// Automatic split/merge triggers from load + size statistics.
     /// `None` (the default) leaves resharding to administrative RPCs.
     pub reshard: Option<ReshardPolicy>,
+    /// Cool-down after an automatic split/merge: while the range's table
+    /// entry keeps the generation recorded when the action was taken, no
+    /// further automatic resharding of that range is proposed for this
+    /// long — the damper that keeps split/merge from oscillating on a
+    /// load level that sits near both thresholds.
+    pub reshard_cooldown: u64,
     /// Abort a cohort movement whose joining node has not confirmed
     /// durable catch-up within this long.
     pub move_timeout: u64,
@@ -113,7 +128,9 @@ impl Default for NodeConfig {
             maintenance_interval: 250_000_000,
             memtable_flush_bytes: 8 << 20,
             piggyback_commits: false,
+            propose_batch: 8,
             reshard: None,
+            reshard_cooldown: 10_000_000_000,
             move_timeout: 10_000_000_000,
             merge_timeout: 10_000_000_000,
             gc_quiesce: 5_000_000_000,
@@ -207,6 +224,11 @@ pub struct Node {
     forces: ForceTracker,
     dissolved: Vec<Dissolved>,
     started: bool,
+    /// Automatic-reshard cool-down marks: range → (table generation when
+    /// the last auto split/merge was initiated, virtual time it was
+    /// initiated). Advice for a range whose entry still carries the
+    /// marked generation is suppressed until the cool-down elapses.
+    reshard_marks: HashMap<RangeId, (u64, u64)>,
 }
 
 impl Node {
@@ -299,6 +321,7 @@ impl Node {
             forces: ForceTracker::new(),
             dissolved,
             started: false,
+            reshard_marks: HashMap::new(),
         })
     }
 
@@ -350,6 +373,19 @@ impl Node {
     /// Access the node's WAL (tests, harness checkpoints).
     pub fn wal(&self) -> &Wal {
         &self.wal
+    }
+
+    /// Snapshot pages served by this node's replica of `range` so far,
+    /// in any role (benchmarks attribute read load to leaders vs.
+    /// followers with it).
+    pub fn snapshot_pages(&self, range: RangeId) -> u64 {
+        self.replicas.get(&range).map_or(0, |r| r.snapshot_pages())
+    }
+
+    /// The closed timestamp this node's replica of `range` has adopted
+    /// from its leader (0 = none yet).
+    pub fn closed_ts(&self, range: RangeId) -> u64 {
+        self.replicas.get(&range).map_or(0, |r| r.closed_ts)
     }
 
     // =================================================================
@@ -500,14 +536,16 @@ impl Node {
     /// routes by its cursor). Every §3 verb and `Scan` enters here.
     fn on_client(&mut self, now: u64, from: Addr, req: ClientRequest, out: &mut Outbox) {
         if self.stale_routing(req.ring_version) {
-            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
+            let version = self.ring.version();
+            out.reply(from, ClientReply::err(req.req, ClientError::WrongRange { version }));
             return;
         }
         let range = self.ring.range_of(req.op.routing_key());
         let ring_version = self.ring.version();
         let mut rt = runtime!(self, now);
         let Some(rep) = self.replicas.get_mut(&range) else {
-            out.reply(from, ClientReply::WrongRange { req: req.req, version: rt.ring.version() });
+            let version = rt.ring.version();
+            out.reply(from, ClientReply::err(req.req, ClientError::WrongRange { version }));
             return;
         };
         match &req.op {
@@ -590,13 +628,13 @@ impl Node {
             return;
         };
         let fu = match msg {
-            PeerMsg::Propose { epoch, lsn, op, committed, .. } => {
-                rep.on_propose(&mut rt, from, epoch, lsn, op, committed, out);
+            PeerMsg::Propose { epoch, lsn, ops, committed, closed_ts, .. } => {
+                rep.on_propose(&mut rt, from, epoch, lsn, ops, committed, closed_ts, out);
                 FollowUp::default()
             }
             PeerMsg::Ack { epoch, lsn, .. } => rep.on_ack(&mut rt, from, epoch, lsn, out),
-            PeerMsg::Commit { epoch, lsn, .. } => {
-                rep.on_commit_msg(&mut rt, epoch, lsn);
+            PeerMsg::Commit { epoch, lsn, closed_ts, .. } => {
+                rep.on_commit_msg(&mut rt, epoch, lsn, closed_ts);
                 FollowUp::default()
             }
             PeerMsg::LeaderHello { epoch, leader, .. } => {
@@ -750,15 +788,31 @@ impl Node {
             }
         }
         for (range, advice) in advices {
+            // Cool-down, keyed to the table generation: after an auto
+            // split/merge is initiated for a range, further advice is
+            // suppressed while its table entry still carries the marked
+            // generation and the cool-down has not elapsed. A genuine
+            // reconfiguration bumps the generation and re-arms
+            // immediately; a failed attempt re-arms when the clock runs
+            // out. This is what keeps borderline load from flapping a
+            // range between split and merge.
+            let gen = self.ring.def(range).map_or(0, |d| d.gen);
+            if let Some(&(marked_gen, at)) = self.reshard_marks.get(&range) {
+                if marked_gen == gen && now < at.saturating_add(self.cfg.reshard_cooldown) {
+                    continue;
+                }
+            }
             match advice {
                 ReshardAdvice::Split => {
                     let at = self.replicas.get(&range).and_then(|r| r.store.mid_key());
                     if let Some(at) = at {
+                        self.reshard_marks.insert(range, (gen, now));
                         self.on_split_request(now, range, at, out);
                     }
                 }
                 ReshardAdvice::MergeRight => {
                     if let Some(right) = self.mergeable_right_sibling(range) {
+                        self.reshard_marks.insert(range, (gen, now));
                         self.on_merge_request(now, range, right, out);
                     }
                 }
@@ -891,7 +945,8 @@ impl Node {
     fn retire_replica(&mut self, now: u64, range: RangeId, gc_znodes: bool, out: &mut Outbox) {
         let Some(rep) = self.replicas.remove(&range) else { return };
         for (from, req) in rep.blocked_writes {
-            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
+            let version = self.ring.version();
+            out.reply(from, ClientReply::err(req.req, ClientError::WrongRange { version }));
         }
         if let Some(path) = rep.candidate_path {
             let _ = self.coord.delete(&path);
@@ -1197,9 +1252,10 @@ impl Node {
         for range in gone {
             if let Some(rep) = self.replicas.remove(&range) {
                 for (from, req) in &rep.blocked_writes {
+                    let version = self.ring.version();
                     out.reply(
                         *from,
-                        ClientReply::WrongRange { req: req.req, version: self.ring.version() },
+                        ClientReply::err(req.req, ClientError::WrongRange { version }),
                     );
                 }
                 if let Some(path) = &rep.candidate_path {
@@ -1371,7 +1427,8 @@ impl Node {
             self.attach_replica(rep);
         }
         for (from, req) in parent.blocked_writes {
-            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
+            let version = self.ring.version();
+            out.reply(from, ClientReply::err(req.req, ClientError::WrongRange { version }));
         }
     }
 
@@ -2033,7 +2090,8 @@ impl Node {
         mrep.last_note = watermark;
         self.attach_replica(mrep);
         for (from, req) in lrep.blocked_writes.into_iter().chain(rrep.blocked_writes) {
-            out.reply(from, ClientReply::WrongRange { req: req.req, version: self.ring.version() });
+            let version = self.ring.version();
+            out.reply(from, ClientReply::err(req.req, ClientError::WrongRange { version }));
         }
         self.join_cohort(now, merged, out);
     }

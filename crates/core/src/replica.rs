@@ -18,15 +18,17 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use spinnaker_common::{CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, WriteOp};
+use spinnaker_common::{
+    CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, SnapshotTs, WriteOp,
+};
 use spinnaker_storage::RangeStore;
 use spinnaker_wal::{LogRecord, Wal};
 
 use crate::commit_queue::{CommitQueue, PendingWrite};
 use crate::coordcli::CoordClient;
 use crate::messages::{
-    Addr, ClientOp, ClientReply, ClientRequest, ColumnSelect, Outbox, PeerMsg, ReadCell, RequestId,
-    ScanRow,
+    Addr, ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, Outbox, PeerMsg,
+    ReadCell, RequestId, ScanRow,
 };
 use crate::node::{CohortPaths, NodeConfig};
 use crate::partition::Ring;
@@ -248,6 +250,22 @@ pub struct RangeReplica {
     /// Number of maintenance samples taken since attach (hysteresis: no
     /// automatic resharding before the statistics settle).
     pub(crate) samples: u64,
+    /// Leader: writes assigned an LSN and queued while a propose flush's
+    /// force was in flight — the accumulating **group propose**. Drained
+    /// into one log record / one consensus round when the force
+    /// completes (or the batch cap is hit).
+    pub(crate) unproposed: Vec<(Lsn, WriteOp)>,
+    /// Leader: a propose flush's log force is in flight; new writes
+    /// accumulate into `unproposed` until it completes.
+    pub(crate) proposing: bool,
+    /// Follower: highest **closed timestamp** adopted from the leader.
+    /// The leader promises never to commit another write at or below it,
+    /// so — having applied everything the promise covers — this replica
+    /// can serve snapshot reads at or below it without a leader bounce.
+    pub(crate) closed_ts: u64,
+    /// Snapshot pages (gets and scan pages) this replica has served, in
+    /// any role — the observable behind the follower-read experiments.
+    pub(crate) snapshot_pages: u64,
 }
 
 /// What the load/size statistics recommend for a range (sampled on the
@@ -293,7 +311,16 @@ impl RangeReplica {
             ops_since_sample: 0,
             last_sample_at: 0,
             samples: 0,
+            unproposed: Vec::new(),
+            proposing: false,
+            closed_ts: 0,
+            snapshot_pages: 0,
         }
+    }
+
+    /// Snapshot pages this replica has served so far (any role).
+    pub fn snapshot_pages(&self) -> u64 {
+        self.snapshot_pages
     }
 
     /// True while a barrier (split, merge, or a departing leader's
@@ -474,7 +501,13 @@ impl RangeReplica {
         // timestamps, preserving ts-order == LSN-order across the
         // takeover.
         let tail_ts = repropose.iter().map(|(_, op)| op.timestamp).max().unwrap_or(0);
-        self.last_ts = self.last_ts.max(self.store.max_ts()).max(tail_ts);
+        // `closed_ts` joins the seed: whatever cut we (as a follower)
+        // already served locally must stay closed under our leadership —
+        // no new write may ever be stamped at or below it.
+        self.last_ts = self.last_ts.max(self.store.max_ts()).max(tail_ts).max(self.closed_ts);
+        self.served_ts = self.served_ts.max(self.closed_ts);
+        self.unproposed.clear();
+        self.proposing = false;
         self.takeover = Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
         self.last_assigned = l_lst;
         let epoch = self.epoch;
@@ -523,8 +556,11 @@ impl RangeReplica {
                         range: self.range,
                         epoch,
                         lsn,
-                        op: op.clone(),
+                        ops: vec![op.clone()],
                         committed: piggy,
+                        // Mid-takeover the cohort is resyncing; closed
+                        // timestamps resume with steady-state traffic.
+                        closed_ts: 0,
                     },
                 );
             }
@@ -561,9 +597,14 @@ impl RangeReplica {
         self.leader = Some(leader);
         self.epoch = self.epoch.max(epoch);
         self.cq.clear();
+        self.unproposed.clear();
+        self.proposing = false;
         // Redirect buffered writes; we are not the leader.
         for (from, req) in std::mem::take(&mut self.blocked_writes) {
-            out.reply(from, ClientReply::NotLeader { req: req.req, hint: Some(leader) });
+            out.reply(
+                from,
+                ClientReply::err(req.req, ClientError::NotLeader { hint: Some(leader) }),
+            );
         }
         out.send(
             leader,
@@ -595,11 +636,14 @@ impl RangeReplica {
                 return;
             }
             Role::Follower | Role::CatchingUp => {
-                out.reply(from, ClientReply::NotLeader { req: req.req, hint: self.leader });
+                out.reply(
+                    from,
+                    ClientReply::err(req.req, ClientError::NotLeader { hint: self.leader }),
+                );
                 return;
             }
             Role::Electing | Role::Offline => {
-                out.reply(from, ClientReply::Unavailable { req: req.req });
+                out.reply(from, ClientReply::err(req.req, ClientError::Unavailable));
                 return;
             }
         }
@@ -640,7 +684,7 @@ impl RangeReplica {
                 .or_else(|| self.store.get_column(&key, col).ok().flatten().map(|cv| cv.version))
                 .unwrap_or(0);
             if actual != *expected {
-                out.reply(from, ClientReply::VersionMismatch { req: req.req, actual });
+                out.reply(from, ClientReply::err(req.req, ClientError::VersionMismatch { actual }));
                 return;
             }
         }
@@ -660,12 +704,6 @@ impl RangeReplica {
         let ts = (self.last_ts + 1).max(self.served_ts + 1).max(rt.now);
         self.last_ts = ts;
         let op = WriteOp { key, cells, timestamp: ts };
-        let rec = LogRecord::write(self.range, lsn, op.clone());
-        let appended = rt.wal.append(&rec);
-        debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
-        rt.forces.add_bytes(op.approx_size() as u64 + 32);
-        rt.forces.request(Waiter::LeaderWrite { range: self.range, lsn }, out);
-
         self.cq.insert(PendingWrite {
             lsn,
             op: op.clone(),
@@ -673,14 +711,83 @@ impl RangeReplica {
             ackers: HashSet::new(),
             self_forced: false,
         });
+        self.unproposed.push((lsn, op));
+        // Group propose (Fig. 4, amortized): while a flush's force is in
+        // flight, later writes accumulate and ship as ONE log record, ONE
+        // force, and ONE propose/ack round when it completes — or sooner
+        // when the batch cap is hit. A cap of 1 degenerates to the
+        // classic propose-per-write protocol.
+        if !self.proposing || self.unproposed.len() >= rt.cfg.propose_batch.max(1) {
+            self.flush_proposals(rt, out);
+        }
+    }
+
+    /// Drain the accumulated writes into one group propose: a single
+    /// batch record in the log (all-or-nothing under one frame checksum),
+    /// a single force resolved cumulatively at the batch's last LSN, and
+    /// a single propose fan-out carrying every op. Commit timestamps and
+    /// client replies stay per-op; they fan back out at commit.
+    fn flush_proposals(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
+        if self.unproposed.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.unproposed);
+        let first = batch[0].0;
+        let last = batch[batch.len() - 1].0;
+        let ops: Vec<WriteOp> = batch.into_iter().map(|(_, op)| op).collect();
+        let bytes = ops.iter().map(|op| op.approx_size() as u64 + 8).sum::<u64>() + 32;
+        let rec = LogRecord::batch(self.range, first, ops.clone());
+        let appended = rt.wal.append(&rec);
+        debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
+        rt.forces.add_bytes(bytes);
+        rt.forces.request(Waiter::LeaderWrite { range: self.range, lsn: last }, out);
+        self.proposing = true;
         let epoch = self.epoch;
         let committed = if rt.cfg.piggyback_commits { self.last_committed } else { Lsn::ZERO };
+        let closed_ts = self.advertised_closed_ts(rt);
         for peer in self.peers.clone() {
             out.send(
                 peer,
-                PeerMsg::Propose { range: self.range, epoch, lsn, op: op.clone(), committed },
+                PeerMsg::Propose {
+                    range: self.range,
+                    epoch,
+                    lsn: first,
+                    ops: ops.clone(),
+                    committed,
+                    closed_ts,
+                },
             );
         }
+    }
+
+    /// The closed timestamp the leader advertises on commit traffic: a
+    /// promise that nothing will ever commit at or below it again.
+    ///
+    /// With writes in flight the promise stops just under the oldest
+    /// pending commit timestamp. Idle, it **rides the clock**: the next
+    /// write is stamped `max(last_ts + 1, served_ts + 1, now)`, and
+    /// `served_ts` is fenced up to every promise made here, so a promise
+    /// at `now` can never be violated by a later write. Riding the clock
+    /// is what keeps pins on write-quiet ranges serveable by followers —
+    /// a promise capped at the last applied write would leave any fresher
+    /// pin chained to the leader forever.
+    ///
+    /// The promise survives failover: a follower folds its adopted
+    /// `closed_ts` into `last_ts`/`served_ts` on takeover, and even an
+    /// elected successor that missed the heartbeat stamps at or above the
+    /// (monotone) clock that produced the promise. `0` (commit
+    /// piggy-backing off — followers cannot judge caught-up-ness without
+    /// the watermark) disables.
+    fn advertised_closed_ts(&mut self, rt: &Runtime<'_>) -> u64 {
+        if !rt.cfg.piggyback_commits {
+            return 0;
+        }
+        let closed = match self.cq.min_pending_ts() {
+            Some(ts) => ts.saturating_sub(1),
+            None => self.last_ts.max(self.store.max_ts()).max(rt.now),
+        };
+        self.served_ts = self.served_ts.max(closed);
+        closed
     }
 
     /// Consistency gate shared by reads and scans: strong ops only at
@@ -702,7 +809,10 @@ impl RangeReplica {
                 // Strongly consistent reads are always routed to the
                 // cohort's leader (§5).
                 if self.role != Role::Leader {
-                    out.reply(from, ClientReply::NotLeader { req, hint: self.leader });
+                    out.reply(
+                        from,
+                        ClientReply::err(req, ClientError::NotLeader { hint: self.leader }),
+                    );
                     return None;
                 }
                 self.ops_since_sample += 1;
@@ -711,35 +821,40 @@ impl RangeReplica {
             Consistency::Timeline => {
                 // Any live replica may answer, possibly stale.
                 if self.role == Role::Offline {
-                    out.reply(from, ClientReply::Unavailable { req });
+                    out.reply(from, ClientReply::err(req, ClientError::Unavailable));
                     return None;
                 }
                 Some(u64::MAX)
             }
-            Consistency::Snapshot { ts: 0 } => {
+            Consistency::Snapshot(SnapshotTs::Pin) => {
                 // Pinning read: the leader chooses the snapshot
                 // timestamp — its safe point covers every write it has
                 // acknowledged, so the pinned cut is as fresh as a
                 // strong read.
                 if self.role != Role::Leader {
-                    out.reply(from, ClientReply::NotLeader { req, hint: self.leader });
+                    out.reply(
+                        from,
+                        ClientReply::err(req, ClientError::NotLeader { hint: self.leader }),
+                    );
                     return None;
                 }
                 self.ops_since_sample += 1;
-                let pin = self.snapshot_safe_ts(rt.now);
+                self.snapshot_pages += 1;
+                let pin = self.snapshot_safe_ts(rt);
                 // Fence the clock: no later write may commit at or
                 // below the pinned timestamp.
                 self.served_ts = self.served_ts.max(pin);
                 Some(pin)
             }
-            Consistency::Snapshot { ts } => {
-                // A pinned page: any replica that has applied every
-                // commit at or below `ts` may serve it. One that has
-                // not answers `Unavailable` — the client backs off and
+            Consistency::Snapshot(SnapshotTs::At(ts)) => {
+                // A pinned page: any replica whose *snapshot bound* —
+                // applied watermark, or the leader's closed-timestamp
+                // promise — covers `ts` may serve it. One that cannot
+                // answers `Unavailable`; the client backs off and
                 // retries (the leader always converges on coverage, so
                 // the scan makes progress).
                 if self.role == Role::Offline {
-                    out.reply(from, ClientReply::Unavailable { req });
+                    out.reply(from, ClientReply::err(req, ClientError::Unavailable));
                     return None;
                 }
                 // A pin below the MVCC garbage-collection floor may
@@ -750,17 +865,18 @@ impl RangeReplica {
                 // was never armed: everything is still retained.)
                 let floor = self.store.gc_floor();
                 if floor != u64::MAX && ts < floor {
-                    out.reply(from, ClientReply::SnapshotTooOld { req, floor });
+                    out.reply(from, ClientReply::err(req, ClientError::SnapshotTooOld { floor }));
                     return None;
                 }
-                if ts > self.snapshot_safe_ts(rt.now) {
-                    out.reply(from, ClientReply::Unavailable { req });
+                if ts > self.snapshot_safe_ts(rt) {
+                    out.reply(from, ClientReply::err(req, ClientError::Unavailable));
                     return None;
                 }
                 if self.role == Role::Leader {
                     self.ops_since_sample += 1;
                     self.served_ts = self.served_ts.max(ts);
                 }
+                self.snapshot_pages += 1;
                 Some(ts)
             }
         }
@@ -773,18 +889,31 @@ impl RangeReplica {
     /// * Leader with writes in flight: just below the oldest pending
     ///   commit timestamp (everything older is applied, the pending ones
     ///   are not yet readable).
-    /// * Idle leader: the clock (`now`) — future assignments are
-    ///   fenced above it via `served_ts` once a read is actually served.
+    /// * Idle leader with closed timestamps on: the frontier of the last
+    ///   promise (`served_ts` is fenced to every closed timestamp
+    ///   advertised, at most one commit period stale). Deliberately
+    ///   **not** the raw clock — a pin above the advertised promise could
+    ///   not be served by any follower until the next heartbeat, chaining
+    ///   the first page of every scan on a write-quiet range to the
+    ///   leader. Without closed timestamps there is no promise to track
+    ///   and no follower serving to protect, so the pin rides the clock
+    ///   for freshness (a stale pin risks outliving the GC floor
+    ///   mid-scan).
     /// * Follower: its applied watermark (commit order equals timestamp
-    ///   order, so "applied through ts T" means "nothing ≤ T missing").
-    fn snapshot_safe_ts(&self, now: u64) -> u64 {
+    ///   order, so "applied through ts T" means "nothing ≤ T missing"),
+    ///   extended by the leader's closed-timestamp promise — the leader
+    ///   vouched that nothing else will ever commit at or below
+    ///   `closed_ts`, and the adoption rule made sure we had applied
+    ///   everything the promise covers.
+    fn snapshot_safe_ts(&self, rt: &Runtime<'_>) -> u64 {
         if matches!(self.role, Role::Leader) {
             match self.cq.min_pending_ts() {
                 Some(ts) => ts.saturating_sub(1),
-                None => self.last_ts.max(self.served_ts).max(now),
+                None if rt.cfg.piggyback_commits => self.last_ts.max(self.served_ts),
+                None => self.last_ts.max(self.served_ts).max(rt.now),
             }
         } else {
-            self.store.max_ts()
+            self.store.max_ts().max(self.closed_ts)
         }
     }
 
@@ -832,8 +961,8 @@ impl RangeReplica {
             ColumnSelect::One(col) => cell_of(col).into_iter().collect(),
             ColumnSelect::Set(cols) => cols.iter().filter_map(cell_of).collect(),
         };
-        // Piggyback the read timestamp: a pinning get (`ts == 0`) learns
-        // the timestamp the leader chose and can replay the same cut in
+        // Piggyback the read timestamp: a pinning get learns the
+        // timestamp the leader chose and can replay the same cut in
         // later snapshot reads.
         let at_ts = if read_ts == u64::MAX { 0 } else { read_ts };
         out.reply(from, ClientReply::Row { req, cells, at_ts });
@@ -862,7 +991,10 @@ impl RangeReplica {
         // raced a reconfiguration — the client refreshes and re-sends.
         let inside = start >= &self.span.0 && self.span.1.as_ref().is_none_or(|se| start < se);
         if !inside {
-            out.reply(from, ClientReply::WrongRange { req, version: ring_version });
+            out.reply(
+                from,
+                ClientReply::err(req, ClientError::WrongRange { version: ring_version }),
+            );
             return;
         }
         let Some(read_ts) = self.admit_read(rt, from, req, consistency, out) else {
@@ -924,13 +1056,14 @@ impl RangeReplica {
         rt: &mut Runtime<'_>,
         from: NodeId,
         epoch: Epoch,
-        lsn: Lsn,
-        op: WriteOp,
+        first: Lsn,
+        ops: Vec<WriteOp>,
         committed: Lsn,
+        closed_ts: u64,
         out: &mut Outbox,
     ) {
-        if epoch < self.epoch {
-            return; // stale leader
+        if ops.is_empty() || epoch < self.epoch {
+            return; // malformed, or stale leader
         }
         if epoch > self.epoch {
             // A leader we have not formally met; adopt it (its authority
@@ -948,6 +1081,8 @@ impl RangeReplica {
                 if epoch > self.epoch || from != rt.id {
                     self.role = Role::CatchingUp;
                     self.leader = Some(from);
+                    self.unproposed.clear();
+                    self.proposing = false;
                 } else {
                     return;
                 }
@@ -961,28 +1096,42 @@ impl RangeReplica {
         }
         // A duplicate of a propose already in flight (the leader re-sends
         // pending writes when serving a catch-up): the first copy's force
-        // will generate the ack.
-        if self.cq.contains(lsn) {
+        // will generate the ack. Group proposes are always re-sent whole
+        // or re-read per-LSN, so checking the first LSN suffices.
+        if self.cq.contains(first) {
             return;
         }
-        self.ops_since_sample += 1;
+        self.ops_since_sample += ops.len() as u64;
         // Run the normal replication protocol even when the record
         // already sits in our log from the previous epoch (a takeover
         // re-proposal, Fig. 6 line 9): append and force again.
         // Re-appending an identical record is idempotent under replay.
-        self.cq.insert(PendingWrite {
-            lsn,
-            op: op.clone(),
-            client: None,
-            ackers: HashSet::new(),
-            self_forced: false,
-        });
-        let rec = LogRecord::write(self.range, lsn, op);
+        // The whole group lands as ONE batch record (atomic under its
+        // frame checksum) with ONE force; the single cumulative ack at
+        // the last LSN vouches for every op in it.
+        let last = Lsn::new(first.epoch(), first.seq() + ops.len() as u64 - 1);
+        for (i, op) in ops.iter().enumerate() {
+            self.cq.insert(PendingWrite {
+                lsn: Lsn::new(first.epoch(), first.seq() + i as u64),
+                op: op.clone(),
+                client: None,
+                ackers: HashSet::new(),
+                self_forced: false,
+            });
+        }
+        let bytes = ops.iter().map(|op| op.approx_size() as u64 + 8).sum::<u64>() + 32;
+        let rec = LogRecord::batch(self.range, first, ops);
         let _ = rt.wal.append(&rec);
-        rt.forces.add_bytes(64);
-        rt.forces.request(Waiter::FollowerWrite { range: self.range, lsn, leader: from }, out);
+        rt.forces.add_bytes(bytes);
+        rt.forces
+            .request(Waiter::FollowerWrite { range: self.range, lsn: last, leader: from }, out);
         if !committed.is_zero() {
             self.apply_commit(rt, committed);
+            // Adopt the piggy-backed closed timestamp only when fully
+            // applied through the watermark it was computed against.
+            if closed_ts > 0 && self.last_committed >= committed {
+                self.closed_ts = self.closed_ts.max(closed_ts);
+            }
         }
     }
 
@@ -1038,6 +1187,7 @@ impl RangeReplica {
         // coordinator's (and a split's) execution is a node-level
         // lifecycle operation.
         if self.role == Role::Leader && self.cq.is_empty() {
+            let closed_ts = self.advertised_closed_ts(rt);
             if let Some(m) = self.merging.as_mut() {
                 if !m.coordinator && !m.announced {
                     m.announced = true;
@@ -1046,7 +1196,10 @@ impl RangeReplica {
                     // Barrier commit first, on the same FIFO links as the
                     // proposes it covers; then the readiness announcement.
                     for peer in self.peers.clone() {
-                        out.send(peer, PeerMsg::Commit { range: self.range, epoch, lsn: barrier });
+                        out.send(
+                            peer,
+                            PeerMsg::Commit { range: self.range, epoch, lsn: barrier, closed_ts },
+                        );
                     }
                     if lsn_note_needed(barrier, self.last_note) {
                         let _ = rt.wal.append(&LogRecord::commit_note(self.range, barrier));
@@ -1077,7 +1230,7 @@ impl RangeReplica {
         fu
     }
 
-    /// Our own log force completed for `lsn`.
+    /// Our own log force completed for everything up to `lsn`.
     pub(crate) fn on_self_forced(
         &mut self,
         rt: &mut Runtime<'_>,
@@ -1085,15 +1238,39 @@ impl RangeReplica {
         out: &mut Outbox,
     ) -> FollowUp {
         self.cq.self_forced(lsn);
+        // The force that completed was the one holding back the
+        // accumulating group propose: flush it now, or go idle so the
+        // next write flushes immediately.
+        if matches!(self.role, Role::Leader | Role::LeaderTakeover) {
+            if self.unproposed.is_empty() {
+                self.proposing = false;
+            } else {
+                self.flush_proposals(rt, out);
+            }
+        }
         self.try_commit(rt, out)
     }
 
-    /// Follower: apply the asynchronous commit message (Fig. 4 right).
-    pub(crate) fn on_commit_msg(&mut self, rt: &mut Runtime<'_>, epoch: Epoch, lsn: Lsn) {
+    /// Follower: apply the asynchronous commit message (Fig. 4 right)
+    /// and adopt its closed timestamp once caught up through it.
+    pub(crate) fn on_commit_msg(
+        &mut self,
+        rt: &mut Runtime<'_>,
+        epoch: Epoch,
+        lsn: Lsn,
+        closed_ts: u64,
+    ) {
         if epoch < self.epoch || self.role != Role::Follower {
             return;
         }
         self.apply_commit(rt, lsn);
+        // The promise "nothing further commits at or below closed_ts" is
+        // only usable by a replica that already holds everything
+        // committed at or below it — i.e. applied through the watermark
+        // the promise was computed against.
+        if closed_ts > 0 && self.last_committed >= lsn {
+            self.closed_ts = self.closed_ts.max(closed_ts);
+        }
     }
 
     pub(crate) fn apply_commit(&mut self, rt: &mut Runtime<'_>, lsn: Lsn) {
@@ -1181,8 +1358,12 @@ impl RangeReplica {
         }
         self.serve_catchup(rt, follower, f_cmt, out);
         // Re-send in-flight proposals so the follower misses nothing.
+        // Batched groups are re-read per-LSN from the log, so re-sends
+        // are always singleton proposes regardless of how the writes
+        // originally travelled.
         let epoch = self.epoch;
         let committed = if rt.cfg.piggyback_commits { self.last_committed } else { Lsn::ZERO };
+        let closed_ts = self.advertised_closed_ts(rt);
         let pending: Vec<(Lsn, WriteOp)> = self
             .cq
             .pending_lsns()
@@ -1195,7 +1376,17 @@ impl RangeReplica {
             })
             .collect();
         for (lsn, op) in pending {
-            out.send(follower, PeerMsg::Propose { range: self.range, epoch, lsn, op, committed });
+            out.send(
+                follower,
+                PeerMsg::Propose {
+                    range: self.range,
+                    epoch,
+                    lsn,
+                    ops: vec![op],
+                    committed,
+                    closed_ts,
+                },
+            );
         }
     }
 
@@ -1338,9 +1529,17 @@ impl RangeReplica {
     // =================================================================
 
     /// The periodic commit message (Fig. 4 right; the *commit period*).
+    /// Doubles as the closed-timestamp heartbeat: when piggy-backed
+    /// commits are on it is sent even with nothing newly committed, so a
+    /// follower that just caught up (or just joined) still learns the
+    /// current closed bound on an otherwise idle range.
     pub(crate) fn commit_tick(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) {
-        if self.role != Role::Leader || self.last_committed == Lsn::ZERO {
+        if self.role != Role::Leader {
             return;
+        }
+        let closed_ts = self.advertised_closed_ts(rt);
+        if self.last_committed == Lsn::ZERO && closed_ts == 0 {
+            return; // nothing committed, nothing closed: stay quiet
         }
         let lsn = self.last_committed;
         let epoch = self.epoch;
@@ -1351,7 +1550,7 @@ impl RangeReplica {
             self.last_note = lsn;
         }
         for peer in self.peers.clone() {
-            out.send(peer, PeerMsg::Commit { range: self.range, epoch, lsn });
+            out.send(peer, PeerMsg::Commit { range: self.range, epoch, lsn, closed_ts });
         }
     }
 

@@ -18,10 +18,11 @@
 //!   cursor, re-routed through the (possibly refreshed) table, so the
 //!   scan stays exact across live re-sharding;
 //! * **snapshot pinning** — a [`Consistency::Snapshot`] scan submitted
-//!   with `ts: 0` lets the first page's leader choose the read
-//!   timestamp; the session pins it into every subsequent page, so the
-//!   assembled result is one consistent cut of the whole key space no
-//!   matter what commits, splits, or merges land mid-scan;
+//!   with [`SnapshotTs::Pin`] lets the first page's leader choose the
+//!   read timestamp; the session rewrites the call to
+//!   [`SnapshotTs::At`] that timestamp for every subsequent page, so
+//!   the assembled result is one consistent cut of the whole key space
+//!   no matter what commits, splits, or merges land mid-scan;
 //! * **pipelining** — up to `window` calls are outstanding at once,
 //!   each with its own retry/redirect state. A window of one is the
 //!   classic closed loop; larger windows give the leader real batches
@@ -74,10 +75,10 @@ use std::collections::{HashMap, VecDeque};
 
 use rand::Rng;
 
-use spinnaker_common::{ColumnName, Consistency, Key, RangeId, Value, Version};
+use spinnaker_common::{ColumnName, Consistency, Key, RangeId, SnapshotTs, Value, Version};
 
 use crate::messages::{
-    ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
+    ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
 };
 use crate::partition::Ring;
 
@@ -163,9 +164,9 @@ pub enum CallOutcome {
         /// Cell states in column order.
         cells: Vec<ReadCell>,
         /// The snapshot timestamp the row was served at — echoed for an
-        /// explicit [`Consistency::Snapshot`] read, freshly pinned for a
-        /// `ts == 0` one (reusable in later snapshot reads to observe
-        /// the same cut). `0` for strong and timeline reads.
+        /// explicit [`SnapshotTs::At`] read, freshly pinned for a
+        /// [`SnapshotTs::Pin`] one (reusable in later snapshot reads to
+        /// observe the same cut). `0` for strong and timeline reads.
         at_ts: u64,
     },
     /// Fully assembled logical scan result, in key order.
@@ -180,20 +181,15 @@ pub enum CallOutcome {
         /// (`0` for strong and timeline scans).
         at_ts: u64,
     },
-    /// A conditional op failed its version check (§5.1).
-    Mismatch {
-        /// The version actually stored (0 = never written).
-        actual: Version,
-    },
-    /// A snapshot read's timestamp fell below a replica's MVCC
-    /// garbage-collection floor: versions that old may already be
-    /// pruned, so the cut cannot be served faithfully any more. The
-    /// call fails (any rows a scan accumulated are discarded); retry
-    /// with a fresh pin.
-    SnapshotTooOld {
-        /// The replica's floor (the oldest still-servable timestamp).
-        floor: u64,
-    },
+    /// The call failed with a terminal error the session does not retry
+    /// on the caller's behalf: [`ClientError::VersionMismatch`] (a
+    /// conditional op lost its version check, §5.1 — re-read and retry
+    /// with the current version) or [`ClientError::SnapshotTooOld`] (the
+    /// pinned cut fell below a replica's MVCC garbage-collection floor —
+    /// any accumulated scan rows are discarded; retry with a fresh pin).
+    /// Retryable routing errors never surface here; the session absorbs
+    /// them ([`ClientError::is_retryable`] is the dividing line).
+    Failed(ClientError),
 }
 
 /// What the session wants its host to do after processing a reply or a
@@ -374,11 +370,11 @@ impl Session {
         // applied through the pin may serve them.
         let prefer_leader = inf.prefer_leader;
         let leader_routed = move |c: &Consistency| match c {
-            Consistency::Strong | Consistency::Snapshot { ts: 0 } => true,
+            Consistency::Strong | Consistency::Snapshot(SnapshotTs::Pin) => true,
             // A pinned page normally load-balances across replicas;
             // after an `Unavailable` (the replica lags the pin) it
             // redirects to the leader, which always covers the pin.
-            Consistency::Snapshot { .. } => prefer_leader,
+            Consistency::Snapshot(SnapshotTs::At(_)) => prefer_leader,
             Consistency::Timeline => false,
         };
         let (key, strong, op) = match &inf.op {
@@ -451,24 +447,22 @@ impl Session {
             ClientReply::Row { cells, at_ts, .. } => {
                 SessionStep::Done { call: inf.call, outcome: CallOutcome::Row { cells, at_ts } }
             }
-            ClientReply::SnapshotTooOld { floor, .. } => {
-                SessionStep::Done { call: inf.call, outcome: CallOutcome::SnapshotTooOld { floor } }
-            }
             ClientReply::Rows { rows, resume, at_ts, .. } => {
                 inf.acc.extend(rows);
-                // Snapshot pinning: the first page of a `Snapshot { ts:
-                // 0 }` scan comes back stamped with the timestamp the
-                // leader chose. Pin it into the call so every subsequent
-                // page — wherever routing sends it, across splits,
-                // merges, and moves — reads the very same cut.
+                // Snapshot pinning: the first page of a
+                // `Snapshot(Pin)` scan comes back stamped with the
+                // timestamp the leader chose. Pin it into the call so
+                // every subsequent page — wherever routing sends it,
+                // across splits, merges, and moves — reads the very
+                // same cut.
                 if at_ts != 0 {
                     inf.pinned_ts = at_ts;
                     if let SessionCall::Scan {
-                        consistency: consistency @ Consistency::Snapshot { ts: 0 },
+                        consistency: Consistency::Snapshot(pin @ SnapshotTs::Pin),
                         ..
                     } = &mut inf.op
                     {
-                        *consistency = Consistency::Snapshot { ts: at_ts };
+                        *pin = SnapshotTs::At(at_ts);
                     }
                 }
                 let scan_end = match &inf.op {
@@ -495,10 +489,10 @@ impl Session {
                     },
                 }
             }
-            ClientReply::VersionMismatch { actual, .. } => {
-                SessionStep::Done { call: inf.call, outcome: CallOutcome::Mismatch { actual } }
-            }
-            ClientReply::NotLeader { hint, .. } => {
+            // Every error travels as one typed `ClientError`; the split
+            // between what the session absorbs (routing errors) and what
+            // it surfaces (terminal outcomes) is `is_retryable`.
+            ClientReply::Err { error: ClientError::NotLeader { hint }, .. } => {
                 let key = self.key_of(&inf);
                 let range = self.ring.range_of(&key);
                 match hint {
@@ -509,17 +503,19 @@ impl Session {
                 self.pending.insert(next, inf);
                 SessionStep::Retransmit { req: next, refreshed_ring: false }
             }
-            ClientReply::Unavailable { .. } => {
+            ClientReply::Err { error: ClientError::Unavailable, .. } => {
                 // A pinned snapshot page on a lagging replica: redirect
                 // straight to the leader (it always covers the pin)
                 // instead of backing off. Everything else — and a leader
                 // that itself answered `Unavailable` (election, or
                 // in-flight writes below the pin) — backs off and lets
                 // the timeout rotate.
+                let pinned =
+                    |c: &Consistency| matches!(c, Consistency::Snapshot(SnapshotTs::At(_)));
                 let pinned_snapshot = matches!(
                     &inf.op,
-                    SessionCall::Scan { consistency: Consistency::Snapshot { ts: 1.. }, .. }
-                        | SessionCall::Get { consistency: Consistency::Snapshot { ts: 1.. }, .. }
+                    SessionCall::Scan { consistency, .. }
+                        | SessionCall::Get { consistency, .. } if pinned(consistency)
                 );
                 if pinned_snapshot && !inf.prefer_leader {
                     inf.prefer_leader = true;
@@ -531,7 +527,7 @@ impl Session {
                     SessionStep::Backoff { req }
                 }
             }
-            ClientReply::WrongRange { .. } => {
+            ClientReply::Err { error: ClientError::WrongRange { .. }, .. } => {
                 // A range was split/merged/moved since we fetched our
                 // table: refresh and transparently re-route. If no newer
                 // table exists (we were the fresher side of a version
@@ -552,6 +548,10 @@ impl Session {
                 let next = self.fresh_req();
                 self.pending.insert(next, inf);
                 SessionStep::Retransmit { req: next, refreshed_ring: refreshed }
+            }
+            ClientReply::Err { error, .. } => {
+                debug_assert!(!error.is_retryable(), "routing errors are handled above");
+                SessionStep::Done { call: inf.call, outcome: CallOutcome::Failed(error) }
             }
         }
     }

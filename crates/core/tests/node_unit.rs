@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use spinnaker_common::vfs::MemVfs;
-use spinnaker_common::{Consistency, Lsn, RangeId};
+use spinnaker_common::{ClientError, Consistency, Lsn, RangeId};
 use spinnaker_coord::Coord;
 use spinnaker_core::coordcli::CoordClient;
 use spinnaker_core::messages::{
@@ -189,7 +189,9 @@ fn writes_to_a_non_leader_get_redirected() {
         NodeInput::Client { from: 99, req: put_request(7, u64_to_key(5), "c", b"v") },
     );
     match replies(&out).as_slice() {
-        [ClientReply::NotLeader { req: 7, hint }] => assert_eq!(*hint, Some(0)),
+        [ClientReply::Err { req: 7, error: ClientError::NotLeader { hint } }] => {
+            assert_eq!(*hint, Some(0));
+        }
         other => panic!("expected NotLeader, got {other:?}"),
     }
 }
@@ -266,7 +268,9 @@ fn conditional_put_checks_version_at_the_leader() {
     let req = cond_put_request(2, u64_to_key(2), b"second", 12345);
     let out = feed(&mut leader, NodeInput::Client { from: 99, req });
     match replies(&out).as_slice() {
-        [ClientReply::VersionMismatch { req: 2, actual }] => assert_ne!(*actual, 12345),
+        [ClientReply::Err { req: 2, error: ClientError::VersionMismatch { actual } }] => {
+            assert_ne!(*actual, 12345);
+        }
         other => panic!("expected VersionMismatch, got {other:?}"),
     }
 }
@@ -308,13 +312,14 @@ fn follower_forces_before_acking_a_propose() {
                 range: RangeId(0),
                 epoch: 1,
                 lsn,
-                op: spinnaker_common::WriteOp::put(
+                ops: vec![spinnaker_common::WriteOp::put(
                     u64_to_key(1),
                     bytes::Bytes::from_static(b"c"),
                     bytes::Bytes::from_static(b"v"),
                     0,
-                ),
+                )],
                 committed: Lsn::ZERO,
+                closed_ts: 0,
             },
         },
     );
@@ -346,7 +351,10 @@ fn follower_forces_before_acking_a_propose() {
     // The commit message applies it.
     let _ = feed(
         &mut follower,
-        NodeInput::Peer { from: 0, msg: PeerMsg::Commit { range: RangeId(0), epoch: 1, lsn } },
+        NodeInput::Peer {
+            from: 0,
+            msg: PeerMsg::Commit { range: RangeId(0), epoch: 1, lsn, closed_ts: 0 },
+        },
     );
     let out = feed(
         &mut follower,
@@ -385,8 +393,9 @@ fn stale_epoch_proposes_are_ignored() {
                 range: RangeId(0),
                 epoch: 3,
                 lsn: Lsn::new(3, 9),
-                op: spinnaker_common::op::put("k", "c", "stale"),
+                ops: vec![spinnaker_common::op::put("k", "c", "stale")],
                 committed: Lsn::ZERO,
+                closed_ts: 0,
             },
         },
     );
@@ -413,7 +422,10 @@ fn timeline_reads_served_by_followers_strong_reads_rejected() {
             req: get_request(1, u64_to_key(1), "c", Consistency::Strong),
         },
     );
-    assert!(matches!(replies(&out).as_slice(), [ClientReply::NotLeader { .. }]));
+    assert!(matches!(
+        replies(&out).as_slice(),
+        [ClientReply::Err { error: ClientError::NotLeader { .. }, .. }]
+    ));
     let out = feed(
         &mut follower,
         NodeInput::Client {

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use spinnaker_common::{Consistency, Key, RangeId};
+use spinnaker_common::{ClientError, Consistency, Key, RangeId};
 use spinnaker_core::client::Workload;
 use spinnaker_core::cluster::{ClusterConfig, SimCluster};
 use spinnaker_core::messages::ColumnSelect;
@@ -144,7 +144,7 @@ fn delete_surfaces_tombstone_version_for_conditionals() {
             other => panic!("get deleted: {other:?}"),
         }
         let actual = match &s.outcomes[3] {
-            CallOutcome::Mismatch { actual } => *actual,
+            CallOutcome::Failed(ClientError::VersionMismatch { actual }) => *actual,
             other => panic!("cond put expected=0 against tombstone: {other:?}"),
         };
         (delete_version, actual)
@@ -215,8 +215,8 @@ fn conditional_put_and_delete_chain_versions() {
             CallOutcome::Written { version, .. } => *version,
             other => panic!("cond put: {other:?}"),
         };
-        assert_eq!(s.outcomes[1], CallOutcome::Mismatch { actual: v1 });
-        assert_eq!(s.outcomes[2], CallOutcome::Mismatch { actual: v1 });
+        assert_eq!(s.outcomes[1], CallOutcome::Failed(ClientError::VersionMismatch { actual: v1 }));
+        assert_eq!(s.outcomes[2], CallOutcome::Failed(ClientError::VersionMismatch { actual: v1 }));
         v1
     };
     // …while the observed version deletes cleanly, and the value is gone.

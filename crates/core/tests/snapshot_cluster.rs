@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use spinnaker_common::{Consistency, Key, RangeId};
+use spinnaker_common::{ClientError, Consistency, Key, RangeId};
 use spinnaker_core::cluster::{ClusterConfig, SimCluster};
 use spinnaker_core::messages::ColumnSelect;
 use spinnaker_core::partition::u64_to_key;
@@ -244,17 +244,17 @@ fn snapshot_get_reads_history_at_an_explicit_timestamp() {
             SessionCall::Get {
                 key: key.clone(),
                 columns: ColumnSelect::One(col("c")),
-                consistency: Consistency::Snapshot { ts: ts1 },
+                consistency: Consistency::snapshot_at(ts1),
             },
             SessionCall::Get {
                 key: key.clone(),
                 columns: ColumnSelect::One(col("c")),
-                consistency: Consistency::Snapshot { ts: ts2 },
+                consistency: Consistency::snapshot_at(ts2),
             },
             SessionCall::Get {
                 key: key.clone(),
                 columns: ColumnSelect::One(col("c")),
-                consistency: Consistency::Snapshot { ts: ts3 },
+                consistency: Consistency::snapshot_at(ts3),
             },
             // Pinning get (ts = 0): the leader chooses "now" — sees the
             // latest state (the tombstone).
@@ -335,7 +335,7 @@ fn snapshot_reads_below_the_gc_floor_fail_cleanly() {
             SessionCall::Get {
                 key: key.clone(),
                 columns: ColumnSelect::One(col("c")),
-                consistency: Consistency::Snapshot { ts: ts1 },
+                consistency: Consistency::snapshot_at(ts1),
             },
             // A fresh pin still works fine.
             SessionCall::Get {
@@ -350,7 +350,7 @@ fn snapshot_reads_below_the_gc_floor_fail_cleanly() {
     let r = reads.borrow();
     assert_eq!(r.outcomes.len(), 2, "both reads resolved: {:?}", r.outcomes);
     match &r.outcomes[0] {
-        CallOutcome::SnapshotTooOld { floor } => {
+        CallOutcome::Failed(ClientError::SnapshotTooOld { floor }) => {
             assert!(*floor > ts1, "the reported floor is above the stale pin");
         }
         other => panic!("stale snapshot read must fail, got {other:?}"),

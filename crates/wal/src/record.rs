@@ -22,6 +22,14 @@ pub enum Payload {
     /// "Writes up to the record's LSN are committed" — the non-forced note
     /// the leader and followers log when processing a commit message (§5).
     CommitNote,
+    /// A **group propose**: `n >= 2` writes replicated as one record and
+    /// one consensus round. The record's LSN is the *first* op's; op `i`
+    /// carries LSN `lsn + i`. The frame checksum makes the batch
+    /// all-or-nothing across crashes — a torn tail drops every op or
+    /// none. The index decomposes the batch back into per-LSN entries,
+    /// so replay, catch-up, truncation and checkpointing all keep
+    /// operating on individual `(Lsn, WriteOp)` pairs.
+    Batch(Vec<WriteOp>),
 }
 
 /// One record in the shared log.
@@ -45,14 +53,49 @@ impl LogRecord {
         LogRecord { cohort, lsn, payload: Payload::Write(op) }
     }
 
+    /// A group-propose record: `ops[i]` carries LSN `first + i`. A
+    /// singleton batch collapses to a plain [`Payload::Write`], so the
+    /// on-disk format (and every reader of it) sees batches only when
+    /// there genuinely are several ops.
+    ///
+    /// # Panics
+    /// On an empty batch.
+    pub fn batch(cohort: RangeId, first: Lsn, mut ops: Vec<WriteOp>) -> LogRecord {
+        assert!(!ops.is_empty(), "empty batch record");
+        if ops.len() == 1 {
+            return LogRecord::write(cohort, first, ops.pop().expect("len 1"));
+        }
+        LogRecord { cohort, lsn: first, payload: Payload::Batch(ops) }
+    }
+
     /// A commit-note record.
     pub fn commit_note(cohort: RangeId, committed: Lsn) -> LogRecord {
         LogRecord { cohort, lsn: committed, payload: Payload::CommitNote }
     }
 
-    /// True for write records.
+    /// True for records carrying writes (single or batched).
     pub fn is_write(&self) -> bool {
-        matches!(self.payload, Payload::Write(_))
+        matches!(self.payload, Payload::Write(_) | Payload::Batch(_))
+    }
+
+    /// How many writes this record carries (0 for commit notes).
+    pub fn write_count(&self) -> u64 {
+        match &self.payload {
+            Payload::Write(_) => 1,
+            Payload::CommitNote => 0,
+            Payload::Batch(ops) => ops.len() as u64,
+        }
+    }
+
+    /// The LSN of this record's last write (`lsn` itself for singles and
+    /// commit notes).
+    pub fn last_lsn(&self) -> Lsn {
+        match &self.payload {
+            Payload::Batch(ops) => {
+                Lsn::new(self.lsn.epoch(), self.lsn.seq() + ops.len() as u64 - 1)
+            }
+            _ => self.lsn,
+        }
     }
 }
 
@@ -66,6 +109,13 @@ impl Encode for LogRecord {
                 op.encode(buf);
             }
             Payload::CommitNote => codec::put_u8(buf, 1),
+            Payload::Batch(ops) => {
+                codec::put_u8(buf, 2);
+                codec::put_varint(buf, ops.len() as u64);
+                for op in ops {
+                    op.encode(buf);
+                }
+            }
         }
     }
 }
@@ -77,6 +127,17 @@ impl Decode for LogRecord {
         let payload = match codec::get_u8(buf)? {
             0 => Payload::Write(WriteOp::decode(buf)?),
             1 => Payload::CommitNote,
+            2 => {
+                let n = codec::get_varint(buf)? as usize;
+                if n < 2 {
+                    return Err(Error::Codec(format!("batch record with {n} ops")));
+                }
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ops.push(WriteOp::decode(buf)?);
+                }
+                Payload::Batch(ops)
+            }
             tag => return Err(Error::Codec(format!("bad LogRecord tag {tag}"))),
         };
         Ok(LogRecord { cohort, lsn, payload })
@@ -188,6 +249,47 @@ mod tests {
         let mut frame = encode_frame(&sample());
         frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(read_frame(&frame).unwrap(), FrameRead::Torn("implausible length")));
+    }
+
+    #[test]
+    fn batch_roundtrip_and_lsn_span() {
+        let ops = vec![op::put("a", "c", "1"), op::put("b", "c", "2"), op::put("d", "c", "3")];
+        let rec = LogRecord::batch(RangeId(4), Lsn::new(2, 10), ops);
+        assert!(rec.is_write());
+        assert_eq!(rec.write_count(), 3);
+        assert_eq!(rec.last_lsn(), Lsn::new(2, 12));
+        let frame = encode_frame(&rec);
+        match read_frame(&frame).unwrap() {
+            FrameRead::Record(r, n) => {
+                assert_eq!(*r, rec);
+                assert_eq!(n, frame.len());
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+        // Torn anywhere = the whole batch is gone, never a prefix.
+        for cut in 0..frame.len() {
+            assert!(matches!(read_frame(&frame[..cut]).unwrap(), FrameRead::Torn(_)));
+        }
+    }
+
+    #[test]
+    fn singleton_batch_collapses_to_write() {
+        let rec = LogRecord::batch(RangeId(1), Lsn::new(1, 5), vec![op::put("k", "c", "v")]);
+        assert!(matches!(rec.payload, Payload::Write(_)));
+        assert_eq!(rec.last_lsn(), Lsn::new(1, 5));
+    }
+
+    #[test]
+    fn undersized_batch_rejected_on_decode() {
+        // Hand-encode a batch frame claiming one op: decode must reject
+        // (singletons are required to travel as Payload::Write).
+        let mut body = Vec::new();
+        codec::put_varint(&mut body, 4); // cohort
+        Lsn::new(1, 1).encode(&mut body);
+        codec::put_u8(&mut body, 2); // batch tag
+        codec::put_varint(&mut body, 1);
+        op::put("k", "c", "v").encode(&mut body);
+        assert!(LogRecord::decode(&mut body.as_slice()).is_err());
     }
 
     #[test]

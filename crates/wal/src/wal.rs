@@ -209,6 +209,27 @@ impl Wal {
                     entry.last_commit_note = rec.lsn;
                 }
             }
+            // A group propose decomposes into one index entry per op, all
+            // pointing at the same frame: replay, truncation, and
+            // checkpointing keep operating per-LSN, and the segment gets
+            // one reference per live entry so partial checkpoints release
+            // it correctly.
+            Payload::Batch(ref ops) => {
+                let skip = skipped.cohort(rec.cohort);
+                for i in 0..ops.len() as u64 {
+                    let lsn = Lsn::new(rec.lsn.epoch(), rec.lsn.seq() + i);
+                    if skip.is_some_and(|s| s.contains(lsn)) {
+                        continue; // logically truncated: invisible to recovery
+                    }
+                    if lsn > entry.last_lsn {
+                        entry.last_lsn = lsn;
+                    }
+                    if lsn > checkpoints.get(rec.cohort) {
+                        entry.records.insert(lsn, loc);
+                        *seg_refs.entry(loc.segment).or_insert(0) += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -324,6 +345,20 @@ impl Wal {
                 }
                 Payload::CommitNote => {
                     return Err(Error::Corruption("commit note in write index".into()))
+                }
+                // The indexed LSN selects its op out of the batch frame by
+                // its offset from the batch's first LSN.
+                Payload::Batch(ref ops) => {
+                    debug_assert_eq!(rec.lsn.epoch(), lsn.epoch());
+                    let op = lsn
+                        .seq()
+                        .checked_sub(rec.lsn.seq())
+                        .and_then(|i| ops.get(i as usize))
+                        .ok_or_else(|| {
+                            Error::Corruption(format!("lsn {lsn} outside batch at {}", rec.lsn))
+                        })?;
+                    f(lsn, op);
+                    count += 1;
                 }
             }
         }
@@ -726,6 +761,92 @@ mod tests {
         // Old cohort-0 records may still sit in surviving segments, but
         // the checkpoint/skipped sidecars no longer mention the cohort.
         assert_eq!(reopened.unwrap().checkpoint(RangeId(0)), Lsn::ZERO);
+    }
+
+    fn batch_rec(cohort: u32, epoch: u16, first: u64, n: u64) -> LogRecord {
+        let ops = (first..first + n)
+            .map(|seq| op::put(&format!("k{seq}"), "c", &format!("v{seq}")))
+            .collect();
+        LogRecord::batch(RangeId(cohort), Lsn::new(epoch, first), ops)
+    }
+
+    #[test]
+    fn batch_decomposes_into_per_lsn_replay() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&wr(0, 1, 1)).unwrap();
+        wal.append(&batch_rec(0, 1, 2, 4)).unwrap(); // LSNs 1.2 .. 1.5
+        wal.append(&wr(0, 1, 6)).unwrap();
+        wal.sync().unwrap();
+        let st = wal.state(RangeId(0));
+        assert_eq!(st.last_lsn, Lsn::new(1, 6));
+        let got = wal.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap();
+        let lsns: Vec<u64> = got.iter().map(|(l, _)| l.seq()).collect();
+        assert_eq!(lsns, vec![1, 2, 3, 4, 5, 6]);
+        // Each decomposed op is the right one out of the frame.
+        for (lsn, op) in &got {
+            assert_eq!(op.key.as_bytes(), format!("k{}", lsn.seq()).as_bytes());
+        }
+        // A sub-range cutting through the batch still resolves per-LSN.
+        let mid = wal.read_range(RangeId(0), Lsn::new(1, 2), Lsn::new(1, 4)).unwrap();
+        assert_eq!(mid.iter().map(|(l, _)| l.seq()).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn batch_survives_crash_recovery_whole() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&batch_rec(0, 1, 1, 3)).unwrap();
+        wal.sync().unwrap();
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.state(RangeId(0)).last_lsn, Lsn::new(1, 3));
+        assert_eq!(reopened.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap().len(), 3);
+        assert_eq!(reopened.indexed_records(RangeId(0)), 3);
+    }
+
+    #[test]
+    fn unsynced_batch_is_all_or_nothing_on_crash() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&wr(0, 1, 1)).unwrap();
+        wal.sync().unwrap();
+        wal.append(&batch_rec(0, 1, 2, 5)).unwrap(); // never forced
+        let reopened = wal_on(&vfs.crash_clone());
+        // The frame checksum guards the whole batch: no op of it survives.
+        assert_eq!(reopened.state(RangeId(0)).last_lsn, Lsn::new(1, 1));
+        assert_eq!(reopened.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_through_middle_of_batch() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&batch_rec(0, 1, 1, 4)).unwrap();
+        wal.sync().unwrap();
+        wal.set_checkpoint(RangeId(0), Lsn::new(1, 2)).unwrap();
+        // Ops above the checkpoint stay replayable; below are dropped.
+        let tail = wal.read_range(RangeId(0), Lsn::new(1, 2), Lsn::MAX).unwrap();
+        assert_eq!(tail.iter().map(|(l, _)| l.seq()).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(wal.indexed_records(RangeId(0)), 2);
+        // And the same view is rebuilt after a crash.
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.indexed_records(RangeId(0)), 2);
+        assert_eq!(reopened.state(RangeId(0)).last_lsn, Lsn::new(1, 4));
+    }
+
+    #[test]
+    fn logical_truncation_inside_a_batch() {
+        let vfs = MemVfs::new();
+        let mut wal = wal_on(&vfs);
+        wal.append(&batch_rec(0, 1, 1, 3)).unwrap();
+        wal.sync().unwrap();
+        wal.truncate_logically(RangeId(0), &[Lsn::new(1, 3)]).unwrap();
+        assert_eq!(wal.state(RangeId(0)).last_lsn, Lsn::new(1, 2));
+        let got = wal.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap();
+        assert_eq!(got.iter().map(|(l, _)| l.seq()).collect::<Vec<_>>(), vec![1, 2]);
+        // Honoured by recovery too.
+        let reopened = wal_on(&vfs.crash_clone());
+        assert_eq!(reopened.read_range(RangeId(0), Lsn::ZERO, Lsn::MAX).unwrap().len(), 2);
     }
 
     #[test]
