@@ -358,7 +358,7 @@ impl ClientReply {
                 48 + rows.iter().map(ScanRow::approx_size).sum::<usize>()
                     + resume.as_ref().map_or(0, Key::len)
             }
-            _ => 48,
+            ClientReply::WriteOk { .. } | ClientReply::Err { .. } => 48,
         }
     }
 }
@@ -484,7 +484,7 @@ impl Decode for ColumnSelect {
             0 => Ok(ColumnSelect::All),
             1 => Ok(ColumnSelect::One(codec::get_bytes(buf)?)),
             2 => {
-                let n = codec::get_varint(buf)? as usize;
+                let n = codec::get_varint_len(buf, "list", 1)?;
                 let mut cols = Vec::with_capacity(n.min(64));
                 for _ in 0..n {
                     cols.push(codec::get_bytes(buf)?);
@@ -556,7 +556,7 @@ impl Decode for ClientOp {
             }),
             1 => {
                 let key = Key::decode(buf)?;
-                let n = codec::get_varint(buf)? as usize;
+                let n = codec::get_varint_len(buf, "list", 1)?;
                 if n == 0 {
                     return Err(Error::Codec("Put with zero cells".into()));
                 }
@@ -570,7 +570,7 @@ impl Decode for ClientOp {
             }
             2 => {
                 let key = Key::decode(buf)?;
-                let n = codec::get_varint(buf)? as usize;
+                let n = codec::get_varint_len(buf, "list", 1)?;
                 if n == 0 {
                     return Err(Error::Codec("Delete with zero columns".into()));
                 }
@@ -659,7 +659,7 @@ impl Encode for ScanRow {
 impl Decode for ScanRow {
     fn decode(buf: &mut &[u8]) -> Result<ScanRow> {
         let key = Key::decode(buf)?;
-        let n = codec::get_varint(buf)? as usize;
+        let n = codec::get_varint_len(buf, "list", 1)?;
         let mut cells = Vec::with_capacity(n.min(64));
         for _ in 0..n {
             cells.push(ReadCell::decode(buf)?);
@@ -715,7 +715,7 @@ impl Decode for ClientReply {
             }),
             1 => {
                 let req = codec::get_u64(buf)?;
-                let n = codec::get_varint(buf)? as usize;
+                let n = codec::get_varint_len(buf, "list", 1)?;
                 let mut cells = Vec::with_capacity(n.min(64));
                 for _ in 0..n {
                     cells.push(ReadCell::decode(buf)?);
@@ -724,7 +724,7 @@ impl Decode for ClientReply {
             }
             2 => {
                 let req = codec::get_u64(buf)?;
-                let n = codec::get_varint(buf)? as usize;
+                let n = codec::get_varint_len(buf, "list", 1)?;
                 let mut rows = Vec::with_capacity(n.min(64));
                 for _ in 0..n {
                     rows.push(ScanRow::decode(buf)?);

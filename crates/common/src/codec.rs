@@ -43,7 +43,7 @@ fn eof(what: &str) -> Error {
 /// Append a LEB128 varint.
 pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
-        let byte = (v & 0x7f) as u8;
+        let byte = (v & 0x7f) as u8; // spinlint: allow(C2) -- masked to 7 bits, cannot truncate
         v >>= 7;
         if v == 0 {
             buf.push(byte);
@@ -75,12 +75,40 @@ pub fn get_varint(buf: &mut &[u8]) -> Result<u64> {
 }
 
 /// Encoded size of a varint without encoding it.
-pub fn varint_len(v: u64) -> usize {
-    if v == 0 {
-        1
-    } else {
-        (64 - v.leading_zeros() as usize).div_ceil(7)
+pub fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
     }
+    n
+}
+
+/// Read a varint that must fit in `u32` (ids, small offsets). Overflow
+/// is a typed codec error, never a silent truncation.
+pub fn get_varint_u32(buf: &mut &[u8]) -> Result<u32> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| Error::Codec(format!("varint {v} overflows u32")))
+}
+
+/// Read a varint used as an element count or in-memory length.
+///
+/// Corrupt inputs can claim absurd counts; beyond the checked
+/// `usize` conversion, the count is validated against the remaining
+/// input under the invariant that every element occupies at least
+/// `min_bytes` encoded bytes — so a bit-flipped count fails decoding
+/// with a typed error instead of driving a huge allocation.
+pub fn get_varint_len(buf: &mut &[u8], what: &str, min_bytes: usize) -> Result<usize> {
+    let v = get_varint(buf)?;
+    let n = usize::try_from(v)
+        .map_err(|_| Error::Codec(format!("{what} count {v} overflows usize")))?;
+    if n.saturating_mul(min_bytes.max(1)) > buf.len() {
+        return Err(Error::Codec(format!(
+            "{what} count {n} exceeds the {} bytes remaining",
+            buf.len()
+        )));
+    }
+    Ok(n)
 }
 
 // ------------------------------------------------------------ fixed width
@@ -137,7 +165,7 @@ pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
 
 /// Read a length-prefixed byte string as an owned `Bytes`.
 pub fn get_bytes(buf: &mut &[u8]) -> Result<Bytes> {
-    let len = get_varint(buf)? as usize;
+    let len = get_varint_len(buf, "byte string", 1)?;
     if buf.len() < len {
         return Err(eof("byte string body"));
     }
@@ -173,7 +201,7 @@ impl Decode for Key {
 }
 
 fn put_cv_fields(buf: &mut Vec<u8>, cv: &ColumnValue) {
-    put_u8(buf, cv.tombstone as u8);
+    put_u8(buf, u8::from(cv.tombstone));
     put_u64(buf, cv.version);
     put_u64(buf, cv.timestamp);
     put_bytes(buf, &cv.value);
@@ -206,7 +234,9 @@ impl Encode for ColumnValue {
 impl Decode for ColumnValue {
     fn decode(buf: &mut &[u8]) -> Result<ColumnValue> {
         let mut head = get_cv_fields(buf)?;
-        let n = get_varint(buf)? as usize;
+        // Each chained version is at least flag + version + timestamp +
+        // value length: 18 bytes.
+        let n = get_varint_len(buf, "column version chain", 18)?;
         let mut older = Vec::with_capacity(n.min(64));
         for _ in 0..n {
             older.push(get_cv_fields(buf)?);
@@ -228,7 +258,9 @@ impl Encode for Row {
 
 impl Decode for Row {
     fn decode(buf: &mut &[u8]) -> Result<Row> {
-        let n = get_varint(buf)? as usize;
+        // A column is at least a 1-byte name length plus 18 bytes of
+        // version fields.
+        let n = get_varint_len(buf, "row columns", 19)?;
         let mut row = Row::new();
         for _ in 0..n {
             let name = get_bytes(buf)?;

@@ -9,7 +9,7 @@
 //! of the evaluation — runs on this harness.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -113,12 +113,22 @@ impl PerfConfig {
                 | PeerMsg::Split { .. }
                 | PeerMsg::JoinRange { .. }
                 | PeerMsg::Merge { .. } => self.catchup_service,
-                _ => self.peer_service,
+                PeerMsg::Ack { .. }
+                | PeerMsg::Commit { .. }
+                | PeerMsg::LeaderHello { .. }
+                | PeerMsg::CaughtUp { .. }
+                | PeerMsg::CohortChange { .. }
+                | PeerMsg::MergeProposal { .. }
+                | PeerMsg::MergeReady { .. }
+                | PeerMsg::MergeAbort { .. } => self.peer_service,
             },
             NodeInput::SplitRange { .. }
             | NodeInput::MoveReplica { .. }
             | NodeInput::MergeRanges { .. } => self.catchup_service,
-            _ => 0,
+            NodeInput::Start
+            | NodeInput::LogForced { .. }
+            | NodeInput::Timer { .. }
+            | NodeInput::Coord { .. } => 0,
         }
     }
 }
@@ -166,7 +176,7 @@ pub struct World {
     /// Watch deliveries awaiting routing.
     pub bus: DeliveryBus,
     /// Session → hosting process.
-    pub owners: Rc<RefCell<HashMap<SessionId, ProcId>>>,
+    pub owners: Rc<RefCell<BTreeMap<SessionId, ProcId>>>,
 }
 
 impl World {
@@ -175,7 +185,7 @@ impl World {
             net: Rc::new(RefCell::new(NetModel::new(net))),
             coord: Rc::new(RefCell::new(Coord::new())),
             bus: Rc::new(RefCell::new(Vec::new())),
-            owners: Rc::new(RefCell::new(HashMap::new())),
+            owners: Rc::new(RefCell::new(BTreeMap::new())),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! never commits before an earlier one, which is what makes conditional
 //! puts deterministic across the cohort (§5.1).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use spinnaker_common::{Lsn, NodeId, Version, WriteOp};
 
@@ -28,7 +28,7 @@ pub struct PendingWrite {
     /// idempotent — a duplicate ack from one follower must never count
     /// twice toward the quorum (it would silently weaken the quorum at
     /// replication factors above 3).
-    pub ackers: HashSet<NodeId>,
+    pub ackers: BTreeSet<NodeId>,
     /// Whether our own log force for this record completed.
     pub self_forced: bool,
 }
@@ -176,7 +176,7 @@ mod tests {
             lsn: Lsn::new(1, seq),
             op: op::put(&format!("k{seq}"), "c", "v"),
             client: Some((9, seq)),
-            ackers: HashSet::new(),
+            ackers: BTreeSet::new(),
             self_forced: false,
         }
     }
@@ -281,14 +281,14 @@ mod tests {
             lsn: Lsn::new(1, 1),
             op: op::put("k", "c", "v1"),
             client: None,
-            ackers: HashSet::new(),
+            ackers: BTreeSet::new(),
             self_forced: false,
         });
         q.insert(PendingWrite {
             lsn: Lsn::new(1, 2),
             op: op::put("k", "c", "v2"),
             client: None,
-            ackers: HashSet::new(),
+            ackers: BTreeSet::new(),
             self_forced: false,
         });
         assert_eq!(
@@ -308,14 +308,14 @@ mod tests {
                 lsn: Lsn::new(1, 21),
                 op: op::put("a", "c", "1"),
                 client: None,
-                ackers: HashSet::from([1]),
+                ackers: BTreeSet::from([1]),
                 self_forced: true,
             },
             PendingWrite {
                 lsn: Lsn::new(2, 22),
                 op: op::put("b", "c", "2"),
                 client: None,
-                ackers: HashSet::from([1]),
+                ackers: BTreeSet::from([1]),
                 self_forced: true,
             },
         ] {

@@ -260,7 +260,14 @@ impl PeerMsg {
             PeerMsg::JoinRange { snapshot, .. } => 128 + snapshot.approx_size(),
             PeerMsg::CohortChange { cohort, .. } => 96 + 4 * cohort.len(),
             PeerMsg::Merge { .. } => 128,
-            _ => 64,
+            PeerMsg::Ack { .. }
+            | PeerMsg::Commit { .. }
+            | PeerMsg::LeaderHello { .. }
+            | PeerMsg::CatchupReq { .. }
+            | PeerMsg::CaughtUp { .. }
+            | PeerMsg::MergeProposal { .. }
+            | PeerMsg::MergeReady { .. }
+            | PeerMsg::MergeAbort { .. } => 64,
         }
     }
 }

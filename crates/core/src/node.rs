@@ -28,7 +28,7 @@
 //!
 //! [`Effect`]: crate::messages::Effect
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
@@ -228,7 +228,7 @@ pub struct Node {
     /// the last auto split/merge was initiated, virtual time it was
     /// initiated). Advice for a range whose entry still carries the
     /// marked generation is suppressed until the cool-down elapses.
-    reshard_marks: HashMap<RangeId, (u64, u64)>,
+    reshard_marks: BTreeMap<RangeId, (u64, u64)>,
 }
 
 impl Node {
@@ -321,7 +321,7 @@ impl Node {
             forces: ForceTracker::new(),
             dissolved,
             started: false,
-            reshard_marks: HashMap::new(),
+            reshard_marks: BTreeMap::new(),
         })
     }
 
@@ -565,7 +565,10 @@ impl Node {
                     ring_version,
                 );
             }
-            _ => rep.on_write(&mut rt, from, req, out),
+            ClientOp::Put { .. }
+            | ClientOp::Delete { .. }
+            | ClientOp::ConditionalPut { .. }
+            | ClientOp::ConditionalDelete { .. } => rep.on_write(&mut rt, from, req, out),
         }
     }
 
@@ -620,7 +623,15 @@ impl Node {
                 );
                 return;
             }
-            _ => {}
+            // Per-replica protocol traffic: routed to the owning replica
+            // by the dispatch below.
+            PeerMsg::Propose { .. }
+            | PeerMsg::Ack { .. }
+            | PeerMsg::Commit { .. }
+            | PeerMsg::LeaderHello { .. }
+            | PeerMsg::CatchupReq { .. }
+            | PeerMsg::CatchupRecords { .. }
+            | PeerMsg::CaughtUp { .. } => {}
         }
         let range = msg.range();
         let mut rt = runtime!(self, now);

@@ -16,7 +16,7 @@
 //! current virtual time), which is what lets the registry and the shared
 //! state live side by side without aliasing.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use spinnaker_common::{
     CellOp, Consistency, Epoch, Key, Lsn, NodeId, RangeId, SnapshotTs, WriteOp,
@@ -84,14 +84,14 @@ pub(crate) enum Waiter {
 /// the [`Waiter`] that asked.
 #[derive(Default)]
 pub(crate) struct ForceTracker {
-    waiters: HashMap<u64, Waiter>,
+    waiters: BTreeMap<u64, Waiter>,
     next_token: u64,
     unforced_bytes: u64,
 }
 
 impl ForceTracker {
     pub(crate) fn new() -> ForceTracker {
-        ForceTracker { waiters: HashMap::new(), next_token: 1, unforced_bytes: 0 }
+        ForceTracker { waiters: BTreeMap::new(), next_token: 1, unforced_bytes: 0 }
     }
 
     /// Account bytes appended to the shared log since the last force.
@@ -158,7 +158,7 @@ impl FollowUp {
 
 /// Leader-takeover progress (Fig. 6).
 pub(crate) struct Takeover {
-    pub(crate) caught_up: HashSet<NodeId>,
+    pub(crate) caught_up: BTreeSet<NodeId>,
     /// Unresolved writes `(l.cmt, l.lst]` re-proposed one at a time via
     /// the normal replication protocol (Fig. 6 line 9).
     pub(crate) repropose: VecDeque<(Lsn, WriteOp)>,
@@ -508,7 +508,8 @@ impl RangeReplica {
         self.served_ts = self.served_ts.max(self.closed_ts);
         self.unproposed.clear();
         self.proposing = false;
-        self.takeover = Some(Takeover { caught_up: HashSet::new(), repropose, reproposing: false });
+        self.takeover =
+            Some(Takeover { caught_up: BTreeSet::new(), repropose, reproposing: false });
         self.last_assigned = l_lst;
         let epoch = self.epoch;
         for peer in self.peers.clone() {
@@ -545,7 +546,7 @@ impl RangeReplica {
                 lsn,
                 op: op.clone(),
                 client: None,
-                ackers: HashSet::new(),
+                ackers: BTreeSet::new(),
                 self_forced: true, // already durable in our log
             });
             let piggy = if rt.cfg.piggyback_commits { committed } else { Lsn::ZERO };
@@ -708,7 +709,7 @@ impl RangeReplica {
             lsn,
             op: op.clone(),
             client: Some((from, req.req)),
-            ackers: HashSet::new(),
+            ackers: BTreeSet::new(),
             self_forced: false,
         });
         self.unproposed.push((lsn, op));
@@ -1115,7 +1116,7 @@ impl RangeReplica {
                 lsn: Lsn::new(first.epoch(), first.seq() + i as u64),
                 op: op.clone(),
                 client: None,
-                ackers: HashSet::new(),
+                ackers: BTreeSet::new(),
                 self_forced: false,
             });
         }
@@ -1458,7 +1459,7 @@ impl RangeReplica {
             .read_range(self.range, f_cmt, st.last_lsn)
             .map(|v| v.into_iter().map(|(l, _)| l).collect())
             .unwrap_or_default();
-        let received: HashSet<Lsn> = records.iter().map(|(l, _)| *l).collect();
+        let received: BTreeSet<Lsn> = records.iter().map(|(l, _)| *l).collect();
         let to_truncate: Vec<Lsn> =
             own.iter().copied().filter(|l| *l <= up_to && !received.contains(l)).collect();
         if !to_truncate.is_empty() {

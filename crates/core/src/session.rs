@@ -71,7 +71,7 @@
 //! # let _ = node;
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::Rng;
 
@@ -255,9 +255,9 @@ pub struct Session {
     next_req: RequestId,
     next_call: CallId,
     /// Cached cohort-member index believed to lead each range.
-    leader_cache: HashMap<RangeId, usize>,
+    leader_cache: BTreeMap<RangeId, usize>,
     queue: VecDeque<(CallId, SessionCall)>,
-    pending: HashMap<RequestId, InFlight>,
+    pending: BTreeMap<RequestId, InFlight>,
 }
 
 impl Session {
@@ -269,9 +269,9 @@ impl Session {
             window: window.max(1),
             next_req: 1,
             next_call: 1,
-            leader_cache: HashMap::new(),
+            leader_cache: BTreeMap::new(),
             queue: VecDeque::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 

@@ -12,7 +12,7 @@
 //! Spinnaker's consistency: there is no leader serializing writes and no
 //! quorum recovery — the tests demonstrate both caveats.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -262,12 +262,12 @@ struct PendingRead {
 pub struct EventualNode {
     id: NodeId,
     ring: Ring,
-    stores: HashMap<RangeId, RangeStore>,
-    pending_writes: HashMap<u64, PendingWrite>,
-    pending_reads: HashMap<u64, PendingRead>,
+    stores: BTreeMap<RangeId, RangeStore>,
+    pending_writes: BTreeMap<u64, PendingWrite>,
+    pending_reads: BTreeMap<u64, PendingRead>,
     /// Force token → (ack target, correlation id); repair writes have no
     /// entry.
-    force_waiters: HashMap<u64, (NodeId, u64)>,
+    force_waiters: BTreeMap<u64, (NodeId, u64)>,
     next_id: u64,
     next_token: u64,
     ae_cursor: usize,
@@ -276,7 +276,7 @@ pub struct EventualNode {
 impl EventualNode {
     /// Open the node's stores (one per range it replicates).
     pub fn new(id: NodeId, ring: Ring, vfs: SharedVfs) -> Result<EventualNode> {
-        let mut stores = HashMap::new();
+        let mut stores = BTreeMap::new();
         for range in ring.ranges_of(id) {
             stores.insert(
                 range,
@@ -290,9 +290,9 @@ impl EventualNode {
             id,
             ring,
             stores,
-            pending_writes: HashMap::new(),
-            pending_reads: HashMap::new(),
-            force_waiters: HashMap::new(),
+            pending_writes: BTreeMap::new(),
+            pending_reads: BTreeMap::new(),
+            force_waiters: BTreeMap::new(),
             next_id: 1,
             next_token: 1,
             ae_cursor: 0,

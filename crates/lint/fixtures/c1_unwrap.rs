@@ -1,0 +1,15 @@
+//! Fixture: C1 crash-safety violations (never compiled; lint input only).
+fn recover(data: Option<u32>) -> u32 {
+    let v = data.unwrap();
+    let w = data.expect("present");
+    if v > w {
+        panic!("impossible");
+    }
+    if v == 0 {
+        unreachable!();
+    }
+    // Not violations: a local named `unwrap` and the string "panic!(...)".
+    let unwrap = v;
+    let _s = "calls .unwrap() and panic!(boom) in a string";
+    unwrap
+}

@@ -1,0 +1,8 @@
+//! Fixture: C2 truncating-cast violations (never compiled; lint input only).
+fn encode(len: usize, v: u64) -> (u32, u8) {
+    let l = len as u32;
+    let b = v as u8;
+    let widened = l as u64; // widening casts are allowed
+    let _ = widened as u128; // so is u128
+    (l, b)
+}

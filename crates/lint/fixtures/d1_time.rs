@@ -1,0 +1,16 @@
+//! Fixture: D1 determinism violations (never compiled; lint input only).
+use std::time::Instant;
+use std::thread;
+use std::fs::File;
+use std::net::TcpStream;
+
+fn entropy() -> u64 {
+    let _now = std::time::SystemTime::now();
+    let _rng = thread_rng();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant; // allowed: test-only code is stripped
+}

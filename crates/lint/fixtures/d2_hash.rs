@@ -1,0 +1,11 @@
+//! Fixture: D2 hash-order violations (never compiled; lint input only).
+use std::collections::HashMap;
+
+fn build() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    let _ = m.len();
+    let mut s = std::collections::HashSet::new();
+    s.insert(1);
+    let fine: std::collections::BTreeMap<u32, u32> = Default::default();
+    let _ = fine.len();
+}

@@ -1,0 +1,33 @@
+//! Fixture: P1 protocol-exhaustiveness violations (never compiled).
+enum ClientOp {
+    Get,
+    Put,
+    Delete,
+}
+
+fn lazy(op: &ClientOp) -> u32 {
+    match op {
+        ClientOp::Get => 1,
+        _ => 0,
+    }
+}
+
+fn exhaustive(op: &ClientOp) -> u32 {
+    match op {
+        ClientOp::Get => 1,
+        ClientOp::Put => 2,
+        ClientOp::Delete => 3,
+    }
+}
+
+enum Local {
+    A,
+    B,
+}
+
+fn not_a_protocol_enum(o: &Local) -> u32 {
+    match o {
+        Local::A => 1,
+        _ => 0,
+    }
+}

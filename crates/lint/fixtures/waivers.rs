@@ -1,0 +1,9 @@
+//! Fixture: waiver handling (never compiled; lint input only).
+// spinlint: allow(D2) -- fixture exercising a well-formed waiver
+use std::collections::HashMap;
+
+// spinlint: allow(D2)
+use std::collections::HashSet;
+
+// spinlint: allow(BOGUS) -- no such rule
+fn f() {}

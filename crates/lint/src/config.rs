@@ -1,0 +1,193 @@
+//! `lint.toml` — the scope map that says where each rule applies.
+//!
+//! spinlint has no registry access, so this is a hand-rolled parser for
+//! the small TOML subset the config needs: `[section]` headers
+//! (`[global]`, `[rule.D1]`, ..), `key = "string"` and
+//! `key = ["a", "b", ..]` assignments (arrays may span lines), and `#`
+//! comments. Anything else is a parse error — the config is part of the
+//! contract and should fail loudly.
+
+use std::collections::BTreeMap;
+
+/// Per-rule scope configuration.
+#[derive(Clone, Debug, Default)]
+pub struct RuleCfg {
+    /// Path prefixes (relative to the workspace root, `/`-separated)
+    /// the rule applies to. Empty scope = rule disabled.
+    pub scope: Vec<String>,
+    /// Path prefixes exempt from the rule even when inside `scope`.
+    pub exempt: Vec<String>,
+    /// For P1: the protocol enums whose matches must be exhaustive.
+    pub enums: Vec<String>,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Path substrings excluded from the walk entirely (vendored shims,
+    /// build output, lint fixtures, integration-test directories).
+    pub exclude: Vec<String>,
+    /// Rule name → scope map.
+    pub rules: BTreeMap<String, RuleCfg>,
+}
+
+impl Config {
+    /// Parse the configuration text; errors carry a line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("line {}: unclosed section header", n + 1));
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", n + 1));
+            };
+            let key = key.trim().to_string();
+            let mut value = value.trim().to_string();
+            // Multiline array: keep consuming until brackets balance.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(format!("line {}: unclosed array", n + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let values = parse_value(&value).map_err(|e| format!("line {}: {e}", n + 1))?;
+            cfg.assign(&section, &key, values).map_err(|e| format!("line {}: {e}", n + 1))?;
+        }
+        Ok(cfg)
+    }
+
+    fn assign(&mut self, section: &str, key: &str, values: Vec<String>) -> Result<(), String> {
+        if section == "global" {
+            return match key {
+                "exclude" => {
+                    self.exclude = values;
+                    Ok(())
+                }
+                _ => Err(format!("unknown key `{key}` in [global]")),
+            };
+        }
+        let Some(rule) = section.strip_prefix("rule.") else {
+            return Err(format!("unknown section `[{section}]`"));
+        };
+        let rc = self.rules.entry(rule.to_string()).or_default();
+        match key {
+            "scope" => rc.scope = values,
+            "exempt" => rc.exempt = values,
+            "enums" => rc.enums = values,
+            _ => return Err(format!("unknown key `{key}` in [rule.{rule}]")),
+        }
+        Ok(())
+    }
+
+    /// True if `rule` applies to the (workspace-relative) `path`.
+    pub fn applies(&self, rule: &str, path: &str) -> bool {
+        self.rules.get(rule).is_some_and(|rc| {
+            rc.scope.iter().any(|p| path.starts_with(p.as_str()))
+                && !rc.exempt.iter().any(|p| path.starts_with(p.as_str()))
+        })
+    }
+
+    /// True if `path` is excluded from linting entirely.
+    pub fn excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|e| path.contains(e.as_str()))
+    }
+
+    /// The configured P1 protocol enums (empty when P1 is absent).
+    pub fn protocol_enums(&self) -> Vec<String> {
+        self.rules.get("P1").map(|rc| rc.enums.clone()).unwrap_or_default()
+    }
+}
+
+/// Strip a `#` comment, respecting `"` quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"s"` into one string or `["a", "b"]` into many.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err("unclosed array".into());
+        };
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+fn parse_string(part: &str) -> Result<String, String> {
+    let part = part.trim();
+    let inner = part
+        .strip_prefix('"')
+        .and_then(|p| p.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[global]
+exclude = ["vendor/", "target/"]
+
+[rule.D1]
+scope = [
+    "crates/common/src", # inline comment
+    "crates/core/src",
+]
+exempt = ["crates/common/src/vfs/disk.rs"]
+
+[rule.P1]
+scope = ["crates/"]
+enums = ["ClientOp", "PeerMsg"]
+"#,
+        )
+        .unwrap();
+        assert!(cfg.excluded("vendor/rand/src/lib.rs"));
+        assert!(cfg.applies("D1", "crates/core/src/node.rs"));
+        assert!(!cfg.applies("D1", "crates/common/src/vfs/disk.rs"));
+        assert!(!cfg.applies("D1", "crates/sim/src/lib.rs"));
+        assert_eq!(cfg.protocol_enums(), vec!["ClientOp".to_string(), "PeerMsg".to_string()]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("[global]\nfoo = \"x\"\n").is_err());
+        assert!(Config::parse("[rule.D1]\nbad = [\"x\"]\n").is_err());
+        assert!(Config::parse("[weird]\nscope = [\"x\"]\n").is_err());
+    }
+}

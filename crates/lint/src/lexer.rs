@@ -1,0 +1,369 @@
+//! A hand-rolled Rust token scanner: just enough lexing to run the
+//! spinlint rules without a real parser.
+//!
+//! The scanner understands line and (nested) block comments, string /
+//! raw-string / byte-string / char literals, lifetimes, raw
+//! identifiers, and numeric literals, so rule patterns never match
+//! inside text the compiler would not execute. It does **no** parsing
+//! beyond matched-delimiter tracking; rules work on the flat token
+//! stream.
+//!
+//! Two extra jobs live here because they need the comment text the
+//! token stream drops:
+//!
+//! * **waivers** — `// spinlint: allow(RULE) -- reason` comments are
+//!   collected with their line numbers (see [`Waiver`]);
+//! * **test stripping** — items annotated `#[test]` / `#[cfg(test)]`
+//!   (including whole `mod tests { .. }` blocks) are removed from the
+//!   stream by [`strip_cfg_test`], since test code is allowed to
+//!   `unwrap` and use host facilities freely.
+
+/// What a token is; rules match on identifier text and punctuation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_` and raw `r#ident`s).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// String / char / numeric literal (text is a placeholder for
+    /// strings, the raw spelling for numbers).
+    Literal,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (single character for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// A `// spinlint: allow(RULE, ..) -- reason` comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line the comment sits on. The waiver covers diagnostics
+    /// on this line and the next (so it can trail the offending line or
+    /// sit alone on the line above it).
+    pub line: u32,
+    /// Rule names inside `allow(..)`.
+    pub rules: Vec<String>,
+    /// True when a non-empty `-- reason` clause is present.
+    pub has_reason: bool,
+    /// Parse problem, if the comment mentioned `spinlint:` but did not
+    /// follow the `allow(RULE) -- reason` grammar.
+    pub malformed: Option<String>,
+}
+
+/// Scanner output: the token stream plus any waiver comments.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Lexed tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Waiver comments in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Lex `src` into tokens and waivers.
+pub fn scan(src: &str) -> Scanned {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                if let Some(w) = parse_waiver(&text, line) {
+                    out.waivers.push(w);
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Literal, text: "\"..\"".into(), line });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let lifetime = matches!(b.get(i + 1), Some(c2) if *c2 == '_' || c2.is_alphabetic())
+                    && b.get(i + 2) != Some(&'\'');
+                if lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.toks.push(Tok { kind: TokKind::Literal, text: "'..'".into(), line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                // Float continuation: `1.5` but not `0..n` or `1.method()`.
+                if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Literal, text, line });
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                if let Some(next) = raw_or_byte_literal(&b, i, &mut line) {
+                    out.toks.push(Tok { kind: TokKind::Literal, text: "\"..\"".into(), line });
+                    i = next;
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                // Raw identifier `r#name` (keep the prefix so keywords
+                // used as names never match keyword rules).
+                if i + 1 < b.len()
+                    && b[i] == '#'
+                    && b[start..i] == ['r']
+                    && (b[i + 1] == '_' || b[i + 1].is_alphabetic())
+                {
+                    i += 1;
+                    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Ident, text, line });
+            }
+            c => {
+                out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a `"` string starting at `i` (the quote); returns the index
+/// past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Detect and consume raw / byte string literals (`r".."`, `r#".."#`,
+/// `b".."`, `br#".."#`, `b'x'`) starting at `i`. Returns the index past
+/// the literal, or `None` if `i` does not start one.
+fn raw_or_byte_literal(b: &[char], i: usize, line: &mut u32) -> Option<usize> {
+    let (raw, mut j) = match (b[i], b.get(i + 1)) {
+        ('b', Some('\'')) => {
+            // Byte char literal.
+            let mut k = i + 2;
+            while k < b.len() {
+                match b[k] {
+                    '\\' => k += 2,
+                    '\'' => return Some(k + 1),
+                    _ => k += 1,
+                }
+            }
+            return Some(k);
+        }
+        ('b', Some('"')) => (false, i + 1),
+        ('b', Some('r')) => (true, i + 2),
+        ('r', Some('"')) | ('r', Some('#')) => (true, i + 1),
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&'"') {
+            return None; // `r#ident` raw identifier, not a string
+        }
+        j += 1;
+        while j < b.len() {
+            if b[j] == '\n' {
+                *line += 1;
+                j += 1;
+            } else if b[j] == '"'
+                && b[j + 1..].iter().take(hashes).filter(|c| **c == '#').count() == hashes
+            {
+                return Some(j + 1 + hashes);
+            } else {
+                j += 1;
+            }
+        }
+        Some(j)
+    } else {
+        Some(skip_string(b, j, line))
+    }
+}
+
+/// Parse a line comment into a [`Waiver`] if it mentions `spinlint:`.
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    let body = comment.trim_start_matches('/').trim_start_matches('!').trim();
+    let rest = body.strip_prefix("spinlint:")?.trim();
+    let malformed = |msg: &str| {
+        Some(Waiver { line, rules: Vec::new(), has_reason: false, malformed: Some(msg.into()) })
+    };
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return malformed("expected `allow(RULE, ..)` after `spinlint:`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return malformed("expected `(` after `allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed("unclosed `allow(`");
+    };
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return malformed("empty rule list in `allow()`");
+    }
+    let tail = rest[close + 1..].trim();
+    let has_reason = match tail.strip_prefix("--") {
+        Some(reason) => !reason.trim().is_empty(),
+        None => false,
+    };
+    Some(Waiver { line, rules, has_reason, malformed: None })
+}
+
+/// Index of the delimiter matching the opener at `open` (which must be
+/// `(`, `[` or `{`), or `toks.len()` if unbalanced.
+pub fn match_delim(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Remove items annotated with a test attribute (`#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, ..))]`) from the token stream,
+/// including everything inside a `#[cfg(test)] mod .. { .. }` block.
+pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let close = match_delim(&toks, i + 1);
+            let is_test = toks[i + 2..close.min(toks.len())]
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("cfg_attr_test"));
+            if !is_test {
+                out.extend(toks[i..=close.min(toks.len() - 1)].iter().cloned());
+                i = close + 1;
+                continue;
+            }
+            // Skip any further attributes, then the annotated item: up
+            // to a `;` at item depth or the matching `}` of its body.
+            let mut j = close + 1;
+            while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                j = match_delim(&toks, j + 1) + 1;
+            }
+            let mut depth = 0i64;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth <= 0 && t.is_punct('}') {
+                        j += 1;
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}

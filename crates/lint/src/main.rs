@@ -1,0 +1,167 @@
+//! spinlint CLI: `cargo run -p spinnaker-lint -- [--json] [--deny] [FILE..]`.
+//!
+//! Finds `lint.toml` by walking up from the current directory, lints
+//! the whole workspace (or just the named files), and prints
+//! diagnostics in human or JSON form. `--deny` exits nonzero when any
+//! unwaived violation remains — the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spinnaker_lint::{lint_source, rel, rules::Violation, Config, Report};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                eprintln!("usage: spinnaker-lint [--json] [--deny] [FILE..]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("spinlint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+
+    let Some(root) = find_root() else {
+        eprintln!("spinlint: no lint.toml found walking up from the current directory");
+        return ExitCode::from(2);
+    };
+    let cfg_text = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("spinlint: cannot read lint.toml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("spinlint: lint.toml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if files.is_empty() {
+        match spinnaker_lint::lint_workspace(&root, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("spinlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = Report { violations: Vec::new(), files: files.len() };
+        for f in &files {
+            let abs = if f.is_absolute() {
+                f.clone()
+            } else {
+                std::env::current_dir().map(|d| d.join(f)).unwrap_or_else(|_| f.clone())
+            };
+            let src = match std::fs::read_to_string(&abs) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("spinlint: {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            };
+            report.violations.extend(lint_source(&rel(&root, &abs), &src, &cfg));
+        }
+        report
+    };
+
+    if json {
+        print_json(&report);
+    } else {
+        print_human(&report);
+    }
+
+    let active = report.active().count();
+    if deny && active > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walk up from the current directory to the first one holding
+/// `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_human(report: &Report) {
+    for v in &report.violations {
+        let tag = if v.waived { " (waived)" } else { "" };
+        println!("{}:{}: [{}] {}{}", v.path, v.line, v.rule, v.message, tag);
+    }
+    let active = report.active().count();
+    println!(
+        "spinlint: {} violation{} ({} waived) across {} file{}",
+        active,
+        if active == 1 { "" } else { "s" },
+        report.waived_count(),
+        report.files,
+        if report.files == 1 { "" } else { "s" },
+    );
+}
+
+fn print_json(report: &Report) {
+    let mut out = String::from("{\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&violation_json(v));
+    }
+    out.push_str(&format!(
+        "],\"active\":{},\"waived\":{},\"files\":{}}}",
+        report.active().count(),
+        report.waived_count(),
+        report.files
+    ));
+    println!("{out}");
+}
+
+fn violation_json(v: &Violation) -> String {
+    format!(
+        "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"waived\":{}}}",
+        json_str(&v.rule),
+        json_str(&v.path),
+        v.line,
+        json_str(&v.message),
+        v.waived
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

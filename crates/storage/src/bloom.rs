@@ -81,7 +81,9 @@ impl Decode for Bloom {
     fn decode(buf: &mut &[u8]) -> Result<Bloom> {
         let num_bits = codec::get_u64(buf)?;
         let k = codec::get_u32(buf)?;
-        let n = codec::get_varint(buf)? as usize;
+        // Each filter word is 8 bytes; bounding the count by the input
+        // keeps a corrupt header from driving a huge allocation.
+        let n = codec::get_varint_len(buf, "bloom filter words", 8)?;
         if k == 0 || k > 64 || num_bits == 0 || n != (num_bits.div_ceil(64) as usize) {
             return Err(Error::Corruption("implausible bloom header".into()));
         }

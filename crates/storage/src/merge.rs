@@ -86,7 +86,7 @@ impl Iterator for MergeIter<'_> {
             if peek.key != key {
                 break;
             }
-            let dup = self.heap.pop().expect("peeked");
+            let Some(dup) = self.heap.pop() else { break };
             row.merge_newer(&dup.row);
             if let Err(e) = self.advance(dup.stream) {
                 self.failed = true;

@@ -174,7 +174,9 @@ impl TableBuilder {
             return Ok(());
         }
         let body = std::mem::take(&mut self.block);
-        let first_key = self.block_first_key.take().expect("non-empty block has a first key");
+        let Some(first_key) = self.block_first_key.take() else {
+            return Err(Error::InvalidArgument("block buffer without a first key".into()));
+        };
         let (offset, len) = self.write_chunk(&body)?;
         self.index.push(IndexEntry { first_key, offset, len });
         Ok(())
@@ -204,9 +206,12 @@ impl TableBuilder {
         );
         let (bloom_off, bloom_len) = self.write_chunk(&bloom.encode_to_vec())?;
 
+        let (Some(min_key), Some(max_key)) = (self.min_key.as_ref(), self.max_key.as_ref()) else {
+            return Err(Error::InvalidArgument("non-empty table is missing key bounds".into()));
+        };
         let mut footer = Vec::new();
-        self.min_key.as_ref().expect("non-empty").encode(&mut footer);
-        self.max_key.as_ref().expect("non-empty").encode(&mut footer);
+        min_key.encode(&mut footer);
+        max_key.encode(&mut footer);
         self.min_lsn.encode(&mut footer);
         self.max_lsn.encode(&mut footer);
         codec::put_u64(&mut footer, self.max_ts);
@@ -254,8 +259,16 @@ impl Table {
         if magic != MAGIC {
             return Err(Error::Corruption(format!("{path}: bad magic")));
         }
-        let footer_len = file_bytes - 16 - footer_off;
-        let footer = read_chunk(file.as_ref(), footer_off, footer_len as u32, path)?;
+        // A bit-flipped trailer can point the footer anywhere; checked
+        // arithmetic turns that into a corruption error instead of an
+        // underflow (or a huge read below).
+        let footer_len = (file_bytes - 16).checked_sub(footer_off).ok_or_else(|| {
+            Error::Corruption(format!("{path}: footer offset {footer_off} past the trailer"))
+        })?;
+        let footer_len = u32::try_from(footer_len).map_err(|_| {
+            Error::Corruption(format!("{path}: implausible footer length {footer_len}"))
+        })?;
+        let footer = read_chunk(file.as_ref(), footer_off, footer_len, path)?;
         let mut cur: &[u8] = &footer;
         let min_key = Key::decode(&mut cur)?;
         let max_key = Key::decode(&mut cur)?;
@@ -270,7 +283,9 @@ impl Table {
 
         let index_body = read_chunk(file.as_ref(), index_off, index_len, path)?;
         let mut cur: &[u8] = &index_body;
-        let n = codec::get_varint(&mut cur)? as usize;
+        // Each entry is at least a 1-byte key (plus its length byte), an
+        // 8-byte offset, and a 4-byte length.
+        let n = codec::get_varint_len(&mut cur, "sstable index entries", 14)?;
         let mut index = Vec::with_capacity(n);
         for _ in 0..n {
             let first_key = Key::decode(&mut cur)?;
@@ -386,10 +401,21 @@ fn read_chunk(
     if len < 4 {
         return Err(Error::Corruption(format!("{path}: chunk shorter than its checksum")));
     }
+    // Bound the allocation by the actual file size before trusting a
+    // length that may come from a corrupt footer.
+    let file_bytes = file.len()?;
+    if u64::from(len) > file_bytes || offset > file_bytes - u64::from(len) {
+        return Err(Error::Corruption(format!(
+            "{path}: chunk [{offset}, +{len}) outside the {file_bytes}-byte file"
+        )));
+    }
     let mut buf = vec![0u8; len as usize];
     file.read_exact_at(offset, &mut buf)?;
     let body_len = len as usize - 4;
-    let stored = u32::from_le_bytes(buf[body_len..].try_into().expect("4 bytes"));
+    let stored = match buf[body_len..].try_into() {
+        Ok(tail) => u32::from_le_bytes(tail),
+        Err(_) => return Err(Error::Corruption(format!("{path}: chunk tail truncated"))),
+    };
     let actual =
         spinnaker_common::crc32c::masked(spinnaker_common::crc32c::crc32c(&buf[..body_len]));
     if stored != actual {

@@ -102,7 +102,9 @@ impl Decode for Manifest {
     fn decode(buf: &mut &[u8]) -> Result<Manifest> {
         let next_id = codec::get_u64(buf)?;
         let gc_floor = codec::get_u64(buf)?;
-        let n = codec::get_varint(buf)? as usize;
+        // Each table id is 8 bytes; a corrupt count fails here as a
+        // typed codec error instead of driving a huge allocation.
+        let n = codec::get_varint_len(buf, "manifest tables", 8)?;
         let mut tables = Vec::with_capacity(n);
         for _ in 0..n {
             tables.push(codec::get_u64(buf)?);
@@ -337,7 +339,9 @@ impl RangeStore {
 
         // Replace the picked tables with the merged one, preserving overall
         // newest-first order: insert at the position of the newest input.
-        let insert_at = *picked.iter().min().expect("non-empty group");
+        let Some(&insert_at) = picked.iter().min() else {
+            return Ok(()); // nothing picked: the merge is a no-op
+        };
         let mut picked_sorted = picked.to_vec();
         picked_sorted.sort_unstable_by(|a, b| b.cmp(a));
         let mut removed = Vec::new();

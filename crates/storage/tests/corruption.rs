@@ -1,0 +1,165 @@
+//! Crash-safety regression tests for SSTable/manifest loading (rule C1).
+//!
+//! A bit-flipped table file or manifest must be rejected with a typed
+//! [`Error`] — `Table::open`, `RangeStore::open`, and the read path must
+//! never panic on hostile bytes, and a corrupt length prefix must never
+//! drive a huge allocation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use spinnaker_common::vfs::{MemVfs, Vfs};
+use spinnaker_common::{op, Key, Lsn, Row};
+use spinnaker_storage::{RangeStore, StoreOptions, Table, TableBuilder, TableOptions};
+
+fn small_table(vfs: &MemVfs, path: &str) -> Vec<Key> {
+    // Tiny blocks so the table has several data blocks + index + bloom.
+    let opts = TableOptions { block_bytes: 128, bloom_bits_per_key: 10 };
+    let mut b = TableBuilder::new(Arc::new(vfs.clone()), path, opts).unwrap();
+    let mut keys = Vec::new();
+    for i in 0..24u64 {
+        let key = Key::from(format!("user{i:04}").as_str());
+        let mut row = Row::new();
+        op::put(&format!("user{i:04}"), "col", &format!("value-{i}"))
+            .apply_to_row(&mut row, Lsn::new(1, i + 1));
+        b.add(&key, &row).unwrap();
+        keys.push(key);
+    }
+    b.finish().unwrap();
+    keys
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected_or_survived_never_a_panic() {
+    let vfs = MemVfs::new();
+    let keys = small_table(&vfs, "t/sst-a");
+    let pristine = vfs.read_all("t/sst-a").unwrap();
+
+    let mut opened_ok = 0usize;
+    let mut rejected = 0usize;
+    for off in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 0x01;
+        vfs.write_atomic("t/sst-a", &bytes).unwrap();
+
+        let vfs2 = vfs.clone();
+        let keys = keys.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            match Table::open(Arc::new(vfs2.clone()), "t/sst-a") {
+                // Flips inside a data block are only detectable when the
+                // block is read: every lookup must still return cleanly.
+                Ok(table) => {
+                    for key in &keys {
+                        let _ = table.get(key);
+                    }
+                    let _ = table.scan(&keys[0], None);
+                    true
+                }
+                Err(_) => false,
+            }
+        }));
+        match outcome {
+            Ok(true) => opened_ok += 1,
+            Ok(false) => rejected += 1,
+            Err(_) => panic!("byte flip at offset {off} caused a panic"),
+        }
+    }
+    // The trailer and footer are always load-bearing, so a healthy share
+    // of flips must be caught right at open.
+    assert!(rejected > 0, "no flip was ever rejected ({opened_ok} opened)");
+}
+
+#[test]
+fn trailer_flips_fail_table_open_with_a_typed_error() {
+    let vfs = MemVfs::new();
+    small_table(&vfs, "t/sst-b");
+    let pristine = vfs.read_all("t/sst-b").unwrap();
+
+    // The last 16 bytes are the trailer: footer offset + magic. Any
+    // damage there must be caught at open, not deferred to a read.
+    for back in 0..16 {
+        let mut bytes = pristine.clone();
+        let off = bytes.len() - 1 - back;
+        bytes[off] ^= 0x80;
+        vfs.write_atomic("t/sst-b", &bytes).unwrap();
+        let res = Table::open(Arc::new(vfs.clone()), "t/sst-b");
+        assert!(res.is_err(), "trailer flip {back} bytes from the end was accepted");
+    }
+}
+
+#[test]
+fn truncated_table_is_rejected() {
+    let vfs = MemVfs::new();
+    small_table(&vfs, "t/sst-c");
+    let pristine = vfs.read_all("t/sst-c").unwrap();
+    for keep in [0, 1, 15, pristine.len() / 2, pristine.len() - 1] {
+        vfs.write_atomic("t/sst-c", &pristine[..keep]).unwrap();
+        assert!(
+            Table::open(Arc::new(vfs.clone()), "t/sst-c").is_err(),
+            "table truncated to {keep} bytes was accepted"
+        );
+    }
+}
+
+fn store_opts() -> StoreOptions {
+    StoreOptions { memtable_flush_bytes: 1, ..Default::default() }
+}
+
+/// A store directory with one flushed table and a manifest naming it.
+fn seeded_store_vfs() -> MemVfs {
+    let vfs = MemVfs::new();
+    let mut store = RangeStore::open(Arc::new(vfs.clone()), store_opts()).unwrap();
+    for i in 0..8u64 {
+        store.apply(&op::put(&format!("k{i}"), "c", "v"), Lsn::new(1, i + 1));
+    }
+    store.flush().unwrap();
+    vfs
+}
+
+#[test]
+fn manifest_byte_flips_never_panic_the_store_open() {
+    let vfs = seeded_store_vfs();
+    let pristine = vfs.read_all("store/MANIFEST").unwrap();
+    for off in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 0xff;
+        vfs.write_atomic("store/MANIFEST", &bytes).unwrap();
+        let vfs2 = vfs.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            RangeStore::open(Arc::new(vfs2), store_opts()).is_ok()
+        }));
+        assert!(outcome.is_ok(), "manifest flip at offset {off} caused a panic");
+    }
+}
+
+#[test]
+fn absurd_manifest_table_count_is_a_typed_error_not_an_allocation() {
+    let vfs = seeded_store_vfs();
+    // next_id + gc_floor pass as garbage u64s, then the table-count
+    // varint decodes to an enormous value the remaining input cannot
+    // possibly back — get_varint_len must refuse before allocating.
+    vfs.write_atomic("store/MANIFEST", &[0xff; 32]).unwrap();
+    let res = RangeStore::open(Arc::new(vfs.clone()), store_opts());
+    assert!(res.is_err(), "32 bytes of 0xff accepted as a manifest");
+}
+
+#[test]
+fn manifest_referencing_a_missing_table_is_a_typed_error() {
+    let vfs = seeded_store_vfs();
+    for path in vfs.list("store/sst-").unwrap() {
+        vfs.delete(&path).unwrap();
+    }
+    assert!(RangeStore::open(Arc::new(vfs.clone()), store_opts()).is_err());
+}
+
+#[test]
+fn flipped_sstable_magic_fails_the_store_open() {
+    let vfs = seeded_store_vfs();
+    let tables = vfs.list("store/sst-").unwrap();
+    assert!(!tables.is_empty(), "flush produced no table");
+    let mut bytes = vfs.read_all(&tables[0]).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    vfs.write_atomic(&tables[0], &bytes).unwrap();
+    assert!(RangeStore::open(Arc::new(vfs.clone()), store_opts()).is_err());
+}

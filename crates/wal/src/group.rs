@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
+// spinlint: allow(D1) -- this wrapper IS the threaded live runtime; the sim models group commit in virtual time
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
@@ -51,9 +52,11 @@ impl GroupCommitWal {
             let forces = forces.clone();
             let batches = batches.clone();
             let poisoned = poisoned.clone();
+            // spinlint: allow(D1) -- host-thread spawn: this wrapper IS the threaded live runtime
             std::thread::Builder::new()
                 .name("wal-logger".into())
                 .spawn(move || logger_loop(&wal, &rx, &forces, &batches, &poisoned))
+                // spinlint: allow(C1) -- process-start spawn failure, not a recovery path
                 .expect("spawn wal logger thread")
         };
         GroupCommitWal { wal, tx, handle: Some(handle), forces, batches, poisoned }

@@ -62,8 +62,10 @@ impl LogRecord {
     /// On an empty batch.
     pub fn batch(cohort: RangeId, first: Lsn, mut ops: Vec<WriteOp>) -> LogRecord {
         assert!(!ops.is_empty(), "empty batch record");
-        if ops.len() == 1 {
-            return LogRecord::write(cohort, first, ops.pop().expect("len 1"));
+        if let [_] = ops.as_slice() {
+            if let Some(op) = ops.pop() {
+                return LogRecord::write(cohort, first, op);
+            }
         }
         LogRecord { cohort, lsn: first, payload: Payload::Batch(ops) }
     }
@@ -122,13 +124,14 @@ impl Encode for LogRecord {
 
 impl Decode for LogRecord {
     fn decode(buf: &mut &[u8]) -> Result<LogRecord> {
-        let cohort = RangeId(codec::get_varint(buf)? as u32);
+        let cohort = RangeId(codec::get_varint_u32(buf)?);
         let lsn = Lsn::decode(buf)?;
         let payload = match codec::get_u8(buf)? {
             0 => Payload::Write(WriteOp::decode(buf)?),
             1 => Payload::CommitNote,
             2 => {
-                let n = codec::get_varint(buf)? as usize;
+                // A WriteOp is at least a tag byte plus a 1-byte key.
+                let n = codec::get_varint_len(buf, "batch ops", 2)?;
                 if n < 2 {
                     return Err(Error::Codec(format!("batch record with {n} ops")));
                 }
@@ -145,13 +148,21 @@ impl Decode for LogRecord {
 }
 
 /// Encode a record as a complete frame (header + body).
-pub fn encode_frame(record: &LogRecord) -> Vec<u8> {
+///
+/// A body longer than [`MAX_RECORD_BYTES`] is a codec error: the
+/// recovery scan treats such lengths as corruption, so writing one
+/// would make the record unreadable.
+pub fn encode_frame(record: &LogRecord) -> Result<Vec<u8>> {
     let body = record.encode_to_vec();
+    let len =
+        u32::try_from(body.len()).ok().filter(|l| *l <= MAX_RECORD_BYTES).ok_or_else(|| {
+            Error::Codec(format!("record body of {} bytes exceeds MAX_RECORD_BYTES", body.len()))
+        })?;
     let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
-    codec::put_u32(&mut frame, body.len() as u32);
+    codec::put_u32(&mut frame, len);
     codec::put_u32(&mut frame, crc32c::masked(crc32c::crc32c(&body)));
     frame.extend_from_slice(&body);
-    frame
+    Ok(frame)
 }
 
 /// Outcome of attempting to read one frame from a buffer position.
@@ -170,11 +181,13 @@ pub fn read_frame(buf: &[u8]) -> Result<FrameRead> {
         return Ok(FrameRead::Torn("short header"));
     }
     let mut cursor = buf;
-    let len = codec::get_u32(&mut cursor)? as usize;
+    let len32 = codec::get_u32(&mut cursor)?;
     let stored_crc = codec::get_u32(&mut cursor)?;
-    if len as u32 > MAX_RECORD_BYTES {
+    if len32 > MAX_RECORD_BYTES {
         return Ok(FrameRead::Torn("implausible length"));
     }
+    let len = usize::try_from(len32)
+        .map_err(|_| Error::Codec(format!("frame length {len32} overflows usize")))?;
     if cursor.len() < len {
         return Ok(FrameRead::Torn("short body"));
     }
@@ -202,7 +215,7 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let rec = sample();
-        let frame = encode_frame(&rec);
+        let frame = encode_frame(&rec).unwrap();
         match read_frame(&frame).unwrap() {
             FrameRead::Record(r, n) => {
                 assert_eq!(*r, rec);
@@ -215,7 +228,7 @@ mod tests {
     #[test]
     fn commit_note_roundtrip() {
         let rec = LogRecord::commit_note(RangeId(1), Lsn::new(3, 44));
-        let frame = encode_frame(&rec);
+        let frame = encode_frame(&rec).unwrap();
         match read_frame(&frame).unwrap() {
             FrameRead::Record(r, _) => {
                 assert_eq!(*r, rec);
@@ -227,7 +240,7 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_torn_not_errors() {
-        let frame = encode_frame(&sample());
+        let frame = encode_frame(&sample()).unwrap();
         for cut in 0..frame.len() {
             match read_frame(&frame[..cut]).unwrap() {
                 FrameRead::Torn(_) => {}
@@ -238,7 +251,7 @@ mod tests {
 
     #[test]
     fn corrupted_body_is_torn() {
-        let mut frame = encode_frame(&sample());
+        let mut frame = encode_frame(&sample()).unwrap();
         let last = frame.len() - 1;
         frame[last] ^= 0x40;
         assert!(matches!(read_frame(&frame).unwrap(), FrameRead::Torn("checksum mismatch")));
@@ -246,7 +259,7 @@ mod tests {
 
     #[test]
     fn implausible_length_is_torn() {
-        let mut frame = encode_frame(&sample());
+        let mut frame = encode_frame(&sample()).unwrap();
         frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(read_frame(&frame).unwrap(), FrameRead::Torn("implausible length")));
     }
@@ -258,7 +271,7 @@ mod tests {
         assert!(rec.is_write());
         assert_eq!(rec.write_count(), 3);
         assert_eq!(rec.last_lsn(), Lsn::new(2, 12));
-        let frame = encode_frame(&rec);
+        let frame = encode_frame(&rec).unwrap();
         match read_frame(&frame).unwrap() {
             FrameRead::Record(r, n) => {
                 assert_eq!(*r, rec);
@@ -296,8 +309,8 @@ mod tests {
     fn back_to_back_frames_parse() {
         let a = LogRecord::write(RangeId(0), Lsn::new(1, 1), op::put("a", "c", "1"));
         let b = LogRecord::commit_note(RangeId(0), Lsn::new(1, 1));
-        let mut buf = encode_frame(&a);
-        buf.extend(encode_frame(&b));
+        let mut buf = encode_frame(&a).unwrap();
+        buf.extend(encode_frame(&b).unwrap());
         let FrameRead::Record(first, n) = read_frame(&buf).unwrap() else { panic!() };
         assert_eq!(*first, a);
         let FrameRead::Record(second, _) = read_frame(&buf[n..]).unwrap() else { panic!() };

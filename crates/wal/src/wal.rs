@@ -11,7 +11,7 @@
 //! [`Wal::sync`] forces everything appended so far — group commit batches
 //! multiple appends under one sync (§5 "group commit is also used").
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use spinnaker_common::vfs::{SharedVfs, VfsFile};
 use spinnaker_common::{Error, Lsn, RangeId, Result, WriteOp};
@@ -82,7 +82,7 @@ pub struct Wal {
     skipped: SkippedFile,
     /// Live index references per segment; a sealed segment with zero
     /// references is garbage.
-    seg_refs: HashMap<u64, usize>,
+    seg_refs: BTreeMap<u64, usize>,
     appended_since_sync: bool,
 }
 
@@ -123,7 +123,7 @@ impl Wal {
         seg_ids.sort_unstable();
 
         let mut index: BTreeMap<RangeId, CohortIndex> = BTreeMap::new();
-        let mut seg_refs: HashMap<u64, usize> = HashMap::new();
+        let mut seg_refs: BTreeMap<u64, usize> = BTreeMap::new();
         let last = seg_ids.last().copied();
         for &id in &seg_ids {
             let data = vfs.read_all(&Self::seg_path(&opts.dir, id))?;
@@ -184,7 +184,7 @@ impl Wal {
 
     fn index_record(
         index: &mut BTreeMap<RangeId, CohortIndex>,
-        seg_refs: &mut HashMap<u64, usize>,
+        seg_refs: &mut BTreeMap<u64, usize>,
         skipped: &SkippedFile,
         checkpoints: &Checkpoints,
         rec: &LogRecord,
@@ -235,7 +235,7 @@ impl Wal {
 
     /// Append one record (not forced). Returns the segment id it landed in.
     pub fn append(&mut self, rec: &LogRecord) -> Result<u64> {
-        let frame = encode_frame(rec);
+        let frame = encode_frame(rec)?;
         if self.current.bytes > 0
             && self.current.bytes + frame.len() as u64 > self.opts.segment_bytes
         {

@@ -1,0 +1,143 @@
+//! Crash-safety regression tests for WAL recovery (contract rule C1).
+//!
+//! Every fault shape a real disk can produce — a torn tail, a bit flip,
+//! an absurd length prefix, an injected device error — must surface as a
+//! typed [`Error`], never as a panic, and must never lose acknowledged
+//! (synced) records.
+
+use std::sync::Arc;
+
+use spinnaker_common::vfs::{FaultPlan, FaultVfs, MemVfs, Vfs};
+use spinnaker_common::{op, Error, Lsn, RangeId};
+use spinnaker_wal::{Wal, WalOptions};
+
+const R: RangeId = RangeId(7);
+
+fn opts() -> WalOptions {
+    WalOptions { dir: "wal".into(), segment_bytes: 8 << 20 }
+}
+
+fn wal_on(vfs: &MemVfs) -> Wal {
+    Wal::open(Arc::new(vfs.clone()), opts()).unwrap()
+}
+
+fn rec(seq: u64) -> spinnaker_wal::LogRecord {
+    spinnaker_wal::LogRecord::write(R, Lsn::new(1, seq), op::put(&format!("k{seq}"), "c", "v"))
+}
+
+/// Path of the first segment the log writes to on a fresh VFS.
+const SEG1: &str = "wal/seg-0000000001.log";
+
+/// Write `n` records, force them, and drop the log so the segment's
+/// contents are final.
+fn seed(vfs: &MemVfs, n: u64) {
+    let mut wal = wal_on(vfs);
+    for seq in 1..=n {
+        wal.append(&rec(seq)).unwrap();
+    }
+    wal.sync().unwrap();
+}
+
+fn flip_byte(vfs: &MemVfs, path: &str, offset_from_end: usize) {
+    let mut data = vfs.read_all(path).unwrap();
+    let off = data.len() - 1 - offset_from_end;
+    data[off] ^= 0x40;
+    vfs.write_atomic(path, &data).unwrap();
+}
+
+#[test]
+fn torn_partial_frame_at_the_tail_is_tolerated() {
+    let vfs = MemVfs::new();
+    seed(&vfs, 3);
+    // A crash mid-append leaves a prefix of a frame header behind.
+    let mut data = vfs.read_all(SEG1).unwrap();
+    data.extend_from_slice(&[0x12, 0x34, 0x56]);
+    vfs.write_atomic(SEG1, &data).unwrap();
+
+    let wal = wal_on(&vfs);
+    assert_eq!(wal.state(R).last_lsn, Lsn::new(1, 3));
+    assert_eq!(wal.read_range(R, Lsn::new(0, 0), Lsn::new(1, 3)).unwrap().len(), 3);
+}
+
+#[test]
+fn oversize_length_prefix_is_torn_not_an_allocation() {
+    let vfs = MemVfs::new();
+    seed(&vfs, 2);
+    // A frame header claiming a ~4 GiB record: recovery must classify it
+    // as torn (it exceeds MAX_RECORD_BYTES) rather than try to read it.
+    let mut data = vfs.read_all(SEG1).unwrap();
+    data.extend_from_slice(&[0xff; 16]);
+    vfs.write_atomic(SEG1, &data).unwrap();
+
+    let wal = wal_on(&vfs);
+    assert_eq!(wal.state(R).last_lsn, Lsn::new(1, 2));
+}
+
+#[test]
+fn bit_flip_in_the_newest_segment_truncates_at_the_flip() {
+    let vfs = MemVfs::new();
+    seed(&vfs, 3);
+    // Flip a bit inside the last record's body: its CRC no longer
+    // matches, so recovery stops there — records 1..=2 survive, the
+    // damaged (hence never-trustworthy) record 3 is dropped.
+    flip_byte(&vfs, SEG1, 0);
+
+    let wal = wal_on(&vfs);
+    assert_eq!(wal.state(R).last_lsn, Lsn::new(1, 2));
+    assert_eq!(wal.read_range(R, Lsn::new(0, 0), Lsn::new(1, 2)).unwrap().len(), 2);
+}
+
+#[test]
+fn bit_flip_in_a_sealed_segment_is_reported_as_corruption() {
+    let vfs = MemVfs::new();
+    seed(&vfs, 3);
+    // Reopening rolls to a fresh segment, sealing segment 1.
+    drop(wal_on(&vfs));
+    flip_byte(&vfs, SEG1, 0);
+
+    match Wal::open(Arc::new(vfs.clone()), opts()).err() {
+        Some(Error::Corruption(msg)) => {
+            assert!(msg.contains("sealed segment"), "unexpected message: {msg}");
+        }
+        other => panic!("expected Corruption, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_sync_failure_is_typed_and_synced_prefix_survives() {
+    let inner = MemVfs::new();
+    let plan = FaultPlan::new();
+    let faulty: Arc<dyn Vfs> = Arc::new(FaultVfs::new(Arc::new(inner.clone()), plan.clone()));
+
+    let mut wal = Wal::open(faulty, opts()).unwrap();
+    wal.append(&rec(1)).unwrap();
+    wal.sync().unwrap();
+
+    plan.fail_sync_after(1);
+    wal.append(&rec(2)).unwrap();
+    match wal.sync() {
+        Err(Error::Io(_)) => {}
+        other => panic!("expected Io error from injected fault, got {other:?}"),
+    }
+    assert_eq!(plan.injected(), 1);
+
+    // The node crashes on the failed force; only the acknowledged record
+    // is recovered.
+    drop(wal);
+    let wal = wal_on(&inner.crash_clone());
+    assert_eq!(wal.state(R).last_lsn, Lsn::new(1, 1));
+}
+
+#[test]
+fn injected_append_failure_is_typed_not_a_panic() {
+    let inner = MemVfs::new();
+    let plan = FaultPlan::new();
+    let faulty: Arc<dyn Vfs> = Arc::new(FaultVfs::new(Arc::new(inner.clone()), plan.clone()));
+
+    let mut wal = Wal::open(faulty, opts()).unwrap();
+    plan.fail_append_after(1);
+    match wal.append(&rec(1)) {
+        Err(Error::Io(_)) => {}
+        other => panic!("expected Io error from injected fault, got {other:?}"),
+    }
+}
