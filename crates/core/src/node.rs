@@ -34,7 +34,9 @@ use spinnaker_common::codec::{Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
 use spinnaker_common::{Consistency, Key, Lsn, NodeId, RangeId, Result};
 use spinnaker_coord::WatchEvent;
-use spinnaker_storage::{RangeStore, StoreOptions, StoreSnapshot};
+use spinnaker_storage::{
+    BlockCache, RangeStore, SharedBlockCache, StoreOptions, StoreSnapshot, StoreStats,
+};
 use spinnaker_wal::{LogRecord, Wal, WalOptions};
 
 use crate::coordcli::CoordClient;
@@ -80,6 +82,16 @@ pub struct NodeConfig {
     pub maintenance_interval: u64,
     /// Flush the memtable beyond this size.
     pub memtable_flush_bytes: usize,
+    /// Size ratio between adjacent LSM levels: level `k` holds
+    /// `level_base_bytes * level_fanout^k` bytes before compaction
+    /// pushes a table down.
+    pub level_fanout: u64,
+    /// Capacity of L1, the first sorted level of each range's store.
+    pub level_base_bytes: u64,
+    /// Node-wide block cache budget shared by every range's store
+    /// (decoded SSTable blocks, charged by encoded size). `0` disables
+    /// the cache.
+    pub block_cache_bytes: u64,
     /// Piggy-back the committed watermark on propose messages (§D.1
     /// suggests this as an optimization; off by default to match the
     /// measured system, whose recovery time scales with the commit
@@ -127,6 +139,9 @@ impl Default for NodeConfig {
             election_retry: 100_000_000,
             maintenance_interval: 250_000_000,
             memtable_flush_bytes: 8 << 20,
+            level_fanout: 4,
+            level_base_bytes: 4 << 20,
+            block_cache_bytes: 32 << 20,
             piggyback_commits: false,
             propose_batch: 8,
             reshard: None,
@@ -220,6 +235,9 @@ pub struct Node {
     vfs: SharedVfs,
     wal: Wal,
     coord: CoordClient,
+    /// Node-wide block cache shared by every replica's store (`None`
+    /// when `cfg.block_cache_bytes` is 0).
+    cache: Option<SharedBlockCache>,
     replicas: BTreeMap<RangeId, RangeReplica>,
     forces: ForceTracker,
     dissolved: Vec<Dissolved>,
@@ -244,9 +262,12 @@ impl Node {
         coord: CoordClient,
     ) -> Result<Node> {
         let mut wal = Wal::open(vfs.clone(), WalOptions::default())?;
+        let cache = (cfg.block_cache_bytes > 0)
+            .then(|| std::sync::Arc::new(BlockCache::new(cfg.block_cache_bytes)));
         let mut replicas = BTreeMap::new();
         for range in ring.ranges_of(id) {
-            let mut store = RangeStore::open(vfs.clone(), store_options(range, &cfg))?;
+            let mut store =
+                RangeStore::open(vfs.clone(), store_options(range, &cfg, cache.as_ref()))?;
             let st = wal.state(range);
             let mut last_committed = st.last_committed;
             // A child range with no local state at all: this node crashed
@@ -317,6 +338,7 @@ impl Node {
             vfs,
             wal,
             coord,
+            cache,
             replicas,
             forces: ForceTracker::new(),
             dissolved,
@@ -380,6 +402,15 @@ impl Node {
     /// followers with it).
     pub fn snapshot_pages(&self, range: RangeId) -> u64 {
         self.replicas.get(&range).map_or(0, |r| r.snapshot_pages())
+    }
+
+    /// Read/compaction statistics for this node's replica of `range`:
+    /// tables per level, bloom true/false positives, block-cache hit
+    /// rates, bytes compacted. The same store the auto-reshard
+    /// maintenance tick samples for size; benchmarks and operators read
+    /// the multipliers from here.
+    pub fn store_stats(&self, range: RangeId) -> Option<StoreStats> {
+        self.replicas.get(&range).map(|r| r.store.stats())
     }
 
     /// The closed timestamp this node's replica of `range` has adopted
@@ -1293,9 +1324,10 @@ impl Node {
             let contributors: Vec<&RangeReplica> =
                 parents.iter().filter(|p| spans_intersect(&p.span, def)).collect();
             let contained = contributors.len() == 1 && span_contains(&contributors[0].span, def);
-            let Ok(mut store) =
-                RangeStore::recreate(self.vfs.clone(), store_options(def.id, &self.cfg))
-            else {
+            let Ok(mut store) = RangeStore::recreate(
+                self.vfs.clone(),
+                store_options(def.id, &self.cfg, self.cache.as_ref()),
+            ) else {
                 continue;
             };
             for p in &contributors {
@@ -1383,7 +1415,11 @@ impl Node {
         watermark: Lsn,
     ) -> (RangeStore, RangeStore) {
         let (mut ls, mut rs) = store
-            .split(at, store_options(left, &self.cfg), store_options(right, &self.cfg))
+            .split(
+                at,
+                store_options(left, &self.cfg, self.cache.as_ref()),
+                store_options(right, &self.cfg, self.cache.as_ref()),
+            )
             .expect("store fork");
         let _ = ls.flush();
         let _ = rs.flush();
@@ -1530,8 +1566,10 @@ impl Node {
         if !expected {
             return; // stale or aborted handoff
         }
-        let Ok(mut store) = RangeStore::recreate(self.vfs.clone(), store_options(range, &self.cfg))
-        else {
+        let Ok(mut store) = RangeStore::recreate(
+            self.vfs.clone(),
+            store_options(range, &self.cfg, self.cache.as_ref()),
+        ) else {
             return;
         };
         if store.import_snapshot(snapshot).is_err() {
@@ -1908,9 +1946,12 @@ impl Node {
         // like a split parent's (watch-ordering: peers must process the
         // Merge message first).
 
-        let mut mstore =
-            RangeStore::merge(&lrep.store, &rrep.store, store_options(merged, &self.cfg))
-                .expect("store merge");
+        let mut mstore = RangeStore::merge(
+            &lrep.store,
+            &rrep.store,
+            store_options(merged, &self.cfg, self.cache.as_ref()),
+        )
+        .expect("store merge");
         let _ = mstore.flush();
         let _ = self.wal.set_checkpoint(left, barrier);
         let _ = self.wal.set_checkpoint(right, right_barrier);
@@ -2050,9 +2091,12 @@ impl Node {
         let rrep = self.replicas.remove(&right).expect("checked");
         let merged_epoch = epoch.max(right_epoch) + 1;
         let base = Lsn::new(merged_epoch, barrier.seq().max(right_barrier.seq()));
-        let mut mstore =
-            RangeStore::merge(&lrep.store, &rrep.store, store_options(merged, &self.cfg))
-                .expect("store merge");
+        let mut mstore = RangeStore::merge(
+            &lrep.store,
+            &rrep.store,
+            store_options(merged, &self.cfg, self.cache.as_ref()),
+        )
+        .expect("store merge");
         let _ = mstore.flush();
         let watermark = if clean {
             let _ = self.wal.set_checkpoint(left, barrier);
@@ -2191,11 +2235,19 @@ impl Node {
     }
 }
 
-/// Store layout for a range's LSM tree.
-fn store_options(range: RangeId, cfg: &NodeConfig) -> StoreOptions {
+/// Store layout and tuning for a range's LSM tree. The block cache is
+/// the node-wide one; each store registers its own tables in it.
+fn store_options(
+    range: RangeId,
+    cfg: &NodeConfig,
+    cache: Option<&SharedBlockCache>,
+) -> StoreOptions {
     StoreOptions {
         dir: format!("store-r{}", range.0),
         memtable_flush_bytes: cfg.memtable_flush_bytes,
+        level_fanout: cfg.level_fanout,
+        level_base_bytes: cfg.level_base_bytes,
+        cache: cache.cloned(),
         ..Default::default()
     }
 }
@@ -2262,7 +2314,7 @@ fn bootstrap_child_from_parent(
     if !have_store && pst.last_lsn.is_zero() {
         return Ok(None);
     }
-    let mut pstore = RangeStore::open(vfs.clone(), store_options(parent, cfg))?;
+    let mut pstore = RangeStore::open(vfs.clone(), store_options(parent, cfg, None))?;
     wal.replay(parent, wal.checkpoint(parent), pst.last_committed, |lsn, op| {
         pstore.apply(op, lsn);
     })?;

@@ -2,20 +2,26 @@
 //!
 //! Committed writes land in a [`Memtable`], are periodically flushed to
 //! immutable, indexed, bloom-filtered [`sstable::Table`]s tagged with the
-//! min/max LSN of the writes they contain, and smaller tables are merged
-//! into larger ones in the background ([`RangeStore::maybe_compact`]).
-//! The design follows Bigtable's SSTables as the paper describes.
+//! min/max LSN of the writes they contain. Tables are organised as a
+//! **leveled LSM**: an L0 flush tier (overlapping, newest first) feeds
+//! size-ratio levels L1..Ln whose tables are non-overlapping within a
+//! level, compacted downward by [`RangeStore::maybe_compact`]. Reads are
+//! served through per-level bloom filters and a node-wide [`BlockCache`]
+//! of decoded data blocks. The design follows Bigtable's SSTables as the
+//! paper describes.
 
 #![warn(missing_docs)]
 
 pub mod bloom;
+pub mod cache;
 pub mod memtable;
 pub mod merge;
 pub mod sstable;
 pub mod store;
 
 pub use bloom::Bloom;
+pub use cache::{BlockCache, CacheStats, CachedBlock, SharedBlockCache};
 pub use memtable::Memtable;
 pub use merge::{vec_stream, MergeIter, RowStream};
-pub use sstable::{Table, TableBuilder, TableMeta, TableOptions};
-pub use store::{RangeStore, ScanPage, StoreOptions, StoreSnapshot};
+pub use sstable::{Table, TableBuilder, TableCtx, TableMeta, TableOptions};
+pub use store::{RangeStore, ScanPage, StoreOptions, StoreSnapshot, StoreStats};

@@ -16,14 +16,35 @@
 //! leader's log because it rolled over, the appropriate SSTables are
 //! located by LSN range and their rows shipped to the follower.
 
+use std::sync::Arc;
+
 use spinnaker_common::codec::{self, Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
 use spinnaker_common::{Error, Key, Lsn, Result, Row, Timestamp};
 
 use crate::bloom::Bloom;
+use crate::cache::{CacheMetrics, CachedBlock, SharedBlockCache};
 
 /// `"SPINSST1"` little-endian.
 const MAGIC: u64 = 0x3154_5353_4e49_5053;
+
+/// Ambient context a table is opened under: the node-wide block cache
+/// (if any) and the owning store's cache observables. Cloned into every
+/// table a store opens, so hits and misses stay attributable per range
+/// while the cached bytes are shared node-wide.
+#[derive(Clone, Default)]
+pub struct TableCtx {
+    /// Shared cache of decoded data blocks; `None` = read through.
+    pub cache: Option<SharedBlockCache>,
+    /// Per-store hit/miss/read counters.
+    pub metrics: Arc<CacheMetrics>,
+}
+
+impl std::fmt::Debug for TableCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableCtx").field("cached", &self.cache.is_some()).finish()
+    }
+}
 
 /// Build-time options.
 #[derive(Clone, Debug)]
@@ -88,6 +109,7 @@ pub struct TableBuilder {
     vfs: SharedVfs,
     path: String,
     opts: TableOptions,
+    ctx: TableCtx,
     file: Box<dyn spinnaker_common::vfs::VfsFile>,
     offset: u64,
     block: Vec<u8>,
@@ -103,13 +125,24 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
-    /// Start building at `path`.
+    /// Start building at `path` (no block cache attached).
     pub fn new(vfs: SharedVfs, path: &str, opts: TableOptions) -> Result<TableBuilder> {
+        TableBuilder::new_with(vfs, path, opts, TableCtx::default())
+    }
+
+    /// Start building at `path`; the finished table opens under `ctx`.
+    pub fn new_with(
+        vfs: SharedVfs,
+        path: &str,
+        opts: TableOptions,
+        ctx: TableCtx,
+    ) -> Result<TableBuilder> {
         let file = vfs.create(path)?;
         Ok(TableBuilder {
             vfs,
             path: path.to_string(),
             opts,
+            ctx,
             file,
             offset: 0,
             block: Vec::new(),
@@ -230,7 +263,7 @@ impl TableBuilder {
         self.file.sync()?;
         drop(self.file);
 
-        Table::open(self.vfs, &self.path)
+        Table::open_with(self.vfs, &self.path, self.ctx)
     }
 }
 
@@ -241,11 +274,20 @@ pub struct Table {
     meta: TableMeta,
     index: Vec<IndexEntry>,
     bloom: Bloom,
+    ctx: TableCtx,
+    /// Cache-unique id, assigned at open when a cache is attached. Ids
+    /// are never reused, so stale entries can never alias a new table.
+    cache_id: Option<u64>,
 }
 
 impl Table {
-    /// Open and validate an existing table file.
+    /// Open and validate an existing table file (no block cache).
     pub fn open(vfs: SharedVfs, path: &str) -> Result<Table> {
+        Table::open_with(vfs, path, TableCtx::default())
+    }
+
+    /// Open and validate an existing table file under `ctx`.
+    pub fn open_with(vfs: SharedVfs, path: &str, ctx: TableCtx) -> Result<Table> {
         let file = vfs.open(path)?;
         let file_bytes = file.len()?;
         if file_bytes < 16 {
@@ -297,12 +339,15 @@ impl Table {
         let bloom_body = read_chunk(file.as_ref(), bloom_off, bloom_len, path)?;
         let bloom = Bloom::decode(&mut bloom_body.as_slice())?;
 
+        let cache_id = ctx.cache.as_ref().map(|c| c.register_table());
         Ok(Table {
             vfs,
             path: path.to_string(),
             meta: TableMeta { min_key, max_key, min_lsn, max_lsn, max_ts, row_count, file_bytes },
             index,
             bloom,
+            ctx,
+            cache_id,
         })
     }
 
@@ -316,25 +361,55 @@ impl Table {
         &self.path
     }
 
+    /// Whether `key` falls inside this table's `[min_key, max_key]` span.
+    pub fn span_contains(&self, key: &Key) -> bool {
+        key >= &self.meta.min_key && key <= &self.meta.max_key
+    }
+
+    /// Probe the bloom filter alone (no IO). False positives possible,
+    /// false negatives impossible. Callers that track bloom efficacy
+    /// pair this with [`Table::get_unfiltered`].
+    pub fn bloom_may_contain(&self, key: &Key) -> bool {
+        self.bloom.may_contain(key.as_bytes())
+    }
+
     /// Point lookup: the stored fragment of `key`'s row.
     pub fn get(&self, key: &Key) -> Result<Option<Row>> {
-        if key < &self.meta.min_key || key > &self.meta.max_key {
+        if !self.span_contains(key) {
             return Ok(None);
         }
         if !self.bloom.may_contain(key.as_bytes()) {
             return Ok(None);
         }
+        self.get_unfiltered(key)
+    }
+
+    /// Point lookup **without** the span/bloom pre-checks — the block
+    /// index is consulted directly. Callers (the store's read path) do
+    /// the span and bloom checks themselves so they can count skips and
+    /// bloom true/false positives.
+    pub fn get_unfiltered(&self, key: &Key) -> Result<Option<Row>> {
         // Last block whose first key <= key.
         let block_idx = match self.index.partition_point(|e| e.first_key <= *key) {
             0 => return Ok(None),
             n => n - 1,
         };
         let entries = self.read_block(block_idx)?;
-        Ok(entries.into_iter().find(|(k, _)| k == key).map(|(_, row)| row))
+        Ok(entries.iter().find(|(k, _)| k == key).map(|(_, row)| row.clone()))
     }
 
-    fn read_block(&self, idx: usize) -> Result<Vec<(Key, Row)>> {
+    /// Read (or fetch from the block cache) the decoded data block at
+    /// index position `idx`.
+    fn read_block(&self, idx: usize) -> Result<CachedBlock> {
         let e = &self.index[idx];
+        if let (Some(cache), Some(id)) = (self.ctx.cache.as_ref(), self.cache_id) {
+            if let Some(rows) = cache.get(id, e.offset) {
+                self.ctx.metrics.hit();
+                return Ok(rows);
+            }
+            self.ctx.metrics.miss();
+        }
+        self.ctx.metrics.block_read();
         let file = self.vfs.open(&self.path)?;
         let body = read_chunk(file.as_ref(), e.offset, e.len, &self.path)?;
         let mut cur: &[u8] = &body;
@@ -344,12 +419,17 @@ impl Table {
             let row = Row::decode(&mut cur)?;
             out.push((key, row));
         }
-        Ok(out)
+        let rows: CachedBlock = Arc::new(out);
+        if let (Some(cache), Some(id)) = (self.ctx.cache.as_ref(), self.cache_id) {
+            // Charge the on-disk chunk size: it is what a miss costs.
+            cache.insert(id, e.offset, rows.clone(), u64::from(e.len));
+        }
+        Ok(rows)
     }
 
     /// Iterate every row in key order.
     pub fn iter(&self) -> TableIter<'_> {
-        TableIter { table: self, block: 0, entries: Vec::new(), pos: 0 }
+        TableIter { table: self, block: 0, entries: Arc::new(Vec::new()), pos: 0 }
     }
 
     /// Iterate rows in key order starting at the first key `>= start`,
@@ -366,7 +446,7 @@ impl Table {
             0 => 0,
             n => n - 1,
         };
-        let mut it = TableIter { table: self, block, entries: Vec::new(), pos: 0 };
+        let mut it = TableIter { table: self, block, entries: Arc::new(Vec::new()), pos: 0 };
         it.skip_below(start);
         it
     }
@@ -386,9 +466,19 @@ impl Table {
         Ok(out)
     }
 
-    /// Delete the backing file.
+    /// Delete the backing file, evicting any cached blocks first so a
+    /// retired table's data can never be served again.
     pub fn delete(self) -> Result<()> {
+        if let (Some(cache), Some(id)) = (self.ctx.cache.as_ref(), self.cache_id) {
+            cache.evict_table(id);
+        }
         self.vfs.delete(&self.path)
+    }
+
+    /// The id this table is registered under in the block cache
+    /// (`None` when opened without a cache). Test/debug introspection.
+    pub fn cache_id(&self) -> Option<u64> {
+        self.cache_id
     }
 }
 
@@ -430,7 +520,7 @@ fn read_chunk(
 pub struct TableIter<'a> {
     table: &'a Table,
     block: usize,
-    entries: Vec<(Key, Row)>,
+    entries: CachedBlock,
     pos: usize,
 }
 

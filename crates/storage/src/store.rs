@@ -1,4 +1,4 @@
-//! The per-key-range LSM store: memtable + SSTables + compaction.
+//! The per-key-range LSM store: memtable + leveled SSTables + compaction.
 //!
 //! Each Spinnaker node hosts one [`RangeStore`] per cohort it participates
 //! in (three by default). The store handles:
@@ -7,19 +7,45 @@
 //! * flushing the memtable to LSN-tagged SSTables (which advances the WAL
 //!   checkpoint — the caller wires that up),
 //! * merged reads across memtable + tables (newest version per column),
-//! * size-tiered compaction that garbage-collects superseded versions and,
-//!   on full merges, tombstones (paper §4.1: "in the background, smaller
-//!   SSTables are merged into larger ones"),
+//! * **leveled compaction**: flushes land in an L0 tier (overlapping,
+//!   newest first) feeding size-ratio levels L1..Ln whose tables are
+//!   non-overlapping within a level, each level's capacity growing by a
+//!   configurable fanout. Compaction garbage-collects superseded versions
+//!   at the MVCC GC floor and, when the output is the deepest populated
+//!   level, tombstones (paper §4.1: "in the background, smaller SSTables
+//!   are merged into larger ones"),
 //! * `rows_since` — the SSTable-backed catch-up feed used by recovery when
 //!   the leader's log has rolled over (§6.1).
+//!
+//! Point reads probe each L0 table (span check, then bloom) but
+//! binary-search the **single** candidate table per deeper level, so read
+//! amplification is O(L0 + depth) instead of O(total tables). Deeper
+//! levels get tighter bloom budgets (more bits per key), and all block
+//! reads flow through the optional shared [`crate::BlockCache`].
+//!
+//! The pre-leveling flat set (size-tiered, fanin-4) survives behind
+//! `StoreOptions::leveled = false` — the equivalence oracle for tests and
+//! the baseline for the fig22 benchmark.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use spinnaker_common::codec::{self, Decode, Encode};
 use spinnaker_common::vfs::SharedVfs;
-use spinnaker_common::{Key, Lsn, Result, Row, Timestamp, WriteOp};
+use spinnaker_common::{Error, Key, Lsn, Result, Row, Timestamp, WriteOp};
 
+use crate::cache::{CacheMetrics, SharedBlockCache};
 use crate::memtable::Memtable;
 use crate::merge::{vec_stream, MergeIter, RowStream};
-use crate::sstable::{Table, TableBuilder, TableOptions};
+use crate::sstable::{Table, TableBuilder, TableCtx, TableOptions};
+
+/// `"SPINMF02"` little-endian: the v2 (leveled) manifest magic. A v1
+/// manifest starts with its `next_id` field instead, which can never
+/// collide with this value in practice.
+const MANIFEST_MAGIC: u64 = 0x3230_464d_4e49_5053;
+
+/// Deepest level a manifest may assign (a sanity bound on decode).
+const MAX_LEVEL: u64 = 62;
 
 /// Store tuning knobs.
 #[derive(Clone, Debug)]
@@ -28,10 +54,30 @@ pub struct StoreOptions {
     pub dir: String,
     /// Flush the memtable once it exceeds this size.
     pub memtable_flush_bytes: usize,
-    /// SSTable block/bloom parameters.
+    /// SSTable block/bloom parameters (the bloom budget is the L0
+    /// baseline; deeper levels add `bloom_bits_step_per_level`).
     pub table: TableOptions,
-    /// Trigger compaction when a size tier accumulates this many tables.
+    /// Leveled mode: compact L0 once it holds this many tables. Flat
+    /// mode: merge a size tier once it accumulates this many tables.
     pub compaction_fanin: usize,
+    /// Leveled compaction on (the default). `false` restores the
+    /// pre-leveling flat set: one overlapping tier, size-tiered merges.
+    pub leveled: bool,
+    /// Capacity ratio between consecutive levels (L(n+1) = fanout * Ln).
+    pub level_fanout: u64,
+    /// L1 capacity in bytes; level n holds `base * fanout^(n-1)`.
+    pub level_base_bytes: u64,
+    /// Target size for individual tables written by leveled compaction
+    /// (a level is a sorted run of tables about this big).
+    pub level_table_target_bytes: u64,
+    /// Extra bloom bits per key granted per level of depth — deeper
+    /// levels hold more data and absorb more probes, so their filters
+    /// get tighter false-positive budgets.
+    pub bloom_bits_step_per_level: usize,
+    /// Upper bound on the per-level bloom budget.
+    pub bloom_bits_max: usize,
+    /// Shared block cache for decoded data blocks (`None` = none).
+    pub cache: Option<SharedBlockCache>,
 }
 
 impl Default for StoreOptions {
@@ -41,6 +87,13 @@ impl Default for StoreOptions {
             memtable_flush_bytes: 4 << 20,
             table: TableOptions::default(),
             compaction_fanin: 4,
+            leveled: true,
+            level_fanout: 4,
+            level_base_bytes: 4 << 20,
+            level_table_target_bytes: 1 << 20,
+            bloom_bits_step_per_level: 2,
+            bloom_bits_max: 16,
+            cache: None,
         }
     }
 }
@@ -51,12 +104,18 @@ impl Default for StoreOptions {
 pub type ScanPage = (Vec<(Key, Row)>, Option<Key>);
 
 /// A consistent full-store snapshot, streamed to a node joining a cohort
-/// (replica movement): raw SSTable file images (newest first, matching the
-/// exporter's table order) plus unflushed memtable rows.
+/// (replica movement): raw SSTable file images (L0 newest first, then
+/// deeper levels in key order, matching the exporter's placement) plus
+/// unflushed memtable rows.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StoreSnapshot {
-    /// Raw SSTable file contents, newest first.
+    /// Raw SSTable file contents (L0 newest first, then L1.., matching
+    /// `levels`).
     pub tables: Vec<Vec<u8>>,
+    /// Level assignment for each entry of `tables` (parallel array), so
+    /// the importer reproduces the exporter's leveled placement instead
+    /// of flattening everything into L0.
+    pub levels: Vec<u32>,
     /// Memtable row fragments (versions embedded).
     pub mem_rows: Vec<(Key, Row)>,
     /// Highest LSN captured anywhere in the snapshot.
@@ -75,9 +134,51 @@ impl StoreSnapshot {
     }
 }
 
+/// Read/compaction observables for one store, surfaced through the
+/// node's store-stats path (the same feed auto-reshard samples).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live tables per level, L0 first (trailing empty levels trimmed).
+    pub tables_per_level: Vec<usize>,
+    /// Point lookups served.
+    pub point_gets: u64,
+    /// Table probes skipped because the key fell outside the table's
+    /// `[min_key, max_key]` span (no bloom work, no IO).
+    pub span_skips: u64,
+    /// Table probes rejected by the bloom filter (no IO).
+    pub bloom_negatives: u64,
+    /// Bloom passes where the key was present (useful IO).
+    pub bloom_true_positives: u64,
+    /// Bloom passes where the key was absent (wasted IO — the filter's
+    /// false-positive cost).
+    pub bloom_false_positives: u64,
+    /// Compactions run.
+    pub compactions: u64,
+    /// Total input bytes consumed by compactions.
+    pub bytes_compacted: u64,
+    /// Block-cache hits attributed to this store's tables.
+    pub cache_hits: u64,
+    /// Block-cache misses attributed to this store's tables.
+    pub cache_misses: u64,
+    /// Blocks actually read and decoded through the VFS.
+    pub block_reads: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    point_gets: AtomicU64,
+    span_skips: AtomicU64,
+    bloom_negatives: AtomicU64,
+    bloom_true_positives: AtomicU64,
+    bloom_false_positives: AtomicU64,
+    compactions: AtomicU64,
+    bytes_compacted: AtomicU64,
+}
+
 struct Manifest {
-    /// Live table ids, newest first.
-    tables: Vec<u64>,
+    /// `(table id, level)` pairs in placement order: L0 entries newest
+    /// first, deeper levels in key order.
+    tables: Vec<(u64, u32)>,
     next_id: u64,
     /// The MVCC garbage-collection floor (see [`RangeStore::set_gc_floor`]).
     /// Persisted so that a store whose tables were pruned at some floor
@@ -89,38 +190,100 @@ struct Manifest {
 
 impl Encode for Manifest {
     fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, MANIFEST_MAGIC);
         codec::put_u64(buf, self.next_id);
         codec::put_u64(buf, self.gc_floor);
         codec::put_varint(buf, self.tables.len() as u64);
-        for id in &self.tables {
+        for (id, level) in &self.tables {
             codec::put_u64(buf, *id);
+            codec::put_varint(buf, u64::from(*level));
         }
     }
 }
 
 impl Decode for Manifest {
     fn decode(buf: &mut &[u8]) -> Result<Manifest> {
+        let first = codec::get_u64(buf)?;
+        if first != MANIFEST_MAGIC {
+            // v1 (pre-leveling) manifest: `first` is its `next_id`, the
+            // table list is bare ids, newest first. Assigning them all to
+            // L0 reproduces the flat set's semantics exactly; the next
+            // compactions migrate them down the ladder.
+            let gc_floor = codec::get_u64(buf)?;
+            let n = codec::get_varint_len(buf, "manifest tables", 8)?;
+            let mut tables = Vec::with_capacity(n);
+            for _ in 0..n {
+                tables.push((codec::get_u64(buf)?, 0));
+            }
+            return Ok(Manifest { tables, next_id: first, gc_floor });
+        }
         let next_id = codec::get_u64(buf)?;
         let gc_floor = codec::get_u64(buf)?;
-        // Each table id is 8 bytes; a corrupt count fails here as a
-        // typed codec error instead of driving a huge allocation.
-        let n = codec::get_varint_len(buf, "manifest tables", 8)?;
+        // Each entry is an 8-byte id plus a >=1-byte level varint; a
+        // corrupt count fails here instead of driving a huge allocation.
+        let n = codec::get_varint_len(buf, "manifest tables", 9)?;
         let mut tables = Vec::with_capacity(n);
         for _ in 0..n {
-            tables.push(codec::get_u64(buf)?);
+            let id = codec::get_u64(buf)?;
+            let level = codec::get_varint(buf)?;
+            if level > MAX_LEVEL {
+                return Err(Error::Corruption(format!("implausible manifest level {level}")));
+            }
+            let level = u32::try_from(level)
+                .map_err(|_| Error::Corruption(format!("implausible manifest level {level}")))?;
+            tables.push((id, level));
         }
         Ok(Manifest { tables, next_id, gc_floor })
     }
 }
 
-/// An LSM store for one replicated key range.
+/// One open table plus its manifest id.
+struct Slot {
+    id: u64,
+    table: Table,
+}
+
+fn min_key(slot: &Slot) -> &Key {
+    &slot.table.meta().min_key
+}
+
+fn max_key(slot: &Slot) -> &Key {
+    &slot.table.meta().max_key
+}
+
+fn sort_level(level: &mut [Slot]) {
+    level.sort_by(|a, b| min_key(a).cmp(min_key(b)));
+}
+
+/// Which inputs a compaction consumes and where the output lands.
+struct CompactionPlan {
+    /// Manifest ids of every input table.
+    input_ids: Vec<u64>,
+    /// Output position as a `deeper` index (0 = L1).
+    out_deeper: usize,
+    /// Whether pruned tombstones may be dropped: true only when nothing
+    /// deeper than the output level holds data, so no older version
+    /// outside the merge can resurrect a deleted column.
+    drop_tombstones: bool,
+}
+
+/// A leveled LSM store for one replicated key range.
 pub struct RangeStore {
     vfs: SharedVfs,
     opts: StoreOptions,
     memtable: Memtable,
-    /// Open tables, newest first (matching `manifest.tables`).
-    tables: Vec<Table>,
-    manifest: Manifest,
+    /// L0: overlapping flush tier, newest first.
+    l0: Vec<Slot>,
+    /// `deeper[k]` is level k+1: tables non-overlapping, in key order.
+    deeper: Vec<Vec<Slot>>,
+    next_id: u64,
+    gc_floor: Timestamp,
+    /// Per-`deeper`-level round-robin compaction cursors: the max key of
+    /// the last table compacted out of the level, so picking rotates
+    /// through the key space instead of starving its tail.
+    cursors: Vec<Key>,
+    ctx: TableCtx,
+    stats: StatsInner,
 }
 
 impl RangeStore {
@@ -132,7 +295,9 @@ impl RangeStore {
         format!("{dir}/sst-{id:010}")
     }
 
-    /// Open the store, loading tables listed in the manifest.
+    /// Open the store, loading tables listed in the manifest. Level
+    /// assignments are restored from a v2 manifest; a v1 manifest (the
+    /// pre-leveling flat set) upgrades compatibly with every table in L0.
     pub fn open(vfs: SharedVfs, opts: StoreOptions) -> Result<RangeStore> {
         let mpath = Self::manifest_path(&opts.dir);
         let manifest = if vfs.exists(&mpath)? {
@@ -141,15 +306,72 @@ impl RangeStore {
         } else {
             Manifest { tables: Vec::new(), next_id: 1, gc_floor: Timestamp::MAX }
         };
-        let mut tables = Vec::with_capacity(manifest.tables.len());
-        for &id in &manifest.tables {
-            tables.push(Table::open(vfs.clone(), &Self::table_path(&opts.dir, id))?);
+        let ctx =
+            TableCtx { cache: opts.cache.clone(), metrics: Arc::new(CacheMetrics::default()) };
+        let mut l0: Vec<Slot> = Vec::new();
+        let mut deeper: Vec<Vec<Slot>> = Vec::new();
+        for &(id, level) in &manifest.tables {
+            let table =
+                Table::open_with(vfs.clone(), &Self::table_path(&opts.dir, id), ctx.clone())?;
+            let slot = Slot { id, table };
+            // Flat mode ignores levels: everything lives in the one tier.
+            if level == 0 || !opts.leveled {
+                l0.push(slot);
+            } else {
+                let k = level as usize - 1;
+                while deeper.len() <= k {
+                    deeper.push(Vec::new());
+                }
+                deeper[k].push(slot);
+            }
         }
-        Ok(RangeStore { vfs, opts, memtable: Memtable::new(), tables, manifest })
+        // Restore each level's key order, then self-heal: a table that
+        // overlaps its level peers (a manifest from a torn upgrade or a
+        // bit flip that survived decode) is demoted to L0, where overlap
+        // is legal. Reads are version-driven, so placement is a pure
+        // performance property — demotion can never change results.
+        for level in &mut deeper {
+            sort_level(level);
+            let mut i = 1;
+            while i < level.len() {
+                if min_key(&level[i]) <= max_key(&level[i - 1]) {
+                    let slot = level.remove(i);
+                    l0.push(slot);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Ok(RangeStore {
+            vfs,
+            opts,
+            memtable: Memtable::new(),
+            l0,
+            deeper,
+            next_id: manifest.next_id,
+            gc_floor: manifest.gc_floor,
+            cursors: Vec::new(),
+            ctx,
+            stats: StatsInner::default(),
+        })
+    }
+
+    fn manifest(&self) -> Manifest {
+        let mut tables = Vec::with_capacity(self.table_count());
+        for s in &self.l0 {
+            tables.push((s.id, 0));
+        }
+        for (k, level) in self.deeper.iter().enumerate() {
+            for s in level {
+                tables.push((s.id, k as u32 + 1));
+            }
+        }
+        Manifest { tables, next_id: self.next_id, gc_floor: self.gc_floor }
     }
 
     fn save_manifest(&self) -> Result<()> {
-        self.vfs.write_atomic(&Self::manifest_path(&self.opts.dir), &self.manifest.encode_to_vec())
+        self.vfs
+            .write_atomic(&Self::manifest_path(&self.opts.dir), &self.manifest().encode_to_vec())
     }
 
     /// Apply a committed write at `lsn` (idempotent under replay).
@@ -162,18 +384,48 @@ impl RangeStore {
         self.memtable.merge_row(key, fragment);
     }
 
-    /// Merged read of a whole row (tombstones retained; callers filter).
-    pub fn get(&self, key: &Key) -> Result<Option<Row>> {
-        let mut merged: Option<Row> = None;
-        if let Some(frag) = self.memtable.get(key) {
-            merged = Some(frag.clone());
+    /// Probe one table for `key`, folding any fragment into `merged` and
+    /// crediting the span/bloom statistics.
+    fn probe(&self, slot: &Slot, key: &Key, merged: &mut Option<Row>) -> Result<()> {
+        if !slot.table.span_contains(key) {
+            self.stats.span_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
         }
-        for table in &self.tables {
-            if let Some(frag) = table.get(key)? {
+        if !slot.table.bloom_may_contain(key) {
+            self.stats.bloom_negatives.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        match slot.table.get_unfiltered(key)? {
+            Some(frag) => {
+                self.stats.bloom_true_positives.fetch_add(1, Ordering::Relaxed);
                 match merged.as_mut() {
                     Some(row) => row.merge_newer(&frag),
-                    None => merged = Some(frag),
+                    None => *merged = Some(frag),
                 }
+            }
+            None => {
+                self.stats.bloom_false_positives.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merged read of a whole row (tombstones retained; callers filter).
+    /// Every L0 table is span/bloom-probed; each deeper level contributes
+    /// at most the **one** table whose span can contain the key, found by
+    /// binary search — the leveled read-amplification win.
+    pub fn get(&self, key: &Key) -> Result<Option<Row>> {
+        self.stats.point_gets.fetch_add(1, Ordering::Relaxed);
+        let mut merged: Option<Row> = self.memtable.get(key).cloned();
+        for slot in &self.l0 {
+            self.probe(slot, key, &mut merged)?;
+        }
+        for level in &self.deeper {
+            // Last table whose min_key <= key is the only candidate in a
+            // non-overlapping, key-ordered level.
+            let i = level.partition_point(|s| min_key(s) <= key);
+            if i > 0 {
+                self.probe(&level[i - 1], key, &mut merged)?;
             }
         }
         Ok(merged)
@@ -214,8 +466,8 @@ impl RangeStore {
         if floor == Timestamp::MAX {
             return;
         }
-        if self.manifest.gc_floor == Timestamp::MAX || floor > self.manifest.gc_floor {
-            self.manifest.gc_floor = floor;
+        if self.gc_floor == Timestamp::MAX || floor > self.gc_floor {
+            self.gc_floor = floor;
         }
     }
 
@@ -223,7 +475,11 @@ impl RangeStore {
     /// armed: no version has ever been pruned, every timestamp is
     /// servable).
     pub fn gc_floor(&self) -> Timestamp {
-        self.manifest.gc_floor
+        self.gc_floor
+    }
+
+    fn all_slots(&self) -> impl Iterator<Item = &Slot> {
+        self.l0.iter().chain(self.deeper.iter().flatten())
     }
 
     /// Highest commit timestamp stored anywhere (memtable + SSTables):
@@ -231,8 +487,8 @@ impl RangeStore {
     /// it the replica's snapshot-read safe point.
     pub fn max_ts(&self) -> Timestamp {
         let mut max = self.memtable.max_ts();
-        for t in &self.tables {
-            max = max.max(t.meta().max_ts);
+        for s in self.all_slots() {
+            max = max.max(s.table.meta().max_ts);
         }
         max
     }
@@ -242,7 +498,54 @@ impl RangeStore {
         self.memtable.approx_bytes() >= self.opts.memtable_flush_bytes
     }
 
-    /// Flush the memtable into a new SSTable. Returns the highest LSN
+    /// Bloom/block options for a table written at `level`: deeper levels
+    /// get progressively tighter false-positive budgets.
+    fn table_opts(&self, level: u32) -> TableOptions {
+        let mut t = self.opts.table.clone();
+        let ceiling = self.opts.bloom_bits_max.max(t.bloom_bits_per_key);
+        let extra = (level as usize).saturating_mul(self.opts.bloom_bits_step_per_level);
+        t.bloom_bits_per_key = t.bloom_bits_per_key.saturating_add(extra).min(ceiling);
+        t
+    }
+
+    /// Build one table at `level` from already-sorted rows.
+    fn build_table(&mut self, rows: &[(Key, Row)], level: u32) -> Result<Slot> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let path = Self::table_path(&self.opts.dir, id);
+        let mut builder = TableBuilder::new_with(
+            self.vfs.clone(),
+            &path,
+            self.table_opts(level),
+            self.ctx.clone(),
+        )?;
+        for (key, row) in rows {
+            builder.add(key, row)?;
+        }
+        Ok(Slot { id, table: builder.finish()? })
+    }
+
+    /// Build a sorted run at `level`: the rows split into tables of
+    /// roughly `level_table_target_bytes` each. Key-ordered input makes
+    /// the output tables non-overlapping by construction.
+    fn build_run(&mut self, rows: &[(Key, Row)], level: u32) -> Result<Vec<Slot>> {
+        let target =
+            usize::try_from(self.opts.level_table_target_bytes).unwrap_or(usize::MAX).max(1);
+        let mut out = Vec::new();
+        let mut start = 0;
+        let mut acc = 0usize;
+        for i in 0..rows.len() {
+            acc = acc.saturating_add(rows[i].0.len() + rows[i].1.approx_size());
+            if acc >= target || i + 1 == rows.len() {
+                out.push(self.build_table(&rows[start..=i], level)?);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flush the memtable into a new L0 SSTable. Returns the highest LSN
     /// captured (the caller advances the WAL checkpoint to it), or `None`
     /// when the memtable was empty.
     pub fn flush(&mut self) -> Result<Option<Lsn>> {
@@ -251,39 +554,191 @@ impl RangeStore {
         }
         let max_lsn = self.memtable.max_lsn();
         let rows = self.memtable.take_sorted();
-        let id = self.manifest.next_id;
-        self.manifest.next_id += 1;
-        let path = Self::table_path(&self.opts.dir, id);
-        let mut builder = TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
-        for (key, row) in &rows {
-            builder.add(key, row)?;
-        }
-        let table = builder.finish()?;
-        self.tables.insert(0, table);
-        self.manifest.tables.insert(0, id);
+        let slot = self.build_table(&rows, 0)?;
+        self.l0.insert(0, slot);
         self.save_manifest()?;
         Ok(Some(max_lsn))
     }
 
-    /// Size-tiered compaction: when enough similarly-sized tables
-    /// accumulate, merge them into one. Returns `true` when a compaction
-    /// ran. Tombstones are garbage-collected only when *all* tables take
-    /// part (nothing older can resurrect the deleted column).
+    /// Capacity of `deeper[k]` (level k+1): `level_base_bytes * fanout^k`.
+    fn level_capacity(&self, k: usize) -> u64 {
+        let fanout = self.opts.level_fanout.max(2);
+        let mut cap = self.opts.level_base_bytes.max(1);
+        for _ in 0..k {
+            cap = cap.saturating_mul(fanout);
+        }
+        cap
+    }
+
+    fn level_bytes(&self, k: usize) -> u64 {
+        self.deeper[k].iter().map(|s| s.table.meta().file_bytes).sum()
+    }
+
+    /// Run at most one compaction if one is due. Returns `true` when a
+    /// compaction ran.
+    ///
+    /// Leveled mode: when L0 has accumulated `compaction_fanin` tables,
+    /// all of L0 plus every overlapping L1 table merges into L1;
+    /// otherwise the shallowest over-capacity level contributes one
+    /// table (round-robin through its key space) plus the overlapping
+    /// next-level tables. Flat mode: the seed size-tiered heuristic.
     pub fn maybe_compact(&mut self) -> Result<bool> {
+        if !self.opts.leveled {
+            return self.maybe_compact_flat();
+        }
+        let fanin = self.opts.compaction_fanin.max(1);
+        if self.l0.len() >= fanin {
+            let plan = self.plan_l0();
+            self.run_compaction(plan)?;
+            return Ok(true);
+        }
+        for k in 0..self.deeper.len() {
+            if !self.deeper[k].is_empty() && self.level_bytes(k) > self.level_capacity(k) {
+                let plan = self.plan_level(k);
+                self.run_compaction(plan)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Plan the L0 -> L1 compaction: every L0 table plus every L1 table
+    /// overlapping L0's combined span.
+    fn plan_l0(&self) -> CompactionPlan {
+        let mut input_ids: Vec<u64> = self.l0.iter().map(|s| s.id).collect();
+        let span_min = self.l0.iter().map(min_key).min().cloned();
+        let span_max = self.l0.iter().map(max_key).max().cloned();
+        if let (Some(min), Some(max), Some(l1)) = (span_min, span_max, self.deeper.first()) {
+            for s in l1 {
+                if min_key(s) <= &max && max_key(s) >= &min {
+                    input_ids.push(s.id);
+                }
+            }
+        }
+        let drop_tombstones = self.deeper.iter().skip(1).all(Vec::is_empty);
+        CompactionPlan { input_ids, out_deeper: 0, drop_tombstones }
+    }
+
+    /// Plan one level-k+1 -> level-k+2 compaction: the cursor-picked
+    /// table of `deeper[k]` plus the overlapping `deeper[k+1]` tables.
+    fn plan_level(&mut self, k: usize) -> CompactionPlan {
+        while self.cursors.len() <= k {
+            self.cursors.push(Key::default());
+        }
+        let cursor = self.cursors[k].clone();
+        let pick = self.deeper[k].iter().position(|s| min_key(s) > &cursor).unwrap_or(0);
+        let picked = &self.deeper[k][pick];
+        self.cursors[k] = max_key(picked).clone();
+        let (min, max) = (min_key(picked).clone(), max_key(picked).clone());
+        let mut input_ids = vec![picked.id];
+        if let Some(next) = self.deeper.get(k + 1) {
+            for s in next {
+                if min_key(s) <= &max && max_key(s) >= &min {
+                    input_ids.push(s.id);
+                }
+            }
+        }
+        let drop_tombstones = self.deeper.iter().skip(k + 2).all(Vec::is_empty);
+        CompactionPlan { input_ids, out_deeper: k + 1, drop_tombstones }
+    }
+
+    fn find_table(&self, id: u64) -> Option<&Table> {
+        self.all_slots().find(|s| s.id == id).map(|s| &s.table)
+    }
+
+    /// Execute a compaction plan: merge the inputs (pruning versions at
+    /// the GC floor), write the output run, swap it into the level
+    /// structure, persist the manifest, and only then delete the input
+    /// files. A crash between manifest write and deletion leaks input
+    /// files (harmless: ids are never re-listed and `create` truncates
+    /// on reuse); a crash before the manifest write leaves the old,
+    /// fully consistent level assignment in force.
+    fn run_compaction(&mut self, plan: CompactionPlan) -> Result<()> {
+        let floor = self.gc_floor;
+        let (rows, in_bytes) = {
+            let inputs: Vec<&Table> =
+                plan.input_ids.iter().filter_map(|&id| self.find_table(id)).collect();
+            let in_bytes: u64 = inputs.iter().map(|t| t.meta().file_bytes).sum();
+            let streams: Vec<RowStream<'_>> =
+                inputs.iter().map(|t| Box::new(t.iter()) as RowStream<'_>).collect();
+            let mut rows: Vec<(Key, Row)> = Vec::new();
+            for item in MergeIter::new(streams)? {
+                let (key, row) = item?;
+                // MVCC garbage collection rides compaction: superseded
+                // versions at or below the snapshot floor are dropped (the
+                // newest at-or-below survives for floor-pinned readers),
+                // and tombstones below the floor are dropped only when the
+                // output is the deepest populated level, where nothing
+                // older survives to resurrect.
+                let row = row.prune(floor, plan.drop_tombstones);
+                if !row.is_empty() {
+                    rows.push((key, row));
+                }
+            }
+            (rows, in_bytes)
+        };
+        while self.deeper.len() <= plan.out_deeper {
+            self.deeper.push(Vec::new());
+        }
+        let mut made = self.build_run(&rows, plan.out_deeper as u32 + 1)?;
+        let mut removed = Vec::new();
+        for id in &plan.input_ids {
+            if let Some(pos) = self.l0.iter().position(|s| s.id == *id) {
+                removed.push(self.l0.remove(pos));
+                continue;
+            }
+            for level in &mut self.deeper {
+                if let Some(pos) = level.iter().position(|s| s.id == *id) {
+                    removed.push(level.remove(pos));
+                    break;
+                }
+            }
+        }
+        self.deeper[plan.out_deeper].append(&mut made);
+        sort_level(&mut self.deeper[plan.out_deeper]);
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_compacted.fetch_add(in_bytes, Ordering::Relaxed);
+        self.save_manifest()?;
+        for s in removed {
+            s.table.delete()?;
+        }
+        Ok(())
+    }
+
+    /// Merge every table into the deepest populated level (dropping
+    /// tombstones — nothing older can survive a total merge). Used by
+    /// tests and by the catch-up path to bound the number of tables.
+    pub fn compact_all(&mut self) -> Result<()> {
+        if self.table_count() < 2 {
+            return Ok(());
+        }
+        if !self.opts.leveled {
+            let all: Vec<usize> = (0..self.l0.len()).collect();
+            return self.compact_flat_indexes(&all, true);
+        }
+        let out_deeper = self.deeper.iter().rposition(|l| !l.is_empty()).unwrap_or(0);
+        let input_ids = self.all_slots().map(|s| s.id).collect();
+        self.run_compaction(CompactionPlan { input_ids, out_deeper, drop_tombstones: true })
+    }
+
+    /// Flat-mode (pre-leveling) compaction: when enough similarly-sized
+    /// tables accumulate, merge them into one. Tombstones are dropped
+    /// only when *all* tables take part.
+    fn maybe_compact_flat(&mut self) -> Result<bool> {
         let fanin = self.opts.compaction_fanin;
-        if self.tables.len() < fanin {
+        if fanin == 0 || self.l0.len() < fanin {
             return Ok(false);
         }
         // Order candidate indexes by file size ascending; pick the first
         // tier: the `fanin` smallest tables where the largest is within 4x
         // of the smallest (size-tiered heuristic).
-        let mut by_size: Vec<usize> = (0..self.tables.len()).collect();
-        by_size.sort_by_key(|&i| self.tables[i].meta().file_bytes);
+        let mut by_size: Vec<usize> = (0..self.l0.len()).collect();
+        by_size.sort_by_key(|&i| self.l0[i].table.meta().file_bytes);
         let group: Vec<usize> = by_size
             .windows(fanin)
             .find(|w| {
-                let lo = self.tables[w[0]].meta().file_bytes;
-                let hi = self.tables[w[fanin - 1]].meta().file_bytes;
+                let lo = self.l0[w[0]].table.meta().file_bytes;
+                let hi = self.l0[w[fanin - 1]].table.meta().file_bytes;
                 hi <= lo.saturating_mul(4).max(lo + (64 << 10))
             })
             .map(|w| w.to_vec())
@@ -291,52 +746,29 @@ impl RangeStore {
         if group.is_empty() {
             return Ok(false);
         }
-        let full_merge = group.len() == self.tables.len();
-        self.compact_indexes(&group, full_merge)?;
+        let full_merge = group.len() == self.l0.len();
+        self.compact_flat_indexes(&group, full_merge)?;
         Ok(true)
     }
 
-    /// Merge every table (and leave tombstone GC to the merge). Used by
-    /// tests and by the catch-up path to bound the number of tables.
-    pub fn compact_all(&mut self) -> Result<()> {
-        if self.tables.len() < 2 {
-            return Ok(());
-        }
-        let all: Vec<usize> = (0..self.tables.len()).collect();
-        self.compact_indexes(&all, true)
-    }
-
-    fn compact_indexes(&mut self, picked: &[usize], drop_tombstones: bool) -> Result<()> {
-        let floor = self.manifest.gc_floor;
-        let streams: Vec<RowStream<'_>> =
-            picked.iter().map(|&i| Box::new(self.tables[i].iter()) as RowStream<'_>).collect();
-        let mut out: Vec<(Key, Row)> = Vec::new();
-        for item in MergeIter::new(streams)? {
-            let (key, row) = item?;
-            // MVCC garbage collection rides compaction: superseded
-            // versions at or below the snapshot floor are dropped (the
-            // newest at-or-below survives for floor-pinned readers), and
-            // tombstones below the floor are dropped only on full merges
-            // (`drop_tombstones`), where nothing older can resurrect.
-            let row = row.prune(floor, drop_tombstones);
-            if !row.is_empty() {
-                out.push((key, row));
+    fn compact_flat_indexes(&mut self, picked: &[usize], drop_tombstones: bool) -> Result<()> {
+        let floor = self.gc_floor;
+        let (rows, in_bytes) = {
+            let inputs: Vec<&Table> = picked.iter().map(|&i| &self.l0[i].table).collect();
+            let in_bytes: u64 = inputs.iter().map(|t| t.meta().file_bytes).sum();
+            let streams: Vec<RowStream<'_>> =
+                inputs.iter().map(|t| Box::new(t.iter()) as RowStream<'_>).collect();
+            let mut rows: Vec<(Key, Row)> = Vec::new();
+            for item in MergeIter::new(streams)? {
+                let (key, row) = item?;
+                let row = row.prune(floor, drop_tombstones);
+                if !row.is_empty() {
+                    rows.push((key, row));
+                }
             }
-        }
-
-        let id = self.manifest.next_id;
-        self.manifest.next_id += 1;
-        let new_table = if out.is_empty() {
-            None
-        } else {
-            let path = Self::table_path(&self.opts.dir, id);
-            let mut builder = TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
-            for (key, row) in &out {
-                builder.add(key, row)?;
-            }
-            Some(builder.finish()?)
+            (rows, in_bytes)
         };
-
+        let new_slot = if rows.is_empty() { None } else { Some(self.build_table(&rows, 0)?) };
         // Replace the picked tables with the merged one, preserving overall
         // newest-first order: insert at the position of the newest input.
         let Some(&insert_at) = picked.iter().min() else {
@@ -346,16 +778,16 @@ impl RangeStore {
         picked_sorted.sort_unstable_by(|a, b| b.cmp(a));
         let mut removed = Vec::new();
         for i in picked_sorted {
-            removed.push(self.tables.remove(i));
-            self.manifest.tables.remove(i);
+            removed.push(self.l0.remove(i));
         }
-        if let Some(t) = new_table {
-            self.tables.insert(insert_at.min(self.tables.len()), t);
-            self.manifest.tables.insert(insert_at.min(self.manifest.tables.len()), id);
+        if let Some(slot) = new_slot {
+            self.l0.insert(insert_at.min(self.l0.len()), slot);
         }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_compacted.fetch_add(in_bytes, Ordering::Relaxed);
         self.save_manifest()?;
-        for t in removed {
-            t.delete()?;
+        for s in removed {
+            s.table.delete()?;
         }
         Ok(())
     }
@@ -371,9 +803,9 @@ impl RangeStore {
                 self.memtable.iter().map(|(k, r)| (k.clone(), r.clone())).collect();
             streams.push(vec_stream(rows));
         }
-        for table in &self.tables {
-            if table.meta().max_lsn > lsn {
-                streams.push(Box::new(table.iter()));
+        for slot in self.all_slots() {
+            if slot.table.meta().max_lsn > lsn {
+                streams.push(Box::new(slot.table.iter()));
             }
         }
         let mut out = Vec::new();
@@ -394,10 +826,12 @@ impl RangeStore {
 
     /// Fork the store at `at` into two children (dynamic range splitting):
     /// the memtable is cloned in halves, and every SSTable is assigned
-    /// wholly to one side when its key bounds allow — a cheap file copy —
-    /// or re-partitioned into per-side tables when it straddles the split
-    /// key. `self` is left untouched; the caller dissolves the parent once
-    /// both children are durable.
+    /// wholly to one side **at its own level** when its key bounds allow —
+    /// a cheap file copy — or re-partitioned into per-side tables (still
+    /// at its level) when it straddles the split key. Clipping preserves
+    /// each level's non-overlap, since each side receives a disjoint
+    /// sub-run. `self` is left untouched; the caller dissolves the parent
+    /// once both children are durable.
     pub fn split(
         &self,
         at: &Key,
@@ -408,24 +842,21 @@ impl RangeStore {
         let mut right = RangeStore::create(self.vfs.clone(), right_opts)?;
         // The children adopt tables pruned at the parent's floor; they
         // must not claim they can serve below it.
-        left.manifest.gc_floor = self.manifest.gc_floor;
-        right.manifest.gc_floor = self.manifest.gc_floor;
+        left.gc_floor = self.gc_floor;
+        right.gc_floor = self.gc_floor;
         for (key, row) in self.memtable.iter() {
             let side = if key < at { &mut left } else { &mut right };
             side.memtable.merge_row(key, row);
         }
-        // Oldest table first, inserting at the front, so each child ends
-        // newest-first like its parent (merges are version-driven, but the
-        // invariant keeps compaction heuristics honest).
-        for table in self.tables.iter().rev() {
-            let meta = table.meta();
-            if &meta.max_key < at {
-                left.adopt_table_file(table.path())?;
-            } else if &meta.min_key >= at {
-                right.adopt_table_file(table.path())?;
-            } else {
-                left.adopt_rows(table.scan(&Key::default(), Some(at))?)?;
-                right.adopt_rows(table.scan(at, None)?)?;
+        // L0 oldest first, inserting at the front, so each child's L0
+        // ends newest-first like its parent (merges are version-driven,
+        // but the invariant keeps compaction heuristics honest).
+        for slot in self.l0.iter().rev() {
+            Self::split_one(slot, at, 0, &mut left, &mut right)?;
+        }
+        for (k, level) in self.deeper.iter().enumerate() {
+            for slot in level {
+                Self::split_one(slot, at, k as u32 + 1, &mut left, &mut right)?;
             }
         }
         left.save_manifest()?;
@@ -433,11 +864,31 @@ impl RangeStore {
         Ok((left, right))
     }
 
+    fn split_one(
+        slot: &Slot,
+        at: &Key,
+        level: u32,
+        left: &mut RangeStore,
+        right: &mut RangeStore,
+    ) -> Result<()> {
+        let meta = slot.table.meta();
+        if &meta.max_key < at {
+            left.adopt_table_file(slot.table.path(), level)
+        } else if &meta.min_key >= at {
+            right.adopt_table_file(slot.table.path(), level)
+        } else {
+            left.adopt_rows(slot.table.scan(&Key::default(), Some(at))?, level)?;
+            right.adopt_rows(slot.table.scan(at, None)?, level)
+        }
+    }
+
     /// Extract the slice `[start, end)` into a fresh child store (the
     /// generic, bounds-driven fork used by table-only split recovery,
     /// where the exact split lineage may span several chained splits).
     /// Unlike [`RangeStore::split`] this always re-partitions rows; it is
-    /// the rare-path variant, so simplicity wins over file reuse.
+    /// the rare-path variant, so simplicity wins over file reuse. The
+    /// merged scan yields one sorted, duplicate-free run, which lands as
+    /// non-overlapping L1 tables.
     pub fn extract(
         &self,
         start: &Key,
@@ -445,8 +896,8 @@ impl RangeStore {
         opts: StoreOptions,
     ) -> Result<RangeStore> {
         let mut child = RangeStore::create(self.vfs.clone(), opts)?;
-        child.manifest.gc_floor = self.manifest.gc_floor;
-        child.adopt_rows(self.scan(start, end)?)?;
+        child.gc_floor = self.gc_floor;
+        child.adopt_rows(self.scan(start, end)?, 1)?;
         child.save_manifest()?;
         Ok(child)
     }
@@ -454,9 +905,11 @@ impl RangeStore {
     /// Merge two sibling stores with *disjoint* key spans into one child
     /// (dynamic range merging — the inverse of [`RangeStore::split`]).
     /// Because no key can live on both sides, every SSTable is adopted
-    /// wholesale as a cheap file copy and the memtables are unioned; no
-    /// row-level merge is ever needed. The parents are left untouched; the
-    /// caller dissolves them once the merged child is durable.
+    /// wholesale as a cheap file copy **at its own level** (disjoint
+    /// parents keep every level non-overlapping) and the memtables are
+    /// unioned; no row-level merge is ever needed. The parents are left
+    /// untouched; the caller dissolves them once the merged child is
+    /// durable.
     pub fn merge(left: &RangeStore, right: &RangeStore, opts: StoreOptions) -> Result<RangeStore> {
         let mut merged = RangeStore::create(left.vfs.clone(), opts)?;
         // Adopt the stricter of the parents' floors (MAX inputs are
@@ -464,11 +917,16 @@ impl RangeStore {
         merged.set_gc_floor(left.gc_floor());
         merged.set_gc_floor(right.gc_floor());
         for parent in [left, right] {
-            // Oldest first, inserting at the front, preserving each side's
-            // newest-first order (the sides are disjoint, so their relative
-            // interleaving carries no version semantics).
-            for table in parent.tables.iter().rev() {
-                merged.adopt_table_file(table.path())?;
+            // L0 oldest first, inserting at the front, preserving each
+            // side's newest-first order (the sides are disjoint, so their
+            // relative interleaving carries no version semantics).
+            for slot in parent.l0.iter().rev() {
+                merged.adopt_table_file(slot.table.path(), 0)?;
+            }
+            for (k, level) in parent.deeper.iter().enumerate() {
+                for slot in level {
+                    merged.adopt_table_file(slot.table.path(), k as u32 + 1)?;
+                }
             }
             for (key, row) in parent.memtable.iter() {
                 merged.memtable.merge_row(key, row);
@@ -479,44 +937,56 @@ impl RangeStore {
     }
 
     /// Export a consistent snapshot of the whole store: raw SSTable file
-    /// images plus the memtable rows that have not been flushed yet. Used
-    /// to stream a range's data to a node joining its cohort (replica
-    /// movement); everything the store holds at call time is captured, so
-    /// the snapshot is consistent up to [`RangeStore::max_lsn`].
+    /// images (with their level assignments) plus the memtable rows that
+    /// have not been flushed yet. Used to stream a range's data to a node
+    /// joining its cohort (replica movement); everything the store holds
+    /// at call time is captured, so the snapshot is consistent up to
+    /// [`RangeStore::max_lsn`].
     pub fn export_snapshot(&self) -> Result<StoreSnapshot> {
-        let mut tables = Vec::with_capacity(self.tables.len());
-        for table in &self.tables {
-            tables.push(self.vfs.read_all(table.path())?);
+        let mut tables = Vec::with_capacity(self.table_count());
+        let mut levels = Vec::with_capacity(self.table_count());
+        for slot in &self.l0 {
+            tables.push(self.vfs.read_all(slot.table.path())?);
+            levels.push(0);
+        }
+        for (k, level) in self.deeper.iter().enumerate() {
+            for slot in level {
+                tables.push(self.vfs.read_all(slot.table.path())?);
+                levels.push(k as u32 + 1);
+            }
         }
         let mem_rows: Vec<(Key, Row)> =
             self.memtable.iter().map(|(k, r)| (k.clone(), r.clone())).collect();
         Ok(StoreSnapshot {
             tables,
+            levels,
             mem_rows,
             max_lsn: self.max_lsn(),
-            gc_floor: self.manifest.gc_floor,
+            gc_floor: self.gc_floor,
         })
     }
 
     /// Import a snapshot into this (expected-fresh) store: the table
-    /// images are written and synced as local SSTables and the row
-    /// fragments land in the memtable. The caller flushes and advances its
-    /// WAL checkpoint to make the handoff durable.
+    /// images are written and synced as local SSTables at the exporter's
+    /// level assignments, and the row fragments land in the memtable. The
+    /// caller flushes and advances its WAL checkpoint to make the handoff
+    /// durable.
     pub fn import_snapshot(&mut self, snap: &StoreSnapshot) -> Result<()> {
         // The imported tables were pruned at the exporter's floor; adopt
         // it so this store never serves snapshot reads below it.
         self.set_gc_floor(snap.gc_floor);
-        // Oldest image first, inserting at the front, so this store ends
-        // newest-first exactly like the exporter.
-        for data in snap.tables.iter().rev() {
-            let id = self.manifest.next_id;
-            self.manifest.next_id += 1;
+        // Reverse order, inserting L0 images at the front, so this store's
+        // L0 ends newest-first exactly like the exporter's.
+        for i in (0..snap.tables.len()).rev() {
+            let level = snap.levels.get(i).copied().unwrap_or(0);
+            let id = self.next_id;
+            self.next_id += 1;
             let dst = Self::table_path(&self.opts.dir, id);
             let mut f = self.vfs.create(&dst)?;
-            f.append(data)?;
+            f.append(&snap.tables[i])?;
             f.sync()?;
-            self.tables.insert(0, Table::open(self.vfs.clone(), &dst)?);
-            self.manifest.tables.insert(0, id);
+            let table = Table::open_with(self.vfs.clone(), &dst, self.ctx.clone())?;
+            self.place(Slot { id, table }, level);
         }
         for (key, row) in &snap.mem_rows {
             self.memtable.merge_row(key, row);
@@ -535,45 +1005,71 @@ impl RangeStore {
     /// Open a store on a *fresh* manifest, ignoring any leftovers in the
     /// directory (e.g. from a fork that crashed before completing).
     fn create(vfs: SharedVfs, opts: StoreOptions) -> Result<RangeStore> {
+        let ctx =
+            TableCtx { cache: opts.cache.clone(), metrics: Arc::new(CacheMetrics::default()) };
         let store = RangeStore {
             vfs,
             opts,
             memtable: Memtable::new(),
-            tables: Vec::new(),
-            manifest: Manifest { tables: Vec::new(), next_id: 1, gc_floor: Timestamp::MAX },
+            l0: Vec::new(),
+            deeper: Vec::new(),
+            next_id: 1,
+            gc_floor: Timestamp::MAX,
+            cursors: Vec::new(),
+            ctx,
+            stats: StatsInner::default(),
         };
         store.save_manifest()?;
         Ok(store)
     }
 
-    /// Adopt a whole SSTable from another store by copying its file.
-    fn adopt_table_file(&mut self, src: &str) -> Result<()> {
-        let id = self.manifest.next_id;
-        self.manifest.next_id += 1;
+    /// Place an adopted slot at `level` (flat mode collapses everything
+    /// into the one overlapping tier). L0 inserts at the front; deeper
+    /// levels re-sort by min key.
+    fn place(&mut self, slot: Slot, level: u32) {
+        let level = if self.opts.leveled { level } else { 0 };
+        if level == 0 {
+            self.l0.insert(0, slot);
+            return;
+        }
+        let k = level as usize - 1;
+        while self.deeper.len() <= k {
+            self.deeper.push(Vec::new());
+        }
+        self.deeper[k].push(slot);
+        sort_level(&mut self.deeper[k]);
+    }
+
+    /// Adopt a whole SSTable from another store by copying its file,
+    /// placing it at `level`.
+    fn adopt_table_file(&mut self, src: &str, level: u32) -> Result<()> {
+        let id = self.next_id;
+        self.next_id += 1;
         let dst = Self::table_path(&self.opts.dir, id);
         let data = self.vfs.read_all(src)?;
         let mut f = self.vfs.create(&dst)?;
         f.append(&data)?;
         f.sync()?;
-        self.tables.insert(0, Table::open(self.vfs.clone(), &dst)?);
-        self.manifest.tables.insert(0, id);
+        let table = Table::open_with(self.vfs.clone(), &dst, self.ctx.clone())?;
+        self.place(Slot { id, table }, level);
         Ok(())
     }
 
-    /// Build a new SSTable from already-sorted rows and adopt it.
-    fn adopt_rows(&mut self, rows: Vec<(Key, Row)>) -> Result<()> {
+    /// Build SSTables from already-sorted rows and adopt them at `level`
+    /// (L0 gets a single table; deeper levels a target-sized run).
+    fn adopt_rows(&mut self, rows: Vec<(Key, Row)>, level: u32) -> Result<()> {
         if rows.is_empty() {
             return Ok(());
         }
-        let id = self.manifest.next_id;
-        self.manifest.next_id += 1;
-        let path = Self::table_path(&self.opts.dir, id);
-        let mut builder = TableBuilder::new(self.vfs.clone(), &path, self.opts.table.clone())?;
-        for (key, row) in &rows {
-            builder.add(key, row)?;
+        if level == 0 || !self.opts.leveled {
+            let slot = self.build_table(&rows, 0)?;
+            self.place(slot, 0);
+            return Ok(());
         }
-        self.tables.insert(0, builder.finish()?);
-        self.manifest.tables.insert(0, id);
+        let made = self.build_run(&rows, level)?;
+        for slot in made {
+            self.place(slot, level);
+        }
         Ok(())
     }
 
@@ -600,6 +1096,8 @@ impl RangeStore {
         // decode one block at a time, so a page's memory and work are
         // bounded by the page limit and the block size — not by the
         // range size or by how far into the range the cursor sits.
+        // Each deeper level is one stream: its tables are disjoint and
+        // key-ordered, so chaining their seeked iterators stays sorted.
         let cap = limit.saturating_add(1);
         let mut streams: Vec<RowStream<'_>> = Vec::new();
         streams.push(Box::new(
@@ -609,14 +1107,36 @@ impl RangeStore {
                 .take(cap)
                 .map(|(k, r)| Ok((k.clone(), r.clone()))),
         ));
-        for table in &self.tables {
+        for slot in &self.l0 {
             let hi = end.cloned();
             streams.push(Box::new(
-                table
+                slot.table
                     .iter_from(start)
                     .take_while(move |item| match (item, &hi) {
                         (Ok((k, _)), Some(e)) => k < e,
                         _ => true, // unbounded, or an error to surface
+                    })
+                    .take(cap),
+            ));
+        }
+        for level in &self.deeper {
+            let tables: Vec<&Table> = level
+                .iter()
+                .map(|s| &s.table)
+                .filter(|t| &t.meta().max_key >= start && end.is_none_or(|e| &t.meta().min_key < e))
+                .collect();
+            if tables.is_empty() {
+                continue;
+            }
+            let from = start.clone();
+            let hi = end.cloned();
+            streams.push(Box::new(
+                tables
+                    .into_iter()
+                    .flat_map(move |t| t.iter_from(&from))
+                    .take_while(move |item| match (item, &hi) {
+                        (Ok((k, _)), Some(e)) => k < e,
+                        _ => true,
                     })
                     .take(cap),
             ));
@@ -660,7 +1180,7 @@ impl RangeStore {
     /// sizes) — the size statistic behind automatic split triggers.
     pub fn approx_total_bytes(&self) -> u64 {
         self.memtable.approx_bytes() as u64
-            + self.tables.iter().map(|t| t.meta().file_bytes).sum::<u64>()
+            + self.all_slots().map(|s| s.table.meta().file_bytes).sum::<u64>()
     }
 
     /// An approximate median key: the middle key of a merged scan. Costs a
@@ -684,16 +1204,69 @@ impl RangeStore {
         self.memtable.len()
     }
 
-    /// Number of live SSTables.
+    /// Number of live SSTables across every level.
     pub fn table_count(&self) -> usize {
-        self.tables.len()
+        self.l0.len() + self.deeper.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Live tables per level, L0 first, trailing empty levels trimmed.
+    pub fn tables_per_level(&self) -> Vec<usize> {
+        let mut v = vec![self.l0.len()];
+        for level in &self.deeper {
+            v.push(level.len());
+        }
+        while v.len() > 1 && v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    /// Key spans `(min, max)` of the tables at `level` (0 = L0), in
+    /// placement order. Test/debug introspection for the per-level
+    /// non-overlap invariant.
+    pub fn level_spans(&self, level: usize) -> Vec<(Key, Key)> {
+        let slots: &[Slot] = if level == 0 {
+            &self.l0
+        } else {
+            match self.deeper.get(level - 1) {
+                Some(v) => v,
+                None => return Vec::new(),
+            }
+        };
+        slots.iter().map(|s| (min_key(s).clone(), max_key(s).clone())).collect()
+    }
+
+    /// Block-cache registration ids of every live table (`None` entries
+    /// omitted). Test/debug introspection for the cache-retirement
+    /// invariant.
+    pub fn live_cache_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.all_slots().filter_map(|s| s.table.cache_id()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Read/compaction statistics since this store was opened.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            tables_per_level: self.tables_per_level(),
+            point_gets: self.stats.point_gets.load(Ordering::Relaxed),
+            span_skips: self.stats.span_skips.load(Ordering::Relaxed),
+            bloom_negatives: self.stats.bloom_negatives.load(Ordering::Relaxed),
+            bloom_true_positives: self.stats.bloom_true_positives.load(Ordering::Relaxed),
+            bloom_false_positives: self.stats.bloom_false_positives.load(Ordering::Relaxed),
+            compactions: self.stats.compactions.load(Ordering::Relaxed),
+            bytes_compacted: self.stats.bytes_compacted.load(Ordering::Relaxed),
+            cache_hits: self.ctx.metrics.hits(),
+            cache_misses: self.ctx.metrics.misses(),
+            block_reads: self.ctx.metrics.block_reads(),
+        }
     }
 
     /// Highest column version stored anywhere in this store.
     pub fn max_lsn(&self) -> Lsn {
         let mut max = self.memtable.max_lsn();
-        for t in &self.tables {
-            max = max.max(t.meta().max_lsn);
+        for s in self.all_slots() {
+            max = max.max(s.table.meta().max_lsn);
         }
         max
     }
@@ -982,6 +1555,7 @@ mod tests {
         assert_eq!(s.table_count(), 5);
         assert!(s.maybe_compact().unwrap());
         assert!(s.table_count() < 5);
+        assert_eq!(s.tables_per_level()[0], 0, "L0 drained into the ladder");
         // Latest batch value must win for every key.
         for i in 0..50u64 {
             let row = s.get(&Key::from(format!("k{:03}", i).as_str())).unwrap().unwrap();
@@ -1006,11 +1580,49 @@ mod tests {
     }
 
     #[test]
-    fn partial_compaction_keeps_tombstones() {
+    fn shallow_compaction_keeps_tombstones_until_the_bottom() {
+        // The leveled analogue of "partial merges must not drop
+        // tombstones": a tombstone compacted into a level above data
+        // survives; once it reaches the deepest populated level it goes.
         let vfs = MemVfs::new();
         let mut s = RangeStore::open(
             Arc::new(vfs.clone()),
-            StoreOptions { compaction_fanin: 2, ..Default::default() },
+            StoreOptions {
+                compaction_fanin: 1,
+                level_base_bytes: 1, // every level always over capacity
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Seed the bottom: value lands in L1, then is pushed to L2.
+        s.apply(&op::put("k", "c", "v"), Lsn::new(1, 1));
+        s.apply(&op::put("other", "c", "x"), Lsn::new(1, 2));
+        s.flush().unwrap();
+        assert!(s.maybe_compact().unwrap(), "L0 -> L1");
+        assert!(s.maybe_compact().unwrap(), "L1 -> L2 (over tiny capacity)");
+        assert_eq!(s.tables_per_level(), vec![0, 0, 1], "value now at L2");
+        // Tombstone flushes to L0, then compacts to L1 — with L2
+        // populated below, it must be retained.
+        s.apply(&op::delete("k", "c"), Lsn::new(1, 3));
+        s.flush().unwrap();
+        assert!(s.maybe_compact().unwrap(), "tombstone L0 -> L1");
+        let row = s.get(&Key::from("k")).unwrap().unwrap();
+        assert!(row.get(b"c").unwrap().tombstone, "tombstone retained above live data");
+        assert!(row.get_live(b"c").is_none(), "the old value stays dead");
+        // A total merge reaches the bottom and finally drops it.
+        s.compact_all().unwrap();
+        assert!(s.get(&Key::from("k")).unwrap().is_none());
+    }
+
+    #[test]
+    fn flat_mode_partial_compaction_keeps_tombstones() {
+        // The pre-leveling behaviour, pinned under `leveled: false`: a
+        // size-tiered partial merge must retain tombstones because the
+        // old value may live in a table outside the merge.
+        let vfs = MemVfs::new();
+        let mut s = RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions { compaction_fanin: 2, leveled: false, ..Default::default() },
         )
         .unwrap();
         // Oldest table holds the value...
@@ -1031,6 +1643,98 @@ mod tests {
         let row = s.get(&Key::from("k")).unwrap().unwrap();
         assert!(row.get(b"c").unwrap().tombstone, "tombstone retained in partial merge");
         assert!(row.get_live(b"c").is_none());
+    }
+
+    #[test]
+    fn leveled_ladder_grows_and_stays_disjoint() {
+        let vfs = MemVfs::new();
+        let mut s = RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions {
+                compaction_fanin: 2,
+                level_base_bytes: 8 << 10,
+                level_table_target_bytes: 4 << 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut lsn = 0u64;
+        for round in 0..12u64 {
+            for i in 0..120u64 {
+                lsn += 1;
+                s.apply(
+                    &op::put(&format!("key{:04}", (i * 7 + round) % 600), "c", &"v".repeat(40)),
+                    Lsn::new(1, lsn),
+                );
+            }
+            s.flush().unwrap();
+            while s.maybe_compact().unwrap() {}
+        }
+        let per_level = s.tables_per_level();
+        assert!(per_level.len() >= 3, "ladder grew levels: {per_level:?}");
+        // L1+ spans are sorted and pairwise disjoint.
+        for level in 1..per_level.len() {
+            let spans = s.level_spans(level);
+            for w in spans.windows(2) {
+                assert!(w[0].1 < w[1].0, "level {level} tables overlap: {spans:?}");
+            }
+        }
+        // Every key still reads its latest value.
+        for key in 0..600u64 {
+            let k = Key::from(format!("key{key:04}").as_str());
+            assert!(s.get(&k).unwrap().is_some(), "key {key} lost in the ladder");
+        }
+        // And a restart restores the exact level assignment.
+        let s2 = RangeStore::open(
+            Arc::new(vfs.crash_clone()),
+            StoreOptions {
+                compaction_fanin: 2,
+                level_base_bytes: 8 << 10,
+                level_table_target_bytes: 4 << 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s2.tables_per_level(), per_level, "levels survive restart");
+    }
+
+    #[test]
+    fn v1_manifest_upgrades_to_l0() {
+        // Hand-encode a v1 (pre-leveling) manifest over real table files
+        // and verify the store opens with every table in L0, reads
+        // intact, and the next save rewrites it as v2.
+        let vfs = MemVfs::new();
+        let mut s = store_on(&vfs);
+        s.apply(&op::put("a", "c", "old"), Lsn::new(1, 1));
+        s.flush().unwrap();
+        s.apply(&op::put("a", "c", "new"), Lsn::new(1, 2));
+        s.apply(&op::put("b", "c", "x"), Lsn::new(1, 3));
+        s.flush().unwrap();
+        s.set_gc_floor(7);
+        s.compact_all().unwrap(); // persists the floor
+                                  // Rewrite the manifest in v1 format: next_id, gc_floor, ids.
+        let m = s.manifest();
+        let mut v1 = Vec::new();
+        codec::put_u64(&mut v1, m.next_id);
+        codec::put_u64(&mut v1, m.gc_floor);
+        codec::put_varint(&mut v1, m.tables.len() as u64);
+        for (id, _) in &m.tables {
+            codec::put_u64(&mut v1, *id);
+        }
+        use spinnaker_common::vfs::Vfs;
+        vfs.write_atomic("store/MANIFEST", &v1).unwrap();
+
+        let image = vfs.crash_clone();
+        let mut reopened = store_on(&image);
+        assert_eq!(reopened.tables_per_level(), vec![m.tables.len()], "v1 tables all land in L0");
+        assert_eq!(reopened.gc_floor(), 7, "floor survives the upgrade");
+        let row = reopened.get(&Key::from("a")).unwrap().unwrap();
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"new");
+        // The next manifest write is v2 and round-trips levels.
+        reopened.apply(&op::put("z", "c", "1"), Lsn::new(1, 9));
+        reopened.flush().unwrap();
+        let reread = store_on(&image.crash_clone());
+        assert_eq!(reread.table_count(), reopened.table_count());
     }
 
     #[test]
@@ -1120,6 +1824,52 @@ mod tests {
         assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), b"mem");
         // The parent is untouched.
         assert_eq!(s.get(&Key::from("a1")).unwrap().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn split_preserves_levels_and_disjointness() {
+        let vfs = MemVfs::new();
+        let mut s = RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions {
+                compaction_fanin: 2,
+                level_table_target_bytes: 2 << 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            s.apply(&op::put(&format!("k{i:04}"), "c", &"v".repeat(50)), Lsn::new(1, i + 1));
+        }
+        s.flush().unwrap();
+        s.apply(&op::put("k0500", "c", "late"), Lsn::new(1, 900));
+        s.flush().unwrap();
+        while s.maybe_compact().unwrap() {}
+        assert!(s.tables_per_level().len() > 1, "parent has deeper levels");
+
+        let at = Key::from("k0100");
+        let (left, right) = s
+            .split(
+                &at,
+                StoreOptions { dir: "left".into(), ..Default::default() },
+                StoreOptions { dir: "right".into(), ..Default::default() },
+            )
+            .unwrap();
+        for child in [&left, &right] {
+            let per_level = child.tables_per_level();
+            for level in 1..per_level.len() {
+                let spans = child.level_spans(level);
+                for w in spans.windows(2) {
+                    assert!(w[0].1 < w[1].0, "child level {level} overlaps: {spans:?}");
+                }
+            }
+        }
+        assert!(left.tables_per_level().len() > 1, "left kept its deep placement");
+        for i in 0..200u64 {
+            let k = Key::from(format!("k{i:04}").as_str());
+            let child = if k < at { &left } else { &right };
+            assert_eq!(child.get(&k).unwrap(), s.get(&k).unwrap(), "key k{i:04}");
+        }
     }
 
     #[test]
@@ -1247,6 +1997,7 @@ mod tests {
         let snap = src.export_snapshot().unwrap();
         assert_eq!(snap.max_lsn, Lsn::new(2, 90));
         assert!(snap.approx_size() > 0);
+        assert_eq!(snap.tables.len(), snap.levels.len(), "levels parallel the images");
 
         // Import on a different node's (fresh) filesystem.
         let vfs2 = MemVfs::new();
@@ -1273,6 +2024,40 @@ mod tests {
             dst2.scan(&Key::default(), None).unwrap(),
             src.scan(&Key::default(), None).unwrap()
         );
+    }
+
+    #[test]
+    fn snapshot_preserves_leveled_placement() {
+        let vfs = MemVfs::new();
+        let mut src = RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions { compaction_fanin: 2, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            src.apply(&op::put(&format!("k{i:03}"), "c", &"v".repeat(30)), Lsn::new(1, i + 1));
+        }
+        src.flush().unwrap();
+        src.apply(&op::put("k999", "c", "x"), Lsn::new(1, 500));
+        src.flush().unwrap();
+        while src.maybe_compact().unwrap() {}
+        src.apply(&op::put("k000", "c", "newest"), Lsn::new(1, 600));
+        src.flush().unwrap();
+        let per_level = src.tables_per_level();
+        assert!(per_level.len() > 1, "source has a ladder: {per_level:?}");
+
+        let snap = src.export_snapshot().unwrap();
+        let mut dst = RangeStore::recreate(
+            Arc::new(MemVfs::new()),
+            StoreOptions { dir: "joined".into(), ..Default::default() },
+        )
+        .unwrap();
+        dst.import_snapshot(&snap).unwrap();
+        assert_eq!(dst.tables_per_level(), per_level, "importer mirrors the exporter's levels");
+        for i in 0..100u64 {
+            let k = Key::from(format!("k{i:03}").as_str());
+            assert_eq!(dst.get(&k).unwrap(), src.get(&k).unwrap(), "key k{i:03}");
+        }
     }
 
     #[test]
@@ -1314,5 +2099,39 @@ mod tests {
         s.flush().unwrap();
         s.apply(&op::put("b", "c", "2"), Lsn::new(1, 3));
         assert_eq!(s.max_lsn(), Lsn::new(1, 5));
+    }
+
+    #[test]
+    fn stats_track_reads_compactions_and_cache() {
+        let cache = Arc::new(crate::BlockCache::new(1 << 20));
+        let vfs = MemVfs::new();
+        let mut s = RangeStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions { cache: Some(cache.clone()), ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..50u64 {
+            s.apply(&op::put(&format!("k{i:02}"), "c", &format!("v{i}")), Lsn::new(1, i + 1));
+        }
+        s.flush().unwrap();
+        s.apply(&op::put("zz", "c", "solo"), Lsn::new(1, 99));
+        s.flush().unwrap();
+        // A present key: one bloom true positive; the first block read is
+        // a cache miss, a repeat is a hit.
+        s.get(&Key::from("k10")).unwrap().unwrap();
+        s.get(&Key::from("k10")).unwrap().unwrap();
+        // A key outside the solo table's span: a span skip somewhere.
+        s.get(&Key::from("a-absent")).unwrap();
+        let st = s.stats();
+        assert_eq!(st.point_gets, 3);
+        assert!(st.bloom_true_positives >= 2, "{st:?}");
+        assert!(st.span_skips >= 1, "{st:?}");
+        assert!(st.cache_hits >= 1, "repeat read hits the cache: {st:?}");
+        assert!(st.cache_misses >= 1, "{st:?}");
+        assert_eq!(st.tables_per_level, s.tables_per_level());
+        s.compact_all().unwrap();
+        let st = s.stats();
+        assert_eq!(st.compactions, 1);
+        assert!(st.bytes_compacted > 0);
     }
 }

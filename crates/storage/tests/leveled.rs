@@ -1,0 +1,352 @@
+//! The leveled LSM must be an invisible optimisation: for any history of
+//! puts, deletes, flushes, compactions, and GC-floor advances, a leveled
+//! store (with a block cache) and the seed flat store must expose the
+//! same live state at every retained timestamp — while the ladder keeps
+//! its structural invariants (L1+ spans disjoint, retired tables never
+//! served from the cache, mid-compaction crashes reopen consistently).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use spinnaker_common::vfs::{FaultPlan, FaultVfs, MemVfs, SharedVfs};
+use spinnaker_common::{Key, Lsn, WriteOp};
+use spinnaker_storage::{BlockCache, RangeStore, StoreOptions};
+
+fn key_of(k: u8) -> Key {
+    Key::new(format!("key{k:03}").into_bytes())
+}
+
+fn put_ts(k: u8, lsn: u64, ts: u64) -> WriteOp {
+    WriteOp::put(
+        key_of(k),
+        bytes::Bytes::from_static(b"c"),
+        bytes::Bytes::from(format!("v{lsn}").into_bytes()),
+        ts,
+    )
+}
+
+fn delete_ts(k: u8, ts: u64) -> WriteOp {
+    WriteOp::delete(key_of(k), bytes::Bytes::from_static(b"c"), ts)
+}
+
+/// The observable value of `key` at timestamp `ts`: the live column
+/// value, with tombstones and absent rows both mapping to `None` —
+/// exactly what a client read returns.
+fn live_at(s: &RangeStore, key: u8, ts: u64) -> Option<(bytes::Bytes, u64)> {
+    s.get_at(&key_of(key), ts)
+        .unwrap()
+        .and_then(|row| row.get_live(b"c").map(|cv| (cv.value.clone(), cv.timestamp)))
+}
+
+/// Live state of a paged snapshot scan at `ts`, as a key → value map.
+fn scan_live_at(s: &RangeStore, ts: u64) -> BTreeMap<Key, bytes::Bytes> {
+    let mut out = BTreeMap::new();
+    let mut cursor = Key::default();
+    loop {
+        let (rows, resume) = s.scan_page_at(&cursor, None, 7, ts).unwrap();
+        for (key, row) in rows {
+            if let Some(cv) = row.get_live(b"c") {
+                out.insert(key, cv.value.clone());
+            }
+        }
+        match resume {
+            Some(next) => cursor = next,
+            None => break,
+        }
+    }
+    out
+}
+
+fn assert_disjoint_levels(s: &RangeStore) {
+    let per_level = s.tables_per_level();
+    for level in 1..per_level.len() {
+        let spans = s.level_spans(level);
+        for w in spans.windows(2) {
+            assert!(w[0].1 < w[1].0, "level {level} tables overlap: {spans:?}");
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    Put { key: u8, pad: u8 },
+    Delete { key: u8 },
+    Flush,
+    Compact,
+    CompactAll,
+    AdvanceFloor { frac: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        8 => (0u8..24, any::<u8>()).prop_map(|(key, pad)| Step::Put { key, pad }),
+        3 => (0u8..24).prop_map(|key| Step::Delete { key }),
+        2 => Just(Step::Flush),
+        2 => Just(Step::Compact),
+        1 => Just(Step::CompactAll),
+        1 => any::<u8>().prop_map(|frac| Step::AdvanceFloor { frac }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Read-equivalence oracle: the flat (seed) store is the reference;
+    /// the leveled store with a small, pressured block cache must agree
+    /// with it at every retained timestamp, for gets and scans alike.
+    #[test]
+    fn leveled_store_reads_equal_flat_store(steps in proptest::collection::vec(step_strategy(), 1..100)) {
+        let mut flat = RangeStore::open(
+            Arc::new(MemVfs::new()),
+            StoreOptions { leveled: false, compaction_fanin: 3, ..Default::default() },
+        ).unwrap();
+        // Tiny level capacities and a tiny cache so short histories still
+        // reach L2+ and force evictions.
+        let cache = Arc::new(BlockCache::new(64 << 10));
+        let mut lvl = RangeStore::open(
+            Arc::new(MemVfs::new()),
+            StoreOptions {
+                compaction_fanin: 2,
+                level_base_bytes: 4 << 10,
+                level_table_target_bytes: 1 << 10,
+                cache: Some(cache),
+                ..Default::default()
+            },
+        ).unwrap();
+
+        let mut lsn = 0u64;
+        let mut write_ts: Vec<u64> = Vec::new();
+        for step in &steps {
+            match step {
+                Step::Put { key, pad } => {
+                    lsn += 1;
+                    let ts = lsn * 10;
+                    // The pad inflates some values so tables span size tiers.
+                    let val = format!("v{lsn}-{}", "x".repeat(*pad as usize));
+                    let w = WriteOp::put(
+                        key_of(*key),
+                        bytes::Bytes::from_static(b"c"),
+                        bytes::Bytes::from(val.into_bytes()),
+                        ts,
+                    );
+                    flat.apply(&w, Lsn::new(1, lsn));
+                    lvl.apply(&w, Lsn::new(1, lsn));
+                    write_ts.push(ts);
+                }
+                Step::Delete { key } => {
+                    lsn += 1;
+                    let ts = lsn * 10;
+                    let w = delete_ts(*key, ts);
+                    flat.apply(&w, Lsn::new(1, lsn));
+                    lvl.apply(&w, Lsn::new(1, lsn));
+                    write_ts.push(ts);
+                }
+                Step::Flush => {
+                    flat.flush().unwrap();
+                    lvl.flush().unwrap();
+                }
+                Step::Compact => {
+                    flat.maybe_compact().unwrap();
+                    lvl.maybe_compact().unwrap();
+                    assert_disjoint_levels(&lvl);
+                }
+                Step::CompactAll => {
+                    flat.compact_all().unwrap();
+                    lvl.compact_all().unwrap();
+                    assert_disjoint_levels(&lvl);
+                }
+                Step::AdvanceFloor { frac } => {
+                    // A floor somewhere in the written history (or past it).
+                    let ts = lsn * 10 * u64::from(*frac) / 255;
+                    flat.set_gc_floor(ts);
+                    lvl.set_gc_floor(ts);
+                    prop_assert_eq!(flat.gc_floor(), lvl.gc_floor());
+                }
+            }
+        }
+        assert_disjoint_levels(&lvl);
+
+        // Every retained timestamp: each write's commit ts at or above
+        // the floor, plus off-grid cuts and "now". An unarmed floor
+        // (`u64::MAX`) means compaction keeps only column heads, so only
+        // the latest cut is comparable.
+        let floor = lvl.gc_floor();
+        let mut cuts: Vec<u64> = write_ts.iter().copied()
+            .filter(|ts| *ts >= floor)
+            .flat_map(|ts| [ts, ts + 5])
+            .collect();
+        cuts.push(u64::MAX);
+        if floor != u64::MAX {
+            cuts.push(floor);
+        }
+        for &ts in &cuts {
+            for key in 0..24u8 {
+                prop_assert_eq!(
+                    live_at(&flat, key, ts),
+                    live_at(&lvl, key, ts),
+                    "key {} at ts {}", key, ts
+                );
+            }
+            prop_assert_eq!(
+                scan_live_at(&flat, ts),
+                scan_live_at(&lvl, ts),
+                "scan at ts {}", ts
+            );
+        }
+    }
+}
+
+/// Block-cache safety: once compaction retires a table, its cached
+/// blocks are evicted and can never be served — reads after compaction
+/// see only the new tables' contents.
+#[test]
+fn block_cache_never_serves_retired_tables() {
+    let cache = Arc::new(BlockCache::new(1 << 20));
+    let mut s = RangeStore::open(
+        Arc::new(MemVfs::new()),
+        StoreOptions { compaction_fanin: 2, cache: Some(cache.clone()), ..Default::default() },
+    )
+    .unwrap();
+    // Several flushed tables; every key read once to warm the cache.
+    let mut lsn = 0u64;
+    for batch in 0..4u64 {
+        for key in 0..40u8 {
+            lsn += 1;
+            s.apply(&put_ts(key, lsn + batch * 1000, lsn * 10), Lsn::new(1, lsn));
+        }
+        s.flush().unwrap();
+    }
+    for key in 0..40u8 {
+        assert!(s.get(&key_of(key)).unwrap().is_some());
+    }
+    assert!(!cache.tables_with_entries().is_empty(), "reads populated the cache");
+    let live_before: BTreeSet<u64> = s.live_cache_ids().into_iter().collect();
+
+    // Full compaction retires every pre-existing table.
+    s.compact_all().unwrap();
+    let live_after: BTreeSet<u64> = s.live_cache_ids().into_iter().collect();
+    for id in &live_before {
+        assert!(!live_after.contains(id), "compaction outputs use fresh cache ids");
+    }
+    // Nothing in the cache belongs to a retired table.
+    for id in cache.tables_with_entries() {
+        assert!(live_after.contains(&id), "cache entry for retired table {id}");
+    }
+    // Reads after retirement serve the merged (newest) values and
+    // repopulate the cache only with live tables' blocks.
+    for key in 0..40u8 {
+        let row = s.get(&key_of(key)).unwrap().unwrap();
+        let want = format!("v{}", u64::from(key) + 1 + 3 * 1000 + 120);
+        assert_eq!(row.get_live(b"c").unwrap().value.as_ref(), want.as_bytes(), "key {key}");
+    }
+    for id in cache.tables_with_entries() {
+        assert!(live_after.contains(&id), "repopulated entries are all live");
+    }
+}
+
+/// Crash the store mid-compaction at every possible sync point: the
+/// manifest protocol (outputs synced → manifest synced → inputs deleted)
+/// must reopen to a consistent level assignment with no data loss.
+#[test]
+fn manifest_crash_mid_compaction_reopens_consistent() {
+    let opts = || StoreOptions {
+        compaction_fanin: 2,
+        level_base_bytes: 4 << 10,
+        level_table_target_bytes: 1 << 10,
+        ..Default::default()
+    };
+    for fail_at in 1..=12u64 {
+        // A durable multi-level store.
+        let mem = MemVfs::new();
+        let mut s = RangeStore::open(Arc::new(mem.clone()), opts()).unwrap();
+        let mut lsn = 0u64;
+        let mut expect: BTreeMap<u8, u64> = BTreeMap::new();
+        for round in 0..6u64 {
+            for i in 0..40u64 {
+                lsn += 1;
+                let key = ((i * 7 + round) % 120) as u8;
+                s.apply(&put_ts(key, lsn, lsn * 10), Lsn::new(1, lsn));
+                expect.insert(key, lsn);
+            }
+            s.flush().unwrap();
+            while s.maybe_compact().unwrap() {}
+        }
+        drop(s);
+
+        // Reopen through a faulty disk and compact until the injected
+        // sync failure fires (sticky: the device stays dead).
+        let plan = FaultPlan::new();
+        let faulty: SharedVfs = Arc::new(FaultVfs::new(Arc::new(mem.clone()), plan.clone()));
+        let mut s = RangeStore::open(faulty, opts()).unwrap();
+        plan.set_sticky(true);
+        plan.fail_sync_after(fail_at);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            match if steps % 4 == 0 { s.compact_all().map(|()| true) } else { s.maybe_compact() } {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(_) => break,
+            }
+            if steps > 32 {
+                break;
+            }
+        }
+        drop(s);
+
+        // Crash: only synced state survives. The store must reopen to a
+        // consistent ladder serving every durable write.
+        let s2 = RangeStore::open(Arc::new(mem.crash_clone()), opts()).unwrap();
+        assert_disjoint_levels(&s2);
+        for (key, want_lsn) in &expect {
+            let row = s2.get(&key_of(*key)).unwrap().unwrap_or_else(|| {
+                panic!("fail_at {fail_at}: key {key} lost after mid-compaction crash")
+            });
+            assert_eq!(
+                row.get_live(b"c").unwrap().value.as_ref(),
+                format!("v{want_lsn}").as_bytes(),
+                "fail_at {fail_at}: key {key} reads its durable value"
+            );
+        }
+    }
+}
+
+/// A store opened without the leveling option keeps the seed's flat
+/// behaviour end to end: every table stays in L0 even across snapshot
+/// export/import from a leveled peer.
+#[test]
+fn flat_mode_pins_every_table_to_l0() {
+    let mut lvl = RangeStore::open(
+        Arc::new(MemVfs::new()),
+        StoreOptions { compaction_fanin: 2, level_base_bytes: 4 << 10, ..Default::default() },
+    )
+    .unwrap();
+    let mut lsn = 0u64;
+    for _round in 0..4u64 {
+        for key in 0..60u8 {
+            lsn += 1;
+            lvl.apply(&put_ts(key, lsn, lsn * 10), Lsn::new(1, lsn));
+        }
+        lvl.flush().unwrap();
+        while lvl.maybe_compact().unwrap() {}
+    }
+    assert!(lvl.tables_per_level().len() > 1, "source grew a ladder");
+
+    let snap = lvl.export_snapshot().unwrap();
+    let mut flat = RangeStore::recreate(
+        Arc::new(MemVfs::new()),
+        StoreOptions { leveled: false, ..Default::default() },
+    )
+    .unwrap();
+    flat.import_snapshot(&snap).unwrap();
+    assert_eq!(flat.tables_per_level().len(), 1, "flat mode demotes everything to L0");
+    for key in 0..60u8 {
+        assert_eq!(
+            flat.get(&key_of(key)).unwrap(),
+            lvl.get(&key_of(key)).unwrap(),
+            "key {key} reads identically in flat mode"
+        );
+    }
+}
