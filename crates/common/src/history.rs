@@ -1,0 +1,490 @@
+//! Operation histories for consistency checking.
+//!
+//! A *history* is the complete client-side record of a workload run:
+//! every call's invocation, completion (ok or typed failure), and any
+//! retransmission in between, stamped with the virtual time it happened.
+//! The nemesis harness records one while a fault schedule runs and hands
+//! it to the checker; the serialized form is the machine-readable
+//! artifact a failing seed leaves behind.
+//!
+//! The format is line-based and fully deterministic: serializing the
+//! same history twice yields identical bytes, so two runs of the same
+//! seed can be compared with a plain byte equality. Keys and values are
+//! hex-encoded; everything else is decimal.
+//!
+//! ```text
+//! #spinnaker-history v1
+//! m seed 42
+//! e 1200 3 7 i put k=61 v=6331
+//! e 1500 3 7 ok w ver=2 ts=990
+//! ```
+
+use crate::error::{Error, Result};
+use crate::types::{Key, Value};
+
+/// Single-register state of one key's single column, as the history
+/// model sees it: never written, live with a value, or deleted.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HState {
+    /// No write has ever touched the key.
+    Never,
+    /// Live with this value.
+    Val(Value),
+    /// Deleted (a tombstone is observably different from never-written:
+    /// it carries a version).
+    Tomb,
+}
+
+/// Consistency level an operation was issued at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HCons {
+    /// Linearizable (leader-served).
+    Strong,
+    /// Timeline (any replica, possibly stale).
+    Timeline,
+    /// Snapshot with a leader-pinned timestamp.
+    Pin,
+    /// Snapshot at an explicit timestamp.
+    At(u64),
+}
+
+/// The invoked operation, reduced to the single-column register model
+/// the checker verifies (one distinguished column per key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HOp {
+    /// Blind write.
+    Put {
+        /// Row key.
+        key: Key,
+        /// Value written (unique per call, so reads map back to writes).
+        value: Value,
+    },
+    /// Blind delete.
+    Delete {
+        /// Row key.
+        key: Key,
+    },
+    /// Conditional put: applies only if the register still holds
+    /// `expect` (the client's belief backing its version precondition).
+    CondPut {
+        /// Row key.
+        key: Key,
+        /// Value written on success.
+        value: Value,
+        /// Expected prior state.
+        expect: HState,
+    },
+    /// Conditional delete under the same precondition model.
+    CondDelete {
+        /// Row key.
+        key: Key,
+        /// Expected prior state.
+        expect: HState,
+    },
+    /// Point read.
+    Get {
+        /// Row key.
+        key: Key,
+        /// Consistency level.
+        cons: HCons,
+    },
+    /// Range scan over `[start, end)` (`end = None` ⇒ to the key-space
+    /// end).
+    Scan {
+        /// First key (inclusive).
+        start: Key,
+        /// End key (exclusive); `None` scans to the end.
+        end: Option<Key>,
+        /// Consistency level.
+        cons: HCons,
+    },
+}
+
+impl HOp {
+    /// True for operations that may change state.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            HOp::Put { .. } | HOp::Delete { .. } | HOp::CondPut { .. } | HOp::CondDelete { .. }
+        )
+    }
+}
+
+/// A completed operation's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HResult {
+    /// A write was acknowledged.
+    Write {
+        /// Version the server assigned.
+        version: u64,
+        /// Commit timestamp (MVCC order; snapshot cuts are defined by it).
+        ts: u64,
+    },
+    /// A point read returned.
+    Read {
+        /// Observed register state.
+        state: HState,
+        /// Snapshot timestamp the read was served at (0 for
+        /// strong/timeline reads, which carry no cut).
+        at_ts: u64,
+    },
+    /// A scan returned.
+    Rows {
+        /// Returned rows in returned order (live values only; scans omit
+        /// tombstones).
+        rows: Vec<(Key, Value)>,
+        /// Snapshot timestamp of the cut (0 for strong/timeline).
+        at_ts: u64,
+    },
+}
+
+/// A completed operation's typed failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HErr {
+    /// Conditional op failed its version precondition.
+    VersionMismatch,
+    /// Snapshot read below the MVCC GC floor.
+    SnapshotTooOld,
+    /// Any other terminal error.
+    Other,
+}
+
+/// What happened at one instant of one call's lifetime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HEventKind {
+    /// The call was submitted.
+    Invoke(HOp),
+    /// The call was retransmitted after a timeout: an earlier attempt
+    /// may have applied without its reply surviving, so the checker must
+    /// admit at-least-once semantics for this call.
+    Retry,
+    /// The call completed successfully.
+    Ok(HResult),
+    /// The call completed with a typed failure.
+    Fail(HErr),
+}
+
+/// One history line: time, caller, per-caller call number, what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HEvent {
+    /// Virtual time of the event.
+    pub at: u64,
+    /// Client id.
+    pub client: u32,
+    /// Per-client call sequence number (`(client, op)` names a call).
+    pub op: u32,
+    /// Invoke / retry / ok / fail.
+    pub kind: HEventKind,
+}
+
+/// A complete recorded run: metadata plus events in recording order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct History {
+    /// Run metadata (seed, node count, …) in insertion order.
+    pub meta: Vec<(String, String)>,
+    /// Events in the order they happened (virtual-time order).
+    pub events: Vec<HEvent>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Append a metadata pair.
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, at: u64, client: u32, op: u32, kind: HEventKind) {
+        self.events.push(HEvent { at, client, op, kind });
+    }
+
+    /// Serialize to the line format. Deterministic: equal histories
+    /// produce equal bytes.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("#spinnaker-history v1\n");
+        for (k, v) in &self.meta {
+            out.push_str(&format!("m {k} {v}\n"));
+        }
+        for e in &self.events {
+            out.push_str(&format!("e {} {} {} {}\n", e.at, e.client, e.op, fmt_kind(&e.kind)));
+        }
+        out
+    }
+
+    /// Parse the line format back. Inverse of [`History::serialize`].
+    pub fn parse(text: &str) -> Result<History> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("#spinnaker-history v1") => {}
+            other => return Err(bad(&format!("bad header {other:?}"))),
+        }
+        let mut h = History::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("m ") {
+                let (k, v) = rest.split_once(' ').ok_or_else(|| bad("bad meta line"))?;
+                h.meta.push((k.to_string(), v.to_string()));
+            } else if let Some(rest) = line.strip_prefix("e ") {
+                let mut parts = rest.splitn(4, ' ');
+                let at = num(parts.next())?;
+                let client =
+                    u32::try_from(num(parts.next())?).map_err(|_| bad("client out of range"))?;
+                let op = u32::try_from(num(parts.next())?).map_err(|_| bad("op out of range"))?;
+                let kind = parse_kind(parts.next().ok_or_else(|| bad("missing event kind"))?)?;
+                h.events.push(HEvent { at, client, op, kind });
+            } else {
+                return Err(bad(&format!("unrecognized line {line:?}")));
+            }
+        }
+        Ok(h)
+    }
+}
+
+fn bad(msg: &str) -> Error {
+    Error::Corruption(format!("history: {msg}"))
+}
+
+fn num(part: Option<&str>) -> Result<u64> {
+    part.and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad number"))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return Err(bad("odd hex length"));
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).map_err(|_| bad("bad hex digit")))
+        .collect()
+}
+
+fn fmt_state(s: &HState) -> String {
+    match s {
+        HState::Never => "never".into(),
+        HState::Tomb => "tomb".into(),
+        HState::Val(v) => format!("val:{}", hex(v)),
+    }
+}
+
+fn parse_state(s: &str) -> Result<HState> {
+    match s {
+        "never" => Ok(HState::Never),
+        "tomb" => Ok(HState::Tomb),
+        _ => match s.strip_prefix("val:") {
+            Some(h) => Ok(HState::Val(Value::from(unhex(h)?))),
+            None => Err(bad(&format!("bad state {s:?}"))),
+        },
+    }
+}
+
+fn fmt_cons(c: &HCons) -> String {
+    match c {
+        HCons::Strong => "strong".into(),
+        HCons::Timeline => "timeline".into(),
+        HCons::Pin => "pin".into(),
+        HCons::At(ts) => format!("at:{ts}"),
+    }
+}
+
+fn parse_cons(s: &str) -> Result<HCons> {
+    match s {
+        "strong" => Ok(HCons::Strong),
+        "timeline" => Ok(HCons::Timeline),
+        "pin" => Ok(HCons::Pin),
+        _ => match s.strip_prefix("at:").and_then(|t| t.parse().ok()) {
+            Some(ts) => Ok(HCons::At(ts)),
+            None => Err(bad(&format!("bad consistency {s:?}"))),
+        },
+    }
+}
+
+fn fmt_kind(kind: &HEventKind) -> String {
+    match kind {
+        HEventKind::Retry => "y".into(),
+        HEventKind::Invoke(op) => match op {
+            HOp::Put { key, value } => format!("i put k={} v={}", hex(&key.0), hex(value)),
+            HOp::Delete { key } => format!("i del k={}", hex(&key.0)),
+            HOp::CondPut { key, value, expect } => {
+                format!("i cput k={} v={} e={}", hex(&key.0), hex(value), fmt_state(expect))
+            }
+            HOp::CondDelete { key, expect } => {
+                format!("i cdel k={} e={}", hex(&key.0), fmt_state(expect))
+            }
+            HOp::Get { key, cons } => format!("i get k={} c={}", hex(&key.0), fmt_cons(cons)),
+            HOp::Scan { start, end, cons } => format!(
+                "i scan s={} e={} c={}",
+                hex(&start.0),
+                end.as_ref().map_or("-".into(), |k| hex(&k.0)),
+                fmt_cons(cons)
+            ),
+        },
+        HEventKind::Ok(res) => match res {
+            HResult::Write { version, ts } => format!("ok w ver={version} ts={ts}"),
+            HResult::Read { state, at_ts } => {
+                format!("ok r st={} at={at_ts}", fmt_state(state))
+            }
+            HResult::Rows { rows, at_ts } => {
+                let mut s = format!("ok s at={at_ts}");
+                for (k, v) in rows {
+                    s.push_str(&format!(" {}:{}", hex(&k.0), hex(v)));
+                }
+                s
+            }
+        },
+        HEventKind::Fail(err) => match err {
+            HErr::VersionMismatch => "f vmismatch".into(),
+            HErr::SnapshotTooOld => "f tooold".into(),
+            HErr::Other => "f other".into(),
+        },
+    }
+}
+
+fn field<'a>(parts: &[&'a str], name: &str) -> Result<&'a str> {
+    parts
+        .iter()
+        .find_map(|p| p.strip_prefix(name).and_then(|r| r.strip_prefix('=')))
+        .ok_or_else(|| bad(&format!("missing field {name}")))
+}
+
+fn parse_kind(s: &str) -> Result<HEventKind> {
+    let parts: Vec<&str> = s.split(' ').collect();
+    match parts.first().copied() {
+        Some("y") => Ok(HEventKind::Retry),
+        Some("i") => {
+            let key = |parts: &[&str]| -> Result<Key> { Ok(Key::new(unhex(field(parts, "k")?)?)) };
+            let op = match parts.get(1).copied() {
+                Some("put") => {
+                    HOp::Put { key: key(&parts)?, value: Value::from(unhex(field(&parts, "v")?)?) }
+                }
+                Some("del") => HOp::Delete { key: key(&parts)? },
+                Some("cput") => HOp::CondPut {
+                    key: key(&parts)?,
+                    value: Value::from(unhex(field(&parts, "v")?)?),
+                    expect: parse_state(field(&parts, "e")?)?,
+                },
+                Some("cdel") => {
+                    HOp::CondDelete { key: key(&parts)?, expect: parse_state(field(&parts, "e")?)? }
+                }
+                Some("get") => {
+                    HOp::Get { key: key(&parts)?, cons: parse_cons(field(&parts, "c")?)? }
+                }
+                Some("scan") => HOp::Scan {
+                    start: Key::new(unhex(field(&parts, "s")?)?),
+                    end: match field(&parts, "e")? {
+                        "-" => None,
+                        h => Some(Key::new(unhex(h)?)),
+                    },
+                    cons: parse_cons(field(&parts, "c")?)?,
+                },
+                other => return Err(bad(&format!("bad op {other:?}"))),
+            };
+            Ok(HEventKind::Invoke(op))
+        }
+        Some("ok") => {
+            let res = match parts.get(1).copied() {
+                Some("w") => HResult::Write {
+                    version: field(&parts, "ver")?.parse().map_err(|_| bad("bad ver"))?,
+                    ts: field(&parts, "ts")?.parse().map_err(|_| bad("bad ts"))?,
+                },
+                Some("r") => HResult::Read {
+                    state: parse_state(field(&parts, "st")?)?,
+                    at_ts: field(&parts, "at")?.parse().map_err(|_| bad("bad at"))?,
+                },
+                Some("s") => {
+                    let at_ts = field(&parts, "at")?.parse().map_err(|_| bad("bad at"))?;
+                    let mut rows = Vec::new();
+                    for p in parts.iter().skip(2).filter(|p| !p.starts_with("at=")) {
+                        let (k, v) = p.split_once(':').ok_or_else(|| bad("bad row"))?;
+                        rows.push((Key::new(unhex(k)?), Value::from(unhex(v)?)));
+                    }
+                    HResult::Rows { rows, at_ts }
+                }
+                other => return Err(bad(&format!("bad result {other:?}"))),
+            };
+            Ok(HEventKind::Ok(res))
+        }
+        Some("f") => Ok(HEventKind::Fail(match parts.get(1).copied() {
+            Some("vmismatch") => HErr::VersionMismatch,
+            Some("tooold") => HErr::SnapshotTooOld,
+            _ => HErr::Other,
+        })),
+        other => Err(bad(&format!("bad event kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::new(s.as_bytes().to_vec())
+    }
+
+    fn v(s: &str) -> Value {
+        Value::from(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut h = History::new();
+        h.meta("seed", 42u64);
+        h.meta("nodes", 5u64);
+        h.push(10, 1, 0, HEventKind::Invoke(HOp::Put { key: k("a"), value: v("c1.0") }));
+        h.push(12, 1, 0, HEventKind::Retry);
+        h.push(20, 1, 0, HEventKind::Ok(HResult::Write { version: 1, ts: 99 }));
+        h.push(21, 2, 0, HEventKind::Invoke(HOp::Get { key: k("a"), cons: HCons::Strong }));
+        h.push(30, 2, 0, HEventKind::Ok(HResult::Read { state: HState::Val(v("c1.0")), at_ts: 0 }));
+        h.push(
+            31,
+            2,
+            1,
+            HEventKind::Invoke(HOp::Scan { start: k("a"), end: None, cons: HCons::At(99) }),
+        );
+        h.push(
+            40,
+            2,
+            1,
+            HEventKind::Ok(HResult::Rows { rows: vec![(k("a"), v("c1.0"))], at_ts: 99 }),
+        );
+        h.push(
+            41,
+            3,
+            0,
+            HEventKind::Invoke(HOp::CondPut {
+                key: k("a"),
+                value: v("c3.0"),
+                expect: HState::Never,
+            }),
+        );
+        h.push(50, 3, 0, HEventKind::Fail(HErr::VersionMismatch));
+        h.push(51, 3, 1, HEventKind::Invoke(HOp::CondDelete { key: k("a"), expect: HState::Tomb }));
+        h.push(60, 3, 1, HEventKind::Fail(HErr::SnapshotTooOld));
+        h.push(61, 3, 2, HEventKind::Invoke(HOp::Delete { key: k("a") }));
+        h.push(70, 3, 2, HEventKind::Ok(HResult::Read { state: HState::Tomb, at_ts: 7 }));
+
+        let text = h.serialize();
+        let back = History::parse(&text).unwrap();
+        assert_eq!(h, back);
+        assert_eq!(text, back.serialize(), "serialize ∘ parse is the identity on bytes");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(History::parse("nope").is_err());
+        assert!(History::parse("#spinnaker-history v1\nq zzz\n").is_err());
+        assert!(History::parse("#spinnaker-history v1\ne 1 2 3 i zap k=61\n").is_err());
+    }
+}

@@ -23,6 +23,7 @@ pub mod api;
 pub mod codec;
 pub mod crc32c;
 pub mod error;
+pub mod history;
 pub mod lsn;
 pub mod op;
 pub mod types;
@@ -32,6 +33,7 @@ pub use api::{
     ClientError, ClientOp, ClientReply, ClientRequest, ColumnSelect, ReadCell, RequestId, ScanRow,
 };
 pub use error::{Error, Result};
+pub use history::{HCons, HErr, HEvent, HEventKind, HOp, HResult, HState, History};
 pub use lsn::{Epoch, Lsn};
 pub use op::{CellOp, WriteOp};
 pub use types::{

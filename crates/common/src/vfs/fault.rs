@@ -48,6 +48,17 @@ impl FaultPlan {
         self.sticky.store(sticky, Ordering::SeqCst);
     }
 
+    /// Clear every armed fault (the device was replaced; counters and
+    /// stickiness reset, `injected` keeps its tally). A restarting node
+    /// whose plan stays armed would otherwise re-fail immediately.
+    pub fn disarm(&self) {
+        self.sync_target.store(0, Ordering::SeqCst);
+        self.append_target.store(0, Ordering::SeqCst);
+        self.syncs_seen.store(0, Ordering::SeqCst);
+        self.appends_seen.store(0, Ordering::SeqCst);
+        self.sticky.store(false, Ordering::SeqCst);
+    }
+
     /// Number of faults injected so far.
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::SeqCst)
@@ -79,12 +90,29 @@ impl FaultPlan {
 pub struct FaultVfs {
     inner: SharedVfs,
     plan: Arc<FaultPlan>,
+    /// When set, only files whose path starts with this prefix are
+    /// fault-wrapped; everything else passes straight through.
+    scope: Option<String>,
 }
 
 impl FaultVfs {
     /// Wrap `inner` with the given fault schedule.
     pub fn new(inner: SharedVfs, plan: Arc<FaultPlan>) -> FaultVfs {
-        FaultVfs { inner, plan }
+        FaultVfs { inner, plan, scope: None }
+    }
+
+    /// Wrap `inner`, injecting faults only into files under `prefix`
+    /// (e.g. `"wal/"` to fail log appends/syncs while SSTable writes
+    /// stay healthy — the shape of a dying log device).
+    pub fn scoped(inner: SharedVfs, plan: Arc<FaultPlan>, prefix: &str) -> FaultVfs {
+        FaultVfs { inner, plan, scope: Some(prefix.to_string()) }
+    }
+
+    fn wrap(&self, path: &str, file: Box<dyn VfsFile>) -> Box<dyn VfsFile> {
+        match &self.scope {
+            Some(prefix) if !path.starts_with(prefix.as_str()) => file,
+            _ => Box::new(FaultFile { inner: file, plan: self.plan.clone() }),
+        }
     }
 }
 
@@ -115,11 +143,11 @@ impl VfsFile for FaultFile {
 
 impl Vfs for FaultVfs {
     fn create(&self, path: &str) -> Result<Box<dyn VfsFile>> {
-        Ok(Box::new(FaultFile { inner: self.inner.create(path)?, plan: self.plan.clone() }))
+        Ok(self.wrap(path, self.inner.create(path)?))
     }
 
     fn open(&self, path: &str) -> Result<Box<dyn VfsFile>> {
-        Ok(Box::new(FaultFile { inner: self.inner.open(path)?, plan: self.plan.clone() }))
+        Ok(self.wrap(path, self.inner.open(path)?))
     }
 
     fn exists(&self, path: &str) -> Result<bool> {
@@ -167,6 +195,31 @@ mod tests {
         assert!(f.append(b"x").is_err());
         assert!(f.append(b"x").is_err());
         assert!(plan.injected() >= 2);
+    }
+
+    #[test]
+    fn disarm_clears_armed_faults() {
+        let plan = FaultPlan::new();
+        plan.fail_sync_after(1);
+        plan.set_sticky(true);
+        let vfs = FaultVfs::new(Arc::new(MemVfs::new()), plan.clone());
+        let mut f = vfs.create("f").unwrap();
+        assert!(f.sync().is_err());
+        plan.disarm();
+        assert!(f.sync().is_ok(), "disarmed plan injects nothing");
+        assert_eq!(plan.injected(), 1, "the tally survives disarm");
+    }
+
+    #[test]
+    fn scoped_plan_spares_other_paths() {
+        let plan = FaultPlan::new();
+        plan.fail_sync_after(1);
+        plan.set_sticky(true);
+        let vfs = FaultVfs::scoped(Arc::new(MemVfs::new()), plan, "wal/");
+        let mut store = vfs.create("store-r1/t0").unwrap();
+        assert!(store.sync().is_ok(), "out-of-scope file never faults");
+        let mut log = vfs.create("wal/seg-1.log").unwrap();
+        assert!(log.sync().is_err(), "in-scope file faults");
     }
 
     #[test]

@@ -165,6 +165,11 @@ pub struct Coord {
     data_watches: HashMap<String, BTreeSet<SessionId>>,
     child_watches: HashMap<String, BTreeSet<SessionId>>,
     exists_watches: HashMap<String, BTreeSet<SessionId>>,
+    /// Latest time the service itself has observed (sweep ticks and
+    /// session creation). Heartbeat liveness is judged against *this*
+    /// clock, like real ZooKeeper stamps liveness at the server on
+    /// receipt — a client with a skewed clock must not look dead.
+    observed: Nanos,
 }
 
 fn validate(path: &str) -> CoordResult<()> {
@@ -224,6 +229,7 @@ impl Coord {
             data_watches: HashMap::new(),
             child_watches: HashMap::new(),
             exists_watches: HashMap::new(),
+            observed: 0,
         }
     }
 
@@ -231,6 +237,8 @@ impl Coord {
 
     /// Open a session with the given heartbeat timeout.
     pub fn create_session(&mut self, timeout: Nanos, now: Nanos) -> SessionId {
+        self.observed = self.observed.max(now);
+        let now = self.observed;
         let id = self.next_session;
         self.next_session += 1;
         self.sessions.insert(
@@ -240,16 +248,21 @@ impl Coord {
         id
     }
 
-    /// Refresh a session's liveness.
+    /// Refresh a session's liveness. The stamp is taken at the service
+    /// (receive time), not from the caller's clock: a node with a skewed
+    /// protocol clock still heartbeats *on time* as the service sees it,
+    /// so skew alone must never expire a live session.
     pub fn heartbeat(&mut self, session: SessionId, now: Nanos) -> CoordResult<()> {
+        let stamp = now.max(self.observed);
         let s = self.live_session(session)?;
-        s.last_heartbeat = now;
+        s.last_heartbeat = s.last_heartbeat.max(stamp);
         Ok(())
     }
 
     /// Expire sessions whose heartbeats stopped. Returns watch events plus
     /// a `SessionExpired` delivery for each expired session.
     pub fn tick(&mut self, now: Nanos) -> Vec<Delivery> {
+        self.observed = self.observed.max(now);
         let expired: Vec<SessionId> = self
             .sessions
             .iter()

@@ -14,12 +14,12 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use spinnaker_common::codec::{Decode, Encode};
-use spinnaker_common::vfs::MemVfs;
+use spinnaker_common::vfs::{FaultPlan, FaultVfs, MemVfs};
 use spinnaker_common::{Key, NodeId, RangeId};
-use spinnaker_coord::{Coord, CreateMode, SessionId};
+use spinnaker_coord::{Coord, CreateMode, SessionId, WatchEvent};
 use spinnaker_sim::{
     Actor, CpuModel, Ctx, DiskOutcome, DiskProfile, LogDevice, NetConfig, NetModel, ProcId, Sim,
-    Time, MICROS, MILLIS, SECS,
+    SkewedClock, Time, MICROS, MILLIS, SECS,
 };
 
 use crate::client::{ClientEv, ClientHost, ClientStats, Workload};
@@ -51,6 +51,29 @@ pub enum Ev {
     },
     /// (Re)start a node from its on-disk (synced) state.
     Restart,
+    /// Skew the node's clock by a signed offset (nemesis fault; the
+    /// node-local view stays monotone, sim physics stay on kernel time).
+    SetSkew {
+        /// Offset added to kernel time for this node's protocol logic.
+        offset: i64,
+    },
+    /// Arm a disk fault on the node's WAL files (`0` leaves that kind
+    /// disarmed). Counters are 1-based: `sync_after: 1` fails the very
+    /// next sync. The plan disarms automatically on restart (the
+    /// restarted node gets a healthy device).
+    DiskFault {
+        /// Fail the n-th WAL sync from now.
+        sync_after: u64,
+        /// Fail the n-th WAL append from now.
+        append_after: u64,
+        /// Keep failing after the first injected fault (dead device).
+        sticky: bool,
+    },
+    /// Override the node's MVCC retention window (nemesis GC squeeze).
+    SetRetention {
+        /// New `snapshot_retain` value.
+        retain: Time,
+    },
     /// A node timer fired. Tagged with the node incarnation that armed it
     /// so timers from before a crash cannot leak into the restarted node
     /// (and duplicate the periodic timer chains).
@@ -191,7 +214,9 @@ impl World {
 }
 
 /// Read the current range table from the coordination service.
-pub(crate) fn read_table(world: &World) -> Option<Ring> {
+/// Public so external client hosts (e.g. the nemesis fleet) can use the
+/// same ring-refresh closure as [`ClientHost`].
+pub fn read_table(world: &World) -> Option<Ring> {
     world
         .coord
         .borrow_mut()
@@ -215,6 +240,9 @@ pub(crate) fn route_deliveries(world: &World, ctx: &mut Ctx<'_, Ev>) {
     }
 }
 
+/// Supervisor restart delay after a coordination-session expiry.
+const SESSION_RESTART_DELAY: Time = 50 * MILLIS;
+
 /// Hosts one [`Node`] inside the simulator.
 pub struct NodeHost {
     node_id: NodeId,
@@ -232,6 +260,10 @@ pub struct NodeHost {
     device: LogDevice,
     crashed_image: Option<MemVfs>,
     incarnation: u64,
+    /// Injected-fault schedule for this node's WAL files (nemesis).
+    fault_plan: Arc<FaultPlan>,
+    /// Node-local clock (kernel time + injected skew, monotone).
+    clock: SkewedClock,
 }
 
 impl NodeHost {
@@ -244,26 +276,36 @@ impl NodeHost {
                 self.ring = ring;
             }
         }
+        // Retire the old session's delivery route first: watch events it
+        // still owes (notably its own `SessionExpired`) must not reach
+        // the new incarnation, which would step down moments after boot.
+        if self.session != 0 {
+            self.world.owners.borrow_mut().remove(&self.session);
+        }
         let session = self.world.coord.borrow_mut().create_session(self.session_timeout, now);
         self.world.owners.borrow_mut().insert(session, self.proc);
         self.session = session;
         let cc = CoordClient::new(self.world.coord.clone(), session, self.world.bus.clone());
-        let node = Node::new(
-            self.node_id,
-            self.ring.clone(),
-            self.node_cfg.clone(),
-            Arc::new(self.vfs.clone()),
-            cc,
-        )
-        .expect("node construction / local recovery");
+        // The node reaches its disk through the fault plan, scoped to
+        // the WAL: log appends/syncs can be made to fail (nemesis),
+        // while SSTable writes stay healthy. With the plan disarmed the
+        // wrapper is a pass-through, so non-chaos runs are unaffected.
+        let vfs = FaultVfs::scoped(Arc::new(self.vfs.clone()), self.fault_plan.clone(), "wal/");
+        let node =
+            Node::new(self.node_id, self.ring.clone(), self.node_cfg.clone(), Arc::new(vfs), cc)
+                .expect("node construction / local recovery");
         self.node = Some(node);
         self.exec(now, NodeInput::Start, ctx);
     }
 
     fn exec(&mut self, now: Time, input: NodeInput, ctx: &mut Ctx<'_, Ev>) {
+        // Protocol logic runs on the node's (possibly skewed) local
+        // clock; the network/disk physics below stay on kernel time.
+        let session_expired = matches!(input, NodeInput::Coord(WatchEvent::SessionExpired));
+        let node_now = self.clock.now(now);
         let Some(node) = self.node.as_mut() else { return };
         let mut out = Outbox::default();
-        node.on_input(now, input, &mut out);
+        node.on_input(node_now, input, &mut out);
         let from_node = self.node_id;
         for eff in out.effects {
             match eff {
@@ -313,6 +355,22 @@ impl NodeHost {
             }
         }
         route_deliveries(&self.world, ctx);
+        // Fail-stop: a node whose log device refused an append or a
+        // force can no longer keep its durability promises. Crash it
+        // here — what survives is the synced prefix, which is exactly
+        // what it acknowledged.
+        if self.node.as_ref().is_some_and(Node::poisoned) {
+            self.crash(false, ctx);
+        }
+        // An expired session leaves the node unable to hold any znode —
+        // it stepped down everywhere and could never stand for election
+        // again. Honor the contract its handler documents ("the hosting
+        // runtime restarts us with a fresh session"): bounce the process
+        // like a supervisor would.
+        if session_expired && self.node.is_some() {
+            self.crash(false, ctx);
+            ctx.schedule(SESSION_RESTART_DELAY, self.proc, Ev::Restart);
+        }
     }
 
     fn crash(&mut self, expire_session: bool, ctx: &mut Ctx<'_, Ev>) {
@@ -339,6 +397,10 @@ impl NodeHost {
         if let Some(image) = self.crashed_image.take() {
             self.vfs = image;
         }
+        // A restart replaces the disk controller: any armed (possibly
+        // sticky) fault is cleared, or recovery would re-poison the node
+        // the moment it touched the log.
+        self.fault_plan.disarm();
         self.world.net.borrow_mut().bring_up(self.proc);
         // The old session may still linger; expire it so stale ephemerals
         // (e.g. our old leader znode) do not confuse the new incarnation.
@@ -394,6 +456,24 @@ impl Actor<Ev> for NodeHost {
             }
             Ev::Crash { expire_session } => self.crash(expire_session, ctx),
             Ev::Restart => self.restart(now, ctx),
+            Ev::SetSkew { offset } => self.clock.set_offset(offset),
+            Ev::DiskFault { sync_after, append_after, sticky } => {
+                self.fault_plan.set_sticky(sticky);
+                if sync_after > 0 {
+                    self.fault_plan.fail_sync_after(sync_after);
+                }
+                if append_after > 0 {
+                    self.fault_plan.fail_append_after(append_after);
+                }
+            }
+            Ev::SetRetention { retain } => {
+                // Survives restarts: the host's config template and the
+                // live node both learn the squeezed window.
+                self.node_cfg.snapshot_retain = retain;
+                if let Some(node) = self.node.as_mut() {
+                    node.set_snapshot_retain(retain);
+                }
+            }
             Ev::Client(_) | Ev::CoordTick => {}
         }
     }
@@ -472,6 +552,8 @@ impl SimCluster {
                 device: LogDevice::new(cfg.disk),
                 crashed_image: None,
                 incarnation: 0,
+                fault_plan: FaultPlan::new(),
+                clock: SkewedClock::new(),
             }));
             let proc = sim.add_actor(Box::new(RcActor(host.clone())));
             assert_eq!(proc, node_id, "node procs must equal node ids");
@@ -605,6 +687,40 @@ impl SimCluster {
         self.sim.schedule(at, id, Ev::Restart);
     }
 
+    /// Skew node `id`'s clock by `offset` from time `at` on (nemesis).
+    pub fn set_clock_skew(&mut self, at: Time, id: NodeId, offset: i64) {
+        self.sim.schedule(at, id, Ev::SetSkew { offset });
+    }
+
+    /// Arm a WAL disk fault on node `id` at time `at`: the n-th sync
+    /// and/or append from then on fails (`0` = leave that kind
+    /// disarmed); `sticky` keeps the device dead until restart.
+    pub fn inject_disk_fault(
+        &mut self,
+        at: Time,
+        id: NodeId,
+        sync_after: u64,
+        append_after: u64,
+        sticky: bool,
+    ) {
+        self.sim.schedule(at, id, Ev::DiskFault { sync_after, append_after, sticky });
+    }
+
+    /// Squeeze (or relax) node `id`'s MVCC retention window at `at`.
+    pub fn set_retention(&mut self, at: Time, id: NodeId, retain: Time) {
+        self.sim.schedule(at, id, Ev::SetRetention { retain });
+    }
+
+    /// True when node `id` is currently up (booted and not crashed).
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.hosts[id as usize].borrow().node.is_some()
+    }
+
+    /// Total disk faults injected into node `id` so far.
+    pub fn faults_injected(&self, id: NodeId) -> u64 {
+        self.hosts[id as usize].borrow().fault_plan.injected()
+    }
+
     /// Advance virtual time.
     pub fn run_until(&mut self, t: Time) {
         self.sim.run_until(t);
@@ -636,6 +752,13 @@ impl SimCluster {
             }
         }
         None
+    }
+
+    /// Node `id`'s role for `range` (`None` while crashed). A health
+    /// diagnostic for chaos harnesses: distinguishes a cohort wedged in
+    /// election/takeover from one that merely lost its leader znode.
+    pub fn role_of(&self, range: RangeId, id: NodeId) -> Option<Role> {
+        self.hosts[id as usize].borrow().node().map(|n| n.role(range))
     }
 
     /// True when every range of the current table has an open leader.

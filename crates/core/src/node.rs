@@ -127,8 +127,18 @@ pub struct NodeConfig {
     /// MVCC version retention: superseded column versions younger than
     /// this survive compaction, so a snapshot scan pinned within the
     /// window always finds its cut. The maintenance tick advances each
-    /// store's GC floor to `now - snapshot_retain`.
+    /// store's GC floor to `now - snapshot_retain` (held back by active
+    /// pin leases, below).
     pub snapshot_retain: u64,
+    /// Pin lease: serving a snapshot read registers its timestamp as an
+    /// *active pin* for this long, and every page served at that
+    /// timestamp renews the lease. The GC floor never advances past the
+    /// oldest live pin, so a long scan keeps its cut alive by reading —
+    /// however slowly — instead of racing the blanket retention window
+    /// into `SnapshotTooOld`. An abandoned scan stops renewing and its
+    /// cut is reclaimed one lease later. `0` disables pin tracking
+    /// (blanket window only).
+    pub pin_lease: u64,
 }
 
 impl Default for NodeConfig {
@@ -150,6 +160,7 @@ impl Default for NodeConfig {
             merge_timeout: 10_000_000_000,
             gc_quiesce: 5_000_000_000,
             snapshot_retain: 30_000_000_000,
+            pin_lease: 10_000_000_000,
         }
     }
 }
@@ -223,6 +234,7 @@ macro_rules! runtime {
             wal: &mut $node.wal,
             coord: &$node.coord,
             forces: &mut $node.forces,
+            poisoned: &mut $node.poisoned,
         }
     };
 }
@@ -242,6 +254,11 @@ pub struct Node {
     forces: ForceTracker,
     dissolved: Vec<Dissolved>,
     started: bool,
+    /// Fail-stop latch: set when the log device refused an append or a
+    /// force, meaning durability promises can no longer be kept. The
+    /// host observes it and crashes the node; the synced log prefix it
+    /// restarts from is exactly what was acknowledged.
+    poisoned: bool,
     /// Automatic-reshard cool-down marks: range → (table generation when
     /// the last auto split/merge was initiated, virtual time it was
     /// initiated). Advice for a range whose entry still carries the
@@ -343,6 +360,7 @@ impl Node {
             forces: ForceTracker::new(),
             dissolved,
             started: false,
+            poisoned: false,
             reshard_marks: BTreeMap::new(),
         })
     }
@@ -350,6 +368,27 @@ impl Node {
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// True once the log device refused an append or a force. A poisoned
+    /// node must be crashed by its host: it can no longer make the
+    /// durability promises the protocol's acknowledgements stand for.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Override the MVCC retention window at runtime (fault injection:
+    /// a GC-floor squeeze). Takes effect on the next maintenance tick.
+    pub fn set_snapshot_retain(&mut self, retain: u64) {
+        self.cfg.snapshot_retain = retain;
+    }
+
+    /// Sync the WAL, poisoning the node on refusal — shared by every
+    /// durability point outside the force path.
+    fn sync_wal(&mut self) {
+        if self.wal.sync().is_err() {
+            self.poisoned = true;
+        }
     }
 
     /// Current role for a range (diagnostics, tests, harnesses).
@@ -743,8 +782,16 @@ impl Node {
 
     fn on_forced(&mut self, now: u64, tokens: Vec<u64>, out: &mut Outbox) {
         // Content-level sync: everything appended so far is durable (the
-        // runtime's disk model decided *when*).
-        let _ = self.wal.sync();
+        // runtime's disk model decided *when*). If the device refuses,
+        // nothing covered by these tokens is durable — resolving the
+        // waiters would acknowledge un-synced writes, a lost update the
+        // moment the node crashes. Fail-stop instead: poison, leave the
+        // waiters unresolved (clients time out and retry elsewhere), and
+        // let the host crash us back to the synced prefix.
+        if self.wal.sync().is_err() {
+            self.poisoned = true;
+            return;
+        }
         for token in tokens {
             match self.forces.take(token) {
                 Some(Waiter::LeaderWrite { range, lsn }) => {
@@ -806,7 +853,23 @@ impl Node {
                         }
                     }
                 }
-                if !electing.is_empty() {
+                // Takeovers stall the same way elections do when their
+                // one-shot messages are lost; re-drive them here too.
+                let taking_over: Vec<RangeId> = self
+                    .replicas
+                    .iter()
+                    .filter(|(_, r)| r.role == Role::LeaderTakeover)
+                    .map(|(&r, _)| r)
+                    .collect();
+                for range in &taking_over {
+                    let mut rt = runtime!(self, now);
+                    let fu = match self.replicas.get_mut(range) {
+                        Some(rep) => rep.retry_takeover(&mut rt, out),
+                        None => FollowUp::default(),
+                    };
+                    self.follow_up(now, *range, fu, out);
+                }
+                if !electing.is_empty() || !taking_over.is_empty() {
                     out.set_timer(TimerKind::ElectionRetry, self.cfg.election_retry);
                 }
             }
@@ -1388,7 +1451,7 @@ impl Node {
                 self.dissolved.push(Dissolved { range: p.range, at: now, gc_znodes: true });
             }
         }
-        let _ = self.wal.sync();
+        self.sync_wal();
         for range in built {
             self.join_cohort(now, range, out);
         }
@@ -1442,7 +1505,7 @@ impl Node {
             let _ = self.wal.set_checkpoint(parent, watermark);
         }
         // The tail copies must be as durable as the acked originals.
-        let _ = self.wal.sync();
+        self.sync_wal();
         (ls, rs)
     }
 
@@ -1956,7 +2019,7 @@ impl Node {
         let _ = self.wal.set_checkpoint(left, barrier);
         let _ = self.wal.set_checkpoint(right, right_barrier);
         let _ = self.wal.set_checkpoint(merged, base);
-        let _ = self.wal.sync();
+        self.sync_wal();
 
         let peers = lrep.peers.clone();
         let mut mrep = RangeReplica::new(
@@ -2128,7 +2191,7 @@ impl Node {
             }
             Lsn::ZERO
         };
-        let _ = self.wal.sync();
+        self.sync_wal();
         let peers = {
             let p: Vec<NodeId> =
                 self.ring.cohort(merged).into_iter().filter(|&n| n != self.id).collect();

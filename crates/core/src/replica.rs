@@ -131,6 +131,10 @@ pub(crate) struct Runtime<'a> {
     pub coord: &'a CoordClient,
     /// Force-token bookkeeping.
     pub forces: &'a mut ForceTracker,
+    /// Fail-stop latch on the owning node: set when the log device
+    /// refuses an append whose durability a protocol step depends on.
+    /// The host crashes the node back to its synced prefix.
+    pub poisoned: &'a mut bool,
 }
 
 /// Cross-replica consequences of a per-replica transition, handed back to
@@ -230,6 +234,15 @@ pub struct RangeReplica {
     /// Client writes buffered while takeover runs or while a split/merge
     /// drains the commit queue toward its barrier.
     pub(crate) blocked_writes: Vec<(Addr, ClientRequest)>,
+    /// Leader only: conditional-write rejections whose observed version
+    /// belongs to a **pending** (uncommitted) write. The failure reply is
+    /// held until that LSN commits — releasing it earlier would leak
+    /// uncommitted state to the client (the client would learn the column
+    /// changed before any strong read can observe the change, breaking
+    /// linearizability; and if the pending write were lost to a leader
+    /// change, the client would have observed a write that never
+    /// happened). Entries: (dependency LSN, client, request id, actual).
+    pub(crate) deferred_mismatches: Vec<(Lsn, Addr, u64, u64)>,
     /// Leader only: a split at this key waits for the queue to drain.
     pub(crate) splitting: Option<Key>,
     /// Leader only: a merge with a sibling waits for the queue to drain.
@@ -266,6 +279,12 @@ pub struct RangeReplica {
     /// Snapshot pages (gets and scan pages) this replica has served, in
     /// any role — the observable behind the follower-read experiments.
     pub(crate) snapshot_pages: u64,
+    /// Active snapshot-read pins: pinned timestamp → lease expiry.
+    /// Serving a page at a timestamp registers/renews its lease; the
+    /// maintenance tick prunes expired entries and holds the GC floor
+    /// at the oldest live pin, so a long scan that keeps reading never
+    /// loses its cut to the blanket retention window.
+    pub(crate) pins: BTreeMap<u64, u64>,
 }
 
 /// What the load/size statistics recommend for a range (sampled on the
@@ -305,6 +324,7 @@ impl RangeReplica {
             candidate_path: None,
             takeover: None,
             blocked_writes: Vec::new(),
+            deferred_mismatches: Vec::new(),
             splitting: None,
             merging: None,
             moving: None,
@@ -315,7 +335,19 @@ impl RangeReplica {
             proposing: false,
             closed_ts: 0,
             snapshot_pages: 0,
+            pins: BTreeMap::new(),
         }
+    }
+
+    /// Register (or renew) a pin lease on snapshot timestamp `ts`: the
+    /// GC floor will not pass `ts` until the lease expires un-renewed.
+    fn note_pin(&mut self, rt: &Runtime<'_>, ts: u64) {
+        if rt.cfg.pin_lease == 0 {
+            return;
+        }
+        let expiry = rt.now.saturating_add(rt.cfg.pin_lease);
+        let e = self.pins.entry(ts).or_insert(expiry);
+        *e = (*e).max(expiry);
     }
 
     /// Snapshot pages this replica has served so far (any role).
@@ -517,7 +549,10 @@ impl RangeReplica {
         }
         // If we are somehow alone (all peers dead), we must wait: the
         // cohort stays unavailable until a majority participates. The
-        // election-retry timer keeps us checking.
+        // election-retry timer keeps us checking — arm it here too, since
+        // a takeover entered by hand-off (claim_leadership) never ran an
+        // election and would otherwise have no timer to re-drive it.
+        out.set_timer(crate::messages::TimerKind::ElectionRetry, rt.cfg.election_retry);
         let _ = self.maybe_finish_takeover(rt, out);
     }
 
@@ -607,6 +642,11 @@ impl RangeReplica {
                 ClientReply::err(req.req, ClientError::NotLeader { hint: Some(leader) }),
             );
         }
+        // Held conditional rejections depended on pending writes we just
+        // dropped; their fate is unknown — redirect, the client retries.
+        for (_, from, req, _) in std::mem::take(&mut self.deferred_mismatches) {
+            out.reply(from, ClientReply::err(req, ClientError::NotLeader { hint: Some(leader) }));
+        }
         out.send(
             leader,
             PeerMsg::CatchupReq { range: self.range, epoch: self.epoch, from: self.last_committed },
@@ -679,13 +719,25 @@ impl RangeReplica {
         // counts — a deleted column is *not* the same as one that was
         // never written (expected == 0 matches only the latter).
         if let Some((col, expected)) = &condition {
-            let actual = self
-                .cq
-                .latest_pending_version(&key, col)
+            let pending = self.cq.latest_pending_version(&key, col);
+            let actual = pending
                 .or_else(|| self.store.get_column(&key, col).ok().flatten().map(|cv| cv.version))
                 .unwrap_or(0);
             if actual != *expected {
-                out.reply(from, ClientReply::err(req.req, ClientError::VersionMismatch { actual }));
+                match pending {
+                    // The observed version is still uncommitted: hold the
+                    // rejection until its LSN commits. Replying now would
+                    // leak uncommitted state — the client would learn the
+                    // column changed before any strong read can see the
+                    // change (and before the write is even durable).
+                    Some(v) => {
+                        self.deferred_mismatches.push((Lsn::from_u64(v), from, req.req, actual));
+                    }
+                    None => out.reply(
+                        from,
+                        ClientReply::err(req.req, ClientError::VersionMismatch { actual }),
+                    ),
+                }
                 return;
             }
         }
@@ -738,8 +790,13 @@ impl RangeReplica {
         let ops: Vec<WriteOp> = batch.into_iter().map(|(_, op)| op).collect();
         let bytes = ops.iter().map(|op| op.approx_size() as u64 + 8).sum::<u64>() + 32;
         let rec = LogRecord::batch(self.range, first, ops.clone());
-        let appended = rt.wal.append(&rec);
-        debug_assert!(appended.is_ok(), "wal append failed: {appended:?}");
+        if rt.wal.append(&rec).is_err() {
+            // Fail-stop: a leader that cannot log must neither propose
+            // nor ack — the batch stays uncommitted, its clients time
+            // out, and the host crashes the node.
+            *rt.poisoned = true;
+            return;
+        }
         rt.forces.add_bytes(bytes);
         rt.forces.request(Waiter::LeaderWrite { range: self.range, lsn: last }, out);
         self.proposing = true;
@@ -845,6 +902,9 @@ impl RangeReplica {
                 // Fence the clock: no later write may commit at or
                 // below the pinned timestamp.
                 self.served_ts = self.served_ts.max(pin);
+                // Lease the cut: GC must not reclaim it while the scan
+                // that just pinned it is still walking pages.
+                self.note_pin(rt, pin);
                 Some(pin)
             }
             Consistency::Snapshot(SnapshotTs::At(ts)) => {
@@ -860,13 +920,23 @@ impl RangeReplica {
                 }
                 // A pin below the MVCC garbage-collection floor may
                 // reference versions compaction already pruned; serving
-                // it could silently return a corrupted cut. Fail the
-                // read instead — the snapshot outlived its retention
-                // window and is gone for good. (`u64::MAX` = the floor
-                // was never armed: everything is still retained.)
+                // it could silently return a corrupted cut. The floor is
+                // replica-local, though, and pin leases are tracked
+                // where pages are admitted — so only the leader (whose
+                // floor is held back by every live lease) declares the
+                // snapshot dead for good. A follower that already
+                // pruned answers `Unavailable`; the session redirects
+                // the page to the leader, which serves it *and renews
+                // the lease*. (`u64::MAX` = the floor was never armed:
+                // everything is still retained.)
                 let floor = self.store.gc_floor();
                 if floor != u64::MAX && ts < floor {
-                    out.reply(from, ClientReply::err(req, ClientError::SnapshotTooOld { floor }));
+                    let err = if self.role == Role::Leader {
+                        ClientError::SnapshotTooOld { floor }
+                    } else {
+                        ClientError::Unavailable
+                    };
+                    out.reply(from, ClientReply::err(req, err));
                     return None;
                 }
                 if ts > self.snapshot_safe_ts(rt) {
@@ -878,6 +948,9 @@ impl RangeReplica {
                     self.served_ts = self.served_ts.max(ts);
                 }
                 self.snapshot_pages += 1;
+                // Every page renews the cut's lease, so a scan making
+                // progress — however slowly — never outlives retention.
+                self.note_pin(rt, ts);
                 Some(ts)
             }
         }
@@ -1102,6 +1175,37 @@ impl RangeReplica {
         if self.cq.contains(first) {
             return;
         }
+        // Refuse to append over a hole. The election's safety argument
+        // (§7.2: winner = max `n.lst`) assumes every log is a gap-free
+        // prefix — `n.lst` vouches for *everything* at or below it. A
+        // propose that skips past our log tip (its predecessors dropped
+        // by a partition, or we rejoined mid-stream) must not be logged:
+        // appending it would advance `n.lst` over entries we never held,
+        // and a later election could then prefer us over a complete peer
+        // and silently discard committed writes. Demand catch-up instead:
+        // the leader ships committed history and re-sends its pending
+        // proposals over the same FIFO link, closing the gap. Across an
+        // epoch boundary a leftover higher-seq tail from the old epoch
+        // vouches for nothing (it may be divergent); only the committed
+        // prefix does.
+        let st = rt.wal.state(self.range);
+        let frontier = if first.epoch() == st.last_lsn.epoch() {
+            st.last_lsn.seq()
+        } else {
+            self.last_committed.seq()
+        };
+        if first.seq() > frontier + 1 {
+            self.role = Role::CatchingUp;
+            out.send(
+                from,
+                PeerMsg::CatchupReq {
+                    range: self.range,
+                    epoch: self.epoch,
+                    from: self.last_committed,
+                },
+            );
+            return;
+        }
         self.ops_since_sample += ops.len() as u64;
         // Run the normal replication protocol even when the record
         // already sits in our log from the previous epoch (a takeover
@@ -1179,6 +1283,21 @@ impl RangeReplica {
                     ClientReply::WriteOk { req, version: pw.lsn.as_u64(), ts: pw.op.timestamp },
                 );
             }
+        }
+        // Release held conditional-write rejections whose observed
+        // version just became committed state: the mismatch is now a
+        // fact every strong read can corroborate.
+        if !self.deferred_mismatches.is_empty() {
+            let lc = self.last_committed;
+            let mut keep = Vec::new();
+            for (dep, addr, req, actual) in std::mem::take(&mut self.deferred_mismatches) {
+                if dep <= lc {
+                    out.reply(addr, ClientReply::err(req, ClientError::VersionMismatch { actual }));
+                } else {
+                    keep.push((dep, addr, req, actual));
+                }
+            }
+            self.deferred_mismatches = keep;
         }
         if self.takeover.is_some() {
             fu.merge_from(self.maybe_finish_takeover(rt, out));
@@ -1278,15 +1397,37 @@ impl RangeReplica {
         if lsn <= self.last_committed {
             return;
         }
+        // Advance the watermark only through the *dense* prefix of what
+        // we actually drained (cohort seqs are dense across epochs, so
+        // contiguity is checkable — same rule as
+        // [`Self::commit_through_barrier`]). A watermark that outran
+        // entries we never held would make every later catch-up — keyed
+        // on `last_committed` — skip them forever. Entries past a gap
+        // still apply to the store (the leader's watermark is
+        // authoritative and cell application is idempotent); only the
+        // *claim* is held back until a contiguous propose or a catch-up
+        // closes the gap.
+        let mut frontier = self.last_committed;
+        let mut dense = true;
         for pw in self.cq.drain_up_to(lsn) {
+            if dense && pw.lsn.seq() == frontier.seq() + 1 {
+                frontier = pw.lsn;
+            } else {
+                dense = false;
+            }
             self.store.apply(&pw.op, pw.lsn);
         }
-        self.last_committed = lsn;
-        // Non-forced log write of the last committed LSN (§5).
-        if lsn > self.last_note {
-            let _ = rt.wal.append(&LogRecord::commit_note(self.range, lsn));
-            rt.forces.add_bytes(24);
-            self.last_note = lsn;
+        if dense && frontier.seq() == lsn.seq() {
+            frontier = lsn; // adopt the watermark's own (possibly newer) epoch
+        }
+        if frontier > self.last_committed {
+            self.last_committed = frontier;
+            // Non-forced log write of the last committed LSN (§5).
+            if frontier > self.last_note {
+                let _ = rt.wal.append(&LogRecord::commit_note(self.range, frontier));
+                rt.forces.add_bytes(24);
+                self.last_note = frontier;
+            }
         }
     }
 
@@ -1391,6 +1532,58 @@ impl RangeReplica {
         }
     }
 
+    /// Re-drive a stalled takeover (fired by the election-retry timer).
+    ///
+    /// `begin_takeover` sends `LeaderHello` and re-proposes the
+    /// unresolved tail exactly once. Any of those messages lost to a
+    /// partition or a crashed peer would otherwise wedge the cohort
+    /// forever: the takeover leader sits silent waiting for a caught-up
+    /// follower that never learned who leads. Re-sending is safe —
+    /// `on_leader_hello` is idempotent (same-epoch hellos just restart
+    /// the follower's catch-up) and follower appends are LSN-idempotent,
+    /// exactly as the catch-up path already relies on.
+    pub(crate) fn retry_takeover(&mut self, rt: &mut Runtime<'_>, out: &mut Outbox) -> FollowUp {
+        if self.role != Role::LeaderTakeover || self.takeover.is_none() {
+            return FollowUp::default();
+        }
+        let epoch = self.epoch;
+        let caught_up = self.takeover.as_ref().map(|t| t.caught_up.clone()).unwrap_or_default();
+        for peer in self.peers.clone() {
+            if !caught_up.contains(&peer) {
+                out.send(peer, PeerMsg::LeaderHello { range: self.range, epoch, leader: rt.id });
+            }
+        }
+        // Nudge in-flight re-proposals whose Propose or Ack went missing.
+        let committed = if rt.cfg.piggyback_commits { self.last_committed } else { Lsn::ZERO };
+        let pending: Vec<(Lsn, WriteOp)> = self
+            .cq
+            .pending_lsns()
+            .into_iter()
+            .filter_map(|lsn| {
+                rt.wal
+                    .read_range(self.range, Lsn::from_u64(lsn.as_u64() - 1), lsn)
+                    .ok()
+                    .and_then(|v| v.into_iter().next())
+            })
+            .collect();
+        for (lsn, op) in pending {
+            for peer in self.peers.clone() {
+                out.send(
+                    peer,
+                    PeerMsg::Propose {
+                        range: self.range,
+                        epoch,
+                        lsn,
+                        ops: vec![op.clone()],
+                        committed,
+                        closed_ts: 0,
+                    },
+                );
+            }
+        }
+        self.maybe_finish_takeover(rt, out)
+    }
+
     fn serve_catchup(
         &mut self,
         rt: &mut Runtime<'_>,
@@ -1467,10 +1660,16 @@ impl RangeReplica {
         }
 
         // Append records we do not have, apply everything in LSN order.
+        // A refused append poisons the node: claiming durable catch-up
+        // (`CaughtUp` below) over a hole in the log would let a later
+        // election elect us with committed writes missing.
         let mut appended = false;
         for (lsn, op) in &records {
             if !own.contains(lsn) {
-                let _ = rt.wal.append(&LogRecord::write(self.range, *lsn, op.clone()));
+                if rt.wal.append(&LogRecord::write(self.range, *lsn, op.clone())).is_err() {
+                    *rt.poisoned = true;
+                    return;
+                }
                 rt.forces.add_bytes(op.approx_size() as u64 + 32);
                 appended = true;
             }
@@ -1561,7 +1760,16 @@ impl RangeReplica {
     /// `snapshot_retain` fall out at the next compaction, so a snapshot
     /// pinned within the retention window never loses its cut.
     pub(crate) fn maintenance_tick(&mut self, rt: &mut Runtime<'_>, now: u64) -> ReshardAdvice {
-        self.store.set_gc_floor(now.saturating_sub(rt.cfg.snapshot_retain));
+        // The floor chases `now - snapshot_retain` but never passes the
+        // oldest live pin lease: an active reader holds its cut open by
+        // renewing (every page served renews), an abandoned one lets the
+        // lease lapse and the cut is reclaimed here.
+        self.pins.retain(|_, expiry| *expiry > now);
+        let mut floor = now.saturating_sub(rt.cfg.snapshot_retain);
+        if let Some((&oldest, _)) = self.pins.iter().next() {
+            floor = floor.min(oldest);
+        }
+        self.store.set_gc_floor(floor);
         if self.store.needs_flush() {
             if let Ok(Some(flushed)) = self.store.flush() {
                 let _ = rt.wal.set_checkpoint(self.range, flushed);

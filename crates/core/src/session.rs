@@ -295,6 +295,14 @@ impl Session {
         self.pending.len() + self.queue.len()
     }
 
+    /// The call a pending wire request belongs to (`None` once the
+    /// request id is stale — completed or superseded by a
+    /// retransmission). History recorders use it to attribute timeouts
+    /// and retries to the right call.
+    pub fn call_of(&self, req: RequestId) -> Option<CallId> {
+        self.pending.get(&req).map(|inf| inf.call)
+    }
+
     /// Enqueue a typed call; it launches when a window slot frees up.
     pub fn submit(&mut self, call: SessionCall) -> CallId {
         let id = self.next_call;

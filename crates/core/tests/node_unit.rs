@@ -260,18 +260,34 @@ fn conditional_put_checks_version_at_the_leader() {
     // Conditional put on an absent column with expected=0 is accepted...
     let req = cond_put_request(1, u64_to_key(2), b"first", 0);
     let out = feed(&mut leader, NodeInput::Client { from: 99, req });
+    let tokens = force_tokens(&out);
     assert!(replies(&out).is_empty(), "accepted: proposed, not yet committed");
 
-    // ...but a second conditional put with a wrong expected version fails
-    // immediately against the *pending* state (writes commit in LSN
-    // order, so the pending version is authoritative).
+    // ...and a second conditional put with a wrong expected version is
+    // rejected against the *pending* state (writes commit in LSN order,
+    // so the pending version is authoritative) — but the rejection is
+    // held until that pending write commits. Releasing it earlier would
+    // leak uncommitted state: the client would learn the column changed
+    // before any strong read could observe the change.
     let req = cond_put_request(2, u64_to_key(2), b"second", 12345);
     let out = feed(&mut leader, NodeInput::Client { from: 99, req });
+    assert!(replies(&out).is_empty(), "rejection deferred until the observed write commits");
+
+    // Commit the first write (own force + one follower ack): its
+    // WriteOk and the deferred VersionMismatch release together.
+    let lsn = leader.last_lsn(RangeId(0));
+    let _ = feed(&mut leader, NodeInput::LogForced { tokens });
+    let epoch = leader.epoch_of(RangeId(0));
+    let out = feed(
+        &mut leader,
+        NodeInput::Peer { from: 1, msg: PeerMsg::Ack { range: RangeId(0), epoch, lsn } },
+    );
     match replies(&out).as_slice() {
-        [ClientReply::Err { req: 2, error: ClientError::VersionMismatch { actual } }] => {
-            assert_ne!(*actual, 12345);
+        [ClientReply::WriteOk { req: 1, .. }, ClientReply::Err { req: 2, error: ClientError::VersionMismatch { actual } }] =>
+        {
+            assert_eq!(*actual, lsn.as_u64(), "the mismatch reports the now-committed version");
         }
-        other => panic!("expected VersionMismatch, got {other:?}"),
+        other => panic!("expected WriteOk + deferred VersionMismatch, got {other:?}"),
     }
 }
 

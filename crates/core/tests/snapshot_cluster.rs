@@ -307,6 +307,87 @@ fn snapshot_get_reads_history_at_an_explicit_timestamp() {
     }
 }
 
+/// An actively-read snapshot holds the GC floor via its pin lease:
+/// with a tiny retention window, a client that keeps re-reading at its
+/// pinned timestamp stays servable far past `snapshot_retain`, and the
+/// same pattern with `pin_lease = 0` is rejected once the blanket
+/// window passes.
+#[test]
+fn pin_lease_holds_the_gc_floor_for_active_snapshots() {
+    let build = |pin_lease: u64| {
+        let mut cfg = ClusterConfig { nodes: 3, seed: 50, ..Default::default() };
+        cfg.disk = DiskProfile::Ssd;
+        cfg.node.commit_period = 100 * MILLIS;
+        // Blanket retention of 500ms: without a lease, any snapshot
+        // older than that is unservable.
+        cfg.node.snapshot_retain = 500 * MILLIS;
+        cfg.node.pin_lease = pin_lease;
+        SimCluster::new(cfg)
+    };
+    let key = u64_to_key(5);
+    let get_at = |ts: u64| SessionCall::Get {
+        key: u64_to_key(5),
+        columns: ColumnSelect::One(col("c")),
+        consistency: Consistency::snapshot_at(ts),
+    };
+
+    for (lease, expect_live) in [(5 * SECS, true), (0, false)] {
+        let mut cluster = build(lease);
+        let stats = cluster.add_session(vec![put(key.clone(), "v1")], 2 * SECS);
+        // Pin a snapshot right after the write commits.
+        let pin = cluster.add_session(
+            vec![SessionCall::Get {
+                key: key.clone(),
+                columns: ColumnSelect::One(col("c")),
+                consistency: Consistency::SNAPSHOT_PIN,
+            }],
+            3 * SECS,
+        );
+        cluster.run_until(4 * SECS);
+        assert!(matches!(&stats.borrow().outcomes[..], [CallOutcome::Written { .. }]));
+        let pinned = match &pin.borrow().outcomes[..] {
+            [CallOutcome::Row { at_ts, .. }] => *at_ts,
+            other => panic!("pin get: {other:?}"),
+        };
+
+        // Keep re-reading the pinned cut every second — each page
+        // renews the lease — until the snapshot is ~8s old, 16x the
+        // blanket retention window.
+        let mut rereads = Vec::new();
+        for i in 0..8u64 {
+            rereads.push(cluster.add_session(vec![get_at(pinned)], (4 + i) * SECS));
+        }
+        cluster.run_until(13 * SECS);
+        let last = rereads.last().unwrap().borrow();
+        if expect_live {
+            match &last.outcomes[..] {
+                [CallOutcome::Row { cells, at_ts }] => {
+                    assert_eq!(*at_ts, pinned);
+                    assert_eq!(cells[0].value.as_ref().unwrap().as_ref(), b"v1");
+                }
+                other => panic!("leased snapshot read: {other:?}"),
+            }
+            // The lease is not a leak: once the reader goes away, the
+            // floor resumes advancing and the old pin ages out.
+            let late = cluster.add_session(vec![get_at(pinned)], 25 * SECS);
+            cluster.run_until(30 * SECS);
+            match &late.borrow().outcomes[..] {
+                [CallOutcome::Failed(ClientError::SnapshotTooOld { floor })] => {
+                    assert!(*floor > pinned, "floor advanced past the abandoned pin");
+                }
+                other => panic!("abandoned pin must age out, got {other:?}"),
+            };
+        } else {
+            match &last.outcomes[..] {
+                [CallOutcome::Failed(ClientError::SnapshotTooOld { floor })] => {
+                    assert!(*floor > pinned);
+                }
+                other => panic!("unleased stale read must fail, got {other:?}"),
+            }
+        }
+    }
+}
+
 /// A snapshot read whose timestamp fell below the MVCC
 /// garbage-collection floor is **failed**, never silently served from
 /// possibly-pruned history.

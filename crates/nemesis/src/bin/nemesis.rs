@@ -1,0 +1,174 @@
+//! Seed-sweep driver for nemesis campaigns.
+//!
+//! ```text
+//! spinnaker-nemesis [--seeds N] [--start-seed S]   # CI: N seeds, exit 1 on failure
+//! spinnaker-nemesis --seed X [--shrink]            # replay one seed
+//! spinnaker-nemesis --soak [--start-seed S]        # unbounded local soak
+//! spinnaker-nemesis --artifact-dir DIR ...         # dump failing histories
+//! ```
+//!
+//! Every failure prints the seed; the seed alone reproduces the run.
+
+use std::process::ExitCode;
+
+use spinnaker_nemesis::{campaign, schedule, shrink, RunReport};
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    one_seed: Option<u64>,
+    soak: bool,
+    shrink: bool,
+    artifact_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 20,
+        start_seed: 1,
+        one_seed: None,
+        soak: false,
+        shrink: false,
+        artifact_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => args.one_seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--soak" => args.soak = true,
+            "--shrink" => args.shrink = true,
+            "--artifact-dir" => args.artifact_dir = Some(value("--artifact-dir")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: spinnaker-nemesis [--seeds N] [--start-seed S] [--seed X] \
+                     [--soak] [--shrink] [--artifact-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn report_failure(report: &RunReport, args: &Args) {
+    println!("FAIL seed={}", report.seed);
+    if report.stalled {
+        println!(
+            "  stalled: {}/{} ops completed after heal + drain (ranges_led={})",
+            report.ops_completed, report.ops_issued, report.ranges_led
+        );
+        for line in &report.health {
+            println!("    {line}");
+        }
+        use spinnaker_common::HEventKind;
+        use std::collections::BTreeMap;
+        let mut open: BTreeMap<(u32, u32), String> = BTreeMap::new();
+        for e in &report.history.events {
+            match &e.kind {
+                HEventKind::Invoke(op) => {
+                    open.insert((e.client, e.op), format!("@{} {op:?}", e.at));
+                }
+                HEventKind::Ok(_) | HEventKind::Fail(_) => {
+                    open.remove(&(e.client, e.op));
+                }
+                HEventKind::Retry => {}
+            }
+        }
+        for ((client, op), line) in open {
+            println!("    open c{client}#{op} {line}");
+        }
+    }
+    for v in &report.violations {
+        println!("  violation [{}] {}", v.kind, v.detail);
+        for line in &v.subhistory {
+            println!("    | {line}");
+        }
+    }
+    if let Some(dir) = &args.artifact_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let path = format!("{dir}/seed-{}.history", report.seed);
+        match std::fs::write(&path, report.history.serialize()) {
+            Ok(()) => println!("  history written to {path}"),
+            Err(e) => println!("  could not write {path}: {e}"),
+        }
+    }
+    println!("  reproduce with: spinnaker-nemesis --seed {} --shrink", report.seed);
+}
+
+fn run_one(seed: u64, args: &Args) -> bool {
+    let report = campaign::run_seed(seed);
+    if report.failed() {
+        report_failure(&report, args);
+        if args.shrink {
+            let cfg = campaign::CampaignConfig::from_seed(seed);
+            let full = schedule::generate(seed, cfg.nodes, cfg.warmup, cfg.warmup + cfg.duration);
+            match shrink::shrink(seed, &cfg, &full, 200) {
+                Some(shrunk) => {
+                    println!(
+                        "  shrunk to {} fault events (from {}) in {} runs:",
+                        shrunk.schedule.events.len(),
+                        full.events.len(),
+                        shrunk.runs
+                    );
+                    for line in shrunk.schedule.describe() {
+                        println!("    {line}");
+                    }
+                }
+                None => println!("  shrink: failure did not reproduce on re-run"),
+            }
+        }
+        false
+    } else {
+        println!(
+            "ok   seed={seed} ops={}/{} faults={} history_events={}",
+            report.ops_completed,
+            report.ops_issued,
+            report.faults_applied,
+            report.history.events.len()
+        );
+        true
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(seed) = args.one_seed {
+        return if run_one(seed, &args) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let mut seed = args.start_seed;
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+    loop {
+        if !args.soak && ran >= args.seeds {
+            break;
+        }
+        if !run_one(seed, &args) {
+            failures += 1;
+            if !args.soak {
+                break;
+            }
+        }
+        seed += 1;
+        ran += 1;
+    }
+    println!("{ran} seed(s) run, {failures} failure(s)");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,69 @@
+//! Fault-schedule minimization.
+//!
+//! Given a seed whose campaign fails (consistency violation or stall),
+//! the shrinker searches for a smaller fault schedule that still fails,
+//! proptest-style: first delta-debugging over chunks of the event list,
+//! then one-at-a-time removal. The campaign config stays pinned to the
+//! seed, so a shrunk result is `(seed, subset of the seed's schedule)`
+//! — replayable exactly, with most of the noise gone.
+
+use crate::campaign::{run, CampaignConfig, RunReport};
+use crate::schedule::Schedule;
+
+/// Outcome of a shrink session.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimized schedule (still failing).
+    pub schedule: Schedule,
+    /// The report of the final failing run.
+    pub report: RunReport,
+    /// Campaign runs spent shrinking.
+    pub runs: usize,
+}
+
+/// Minimize the failing schedule for `seed`. `full` must already fail
+/// under `cfg` (the caller has that report in hand); returns `None` if
+/// it unexpectedly passes on re-run. `budget` caps the number of
+/// campaign re-runs.
+pub fn shrink(seed: u64, cfg: &CampaignConfig, full: &Schedule, budget: usize) -> Option<Shrunk> {
+    fn try_run(
+        seed: u64,
+        cfg: &CampaignConfig,
+        s: &Schedule,
+        runs: &mut usize,
+    ) -> Option<RunReport> {
+        *runs += 1;
+        let report = run(seed, cfg, s);
+        report.failed().then_some(report)
+    }
+
+    let mut runs = 0;
+    let mut best = full.clone();
+    let mut best_report = try_run(seed, cfg, &best, &mut runs)?;
+
+    // Delta-debugging: try dropping ever-smaller chunks.
+    let mut chunk = (best.events.len() / 2).max(1);
+    while chunk >= 1 && runs < budget {
+        let mut i = 0;
+        let mut any = false;
+        while i < best.events.len() && runs < budget {
+            let mut candidate = best.clone();
+            let hi = (i + chunk).min(candidate.events.len());
+            candidate.events.drain(i..hi);
+            if let Some(report) = try_run(seed, cfg, &candidate, &mut runs) {
+                best = candidate;
+                best_report = report;
+                any = true;
+                // Same index now holds the next chunk; don't advance.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 && !any {
+            break;
+        }
+        chunk = if chunk > 1 { chunk / 2 } else { 1 };
+    }
+
+    Some(Shrunk { schedule: best, report: best_report, runs })
+}

@@ -1,0 +1,78 @@
+//! Per-node clock skew for fault injection.
+//!
+//! The nemesis harness shifts individual nodes' notion of "now" while
+//! the sim kernel's virtual time stays the single source of physics.
+//! [`SkewedClock`] applies a signed offset to kernel time and clamps the
+//! result monotone, so a node whose skew is yanked backwards never
+//! observes time running in reverse — exactly like a host whose NTP
+//! daemon slews an unruly clock.
+
+use crate::kernel::Time;
+
+/// A node-local clock: kernel time plus a signed offset, monotone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SkewedClock {
+    offset: i64,
+    last: Time,
+}
+
+impl SkewedClock {
+    /// A clock with no skew.
+    pub fn new() -> SkewedClock {
+        SkewedClock::default()
+    }
+
+    /// Set the offset applied to kernel time (positive = fast node,
+    /// negative = slow node). Takes effect on the next reading.
+    pub fn set_offset(&mut self, offset: i64) {
+        self.offset = offset;
+    }
+
+    /// The current offset.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Read the node's clock at kernel time `real`. Saturates at the
+    /// ends of the time domain and never moves backwards.
+    pub fn now(&mut self, real: Time) -> Time {
+        let skewed = if self.offset >= 0 {
+            real.saturating_add(self.offset.unsigned_abs())
+        } else {
+            real.saturating_sub(self.offset.unsigned_abs())
+        };
+        self.last = self.last.max(skewed);
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_offset_both_ways() {
+        let mut c = SkewedClock::new();
+        c.set_offset(50);
+        assert_eq!(c.now(100), 150);
+        c.set_offset(-30);
+        assert_eq!(c.now(200), 170);
+    }
+
+    #[test]
+    fn never_runs_backwards() {
+        let mut c = SkewedClock::new();
+        c.set_offset(1000);
+        assert_eq!(c.now(100), 1100);
+        c.set_offset(0);
+        assert_eq!(c.now(200), 1100, "clamped to the last reading");
+        assert_eq!(c.now(2000), 2000, "resumes once real time catches up");
+    }
+
+    #[test]
+    fn saturates_near_zero() {
+        let mut c = SkewedClock::new();
+        c.set_offset(-1000);
+        assert_eq!(c.now(100), 0);
+    }
+}

@@ -13,12 +13,14 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod cpu;
 pub mod disk;
 pub mod kernel;
 pub mod net;
 pub mod stats;
 
+pub use clock::SkewedClock;
 pub use cpu::CpuModel;
 pub use disk::{DiskOutcome, DiskProfile, ForceToken, LogDevice};
 pub use kernel::{Actor, Ctx, ProcId, Sim, Time, MICROS, MILLIS, SECS};

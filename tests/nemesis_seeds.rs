@@ -1,0 +1,39 @@
+//! Pinned nemesis regression seeds.
+//!
+//! Each seed here either caught a real bug once or exercises a fault
+//! mix worth keeping under permanent regression. A seed is a complete
+//! reproduction (campaigns are pure functions of the seed), so pinning
+//! the seed pins the exact interleaving that found the bug.
+//!
+//! When a nemesis sweep fails in CI, add the failing seed here after
+//! fixing the bug.
+
+use spinnaker_nemesis::run_seed;
+
+#[test]
+fn pinned_seeds_stay_clean() {
+    // 10: a partition dropped proposes to a follower, leaving a hole in
+    //     its log; the next election elected it anyway (its last-LSN
+    //     matched the complete replica's) and acknowledged writes
+    //     vanished. Fixed by refusing to append over a gap — the
+    //     election's max-lst rule is only sound over gap-free logs.
+    // 29: a conditional put was rejected against a *pending* version and
+    //     the failure reply escaped before that write committed — the
+    //     client observed uncommitted state that strong reads could not
+    //     yet see. Fixed by holding such rejections until the observed
+    //     LSN commits.
+    // 1, 7: high-fault-count mixes (splits/merges/moves under partitions
+    //     and disk faults) kept as general coverage.
+    for seed in [1u64, 7, 10, 29] {
+        let r = run_seed(seed);
+        assert!(r.violations.is_empty(), "seed {seed} inconsistent: {:#?}", r.violations);
+        assert!(!r.stalled, "seed {seed} stalled after heal: {:?}", r.health);
+        assert_eq!(
+            r.ops_issued,
+            r.ops_completed,
+            "seed {seed}: {} of {} ops never resolved",
+            r.ops_issued - r.ops_completed,
+            r.ops_issued
+        );
+    }
+}
